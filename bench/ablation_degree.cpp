@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Ablation: polynomial degree sweep (single input C).
+ *
+ * Motivates the paper's choice of degree 3: fit-on-all error shrinks
+ * monotonically with degree, but cross-validation error bottoms out
+ * and then rises once the model starts overfitting 54 samples.
+ */
+
+#include "bench_common.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "models/regression_models.hh"
+
+int
+main()
+{
+    using namespace mosaic;
+    bench::banner("Ablation", "polynomial degree sweep (poly1..poly5)");
+
+    auto data = bench::dataset();
+
+    TextTable table;
+    table.setHeader({"degree", "fit-on-all max error",
+                     "cross-validation max error"});
+    for (unsigned degree = 1; degree <= 5; ++degree) {
+        double fit_worst = 0.0;
+        double cv_worst = 0.0;
+        for (const auto &platform : data.platforms()) {
+            for (const auto &workload : data.workloads()) {
+                if (!data.has(platform, workload))
+                    continue;
+                auto set = data.sampleSet(platform, workload);
+                if (!set.tlbSensitive())
+                    continue;
+                models::PolyModel model(degree);
+                auto errors = models::evaluateModel(model, set);
+                fit_worst = std::max(fit_worst, errors.maxError);
+                double cv = models::crossValidateMaxError(
+                    [degree] {
+                        return std::make_unique<models::PolyModel>(
+                            degree);
+                    },
+                    set);
+                cv_worst = std::max(cv_worst, cv);
+            }
+        }
+        table.addRow({std::to_string(degree), bench::pct(fit_worst),
+                      bench::pct(cv_worst)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("expected shape: the fitted residual (RSS) shrinks "
+                "monotonically with degree, but these columns report "
+                "the *maximal relative* error, which least squares "
+                "does not minimize — so individual degrees can buck "
+                "the trend (the paper notes the same mismatch in "
+                "Section VII-C). CV stops improving past degree ~3, "
+                "the paper's pick.\n");
+    return 0;
+}

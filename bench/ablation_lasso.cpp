@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Ablation: Lasso regularization strength for Mosmodel.
+ *
+ * The 20-coefficient polynomial needs the L1 penalty: with lambda -> 0
+ * (plain least squares) cross-validation error grows (overfitting);
+ * with lambda too large the model underfits. The paper's one-in-ten
+ * rule discussion (Section VI-C) motivates the middle ground.
+ */
+
+#include "bench_common.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "models/evaluation.hh"
+#include "models/mosmodel.hh"
+
+int
+main()
+{
+    using namespace mosaic;
+    bench::banner("Ablation", "Lasso regularization strength");
+
+    auto data = bench::dataset();
+    const double ratios[] = {0.0, 1e-5, 1e-3, 1e-2, 0.1, 0.5};
+
+    TextTable table;
+    table.setHeader({"lambda/lambda_max", "CV max error",
+                     "fit max error", "mean active coeffs"});
+
+    for (double ratio : ratios) {
+        double cv_worst = 0.0, fit_worst = 0.0;
+        double active_sum = 0.0;
+        int pairs = 0;
+        for (const auto &platform : data.platforms()) {
+            for (const auto &workload : data.workloads()) {
+                if (!data.has(platform, workload))
+                    continue;
+                auto set = data.sampleSet(platform, workload);
+                if (!set.tlbSensitive())
+                    continue;
+                models::MosmodelConfig config;
+                config.autoLambda = false; // study fixed strengths
+                config.lasso.lambdaRatio = ratio;
+                models::Mosmodel model(config);
+                fit_worst = std::max(
+                    fit_worst,
+                    models::evaluateModel(model, set).maxError);
+                active_sum += static_cast<double>(
+                    model.numActiveCoefficients());
+                ++pairs;
+                double cv = models::crossValidateMaxError(
+                    [ratio] {
+                        models::MosmodelConfig c;
+                        c.autoLambda = false;
+                        c.lasso.lambdaRatio = ratio;
+                        return std::make_unique<models::Mosmodel>(c);
+                    },
+                    set);
+                cv_worst = std::max(cv_worst, cv);
+            }
+        }
+        table.addRow({formatDouble(ratio, 5), bench::pct(cv_worst),
+                      bench::pct(fit_worst),
+                      formatDouble(active_sum / pairs, 1)});
+    }
+
+    // The default: per-workload lambda selection by internal CV.
+    {
+        double cv_worst = 0.0, fit_worst = 0.0;
+        double active_sum = 0.0;
+        int pairs = 0;
+        for (const auto &platform : data.platforms()) {
+            for (const auto &workload : data.workloads()) {
+                if (!data.has(platform, workload))
+                    continue;
+                auto set = data.sampleSet(platform, workload);
+                if (!set.tlbSensitive())
+                    continue;
+                models::Mosmodel model;
+                fit_worst = std::max(
+                    fit_worst,
+                    models::evaluateModel(model, set).maxError);
+                active_sum += static_cast<double>(
+                    model.numActiveCoefficients());
+                ++pairs;
+                double cv = models::crossValidateMaxError(
+                    [] { return std::make_unique<models::Mosmodel>(); },
+                    set);
+                cv_worst = std::max(cv_worst, cv);
+            }
+        }
+        table.addRow({"auto (default)", bench::pct(cv_worst),
+                      bench::pct(fit_worst),
+                      formatDouble(active_sum / pairs, 1)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("expected: small-but-nonzero lambda minimizes CV "
+                "error with few active coefficients; lambda=0 "
+                "overfits, large lambda underfits.\n");
+    return 0;
+}

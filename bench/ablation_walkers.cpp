@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Ablation: one vs two hardware page walkers (the Broadwell change in
+ * Table 4).
+ *
+ * Reproduces the Section VI-D mechanism: with two walkers, the walk-
+ * cycle counter C sums both walkers' busy cycles and can exceed the
+ * runtime R on gups — driving the Basu model's ideal-runtime estimate
+ * negative. This bench does not use the shared dataset: it simulates
+ * a Broadwell variant pair directly.
+ */
+
+#include "bench_common.hh"
+
+#include "cpu/system.hh"
+#include "workloads/gups.hh"
+
+int
+main()
+{
+    using namespace mosaic;
+    bench::banner("Ablation", "1 vs 2 hardware page walkers (gups)");
+
+    workloads::GupsParams params = workloads::gupsSmall();
+    params.updates = 120000;
+    workloads::GupsWorkload workload(params);
+    auto trace = workload.generateTrace();
+    auto alloc_config = workload.baselineAllocConfig(); // all 4KB
+
+    TextTable table;
+    table.setHeader({"walkers", "runtime R", "walk cycles C", "C / R",
+                     "queue cycles", "Basu beta = R - C"});
+    for (unsigned walkers : {1u, 2u}) {
+        cpu::PlatformSpec spec = cpu::broadwell();
+        spec.mmu.numWalkers = walkers;
+        auto result = cpu::simulateRun(spec, alloc_config, trace);
+        double ratio = static_cast<double>(result.walkCycles) /
+                       static_cast<double>(result.runtimeCycles);
+        double beta = static_cast<double>(result.runtimeCycles) -
+                      static_cast<double>(result.walkCycles);
+        table.addRow({std::to_string(walkers),
+                      formatDouble(result.runtimeCycles / 1e6, 2) + "M",
+                      formatDouble(result.walkCycles / 1e6, 2) + "M",
+                      formatDouble(ratio, 3),
+                      formatDouble(result.walkerQueueCycles / 1e6, 2) +
+                          "M",
+                      formatDouble(beta / 1e6, 2) + "M"});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("expected: with 2 walkers C/R rises above 1 (negative "
+                "Basu beta), and runtime improves while queueing "
+                "collapses.\n");
+    return 0;
+}

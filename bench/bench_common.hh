@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction binaries.
+ *
+ * Every binary loads the shared campaign dataset (running the full
+ * simulation campaign once if no cache exists — subsequent binaries
+ * reuse the CSV) and prints paper-style rows. Absolute numbers differ
+ * from the paper (the platform is a simulator, not the authors'
+ * Xeons); the *shape* — which models fail, by how much, where — is the
+ * reproduction target. See EXPERIMENTS.md.
+ */
+
+#ifndef MOSAIC_BENCH_COMMON_HH
+#define MOSAIC_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+
+#include "experiments/campaign.hh"
+#include "experiments/report.hh"
+#include "support/str.hh"
+
+namespace mosaic::bench
+{
+
+/** Print a banner naming the paper artifact being reproduced. */
+inline void
+banner(const std::string &artifact, const std::string &caption)
+{
+    std::printf("=============================================="
+                "==================\n");
+    std::printf("%s — %s\n", artifact.c_str(), caption.c_str());
+    std::printf("(simulated platforms; compare shapes, not absolute "
+                "numbers)\n");
+    std::printf("=============================================="
+                "==================\n\n");
+}
+
+/** Load (or build) the shared campaign dataset. */
+inline exp::Dataset
+dataset()
+{
+    return exp::loadOrRunDefaultCampaign();
+}
+
+/** Percent formatting used across all tables. */
+inline std::string
+pct(double fraction, int precision = 1)
+{
+    return formatPercent(fraction, precision);
+}
+
+} // namespace mosaic::bench
+
+#endif // MOSAIC_BENCH_COMMON_HH

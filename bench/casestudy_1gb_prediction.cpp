@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Section VII-D case study across *all* workloads: train every model
+ * on the 54 4KB/2MB mosaics and predict the measured all-1GB run — the
+ * "evaluate a new virtual-memory design" workflow with ground truth
+ * available.
+ *
+ * Paper: both Mosmodel and the past linear models predict the 1GB
+ * layout well for most workloads; where the runtime is polynomial in
+ * C (pr-twitter, mcf on SandyBridge), only Mosmodel stays accurate.
+ */
+
+#include "bench_common.hh"
+
+#include <algorithm>
+#include <cmath>
+
+int
+main()
+{
+    using namespace mosaic;
+    bench::banner("Case study (Sec. VII-D)",
+                  "predicting the all-1GB layout");
+
+    auto data = bench::dataset();
+    std::vector<std::string> models = {"yaniv", "poly1", "mosmodel"};
+    auto rows = exp::computeCaseStudy1g(data, models);
+
+    for (const auto &platform : data.platforms()) {
+        std::printf("--- %s ---\n", platform.c_str());
+        TextTable table;
+        table.setHeader({"workload", "yaniv", "poly1", "mosmodel"});
+        for (const auto &row : rows) {
+            if (row.platform != platform)
+                continue;
+            table.addRow({row.workload,
+                          bench::pct(row.errors.at("yaniv")),
+                          bench::pct(row.errors.at("poly1")),
+                          bench::pct(row.errors.at("mosmodel"))});
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+
+    double worst_mos = 0.0, worst_yaniv = 0.0;
+    for (const auto &row : rows) {
+        worst_mos = std::max(worst_mos, row.errors.at("mosmodel"));
+        worst_yaniv = std::max(worst_yaniv, row.errors.at("yaniv"));
+    }
+    std::printf("worst 1GB-prediction error:  yaniv %s   mosmodel %s\n",
+                bench::pct(worst_yaniv).c_str(),
+                bench::pct(worst_mos).c_str());
+    return 0;
+}

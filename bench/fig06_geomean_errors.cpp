@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 6: per-benchmark geometric-mean absolute prediction error of
+ * all nine models per platform.
+ *
+ * Paper: mosmodel typically below 0.5%.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace mosaic;
+    bench::banner("Figure 6",
+                  "per-benchmark geomean absolute prediction errors");
+
+    auto data = bench::dataset();
+    auto rows = exp::computeErrorGrid(data, exp::ErrorKind::GeoMean);
+    auto order = exp::paperModelOrder();
+
+    for (const auto &platform : data.platforms()) {
+        std::printf("--- %s ---\n", platform.c_str());
+        TextTable table;
+        std::vector<std::string> header = {"benchmark"};
+        header.insert(header.end(), order.begin(), order.end());
+        table.setHeader(header);
+        for (const auto &row : rows) {
+            if (row.platform != platform)
+                continue;
+            std::vector<std::string> cells = {row.workload};
+            if (!row.tlbSensitive) {
+                cells.push_back("(not TLB-sensitive; dropped)");
+                table.addRow(cells);
+                continue;
+            }
+            for (const auto &name : order)
+                cells.push_back(bench::pct(row.errors.at(name), 2));
+            table.addRow(cells);
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+    std::printf("paper: mosmodel geomean error typically below "
+                "0.5%%.\n");
+    return 0;
+}

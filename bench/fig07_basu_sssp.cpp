@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 7: the Basu model on gapbs/sssp-twitter (SandyBridge). The
+ * paper finds the model — believed pessimistic by its authors —
+ * actually *optimistic* near the zero-overhead operating point,
+ * underpredicting runtime by up to 42%.
+ */
+
+#include "bench_common.hh"
+
+#include <algorithm>
+#include <cmath>
+
+int
+main()
+{
+    using namespace mosaic;
+    bench::banner("Figure 7",
+                  "Basu model vs measured runtimes, gapbs/sssp-twitter "
+                  "on SandyBridge");
+
+    auto data = bench::dataset();
+    auto curve = exp::computeCurve(data, "SandyBridge",
+                                   "gapbs/sssp-twitter", {"basu"});
+
+    TextTable table;
+    table.setHeader({"layout", "TLB misses M", "measured R",
+                     "basu model", "signed error"});
+    double worst_under = 0.0; // optimistic = prediction below measured
+    for (const auto &point : curve) {
+        double predicted = point.predicted.at("basu");
+        double signed_err = (predicted - point.measured) /
+                            point.measured;
+        worst_under = std::min(worst_under, signed_err);
+        table.addRow({point.layout, formatDouble(point.m / 1e3, 1),
+                      formatDouble(point.measured / 1e6, 2),
+                      formatDouble(predicted / 1e6, 2),
+                      bench::pct(signed_err)});
+    }
+    std::printf("%s\n(M in thousands, R in millions of cycles)\n\n",
+                table.render().c_str());
+    std::printf("most optimistic Basu prediction (this workload): %s "
+                "below the measured runtime\n\n",
+                bench::pct(-worst_under).c_str());
+
+    // The paper's point is the *phenomenon* — a model its authors
+    // believed conservative is actually optimistic near the
+    // zero-overhead operating point. Which pair shows it most depends
+    // on the platform substrate; scan the whole grid.
+    double grid_worst = 0.0;
+    std::string worst_pair;
+    for (const auto &platform : data.platforms()) {
+        for (const auto &workload : data.workloads()) {
+            if (!data.has(platform, workload))
+                continue;
+            auto set = data.sampleSet(platform, workload);
+            if (!set.tlbSensitive())
+                continue;
+            auto basu = exp::makeModelByName("basu");
+            basu->fit(set);
+            for (const auto &sample : set.samples) {
+                double signed_err =
+                    (basu->predict(sample) - sample.r) / sample.r;
+                if (signed_err < grid_worst) {
+                    grid_worst = signed_err;
+                    worst_pair = workload + " on " + platform + " (" +
+                                 sample.layoutName + ")";
+                }
+            }
+        }
+    }
+    std::printf("most optimistic Basu prediction anywhere: %s below "
+                "measured, for %s\n",
+                bench::pct(-grid_worst).c_str(), worst_pair.c_str());
+    std::printf("paper: Basu predicts runtimes up to 42%% lower than "
+                "measured (gapbs/sssp-twitter on their "
+                "SandyBridge).\n");
+    return 0;
+}

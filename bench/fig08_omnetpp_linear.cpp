@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 8: spec06/omnetpp is the friendly case — a single linear
+ * regression in the walk cycles describes it well.
+ */
+
+#include "bench_common.hh"
+
+#include <cmath>
+
+#include "models/evaluation.hh"
+#include "models/regression_models.hh"
+
+int
+main()
+{
+    using namespace mosaic;
+    bench::banner("Figure 8",
+                  "linear regression describes spec06/omnetpp well");
+
+    auto data = bench::dataset();
+    auto set = data.sampleSet("SandyBridge", "spec06/omnetpp");
+
+    models::PolyModel poly1(1);
+    auto errors = models::evaluateModel(poly1, set);
+
+    auto curve = exp::computeCurve(data, "SandyBridge",
+                                   "spec06/omnetpp", {"poly1"});
+    TextTable table;
+    table.setHeader({"layout", "walk cycles", "measured R", "poly1",
+                     "error"});
+    for (std::size_t i = 0; i < curve.size(); i += 5) {
+        const auto &point = curve[i];
+        double predicted = point.predicted.at("poly1");
+        table.addRow({point.layout, formatDouble(point.c / 1e6, 2),
+                      formatDouble(point.measured / 1e6, 2),
+                      formatDouble(predicted / 1e6, 2),
+                      bench::pct(std::fabs(point.measured - predicted) /
+                                 point.measured)});
+    }
+    std::printf("%s\n(every 5th layout shown; cycles in millions)\n\n",
+                table.render().c_str());
+
+    std::printf("fitted model: %s\n", poly1.describe().c_str());
+    std::printf("max error %s, geomean %s\n",
+                bench::pct(errors.maxError).c_str(),
+                bench::pct(errors.geoMeanError, 2).c_str());
+    std::printf("paper: omnetpp is well described by the linear "
+                "regressor.\n");
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 10: gups/16GB on SandyBridge — the runtime is visibly
+ * non-linear in the walk cycles; linear regression errs (13% in the
+ * paper) while a second-order polynomial tracks it within 2%.
+ */
+
+#include "bench_common.hh"
+
+#include "models/evaluation.hh"
+#include "models/regression_models.hh"
+
+int
+main()
+{
+    using namespace mosaic;
+    bench::banner("Figure 10",
+                  "gups/16GB on SandyBridge: linear vs poly2");
+
+    auto data = bench::dataset();
+    auto set = data.sampleSet("SandyBridge", "gups/16GB");
+
+    models::PolyModel poly1(1), poly2(2);
+    auto e1 = models::evaluateModel(poly1, set);
+    auto e2 = models::evaluateModel(poly2, set);
+
+    auto curve = exp::computeCurve(data, "SandyBridge", "gups/16GB",
+                                   {"poly1", "poly2"});
+    TextTable table;
+    table.setHeader({"layout", "walk cycles", "measured R", "poly1",
+                     "poly2"});
+    for (std::size_t i = 0; i < curve.size(); i += 4) {
+        const auto &point = curve[i];
+        table.addRow({point.layout, formatDouble(point.c / 1e6, 1),
+                      formatDouble(point.measured / 1e6, 1),
+                      formatDouble(point.predicted.at("poly1") / 1e6, 1),
+                      formatDouble(point.predicted.at("poly2") / 1e6,
+                                   1)});
+    }
+    std::printf("%s\n(every 4th layout; cycles in millions)\n\n",
+                table.render().c_str());
+
+    std::printf("poly1 max error: %s    poly2 max error: %s\n",
+                bench::pct(e1.maxError).c_str(),
+                bench::pct(e2.maxError).c_str());
+    std::printf("paper: linear errs up to 13%%, poly2 within 2%%.\n");
+    return 0;
+}

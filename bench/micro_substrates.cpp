@@ -1,0 +1,194 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the substrates: allocator
+ * operations, TLB lookups, page walks, cache accesses, trace replay
+ * throughput, and model fitting. These guard the simulation speed the
+ * campaign depends on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cpu/system.hh"
+#include "models/mosmodel.hh"
+#include "models/evaluation.hh"
+#include "mosalloc/mosalloc.hh"
+#include "stats/lasso.hh"
+#include "support/random.hh"
+#include "vm/mmu.hh"
+#include "workloads/gups.hh"
+
+using namespace mosaic;
+
+namespace
+{
+
+alloc::MosallocConfig
+benchAllocConfig(Bytes heap)
+{
+    alloc::MosallocConfig config;
+    config.heapLayout = alloc::MosaicLayout(heap);
+    config.anonLayout = alloc::MosaicLayout(8_MiB);
+    config.filePoolSize = 1_MiB;
+    return config;
+}
+
+} // namespace
+
+static void
+BM_MosallocMallocFree(benchmark::State &state)
+{
+    alloc::Mosalloc allocator(benchAllocConfig(64_MiB));
+    Rng rng(1);
+    std::vector<VirtAddr> live;
+    live.reserve(256);
+    for (auto _ : state) {
+        VirtAddr p = allocator.malloc(64 + rng.nextBounded(4096));
+        live.push_back(p);
+        if (live.size() >= 256) {
+            for (VirtAddr q : live)
+                allocator.free(q);
+            live.clear();
+        }
+        benchmark::DoNotOptimize(p);
+    }
+}
+BENCHMARK(BM_MosallocMallocFree);
+
+static void
+BM_AnonPoolMmapMunmap(benchmark::State &state)
+{
+    alloc::Mosalloc allocator(benchAllocConfig(8_MiB));
+    for (auto _ : state) {
+        VirtAddr p = allocator.mmap(64_KiB);
+        allocator.munmap(p, 64_KiB);
+        benchmark::DoNotOptimize(p);
+    }
+}
+BENCHMARK(BM_AnonPoolMmapMunmap);
+
+static void
+BM_TlbLookupHit(benchmark::State &state)
+{
+    vm::TlbSystem tlb(vm::L1TlbConfig{}, vm::L2TlbConfig{});
+    tlb.fill(0x1000, alloc::PageSize::Page4K);
+    for (auto _ : state) {
+        auto outcome = tlb.lookup(0x1000, alloc::PageSize::Page4K);
+        benchmark::DoNotOptimize(outcome);
+    }
+}
+BENCHMARK(BM_TlbLookupHit);
+
+static void
+BM_PageTableTranslate(benchmark::State &state)
+{
+    vm::PhysMem mem;
+    vm::PageTable table(mem);
+    for (std::uint64_t i = 0; i < 1024; ++i)
+        table.map(0x4000000000ULL + i * 4_KiB, alloc::PageSize::Page4K,
+                  0x40000000ULL + i * 4_KiB);
+    Rng rng(2);
+    for (auto _ : state) {
+        VirtAddr va = 0x4000000000ULL + rng.nextBounded(1024) * 4_KiB;
+        auto xlate = table.translate(va);
+        benchmark::DoNotOptimize(xlate);
+    }
+}
+BENCHMARK(BM_PageTableTranslate);
+
+static void
+BM_FullPageWalk(benchmark::State &state)
+{
+    vm::PhysMem mem;
+    vm::PageTable table(mem);
+    for (std::uint64_t i = 0; i < 4096; ++i)
+        table.map(0x4000000000ULL + i * 4_KiB, alloc::PageSize::Page4K,
+                  0x40000000ULL + i * 4_KiB);
+    mem::MemoryHierarchy hierarchy(mem::HierarchyConfig{});
+    vm::PageWalker walker(table, hierarchy, vm::PwcConfig{}, 1);
+    Rng rng(3);
+    Cycles now = 0;
+    for (auto _ : state) {
+        VirtAddr va = 0x4000000000ULL + rng.nextBounded(4096) * 4_KiB;
+        auto result = walker.walk(va, now);
+        now += 50;
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_FullPageWalk);
+
+static void
+BM_CacheAccess(benchmark::State &state)
+{
+    mem::MemoryHierarchy hierarchy(mem::HierarchyConfig{});
+    Rng rng(4);
+    for (auto _ : state) {
+        auto result = hierarchy.access(rng.nextBounded(64_MiB),
+                                       mem::Requester::Program);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+static void
+BM_TraceReplayGups(benchmark::State &state)
+{
+    workloads::GupsParams params;
+    params.tableBytes = 32_MiB;
+    params.updates = 25000;
+    workloads::GupsWorkload workload(params);
+    auto trace = workload.generateTrace();
+    auto config = workload.baselineAllocConfig();
+    auto platform = cpu::sandyBridge();
+    for (auto _ : state) {
+        auto result = cpu::simulateRun(platform, config, trace);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_TraceReplayGups)->Unit(benchmark::kMillisecond);
+
+static void
+BM_MosmodelFit(benchmark::State &state)
+{
+    models::SampleSet data;
+    Rng rng(5);
+    for (int i = 0; i < 54; ++i) {
+        double coverage = i / 53.0;
+        double m = 1e6 * (1 - coverage) * (0.9 + 0.2 * rng.nextDouble());
+        double h = 3e5 * (1 - coverage);
+        double c = 40 * m;
+        data.samples.push_back(models::Sample{
+            "s", 5e7 + 0.8 * c + 9 * h + c * c / 4e8, h, m, c});
+    }
+    data.all4k = data.samples.front();
+    data.all2m = data.samples.back();
+    data.all1g = data.samples.back();
+    for (auto _ : state) {
+        models::Mosmodel model;
+        model.fit(data);
+        benchmark::DoNotOptimize(model.numActiveCoefficients());
+    }
+}
+BENCHMARK(BM_MosmodelFit);
+
+static void
+BM_LassoFit(benchmark::State &state)
+{
+    Rng rng(6);
+    stats::Matrix x(54, 19);
+    stats::Vector y(54);
+    for (std::size_t i = 0; i < 54; ++i) {
+        for (std::size_t j = 0; j < 19; ++j)
+            x(i, j) = rng.nextDouble();
+        y[i] = 3.0 * x(i, 0) - 2.0 * x(i, 7) + 0.5;
+    }
+    for (auto _ : state) {
+        auto result = stats::fitLasso(x, y);
+        benchmark::DoNotOptimize(result.intercept);
+    }
+}
+BENCHMARK(BM_LassoFit);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * TLB-sensitivity survey: the Section VI-A selection criterion
+ * ("performance varies by at least 5% when backed with 1GB pages")
+ * evaluated for every workload on every platform, with the paper's
+ * observed trend — sensitivity shrinks as TLBs grow across
+ * generations (Broadwell < Haswell < SandyBridge).
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace mosaic;
+    bench::banner("Workload selection",
+                  "TLB sensitivity per workload and platform");
+
+    auto data = bench::dataset();
+
+    TextTable table;
+    std::vector<std::string> header = {"workload"};
+    auto platforms = data.platforms();
+    header.insert(header.end(), platforms.begin(), platforms.end());
+    table.setHeader(header);
+
+    int trend_hits = 0, trend_total = 0;
+    for (const auto &workload : data.workloads()) {
+        std::vector<std::string> cells = {workload};
+        double broadwell = -1.0, sandybridge = -1.0;
+        for (const auto &platform : platforms) {
+            if (!data.has(platform, workload)) {
+                cells.push_back("-");
+                continue;
+            }
+            auto set = data.sampleSet(platform, workload);
+            double sensitivity =
+                (set.all4k.r - set.all1g.r) / set.all4k.r;
+            cells.push_back(bench::pct(sensitivity) +
+                            (set.tlbSensitive() ? "" : " (drop)"));
+            if (platform == "Broadwell")
+                broadwell = sensitivity;
+            if (platform == "SandyBridge")
+                sandybridge = sensitivity;
+        }
+        if (broadwell >= 0 && sandybridge >= 0) {
+            ++trend_total;
+            trend_hits += sandybridge > broadwell;
+        }
+        table.addRow(cells);
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("TLB-growth trend (SandyBridge more sensitive than "
+                "Broadwell): %d of %d workloads\n",
+                trend_hits, trend_total);
+    std::printf("paper: bigger TLBs shrink sensitivity; gapbs/bfs-road "
+                "even drops below the 5%% bar on their Broadwell.\n");
+    return 0;
+}

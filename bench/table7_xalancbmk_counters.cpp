@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Table 7: runtime statistics of spec17/xalancbmk_s on Broadwell under
+ * all-4KB vs all-2MB pages, split into program and walker loads.
+ *
+ * Paper shape: ~zero TLB misses with 2MB pages; more program L3 loads
+ * under 4KB pages (walker interference); walker cache traffic only
+ * under 4KB.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace mosaic;
+    bench::banner("Table 7",
+                  "spec17/xalancbmk_s counters, 4KB vs 2MB (Broadwell)");
+
+    auto data = bench::dataset();
+    const auto &r4k = data.findRun("Broadwell", "spec17/xalancbmk_s",
+                                   exp::layoutAll4k);
+    const auto &r2m = data.findRun("Broadwell", "spec17/xalancbmk_s",
+                                   exp::layoutAll2m);
+
+    auto fmt = [](std::uint64_t value) {
+        return formatDouble(static_cast<double>(value) / 1e6, 3);
+    };
+
+    TextTable table;
+    table.setHeader({"counter (millions)", "program 4KB", "program 2MB",
+                     "walker 4KB", "walker 2MB"});
+    table.addRow({"runtime cycles", fmt(r4k.result.runtimeCycles),
+                  fmt(r2m.result.runtimeCycles), "-", "-"});
+    table.addRow({"walk cycles", fmt(r4k.result.walkCycles),
+                  fmt(r2m.result.walkCycles), "-", "-"});
+    table.addRow({"TLB misses", fmt(r4k.result.tlbMisses),
+                  fmt(r2m.result.tlbMisses), "-", "-"});
+    table.addRow({"L1d loads", fmt(r4k.result.progL1dLoads),
+                  fmt(r2m.result.progL1dLoads),
+                  fmt(r4k.result.walkL1dLoads),
+                  fmt(r2m.result.walkL1dLoads)});
+    table.addRow({"L2 loads", fmt(r4k.result.progL2Loads),
+                  fmt(r2m.result.progL2Loads),
+                  fmt(r4k.result.walkL2Loads),
+                  fmt(r2m.result.walkL2Loads)});
+    table.addRow({"L3 loads", fmt(r4k.result.progL3Loads),
+                  fmt(r2m.result.progL3Loads),
+                  fmt(r4k.result.walkL3Loads),
+                  fmt(r2m.result.walkL3Loads)});
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("paper shape: 2MB pages eliminate TLB misses for this "
+                "475MB-class workload; 4KB pages add program L3 loads "
+                "(walker-induced eviction) plus walker traffic.\n");
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Table 8: coefficient of determination (R^2) of single-variable
+ * first-order regressions of runtime on C (walk cycles), M (TLB
+ * misses), and H (L2-TLB hits), per workload and platform.
+ *
+ * Paper: C and M are the most useful predictors (usually > .9 and
+ * highly correlated); H is the least valuable, sometimes reaching 0.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace mosaic;
+    bench::banner("Table 8", "single-input R^2 of C, M, H");
+
+    auto data = bench::dataset();
+    auto rows = exp::computeR2Grid(data);
+
+    for (const auto &platform : data.platforms()) {
+        std::printf("--- %s ---\n", platform.c_str());
+        TextTable table;
+        table.setHeader({"workload", "C", "M", "H"});
+        for (const auto &row : rows) {
+            if (row.platform != platform)
+                continue;
+            table.addRow({row.workload, formatDouble(row.r2c, 2),
+                          formatDouble(row.r2m, 2),
+                          formatDouble(row.r2h, 2)});
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+
+    // Aggregate ranking, the table's takeaway.
+    double sum_c = 0, sum_m = 0, sum_h = 0;
+    for (const auto &row : rows) {
+        sum_c += row.r2c;
+        sum_m += row.r2m;
+        sum_h += row.r2h;
+    }
+    auto n = static_cast<double>(rows.size());
+    std::printf("mean R^2:  C %.2f   M %.2f   H %.2f\n", sum_c / n,
+                sum_m / n, sum_h / n);
+    std::printf("paper: C and M are the best single predictors; H is "
+                "the weakest.\n");
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Example: hugepage budget tuning with Mosalloc.
+ *
+ * Section V-B of the paper notes Mosalloc's use beyond research:
+ * "high-end users may optimize the performance of their Linux
+ * applications by using Mosalloc to back memory regions that suffer
+ * from TLB misses with hugepages." Hugepages are a scarce, reserved
+ * resource, so the interesting question is: given a budget of N 2MB
+ * pages, where should they go?
+ *
+ * This example profiles a workload's TLB misses (the PEBS substitute),
+ * then compares three placements of the same budget — at the pool
+ * start, at random, and over the miss hot region — and reports the
+ * speedup of each.
+ *
+ * Build & run:  ./build/examples/hugepage_tuning
+ */
+
+#include <cstdio>
+
+#include "cpu/platform.hh"
+#include "cpu/system.hh"
+#include "layouts/heuristics.hh"
+#include "support/str.hh"
+#include "trace/miss_profile.hh"
+#include "workloads/gapbs.hh"
+
+int
+main()
+{
+    using namespace mosaic;
+
+    // The tuning victim: PageRank over a twitter-like graph.
+    workloads::GapbsWorkload workload(workloads::gapbsPrTwitter());
+    cpu::PlatformSpec platform = cpu::haswell();
+    std::printf("workload: %s on %s\n", workload.info().label().c_str(),
+                platform.name.c_str());
+
+    std::printf("generating trace...\n");
+    trace::MemoryTrace trace = workload.generateTrace();
+    Bytes pool = workload.primaryPoolSize();
+
+    // Profile where the TLB misses land.
+    trace::MissProfile profile(trace, workload.primaryPoolBase(), pool);
+    auto hot = profile.findHotRegion(0.6);
+    std::printf("pool %s; hot region: %s at offset %s covers %s of "
+                "misses\n\n",
+                formatBytes(pool).c_str(),
+                formatBytes(hot.length).c_str(),
+                formatBytes(hot.start).c_str(),
+                formatPercent(hot.coverage).c_str());
+
+    // Budget: back one eighth of the pool with 2MB pages.
+    Bytes budget = alignUp(pool / 8, 2_MiB);
+    std::printf("hugepage budget: %s (%llu x 2MB pages)\n\n",
+                formatBytes(budget).c_str(),
+                static_cast<unsigned long long>(budget / 2_MiB));
+
+    // Baseline: all 4KB.
+    auto baseline = cpu::simulateRun(
+        platform, workload.makeAllocConfig(alloc::MosaicLayout(pool)),
+        trace);
+
+    struct Placement
+    {
+        std::string name;
+        alloc::MosaicLayout layout;
+    };
+    Rng rng(7);
+    Bytes random_start =
+        alignDown(rng.nextBounded(pool - budget), 2_MiB);
+    std::vector<Placement> placements = {
+        {"pool start", alloc::MosaicLayout::withWindow(
+                           pool, 0, budget, alloc::PageSize::Page2M)},
+        {"random spot", alloc::MosaicLayout::withWindow(
+                            pool, random_start, budget,
+                            alloc::PageSize::Page2M)},
+        {"miss hot region",
+         alloc::MosaicLayout::withWindow(pool, hot.start, budget,
+                                         alloc::PageSize::Page2M)},
+    };
+
+    TextTable table;
+    table.setHeader({"placement", "runtime [Mcyc]", "TLB misses",
+                     "speedup vs 4KB"});
+    table.addRow({"all 4KB (baseline)",
+                  formatDouble(baseline.runtimeCycles / 1e6, 2),
+                  std::to_string(baseline.tlbMisses), "1.00x"});
+    for (const auto &placement : placements) {
+        auto result = cpu::simulateRun(
+            platform, workload.makeAllocConfig(placement.layout), trace);
+        double speedup = static_cast<double>(baseline.runtimeCycles) /
+                         static_cast<double>(result.runtimeCycles);
+        table.addRow({placement.name,
+                      formatDouble(result.runtimeCycles / 1e6, 2),
+                      std::to_string(result.tlbMisses),
+                      formatDouble(speedup, 2) + "x"});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("takeaway: the same hugepage budget buys the most "
+                "when spent on the TLB-miss hot region — the insight "
+                "behind the sliding-window heuristic.\n");
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Example: watching the layout-exploration heuristics work.
+ *
+ * For one workload, prints every campaign layout as an ASCII strip of
+ * the pool (#'s = 2MB-backed), alongside the TLB misses and runtime
+ * the simulator measures under it — making Section VI-B's argument
+ * visible: growing windows sweep coverage, random windows mostly
+ * duplicate the endpoints, sliding windows bracket the miss hot
+ * region and generate the interesting mid-range samples.
+ *
+ * Build & run:  ./build/examples/layout_explorer
+ */
+
+#include <cstdio>
+
+#include "cpu/platform.hh"
+#include "cpu/system.hh"
+#include "layouts/heuristics.hh"
+#include "support/str.hh"
+#include "trace/miss_profile.hh"
+#include "workloads/graph500.hh"
+
+namespace
+{
+
+using namespace mosaic;
+
+/** Render the pool as a fixed-width strip; '#' = 2MB, '.' = 4KB. */
+std::string
+strip(const alloc::MosaicLayout &layout, std::size_t width = 32)
+{
+    std::string out(width, '.');
+    Bytes pool = layout.poolSize();
+    for (const auto &region : layout.regions()) {
+        std::size_t from = static_cast<std::size_t>(
+            region.start * width / pool);
+        std::size_t to = static_cast<std::size_t>(
+            (region.end() * width + pool - 1) / pool);
+        for (std::size_t i = from; i < to && i < width; ++i)
+            out[i] = '#';
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace mosaic;
+
+    workloads::Graph500Params params;
+    params.numVertices = 1u << 17;
+    params.refBudget = 150000;
+    workloads::Graph500Workload workload(params);
+    cpu::PlatformSpec platform = cpu::sandyBridge();
+
+    std::printf("exploring layouts for %s on %s\n",
+                workload.info().label().c_str(), platform.name.c_str());
+    auto trace = workload.generateTrace();
+    trace::MissProfile profile(trace, workload.primaryPoolBase(),
+                               workload.primaryPoolSize());
+    auto hot = profile.findHotRegion(0.6);
+    std::printf("pool %s; 60%%-miss hot region at [%s, %s)\n\n",
+                formatBytes(workload.primaryPoolSize()).c_str(),
+                formatBytes(hot.start).c_str(),
+                formatBytes(hot.end()).c_str());
+
+    auto layouts = layouts::paperCampaignLayouts(
+        workload.primaryPoolSize(), profile);
+
+    std::printf("%-14s %-34s %10s %12s\n", "layout",
+                "pool ('#' = 2MB backed)", "TLB misses", "runtime");
+    std::string last_family;
+    for (const auto &named : layouts) {
+        // One blank line between heuristic families.
+        std::string family = named.name.substr(0, named.name.find('-'));
+        if (family != last_family && !last_family.empty())
+            std::printf("\n");
+        last_family = family;
+
+        // Print every growing/random layout but only every 3rd slide
+        // layout to keep the demo readable.
+        if (family == "slide") {
+            char last = named.name.back();
+            if (last != '0' && last != '4' && last != '8')
+                continue;
+        }
+        auto result = cpu::simulateRun(
+            platform, workload.makeAllocConfig(named.layout), trace);
+        std::printf("%-14s [%s] %10llu %10.2fM\n", named.name.c_str(),
+                    strip(named.layout).c_str(),
+                    static_cast<unsigned long long>(result.tlbMisses),
+                    result.runtimeCycles / 1e6);
+    }
+    std::printf("\nnote how sliding windows produce the mid-range "
+                "samples the models need, while random windows mostly "
+                "behave like all-4KB or all-2MB (Section VI-B).\n");
+    return 0;
+}

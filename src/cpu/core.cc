@@ -1,0 +1,157 @@
+#include "cpu/core.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace mosaic::cpu
+{
+
+CoreModel::CoreModel(const CoreParams &params)
+    : params_(params)
+{
+    mosaic_assert(params.baseCpi > 0.0, "baseCpi must be positive");
+    mosaic_assert(params.maxOutstanding >= 1, "need >= 1 outstanding op");
+    mosaic_assert(params.robInstructions >= 1, "need a nonempty ROB");
+}
+
+namespace
+{
+
+/**
+ * Sliding history of (instruction index, retire time) pairs used to
+ * enforce the ROB constraint: an operation enters execution only after
+ * the instruction robInstructions older than it has retired.
+ */
+class RetireHistory
+{
+  public:
+    void
+    push(std::uint64_t inst_index, double retire_time)
+    {
+        entries_.push_back({inst_index, retire_time});
+    }
+
+    /** Latest retire time of any instruction <= @p inst_index. */
+    double
+    retiredBy(std::uint64_t inst_index)
+    {
+        while (!entries_.empty() &&
+               entries_.front().instIndex <= inst_index) {
+            lastPassed_ = entries_.front().retireTime;
+            entries_.pop_front();
+        }
+        return lastPassed_;
+    }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t instIndex;
+        double retireTime;
+    };
+
+    std::deque<Entry> entries_;
+    double lastPassed_ = 0.0;
+};
+
+} // namespace
+
+RunResult
+CoreModel::run(const trace::MemoryTrace &trace, vm::Mmu &mmu,
+               mem::MemoryHierarchy &hierarchy)
+{
+    const double base_cpi = params_.baseCpi;
+    const Cycles l1_latency = hierarchy.config().latencies.l1;
+
+    // MSHR bound: completion times of the last maxOutstanding memory
+    // operations; a new one may not issue before the oldest completed.
+    std::vector<double> outstanding(params_.maxOutstanding, 0.0);
+    std::size_t ring = 0;
+
+    // ROB bound: retire times of recent references, queried by
+    // instruction age.
+    RetireHistory history;
+
+    double work_clock = 0.0;   // pure-work (fetch/execute) clock
+    double retire_clock = 0.0; // in-order retirement clock
+    double prev_completion = 0.0;
+    std::uint64_t inst_index = 0;
+
+    for (const auto &record : trace.records()) {
+        std::uint64_t insts = record.gap + 1;
+        double work = base_cpi * static_cast<double>(insts);
+        work_clock += work;
+        inst_index += insts;
+
+        // The ROB admits this operation once the instruction
+        // robInstructions before it has retired.
+        double rob_ready =
+            inst_index > params_.robInstructions
+                ? history.retiredBy(inst_index - params_.robInstructions)
+                : 0.0;
+        double issue =
+            std::max({work_clock, outstanding[ring], rob_ready});
+        // Pointer-chase step: the address comes from the previous
+        // reference's data, so it cannot issue until that completes.
+        if (record.dependsOnPrev)
+            issue = std::max(issue, prev_completion);
+
+        // Address translation (TLB lookup, possibly a hardware walk).
+        auto xlat = mmu.translate(record.vaddr,
+                                  static_cast<Cycles>(issue));
+        double xlat_done =
+            issue + static_cast<double>(xlat.queueCycles + xlat.latency);
+
+        // The data access depends on the translation; latency beyond a
+        // pipelined L1 hit is exposed to the completion time.
+        auto data = hierarchy.access(xlat.physAddr,
+                                     mem::Requester::Program);
+        double data_extra =
+            data.latency > l1_latency
+                ? static_cast<double>(data.latency - l1_latency)
+                : 0.0;
+        double completion = xlat_done + data_extra;
+
+        outstanding[ring] = completion;
+        ring = (ring + 1) % params_.maxOutstanding;
+        prev_completion = completion;
+
+        // Retirement is in order: it progresses by the work amount and
+        // may not pass the operation's completion.
+        retire_clock = std::max(retire_clock + work, completion);
+        history.push(inst_index, retire_clock);
+    }
+
+    RunResult result;
+    result.runtimeCycles = static_cast<Cycles>(std::llround(retire_clock));
+    result.instructions = trace.totalInstructions();
+    result.memoryRefs = trace.size();
+
+    const auto &mmu_counters = mmu.counters();
+    result.tlbHitsL2 = mmu_counters.h;
+    result.tlbMisses = mmu_counters.m;
+    result.walkCycles = mmu_counters.c;
+    result.l1TlbHits = mmu_counters.l1Hits;
+    result.walkerQueueCycles = mmu_counters.queueCycles;
+
+    auto prog = mem::Requester::Program;
+    auto walk = mem::Requester::Walker;
+    const auto &l1s = hierarchy.l1().stats();
+    const auto &l2s = hierarchy.l2().stats();
+    const auto &l3s = hierarchy.l3().stats();
+    result.progL1dLoads = l1s.accesses(prog);
+    result.progL2Loads = l2s.accesses(prog);
+    result.progL3Loads = l3s.accesses(prog);
+    result.progDramLoads = l3s.misses[static_cast<std::size_t>(prog)];
+    result.walkL1dLoads = l1s.accesses(walk);
+    result.walkL2Loads = l2s.accesses(walk);
+    result.walkL3Loads = l3s.accesses(walk);
+    result.walkDramLoads = l3s.misses[static_cast<std::size_t>(walk)];
+    return result;
+}
+
+} // namespace mosaic::cpu

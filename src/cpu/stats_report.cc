@@ -1,0 +1,93 @@
+#include "cpu/stats_report.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace mosaic::cpu
+{
+
+namespace
+{
+
+/** One "name value # description" line, gem5-aligned. */
+void
+emit(std::ostringstream &os, const std::string &name, double value,
+     const char *description)
+{
+    char buf[160];
+    if (value == static_cast<double>(static_cast<long long>(value))) {
+        std::snprintf(buf, sizeof(buf), "%-44s %20lld  # %s\n",
+                      name.c_str(), static_cast<long long>(value),
+                      description);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%-44s %20.6f  # %s\n",
+                      name.c_str(), value, description);
+    }
+    os << buf;
+}
+
+} // namespace
+
+std::string
+formatStats(const RunResult &result, const std::string &prefix)
+{
+    std::ostringstream os;
+    os << "---------- Begin Simulation Statistics ----------\n";
+    auto stat = [&](const char *leaf, double value,
+                    const char *description) {
+        emit(os, prefix + "." + leaf, value, description);
+    };
+
+    double r = static_cast<double>(result.runtimeCycles);
+    double insts = static_cast<double>(result.instructions);
+
+    stat("numCycles", r, "Number of cpu cycles simulated");
+    stat("committedInsts", insts, "Number of instructions committed");
+    stat("ipc", insts / r, "IPC: committed instructions per cycle");
+    stat("memRefs", static_cast<double>(result.memoryRefs),
+         "Memory references simulated");
+
+    stat("dtlb.l1Hits", static_cast<double>(result.l1TlbHits),
+         "L1 DTLB hits");
+    stat("dtlb.l2Hits", static_cast<double>(result.tlbHitsL2),
+         "L2 (shared) TLB hits [the paper's H]");
+    stat("dtlb.misses", static_cast<double>(result.tlbMisses),
+         "DTLB misses in both levels [the paper's M]");
+    stat("dtlb.walkCycles", static_cast<double>(result.walkCycles),
+         "Cumulative hardware walker busy cycles [the paper's C]");
+    stat("dtlb.walkQueueCycles",
+         static_cast<double>(result.walkerQueueCycles),
+         "Cycles walks waited for a free walker");
+    if (result.tlbMisses > 0) {
+        stat("dtlb.avgWalkLatency",
+             static_cast<double>(result.walkCycles) /
+                 static_cast<double>(result.tlbMisses),
+             "Average page-walk latency (cycles)");
+    }
+
+    stat("dcache.demandAccesses",
+         static_cast<double>(result.progL1dLoads),
+         "Program L1d accesses");
+    stat("l2.demandAccesses", static_cast<double>(result.progL2Loads),
+         "Program L2 accesses");
+    stat("l3.demandAccesses", static_cast<double>(result.progL3Loads),
+         "Program L3 accesses");
+    stat("mem.demandAccesses",
+         static_cast<double>(result.progDramLoads),
+         "Program DRAM accesses");
+    stat("dcache.walkerAccesses",
+         static_cast<double>(result.walkL1dLoads),
+         "Page-walker L1d accesses");
+    stat("l2.walkerAccesses", static_cast<double>(result.walkL2Loads),
+         "Page-walker L2 accesses");
+    stat("l3.walkerAccesses", static_cast<double>(result.walkL3Loads),
+         "Page-walker L3 accesses");
+    stat("mem.walkerAccesses",
+         static_cast<double>(result.walkDramLoads),
+         "Page-walker DRAM accesses");
+
+    os << "---------- End Simulation Statistics   ----------\n";
+    return os.str();
+}
+
+} // namespace mosaic::cpu

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * gem5-style statistics dump for simulation results.
+ *
+ * Formats a RunResult as "name  value  # description" lines, the
+ * layout architects know from gem5's stats.txt, so downstream scripts
+ * written for that format can parse mosaic output unchanged.
+ */
+
+#ifndef MOSAIC_CPU_STATS_REPORT_HH
+#define MOSAIC_CPU_STATS_REPORT_HH
+
+#include <string>
+
+#include "cpu/core.hh"
+
+namespace mosaic::cpu
+{
+
+/**
+ * Render @p result as a gem5-style stats block.
+ *
+ * @param prefix dotted prefix for every stat name (e.g. "system.cpu")
+ */
+std::string formatStats(const RunResult &result,
+                        const std::string &prefix = "system.cpu");
+
+} // namespace mosaic::cpu
+
+#endif // MOSAIC_CPU_STATS_REPORT_HH

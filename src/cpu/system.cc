@@ -1,0 +1,34 @@
+#include "cpu/system.hh"
+
+namespace mosaic::cpu
+{
+
+System::System(const PlatformSpec &platform,
+               const alloc::Mosalloc &allocator)
+    : platform_(platform), core_(platform.core)
+{
+    physMem_ = std::make_unique<vm::PhysMem>();
+    pageTable_ = std::make_unique<vm::PageTable>(*physMem_);
+    pageTable_->populate(allocator);
+    hierarchy_ = std::make_unique<mem::MemoryHierarchy>(platform.hierarchy);
+    mmu_ = std::make_unique<vm::Mmu>(*pageTable_, *hierarchy_,
+                                     platform.mmu);
+}
+
+RunResult
+System::run(const trace::MemoryTrace &trace)
+{
+    return core_.run(trace, *mmu_, *hierarchy_);
+}
+
+RunResult
+simulateRun(const PlatformSpec &platform,
+            const alloc::MosallocConfig &alloc_config,
+            const trace::MemoryTrace &trace)
+{
+    alloc::Mosalloc allocator(alloc_config);
+    System system(platform, allocator);
+    return system.run(trace);
+}
+
+} // namespace mosaic::cpu

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * System assembly: platform + allocator mosaic -> one simulated run.
+ *
+ * A System owns the per-run state (physical memory, page table, cache
+ * hierarchy, MMU, core) built from a PlatformSpec and a Mosalloc
+ * instance whose pools define the page mosaic. Running a trace through
+ * it produces the PMU readout (R, H, M, C, cache-load breakdown) the
+ * runtime models consume.
+ */
+
+#ifndef MOSAIC_CPU_SYSTEM_HH
+#define MOSAIC_CPU_SYSTEM_HH
+
+#include <memory>
+
+#include "cpu/core.hh"
+#include "cpu/platform.hh"
+#include "memhier/hierarchy.hh"
+#include "mosalloc/mosalloc.hh"
+#include "trace/trace.hh"
+#include "vm/mmu.hh"
+#include "vm/page_table.hh"
+#include "vm/phys_mem.hh"
+
+namespace mosaic::cpu
+{
+
+/**
+ * One fully assembled simulated machine.
+ */
+class System
+{
+  public:
+    /**
+     * Build the machine: allocates physical frames for every page of
+     * every pool of @p allocator and constructs the page table.
+     */
+    System(const PlatformSpec &platform, const alloc::Mosalloc &allocator);
+
+    /** Replay @p trace from a cold start and return the PMU readout. */
+    RunResult run(const trace::MemoryTrace &trace);
+
+    const PlatformSpec &platform() const { return platform_; }
+    const vm::PageTable &pageTable() const { return *pageTable_; }
+    const vm::Mmu &mmu() const { return *mmu_; }
+    const mem::MemoryHierarchy &hierarchy() const { return *hierarchy_; }
+
+  private:
+    PlatformSpec platform_;
+    std::unique_ptr<vm::PhysMem> physMem_;
+    std::unique_ptr<vm::PageTable> pageTable_;
+    std::unique_ptr<mem::MemoryHierarchy> hierarchy_;
+    std::unique_ptr<vm::Mmu> mmu_;
+    CoreModel core_;
+};
+
+/**
+ * Convenience wrapper: build a System for (platform, layout) and run.
+ *
+ * @param platform machine description
+ * @param alloc_config pool sizes + mosaics (the Mosalloc inputs)
+ * @param trace recorded workload execution
+ */
+RunResult simulateRun(const PlatformSpec &platform,
+                      const alloc::MosallocConfig &alloc_config,
+                      const trace::MemoryTrace &trace);
+
+} // namespace mosaic::cpu
+
+#endif // MOSAIC_CPU_SYSTEM_HH

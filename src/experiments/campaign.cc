@@ -1,0 +1,162 @@
+#include "experiments/campaign.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+#include "cpu/system.hh"
+#include "support/logging.hh"
+#include "trace/miss_profile.hh"
+
+namespace mosaic::exp
+{
+
+CampaignRunner::CampaignRunner(CampaignConfig config)
+    : config_(std::move(config))
+{
+    if (config_.workloads.empty())
+        config_.workloads = workloads::workloadLabels();
+    if (config_.platforms.empty())
+        config_.platforms = cpu::paperPlatforms();
+    if (config_.threads == 0)
+        config_.threads = 1;
+}
+
+void
+CampaignRunner::runPair(const workloads::Workload &workload,
+                        const cpu::PlatformSpec &platform,
+                        const CampaignConfig &config, Dataset &dataset)
+{
+    // The trace and the miss profile are layout-independent.
+    trace::MemoryTrace trace = workload.generateTrace();
+    trace::MissProfile profile(trace, workload.primaryPoolBase(),
+                               workload.primaryPoolSize());
+
+    auto layouts = layouts::paperCampaignLayouts(
+        workload.primaryPoolSize(), profile, config.seed);
+    if (config.include1g) {
+        layouts.push_back(layouts::uniformLayout(
+            workload.primaryPoolSize(), alloc::PageSize::Page1G));
+    }
+
+    const std::string label = workload.info().label();
+    for (const auto &named : layouts) {
+        RunRecord record;
+        record.platform = platform.name;
+        record.workload = label;
+        record.layout = named.name;
+        record.result = cpu::simulateRun(
+            platform, workload.makeAllocConfig(named.layout), trace);
+        dataset.add(std::move(record));
+    }
+}
+
+Dataset
+CampaignRunner::run()
+{
+    struct Task
+    {
+        std::string workload;
+        const cpu::PlatformSpec *platform;
+    };
+    std::vector<Task> tasks;
+    for (const auto &label : config_.workloads)
+        for (const auto &platform : config_.platforms)
+            tasks.push_back({label, &platform});
+
+    std::mutex merge_mutex;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    Dataset dataset;
+
+    auto worker = [&] {
+        while (true) {
+            std::size_t index = next.fetch_add(1);
+            if (index >= tasks.size())
+                return;
+            const Task &task = tasks[index];
+            auto workload = workloads::makeWorkload(task.workload);
+
+            Dataset local;
+            runPair(*workload, *task.platform, config_, local);
+
+            {
+                std::lock_guard<std::mutex> lock(merge_mutex);
+                for (const auto &record :
+                     local.runs(task.platform->name, task.workload)) {
+                    dataset.add(record);
+                }
+                std::size_t completed = ++done;
+                if (config_.verbose) {
+                    mosaic_inform("campaign: ", completed, "/",
+                                  tasks.size(), " pairs done (",
+                                  task.platform->name, " ",
+                                  task.workload, ")");
+                }
+            }
+        }
+    };
+
+    unsigned n = std::min<unsigned>(config_.threads,
+                                    std::max<std::size_t>(tasks.size(), 1));
+    std::vector<std::thread> pool;
+    for (unsigned i = 0; i < n; ++i)
+        pool.emplace_back(worker);
+    for (auto &thread : pool)
+        thread.join();
+    return dataset;
+}
+
+Dataset
+CampaignRunner::loadOrRun(const std::string &cache_path)
+{
+    std::ifstream probe(cache_path);
+    if (probe.good()) {
+        probe.close();
+        Dataset cached = Dataset::load(cache_path);
+        bool complete = true;
+        for (const auto &label : config_.workloads) {
+            for (const auto &platform : config_.platforms) {
+                if (!cached.has(platform.name, label)) {
+                    complete = false;
+                    break;
+                }
+            }
+        }
+        if (complete) {
+            if (config_.verbose) {
+                mosaic_inform("campaign: loaded ", cached.totalRuns(),
+                              " cached runs from ", cache_path);
+            }
+            return cached;
+        }
+        mosaic_warn("campaign cache ", cache_path,
+                    " is incomplete; re-running");
+    }
+
+    Dataset dataset = run();
+    dataset.save(cache_path);
+    if (config_.verbose)
+        mosaic_inform("campaign: saved ", dataset.totalRuns(),
+                      " runs to ", cache_path);
+    return dataset;
+}
+
+std::string
+defaultDatasetPath()
+{
+    if (const char *env = std::getenv("MOSAIC_DATASET"))
+        return env;
+    return "mosaic_dataset.csv";
+}
+
+Dataset
+loadOrRunDefaultCampaign()
+{
+    CampaignRunner runner;
+    return runner.loadOrRun(defaultDatasetPath());
+}
+
+} // namespace mosaic::exp

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The measurement campaign of Section VI: run every workload on every
+ * platform under the 54 exploration layouts plus the all-1GB reference.
+ *
+ * Traces are generated once per workload (they are layout-independent)
+ * and replayed under each (platform, layout); pairs are distributed
+ * over a small thread pool. A CSV cache makes the campaign a
+ * run-once-per-checkout cost.
+ */
+
+#ifndef MOSAIC_EXPERIMENTS_CAMPAIGN_HH
+#define MOSAIC_EXPERIMENTS_CAMPAIGN_HH
+
+#include <string>
+#include <vector>
+
+#include "cpu/platform.hh"
+#include "experiments/dataset.hh"
+#include "layouts/heuristics.hh"
+#include "workloads/registry.hh"
+
+namespace mosaic::exp
+{
+
+/** What to run. */
+struct CampaignConfig
+{
+    /** Paper labels of the workloads to run (empty = all 19). */
+    std::vector<std::string> workloads;
+
+    /** Platforms to run on (empty = the paper's three). */
+    std::vector<cpu::PlatformSpec> platforms;
+
+    /** Worker threads. */
+    unsigned threads = 2;
+
+    /** Also run the all-1GB layout (case study / sensitivity test). */
+    bool include1g = true;
+
+    /** Print progress lines to stderr. */
+    bool verbose = true;
+
+    std::uint64_t seed = 0x9a4d;
+};
+
+/**
+ * Runs campaigns and serves cached results.
+ */
+class CampaignRunner
+{
+  public:
+    explicit CampaignRunner(CampaignConfig config = CampaignConfig());
+
+    /** Run everything (no cache). */
+    Dataset run();
+
+    /**
+     * Load @p cache_path if it exists and covers the configured
+     * (platform, workload) grid; otherwise run and save.
+     */
+    Dataset loadOrRun(const std::string &cache_path);
+
+    /**
+     * Run one (workload, platform) pair: generate the trace, build the
+     * 54+1 layouts, simulate each, and append records to @p dataset.
+     */
+    static void runPair(const workloads::Workload &workload,
+                        const cpu::PlatformSpec &platform,
+                        const CampaignConfig &config, Dataset &dataset);
+
+    const CampaignConfig &config() const { return config_; }
+
+  private:
+    CampaignConfig config_;
+};
+
+/** Default cache location used by all bench binaries and examples. */
+std::string defaultDatasetPath();
+
+/**
+ * Convenience used by every bench binary: full-grid campaign, cached
+ * at defaultDatasetPath().
+ */
+Dataset loadOrRunDefaultCampaign();
+
+} // namespace mosaic::exp
+
+#endif // MOSAIC_EXPERIMENTS_CAMPAIGN_HH

@@ -1,0 +1,196 @@
+#include "experiments/dataset.hh"
+
+#include <algorithm>
+#include <fstream>
+
+#include "support/logging.hh"
+#include "support/str.hh"
+
+namespace mosaic::exp
+{
+
+models::Sample
+toSample(const RunRecord &record)
+{
+    models::Sample sample;
+    sample.layoutName = record.layout;
+    sample.r = static_cast<double>(record.result.runtimeCycles);
+    sample.h = static_cast<double>(record.result.tlbHitsL2);
+    sample.m = static_cast<double>(record.result.tlbMisses);
+    sample.c = static_cast<double>(record.result.walkCycles);
+    return sample;
+}
+
+void
+Dataset::add(RunRecord record)
+{
+    runs_[{record.platform, record.workload}].push_back(std::move(record));
+}
+
+const std::vector<RunRecord> &
+Dataset::runs(const std::string &platform,
+              const std::string &workload) const
+{
+    auto it = runs_.find({platform, workload});
+    mosaic_assert(it != runs_.end(), "no runs for ", platform, "/",
+                  workload);
+    return it->second;
+}
+
+bool
+Dataset::has(const std::string &platform,
+             const std::string &workload) const
+{
+    return runs_.count({platform, workload}) != 0;
+}
+
+std::vector<std::string>
+Dataset::platforms() const
+{
+    std::vector<std::string> out;
+    for (const auto &[key, value] : runs_) {
+        if (out.empty() || out.back() != key.first) {
+            if (std::find(out.begin(), out.end(), key.first) == out.end())
+                out.push_back(key.first);
+        }
+    }
+    return out;
+}
+
+std::vector<std::string>
+Dataset::workloads() const
+{
+    std::vector<std::string> out;
+    for (const auto &[key, value] : runs_) {
+        if (std::find(out.begin(), out.end(), key.second) == out.end())
+            out.push_back(key.second);
+    }
+    return out;
+}
+
+std::size_t
+Dataset::totalRuns() const
+{
+    std::size_t total = 0;
+    for (const auto &[key, value] : runs_)
+        total += value.size();
+    return total;
+}
+
+models::SampleSet
+Dataset::sampleSet(const std::string &platform,
+                   const std::string &workload) const
+{
+    models::SampleSet set;
+    bool got4k = false, got2m = false, got1g = false;
+    for (const auto &record : runs(platform, workload)) {
+        models::Sample sample = toSample(record);
+        if (record.layout == layoutAll1g) {
+            set.all1g = sample;
+            got1g = true;
+            continue; // The 1GB point is held out (case-study test set).
+        }
+        set.samples.push_back(sample);
+        if (record.layout == layoutAll4k) {
+            set.all4k = sample;
+            got4k = true;
+        } else if (record.layout == layoutAll2m) {
+            set.all2m = sample;
+            got2m = true;
+        }
+    }
+    mosaic_assert(got4k && got2m, "missing uniform reference layouts for ",
+                  platform, "/", workload);
+    if (!got1g)
+        set.all1g = set.all2m; // Tolerate campaigns without a 1GB run.
+    return set;
+}
+
+const RunRecord &
+Dataset::findRun(const std::string &platform, const std::string &workload,
+                 const std::string &layout) const
+{
+    for (const auto &record : runs(platform, workload)) {
+        if (record.layout == layout)
+            return record;
+    }
+    mosaic_fatal("no run with layout ", layout, " for ", platform, "/",
+                 workload);
+}
+
+namespace
+{
+
+constexpr const char *csvHeader =
+    "platform,workload,layout,runtime,h,m,c,instructions,refs,l1tlbhits,"
+    "queue,progL1,progL2,progL3,progDram,walkL1,walkL2,walkL3,walkDram";
+
+} // namespace
+
+void
+Dataset::save(const std::string &path) const
+{
+    std::ofstream file(path);
+    mosaic_assert(file.good(), "cannot open ", path, " for writing");
+    file << csvHeader << "\n";
+    for (const auto &[key, records] : runs_) {
+        for (const auto &record : records) {
+            const auto &r = record.result;
+            file << record.platform << ',' << record.workload << ','
+                 << record.layout << ',' << r.runtimeCycles << ','
+                 << r.tlbHitsL2 << ',' << r.tlbMisses << ','
+                 << r.walkCycles << ',' << r.instructions << ','
+                 << r.memoryRefs << ',' << r.l1TlbHits << ','
+                 << r.walkerQueueCycles << ',' << r.progL1dLoads << ','
+                 << r.progL2Loads << ',' << r.progL3Loads << ','
+                 << r.progDramLoads << ',' << r.walkL1dLoads << ','
+                 << r.walkL2Loads << ',' << r.walkL3Loads << ','
+                 << r.walkDramLoads << "\n";
+        }
+    }
+}
+
+Dataset
+Dataset::load(const std::string &path)
+{
+    std::ifstream file(path);
+    mosaic_assert(file.good(), "cannot open ", path);
+    std::string line;
+    std::getline(file, line);
+    mosaic_assert(trimString(line) == csvHeader,
+                  "unexpected dataset header in ", path);
+
+    Dataset dataset;
+    while (std::getline(file, line)) {
+        if (trimString(line).empty())
+            continue;
+        auto fields = splitString(line, ',');
+        mosaic_assert(fields.size() == 19, "bad dataset row: ", line);
+        RunRecord record;
+        record.platform = fields[0];
+        record.workload = fields[1];
+        record.layout = fields[2];
+        auto &r = record.result;
+        std::size_t i = 3;
+        r.runtimeCycles = std::stoull(fields[i++]);
+        r.tlbHitsL2 = std::stoull(fields[i++]);
+        r.tlbMisses = std::stoull(fields[i++]);
+        r.walkCycles = std::stoull(fields[i++]);
+        r.instructions = std::stoull(fields[i++]);
+        r.memoryRefs = std::stoull(fields[i++]);
+        r.l1TlbHits = std::stoull(fields[i++]);
+        r.walkerQueueCycles = std::stoull(fields[i++]);
+        r.progL1dLoads = std::stoull(fields[i++]);
+        r.progL2Loads = std::stoull(fields[i++]);
+        r.progL3Loads = std::stoull(fields[i++]);
+        r.progDramLoads = std::stoull(fields[i++]);
+        r.walkL1dLoads = std::stoull(fields[i++]);
+        r.walkL2Loads = std::stoull(fields[i++]);
+        r.walkL3Loads = std::stoull(fields[i++]);
+        r.walkDramLoads = std::stoull(fields[i++]);
+        dataset.add(std::move(record));
+    }
+    return dataset;
+}
+
+} // namespace mosaic::exp

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Campaign datasets: every simulated run of every (platform, workload,
+ * layout) triple, with CSV persistence so the expensive simulation
+ * campaign runs once and every bench/example loads the cached samples.
+ */
+
+#ifndef MOSAIC_EXPERIMENTS_DATASET_HH
+#define MOSAIC_EXPERIMENTS_DATASET_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "models/sample.hh"
+
+namespace mosaic::exp
+{
+
+/** One simulated execution, fully identified. */
+struct RunRecord
+{
+    std::string platform;
+    std::string workload; ///< paper label, e.g. "spec06/mcf"
+    std::string layout;   ///< e.g. "grow-3", "slide-40%-2", "all-1GB"
+    cpu::RunResult result;
+};
+
+/** Uniform reference layout names. */
+inline const std::string layoutAll4k = "grow-0";  ///< empty window
+inline const std::string layoutAll2m = "grow-8";  ///< full window
+inline const std::string layoutAll1g = "all-1GB";
+
+/**
+ * All runs of a campaign, keyed by (platform, workload).
+ */
+class Dataset
+{
+  public:
+    void add(RunRecord record);
+
+    /** Runs of one (platform, workload) pair, in insertion order. */
+    const std::vector<RunRecord> &runs(const std::string &platform,
+                                       const std::string &workload) const;
+
+    bool has(const std::string &platform,
+             const std::string &workload) const;
+
+    std::vector<std::string> platforms() const;
+    std::vector<std::string> workloads() const;
+    std::size_t totalRuns() const;
+
+    /**
+     * Convert one pair's runs into the model-facing SampleSet: the 54
+     * campaign layouts as samples, the uniform layouts as references.
+     */
+    models::SampleSet sampleSet(const std::string &platform,
+                                const std::string &workload) const;
+
+    /** Find one run by layout name; fatal if absent. */
+    const RunRecord &findRun(const std::string &platform,
+                             const std::string &workload,
+                             const std::string &layout) const;
+
+    /** Persist to CSV. */
+    void save(const std::string &path) const;
+
+    /** Load a previously saved dataset. */
+    static Dataset load(const std::string &path);
+
+  private:
+    using Key = std::pair<std::string, std::string>;
+    std::map<Key, std::vector<RunRecord>> runs_;
+};
+
+/** Convert one run into a model-facing sample. */
+models::Sample toSample(const RunRecord &record);
+
+} // namespace mosaic::exp
+
+#endif // MOSAIC_EXPERIMENTS_DATASET_HH

@@ -1,0 +1,139 @@
+#include "experiments/plot_export.hh"
+
+#include <fstream>
+
+#include "support/logging.hh"
+#include "support/str.hh"
+
+namespace mosaic::exp
+{
+
+namespace
+{
+
+std::ofstream
+openOut(const std::string &path)
+{
+    std::ofstream file(path);
+    mosaic_assert(file.good(), "cannot open ", path, " for writing");
+    return file;
+}
+
+/** Make a label safe for gnuplot titles. */
+std::string
+escapeUnderscores(const std::string &text)
+{
+    std::string out;
+    for (char c : text) {
+        if (c == '_')
+            out += "\\\\_";
+        else
+            out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<std::string>
+exportCurve(const Dataset &dataset, const std::string &platform,
+            const std::string &workload,
+            const std::vector<std::string> &model_names,
+            const std::string &stem)
+{
+    auto curve = computeCurve(dataset, platform, workload, model_names);
+
+    std::string dat_path = stem + ".dat";
+    auto dat = openOut(dat_path);
+    dat << "# " << workload << " on " << platform << "\n";
+    dat << "# walk_cycles measured_runtime";
+    for (const auto &name : model_names)
+        dat << " " << name;
+    dat << "\n";
+    for (const auto &point : curve) {
+        dat << point.c << " " << point.measured;
+        for (const auto &name : model_names)
+            dat << " " << point.predicted.at(name);
+        dat << "\n";
+    }
+
+    std::string gp_path = stem + ".gp";
+    auto gp = openOut(gp_path);
+    gp << "set terminal pngcairo size 900,600\n";
+    gp << "set output '" << stem << ".png'\n";
+    gp << "set xlabel 'page walk cycles'\n";
+    gp << "set ylabel 'runtime cycles'\n";
+    gp << "set key left top\n";
+    gp << "set title '" << escapeUnderscores(workload) << " on "
+       << platform << "'\n";
+    gp << "plot '" << dat_path
+       << "' using 1:2 with points pt 7 title 'measured'";
+    for (std::size_t i = 0; i < model_names.size(); ++i) {
+        gp << ", \\\n     '" << dat_path << "' using 1:"
+           << (3 + i) << " with lines title '"
+           << escapeUnderscores(model_names[i]) << "'";
+    }
+    gp << "\n";
+    return {dat_path, gp_path};
+}
+
+std::vector<std::string>
+exportOverallErrors(const Dataset &dataset, const std::string &stem)
+{
+    auto overall = computeOverallMaxErrors(dataset);
+
+    std::string dat_path = stem + ".dat";
+    auto dat = openOut(dat_path);
+    dat << "# model max_error_percent\n";
+    for (const auto &name : paperModelOrder())
+        dat << name << " " << overall.at(name) * 100.0 << "\n";
+
+    std::string gp_path = stem + ".gp";
+    auto gp = openOut(gp_path);
+    gp << "set terminal pngcairo size 900,500\n";
+    gp << "set output '" << stem << ".png'\n";
+    gp << "set style data histogram\n";
+    gp << "set style fill solid 0.8\n";
+    gp << "set logscale y\n";
+    gp << "set ylabel 'maximal error [%]'\n";
+    gp << "plot '" << dat_path
+       << "' using 2:xtic(1) title 'max error across all workloads "
+          "and platforms'\n";
+    return {dat_path, gp_path};
+}
+
+std::vector<std::string>
+exportErrorGrid(const Dataset &dataset, ErrorKind kind,
+                const std::string &stem)
+{
+    auto rows = computeErrorGrid(dataset, kind);
+    auto order = paperModelOrder();
+
+    std::vector<std::string> written;
+    for (const auto &platform : dataset.platforms()) {
+        std::string dat_path = stem + "_" + platform + ".dat";
+        auto dat = openOut(dat_path);
+        dat << "# workload";
+        for (const auto &name : order)
+            dat << " " << name;
+        dat << "\n";
+        for (const auto &row : rows) {
+            if (row.platform != platform || !row.tlbSensitive)
+                continue;
+            // Whitespace-separated: flatten the label.
+            std::string label = row.workload;
+            for (char &c : label) {
+                if (c == ' ')
+                    c = '_';
+            }
+            dat << label;
+            for (const auto &name : order)
+                dat << " " << row.errors.at(name) * 100.0;
+            dat << "\n";
+        }
+        written.push_back(dat_path);
+    }
+    return written;
+}
+
+} // namespace mosaic::exp

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure export: gnuplot-ready data and scripts for the paper's plots.
+ *
+ * Each figure becomes a .dat file (whitespace-separated columns with a
+ * commented header) plus a .gp script that renders it to PNG, so the
+ * repository's results can be visualized without any Python tooling.
+ */
+
+#ifndef MOSAIC_EXPERIMENTS_PLOT_EXPORT_HH
+#define MOSAIC_EXPERIMENTS_PLOT_EXPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "experiments/dataset.hh"
+#include "experiments/report.hh"
+
+namespace mosaic::exp
+{
+
+/**
+ * Export one runtime-vs-walk-cycles curve (Figures 3, 7-11 style).
+ *
+ * Writes <stem>.dat with columns: C, measured R, one column per model
+ * prediction; and <stem>.gp plotting them.
+ *
+ * @return paths of the files written.
+ */
+std::vector<std::string> exportCurve(
+    const Dataset &dataset, const std::string &platform,
+    const std::string &workload,
+    const std::vector<std::string> &model_names,
+    const std::string &stem);
+
+/**
+ * Export the Figure 2 bars: per-model maximal error across the grid.
+ */
+std::vector<std::string> exportOverallErrors(const Dataset &dataset,
+                                             const std::string &stem);
+
+/**
+ * Export the Figure 5/6 grids as one .dat per platform (rows =
+ * workloads, columns = models).
+ */
+std::vector<std::string> exportErrorGrid(const Dataset &dataset,
+                                         ErrorKind kind,
+                                         const std::string &stem);
+
+} // namespace mosaic::exp
+
+#endif // MOSAIC_EXPERIMENTS_PLOT_EXPORT_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Evaluation pipelines: everything the paper's figures and tables
+ * report, computed from a campaign dataset.
+ */
+
+#ifndef MOSAIC_EXPERIMENTS_REPORT_HH
+#define MOSAIC_EXPERIMENTS_REPORT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "experiments/dataset.hh"
+#include "models/evaluation.hh"
+#include "support/str.hh"
+
+namespace mosaic::exp
+{
+
+/** Names of the nine models, in the paper's legend order. */
+std::vector<std::string> paperModelOrder();
+
+/** Error metric selector. */
+enum class ErrorKind
+{
+    Max,     ///< Figure 5 / Equation (1)
+    GeoMean, ///< Figure 6 / Equation (2)
+};
+
+/** One (platform, workload) row of the Figure 5/6 grids. */
+struct GridRow
+{
+    std::string platform;
+    std::string workload;
+    bool tlbSensitive = true;
+
+    /** Error per model, keyed by model name. */
+    std::map<std::string, double> errors;
+};
+
+/**
+ * Figures 5 and 6: fit all nine models on every TLB-sensitive
+ * (platform, workload) pair and compute the requested error metric.
+ * Insensitive pairs appear with tlbSensitive = false and no errors
+ * (the paper drops gapbs/bfs-road on Broadwell this way).
+ */
+std::vector<GridRow> computeErrorGrid(const Dataset &dataset,
+                                      ErrorKind kind);
+
+/**
+ * Figure 2: the maximal error of every model across all platforms and
+ * TLB-sensitive workloads.
+ */
+std::map<std::string, double> computeOverallMaxErrors(
+    const Dataset &dataset);
+
+/** A point on a runtime-vs-walk-cycles curve (Figures 3, 7-11). */
+struct CurvePoint
+{
+    std::string layout;
+    double c = 0.0;
+    double m = 0.0;
+    double h = 0.0;
+    double measured = 0.0;
+    std::map<std::string, double> predicted;
+};
+
+/**
+ * Figures 3 and 7-11: measured samples (sorted by C) with per-model
+ * predictions attached. Models named in @p model_names are fitted on
+ * the pair's sample set.
+ */
+std::vector<CurvePoint> computeCurve(
+    const Dataset &dataset, const std::string &platform,
+    const std::string &workload,
+    const std::vector<std::string> &model_names);
+
+/** Table 6: maximal K-fold cross-validation error per new model. */
+std::map<std::string, double> computeCrossValidation(
+    const Dataset &dataset, std::size_t k = 6);
+
+/** Table 8 row: R^2 of C, M, H for one (platform, workload). */
+struct R2Row
+{
+    std::string platform;
+    std::string workload;
+    double r2c = 0.0;
+    double r2m = 0.0;
+    double r2h = 0.0;
+};
+
+/** Table 8: single-input R^2 grid. */
+std::vector<R2Row> computeR2Grid(const Dataset &dataset);
+
+/** Section VII-D: predict the all-1GB layout from 4KB+2MB mosaics. */
+struct CaseStudyRow
+{
+    std::string platform;
+    std::string workload;
+    double measured1g = 0.0;
+
+    /** Relative error per model at the 1GB point. */
+    std::map<std::string, double> errors;
+};
+
+std::vector<CaseStudyRow> computeCaseStudy1g(
+    const Dataset &dataset, const std::vector<std::string> &model_names);
+
+/** Construct a model by its paper name; fatal if unknown. */
+models::ModelPtr makeModelByName(const std::string &name);
+
+} // namespace mosaic::exp
+
+#endif // MOSAIC_EXPERIMENTS_REPORT_HH

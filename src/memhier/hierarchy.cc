@@ -1,0 +1,57 @@
+#include "memhier/hierarchy.hh"
+
+namespace mosaic::mem
+{
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &config)
+    : config_(config),
+      l1_(config.l1),
+      l2_(config.l2),
+      l3_(config.l3),
+      prefetcher_(config.prefetcher,
+                  floorLog2(config.l2.lineSize))
+{
+}
+
+AccessResult
+MemoryHierarchy::access(PhysAddr addr, Requester requester)
+{
+    const auto &lat = config_.latencies;
+    if (l1_.access(addr, requester))
+        return {lat.l1, ServedBy::L1};
+
+    // L1 misses train the L2 streamer (program traffic only, as on
+    // the real parts); prefetch fills land in L2 and L3 for free.
+    if (config_.prefetcher.enabled && requester == Requester::Program) {
+        for (PhysAddr fill : prefetcher_.observe(addr)) {
+            if (!l2_.probe(fill)) {
+                l2_.access(fill, Requester::Prefetcher);
+                l3_.access(fill, Requester::Prefetcher);
+            }
+        }
+    }
+
+    if (l2_.access(addr, requester))
+        return {lat.l2, ServedBy::L2};
+    if (l3_.access(addr, requester))
+        return {lat.l3, ServedBy::L3};
+    return {lat.dram, ServedBy::Dram};
+}
+
+void
+MemoryHierarchy::flush()
+{
+    l1_.flush();
+    l2_.flush();
+    l3_.flush();
+}
+
+void
+MemoryHierarchy::clearStats()
+{
+    l1_.clearStats();
+    l2_.clearStats();
+    l3_.clearStats();
+}
+
+} // namespace mosaic::mem

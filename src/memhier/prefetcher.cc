@@ -1,0 +1,89 @@
+#include "memhier/prefetcher.hh"
+
+#include <cstdlib>
+
+#include "support/logging.hh"
+
+namespace mosaic::mem
+{
+
+StreamPrefetcher::StreamPrefetcher(const PrefetcherConfig &config,
+                                   unsigned line_shift)
+    : config_(config), lineShift_(line_shift)
+{
+    mosaic_assert(config.streams >= 1, "need at least one stream");
+    streams_.resize(config.streams);
+}
+
+std::vector<PhysAddr>
+StreamPrefetcher::observe(PhysAddr addr)
+{
+    std::vector<PhysAddr> fills;
+    if (!config_.enabled)
+        return fills;
+
+    ++clock_;
+    ++stats_.trainings;
+    std::uint64_t line = addr >> lineShift_;
+
+    // Find a stream this access continues: within 4 lines of its last
+    // position (streams tolerate small jumps, as real streamers do).
+    Stream *match = nullptr;
+    Stream *victim = &streams_[0];
+    for (auto &stream : streams_) {
+        if (stream.valid) {
+            std::int64_t delta = static_cast<std::int64_t>(line) -
+                                 static_cast<std::int64_t>(
+                                     stream.lastLine);
+            if (delta != 0 && std::llabs(delta) <= 4) {
+                match = &stream;
+                int direction = delta > 0 ? 1 : -1;
+                if (direction == stream.direction) {
+                    ++stream.confidence;
+                } else {
+                    stream.direction = direction;
+                    stream.confidence = 1;
+                }
+                break;
+            }
+            if (delta == 0) {
+                match = &stream; // Same line: refresh, no retrain.
+                break;
+            }
+        }
+        if (!stream.valid)
+            victim = &stream;
+        else if (victim->valid && stream.lastUse < victim->lastUse)
+            victim = &stream;
+    }
+
+    if (match == nullptr) {
+        // Allocate a fresh (or LRU) stream entry.
+        ++stats_.allocated;
+        victim->valid = true;
+        victim->lastLine = line;
+        victim->direction = 0;
+        victim->confidence = 0;
+        victim->lastUse = clock_;
+        return fills;
+    }
+
+    match->lastLine = line;
+    match->lastUse = clock_;
+    if (match->confidence >= config_.trainThreshold &&
+        match->direction != 0) {
+        for (unsigned i = 1; i <= config_.degree; ++i) {
+            std::int64_t target =
+                static_cast<std::int64_t>(line) +
+                match->direction * static_cast<std::int64_t>(i);
+            if (target < 0)
+                break;
+            fills.push_back(static_cast<PhysAddr>(target)
+                            << lineShift_);
+            ++stats_.issued;
+        }
+    }
+    return fills;
+}
+
+} // namespace mosaic::mem

@@ -1,0 +1,108 @@
+#include "models/evaluation.hh"
+
+#include <algorithm>
+
+#include "stats/kfold.hh"
+#include "stats/matrix.hh"
+#include "stats/metrics.hh"
+#include "support/logging.hh"
+
+namespace mosaic::models
+{
+
+ModelErrors
+evaluateModel(RuntimeModel &model, const SampleSet &data)
+{
+    model.fit(data);
+
+    stats::Vector measured;
+    measured.reserve(data.samples.size());
+    for (const auto &sample : data.samples)
+        measured.push_back(sample.r);
+    stats::Vector predicted = model.predictAll(data.samples);
+
+    ModelErrors errors;
+    errors.model = model.name();
+    errors.maxError = stats::maxAbsRelError(measured, predicted);
+    errors.geoMeanError = stats::geoMeanAbsRelError(measured, predicted);
+    return errors;
+}
+
+double
+crossValidateMaxError(const std::function<ModelPtr()> &make_model,
+                      const SampleSet &data, std::size_t k,
+                      std::uint64_t seed)
+{
+    const auto &samples = data.samples;
+    auto splits = stats::makeKFoldSplits(samples.size(), k, seed);
+
+    // Pin the extreme-C samples (the uniform endpoints) to training.
+    std::size_t min_index = 0, max_index = 0;
+    for (std::size_t i = 1; i < samples.size(); ++i) {
+        if (samples[i].c < samples[min_index].c)
+            min_index = i;
+        if (samples[i].c > samples[max_index].c)
+            max_index = i;
+    }
+
+    double worst = 0.0;
+    for (const auto &split : splits) {
+        SampleSet train;
+        train.all4k = data.all4k;
+        train.all2m = data.all2m;
+        train.all1g = data.all1g;
+        for (auto index : split.trainIndices)
+            train.samples.push_back(samples[index]);
+        for (auto index : split.testIndices) {
+            if (index == min_index || index == max_index)
+                train.samples.push_back(samples[index]);
+        }
+
+        ModelPtr model = make_model();
+        model->fit(train);
+
+        for (auto index : split.testIndices) {
+            if (index == min_index || index == max_index)
+                continue;
+            double err = stats::absoluteRelativeError(
+                samples[index].r, model->predict(samples[index]));
+            worst = std::max(worst, err);
+        }
+    }
+    return worst;
+}
+
+double
+singleInputR2(const SampleSet &data, char input)
+{
+    const auto &samples = data.samples;
+    mosaic_assert(samples.size() >= 3, "too few samples for R^2");
+
+    stats::Matrix design(samples.size(), 2);
+    stats::Vector target(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        double x = 0.0;
+        switch (input) {
+          case 'H':
+            x = samples[i].h;
+            break;
+          case 'M':
+            x = samples[i].m;
+            break;
+          case 'C':
+            x = samples[i].c;
+            break;
+          default:
+            mosaic_fatal("bad input selector '", input, "'");
+        }
+        design(i, 0) = 1.0;
+        design(i, 1) = x * 1e-9; // scale for conditioning
+        target[i] = samples[i].r;
+    }
+    stats::Vector coefficients = stats::solveLeastSquares(design, target);
+    stats::Vector predicted = design.multiply(coefficients);
+    double r2 = stats::rSquared(target, predicted);
+    return std::max(0.0, r2);
+}
+
+} // namespace mosaic::models

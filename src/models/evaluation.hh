@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Model evaluation: the paper's error metrics (Equations 1-2) and the
+ * K-fold cross-validation procedure of Section VI-C.
+ */
+
+#ifndef MOSAIC_MODELS_EVALUATION_HH
+#define MOSAIC_MODELS_EVALUATION_HH
+
+#include <functional>
+#include <string>
+
+#include "models/runtime_model.hh"
+#include "models/sample.hh"
+
+namespace mosaic::models
+{
+
+/** Errors of one fitted model over one sample set. */
+struct ModelErrors
+{
+    std::string model;
+    double maxError = 0.0;     ///< Equation (1)
+    double geoMeanError = 0.0; ///< Equation (2)
+};
+
+/** Fit @p model on @p data and evaluate it on data.samples. */
+ModelErrors evaluateModel(RuntimeModel &model, const SampleSet &data);
+
+/**
+ * K-fold cross validation of a model family.
+ *
+ * The samples with the smallest and largest walk-cycle counts (the
+ * all-4KB / all-2MB endpoints in practice) are pinned into every
+ * training fold: they are always measured in a real campaign — the
+ * fixed models are *defined* by them — so holding them out would test
+ * extrapolation no user ever performs.
+ *
+ * @param make_model constructs a fresh model for each fold
+ * @param data the full sample set
+ * @param k number of folds
+ * @param seed shuffling seed
+ * @return maximal error across all test folds (the Table 6 metric)
+ */
+double crossValidateMaxError(
+    const std::function<ModelPtr()> &make_model, const SampleSet &data,
+    std::size_t k = 6, std::uint64_t seed = 42);
+
+/**
+ * R^2 of a single-input first-order regression of R on one metric
+ * (Table 8). @p input selects 'H', 'M', or 'C'.
+ */
+double singleInputR2(const SampleSet &data, char input);
+
+} // namespace mosaic::models
+
+#endif // MOSAIC_MODELS_EVALUATION_HH

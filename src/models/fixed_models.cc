@@ -1,0 +1,109 @@
+#include "models/fixed_models.hh"
+
+#include "support/logging.hh"
+#include "support/str.hh"
+
+namespace mosaic::models
+{
+
+std::string
+FixedLinearModel::describe() const
+{
+    return "R = " + formatDouble(alpha(), 6) + " * " + variableName() +
+           " + " + formatDouble(beta(), 1);
+}
+
+void
+BasuModel::fit(const SampleSet &data)
+{
+    const Sample &p4k = data.all4k;
+    mosaic_assert(p4k.m > 0, "Basu model needs M4K > 0");
+    // alpha: average walk latency; beta: runtime with walks removed.
+    setCoefficients(p4k.c / p4k.m, p4k.r - p4k.c);
+}
+
+double
+BasuModel::predict(const Sample &point) const
+{
+    mosaic_assert(fitted(), "predict before fit");
+    return alpha() * point.m + beta();
+}
+
+void
+GandhiModel::fit(const SampleSet &data)
+{
+    const Sample &p4k = data.all4k;
+    const Sample &p2m = data.all2m;
+    mosaic_assert(p4k.m > 0, "Gandhi model needs M4K > 0");
+    // Basu's slope, but the ideal runtime comes from the 2MB run,
+    // hoping to dodge the overlapped-stall inaccuracy (Section III).
+    setCoefficients(p4k.c / p4k.m, p2m.r - p2m.c);
+}
+
+double
+GandhiModel::predict(const Sample &point) const
+{
+    mosaic_assert(fitted(), "predict before fit");
+    return alpha() * point.m + beta();
+}
+
+void
+PhamModel::fit(const SampleSet &data)
+{
+    const Sample &p4k = data.all4k;
+    // beta is the "virtual memory is free" runtime.
+    setCoefficients(1.0, p4k.r - p4k.c - l2HitCost * p4k.h);
+}
+
+double
+PhamModel::predict(const Sample &point) const
+{
+    mosaic_assert(fitted(), "predict before fit");
+    return l2HitCost * point.h + point.c + beta();
+}
+
+void
+AlamModel::fit(const SampleSet &data)
+{
+    const Sample &p2m = data.all2m;
+    setCoefficients(1.0, p2m.r - p2m.c);
+}
+
+double
+AlamModel::predict(const Sample &point) const
+{
+    mosaic_assert(fitted(), "predict before fit");
+    return point.c + beta();
+}
+
+void
+YanivModel::fit(const SampleSet &data)
+{
+    const Sample &p4k = data.all4k;
+    const Sample &p2m = data.all2m;
+    mosaic_assert(p4k.c != p2m.c,
+                  "Yaniv model needs distinct C4K and C2M");
+    double slope = (p4k.r - p2m.r) / (p4k.c - p2m.c);
+    setCoefficients(slope, p2m.r - slope * p2m.c);
+}
+
+double
+YanivModel::predict(const Sample &point) const
+{
+    mosaic_assert(fitted(), "predict before fit");
+    return alpha() * point.c + beta();
+}
+
+std::vector<ModelPtr>
+makeFixedModels()
+{
+    std::vector<ModelPtr> models;
+    models.push_back(std::make_unique<PhamModel>());
+    models.push_back(std::make_unique<AlamModel>());
+    models.push_back(std::make_unique<GandhiModel>());
+    models.push_back(std::make_unique<BasuModel>());
+    models.push_back(std::make_unique<YanivModel>());
+    return models;
+}
+
+} // namespace mosaic::models

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The five preexisting linear runtime models (Section III).
+ *
+ * All are fully determined by one or two uniform-layout measurements
+ * (the all-4KB and all-2MB points) collected via the PMU — no
+ * regression involved:
+ *
+ *  - Basu:   R = (C4K/M4K) * M + (R4K - C4K)
+ *  - Gandhi: R = (C4K/M4K) * M + (R2M - C2M)
+ *  - Pham:   R = 7*H + C + (R4K - C4K - 7*H4K)
+ *  - Alam:   R = C + (R2M - C2M)
+ *  - Yaniv:  R = a*C + b, the line through (C2M,R2M), (C4K,R4K)
+ */
+
+#ifndef MOSAIC_MODELS_FIXED_MODELS_HH
+#define MOSAIC_MODELS_FIXED_MODELS_HH
+
+#include "models/runtime_model.hh"
+
+namespace mosaic::models
+{
+
+/** Common state of the two-coefficient fixed models. */
+class FixedLinearModel : public RuntimeModel
+{
+  public:
+    bool fitted() const override { return fitted_; }
+
+    double alpha() const { return alpha_; }
+    double beta() const { return beta_; }
+
+    std::string describe() const override;
+
+  protected:
+    void
+    setCoefficients(double alpha, double beta)
+    {
+        alpha_ = alpha;
+        beta_ = beta;
+        fitted_ = true;
+    }
+
+    /** Variable name for describe() ("M", "C", "7H+C"). */
+    virtual std::string variableName() const = 0;
+
+  private:
+    double alpha_ = 0.0;
+    double beta_ = 0.0;
+    bool fitted_ = false;
+};
+
+/** Basu et al., "Efficient virtual memory for big memory servers". */
+class BasuModel : public FixedLinearModel
+{
+  public:
+    std::string name() const override { return "basu"; }
+    void fit(const SampleSet &data) override;
+    double predict(const Sample &point) const override;
+
+  protected:
+    std::string variableName() const override { return "M"; }
+};
+
+/** Gandhi et al.: Basu's slope with the 2MB-point intercept. */
+class GandhiModel : public FixedLinearModel
+{
+  public:
+    std::string name() const override { return "gandhi"; }
+    void fit(const SampleSet &data) override;
+    double predict(const Sample &point) const override;
+
+  protected:
+    std::string variableName() const override { return "M"; }
+};
+
+/** Pham et al.: every translation cycle stalls the pipeline. */
+class PhamModel : public FixedLinearModel
+{
+  public:
+    std::string name() const override { return "pham"; }
+    void fit(const SampleSet &data) override;
+    double predict(const Sample &point) const override;
+
+    /** Intel's documented L2-TLB access latency. */
+    static constexpr double l2HitCost = 7.0;
+
+  protected:
+    std::string variableName() const override { return "7H+C"; }
+};
+
+/** Alam et al. (DVMT): R = C + beta; a Yaniv model with slope 1. */
+class AlamModel : public FixedLinearModel
+{
+  public:
+    std::string name() const override { return "alam"; }
+    void fit(const SampleSet &data) override;
+    double predict(const Sample &point) const override;
+
+  protected:
+    std::string variableName() const override { return "C"; }
+};
+
+/** Yaniv & Tsafrir: the line through the 4KB and 2MB points in C. */
+class YanivModel : public FixedLinearModel
+{
+  public:
+    std::string name() const override { return "yaniv"; }
+    void fit(const SampleSet &data) override;
+    double predict(const Sample &point) const override;
+
+  protected:
+    std::string variableName() const override { return "C"; }
+};
+
+/** All five preexisting models, in the paper's reporting order. */
+std::vector<ModelPtr> makeFixedModels();
+
+} // namespace mosaic::models
+
+#endif // MOSAIC_MODELS_FIXED_MODELS_HH

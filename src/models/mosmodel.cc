@@ -1,0 +1,205 @@
+#include "models/mosmodel.hh"
+
+#include <cmath>
+
+#include "models/fixed_models.hh"
+#include "models/regression_models.hh"
+#include "stats/kfold.hh"
+#include "support/logging.hh"
+#include "support/str.hh"
+
+namespace mosaic::models
+{
+
+Mosmodel::Mosmodel(const MosmodelConfig &config)
+    : config_(config), features_(config.inputs.size(), config.degree)
+{
+    mosaic_assert(!config_.inputs.empty(), "need at least one input");
+}
+
+std::string
+Mosmodel::name() const
+{
+    if (config_.inputs.size() == 3)
+        return "mosmodel";
+    std::string suffix(config_.inputs.begin(), config_.inputs.end());
+    return "mosmodel[" + suffix + "]";
+}
+
+stats::Vector
+Mosmodel::inputsOf(const Sample &point) const
+{
+    stats::Vector row;
+    row.reserve(config_.inputs.size());
+    for (char input : config_.inputs) {
+        switch (input) {
+          case 'H':
+            row.push_back(point.h * hScale);
+            break;
+          case 'M':
+            row.push_back(point.m * mScale);
+            break;
+          case 'C':
+            row.push_back(point.c * cScale);
+            break;
+          default:
+            mosaic_fatal("bad Mosmodel input '", input, "'");
+        }
+    }
+    return row;
+}
+
+void
+Mosmodel::fit(const SampleSet &data)
+{
+    const auto &samples = data.samples;
+    mosaic_assert(samples.size() >= 10,
+                  "Mosmodel needs a layout campaign, got ",
+                  samples.size(), " samples");
+
+    const std::size_t num_inputs = config_.inputs.size();
+    stats::Matrix inputs(samples.size(), num_inputs);
+    stats::Vector target(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        auto row = inputsOf(samples[i]);
+        for (std::size_t j = 0; j < num_inputs; ++j)
+            inputs(i, j) = row[j];
+        target[i] = samples[i].r;
+    }
+
+    // Expand to monomials; drop the constant column (the Lasso fitter
+    // carries an explicit intercept).
+    stats::Matrix expanded = features_.expandMatrix(inputs);
+    stats::Matrix design(expanded.rows(), expanded.cols() - 1);
+    for (std::size_t r = 0; r < expanded.rows(); ++r)
+        for (std::size_t c = 1; c < expanded.cols(); ++c)
+            design(r, c - 1) = expanded(r, c);
+
+    stats::LassoConfig lasso = config_.lasso;
+    if (config_.autoLambda && !config_.lambdaGrid.empty() &&
+        samples.size() >= 2 * config_.lambdaFolds) {
+        lasso.lambdaRatio = selectLambda(design, target);
+    }
+    chosenLambdaRatio_ = lasso.lambdaRatio;
+    result_ = stats::fitLasso(design, target, lasso);
+    fitted_ = true;
+}
+
+double
+Mosmodel::selectLambda(const stats::Matrix &design,
+                       const stats::Vector &target) const
+{
+    auto splits = stats::makeKFoldSplits(design.rows(),
+                                         config_.lambdaFolds,
+                                         config_.lambdaSeed);
+
+    // Maximal held-out relative error of one lambda across the folds.
+    auto score = [&](double ratio) {
+        stats::LassoConfig lasso = config_.lasso;
+        lasso.lambdaRatio = ratio;
+        double worst = 0.0;
+        for (const auto &split : splits) {
+            stats::Matrix train_x(split.trainIndices.size(),
+                                  design.cols());
+            stats::Vector train_y(split.trainIndices.size());
+            for (std::size_t i = 0; i < split.trainIndices.size(); ++i) {
+                std::size_t index = split.trainIndices[i];
+                for (std::size_t c = 0; c < design.cols(); ++c)
+                    train_x(i, c) = design(index, c);
+                train_y[i] = target[index];
+            }
+            auto result = stats::fitLasso(train_x, train_y, lasso);
+            for (std::size_t index : split.testIndices) {
+                double predicted = result.predict(design.row(index));
+                worst = std::max(worst,
+                                 std::fabs(target[index] - predicted) /
+                                     std::fabs(target[index]));
+            }
+        }
+        return worst;
+    };
+
+    std::vector<double> scores;
+    scores.reserve(config_.lambdaGrid.size());
+    double best_score = 1e300;
+    for (double ratio : config_.lambdaGrid) {
+        scores.push_back(score(ratio));
+        best_score = std::min(best_score, scores.back());
+    }
+    // Near-ties go to the smaller (more flexible) lambda, which fits
+    // the full sample set better at no generalization cost.
+    for (std::size_t i = 0; i < config_.lambdaGrid.size(); ++i) {
+        if (scores[i] <= best_score * 1.2)
+            return config_.lambdaGrid[i];
+    }
+    return config_.lambdaGrid.front();
+}
+
+double
+Mosmodel::predict(const Sample &point) const
+{
+    mosaic_assert(fitted_, "predict before fit");
+    stats::Vector expanded = features_.expand(inputsOf(point));
+    stats::Vector features(expanded.begin() + 1, expanded.end());
+    return result_.predict(features);
+}
+
+std::size_t
+Mosmodel::numActiveCoefficients() const
+{
+    mosaic_assert(fitted_, "query before fit");
+    std::size_t active = 0;
+    for (double coefficient : result_.coefficients) {
+        if (coefficient != 0.0)
+            ++active;
+    }
+    return active;
+}
+
+std::string
+Mosmodel::describe() const
+{
+    if (!fitted_)
+        return name() + " (unfitted)";
+    std::vector<std::string> names;
+    for (char input : config_.inputs)
+        names.emplace_back(1, input);
+    std::string out = "R = " + formatDouble(result_.intercept, 1);
+    for (std::size_t i = 0; i < result_.coefficients.size(); ++i) {
+        if (result_.coefficients[i] == 0.0)
+            continue;
+        out += " + " + formatDouble(result_.coefficients[i], 4) + "*" +
+               features_.featureName(i + 1, names);
+    }
+    return out;
+}
+
+ModelPtr
+makeMosmodel()
+{
+    return std::make_unique<Mosmodel>();
+}
+
+std::vector<ModelPtr>
+makeAllModels()
+{
+    std::vector<ModelPtr> models = makeFixedModels();
+    models.push_back(makePoly1());
+    models.push_back(makePoly2());
+    models.push_back(makePoly3());
+    models.push_back(makeMosmodel());
+    return models;
+}
+
+std::vector<ModelPtr>
+makeNewModels()
+{
+    std::vector<ModelPtr> models;
+    models.push_back(makePoly1());
+    models.push_back(makePoly2());
+    models.push_back(makePoly3());
+    models.push_back(makeMosmodel());
+    return models;
+}
+
+} // namespace mosaic::models

@@ -1,0 +1,98 @@
+#include "models/regression_models.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+#include "support/str.hh"
+
+namespace mosaic::models
+{
+
+PolyModel::PolyModel(unsigned degree)
+    : degree_(degree)
+{
+    mosaic_assert(degree >= 1 && degree <= 6, "unsupported degree ",
+                  degree);
+}
+
+std::string
+PolyModel::name() const
+{
+    return "poly" + std::to_string(degree_);
+}
+
+void
+PolyModel::fit(const SampleSet &data)
+{
+    const auto &samples = data.samples;
+    mosaic_assert(samples.size() >= degree_ + 1,
+                  "need more samples than coefficients");
+
+    stats::Matrix design(samples.size(), degree_ + 1);
+    stats::Vector target(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        double x = samples[i].c * inputScale;
+        double power = 1.0;
+        for (unsigned j = 0; j <= degree_; ++j) {
+            design(i, j) = power;
+            power *= x;
+        }
+        target[i] = samples[i].r;
+    }
+    coefficients_ = stats::solveLeastSquares(design, target);
+    fitted_ = true;
+}
+
+double
+PolyModel::predict(const Sample &point) const
+{
+    mosaic_assert(fitted_, "predict before fit");
+    double x = point.c * inputScale;
+    double acc = 0.0;
+    double power = 1.0;
+    for (unsigned j = 0; j <= degree_; ++j) {
+        acc += coefficients_[j] * power;
+        power *= x;
+    }
+    return acc;
+}
+
+double
+PolyModel::linearSlope() const
+{
+    mosaic_assert(fitted_, "slope before fit");
+    // Coefficient of C^1 mapped back to raw (cycles) units.
+    return coefficients_[1] * inputScale;
+}
+
+std::string
+PolyModel::describe() const
+{
+    std::string out = "R = " + formatDouble(coefficients_[0], 1);
+    for (unsigned j = 1; j <= degree_; ++j) {
+        out += " + " + formatDouble(coefficients_[j], 4) + "*(C/1e9)";
+        if (j > 1)
+            out += "^" + std::to_string(j);
+    }
+    return out;
+}
+
+ModelPtr
+makePoly1()
+{
+    return std::make_unique<PolyModel>(1);
+}
+
+ModelPtr
+makePoly2()
+{
+    return std::make_unique<PolyModel>(2);
+}
+
+ModelPtr
+makePoly3()
+{
+    return std::make_unique<PolyModel>(3);
+}
+
+} // namespace mosaic::models

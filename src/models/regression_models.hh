@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Regression runtime models (Section VII-A/B): polynomials in the walk
+ * cycles C of degree 1, 2 or 3, fitted by least squares against all
+ * campaign samples.
+ */
+
+#ifndef MOSAIC_MODELS_REGRESSION_MODELS_HH
+#define MOSAIC_MODELS_REGRESSION_MODELS_HH
+
+#include "models/runtime_model.hh"
+#include "stats/poly_features.hh"
+
+namespace mosaic::models
+{
+
+/**
+ * poly<k>: R = sum_j a_j * C^j, j = 0..degree, least-squares fitted.
+ *
+ * poly1 is the "linear regression model" of Section VII-A — strictly
+ * better than the five fixed models because it minimizes the squared
+ * error over all 54 samples rather than interpolating two of them.
+ */
+class PolyModel : public RuntimeModel
+{
+  public:
+    explicit PolyModel(unsigned degree);
+
+    std::string name() const override;
+    void fit(const SampleSet &data) override;
+    double predict(const Sample &point) const override;
+    std::string describe() const override;
+    bool fitted() const override { return fitted_; }
+
+    unsigned degree() const { return degree_; }
+    const stats::Vector &coefficients() const { return coefficients_; }
+
+    /** The fitted slope of the linear term (Figure 9's alpha). */
+    double linearSlope() const;
+
+  private:
+    /** Scale C to units of 1e9 cycles to keep powers well conditioned. */
+    static constexpr double inputScale = 1e-9;
+
+    unsigned degree_;
+    stats::Vector coefficients_; ///< degree+1 entries, constant first
+    bool fitted_ = false;
+};
+
+/** Convenience factories matching the paper's labels. */
+ModelPtr makePoly1();
+ModelPtr makePoly2();
+ModelPtr makePoly3();
+
+} // namespace mosaic::models
+
+#endif // MOSAIC_MODELS_REGRESSION_MODELS_HH

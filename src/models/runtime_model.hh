@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The runtime-model interface (Figure 1 of the paper): predict the
+ * runtime R of a workload on a processor from the virtual-memory
+ * metrics (H, M, C) a partial simulation outputs.
+ */
+
+#ifndef MOSAIC_MODELS_RUNTIME_MODEL_HH
+#define MOSAIC_MODELS_RUNTIME_MODEL_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/sample.hh"
+#include "stats/matrix.hh"
+
+namespace mosaic::models
+{
+
+/**
+ * A workload+processor-specific runtime predictor.
+ */
+class RuntimeModel
+{
+  public:
+    virtual ~RuntimeModel() = default;
+
+    /** Model name as used in the paper's figures ("basu", "poly2"...). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Fit the model.
+     *
+     * Fixed-point models (Section III) use only the uniform reference
+     * points in @p data; regression models (Section VII) use all of
+     * data.samples.
+     */
+    virtual void fit(const SampleSet &data) = 0;
+
+    /** Predict runtime from the virtual-memory metrics of @p point. */
+    virtual double predict(const Sample &point) const = 0;
+
+    /** Human-readable fitted form (for reports). */
+    virtual std::string describe() const = 0;
+
+    /** @return true once fit() has completed. */
+    virtual bool fitted() const = 0;
+
+    /** Predictions for every sample in @p samples. */
+    stats::Vector
+    predictAll(const std::vector<Sample> &samples) const
+    {
+        stats::Vector out;
+        out.reserve(samples.size());
+        for (const auto &sample : samples)
+            out.push_back(predict(sample));
+        return out;
+    }
+};
+
+using ModelPtr = std::unique_ptr<RuntimeModel>;
+
+} // namespace mosaic::models
+
+#endif // MOSAIC_MODELS_RUNTIME_MODEL_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Execution samples: the (R, H, M, C) quadruples runtime models are
+ * fitted against and validated with (Table 2 of the paper).
+ */
+
+#ifndef MOSAIC_MODELS_SAMPLE_HH
+#define MOSAIC_MODELS_SAMPLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace mosaic::models
+{
+
+/** One measured execution point. */
+struct Sample
+{
+    /** Layout provenance (e.g. "grow-3", "all-4KB"). */
+    std::string layoutName;
+
+    double r = 0.0; ///< runtime cycles
+    double h = 0.0; ///< L2-TLB hits
+    double m = 0.0; ///< TLB misses (both levels)
+    double c = 0.0; ///< aggregate page-walk cycles
+};
+
+/** A workload's measured dataset on one platform. */
+struct SampleSet
+{
+    std::vector<Sample> samples;
+
+    /** Reference points: the uniform layouts. */
+    Sample all4k;
+    Sample all2m;
+    Sample all1g;
+
+    bool
+    tlbSensitive(double threshold = 0.05) const
+    {
+        // The paper's criterion: performance varies by at least 5%
+        // when backed with 1GB pages.
+        return all4k.r > 0 && (all4k.r - all1g.r) / all4k.r >= threshold;
+    }
+};
+
+} // namespace mosaic::models
+
+#endif // MOSAIC_MODELS_SAMPLE_HH

@@ -1,0 +1,37 @@
+#include "mosalloc/page_size.hh"
+
+#include "support/logging.hh"
+
+namespace mosaic::alloc
+{
+
+std::string
+pageSizeName(PageSize size)
+{
+    switch (size) {
+      case PageSize::Page4K:
+        return "4KB";
+      case PageSize::Page2M:
+        return "2MB";
+      case PageSize::Page1G:
+        return "1GB";
+    }
+    mosaic_panic("bad page size enum value");
+}
+
+PageSize
+pageSizeFromBytes(Bytes bytes)
+{
+    switch (bytes) {
+      case 4_KiB:
+        return PageSize::Page4K;
+      case 2_MiB:
+        return PageSize::Page2M;
+      case 1_GiB:
+        return PageSize::Page1G;
+      default:
+        mosaic_fatal("unsupported page size: ", bytes, " bytes");
+    }
+}
+
+} // namespace mosaic::alloc

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Page sizes supported by the x86-64 architecture.
+ *
+ * Mosalloc mosaics these three sizes into one contiguous virtual address
+ * space; the TLBs, page-walk caches, and page tables all dispatch on
+ * this enum.
+ */
+
+#ifndef MOSAIC_MOSALLOC_PAGE_SIZE_HH
+#define MOSAIC_MOSALLOC_PAGE_SIZE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "support/types.hh"
+
+namespace mosaic::alloc
+{
+
+/** The three x86-64 page sizes. */
+enum class PageSize : std::uint8_t
+{
+    Page4K = 0,
+    Page2M = 1,
+    Page1G = 2,
+};
+
+/** Number of distinct page sizes (for per-size arrays). */
+constexpr std::size_t numPageSizes = 3;
+
+/** @return the size in bytes of pages of this kind. */
+constexpr Bytes
+pageBytes(PageSize size)
+{
+    switch (size) {
+      case PageSize::Page4K:
+        return 4_KiB;
+      case PageSize::Page2M:
+        return 2_MiB;
+      case PageSize::Page1G:
+        return 1_GiB;
+    }
+    return 0;
+}
+
+/** @return log2 of the page size (12, 21, or 30). */
+constexpr unsigned
+pageShift(PageSize size)
+{
+    switch (size) {
+      case PageSize::Page4K:
+        return 12;
+      case PageSize::Page2M:
+        return 21;
+      case PageSize::Page1G:
+        return 30;
+    }
+    return 0;
+}
+
+/** Human-readable page size name ("4KB", "2MB", "1GB"). */
+std::string pageSizeName(PageSize size);
+
+/** Inverse of pageBytes(); fatal on unsupported sizes. */
+PageSize pageSizeFromBytes(Bytes bytes);
+
+} // namespace mosaic::alloc
+
+#endif // MOSAIC_MOSALLOC_PAGE_SIZE_HH

@@ -1,0 +1,219 @@
+#include "mosalloc/pool.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace mosaic::alloc
+{
+
+Pool::Pool(std::string name, VirtAddr base, MosaicLayout layout)
+    : name_(std::move(name)), base_(base), layout_(std::move(layout))
+{
+    mosaic_assert(base_ % 1_GiB == 0,
+                  "pool base must be 1GiB aligned so any page size can "
+                  "back any offset; got ", base_);
+}
+
+Bytes
+Pool::offsetOf(VirtAddr addr) const
+{
+    mosaic_assert(contains(addr), "address ", addr, " outside pool ",
+                  name_);
+    return addr - base_;
+}
+
+PageSize
+Pool::pageSizeAt(VirtAddr addr) const
+{
+    return layout_.pageSizeAt(offsetOf(addr));
+}
+
+VirtAddr
+Pool::pageBaseAt(VirtAddr addr) const
+{
+    return base_ + layout_.pageBaseAt(offsetOf(addr));
+}
+
+HeapPool::HeapPool(VirtAddr base, MosaicLayout layout)
+    : Pool("heap", base, std::move(layout)), breakAddr_(base)
+{
+}
+
+VirtAddr
+HeapPool::sbrk(std::int64_t delta)
+{
+    VirtAddr old_break = breakAddr_;
+    if (delta == 0)
+        return old_break;
+
+    if (delta > 0) {
+        Bytes grow = static_cast<Bytes>(delta);
+        if (breakAddr_ + grow > base() + size())
+            return 0; // Pool exhausted: ENOMEM in the real library.
+        breakAddr_ += grow;
+    } else {
+        Bytes shrink = static_cast<Bytes>(-delta);
+        if (breakAddr_ < base() + shrink)
+            return 0;
+        breakAddr_ -= shrink;
+    }
+    noteUsage(breakAddr_ - base(),
+              static_cast<std::int64_t>(breakAddr_) -
+                  static_cast<std::int64_t>(old_break));
+    return old_break;
+}
+
+int
+HeapPool::brk(VirtAddr addr)
+{
+    if (addr < base() || addr > base() + size())
+        return -1;
+    std::int64_t delta = static_cast<std::int64_t>(addr) -
+                         static_cast<std::int64_t>(breakAddr_);
+    return sbrk(delta) == 0 && delta != 0 ? -1 : 0;
+}
+
+AnonPool::AnonPool(VirtAddr base, MosaicLayout layout)
+    : Pool("anon", base, std::move(layout))
+{
+}
+
+VirtAddr
+AnonPool::mmap(Bytes length)
+{
+    if (length == 0)
+        return 0;
+    length = alignUp(length, 4_KiB);
+
+    // First fit: reuse the lowest freed block that is large enough.
+    for (auto &block : blocks_) {
+        if (!block.free || block.length < length)
+            continue;
+        const Bytes offset = block.offset;
+        if (block.length > length) {
+            // Split: the tail stays free. Note that inserting into the
+            // vector invalidates `block`, so the offset is saved first.
+            Block tail{offset + length, block.length - length, true};
+            block.length = length;
+            block.free = false;
+            auto pos = std::find_if(blocks_.begin(), blocks_.end(),
+                                    [&](const Block &b) {
+                                        return b.offset > offset;
+                                    });
+            blocks_.insert(pos, tail);
+        } else {
+            block.free = false;
+        }
+        noteUsage(topCursor_, static_cast<std::int64_t>(length));
+        return base() + offset;
+    }
+
+    // No fit: carve fresh space from the bump cursor.
+    if (topCursor_ + length > size())
+        return 0;
+    Block fresh{topCursor_, length, false};
+    blocks_.push_back(fresh);
+    topCursor_ += length;
+    noteUsage(topCursor_, static_cast<std::int64_t>(length));
+    return base() + fresh.offset;
+}
+
+int
+AnonPool::munmap(VirtAddr addr, Bytes length)
+{
+    if (!contains(addr))
+        return -1;
+    length = alignUp(length, 4_KiB);
+    Bytes offset = offsetOf(addr);
+    auto it = std::find_if(blocks_.begin(), blocks_.end(),
+                           [&](const Block &b) {
+                               return b.offset == offset && !b.free;
+                           });
+    if (it == blocks_.end() || it->length != length)
+        return -1; // Partial unmaps are not supported, as in the paper.
+    it->free = true;
+    noteUsage(topCursor_, -static_cast<std::int64_t>(length));
+    coalesceAndRetreat();
+    return 0;
+}
+
+void
+AnonPool::coalesceAndRetreat()
+{
+    // Merge adjacent free blocks.
+    for (std::size_t i = 0; i + 1 < blocks_.size();) {
+        if (blocks_[i].free && blocks_[i + 1].free &&
+            blocks_[i].offset + blocks_[i].length == blocks_[i + 1].offset) {
+            blocks_[i].length += blocks_[i + 1].length;
+            blocks_.erase(blocks_.begin() + static_cast<std::ptrdiff_t>(i) +
+                          1);
+        } else {
+            ++i;
+        }
+    }
+    // Top-only reclaim: retreat the cursor over a trailing free block.
+    while (!blocks_.empty() && blocks_.back().free &&
+           blocks_.back().offset + blocks_.back().length == topCursor_) {
+        topCursor_ = blocks_.back().offset;
+        blocks_.pop_back();
+    }
+}
+
+std::size_t
+AnonPool::numMappings() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(blocks_.begin(), blocks_.end(),
+                      [](const Block &b) { return !b.free; }));
+}
+
+double
+AnonPool::fragmentationOverhead() const
+{
+    if (bytesInUse() == 0)
+        return 0.0;
+    return static_cast<double>(highWater() - bytesInUse()) /
+           static_cast<double>(bytesInUse());
+}
+
+FilePool::FilePool(VirtAddr base, Bytes pool_size)
+    : Pool("file", base, MosaicLayout(pool_size))
+{
+}
+
+VirtAddr
+FilePool::mmap(Bytes length)
+{
+    if (length == 0)
+        return 0;
+    length = alignUp(length, 4_KiB);
+    if (cursor_ + length > size())
+        return 0;
+    Mapping mapping{cursor_, length};
+    mappings_.push_back(mapping);
+    cursor_ += length;
+    noteUsage(cursor_, static_cast<std::int64_t>(length));
+    return base() + mapping.offset;
+}
+
+int
+FilePool::munmap(VirtAddr addr, Bytes length)
+{
+    if (!contains(addr))
+        return -1;
+    length = alignUp(length, 4_KiB);
+    Bytes offset = offsetOf(addr);
+    auto it = std::find_if(mappings_.begin(), mappings_.end(),
+                           [&](const Mapping &m) {
+                               return m.offset == offset &&
+                                      m.length == length;
+                           });
+    if (it == mappings_.end())
+        return -1;
+    mappings_.erase(it);
+    noteUsage(cursor_, -static_cast<std::int64_t>(length));
+    return 0;
+}
+
+} // namespace mosaic::alloc

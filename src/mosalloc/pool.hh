@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The three memory pools Mosalloc carves the address space into.
+ *
+ * Section V of the paper: Mosalloc forwards user memory requests to
+ * three separate pools — the heap (brk) pool, the anonymous-mmap pool,
+ * and the file-backed pool. The heap and anonymous pools are backed by
+ * user-specified mosaics of 4KB/2MB/1GB pages; the file pool is 4KB-only
+ * (Linux serves file mappings from the 4KB page cache).
+ */
+
+#ifndef MOSAIC_MOSALLOC_POOL_HH
+#define MOSAIC_MOSALLOC_POOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mosalloc/layout.hh"
+#include "support/types.hh"
+
+namespace mosaic::alloc
+{
+
+/** Common state of a fixed-size pool at a fixed virtual base. */
+class Pool
+{
+  public:
+    Pool(std::string name, VirtAddr base, MosaicLayout layout);
+    virtual ~Pool() = default;
+
+    const std::string &name() const { return name_; }
+    VirtAddr base() const { return base_; }
+    Bytes size() const { return layout_.poolSize(); }
+    const MosaicLayout &layout() const { return layout_; }
+
+    /** @return true if @p addr falls inside this pool's reservation. */
+    bool
+    contains(VirtAddr addr) const
+    {
+        return addr >= base_ && addr < base_ + size();
+    }
+
+    /** Pool-relative offset of @p addr; panics if not contained. */
+    Bytes offsetOf(VirtAddr addr) const;
+
+    /** Page size backing @p addr according to the pool's mosaic. */
+    PageSize pageSizeAt(VirtAddr addr) const;
+
+    /** Base virtual address of the page containing @p addr. */
+    VirtAddr pageBaseAt(VirtAddr addr) const;
+
+    /** Highest offset ever handed out (the pool's high-water mark). */
+    Bytes highWater() const { return highWater_; }
+
+    /** Bytes currently allocated from this pool. */
+    Bytes bytesInUse() const { return bytesInUse_; }
+
+  protected:
+    void
+    noteUsage(Bytes top, std::int64_t delta)
+    {
+        if (top > highWater_)
+            highWater_ = top;
+        bytesInUse_ = static_cast<Bytes>(
+            static_cast<std::int64_t>(bytesInUse_) + delta);
+    }
+
+    void setInUse(Bytes in_use) { bytesInUse_ = in_use; }
+
+  private:
+    std::string name_;
+    VirtAddr base_;
+    MosaicLayout layout_;
+    Bytes highWater_ = 0;
+    Bytes bytesInUse_ = 0;
+};
+
+/**
+ * The heap pool: replaces the OS heap; serves morecore/brk/sbrk.
+ *
+ * glibc calls sbrk(0) on load to learn the program break; Mosalloc
+ * intercepts that call and answers with the pool base, after which all
+ * brk traffic lands here (Section V, "The Heap Pool").
+ */
+class HeapPool : public Pool
+{
+  public:
+    HeapPool(VirtAddr base, MosaicLayout layout);
+
+    /**
+     * Move the program break by @p delta bytes.
+     * @return the previous break, or 0 (failure) if the pool would
+     *         overflow or the break would drop below the pool base.
+     */
+    VirtAddr sbrk(std::int64_t delta);
+
+    /** Set the program break to @p addr. @return 0 on success, -1. */
+    int brk(VirtAddr addr);
+
+    /** Current program break. */
+    VirtAddr programBreak() const { return breakAddr_; }
+
+  private:
+    VirtAddr breakAddr_;
+};
+
+/**
+ * The anonymous-mmap pool.
+ *
+ * Allocation is first-fit over previously freed blocks (the paper found
+ * first-fit superior to best/worst-fit for this purpose); fresh space is
+ * carved from a bump cursor. Memory is *reclaimed* only from the top of
+ * the pool: interior munmaps mark blocks reusable but the cursor only
+ * retreats when the topmost block(s) free. The resulting fragmentation
+ * overhead was measured below 1% in the paper; fragmentationOverhead()
+ * exposes the same statistic here.
+ */
+class AnonPool : public Pool
+{
+  public:
+    AnonPool(VirtAddr base, MosaicLayout layout);
+
+    /**
+     * Allocate @p length bytes (rounded up to 4KB).
+     * @return the mapping's base address, or 0 if the pool is full.
+     */
+    VirtAddr mmap(Bytes length);
+
+    /**
+     * Unmap a previously returned mapping.
+     * @return 0 on success, -1 if [addr, addr+length) is not an exact
+     *         live mapping.
+     */
+    int munmap(VirtAddr addr, Bytes length);
+
+    /** Current bump cursor (top of ever-used space). */
+    Bytes topCursor() const { return topCursor_; }
+
+    /** Number of live mappings. */
+    std::size_t numMappings() const;
+
+    /** (highWater - bytesInUse) / bytesInUse, the paper's <1% metric. */
+    double fragmentationOverhead() const;
+
+  private:
+    struct Block
+    {
+        Bytes offset;
+        Bytes length;
+        bool free;
+    };
+
+    /** Sorted, disjoint blocks covering [0, topCursor_). */
+    std::vector<Block> blocks_;
+    Bytes topCursor_ = 0;
+
+    void coalesceAndRetreat();
+};
+
+/**
+ * The file-backed mapping pool; always 4KB pages (page-cache rule).
+ */
+class FilePool : public Pool
+{
+  public:
+    FilePool(VirtAddr base, Bytes pool_size);
+
+    /** Map @p length file-backed bytes. @return base address or 0. */
+    VirtAddr mmap(Bytes length);
+
+    /** Unmap an exact prior mapping. @return 0 on success, -1. */
+    int munmap(VirtAddr addr, Bytes length);
+
+  private:
+    struct Mapping
+    {
+        Bytes offset;
+        Bytes length;
+    };
+
+    std::vector<Mapping> mappings_;
+    Bytes cursor_ = 0;
+};
+
+} // namespace mosaic::alloc
+
+#endif // MOSAIC_MOSALLOC_POOL_HH

@@ -1,0 +1,46 @@
+#include "mosalloc/thp.hh"
+
+namespace mosaic::alloc
+{
+
+namespace
+{
+
+/** Promote every full 2MB frame below @p used_top. */
+MosaicLayout
+promoteBelow(Bytes pool_size, Bytes used_top)
+{
+    Bytes promoted = alignDown(used_top, 2_MiB);
+    if (promoted == 0)
+        return MosaicLayout(pool_size);
+    return MosaicLayout(pool_size,
+                        {MosaicRegion{0, promoted, PageSize::Page2M}});
+}
+
+} // namespace
+
+MosaicLayout
+thpHeapLayout(const Mosalloc &allocator)
+{
+    return promoteBelow(allocator.heapPool().size(),
+                        allocator.heapPool().highWater());
+}
+
+MosaicLayout
+thpAnonLayout(const Mosalloc &allocator)
+{
+    return promoteBelow(allocator.anonPool().size(),
+                        allocator.anonPool().highWater());
+}
+
+MosallocConfig
+thpStyleConfig(const Mosalloc &allocator)
+{
+    MosallocConfig config;
+    config.heapLayout = thpHeapLayout(allocator);
+    config.anonLayout = thpAnonLayout(allocator);
+    config.filePoolSize = allocator.filePool().size();
+    return config;
+}
+
+} // namespace mosaic::alloc

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Transparent Huge Pages emulation (Section V-A related work).
+ *
+ * Linux THP promotes 2MB-aligned, fully-populated anonymous regions to
+ * hugepages in the background (khugepaged). Compared to Mosalloc it
+ * (1) gives the user no control over placement, (2) supports only 2MB
+ * pages, and (3) only promotes regions the allocator actually touched.
+ *
+ * In this timing model a run's page mosaic is fixed up front, so THP
+ * is emulated as a *derived layout*: given an allocator's state after
+ * workload setup, every 2MB-aligned heap/anon extent that is fully
+ * covered by live allocations becomes a 2MB region; everything else
+ * stays 4KB. This corresponds to the steady state khugepaged reaches
+ * on a long-running process (ignoring its promotion overheads, which
+ * the paper notes can be significant).
+ */
+
+#ifndef MOSAIC_MOSALLOC_THP_HH
+#define MOSAIC_MOSALLOC_THP_HH
+
+#include "mosalloc/layout.hh"
+#include "mosalloc/mosalloc.hh"
+
+namespace mosaic::alloc
+{
+
+/**
+ * Derive the THP steady-state layout of @p allocator's heap pool.
+ *
+ * A 2MB frame is promoted iff it lies wholly below the heap's
+ * high-water mark (khugepaged only scans populated VMAs).
+ */
+MosaicLayout thpHeapLayout(const Mosalloc &allocator);
+
+/**
+ * Same for the anonymous-mmap pool: 2MB frames wholly below the
+ * pool's bump cursor are promoted.
+ */
+MosaicLayout thpAnonLayout(const Mosalloc &allocator);
+
+/**
+ * Full THP-emulating configuration derived from a setup allocator:
+ * promoted heap and anon pools, 4KB file pool, glibc knobs untouched
+ * (THP needs no library interposition at all).
+ */
+MosallocConfig thpStyleConfig(const Mosalloc &allocator);
+
+} // namespace mosaic::alloc
+
+#endif // MOSAIC_MOSALLOC_THP_HH

@@ -1,0 +1,45 @@
+#include "stats/kfold.hh"
+
+#include <numeric>
+
+#include "support/logging.hh"
+#include "support/random.hh"
+
+namespace mosaic::stats
+{
+
+std::vector<FoldSplit>
+makeKFoldSplits(std::size_t num_samples, std::size_t k, std::uint64_t seed)
+{
+    mosaic_assert(k >= 2, "need at least 2 folds");
+    mosaic_assert(num_samples >= k, "fewer samples than folds");
+
+    std::vector<std::size_t> order(num_samples);
+    std::iota(order.begin(), order.end(), 0);
+
+    // Fisher-Yates with the deterministic project RNG.
+    Rng rng(seed);
+    for (std::size_t i = num_samples; i-- > 1;) {
+        std::size_t j = rng.nextBounded(i + 1);
+        std::swap(order[i], order[j]);
+    }
+
+    // Distribute samples round-robin so folds differ in size by <= 1.
+    std::vector<std::vector<std::size_t>> folds(k);
+    for (std::size_t i = 0; i < num_samples; ++i)
+        folds[i % k].push_back(order[i]);
+
+    std::vector<FoldSplit> splits(k);
+    for (std::size_t f = 0; f < k; ++f) {
+        splits[f].testIndices = folds[f];
+        for (std::size_t g = 0; g < k; ++g) {
+            if (g == f)
+                continue;
+            splits[f].trainIndices.insert(splits[f].trainIndices.end(),
+                                          folds[g].begin(), folds[g].end());
+        }
+    }
+    return splits;
+}
+
+} // namespace mosaic::stats

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * K-fold cross validation (Section VI-C of the paper, Table 6).
+ *
+ * The sample set is split into K disjoint folds; each fold in turn acts
+ * as the test set while the rest train the model. The paper reports the
+ * maximal error across all test folds.
+ */
+
+#ifndef MOSAIC_STATS_KFOLD_HH
+#define MOSAIC_STATS_KFOLD_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mosaic::stats
+{
+
+/** One train/test split of sample indices. */
+struct FoldSplit
+{
+    std::vector<std::size_t> trainIndices;
+    std::vector<std::size_t> testIndices;
+};
+
+/**
+ * Produce K disjoint, near-equal folds over @p num_samples samples.
+ *
+ * Sample order is shuffled deterministically by @p seed first, so folds
+ * are unbiased w.r.t. the layout-generation order of the campaign.
+ */
+std::vector<FoldSplit> makeKFoldSplits(std::size_t num_samples,
+                                       std::size_t k,
+                                       std::uint64_t seed = 42);
+
+} // namespace mosaic::stats
+
+#endif // MOSAIC_STATS_KFOLD_HH

@@ -1,0 +1,147 @@
+#include "stats/lasso.hh"
+
+#include <cmath>
+
+#include "stats/scaler.hh"
+#include "support/logging.hh"
+
+namespace mosaic::stats
+{
+
+namespace
+{
+
+/** Soft-thresholding operator, the proximal map of the L1 penalty. */
+double
+softThreshold(double value, double threshold)
+{
+    if (value > threshold)
+        return value - threshold;
+    if (value < -threshold)
+        return value + threshold;
+    return 0.0;
+}
+
+} // namespace
+
+double
+LassoResult::predict(const Vector &features) const
+{
+    mosaic_assert(features.size() == coefficients.size(),
+                  "feature count mismatch");
+    double acc = intercept;
+    for (std::size_t i = 0; i < features.size(); ++i)
+        acc += coefficients[i] * features[i];
+    return acc;
+}
+
+LassoResult
+fitLasso(const Matrix &x, const Vector &y, const LassoConfig &config)
+{
+    const std::size_t n = x.rows();
+    const std::size_t p = x.cols();
+    mosaic_assert(y.size() == n, "target length mismatch");
+    mosaic_assert(n >= 2, "need at least two samples");
+
+    // Standardize features; center the target.
+    StandardScaler scaler;
+    Matrix xs = scaler.fitTransform(x);
+
+    double y_mean = 0.0;
+    for (double v : y)
+        y_mean += v;
+    y_mean /= static_cast<double>(n);
+    Vector yc(n);
+    for (std::size_t i = 0; i < n; ++i)
+        yc[i] = y[i] - y_mean;
+
+    // lambda_max = max_j |x_j . y| / n zeroes all coefficients.
+    double lambda_max = 0.0;
+    for (std::size_t j = 0; j < p; ++j) {
+        double corr = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            corr += xs(i, j) * yc[i];
+        lambda_max = std::max(lambda_max,
+                              std::fabs(corr) / static_cast<double>(n));
+    }
+    const double lambda = config.lambdaRatio * lambda_max;
+
+    if (lambda == 0.0) {
+        // No penalty: plain least squares, solved exactly by QR (the
+        // coordinate descent below converges slowly without the
+        // soft-threshold pull).
+        Matrix design(n, p + 1);
+        for (std::size_t i = 0; i < n; ++i) {
+            design(i, 0) = 1.0;
+            for (std::size_t j = 0; j < p; ++j)
+                design(i, j + 1) = x(i, j);
+        }
+        Vector solution = solveLeastSquares(design, y);
+        LassoResult result;
+        result.intercept = solution[0];
+        result.coefficients.assign(solution.begin() + 1, solution.end());
+        result.iterations = 1;
+        for (double coefficient : result.coefficients) {
+            if (coefficient == 0.0)
+                ++result.numZeroCoefficients;
+        }
+        return result;
+    }
+
+    // Per-column squared norms / n (constant columns become 0 after
+    // standardization of an all-equal column -- guard against that).
+    Vector col_sq(p, 0.0);
+    for (std::size_t j = 0; j < p; ++j) {
+        double sq = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            sq += xs(i, j) * xs(i, j);
+        col_sq[j] = sq / static_cast<double>(n);
+    }
+
+    Vector beta(p, 0.0);
+    Vector residual = yc; // residual = yc - xs * beta, beta starts at 0.
+
+    std::size_t iter = 0;
+    for (; iter < config.maxIterations; ++iter) {
+        double max_delta = 0.0;
+        double max_beta = 0.0;
+        for (std::size_t j = 0; j < p; ++j) {
+            if (col_sq[j] == 0.0)
+                continue;
+            // rho = x_j . (residual + x_j * beta_j) / n
+            double rho = 0.0;
+            for (std::size_t i = 0; i < n; ++i)
+                rho += xs(i, j) * residual[i];
+            rho = rho / static_cast<double>(n) + col_sq[j] * beta[j];
+
+            double new_beta = softThreshold(rho, lambda) / col_sq[j];
+            double delta = new_beta - beta[j];
+            if (delta != 0.0) {
+                for (std::size_t i = 0; i < n; ++i)
+                    residual[i] -= delta * xs(i, j);
+                beta[j] = new_beta;
+                max_delta = std::max(max_delta, std::fabs(delta));
+            }
+            max_beta = std::max(max_beta, std::fabs(beta[j]));
+        }
+        if (max_delta <= config.tolerance * (max_beta + 1.0))
+            break;
+    }
+
+    // Map standardized-space coefficients back to raw feature space:
+    // y = y_mean + sum_j beta_j * (x_j - mean_j) / std_j
+    LassoResult result;
+    result.coefficients.assign(p, 0.0);
+    result.intercept = y_mean;
+    for (std::size_t j = 0; j < p; ++j) {
+        double raw = beta[j] / scaler.stdDevs()[j];
+        result.coefficients[j] = raw;
+        result.intercept -= raw * scaler.means()[j];
+        if (beta[j] == 0.0)
+            ++result.numZeroCoefficients;
+    }
+    result.iterations = iter + 1;
+    return result;
+}
+
+} // namespace mosaic::stats

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Lasso (L1-regularized least squares) via cyclic coordinate descent.
+ *
+ * The paper fits Mosmodel's 20-coefficient polynomial with Lasso
+ * regression, both to curb overfitting and to zero out irrelevant
+ * inputs ("Lasso regression ... leaves only 5 nonzero coefficients or
+ * less", Section VI-C). This implementation standardizes features
+ * internally, runs coordinate descent on the standardized problem, and
+ * reports coefficients in the raw feature space.
+ */
+
+#ifndef MOSAIC_STATS_LASSO_HH
+#define MOSAIC_STATS_LASSO_HH
+
+#include <cstddef>
+
+#include "stats/matrix.hh"
+
+namespace mosaic::stats
+{
+
+/** Configuration for a Lasso fit. */
+struct LassoConfig
+{
+    /**
+     * Regularization strength as a fraction of lambda_max (the smallest
+     * lambda that zeroes every coefficient). 0 reduces Lasso to OLS.
+     */
+    double lambdaRatio = 1e-3;
+
+    /**
+     * Convergence threshold on the max coefficient update, relative
+     * to the largest coefficient magnitude (standardized-space
+     * coefficients scale with the target, so an absolute threshold
+     * would be meaningless).
+     */
+    double tolerance = 1e-8;
+
+    /** Hard cap on coordinate-descent sweeps. */
+    std::size_t maxIterations = 20000;
+};
+
+/** Result of a Lasso fit. */
+struct LassoResult
+{
+    /** Coefficients in raw feature space (no intercept inside). */
+    Vector coefficients;
+
+    /** Intercept in raw space. */
+    double intercept = 0.0;
+
+    /** Number of coordinate-descent sweeps performed. */
+    std::size_t iterations = 0;
+
+    /** Number of exactly-zero coefficients after fitting. */
+    std::size_t numZeroCoefficients = 0;
+
+    /** Predict the target for one raw feature row (without intercept
+     *  column). */
+    double predict(const Vector &features) const;
+};
+
+/**
+ * Fit Lasso on raw features @p x (no intercept column) against @p y.
+ *
+ * Features are standardized internally and the intercept is handled by
+ * centering, so callers pass raw counter values directly.
+ */
+LassoResult fitLasso(const Matrix &x, const Vector &y,
+                     const LassoConfig &config = LassoConfig());
+
+} // namespace mosaic::stats
+
+#endif // MOSAIC_STATS_LASSO_HH

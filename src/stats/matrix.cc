@@ -1,0 +1,185 @@
+#include "stats/matrix.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace mosaic::stats
+{
+
+Matrix
+Matrix::fromRows(const std::vector<Vector> &rows)
+{
+    if (rows.empty())
+        return Matrix();
+    Matrix m(rows.size(), rows.front().size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        mosaic_assert(rows[r].size() == m.cols(),
+                      "ragged rows: ", rows[r].size(), " vs ", m.cols());
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            m(r, c) = rows[r][c];
+    }
+    return m;
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix t(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            t(c, r) = (*this)(r, c);
+    return t;
+}
+
+Matrix
+Matrix::multiply(const Matrix &other) const
+{
+    mosaic_assert(cols_ == other.rows_, "dim mismatch ", cols_, " vs ",
+                  other.rows_);
+    Matrix out(rows_, other.cols_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            double v = (*this)(r, k);
+            if (v == 0.0)
+                continue;
+            for (std::size_t c = 0; c < other.cols_; ++c)
+                out(r, c) += v * other(k, c);
+        }
+    }
+    return out;
+}
+
+Vector
+Matrix::multiply(const Vector &vec) const
+{
+    mosaic_assert(cols_ == vec.size(), "dim mismatch ", cols_, " vs ",
+                  vec.size());
+    Vector out(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < cols_; ++c)
+            acc += (*this)(r, c) * vec[c];
+        out[r] = acc;
+    }
+    return out;
+}
+
+Vector
+Matrix::row(std::size_t r) const
+{
+    mosaic_assert(r < rows_, "row ", r, " out of ", rows_);
+    Vector out(cols_);
+    for (std::size_t c = 0; c < cols_; ++c)
+        out[c] = (*this)(r, c);
+    return out;
+}
+
+Vector
+Matrix::col(std::size_t c) const
+{
+    mosaic_assert(c < cols_, "col ", c, " out of ", cols_);
+    Vector out(rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        out[r] = (*this)(r, c);
+    return out;
+}
+
+double
+dot(const Vector &a, const Vector &b)
+{
+    mosaic_assert(a.size() == b.size(), "dot dim mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+double
+norm2(const Vector &v)
+{
+    return std::sqrt(dot(v, v));
+}
+
+Vector
+solveLeastSquares(const Matrix &a, const Vector &b)
+{
+    const std::size_t m = a.rows();
+    const std::size_t n = a.cols();
+    mosaic_assert(b.size() == m, "rhs length ", b.size(), " vs rows ", m);
+    mosaic_assert(m >= n, "underdetermined system: ", m, " x ", n);
+
+    // Working copies: reduce [A | b] with Householder reflections.
+    Matrix r = a;
+    Vector y = b;
+
+    double max_diag = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        // Build the Householder vector for column k.
+        double alpha = 0.0;
+        for (std::size_t i = k; i < m; ++i)
+            alpha += r(i, k) * r(i, k);
+        alpha = std::sqrt(alpha);
+        if (r(k, k) > 0)
+            alpha = -alpha;
+
+        if (alpha == 0.0)
+            continue; // Column already zero below the diagonal.
+
+        Vector v(m, 0.0);
+        v[k] = r(k, k) - alpha;
+        for (std::size_t i = k + 1; i < m; ++i)
+            v[i] = r(i, k);
+        double vnorm2 = 0.0;
+        for (std::size_t i = k; i < m; ++i)
+            vnorm2 += v[i] * v[i];
+        if (vnorm2 == 0.0)
+            continue;
+
+        // Apply H = I - 2 v v^T / (v^T v) to R and y.
+        for (std::size_t c = k; c < n; ++c) {
+            double proj = 0.0;
+            for (std::size_t i = k; i < m; ++i)
+                proj += v[i] * r(i, c);
+            proj = 2.0 * proj / vnorm2;
+            for (std::size_t i = k; i < m; ++i)
+                r(i, c) -= proj * v[i];
+        }
+        double proj = 0.0;
+        for (std::size_t i = k; i < m; ++i)
+            proj += v[i] * y[i];
+        proj = 2.0 * proj / vnorm2;
+        for (std::size_t i = k; i < m; ++i)
+            y[i] -= proj * v[i];
+
+        max_diag = std::max(max_diag, std::fabs(r(k, k)));
+    }
+
+    // Back substitution, zeroing coefficients on tiny diagonals
+    // (rank-deficient / collinear feature columns).
+    const double tol = max_diag * 1e-12;
+    Vector x(n, 0.0);
+    for (std::size_t kk = n; kk-- > 0;) {
+        double diag = r(kk, kk);
+        if (std::fabs(diag) <= tol) {
+            x[kk] = 0.0;
+            continue;
+        }
+        double acc = y[kk];
+        for (std::size_t c = kk + 1; c < n; ++c)
+            acc -= r(kk, c) * x[c];
+        x[kk] = acc / diag;
+    }
+    return x;
+}
+
+} // namespace mosaic::stats

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Minimal dense matrix/vector types for the regression substrate.
+ *
+ * The model-fitting problems in this project are tiny (at most a few
+ * hundred samples by ~20 features), so a straightforward row-major dense
+ * matrix with a Householder-QR solver is both sufficient and easy to
+ * verify.
+ */
+
+#ifndef MOSAIC_STATS_MATRIX_HH
+#define MOSAIC_STATS_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace mosaic::stats
+{
+
+/** A dense column vector of doubles. */
+using Vector = std::vector<double>;
+
+/** Row-major dense matrix of doubles. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Construct a rows x cols matrix of zeros. */
+    Matrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+    {}
+
+    /** Construct from nested initializer data (rows of equal length). */
+    static Matrix fromRows(const std::vector<Vector> &rows);
+
+    /** @return the identity matrix of size n. */
+    static Matrix identity(std::size_t n);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    double &operator()(std::size_t r, std::size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+    double operator()(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** @return the transpose of this matrix. */
+    Matrix transposed() const;
+
+    /** Matrix-matrix product; dimensions must agree. */
+    Matrix multiply(const Matrix &other) const;
+
+    /** Matrix-vector product; dimensions must agree. */
+    Vector multiply(const Vector &vec) const;
+
+    /** @return a copy of row @p r as a Vector. */
+    Vector row(std::size_t r) const;
+
+    /** @return a copy of column @p c as a Vector. */
+    Vector col(std::size_t c) const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/** Dot product of two equal-length vectors. */
+double dot(const Vector &a, const Vector &b);
+
+/** Euclidean norm. */
+double norm2(const Vector &v);
+
+/**
+ * Solve the least-squares problem min ||A x - b||^2 via Householder QR.
+ *
+ * Rank-deficient columns receive zero coefficients (the corresponding
+ * R diagonal is treated as zero below a relative tolerance), which keeps
+ * the solver well-behaved when polynomial features are collinear.
+ *
+ * @param a design matrix (m x n, m >= n)
+ * @param b targets (length m)
+ * @return coefficient vector (length n)
+ */
+Vector solveLeastSquares(const Matrix &a, const Vector &b);
+
+} // namespace mosaic::stats
+
+#endif // MOSAIC_STATS_MATRIX_HH

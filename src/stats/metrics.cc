@@ -1,0 +1,97 @@
+#include "stats/metrics.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace mosaic::stats
+{
+
+double
+absoluteRelativeError(double measured, double predicted)
+{
+    mosaic_assert(measured != 0.0, "relative error of zero measurement");
+    return std::fabs(measured - predicted) / std::fabs(measured);
+}
+
+double
+maxAbsRelError(const Vector &measured, const Vector &predicted)
+{
+    mosaic_assert(measured.size() == predicted.size() && !measured.empty(),
+                  "bad metric inputs");
+    double worst = 0.0;
+    for (std::size_t i = 0; i < measured.size(); ++i)
+        worst = std::max(worst,
+                         absoluteRelativeError(measured[i], predicted[i]));
+    return worst;
+}
+
+double
+geoMeanAbsRelError(const Vector &measured, const Vector &predicted,
+                   double floor_error)
+{
+    mosaic_assert(measured.size() == predicted.size() && !measured.empty(),
+                  "bad metric inputs");
+    double log_sum = 0.0;
+    for (std::size_t i = 0; i < measured.size(); ++i) {
+        double err = absoluteRelativeError(measured[i], predicted[i]);
+        log_sum += std::log(std::max(err, floor_error));
+    }
+    return std::exp(log_sum / static_cast<double>(measured.size()));
+}
+
+double
+mean(const Vector &values)
+{
+    mosaic_assert(!values.empty(), "mean of empty vector");
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+stdDev(const Vector &values)
+{
+    double m = mean(values);
+    double sq = 0.0;
+    for (double v : values)
+        sq += (v - m) * (v - m);
+    return std::sqrt(sq / static_cast<double>(values.size()));
+}
+
+double
+rSquared(const Vector &measured, const Vector &predicted)
+{
+    mosaic_assert(measured.size() == predicted.size() && !measured.empty(),
+                  "bad metric inputs");
+    double m = mean(measured);
+    double ss_res = 0.0;
+    double ss_tot = 0.0;
+    for (std::size_t i = 0; i < measured.size(); ++i) {
+        ss_res += (measured[i] - predicted[i]) * (measured[i] - predicted[i]);
+        ss_tot += (measured[i] - m) * (measured[i] - m);
+    }
+    if (ss_tot == 0.0)
+        return ss_res == 0.0 ? 1.0 : 0.0;
+    return 1.0 - ss_res / ss_tot;
+}
+
+double
+pearson(const Vector &a, const Vector &b)
+{
+    mosaic_assert(a.size() == b.size() && a.size() >= 2, "bad inputs");
+    double ma = mean(a);
+    double mb = mean(b);
+    double cov = 0.0, va = 0.0, vb = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        cov += (a[i] - ma) * (b[i] - mb);
+        va += (a[i] - ma) * (a[i] - ma);
+        vb += (b[i] - mb) * (b[i] - mb);
+    }
+    if (va == 0.0 || vb == 0.0)
+        return 0.0;
+    return cov / std::sqrt(va * vb);
+}
+
+} // namespace mosaic::stats

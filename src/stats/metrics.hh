@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Prediction-error and goodness-of-fit metrics from the paper.
+ *
+ * Equation (1): maximal absolute relative error across samples.
+ * Equation (2): geometric mean of absolute relative errors.
+ * R^2: coefficient of determination (Section VII-C, Table 8).
+ */
+
+#ifndef MOSAIC_STATS_METRICS_HH
+#define MOSAIC_STATS_METRICS_HH
+
+#include "stats/matrix.hh"
+
+namespace mosaic::stats
+{
+
+/** |measured - predicted| / measured for one sample. */
+double absoluteRelativeError(double measured, double predicted);
+
+/** Paper Eq. (1): max_i |R_i - Rhat_i| / R_i. */
+double maxAbsRelError(const Vector &measured, const Vector &predicted);
+
+/**
+ * Paper Eq. (2): geometric mean of |R_i - Rhat_i| / R_i.
+ *
+ * Zero errors (a model passing exactly through a sample) are clamped to
+ * @p floor_error before entering the geometric mean, as a product with
+ * an exact zero would annihilate the statistic.
+ */
+double geoMeanAbsRelError(const Vector &measured, const Vector &predicted,
+                          double floor_error = 1e-6);
+
+/** Mean of a vector. */
+double mean(const Vector &values);
+
+/** Population standard deviation. */
+double stdDev(const Vector &values);
+
+/** Coefficient of determination: 1 - SS_res / SS_tot. */
+double rSquared(const Vector &measured, const Vector &predicted);
+
+/** Pearson correlation coefficient of two equal-length vectors. */
+double pearson(const Vector &a, const Vector &b);
+
+} // namespace mosaic::stats
+
+#endif // MOSAIC_STATS_METRICS_HH

@@ -1,0 +1,123 @@
+#include "stats/poly_features.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace mosaic::stats
+{
+
+namespace
+{
+
+/** Recursively enumerate exponent tuples with total degree <= budget. */
+void
+enumerate(std::size_t input, unsigned budget, std::vector<unsigned> &current,
+          std::vector<std::vector<unsigned>> &out)
+{
+    if (input == current.size()) {
+        out.push_back(current);
+        return;
+    }
+    for (unsigned e = 0; e <= budget; ++e) {
+        current[input] = e;
+        enumerate(input + 1, budget - e, current, out);
+    }
+    current[input] = 0;
+}
+
+} // namespace
+
+PolynomialFeatures::PolynomialFeatures(std::size_t num_inputs,
+                                       unsigned degree)
+    : numInputs_(num_inputs), degree_(degree)
+{
+    mosaic_assert(num_inputs >= 1, "need at least one input");
+    mosaic_assert(degree >= 1, "degree must be >= 1");
+
+    std::vector<unsigned> current(num_inputs, 0);
+    enumerate(0, degree, current, exponents_);
+
+    // Order by total degree, then lexicographically, constant first.
+    std::sort(exponents_.begin(), exponents_.end(),
+              [](const auto &a, const auto &b) {
+                  unsigned ta = 0, tb = 0;
+                  for (unsigned e : a)
+                      ta += e;
+                  for (unsigned e : b)
+                      tb += e;
+                  if (ta != tb)
+                      return ta < tb;
+                  return a < b;
+              });
+}
+
+Vector
+PolynomialFeatures::expand(const Vector &inputs) const
+{
+    mosaic_assert(inputs.size() == numInputs_, "input size ", inputs.size(),
+                  " vs ", numInputs_);
+    Vector features(exponents_.size());
+    for (std::size_t f = 0; f < exponents_.size(); ++f) {
+        double value = 1.0;
+        for (std::size_t i = 0; i < numInputs_; ++i) {
+            for (unsigned e = 0; e < exponents_[f][i]; ++e)
+                value *= inputs[i];
+        }
+        features[f] = value;
+    }
+    return features;
+}
+
+Matrix
+PolynomialFeatures::expandMatrix(const Matrix &inputs) const
+{
+    Matrix out(inputs.rows(), numFeatures());
+    for (std::size_t r = 0; r < inputs.rows(); ++r) {
+        Vector features = expand(inputs.row(r));
+        for (std::size_t c = 0; c < features.size(); ++c)
+            out(r, c) = features[c];
+    }
+    return out;
+}
+
+const std::vector<unsigned> &
+PolynomialFeatures::exponentsOf(std::size_t index) const
+{
+    mosaic_assert(index < exponents_.size(), "feature index out of range");
+    return exponents_[index];
+}
+
+std::string
+PolynomialFeatures::featureName(std::size_t index,
+                                const std::vector<std::string> &names) const
+{
+    mosaic_assert(names.size() == numInputs_, "name count mismatch");
+    const auto &exps = exponentsOf(index);
+    std::string out;
+    for (std::size_t i = 0; i < exps.size(); ++i) {
+        if (exps[i] == 0)
+            continue;
+        if (!out.empty())
+            out += "*";
+        out += names[i];
+        if (exps[i] > 1)
+            out += "^" + std::to_string(exps[i]);
+    }
+    return out.empty() ? "1" : out;
+}
+
+std::size_t
+polynomialFeatureCount(std::size_t num_inputs, unsigned degree)
+{
+    // C(num_inputs + degree, degree)
+    std::size_t n = num_inputs + degree;
+    std::size_t k = degree;
+    std::size_t result = 1;
+    for (std::size_t i = 1; i <= k; ++i)
+        result = result * (n - k + i) / i;
+    return result;
+}
+
+} // namespace mosaic::stats

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Polynomial feature expansion for multi-input regression models.
+ *
+ * Mosmodel (Section VII-C of the paper) is a third-degree polynomial in
+ * three inputs (H, M, C); expanding (H, M, C) to all monomials of total
+ * degree <= 3 yields 20 features including the constant term, matching
+ * the paper's "20 parameters" count.
+ */
+
+#ifndef MOSAIC_STATS_POLY_FEATURES_HH
+#define MOSAIC_STATS_POLY_FEATURES_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "stats/matrix.hh"
+
+namespace mosaic::stats
+{
+
+/**
+ * Expands input vectors into all monomials of total degree <= degree.
+ *
+ * Monomials are ordered by total degree, then lexicographically by
+ * exponent tuple, starting with the constant term.
+ */
+class PolynomialFeatures
+{
+  public:
+    /**
+     * @param num_inputs number of raw input variables
+     * @param degree maximal total degree of generated monomials (>= 1)
+     */
+    PolynomialFeatures(std::size_t num_inputs, unsigned degree);
+
+    /** @return number of generated features (monomials). */
+    std::size_t numFeatures() const { return exponents_.size(); }
+
+    std::size_t numInputs() const { return numInputs_; }
+    unsigned degree() const { return degree_; }
+
+    /** Expand a single input vector into its feature vector. */
+    Vector expand(const Vector &inputs) const;
+
+    /** Expand each row of @p inputs into the design matrix. */
+    Matrix expandMatrix(const Matrix &inputs) const;
+
+    /**
+     * Exponent tuple of feature @p index; element i is the power of
+     * input variable i in that monomial.
+     */
+    const std::vector<unsigned> &exponentsOf(std::size_t index) const;
+
+    /**
+     * Human-readable monomial name, e.g. "C^2*M" with the given
+     * per-input variable names.
+     */
+    std::string featureName(std::size_t index,
+                            const std::vector<std::string> &names) const;
+
+  private:
+    std::size_t numInputs_;
+    unsigned degree_;
+    std::vector<std::vector<unsigned>> exponents_;
+};
+
+/** Binomial coefficient helper: C(n + d, d) feature-count formula. */
+std::size_t polynomialFeatureCount(std::size_t num_inputs, unsigned degree);
+
+} // namespace mosaic::stats
+
+#endif // MOSAIC_STATS_POLY_FEATURES_HH

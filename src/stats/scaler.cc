@@ -1,0 +1,66 @@
+#include "stats/scaler.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace mosaic::stats
+{
+
+void
+StandardScaler::fit(const Matrix &data)
+{
+    mosaic_assert(data.rows() > 0, "cannot fit scaler on empty data");
+    means_.assign(data.cols(), 0.0);
+    stdDevs_.assign(data.cols(), 0.0);
+
+    for (std::size_t c = 0; c < data.cols(); ++c) {
+        double sum = 0.0;
+        for (std::size_t r = 0; r < data.rows(); ++r)
+            sum += data(r, c);
+        means_[c] = sum / static_cast<double>(data.rows());
+
+        double sq = 0.0;
+        for (std::size_t r = 0; r < data.rows(); ++r) {
+            double d = data(r, c) - means_[c];
+            sq += d * d;
+        }
+        double var = sq / static_cast<double>(data.rows());
+        stdDevs_[c] = std::sqrt(var);
+        // Constant columns keep their (zero-centered) values untouched.
+        if (stdDevs_[c] == 0.0)
+            stdDevs_[c] = 1.0;
+    }
+}
+
+Matrix
+StandardScaler::transform(const Matrix &data) const
+{
+    mosaic_assert(fitted(), "scaler not fitted");
+    mosaic_assert(data.cols() == means_.size(), "column count mismatch");
+    Matrix out(data.rows(), data.cols());
+    for (std::size_t r = 0; r < data.rows(); ++r)
+        for (std::size_t c = 0; c < data.cols(); ++c)
+            out(r, c) = (data(r, c) - means_[c]) / stdDevs_[c];
+    return out;
+}
+
+Vector
+StandardScaler::transformRow(const Vector &row) const
+{
+    mosaic_assert(fitted(), "scaler not fitted");
+    mosaic_assert(row.size() == means_.size(), "column count mismatch");
+    Vector out(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c)
+        out[c] = (row[c] - means_[c]) / stdDevs_[c];
+    return out;
+}
+
+Matrix
+StandardScaler::fitTransform(const Matrix &data)
+{
+    fit(data);
+    return transform(data);
+}
+
+} // namespace mosaic::stats

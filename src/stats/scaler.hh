@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Feature standardization for regression.
+ *
+ * Lasso's L1 penalty is only meaningful when features share a scale;
+ * walk-cycle counts (1e9) and TLB-hit counts (1e6) do not. The scaler
+ * centers each column to zero mean and unit variance, and the target to
+ * zero mean, then maps fitted coefficients back to the raw space.
+ */
+
+#ifndef MOSAIC_STATS_SCALER_HH
+#define MOSAIC_STATS_SCALER_HH
+
+#include "stats/matrix.hh"
+
+namespace mosaic::stats
+{
+
+/** Per-column standardization (z-scoring) of a design matrix. */
+class StandardScaler
+{
+  public:
+    /** Learn column means and standard deviations from @p data. */
+    void fit(const Matrix &data);
+
+    /** @return standardized copy of @p data using the learned stats. */
+    Matrix transform(const Matrix &data) const;
+
+    /** Standardize a single row vector. */
+    Vector transformRow(const Vector &row) const;
+
+    /** fit() then transform() in one call. */
+    Matrix fitTransform(const Matrix &data);
+
+    const Vector &means() const { return means_; }
+    const Vector &stdDevs() const { return stdDevs_; }
+
+    bool fitted() const { return !means_.empty(); }
+
+  private:
+    Vector means_;
+    Vector stdDevs_;
+};
+
+} // namespace mosaic::stats
+
+#endif // MOSAIC_STATS_SCALER_HH

@@ -1,0 +1,55 @@
+#include "support/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mosaic
+{
+
+namespace
+{
+
+/**
+ * When true (the default in tests), panic/fatal throw instead of
+ * terminating so gtest death-free assertions can observe them.
+ */
+bool throwOnError = true;
+
+} // namespace
+
+void
+panicImpl(const char *file, int line, const std::string &message)
+{
+    std::string full = std::string("panic: ") + message + " @ " + file +
+                       ":" + std::to_string(line);
+    if (throwOnError)
+        throw std::logic_error(full);
+    std::fprintf(stderr, "%s\n", full.c_str());
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &message)
+{
+    std::string full = std::string("fatal: ") + message + " @ " + file +
+                       ":" + std::to_string(line);
+    if (throwOnError)
+        throw std::runtime_error(full);
+    std::fprintf(stderr, "%s\n", full.c_str());
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &message)
+{
+    std::fprintf(stderr, "warn: %s\n", message.c_str());
+}
+
+void
+informImpl(const std::string &message)
+{
+    std::fprintf(stderr, "info: %s\n", message.c_str());
+}
+
+} // namespace mosaic

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition.
+ *
+ * panic() flags internal invariant violations (a mosaic bug) and aborts;
+ * fatal() flags unrecoverable user/configuration errors and exits cleanly;
+ * warn() and inform() report conditions without stopping.
+ */
+
+#ifndef MOSAIC_SUPPORT_LOGGING_HH
+#define MOSAIC_SUPPORT_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace mosaic
+{
+
+/** Abort with a message: something happened that should never happen. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &message);
+
+/** Exit with a message: the user asked for something unsupported. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &message);
+
+/** Print a warning to stderr and continue. */
+void warnImpl(const std::string &message);
+
+/** Print an informational message to stderr and continue. */
+void informImpl(const std::string &message);
+
+namespace detail
+{
+
+/** Concatenate any streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace mosaic
+
+#define mosaic_panic(...) \
+    ::mosaic::panicImpl(__FILE__, __LINE__, \
+                        ::mosaic::detail::concat(__VA_ARGS__))
+
+#define mosaic_fatal(...) \
+    ::mosaic::fatalImpl(__FILE__, __LINE__, \
+                        ::mosaic::detail::concat(__VA_ARGS__))
+
+#define mosaic_warn(...) \
+    ::mosaic::warnImpl(::mosaic::detail::concat(__VA_ARGS__))
+
+#define mosaic_inform(...) \
+    ::mosaic::informImpl(::mosaic::detail::concat(__VA_ARGS__))
+
+/** Check an invariant; panic with context if it does not hold. */
+#define mosaic_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::mosaic::panicImpl(__FILE__, __LINE__, \
+                ::mosaic::detail::concat("assertion failed: " #cond " ", \
+                                         ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // MOSAIC_SUPPORT_LOGGING_HH

@@ -1,0 +1,43 @@
+#include "support/random.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace mosaic
+{
+
+double
+Rng::nextBoundedPareto(double alpha, double lo, double hi)
+{
+    mosaic_assert(alpha > 0 && lo > 0 && hi > lo,
+                  "alpha=", alpha, " lo=", lo, " hi=", hi);
+    double u = nextDouble();
+    double la = std::pow(lo, alpha);
+    double ha = std::pow(hi, alpha);
+    // Inverse-CDF sampling of the bounded Pareto distribution.
+    double x = std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+    if (x < lo)
+        x = lo;
+    if (x > hi)
+        x = hi;
+    return x;
+}
+
+std::uint64_t
+Rng::nextGeometric(double p)
+{
+    mosaic_assert(p > 0.0 && p <= 1.0, "p=", p);
+    if (p >= 1.0)
+        return 1;
+    double u = nextDouble();
+    // Guard against log(0).
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    double trials = std::ceil(std::log(u) / std::log1p(-p));
+    if (trials < 1.0)
+        trials = 1.0;
+    return static_cast<std::uint64_t>(trials);
+}
+
+} // namespace mosaic

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Everything in mosaic that needs randomness draws from these generators
+ * with an explicit seed, so every simulation, layout campaign, and
+ * synthetic workload trace is a pure function of its configuration.
+ *
+ * SplitMix64 seeds and scrambles; Xoshiro256** is the workhorse stream.
+ */
+
+#ifndef MOSAIC_SUPPORT_RANDOM_HH
+#define MOSAIC_SUPPORT_RANDOM_HH
+
+#include <array>
+#include <cstdint>
+
+namespace mosaic
+{
+
+/** The SplitMix64 mixing function; also usable as a stateless hash. */
+constexpr std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Hash a 64-bit value through one SplitMix64 round. */
+constexpr std::uint64_t
+hashU64(std::uint64_t value)
+{
+    std::uint64_t state = value;
+    return splitMix64(state);
+}
+
+/**
+ * Xoshiro256** pseudo-random generator.
+ *
+ * Fast, high-quality, 256-bit state; suitable for the billions of draws
+ * a workload-trace generator makes. Deterministic given the seed.
+ */
+class Rng
+{
+  public:
+    /** Construct from a single 64-bit seed, expanded via SplitMix64. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitMix64(sm);
+    }
+
+    /** @return the next uniformly distributed 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        std::uint64_t t = state_[1] << 17;
+
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+
+        return result;
+    }
+
+    /** @return a uniform integer in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        // Lemire's nearly-divisionless bounded sampling.
+        std::uint64_t x = next();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        std::uint64_t low = static_cast<std::uint64_t>(m);
+        if (low < bound) {
+            std::uint64_t threshold = (0 - bound) % bound;
+            while (low < threshold) {
+                x = next();
+                m = static_cast<__uint128_t>(x) * bound;
+                low = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** @return a uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** @return a uniform integer in [lo, hi] inclusive; lo <= hi. */
+    std::int64_t
+    nextRange(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            nextBounded(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /**
+     * Sample from a bounded Pareto (power-law) distribution.
+     *
+     * Used to build realistic skewed graph degree distributions
+     * (twitter-like) and hot/cold access mixes.
+     *
+     * @param alpha tail exponent (> 0); smaller means heavier tail
+     * @param lo inclusive lower bound (> 0)
+     * @param hi inclusive upper bound (> lo)
+     */
+    double
+    nextBoundedPareto(double alpha, double lo, double hi);
+
+    /** Sample a geometric distribution: trials until success, >= 1. */
+    std::uint64_t nextGeometric(double p);
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state_;
+};
+
+} // namespace mosaic
+
+#endif // MOSAIC_SUPPORT_RANDOM_HH

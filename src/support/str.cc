@@ -1,0 +1,135 @@
+#include "support/str.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace mosaic
+{
+
+std::vector<std::string>
+splitString(const std::string &text, char delim)
+{
+    std::vector<std::string> fields;
+    std::string current;
+    for (char c : text) {
+        if (c == delim) {
+            fields.push_back(current);
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    fields.push_back(current);
+    return fields;
+}
+
+std::string
+trimString(const std::string &text)
+{
+    auto begin = text.begin();
+    auto end = text.end();
+    while (begin != end && std::isspace(static_cast<unsigned char>(*begin)))
+        ++begin;
+    while (end != begin &&
+           std::isspace(static_cast<unsigned char>(*(end - 1)))) {
+        --end;
+    }
+    return std::string(begin, end);
+}
+
+std::string
+formatDouble(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+formatPercent(double fraction, int precision)
+{
+    return formatDouble(fraction * 100.0, precision) + "%";
+}
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    static const char *suffixes[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    double value = static_cast<double>(bytes);
+    int index = 0;
+    while (value >= 1024.0 && index < 4) {
+        value /= 1024.0;
+        ++index;
+    }
+    return formatDouble(value, index == 0 ? 0 : 1) + " " + suffixes[index];
+}
+
+std::string
+padLeft(const std::string &text, std::size_t width)
+{
+    if (text.size() >= width)
+        return text;
+    return std::string(width - text.size(), ' ') + text;
+}
+
+std::string
+padRight(const std::string &text, std::size_t width)
+{
+    if (text.size() >= width)
+        return text;
+    return text + std::string(width - text.size(), ' ');
+}
+
+void
+TextTable::setHeader(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &row) {
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    if (!header_.empty())
+        grow(header_);
+    for (const auto &row : rows_)
+        grow(row);
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i > 0)
+                os << "  ";
+            // Left-align the first column (labels), right-align numbers.
+            os << (i == 0 ? padRight(row[i], widths[i])
+                          : padLeft(row[i], widths[i]));
+        }
+        os << '\n';
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < widths.size(); ++i)
+            total += widths[i] + (i > 0 ? 2 : 0);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+} // namespace mosaic

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Small string/formatting helpers used by reports and CSV emitters.
+ */
+
+#ifndef MOSAIC_SUPPORT_STR_HH
+#define MOSAIC_SUPPORT_STR_HH
+
+#include <string>
+#include <vector>
+
+namespace mosaic
+{
+
+/** Split @p text on @p delim; empty fields are preserved. */
+std::vector<std::string> splitString(const std::string &text, char delim);
+
+/** Strip leading/trailing whitespace. */
+std::string trimString(const std::string &text);
+
+/** Format a double with @p precision significant decimal digits. */
+std::string formatDouble(double value, int precision = 3);
+
+/** Format a fraction (0.42) as a percentage string ("42.0%"). */
+std::string formatPercent(double fraction, int precision = 1);
+
+/** Format a byte count with a binary-unit suffix (e.g. "64.0 MiB"). */
+std::string formatBytes(std::uint64_t bytes);
+
+/** Left-pad @p text with spaces to @p width. */
+std::string padLeft(const std::string &text, std::size_t width);
+
+/** Right-pad @p text with spaces to @p width. */
+std::string padRight(const std::string &text, std::size_t width);
+
+/**
+ * Fixed-width plain-text table builder for bench/report output.
+ *
+ * Collects rows of cells and renders them with aligned columns, in the
+ * spirit of the rows the paper's tables and figure series print.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table with aligned columns. */
+    std::string render() const;
+
+    /** @return number of data rows added so far. */
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace mosaic
+
+#endif // MOSAIC_SUPPORT_STR_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fundamental typed quantities shared by every mosaic library.
+ *
+ * Virtual/physical addresses, cycle counts, and byte sizes are kept as
+ * distinct aliases so interfaces read unambiguously (Core Guidelines P.1:
+ * express ideas directly in code).
+ */
+
+#ifndef MOSAIC_SUPPORT_TYPES_HH
+#define MOSAIC_SUPPORT_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mosaic
+{
+
+/** A virtual address in the simulated address space. */
+using VirtAddr = std::uint64_t;
+
+/** A physical address in the simulated machine. */
+using PhysAddr = std::uint64_t;
+
+/** A count of CPU clock cycles. */
+using Cycles = std::uint64_t;
+
+/** A count of retired instructions. */
+using Insts = std::uint64_t;
+
+/** A size or length in bytes. */
+using Bytes = std::uint64_t;
+
+/** Commonly used byte-size literals. */
+constexpr Bytes operator""_KiB(unsigned long long v) { return v << 10; }
+constexpr Bytes operator""_MiB(unsigned long long v) { return v << 20; }
+constexpr Bytes operator""_GiB(unsigned long long v) { return v << 30; }
+
+/** Round @p value down to a multiple of @p alignment (power of two). */
+constexpr std::uint64_t
+alignDown(std::uint64_t value, std::uint64_t alignment)
+{
+    return value & ~(alignment - 1);
+}
+
+/** Round @p value up to a multiple of @p alignment (power of two). */
+constexpr std::uint64_t
+alignUp(std::uint64_t value, std::uint64_t alignment)
+{
+    return (value + alignment - 1) & ~(alignment - 1);
+}
+
+/** @return true if @p value is a power of two (and nonzero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** @return floor(log2(value)); @p value must be nonzero. */
+constexpr unsigned
+floorLog2(std::uint64_t value)
+{
+    unsigned result = 0;
+    while (value >>= 1)
+        ++result;
+    return result;
+}
+
+} // namespace mosaic
+
+#endif // MOSAIC_SUPPORT_TYPES_HH

@@ -1,0 +1,113 @@
+#include "trace/miss_profile.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+#include "vm/tlb.hh"
+
+namespace mosaic::trace
+{
+
+MissProfile::MissProfile(const MemoryTrace &trace, VirtAddr pool_base,
+                         Bytes pool_size, std::uint32_t l2_entries)
+    : poolSize_(pool_size)
+{
+    std::size_t num_buckets =
+        static_cast<std::size_t>(alignUp(pool_size, bucketBytes) /
+                                 bucketBytes);
+    buckets_.assign(std::max<std::size_t>(num_buckets, 1), 0);
+
+    // Reference two-level TLB over 4KB pages only.
+    vm::L1TlbConfig l1;
+    vm::L2TlbConfig l2;
+    l2.entries = l2_entries;
+    l2.ways = 4;
+    vm::TlbSystem tlb(l1, l2);
+
+    for (const auto &record : trace.records()) {
+        auto outcome = tlb.lookup(record.vaddr, alloc::PageSize::Page4K);
+        if (outcome == vm::TlbOutcome::Miss) {
+            tlb.fill(record.vaddr, alloc::PageSize::Page4K);
+            if (record.vaddr >= pool_base &&
+                record.vaddr < pool_base + pool_size) {
+                Bytes offset = record.vaddr - pool_base;
+                ++buckets_[offset / bucketBytes];
+                ++totalMisses_;
+            }
+        }
+    }
+}
+
+std::uint64_t
+MissProfile::missesAt(Bytes offset) const
+{
+    mosaic_assert(offset < poolSize_, "offset outside pool");
+    return buckets_[offset / bucketBytes];
+}
+
+HotRegion
+MissProfile::findHotRegion(double fraction) const
+{
+    mosaic_assert(fraction > 0.0 && fraction <= 1.0,
+                  "bad hot-region fraction ", fraction);
+    HotRegion region;
+    if (totalMisses_ == 0)
+        return region;
+
+    const auto target = static_cast<std::uint64_t>(
+        fraction * static_cast<double>(totalMisses_));
+
+    // Two-pointer scan for the smallest window with sum >= target.
+    std::size_t best_lo = 0, best_hi = buckets_.size();
+    std::uint64_t best_sum = totalMisses_;
+    bool found = false;
+
+    std::uint64_t sum = 0;
+    std::size_t lo = 0;
+    for (std::size_t hi = 0; hi < buckets_.size(); ++hi) {
+        sum += buckets_[hi];
+        while (sum - buckets_[lo] >= target && lo < hi) {
+            sum -= buckets_[lo];
+            ++lo;
+        }
+        if (sum >= target &&
+            (!found || hi + 1 - lo < best_hi - best_lo)) {
+            best_lo = lo;
+            best_hi = hi + 1;
+            best_sum = sum;
+            found = true;
+        }
+    }
+    mosaic_assert(found, "no window reaches the target fraction");
+
+    region.start = best_lo * bucketBytes;
+    region.length = (best_hi - best_lo) * bucketBytes;
+    region.coverage = static_cast<double>(best_sum) /
+                      static_cast<double>(totalMisses_);
+    return region;
+}
+
+bool
+MissProfile::hotRegionNearBottom(const HotRegion &region) const
+{
+    // Compare the region's midpoint with the midpoint of the used
+    // bucket span.
+    std::size_t first_used = 0, last_used = buckets_.size();
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] != 0) {
+            first_used = i;
+            break;
+        }
+    }
+    for (std::size_t i = buckets_.size(); i-- > 0;) {
+        if (buckets_[i] != 0) {
+            last_used = i + 1;
+            break;
+        }
+    }
+    Bytes used_mid = (first_used + last_used) * bucketBytes / 2;
+    Bytes region_mid = region.start + region.length / 2;
+    return region_mid <= used_mid;
+}
+
+} // namespace mosaic::trace

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * TLB-miss profiling — the PEBS substitute.
+ *
+ * The paper's sliding-window heuristic (Section VI-B) needs to know
+ * where a workload's TLB misses concentrate: it "(1) collects the
+ * workload's TLB miss trace with PEBS; (2) identifies the smallest hot
+ * region, a contiguous segment that accounts for X percent of all TLB
+ * misses (when using 4KB pages)". Here the miss trace comes from a
+ * reference 4KB-page L2-TLB simulation over the recorded trace, binned
+ * into 2MB-aligned buckets of a pool's offset space.
+ */
+
+#ifndef MOSAIC_TRACE_MISS_PROFILE_HH
+#define MOSAIC_TRACE_MISS_PROFILE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/types.hh"
+#include "trace/trace.hh"
+
+namespace mosaic::trace
+{
+
+/** Result of hot-region identification. */
+struct HotRegion
+{
+    /** Pool-relative start offset (2MB aligned). */
+    Bytes start = 0;
+
+    /** Length in bytes (2MB multiple); 0 if the pool saw no misses. */
+    Bytes length = 0;
+
+    /** Fraction of all misses the region covers (>= requested X). */
+    double coverage = 0.0;
+
+    Bytes end() const { return start + length; }
+};
+
+/**
+ * Per-bucket TLB-miss histogram over one pool's offset space.
+ */
+class MissProfile
+{
+  public:
+    /** Bucket granularity: one 2MB hugepage. */
+    static constexpr Bytes bucketBytes = 2_MiB;
+
+    /**
+     * Simulate a 4KB-page L2 TLB over @p trace and bin the misses of
+     * addresses inside [pool_base, pool_base + pool_size).
+     *
+     * @param l2_entries reference TLB capacity (512 = SandyBridge L2)
+     */
+    MissProfile(const MemoryTrace &trace, VirtAddr pool_base,
+                Bytes pool_size, std::uint32_t l2_entries = 512);
+
+    /** Total misses attributed to the pool. */
+    std::uint64_t totalMisses() const { return totalMisses_; }
+
+    /** Miss count of the bucket holding @p offset. */
+    std::uint64_t missesAt(Bytes offset) const;
+
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+
+    /**
+     * Smallest contiguous bucket window covering at least
+     * @p fraction of all misses (two-pointer scan).
+     */
+    HotRegion findHotRegion(double fraction) const;
+
+    /**
+     * True if the hot region sits in the lower half of the pool's
+     * used space (determines the slide direction, Section VI-B).
+     */
+    bool hotRegionNearBottom(const HotRegion &region) const;
+
+  private:
+    Bytes poolSize_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t totalMisses_ = 0;
+};
+
+} // namespace mosaic::trace
+
+#endif // MOSAIC_TRACE_MISS_PROFILE_HH

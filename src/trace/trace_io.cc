@@ -1,0 +1,128 @@
+#include "trace/trace_io.hh"
+
+#include <cstdio>
+#include <memory>
+
+#include "support/logging.hh"
+
+namespace mosaic::trace
+{
+
+namespace
+{
+
+/** On-disk record: 8-byte address, 2-byte gap, 1-byte flags. */
+struct PackedRecord
+{
+    std::uint64_t vaddr;
+    std::uint16_t gap;
+    std::uint8_t flags;
+} __attribute__((packed));
+
+static_assert(sizeof(PackedRecord) == 11, "packed record layout");
+
+struct Header
+{
+    std::uint32_t magic;
+    std::uint32_t version;
+    std::uint64_t numRecords;
+};
+
+struct FileCloser
+{
+    void
+    operator()(std::FILE *file) const
+    {
+        if (file)
+            std::fclose(file);
+    }
+};
+
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+} // namespace
+
+void
+saveTrace(const MemoryTrace &trace, const std::string &path)
+{
+    FilePtr file(std::fopen(path.c_str(), "wb"));
+    mosaic_assert(file != nullptr, "cannot open ", path, " for writing");
+
+    Header header{traceMagic, traceVersion, trace.size()};
+    mosaic_assert(std::fwrite(&header, sizeof(header), 1, file.get()) ==
+                      1,
+                  "header write failed for ", path);
+
+    // Buffered block writes: pack 4096 records at a time.
+    std::vector<PackedRecord> block;
+    block.reserve(4096);
+    for (const auto &record : trace.records()) {
+        std::uint8_t flags =
+            static_cast<std::uint8_t>((record.isWrite ? 1 : 0) |
+                                      (record.dependsOnPrev ? 2 : 0));
+        block.push_back(PackedRecord{record.vaddr, record.gap, flags});
+        if (block.size() == block.capacity()) {
+            mosaic_assert(std::fwrite(block.data(),
+                                      sizeof(PackedRecord),
+                                      block.size(),
+                                      file.get()) == block.size(),
+                          "record write failed for ", path);
+            block.clear();
+        }
+    }
+    if (!block.empty()) {
+        mosaic_assert(std::fwrite(block.data(), sizeof(PackedRecord),
+                                  block.size(),
+                                  file.get()) == block.size(),
+                      "record write failed for ", path);
+    }
+}
+
+MemoryTrace
+loadTrace(const std::string &path)
+{
+    FilePtr file(std::fopen(path.c_str(), "rb"));
+    mosaic_assert(file != nullptr, "cannot open ", path);
+
+    Header header{};
+    mosaic_assert(std::fread(&header, sizeof(header), 1, file.get()) ==
+                      1,
+                  "truncated header in ", path);
+    mosaic_assert(header.magic == traceMagic, "not a trace file: ",
+                  path);
+    mosaic_assert(header.version == traceVersion,
+                  "unsupported trace version ", header.version);
+
+    MemoryTrace trace;
+    trace.reserve(header.numRecords);
+    std::vector<PackedRecord> block(4096);
+    std::uint64_t remaining = header.numRecords;
+    while (remaining > 0) {
+        std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(remaining, block.size()));
+        std::size_t got = std::fread(block.data(), sizeof(PackedRecord),
+                                     want, file.get());
+        mosaic_assert(got == want, "truncated records in ", path);
+        for (std::size_t i = 0; i < got; ++i) {
+            trace.add(block[i].vaddr, block[i].gap,
+                      (block[i].flags & 1) != 0,
+                      (block[i].flags & 2) != 0);
+        }
+        remaining -= got;
+    }
+    return trace;
+}
+
+bool
+isTraceFile(const std::string &path)
+{
+    FilePtr file(std::fopen(path.c_str(), "rb"));
+    if (!file)
+        return false;
+    std::uint32_t magic = 0;
+    if (std::fread(&magic, sizeof(magic), 1, file.get()) != 1)
+        return false;
+    return magic == traceMagic;
+}
+
+} // namespace mosaic::trace

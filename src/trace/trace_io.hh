@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Binary trace serialization.
+ *
+ * Workload traces are deterministic, but multi-hundred-thousand-record
+ * generation (graph construction, permutation shuffles) can dominate
+ * short experiments; persisting traces lets campaign reruns and
+ * external tools skip it. The format is a fixed little-endian header
+ * followed by packed records.
+ */
+
+#ifndef MOSAIC_TRACE_TRACE_IO_HH
+#define MOSAIC_TRACE_TRACE_IO_HH
+
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace mosaic::trace
+{
+
+/** Magic bytes identifying a mosaic trace file ("MTRC" + version). */
+constexpr std::uint32_t traceMagic = 0x4d545243;
+constexpr std::uint32_t traceVersion = 1;
+
+/** Write @p trace to @p path; fatal on I/O failure. */
+void saveTrace(const MemoryTrace &trace, const std::string &path);
+
+/** Read a trace previously written by saveTrace; fatal on mismatch. */
+MemoryTrace loadTrace(const std::string &path);
+
+/** @return true if @p path exists and carries the trace magic. */
+bool isTraceFile(const std::string &path);
+
+} // namespace mosaic::trace
+
+#endif // MOSAIC_TRACE_TRACE_IO_HH

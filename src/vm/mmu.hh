@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The MMU facade: TLB system + page-walk caches + hardware walkers.
+ *
+ * This is the "partial simulator of the virtual memory subsystem" of
+ * Figure 1 in the paper, plus the PMU counters that a real machine
+ * would expose: H (L1-TLB misses that hit the L2 TLB), M (misses in
+ * both TLB levels), and C (aggregate page-walk cycles).
+ */
+
+#ifndef MOSAIC_VM_MMU_HH
+#define MOSAIC_VM_MMU_HH
+
+#include "memhier/hierarchy.hh"
+#include "support/types.hh"
+#include "vm/page_table.hh"
+#include "vm/tlb.hh"
+#include "vm/walker.hh"
+
+namespace mosaic::vm
+{
+
+/** Full MMU configuration (one per platform generation, Table 4). */
+struct MmuConfig
+{
+    L1TlbConfig l1Tlb;
+    L2TlbConfig l2Tlb;
+    PwcConfig pwc;
+    unsigned numWalkers = 1;
+
+    /** L2-TLB access latency: 7 cycles per Intel's manuals (the
+     *  constant the Pham model multiplies H by). */
+    Cycles l2TlbHitLatency = 7;
+};
+
+/** What one address translation cost. */
+struct TranslationEvent
+{
+    PhysAddr physAddr = 0;
+    alloc::PageSize pageSize = alloc::PageSize::Page4K;
+    TlbOutcome outcome = TlbOutcome::L1Hit;
+
+    /** Translation latency excluding walker queueing (0 on L1 hit, 7
+     *  on L2 hit, walk cycles on a miss). */
+    Cycles latency = 0;
+
+    /** Extra delay spent waiting for a free hardware walker. */
+    Cycles queueCycles = 0;
+};
+
+/** The paper's PMU counter triple (plus walk count). */
+struct MmuCounters
+{
+    std::uint64_t h = 0; ///< L2-TLB hits
+    std::uint64_t m = 0; ///< misses in both TLB levels
+    Cycles c = 0;        ///< aggregate walk cycles
+
+    std::uint64_t l1Hits = 0;
+    Cycles queueCycles = 0;
+};
+
+/**
+ * Per-access translation engine with PMU-style accounting.
+ */
+class Mmu
+{
+  public:
+    Mmu(const PageTable &page_table, mem::MemoryHierarchy &hierarchy,
+        const MmuConfig &config);
+
+    /**
+     * Translate @p vaddr at time @p now, simulating TLB lookups and,
+     * on a full miss, a hardware page walk.
+     */
+    TranslationEvent translate(VirtAddr vaddr, Cycles now);
+
+    /** Reset TLBs and PWCs (e.g., between benchmark repetitions). */
+    void flush();
+
+    const MmuCounters &counters() const { return counters_; }
+    const TlbSystem &tlb() const { return tlb_; }
+    const PageWalker &walker() const { return walker_; }
+    const MmuConfig &config() const { return config_; }
+
+  private:
+    const PageTable &pageTable_;
+    MmuConfig config_;
+    TlbSystem tlb_;
+    PageWalker walker_;
+    MmuCounters counters_;
+};
+
+} // namespace mosaic::vm
+
+#endif // MOSAIC_VM_MMU_HH

@@ -1,0 +1,101 @@
+#include "vm/page_table.hh"
+
+#include "support/logging.hh"
+
+namespace mosaic::vm
+{
+
+PageTable::PageTable(PhysMem &phys_mem)
+    : physMem_(phys_mem)
+{
+    newNode(); // Node 0: the PML4 root.
+}
+
+std::uint32_t
+PageTable::newNode()
+{
+    Node node;
+    node.frame = physMem_.allocPageTableNode();
+    nodes_.push_back(node);
+    return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+void
+PageTable::map(VirtAddr vbase, alloc::PageSize size, PhysAddr pbase)
+{
+    Bytes page = alloc::pageBytes(size);
+    mosaic_assert(vbase % page == 0, "vbase ", vbase, " misaligned for ",
+                  alloc::pageSizeName(size));
+    mosaic_assert(pbase % page == 0, "pbase ", pbase, " misaligned for ",
+                  alloc::pageSizeName(size));
+
+    PtLevel leaf = leafLevel(size);
+    std::uint32_t node_id = 0;
+    for (unsigned l = 0; l < numPtLevels; ++l) {
+        auto level = static_cast<PtLevel>(l);
+        std::uint64_t index = levelIndex(vbase, level);
+        Entry &entry = nodes_[node_id].entries[index];
+        if (level == leaf) {
+            mosaic_assert(!entry.present, "double mapping of ", vbase);
+            entry.present = true;
+            entry.leaf = true;
+            entry.phys = pbase;
+            ++mappedPages_[static_cast<std::size_t>(size)];
+            return;
+        }
+        if (!entry.present) {
+            std::uint32_t child = newNode();
+            // newNode() may reallocate nodes_; re-take the reference.
+            Entry &fresh = nodes_[node_id].entries[index];
+            fresh.present = true;
+            fresh.leaf = false;
+            fresh.next = child;
+            node_id = child;
+        } else {
+            mosaic_assert(!entry.leaf,
+                          "hugepage already mapped over ", vbase);
+            node_id = entry.next;
+        }
+    }
+    mosaic_panic("unreachable: walk ran past the PT level");
+}
+
+void
+PageTable::populate(const alloc::Mosalloc &allocator)
+{
+    for (const auto &mapping : allocator.pageMappings()) {
+        PhysAddr frame = physMem_.allocDataFrame(mapping.pageSize);
+        map(mapping.virtBase, mapping.pageSize, frame);
+    }
+}
+
+Translation
+PageTable::translate(VirtAddr vaddr) const
+{
+    Translation result;
+    std::uint32_t node_id = 0;
+    for (unsigned l = 0; l < numPtLevels; ++l) {
+        auto level = static_cast<PtLevel>(l);
+        std::uint64_t index = levelIndex(vaddr, level);
+        const Entry &entry = nodes_[node_id].entries[index];
+        result.entryAddrs[result.depth++] = entryPhysAddr(node_id, index);
+        if (!entry.present)
+            return result; // valid stays false
+        if (entry.leaf) {
+            alloc::PageSize size =
+                level == PtLevel::Pdpt ? alloc::PageSize::Page1G
+                : level == PtLevel::Pd ? alloc::PageSize::Page2M
+                                       : alloc::PageSize::Page4K;
+            mosaic_assert(level != PtLevel::Pml4, "leaf PML4E impossible");
+            Bytes page = alloc::pageBytes(size);
+            result.valid = true;
+            result.pageSize = size;
+            result.physAddr = entry.phys + (vaddr & (page - 1));
+            return result;
+        }
+        node_id = entry.next;
+    }
+    return result;
+}
+
+} // namespace mosaic::vm

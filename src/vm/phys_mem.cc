@@ -1,0 +1,28 @@
+#include "vm/phys_mem.hh"
+
+#include "support/logging.hh"
+
+namespace mosaic::vm
+{
+
+PhysAddr
+PhysMem::allocPageTableNode()
+{
+    PhysAddr addr = pageTableBase + ptNodes_ * 4_KiB;
+    mosaic_assert(addr + 4_KiB <= pageTableBase + pageTableRegion,
+                  "page-table region exhausted");
+    ++ptNodes_;
+    return addr;
+}
+
+PhysAddr
+PhysMem::allocDataFrame(alloc::PageSize size)
+{
+    Bytes frame = alloc::pageBytes(size);
+    dataCursor_ = alignUp(dataCursor_, frame);
+    PhysAddr addr = dataBase + dataCursor_;
+    dataCursor_ += frame;
+    return addr;
+}
+
+} // namespace mosaic::vm

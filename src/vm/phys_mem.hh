@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Simulated physical memory: frame allocation for data pages and
+ * page-table nodes.
+ *
+ * No data is stored; the allocator only hands out distinct, suitably
+ * aligned physical addresses so cache indexing and page-table-entry
+ * placement behave like on a real machine. Page-table nodes live in a
+ * dedicated low region; data frames are carved above it.
+ */
+
+#ifndef MOSAIC_VM_PHYS_MEM_HH
+#define MOSAIC_VM_PHYS_MEM_HH
+
+#include <cstdint>
+
+#include "mosalloc/page_size.hh"
+#include "support/types.hh"
+
+namespace mosaic::vm
+{
+
+/** Bump allocator over the simulated physical address space. */
+class PhysMem
+{
+  public:
+    /** Physical region where page-table nodes are placed. */
+    static constexpr PhysAddr pageTableBase = 0x0;
+
+    /** Size reserved for page-table nodes. */
+    static constexpr Bytes pageTableRegion = 1_GiB;
+
+    /** Data frames start here (1 GiB aligned for 1GB frames). */
+    static constexpr PhysAddr dataBase = pageTableBase + pageTableRegion;
+
+    PhysMem() = default;
+
+    /**
+     * Allocate one 4KB frame for a page-table node.
+     * @return the node's physical base address.
+     */
+    PhysAddr allocPageTableNode();
+
+    /**
+     * Allocate a data frame of the given page size, naturally aligned.
+     * @return the frame's physical base address.
+     */
+    PhysAddr allocDataFrame(alloc::PageSize size);
+
+    std::uint64_t numPageTableNodes() const { return ptNodes_; }
+    Bytes dataBytesAllocated() const { return dataCursor_; }
+
+  private:
+    std::uint64_t ptNodes_ = 0;
+    Bytes dataCursor_ = 0;
+};
+
+} // namespace mosaic::vm
+
+#endif // MOSAIC_VM_PHYS_MEM_HH

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Translation lookaside buffers.
+ *
+ * L1 TLBs are split per page size (Table 4: 64 x 4KB, 32 x 2MB,
+ * 4 x 1GB entries on every modelled generation). The L2 TLB differs
+ * per microarchitecture: SandyBridge/IvyBridge hold 4KB translations
+ * only, Haswell shares 4KB+2MB entries, Broadwell/Skylake additionally
+ * have a small 1GB array. Page sizes the L2 cannot hold fall straight
+ * through to the page walker, exactly as on the real parts.
+ */
+
+#ifndef MOSAIC_VM_TLB_HH
+#define MOSAIC_VM_TLB_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "mosalloc/page_size.hh"
+#include "support/types.hh"
+
+namespace mosaic::vm
+{
+
+/**
+ * One set-associative translation array.
+ *
+ * The array stores opaque 64-bit keys; callers encode the virtual page
+ * number and (for shared arrays) the page size into the key. The set
+ * index is derived from the key's low bits, LRU replacement within a
+ * set.
+ */
+class TlbArray
+{
+  public:
+    /**
+     * @param entries total entry count (0 = array absent)
+     * @param ways associativity; clamped to entries (full assoc)
+     */
+    TlbArray(std::uint32_t entries, std::uint32_t ways);
+
+    /** Look up @p key; updates LRU on hit. */
+    bool lookup(std::uint64_t key);
+
+    /** Install @p key (evicting the set's LRU victim on conflict). */
+    void insert(std::uint64_t key);
+
+    /** Drop all entries. */
+    void flush();
+
+    bool present() const { return entries_ != 0; }
+    std::uint32_t numEntries() const { return entries_; }
+    std::uint32_t numWays() const { return ways_; }
+    std::uint32_t numSets() const { return numSets_; }
+
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+  private:
+    struct Way
+    {
+        std::uint64_t key = ~0ULL;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    std::uint32_t entries_;
+    std::uint32_t ways_;
+    std::uint32_t numSets_ = 0;
+    std::uint64_t setMask_ = 0;
+    std::vector<Way> storage_;
+    std::uint64_t lruClock_ = 0;
+};
+
+/** Split L1 TLB geometry: one array per page size. */
+struct L1TlbConfig
+{
+    std::uint32_t entries4k = 64;
+    std::uint32_t entries2m = 32;
+    std::uint32_t entries1g = 4;
+    std::uint32_t ways4k = 4;
+    std::uint32_t ways2m = 4;
+    std::uint32_t ways1g = 4; ///< == entries1g: fully associative
+};
+
+/** L2 ("STLB") configuration per Table 4 of the paper. */
+struct L2TlbConfig
+{
+    /** Total shared entries (4KB, plus 2MB when shares2m). */
+    std::uint32_t entries = 512;
+    std::uint32_t ways = 4;
+
+    /** Haswell onward: 2MB translations share the main array. */
+    bool shares2m = false;
+
+    /** Broadwell/Skylake: dedicated 1GB entries (0 = none). */
+    std::uint32_t entries1g = 0;
+};
+
+/** Where a translation request was satisfied. */
+enum class TlbOutcome : std::uint8_t
+{
+    L1Hit = 0,
+    L2Hit = 1,  ///< counted as H in the paper's notation
+    Miss = 2,   ///< counted as M; triggers a page walk
+};
+
+/**
+ * Two-level TLB system with the paper's H/M accounting.
+ */
+class TlbSystem
+{
+  public:
+    TlbSystem(const L1TlbConfig &l1, const L2TlbConfig &l2);
+
+    /**
+     * Look up @p vaddr, whose page is known to be @p size.
+     * On Miss the caller must complete a walk and then call fill().
+     */
+    TlbOutcome lookup(VirtAddr vaddr, alloc::PageSize size);
+
+    /** Install a translation after a walk (fills L1 and L2). */
+    void fill(VirtAddr vaddr, alloc::PageSize size);
+
+    /** Drop all entries in both levels. */
+    void flush();
+
+    /** L2-TLB hits (the paper's H). */
+    std::uint64_t l2Hits() const { return l2HitCount_; }
+
+    /** Misses in both levels (the paper's M). */
+    std::uint64_t fullMisses() const { return fullMissCount_; }
+
+    std::uint64_t l1Hits() const { return l1HitCount_; }
+
+    const TlbArray &l1Array(alloc::PageSize size) const;
+    const TlbArray &l2Shared() const { return l2Shared_; }
+    const TlbArray &l2Huge1g() const { return l2Huge1g_; }
+
+    /** True if the L2 can hold translations of @p size. */
+    bool l2Holds(alloc::PageSize size) const;
+
+  private:
+    /** Size-disambiguated lookup key for shared arrays. */
+    static std::uint64_t
+    makeKey(VirtAddr vaddr, alloc::PageSize size)
+    {
+        std::uint64_t vpn = vaddr >> alloc::pageShift(size);
+        return (vpn << 2) | static_cast<std::uint64_t>(size);
+    }
+
+    TlbArray &l1ArrayMut(alloc::PageSize size);
+
+    std::array<TlbArray, alloc::numPageSizes> l1_;
+    TlbArray l2Shared_;
+    TlbArray l2Huge1g_;
+    L2TlbConfig l2Config_;
+
+    std::uint64_t l1HitCount_ = 0;
+    std::uint64_t l2HitCount_ = 0;
+    std::uint64_t fullMissCount_ = 0;
+};
+
+} // namespace mosaic::vm
+
+#endif // MOSAIC_VM_TLB_HH

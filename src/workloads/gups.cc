@@ -1,0 +1,80 @@
+#include "workloads/gups.hh"
+
+#include "support/logging.hh"
+
+namespace mosaic::workloads
+{
+
+GupsWorkload::GupsWorkload(const GupsParams &params)
+    : params_(params)
+{
+    mosaic_assert(params_.tableBytes >= 1_MiB, "GUPS table too small");
+}
+
+WorkloadInfo
+GupsWorkload::info() const
+{
+    return {"gups", params_.sizeName};
+}
+
+Bytes
+GupsWorkload::heapPoolSize() const
+{
+    // Table plus malloc bookkeeping slack.
+    return alignUp(params_.tableBytes + 1_MiB, 2_MiB);
+}
+
+trace::MemoryTrace
+GupsWorkload::generateTrace() const
+{
+    TraceBuilder builder(baselineAllocConfig(), params_.updates * 2);
+    Rng rng(params_.seed);
+
+    VirtAddr table = builder.allocator().malloc(params_.tableBytes);
+    mosaic_assert(table != 0, "GUPS table allocation failed");
+    const std::uint64_t slots = params_.tableBytes / 8;
+
+    for (std::uint64_t i = 0; i < params_.updates; ++i) {
+        // ra[idx] ^= key: one load and one store to the same word,
+        // with the small index-arithmetic gap of the real kernel.
+        VirtAddr addr = table + 8 * rng.nextBounded(slots);
+        builder.load(addr, 4);
+        builder.store(addr, 1);
+    }
+    return builder.take();
+}
+
+GupsParams
+gupsSmall()
+{
+    GupsParams params;
+    params.tableBytes = 256_MiB;
+    params.updates = 200000;
+    params.sizeName = "8GB";
+    params.seed = 0x6009500008ULL;
+    return params;
+}
+
+GupsParams
+gupsMedium()
+{
+    GupsParams params;
+    params.tableBytes = 512_MiB;
+    params.updates = 200000;
+    params.sizeName = "16GB";
+    params.seed = 0x6009500016ULL;
+    return params;
+}
+
+GupsParams
+gupsLarge()
+{
+    GupsParams params;
+    params.tableBytes = 1_GiB;
+    params.updates = 200000;
+    params.sizeName = "32GB";
+    params.seed = 0x6009500032ULL;
+    return params;
+}
+
+} // namespace mosaic::workloads

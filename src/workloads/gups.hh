@@ -1,0 +1,56 @@
+/**
+ * @file
+ * GUPS (Giga-Updates Per Second / HPCC RandomAccess) surrogate.
+ *
+ * The classic TLB killer: read-modify-write of random 8-byte words in
+ * one huge table. Virtually every access touches a new page, so the
+ * 4KB configuration walks constantly and, on two-walker parts, the walk
+ * cycle counter C can exceed total runtime R (Section VI-D).
+ */
+
+#ifndef MOSAIC_WORKLOADS_GUPS_HH
+#define MOSAIC_WORKLOADS_GUPS_HH
+
+#include "workloads/workload.hh"
+
+namespace mosaic::workloads
+{
+
+/** Configuration of one GUPS instance. */
+struct GupsParams
+{
+    /** Table size (the paper runs 8/16/32 GB; these are scaled). */
+    Bytes tableBytes = 256_MiB;
+
+    /** Number of random update iterations. */
+    std::uint64_t updates = 200000;
+
+    /** Name used in figures ("8GB" etc., the paper's label). */
+    std::string sizeName = "8GB";
+
+    std::uint64_t seed = 0x6009500001ULL;
+};
+
+class GupsWorkload : public Workload
+{
+  public:
+    explicit GupsWorkload(const GupsParams &params);
+
+    WorkloadInfo info() const override;
+    Bytes heapPoolSize() const override;
+    trace::MemoryTrace generateTrace() const override;
+
+    const GupsParams &params() const { return params_; }
+
+  private:
+    GupsParams params_;
+};
+
+/** The paper's three instances: gups/8GB, gups/16GB, gups/32GB. */
+GupsParams gupsSmall();  ///< "8GB" (scaled to 256 MiB)
+GupsParams gupsMedium(); ///< "16GB" (scaled to 512 MiB)
+GupsParams gupsLarge();  ///< "32GB" (scaled to 1 GiB)
+
+} // namespace mosaic::workloads
+
+#endif // MOSAIC_WORKLOADS_GUPS_HH

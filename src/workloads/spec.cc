@@ -1,0 +1,281 @@
+#include "workloads/spec.hh"
+
+#include <numeric>
+
+#include "support/logging.hh"
+
+namespace mosaic::workloads
+{
+
+// --------------------------------------------------------------------
+// spec06/mcf
+// --------------------------------------------------------------------
+
+McfWorkload::McfWorkload(const McfParams &params)
+    : params_(params)
+{
+}
+
+WorkloadInfo
+McfWorkload::info() const
+{
+    return {"spec06", "mcf"};
+}
+
+Bytes
+McfWorkload::heapPoolSize() const
+{
+    return alignUp(params_.arcsBytes + params_.nodesBytes + 2_MiB, 2_MiB);
+}
+
+trace::MemoryTrace
+McfWorkload::generateTrace() const
+{
+    TraceBuilder builder(baselineAllocConfig(), params_.refBudget + 64);
+    auto &allocator = builder.allocator();
+    Rng rng(params_.seed);
+
+    VirtAddr arcs = allocator.malloc(params_.arcsBytes);
+    VirtAddr nodes = allocator.malloc(params_.nodesBytes);
+    mosaic_assert(arcs && nodes, "mcf allocation failed");
+
+    const std::uint64_t num_arcs = params_.arcsBytes / 64;
+    const std::uint64_t num_nodes = params_.nodesBytes / 64;
+
+    // Network simplex: chase a random permutation cycle through the
+    // arc array (the pricing loop of the real mcf walks arcs in an
+    // order unrelated to their layout), touching the head/tail node
+    // records of every visited arc.
+    std::vector<std::uint32_t> perm(num_arcs);
+    std::iota(perm.begin(), perm.end(), 0);
+    for (std::uint64_t i = num_arcs; i-- > 1;) {
+        std::uint64_t j = rng.nextBounded(i + 1);
+        std::swap(perm[i], perm[j]);
+    }
+
+    std::uint64_t cursor = 0;
+    while (builder.numRefs() < params_.refBudget) {
+        std::uint64_t arc = perm[cursor];
+        cursor = (cursor + 1) % num_arcs;
+
+        VirtAddr arc_addr = arcs + static_cast<VirtAddr>(arc) * 64;
+        builder.load(arc_addr, 3);       // arc->cost, arc->ident
+        builder.load(arc_addr + 32, 1);  // arc->head/tail pointers
+
+        // Node potentials: the node addresses come from the arc
+        // record, so the first dereference is a dependent step.
+        std::uint64_t head = rng.nextBounded(num_nodes);
+        std::uint64_t tail = rng.nextBounded(num_nodes);
+        builder.loadDependent(nodes + head * 64, 2); // head->potential
+        builder.load(nodes + tail * 64, 1);          // tail->potential
+
+        // ~12% of arcs enter the basis: flow update writes.
+        if (rng.nextBounded(8) == 0)
+            builder.store(arc_addr + 48, 2); // arc->flow
+    }
+    return builder.take();
+}
+
+// --------------------------------------------------------------------
+// omnetpp (spec06 and spec17 parameterizations)
+// --------------------------------------------------------------------
+
+OmnetppWorkload::OmnetppWorkload(const OmnetppParams &params)
+    : params_(params)
+{
+}
+
+WorkloadInfo
+OmnetppWorkload::info() const
+{
+    return {params_.suite, params_.name};
+}
+
+Bytes
+OmnetppWorkload::heapPoolSize() const
+{
+    return alignUp(params_.heapBytes + params_.messageBytes +
+                       params_.moduleBytes + 2_MiB,
+                   2_MiB);
+}
+
+trace::MemoryTrace
+OmnetppWorkload::generateTrace() const
+{
+    TraceBuilder builder(baselineAllocConfig(), params_.refBudget + 64);
+    auto &allocator = builder.allocator();
+    Rng rng(params_.seed);
+
+    VirtAddr heap = allocator.malloc(params_.heapBytes);
+    VirtAddr messages = allocator.malloc(params_.messageBytes);
+    VirtAddr modules = allocator.malloc(params_.moduleBytes);
+    mosaic_assert(heap && messages && modules, "omnetpp allocation failed");
+
+    const std::uint64_t heap_slots = params_.heapBytes / 16;
+    const std::uint64_t num_messages = params_.messageBytes / 128;
+    const std::uint64_t num_modules = params_.moduleBytes / 256;
+
+    // The live event count drifts around half the queue capacity.
+    std::uint64_t live = heap_slots / 2;
+
+    while (builder.numRefs() < params_.refBudget) {
+        // Pop: percolate-down from the heap root — dependent loads at
+        // indices 1, 2..3, 4..7, ... (hot near the root).
+        std::uint64_t idx = 1;
+        bool first_level = true;
+        while (idx * 2 + 1 < live) {
+            // The children compared at each level are located by the
+            // previous comparison's outcome: a dependent chain.
+            if (first_level)
+                builder.load(heap + idx * 2 * 16, 1); // left child
+            else
+                builder.loadDependent(heap + idx * 2 * 16, 1);
+            first_level = false;
+            builder.load(heap + (idx * 2 + 1) * 16, 1); // right child
+            builder.store(heap + idx * 16, 1);          // sift
+            idx = idx * 2 + (rng.next() & 1);
+            // Most sift-downs settle within a few levels; only a
+            // minority of events percolate toward the leaves.
+            if (rng.nextBounded(100) < 35)
+                break;
+        }
+
+        // Handle the message: read its object and the target module.
+        std::uint64_t msg = rng.nextBounded(num_messages);
+        builder.load(messages + msg * 128, 4);      // msg header
+        builder.load(messages + msg * 128 + 64, 1); // msg payload
+        std::uint64_t mod = rng.nextBounded(num_modules);
+        builder.load(modules + mod * 256, 3);  // module gate state
+        builder.store(modules + mod * 256, 2); // statistics update
+
+        // Schedule a follow-up event: write a message, percolate up
+        // (short: new events usually stay near the leaves).
+        std::uint64_t new_msg = rng.nextBounded(num_messages);
+        builder.store(messages + new_msg * 128, 2);
+        std::uint64_t up = live - 1;
+        for (int steps = 0; steps < 3 && up > 1; ++steps) {
+            builder.load(heap + (up / 2) * 16, 1);
+            builder.store(heap + up * 16, 1);
+            up /= 2;
+        }
+        live = std::max<std::uint64_t>(heap_slots / 4,
+                                       (live + rng.nextBounded(3)) %
+                                           heap_slots);
+    }
+    return builder.take();
+}
+
+// --------------------------------------------------------------------
+// spec17/xalancbmk_s
+// --------------------------------------------------------------------
+
+XalancWorkload::XalancWorkload(const XalancParams &params)
+    : params_(params)
+{
+}
+
+WorkloadInfo
+XalancWorkload::info() const
+{
+    return {"spec17", "xalancbmk_s"};
+}
+
+Bytes
+XalancWorkload::heapPoolSize() const
+{
+    return alignUp(params_.nodeArenaBytes + params_.stringBytes + 2_MiB,
+                   2_MiB);
+}
+
+trace::MemoryTrace
+XalancWorkload::generateTrace() const
+{
+    TraceBuilder builder(baselineAllocConfig(), params_.refBudget + 64);
+    auto &allocator = builder.allocator();
+    Rng rng(params_.seed);
+
+    VirtAddr nodes = allocator.malloc(params_.nodeArenaBytes);
+    VirtAddr strings = allocator.malloc(params_.stringBytes);
+    mosaic_assert(nodes && strings, "xalancbmk allocation failed");
+
+    const std::uint64_t num_nodes = params_.nodeArenaBytes / 64;
+    const std::uint64_t string_lines = params_.stringBytes / 64;
+    const unsigned branching = params_.branching;
+
+    while (builder.numRefs() < params_.refBudget) {
+        // XPath evaluation: descend from the DOM root to a leaf. The
+        // arena is laid out breadth-first, so level L occupies ids
+        // [b^L/(b-1)-ish ...]; upper levels are few pages and hot.
+        std::uint64_t node = 0;
+        bool first_step = true;
+        while (true) {
+            VirtAddr addr = nodes + node * 64;
+            // Each node's address comes out of its parent's child
+            // pointer: a dependent chain the OoO engine cannot overlap.
+            if (first_step)
+                builder.load(addr, 2);
+            else
+                builder.loadDependent(addr, 2); // node tag + child ptr
+            first_step = false;
+            builder.load(addr + 32, 1); // attribute list head
+            std::uint64_t child =
+                node * branching + 1 + rng.nextBounded(branching);
+            if (child >= num_nodes)
+                break;
+            node = child;
+        }
+
+        // Text extraction: short sequential burst in the string table.
+        std::uint64_t line = rng.nextBounded(string_lines - 4);
+        for (unsigned i = 0; i < 4; ++i)
+            builder.load(strings + (line + i) * 64, 1);
+
+        // Output append: sequential store stream (small hot buffer).
+        builder.store(strings + (line % 64) * 64, 3);
+    }
+    return builder.take();
+}
+
+// --------------------------------------------------------------------
+// Presets
+// --------------------------------------------------------------------
+
+McfParams
+spec06Mcf()
+{
+    return McfParams{};
+}
+
+OmnetppParams
+spec06Omnetpp()
+{
+    OmnetppParams params;
+    params.suite = "spec06";
+    params.name = "omnetpp";
+    params.heapBytes = 8_MiB;
+    params.messageBytes = 72_MiB;
+    params.moduleBytes = 16_MiB;
+    params.seed = 0x0e706;
+    return params;
+}
+
+OmnetppParams
+spec17OmnetppS()
+{
+    OmnetppParams params;
+    params.suite = "spec17";
+    params.name = "omnetpp_s";
+    params.heapBytes = 12_MiB;
+    params.messageBytes = 148_MiB;
+    params.moduleBytes = 32_MiB;
+    params.seed = 0x0e717;
+    return params;
+}
+
+XalancParams
+spec17XalancbmkS()
+{
+    return XalancParams{};
+}
+
+} // namespace mosaic::workloads

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * SPEC CPU2006/CPU2017 surrogates (Table 5: spec06/mcf, spec06/omnetpp,
+ * spec17/omnetpp_s, spec17/xalancbmk_s).
+ *
+ * Each surrogate reproduces the published memory-behaviour profile of
+ * its benchmark rather than its computation:
+ *  - mcf: network-simplex pointer chasing over arc/node arrays;
+ *  - omnetpp: discrete event simulation — a hot binary-heap event
+ *    queue, message-object churn, scattered module state;
+ *  - xalancbmk: XML DOM traversal — random root-to-leaf descents over
+ *    a breadth-first-allocated node arena (hot upper levels) plus a
+ *    string table. The paper gives its footprint as 475 MB; the
+ *    surrogate keeps the same shape at 1/8 scale.
+ */
+
+#ifndef MOSAIC_WORKLOADS_SPEC_HH
+#define MOSAIC_WORKLOADS_SPEC_HH
+
+#include "workloads/workload.hh"
+
+namespace mosaic::workloads
+{
+
+/** spec06/mcf configuration. */
+struct McfParams
+{
+    Bytes arcsBytes = 192_MiB; ///< 64-byte arc records
+    Bytes nodesBytes = 48_MiB; ///< 64-byte node records
+    std::uint64_t refBudget = 380000;
+    std::uint64_t seed = 0x3cf;
+};
+
+class McfWorkload : public Workload
+{
+  public:
+    explicit McfWorkload(const McfParams &params);
+    WorkloadInfo info() const override;
+    Bytes heapPoolSize() const override;
+    trace::MemoryTrace generateTrace() const override;
+
+  private:
+    McfParams params_;
+};
+
+/** omnetpp configuration (suite selects spec06 vs spec17 labels). */
+struct OmnetppParams
+{
+    std::string suite = "spec06";
+    std::string name = "omnetpp";
+    Bytes heapBytes = 8_MiB;     ///< event heap (hot, mostly resident)
+    Bytes messageBytes = 72_MiB; ///< message pool
+    Bytes moduleBytes = 16_MiB;  ///< module state
+    std::uint64_t refBudget = 380000;
+    std::uint64_t seed = 0x0e7;
+};
+
+class OmnetppWorkload : public Workload
+{
+  public:
+    explicit OmnetppWorkload(const OmnetppParams &params);
+    WorkloadInfo info() const override;
+    Bytes heapPoolSize() const override;
+    trace::MemoryTrace generateTrace() const override;
+
+  private:
+    OmnetppParams params_;
+};
+
+/** spec17/xalancbmk_s configuration. */
+struct XalancParams
+{
+    Bytes nodeArenaBytes = 48_MiB; ///< DOM nodes, 64 bytes each
+    Bytes stringBytes = 11_MiB;    ///< string table
+    unsigned branching = 4;        ///< DOM fan-out
+    std::uint64_t refBudget = 380000;
+    std::uint64_t seed = 0xa1a;
+};
+
+class XalancWorkload : public Workload
+{
+  public:
+    explicit XalancWorkload(const XalancParams &params);
+    WorkloadInfo info() const override;
+    Bytes heapPoolSize() const override;
+    trace::MemoryTrace generateTrace() const override;
+
+  private:
+    XalancParams params_;
+};
+
+/** Paper-named presets. */
+McfParams spec06Mcf();
+OmnetppParams spec06Omnetpp();
+OmnetppParams spec17OmnetppS();
+XalancParams spec17XalancbmkS();
+
+} // namespace mosaic::workloads
+
+#endif // MOSAIC_WORKLOADS_SPEC_HH

@@ -1,0 +1,35 @@
+#include "workloads/workload.hh"
+
+namespace mosaic::workloads
+{
+
+alloc::MosallocConfig
+Workload::makeAllocConfig(const alloc::MosaicLayout &primary_layout) const
+{
+    alloc::MosallocConfig config;
+    if (primaryPool() == PoolKind::Heap) {
+        config.heapLayout = primary_layout;
+        config.anonLayout = alloc::MosaicLayout(anonPoolSize());
+    } else {
+        config.heapLayout = alloc::MosaicLayout(heapPoolSize());
+        config.anonLayout = primary_layout;
+    }
+    config.filePoolSize = 16_MiB;
+    return config;
+}
+
+alloc::MosallocConfig
+Workload::baselineAllocConfig() const
+{
+    return makeAllocConfig(alloc::MosaicLayout(primaryPoolSize()));
+}
+
+TraceBuilder::TraceBuilder(const alloc::MosallocConfig &config,
+                           std::size_t expected_refs)
+    : allocator_(config)
+{
+    if (expected_refs != 0)
+        trace_.reserve(expected_refs);
+}
+
+} // namespace mosaic::workloads

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Workload interface: TLB-sensitive benchmark surrogates.
+ *
+ * Each workload runs its algorithm once over memory allocated through
+ * Mosalloc and records the virtual-address trace. Allocation addresses
+ * are independent of the page mosaic, so the recorded trace is replayed
+ * under every layout of the campaign (Section VI of the paper runs each
+ * benchmark under 54 mosaics).
+ *
+ * Footprints are scaled versions of the paper's GB-sized benchmarks
+ * (see DESIGN.md); names are kept 1:1 with Table 5 / Figure 5.
+ */
+
+#ifndef MOSAIC_WORKLOADS_WORKLOAD_HH
+#define MOSAIC_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+
+#include "mosalloc/mosalloc.hh"
+#include "support/random.hh"
+#include "trace/trace.hh"
+
+namespace mosaic::workloads
+{
+
+/** Which Mosalloc pool the layout exploration targets. */
+enum class PoolKind
+{
+    Heap,
+    Anon,
+};
+
+/** Identity of a benchmark, mirroring the paper's labels. */
+struct WorkloadInfo
+{
+    std::string suite; ///< "spec06", "gups", "gapbs", ...
+    std::string name;  ///< "mcf", "8GB", "pr-twitter", ...
+
+    /** "suite/name", the label used in the paper's figures. */
+    std::string label() const { return suite + "/" + name; }
+};
+
+/**
+ * Base class for all benchmark surrogates.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual WorkloadInfo info() const = 0;
+
+    /** The pool whose mosaic the campaign varies. */
+    virtual PoolKind primaryPool() const { return PoolKind::Heap; }
+
+    /** Heap pool size this workload needs. */
+    virtual Bytes heapPoolSize() const = 0;
+
+    /** Anonymous pool size this workload needs. */
+    virtual Bytes anonPoolSize() const { return 16_MiB; }
+
+    /** Size of the primary pool (layout target). */
+    Bytes
+    primaryPoolSize() const
+    {
+        return primaryPool() == PoolKind::Heap ? heapPoolSize()
+                                               : anonPoolSize();
+    }
+
+    /** Virtual base address of the primary pool. */
+    VirtAddr
+    primaryPoolBase() const
+    {
+        return primaryPool() == PoolKind::Heap
+                   ? alloc::PoolAddresses::heapBase
+                   : alloc::PoolAddresses::anonBase;
+    }
+
+    /**
+     * Run the algorithm once and record its reference trace.
+     * Deterministic: two calls return identical traces.
+     */
+    virtual trace::MemoryTrace generateTrace() const = 0;
+
+    /**
+     * Mosalloc configuration placing @p primary_layout on the primary
+     * pool (the other data pool stays 4KB-backed).
+     */
+    alloc::MosallocConfig
+    makeAllocConfig(const alloc::MosaicLayout &primary_layout) const;
+
+    /** All-4KB configuration (used for trace generation). */
+    alloc::MosallocConfig baselineAllocConfig() const;
+};
+
+/**
+ * Records loads/stores into a trace while allocating via Mosalloc.
+ *
+ * The thin glue every workload uses: allocate structures, then emit
+ * address touches with per-reference instruction gaps.
+ */
+class TraceBuilder
+{
+  public:
+    explicit TraceBuilder(const alloc::MosallocConfig &config,
+                          std::size_t expected_refs = 0);
+
+    /** The allocator (for malloc/mmap during setup). */
+    alloc::Mosalloc &allocator() { return allocator_; }
+
+    /** Record a load of @p addr after @p gap non-memory instructions. */
+    void
+    load(VirtAddr addr, unsigned gap)
+    {
+        trace_.add(addr, gap, false);
+    }
+
+    /**
+     * Record a load whose address was produced by the previous
+     * reference (a pointer-chase step).
+     */
+    void
+    loadDependent(VirtAddr addr, unsigned gap)
+    {
+        trace_.add(addr, gap, false, true);
+    }
+
+    /** Record a store. */
+    void
+    store(VirtAddr addr, unsigned gap)
+    {
+        trace_.add(addr, gap, true);
+    }
+
+    std::size_t numRefs() const { return trace_.size(); }
+
+    /** Hand the finished trace to the caller. */
+    trace::MemoryTrace take() { return std::move(trace_); }
+
+  private:
+    alloc::Mosalloc allocator_;
+    trace::MemoryTrace trace_;
+};
+
+} // namespace mosaic::workloads
+
+#endif // MOSAIC_WORKLOADS_WORKLOAD_HH

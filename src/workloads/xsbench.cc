@@ -1,0 +1,110 @@
+#include "workloads/xsbench.hh"
+
+#include "support/logging.hh"
+
+namespace mosaic::workloads
+{
+
+XsBenchWorkload::XsBenchWorkload(const XsBenchParams &params)
+    : params_(params)
+{
+    mosaic_assert(params_.footprint >= 8_MiB, "XSBench footprint tiny");
+}
+
+WorkloadInfo
+XsBenchWorkload::info() const
+{
+    return {"xsbench", params_.sizeName};
+}
+
+Bytes
+XsBenchWorkload::heapPoolSize() const
+{
+    return alignUp(params_.footprint + 2_MiB, 2_MiB);
+}
+
+trace::MemoryTrace
+XsBenchWorkload::generateTrace() const
+{
+    TraceBuilder builder(baselineAllocConfig(), params_.refBudget + 64);
+    auto &allocator = builder.allocator();
+    Rng rng(params_.seed);
+
+    // Unionized energy grid: 25% of the footprint, 16-byte entries
+    // (energy + index pointer). Cross-section data: the rest, rows of
+    // 48 bytes (6 doubles: the XSBench xs vector).
+    const Bytes grid_bytes = params_.footprint / 4;
+    const Bytes xs_bytes = params_.footprint - grid_bytes;
+    VirtAddr grid = allocator.malloc(grid_bytes);
+    VirtAddr xs = allocator.malloc(xs_bytes);
+    mosaic_assert(grid && xs, "XSBench allocation failed");
+
+    const std::uint64_t grid_points = grid_bytes / 16;
+    const std::uint64_t xs_rows = xs_bytes / 48;
+
+    while (builder.numRefs() < params_.refBudget) {
+        // Binary search of a random energy in the unionized grid:
+        // dependent loads with halving stride, upper levels cache-hot.
+        std::uint64_t target = rng.nextBounded(grid_points);
+        std::uint64_t lo = 0;
+        std::uint64_t hi = grid_points;
+        bool first_probe = true;
+        while (lo + 1 < hi) {
+            std::uint64_t mid = lo + (hi - lo) / 2;
+            // Each probe's address depends on the previous compare.
+            if (first_probe)
+                builder.load(grid + mid * 16, 3);
+            else
+                builder.loadDependent(grid + mid * 16, 3);
+            first_probe = false;
+            if (mid <= target)
+                lo = mid;
+            else
+                hi = mid;
+        }
+
+        // Gather cross sections for the sampled nuclides: two adjacent
+        // rows (bracketing grid points) per nuclide, rows scattered
+        // across the whole table.
+        for (unsigned n = 0; n < params_.nuclidesPerLookup; ++n) {
+            std::uint64_t row = rng.nextBounded(xs_rows - 1);
+            builder.load(xs + row * 48, 2);
+            builder.load(xs + (row + 1) * 48, 1);
+        }
+        // Accumulate macro XS: writes to a tiny hot accumulator.
+        builder.store(grid, 6);
+    }
+    return builder.take();
+}
+
+XsBenchParams
+xsbenchSmall()
+{
+    XsBenchParams params;
+    params.footprint = 256_MiB;
+    params.sizeName = "4GB";
+    params.seed = 0x22b04;
+    return params;
+}
+
+XsBenchParams
+xsbenchMedium()
+{
+    XsBenchParams params;
+    params.footprint = 512_MiB;
+    params.sizeName = "8GB";
+    params.seed = 0x22b08;
+    return params;
+}
+
+XsBenchParams
+xsbenchLarge()
+{
+    XsBenchParams params;
+    params.footprint = 1_GiB;
+    params.sizeName = "16GB";
+    params.seed = 0x22b16;
+    return params;
+}
+
+} // namespace mosaic::workloads

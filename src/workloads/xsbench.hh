@@ -1,0 +1,56 @@
+/**
+ * @file
+ * XSBench surrogate: Monte Carlo neutron-transport macroscopic
+ * cross-section lookups (Table 5 of the paper, 4/8/16 GB instances).
+ *
+ * The kernel's memory behaviour: each lookup binary-searches the
+ * unionized energy grid (log2(G) dependent loads whose upper levels are
+ * cache-hot), then gathers per-nuclide cross-section rows scattered
+ * across a large table — the TLB-hostile part.
+ */
+
+#ifndef MOSAIC_WORKLOADS_XSBENCH_HH
+#define MOSAIC_WORKLOADS_XSBENCH_HH
+
+#include "workloads/workload.hh"
+
+namespace mosaic::workloads
+{
+
+/** Configuration of one XSBench instance. */
+struct XsBenchParams
+{
+    /** Total simulated data footprint (paper: 4/8/16 GB, scaled). */
+    Bytes footprint = 256_MiB;
+
+    /** Nuclides sampled per macroscopic lookup (the "fuel" material
+     *  averages ~34 in the real code; trimmed with the scale). */
+    unsigned nuclidesPerLookup = 12;
+
+    std::string sizeName = "4GB";
+    std::uint64_t refBudget = 380000;
+    std::uint64_t seed = 0x22b;
+};
+
+class XsBenchWorkload : public Workload
+{
+  public:
+    explicit XsBenchWorkload(const XsBenchParams &params);
+
+    WorkloadInfo info() const override;
+    Bytes heapPoolSize() const override;
+    trace::MemoryTrace generateTrace() const override;
+
+    const XsBenchParams &params() const { return params_; }
+
+  private:
+    XsBenchParams params_;
+};
+
+XsBenchParams xsbenchSmall();  ///< "4GB"
+XsBenchParams xsbenchMedium(); ///< "8GB"
+XsBenchParams xsbenchLarge();  ///< "16GB"
+
+} // namespace mosaic::workloads
+
+#endif // MOSAIC_WORKLOADS_XSBENCH_HH

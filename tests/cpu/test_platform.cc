@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the platform presets (Tables 3-4 of the paper).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/platform.hh"
+
+using namespace mosaic;
+using namespace mosaic::cpu;
+
+TEST(Platforms, PaperTrioPresent)
+{
+    auto trio = paperPlatforms();
+    ASSERT_EQ(trio.size(), 3u);
+    EXPECT_EQ(trio[0].name, "Broadwell");
+    EXPECT_EQ(trio[1].name, "Haswell");
+    EXPECT_EQ(trio[2].name, "SandyBridge");
+}
+
+TEST(Platforms, AllFiveGenerations)
+{
+    auto all = allPlatforms();
+    ASSERT_EQ(all.size(), 5u);
+    // Chronological order, as in Table 4.
+    for (std::size_t i = 1; i < all.size(); ++i)
+        EXPECT_GE(all[i].year, all[i - 1].year);
+}
+
+TEST(Platforms, Table4TlbGrowth)
+{
+    auto snb = sandyBridge();
+    auto hsw = haswell();
+    auto bdw = broadwell();
+    auto skl = skylake();
+
+    // L2 TLB entries: 512 -> 1024 -> 1536.
+    EXPECT_EQ(snb.mmu.l2Tlb.entries, 512u);
+    EXPECT_EQ(hsw.mmu.l2Tlb.entries, 1024u);
+    EXPECT_EQ(bdw.mmu.l2Tlb.entries, 1536u);
+    EXPECT_EQ(skl.mmu.l2Tlb.entries, 1536u);
+
+    // 2MB sharing starts at Haswell; 1GB entries at Broadwell.
+    EXPECT_FALSE(snb.mmu.l2Tlb.shares2m);
+    EXPECT_TRUE(hsw.mmu.l2Tlb.shares2m);
+    EXPECT_EQ(snb.mmu.l2Tlb.entries1g, 0u);
+    EXPECT_EQ(hsw.mmu.l2Tlb.entries1g, 0u);
+    EXPECT_EQ(bdw.mmu.l2Tlb.entries1g, 16u);
+
+    // Page walkers: 1 until Broadwell, then 2.
+    EXPECT_EQ(snb.mmu.numWalkers, 1u);
+    EXPECT_EQ(hsw.mmu.numWalkers, 1u);
+    EXPECT_EQ(bdw.mmu.numWalkers, 2u);
+    EXPECT_EQ(skl.mmu.numWalkers, 2u);
+}
+
+TEST(Platforms, L1TlbIdenticalAcrossGenerations)
+{
+    for (const auto &spec : allPlatforms()) {
+        EXPECT_EQ(spec.mmu.l1Tlb.entries4k, 64u) << spec.name;
+        EXPECT_EQ(spec.mmu.l1Tlb.entries2m, 32u) << spec.name;
+        EXPECT_EQ(spec.mmu.l1Tlb.entries1g, 4u) << spec.name;
+    }
+}
+
+TEST(Platforms, Table3CacheScaling)
+{
+    // Nominal L3 sizes per Table 3; modelled sizes are 1/16 scale.
+    auto snb = sandyBridge();
+    EXPECT_EQ(snb.nominalL3, 15_MiB);
+    EXPECT_EQ(snb.hierarchy.l3.capacity, 1_MiB);
+    auto bdw = broadwell();
+    EXPECT_EQ(bdw.nominalL3, 60_MiB);
+    EXPECT_EQ(bdw.hierarchy.l3.capacity, 4_MiB);
+    // Per-core L1/L2 are unscaled (Table 3: 32KB L1d, 256KB L2).
+    for (const auto &spec : allPlatforms()) {
+        EXPECT_EQ(spec.hierarchy.l1.capacity, 32_KiB) << spec.name;
+        EXPECT_EQ(spec.hierarchy.l2.capacity, 256_KiB) << spec.name;
+    }
+}
+
+TEST(Platforms, LookupByName)
+{
+    EXPECT_EQ(platformByName("Haswell").name, "Haswell");
+    EXPECT_THROW(platformByName("Pentium4"), std::runtime_error);
+}
+
+TEST(Platforms, ConfigsConstructValidSystems)
+{
+    // Each preset must produce internally consistent TLB/cache
+    // geometry (constructors validate).
+    for (const auto &spec : allPlatforms()) {
+        EXPECT_NO_THROW({
+            vm::TlbSystem tlb(spec.mmu.l1Tlb, spec.mmu.l2Tlb);
+            mem::MemoryHierarchy hierarchy(spec.hierarchy);
+        }) << spec.name;
+    }
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the gem5-style stats formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/stats_report.hh"
+#include "support/str.hh"
+
+using namespace mosaic;
+using namespace mosaic::cpu;
+
+namespace
+{
+
+RunResult
+sampleResult()
+{
+    RunResult result;
+    result.runtimeCycles = 2000000;
+    result.instructions = 1000000;
+    result.memoryRefs = 250000;
+    result.l1TlbHits = 200000;
+    result.tlbHitsL2 = 30000;
+    result.tlbMisses = 20000;
+    result.walkCycles = 800000;
+    result.walkerQueueCycles = 5000;
+    result.progL1dLoads = 250000;
+    result.progL2Loads = 60000;
+    result.progL3Loads = 20000;
+    result.progDramLoads = 9000;
+    result.walkL1dLoads = 20000;
+    return result;
+}
+
+} // namespace
+
+TEST(StatsReport, ContainsPaperCounters)
+{
+    std::string text = formatStats(sampleResult());
+    EXPECT_NE(text.find("system.cpu.dtlb.l2Hits"), std::string::npos);
+    EXPECT_NE(text.find("system.cpu.dtlb.misses"), std::string::npos);
+    EXPECT_NE(text.find("system.cpu.dtlb.walkCycles"),
+              std::string::npos);
+    EXPECT_NE(text.find("800000"), std::string::npos);
+}
+
+TEST(StatsReport, CustomPrefix)
+{
+    std::string text = formatStats(sampleResult(), "sim.core0");
+    EXPECT_NE(text.find("sim.core0.numCycles"), std::string::npos);
+    EXPECT_EQ(text.find("system.cpu"), std::string::npos);
+}
+
+TEST(StatsReport, IpcComputed)
+{
+    std::string text = formatStats(sampleResult());
+    EXPECT_NE(text.find("0.5"), std::string::npos); // 1M insts / 2M cyc
+}
+
+TEST(StatsReport, AvgWalkLatencyOnlyWithMisses)
+{
+    RunResult result = sampleResult();
+    std::string with = formatStats(result);
+    EXPECT_NE(with.find("avgWalkLatency"), std::string::npos);
+    result.tlbMisses = 0;
+    std::string without = formatStats(result);
+    EXPECT_EQ(without.find("avgWalkLatency"), std::string::npos);
+}
+
+TEST(StatsReport, Gem5StyleFraming)
+{
+    std::string text = formatStats(sampleResult());
+    EXPECT_NE(text.find("Begin Simulation Statistics"),
+              std::string::npos);
+    EXPECT_NE(text.find("End Simulation Statistics"),
+              std::string::npos);
+    // Every stat line carries a '#' description.
+    int stat_lines = 0, commented = 0;
+    for (const auto &line : splitString(text, '\n')) {
+        if (line.find("system.cpu.") == 0) {
+            ++stat_lines;
+            commented += line.find('#') != std::string::npos;
+        }
+    }
+    EXPECT_GT(stat_lines, 10);
+    EXPECT_EQ(stat_lines, commented);
+}

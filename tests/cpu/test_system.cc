@@ -1,0 +1,173 @@
+/**
+ * @file
+ * System-level tests: the assembled machine across layouts and
+ * platforms — the invariants the campaign methodology rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/system.hh"
+#include "support/random.hh"
+
+using namespace mosaic;
+using namespace mosaic::cpu;
+
+namespace
+{
+
+trace::MemoryTrace
+mixedTrace(Bytes span, std::size_t refs, std::uint64_t seed = 21)
+{
+    trace::MemoryTrace trace;
+    Rng rng(seed);
+    VirtAddr base = alloc::PoolAddresses::heapBase;
+    for (std::size_t i = 0; i < refs; ++i) {
+        // 70% random, 30% sequential to exercise both regimes.
+        VirtAddr addr =
+            rng.nextBounded(10) < 7
+                ? base + alignDown(rng.nextBounded(span), 8)
+                : base + (i * 64) % span;
+        trace.add(addr, 2 + rng.nextBounded(5), rng.nextBounded(4) == 0);
+    }
+    return trace;
+}
+
+alloc::MosallocConfig
+heapConfig(Bytes size, const alloc::MosaicLayout &layout)
+{
+    alloc::MosallocConfig config;
+    config.heapLayout = layout;
+    config.anonLayout = alloc::MosaicLayout(2_MiB);
+    config.filePoolSize = 1_MiB;
+    (void)size;
+    return config;
+}
+
+} // namespace
+
+TEST(System, TraceIsLayoutIndependentButCountersAreNot)
+{
+    const Bytes span = 64_MiB;
+    auto trace = mixedTrace(span, 30000);
+
+    auto all4k = simulateRun(sandyBridge(),
+                             heapConfig(span, alloc::MosaicLayout(span)),
+                             trace);
+    auto all2m = simulateRun(
+        sandyBridge(),
+        heapConfig(span, alloc::MosaicLayout::uniform(
+                             span, alloc::PageSize::Page2M)),
+        trace);
+    // Same references, same instructions...
+    EXPECT_EQ(all4k.memoryRefs, all2m.memoryRefs);
+    EXPECT_EQ(all4k.instructions, all2m.instructions);
+    // ...very different translation behaviour.
+    EXPECT_GT(all4k.tlbMisses, all2m.tlbMisses * 5);
+    EXPECT_GT(all4k.walkCycles, all2m.walkCycles);
+}
+
+TEST(System, MosaicInterpolatesBetweenUniformEndpoints)
+{
+    const Bytes span = 64_MiB;
+    auto trace = mixedTrace(span, 30000);
+
+    auto lo = simulateRun(
+        sandyBridge(),
+        heapConfig(span, alloc::MosaicLayout::uniform(
+                             span, alloc::PageSize::Page2M)),
+        trace);
+    auto hi = simulateRun(sandyBridge(),
+                          heapConfig(span, alloc::MosaicLayout(span)),
+                          trace);
+    auto mid = simulateRun(
+        sandyBridge(),
+        heapConfig(span, alloc::MosaicLayout::withWindow(
+                             span, 0, span / 2,
+                             alloc::PageSize::Page2M)),
+        trace);
+    EXPECT_GT(mid.tlbMisses, lo.tlbMisses);
+    EXPECT_LT(mid.tlbMisses, hi.tlbMisses);
+    EXPECT_GE(mid.runtimeCycles, lo.runtimeCycles);
+    EXPECT_LE(mid.runtimeCycles, hi.runtimeCycles);
+}
+
+TEST(System, PlatformsDifferOnTheSameTrace)
+{
+    const Bytes span = 64_MiB;
+    auto trace = mixedTrace(span, 30000);
+    auto config = heapConfig(span, alloc::MosaicLayout(span));
+
+    auto snb = simulateRun(sandyBridge(), config, trace);
+    auto bdw = simulateRun(broadwell(), config, trace);
+    // Broadwell's larger L2 TLB catches more of the working set.
+    EXPECT_LT(bdw.tlbMisses, snb.tlbMisses);
+    // Different pipelines, different runtimes.
+    EXPECT_NE(bdw.runtimeCycles, snb.runtimeCycles);
+}
+
+TEST(System, SandyBridge2mPagesStillWalk)
+{
+    // SNB's L2 TLB holds only 4KB entries: with a 2MB working set
+    // bigger than the 32-entry L1 2MB TLB, misses walk (H stays 0 for
+    // those pages while M is nonzero).
+    const Bytes span = 256_MiB; // 128 x 2MB pages >> 32 L1 entries
+    auto trace = mixedTrace(span, 30000);
+    auto result = simulateRun(
+        sandyBridge(),
+        heapConfig(span, alloc::MosaicLayout::uniform(
+                             span, alloc::PageSize::Page2M)),
+        trace);
+    EXPECT_GT(result.tlbMisses, 1000u);
+
+    // Haswell shares its L2 with 2MB entries: far fewer walks.
+    auto haswell_result = simulateRun(
+        haswell(),
+        heapConfig(span, alloc::MosaicLayout::uniform(
+                             span, alloc::PageSize::Page2M)),
+        trace);
+    EXPECT_LT(haswell_result.tlbMisses, result.tlbMisses / 4);
+    EXPECT_GT(haswell_result.tlbHitsL2, 1000u);
+}
+
+TEST(System, OneGigPagesEliminateWalksEverywhere)
+{
+    const Bytes span = 256_MiB;
+    auto trace = mixedTrace(span, 20000);
+    for (const auto &spec : paperPlatforms()) {
+        auto result = simulateRun(
+            spec,
+            heapConfig(span, alloc::MosaicLayout::uniform(
+                                 span, alloc::PageSize::Page1G)),
+            trace);
+        EXPECT_LT(result.tlbMisses, 10u) << spec.name;
+    }
+}
+
+TEST(System, PageTableSizeTracksLayout)
+{
+    const Bytes span = 64_MiB;
+    alloc::Mosalloc fine(heapConfig(span, alloc::MosaicLayout(span)));
+    alloc::Mosalloc coarse(heapConfig(
+        span,
+        alloc::MosaicLayout::uniform(span, alloc::PageSize::Page2M)));
+    System fine_system(sandyBridge(), fine);
+    System coarse_system(sandyBridge(), coarse);
+    // 4KB backing needs PT-leaf nodes; 2MB backing stops at the PD.
+    EXPECT_GT(fine_system.pageTable().numNodes(),
+              coarse_system.pageTable().numNodes() + 10);
+}
+
+TEST(System, StatsReadbackMatchesComponents)
+{
+    const Bytes span = 32_MiB;
+    auto trace = mixedTrace(span, 20000);
+    alloc::Mosalloc allocator(
+        heapConfig(span, alloc::MosaicLayout(span)));
+    System system(sandyBridge(), allocator);
+    auto result = system.run(trace);
+    EXPECT_EQ(result.tlbMisses, system.mmu().counters().m);
+    EXPECT_EQ(result.walkCycles, system.mmu().counters().c);
+    EXPECT_EQ(result.progL1dLoads,
+              system.hierarchy().l1().stats().accesses(
+                  mem::Requester::Program));
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the campaign dataset container and its CSV persistence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "experiments/dataset.hh"
+
+using namespace mosaic;
+using namespace mosaic::exp;
+
+namespace
+{
+
+RunRecord
+makeRecord(const std::string &platform, const std::string &workload,
+           const std::string &layout, Cycles runtime, Cycles walks)
+{
+    RunRecord record;
+    record.platform = platform;
+    record.workload = workload;
+    record.layout = layout;
+    record.result.runtimeCycles = runtime;
+    record.result.walkCycles = walks;
+    record.result.tlbMisses = walks / 40;
+    record.result.tlbHitsL2 = walks / 80;
+    record.result.instructions = 1000000;
+    record.result.memoryRefs = 200000;
+    record.result.progL1dLoads = 200000;
+    record.result.walkL1dLoads = walks / 40;
+    return record;
+}
+
+Dataset
+makeToyDataset()
+{
+    Dataset dataset;
+    // A fake 5-layout campaign for one pair.
+    dataset.add(makeRecord("SandyBridge", "toy/a", layoutAll4k, 2000, 900));
+    dataset.add(makeRecord("SandyBridge", "toy/a", "rand-0", 1800, 700));
+    dataset.add(makeRecord("SandyBridge", "toy/a", "rand-1", 1500, 400));
+    dataset.add(makeRecord("SandyBridge", "toy/a", layoutAll2m, 1200, 60));
+    dataset.add(
+        makeRecord("SandyBridge", "toy/a", layoutAll1g, 1100, 10));
+    return dataset;
+}
+
+} // namespace
+
+TEST(Dataset, AddAndQuery)
+{
+    Dataset dataset = makeToyDataset();
+    EXPECT_TRUE(dataset.has("SandyBridge", "toy/a"));
+    EXPECT_FALSE(dataset.has("Haswell", "toy/a"));
+    EXPECT_EQ(dataset.runs("SandyBridge", "toy/a").size(), 5u);
+    EXPECT_EQ(dataset.totalRuns(), 5u);
+    EXPECT_EQ(dataset.platforms(), std::vector<std::string>{"SandyBridge"});
+    EXPECT_EQ(dataset.workloads(), std::vector<std::string>{"toy/a"});
+    EXPECT_THROW(dataset.runs("X", "Y"), std::logic_error);
+}
+
+TEST(Dataset, SampleSetSplitsReferences)
+{
+    Dataset dataset = makeToyDataset();
+    auto set = dataset.sampleSet("SandyBridge", "toy/a");
+    // The 1GB run is held out; the other 4 become samples.
+    EXPECT_EQ(set.samples.size(), 4u);
+    EXPECT_DOUBLE_EQ(set.all4k.r, 2000.0);
+    EXPECT_DOUBLE_EQ(set.all2m.r, 1200.0);
+    EXPECT_DOUBLE_EQ(set.all1g.r, 1100.0);
+}
+
+TEST(Dataset, TlbSensitivityFromSampleSet)
+{
+    Dataset dataset = makeToyDataset();
+    auto set = dataset.sampleSet("SandyBridge", "toy/a");
+    EXPECT_TRUE(set.tlbSensitive()); // (2000-1100)/2000 = 45%
+    set.all1g.r = set.all4k.r * 0.97;
+    EXPECT_FALSE(set.tlbSensitive());
+}
+
+TEST(Dataset, FindRunByLayout)
+{
+    Dataset dataset = makeToyDataset();
+    const auto &run = dataset.findRun("SandyBridge", "toy/a", "rand-1");
+    EXPECT_EQ(run.result.runtimeCycles, 1500u);
+    EXPECT_THROW(dataset.findRun("SandyBridge", "toy/a", "nope"),
+                 std::runtime_error);
+}
+
+TEST(Dataset, MissingReferencesPanics)
+{
+    Dataset dataset;
+    dataset.add(makeRecord("P", "w/x", "rand-0", 100, 10));
+    EXPECT_THROW(dataset.sampleSet("P", "w/x"), std::logic_error);
+}
+
+TEST(Dataset, CsvRoundTrip)
+{
+    Dataset dataset = makeToyDataset();
+    dataset.add(makeRecord("Haswell", "toy/b", layoutAll4k, 900, 300));
+
+    std::string path = "test_dataset_roundtrip.csv";
+    dataset.save(path);
+    Dataset loaded = Dataset::load(path);
+    std::remove(path.c_str());
+
+    EXPECT_EQ(loaded.totalRuns(), dataset.totalRuns());
+    const auto &original = dataset.findRun("SandyBridge", "toy/a",
+                                           "rand-0");
+    const auto &restored = loaded.findRun("SandyBridge", "toy/a",
+                                          "rand-0");
+    EXPECT_EQ(original.result.runtimeCycles,
+              restored.result.runtimeCycles);
+    EXPECT_EQ(original.result.walkCycles, restored.result.walkCycles);
+    EXPECT_EQ(original.result.tlbMisses, restored.result.tlbMisses);
+    EXPECT_EQ(original.result.progL1dLoads,
+              restored.result.progL1dLoads);
+}
+
+TEST(Dataset, LoadRejectsBadHeader)
+{
+    std::string path = "test_dataset_bad.csv";
+    FILE *file = std::fopen(path.c_str(), "w");
+    std::fputs("not,a,dataset\n", file);
+    std::fclose(file);
+    EXPECT_THROW(Dataset::load(path), std::logic_error);
+    std::remove(path.c_str());
+}
+
+TEST(Dataset, ToSampleMapsCounters)
+{
+    RunRecord record = makeRecord("P", "w/x", "rand-0", 5000, 800);
+    auto sample = toSample(record);
+    EXPECT_DOUBLE_EQ(sample.r, 5000.0);
+    EXPECT_DOUBLE_EQ(sample.c, 800.0);
+    EXPECT_DOUBLE_EQ(sample.m, 20.0);
+    EXPECT_DOUBLE_EQ(sample.h, 10.0);
+    EXPECT_EQ(sample.layoutName, "rand-0");
+}

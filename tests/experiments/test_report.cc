@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests for the report pipelines on a synthetic dataset (no
+ * simulation), so the figure/table plumbing is covered independently
+ * of the campaign.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "experiments/report.hh"
+#include "support/random.hh"
+
+using namespace mosaic;
+using namespace mosaic::exp;
+
+namespace
+{
+
+/** A fake campaign for one platform/workload with smooth physics. */
+Dataset
+syntheticDataset(const std::string &platform = "SandyBridge",
+                 const std::string &workload = "toy/w")
+{
+    Dataset dataset;
+    Rng rng(3);
+    for (int i = 0; i < 54; ++i) {
+        double coverage = i / 53.0;
+        double m = 5e5 * (1.0 - coverage) * (0.95 + 0.1 *
+                                             rng.nextDouble());
+        double h = 1e5 * (1.0 - 0.5 * coverage);
+        double c = 50.0 * m;
+        double r = 2e7 + 0.9 * c + c * c / 6e8 + 7.0 * h;
+
+        RunRecord record;
+        record.platform = platform;
+        record.workload = workload;
+        record.layout = i == 0 ? layoutAll4k
+                      : i == 53 ? layoutAll2m
+                                : "rand-" + std::to_string(i);
+        record.result.runtimeCycles = static_cast<Cycles>(r);
+        record.result.tlbHitsL2 = static_cast<std::uint64_t>(h);
+        record.result.tlbMisses = static_cast<std::uint64_t>(m);
+        record.result.walkCycles = static_cast<Cycles>(c);
+        dataset.add(std::move(record));
+    }
+    RunRecord giant;
+    giant.platform = platform;
+    giant.workload = workload;
+    giant.layout = layoutAll1g;
+    giant.result.runtimeCycles = static_cast<Cycles>(2e7);
+    dataset.add(std::move(giant));
+    return dataset;
+}
+
+} // namespace
+
+TEST(Report, PaperModelOrderHasNineModels)
+{
+    auto order = paperModelOrder();
+    ASSERT_EQ(order.size(), 9u);
+    EXPECT_EQ(order.front(), "pham");
+    EXPECT_EQ(order.back(), "mosmodel");
+}
+
+TEST(Report, MakeModelByNameCoversAll)
+{
+    for (const auto &name : paperModelOrder()) {
+        auto model = makeModelByName(name);
+        EXPECT_EQ(model->name(), name);
+    }
+    EXPECT_THROW(makeModelByName("unknown"), std::runtime_error);
+}
+
+TEST(Report, ErrorGridComputesAllModels)
+{
+    auto dataset = syntheticDataset();
+    auto rows = computeErrorGrid(dataset, ErrorKind::Max);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_TRUE(rows[0].tlbSensitive);
+    EXPECT_EQ(rows[0].errors.size(), 9u);
+    // Fixed models must err more than mosmodel on this curved data.
+    EXPECT_GT(rows[0].errors.at("alam"), rows[0].errors.at("mosmodel"));
+}
+
+TEST(Report, GeoMeanNeverExceedsMax)
+{
+    auto dataset = syntheticDataset();
+    auto max_rows = computeErrorGrid(dataset, ErrorKind::Max);
+    auto geo_rows = computeErrorGrid(dataset, ErrorKind::GeoMean);
+    for (const auto &name : paperModelOrder()) {
+        EXPECT_LE(geo_rows[0].errors.at(name),
+                  max_rows[0].errors.at(name) + 1e-6)
+            << name;
+    }
+}
+
+TEST(Report, InsensitivePairsAreDropped)
+{
+    // A workload whose 1GB run matches the 4KB run is insensitive.
+    Dataset dataset = syntheticDataset();
+    Dataset flat;
+    for (const auto &record :
+         dataset.runs("SandyBridge", "toy/w")) {
+        RunRecord copy = record;
+        copy.workload = "toy/flat";
+        copy.result.runtimeCycles = 1000000;
+        flat.add(copy);
+    }
+    auto rows = computeErrorGrid(flat, ErrorKind::Max);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_FALSE(rows[0].tlbSensitive);
+    EXPECT_TRUE(rows[0].errors.empty());
+    // And the overall aggregation skips it.
+    auto overall = computeOverallMaxErrors(flat);
+    EXPECT_DOUBLE_EQ(overall.at("mosmodel"), 0.0);
+}
+
+TEST(Report, CurveSortedByWalkCycles)
+{
+    auto dataset = syntheticDataset();
+    auto curve = computeCurve(dataset, "SandyBridge", "toy/w",
+                              {"poly1"});
+    ASSERT_EQ(curve.size(), 54u);
+    for (std::size_t i = 1; i < curve.size(); ++i)
+        EXPECT_GE(curve[i].c, curve[i - 1].c);
+}
+
+TEST(Report, CaseStudyUsesHeldOut1g)
+{
+    auto dataset = syntheticDataset();
+    auto rows = computeCaseStudy1g(dataset, {"mosmodel"});
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_DOUBLE_EQ(rows[0].measured1g, 2e7);
+    // The 1GB point has zero C/H/M -> prediction ~ the intercept-side
+    // value; on this clean data the error is small.
+    EXPECT_LT(rows[0].errors.at("mosmodel"), 0.05);
+}
+
+TEST(Report, R2GridValuesInRange)
+{
+    auto dataset = syntheticDataset();
+    auto rows = computeR2Grid(dataset);
+    ASSERT_EQ(rows.size(), 1u);
+    for (double r2 : {rows[0].r2c, rows[0].r2m, rows[0].r2h}) {
+        EXPECT_GE(r2, 0.0);
+        EXPECT_LE(r2, 1.0);
+    }
+    EXPECT_GT(rows[0].r2c, 0.9); // R is driven by C here
+}
+
+TEST(Report, CrossValidationMapHasNewModels)
+{
+    auto dataset = syntheticDataset();
+    auto cv = computeCrossValidation(dataset, 6);
+    EXPECT_EQ(cv.size(), 4u);
+    EXPECT_TRUE(cv.count("mosmodel"));
+    EXPECT_TRUE(cv.count("poly3"));
+    EXPECT_LT(cv.at("mosmodel"), 0.10);
+}
+
+TEST(Report, MultiplePlatformsAggregated)
+{
+    Dataset combined = syntheticDataset("SandyBridge", "toy/w");
+    for (const auto &record :
+         syntheticDataset("Haswell", "toy/w").runs("Haswell", "toy/w")) {
+        combined.add(record);
+    }
+    EXPECT_EQ(combined.platforms().size(), 2u);
+    auto rows = computeErrorGrid(combined, ErrorKind::Max);
+    EXPECT_EQ(rows.size(), 2u);
+}
+
+#include <cstdio>
+
+#include "experiments/plot_export.hh"
+
+TEST(PlotExport, CurveFilesWellFormed)
+{
+    auto dataset = syntheticDataset();
+    auto written = exportCurve(dataset, "SandyBridge", "toy/w",
+                               {"yaniv", "mosmodel"},
+                               "test_export_curve");
+    ASSERT_EQ(written.size(), 2u);
+
+    std::ifstream dat(written[0]);
+    ASSERT_TRUE(dat.good());
+    std::string line;
+    std::getline(dat, line); // title comment
+    std::getline(dat, line); // column header
+    EXPECT_NE(line.find("yaniv"), std::string::npos);
+    std::size_t rows = 0;
+    while (std::getline(dat, line)) {
+        if (!line.empty())
+            ++rows;
+    }
+    EXPECT_EQ(rows, 54u);
+    for (const auto &path : written)
+        std::remove(path.c_str());
+}
+
+TEST(PlotExport, OverallErrorsCoverAllModels)
+{
+    auto dataset = syntheticDataset();
+    auto written = exportOverallErrors(dataset, "test_export_fig2");
+    std::ifstream dat(written[0]);
+    std::string line;
+    std::getline(dat, line); // header comment
+    std::size_t rows = 0;
+    while (std::getline(dat, line)) {
+        if (!line.empty())
+            ++rows;
+    }
+    EXPECT_EQ(rows, paperModelOrder().size());
+    for (const auto &path : written)
+        std::remove(path.c_str());
+}
+
+TEST(PlotExport, GridOnePlatformPerFile)
+{
+    auto dataset = syntheticDataset();
+    auto written = exportErrorGrid(dataset, ErrorKind::Max,
+                                   "test_export_grid");
+    ASSERT_EQ(written.size(), 1u);
+    std::ifstream dat(written[0]);
+    ASSERT_TRUE(dat.good());
+    for (const auto &path : written)
+        std::remove(path.c_str());
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Property-style sweeps over cache geometry: invariants that must hold
+ * for any set-associative LRU cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memhier/cache.hh"
+#include "support/random.hh"
+
+using namespace mosaic;
+using namespace mosaic::mem;
+
+namespace
+{
+
+struct Geometry
+{
+    Bytes capacity;
+    unsigned ways;
+};
+
+} // namespace
+
+class CacheGeometryTest : public ::testing::TestWithParam<Geometry>
+{
+};
+
+TEST_P(CacheGeometryTest, WorkingSetWithinCapacityMissesOnce)
+{
+    // Round-robin over a working set no larger than the capacity: LRU
+    // guarantees each line misses exactly once (no thrashing).
+    auto [capacity, ways] = GetParam();
+    Cache cache(CacheConfig{"sweep", capacity, ways, 64});
+    const std::uint64_t lines = capacity / 64;
+    for (int round = 0; round < 4; ++round) {
+        for (std::uint64_t i = 0; i < lines; ++i)
+            cache.access(i * 64, Requester::Program);
+    }
+    EXPECT_EQ(cache.stats().totalMisses(), lines);
+}
+
+TEST_P(CacheGeometryTest, OversizedWorkingSetThrashes)
+{
+    // Round-robin over 2x the capacity: LRU evicts every line before
+    // reuse, so every access misses.
+    auto [capacity, ways] = GetParam();
+    Cache cache(CacheConfig{"sweep", capacity, ways, 64});
+    const std::uint64_t lines = 2 * capacity / 64;
+    std::uint64_t accesses = 0;
+    for (int round = 0; round < 3; ++round) {
+        for (std::uint64_t i = 0; i < lines; ++i, ++accesses)
+            cache.access(i * 64, Requester::Program);
+    }
+    EXPECT_EQ(cache.stats().totalMisses(), accesses);
+}
+
+TEST_P(CacheGeometryTest, HitRateNeverExceedsOneMinusCompulsory)
+{
+    auto [capacity, ways] = GetParam();
+    Cache cache(CacheConfig{"sweep", capacity, ways, 64});
+    Rng rng(capacity ^ ways);
+    const int n = 20000;
+    std::uint64_t distinct_span = 4 * capacity;
+    for (int i = 0; i < n; ++i)
+        cache.access(rng.nextBounded(distinct_span), Requester::Program);
+    const auto &stats = cache.stats();
+    EXPECT_EQ(stats.totalAccesses(), static_cast<std::uint64_t>(n));
+    // Misses at least cover the compulsory distinct-line count.
+    EXPECT_GE(stats.totalMisses(), capacity / 64 / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CacheGeometryTest,
+    ::testing::Values(Geometry{4_KiB, 1}, Geometry{4_KiB, 4},
+                      Geometry{32_KiB, 8}, Geometry{256_KiB, 8},
+                      Geometry{1_MiB, 16}));
+
+class PwcReachTest : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+#include "vm/page_table.hh"
+#include "vm/walker.hh"
+
+TEST_P(PwcReachTest, LargerPdeCacheShortensMoreWalks)
+{
+    // Touch pages across R distinct 2MB regions twice. With a PDE
+    // cache of E entries, the second pass gets 1-read walks for at
+    // most min(E, R) regions.
+    const std::uint32_t entries = GetParam();
+    vm::PhysMem mem;
+    vm::PageTable table(mem);
+    const std::uint32_t regions = 16;
+    for (std::uint32_t r = 0; r < regions; ++r)
+        table.map(0x4000000000ULL + r * 2_MiB, alloc::PageSize::Page4K,
+                  0x80000000ULL + r * 4_KiB);
+
+    mem::HierarchyConfig hconfig;
+    hconfig.l1 = {"L1", 4_KiB, 2, 64};
+    hconfig.l2 = {"L2", 32_KiB, 4, 64};
+    hconfig.l3 = {"L3", 256_KiB, 8, 64};
+    mem::MemoryHierarchy hierarchy(hconfig);
+    vm::PwcConfig pwc{2, 4, entries};
+    vm::PageWalker walker(table, hierarchy, pwc, 1);
+
+    // First pass: train the PWCs (round-robin, LRU-hostile when
+    // entries < regions).
+    for (std::uint32_t r = 0; r < regions; ++r)
+        walker.walk(0x4000000000ULL + r * 2_MiB, 0);
+    auto first_hits = walker.stats().pwcHits[2];
+    // Second pass.
+    for (std::uint32_t r = 0; r < regions; ++r)
+        walker.walk(0x4000000000ULL + r * 2_MiB, 1000000);
+    auto second_hits = walker.stats().pwcHits[2] - first_hits;
+
+    if (entries >= regions) {
+        EXPECT_EQ(second_hits, regions);
+    } else {
+        // LRU round-robin over more regions than entries: no reuse.
+        EXPECT_EQ(second_hits, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PwcReachTest,
+                         ::testing::Values(4u, 8u, 16u, 32u, 64u));

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the stream prefetcher and its hierarchy integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memhier/hierarchy.hh"
+#include "memhier/prefetcher.hh"
+
+using namespace mosaic;
+using namespace mosaic::mem;
+
+namespace
+{
+
+PrefetcherConfig
+onConfig()
+{
+    PrefetcherConfig config;
+    config.enabled = true;
+    config.streams = 4;
+    config.degree = 2;
+    config.trainThreshold = 2;
+    return config;
+}
+
+HierarchyConfig
+smallHierarchy(bool prefetch)
+{
+    HierarchyConfig config;
+    config.l1 = {"L1", 4_KiB, 2, 64};
+    config.l2 = {"L2", 32_KiB, 4, 64};
+    config.l3 = {"L3", 256_KiB, 8, 64};
+    config.prefetcher = prefetch ? onConfig() : PrefetcherConfig{};
+    return config;
+}
+
+} // namespace
+
+TEST(Prefetcher, DisabledIssuesNothing)
+{
+    StreamPrefetcher prefetcher(PrefetcherConfig{}, 6);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(prefetcher.observe(i * 64).empty());
+    EXPECT_EQ(prefetcher.stats().issued, 0u);
+}
+
+TEST(Prefetcher, TrainsOnAscendingStream)
+{
+    StreamPrefetcher prefetcher(onConfig(), 6);
+    // First access allocates; next ones train; after the threshold the
+    // stream issues `degree` fills ahead.
+    EXPECT_TRUE(prefetcher.observe(0).empty());
+    EXPECT_TRUE(prefetcher.observe(64).empty());
+    auto fills = prefetcher.observe(128);
+    ASSERT_EQ(fills.size(), 2u);
+    EXPECT_EQ(fills[0], 192u);
+    EXPECT_EQ(fills[1], 256u);
+}
+
+TEST(Prefetcher, TracksDescendingStreams)
+{
+    StreamPrefetcher prefetcher(onConfig(), 6);
+    prefetcher.observe(10 * 64);
+    prefetcher.observe(9 * 64);
+    auto fills = prefetcher.observe(8 * 64);
+    ASSERT_EQ(fills.size(), 2u);
+    EXPECT_EQ(fills[0], 7u * 64);
+}
+
+TEST(Prefetcher, RandomAccessesStayUntrained)
+{
+    StreamPrefetcher prefetcher(onConfig(), 6);
+    std::uint64_t issued_before = prefetcher.stats().issued;
+    for (std::uint64_t line : {5u, 900u, 17u, 4000u, 123u, 9999u})
+        prefetcher.observe(line * 64);
+    EXPECT_EQ(prefetcher.stats().issued, issued_before);
+}
+
+TEST(Prefetcher, HierarchyPrefillsStreamingReads)
+{
+    MemoryHierarchy with(smallHierarchy(true));
+    MemoryHierarchy without(smallHierarchy(false));
+
+    std::uint64_t dram_with = 0, dram_without = 0;
+    // Stream through 512 lines; the prefetcher should convert most L2
+    // misses into hits after warmup.
+    for (std::uint64_t i = 0; i < 512; ++i) {
+        PhysAddr addr = 0x100000 + i * 64;
+        if (with.access(addr, Requester::Program).servedBy ==
+            ServedBy::Dram)
+            ++dram_with;
+        if (without.access(addr, Requester::Program).servedBy ==
+            ServedBy::Dram)
+            ++dram_without;
+    }
+    EXPECT_LT(dram_with, dram_without / 2);
+}
+
+TEST(Prefetcher, FillsDoNotCountAsProgramLoads)
+{
+    MemoryHierarchy hierarchy(smallHierarchy(true));
+    for (std::uint64_t i = 0; i < 64; ++i)
+        hierarchy.access(0x200000 + i * 64, Requester::Program);
+    auto prog = hierarchy.l2().stats().accesses(Requester::Program);
+    auto pref = hierarchy.l2().stats().accesses(Requester::Prefetcher);
+    EXPECT_GT(pref, 0u);
+    EXPECT_LE(prog, 64u);
+}
+
+TEST(Prefetcher, WalkerTrafficDoesNotTrain)
+{
+    MemoryHierarchy hierarchy(smallHierarchy(true));
+    for (std::uint64_t i = 0; i < 64; ++i)
+        hierarchy.access(0x300000 + i * 64, Requester::Walker);
+    EXPECT_EQ(hierarchy.prefetcher().stats().trainings, 0u);
+}

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the five preexisting linear models (Section III): each must
+ * reproduce its defining equations exactly and pass through its anchor
+ * points.
+ */
+
+#include <gtest/gtest.h>
+
+#include "models/fixed_models.hh"
+
+using namespace mosaic;
+using namespace mosaic::models;
+
+namespace
+{
+
+/** A hand-built sample set with easy numbers. */
+SampleSet
+toyData()
+{
+    SampleSet data;
+    data.all4k = Sample{"grow-0", 2000.0, 50.0, 100.0, 800.0};
+    data.all2m = Sample{"grow-8", 1300.0, 10.0, 5.0, 60.0};
+    data.all1g = Sample{"all-1GB", 1250.0, 0.0, 0.0, 0.0};
+    data.samples = {data.all4k, data.all2m,
+                    Sample{"mid", 1600.0, 30.0, 50.0, 400.0}};
+    return data;
+}
+
+} // namespace
+
+TEST(BasuModel, MatchesDefinition)
+{
+    BasuModel model;
+    model.fit(toyData());
+    // alpha = C4K/M4K = 8; beta = R4K - C4K = 1200.
+    EXPECT_DOUBLE_EQ(model.alpha(), 8.0);
+    EXPECT_DOUBLE_EQ(model.beta(), 1200.0);
+    // Passes through the 4KB point.
+    EXPECT_DOUBLE_EQ(model.predict(toyData().all4k), 2000.0);
+    // Predicts with M only.
+    Sample probe{"p", 0.0, 999.0, 10.0, 999999.0};
+    EXPECT_DOUBLE_EQ(model.predict(probe), 8.0 * 10.0 + 1200.0);
+}
+
+TEST(GandhiModel, MatchesDefinition)
+{
+    GandhiModel model;
+    model.fit(toyData());
+    // alpha = C4K/M4K = 8; beta = R2M - C2M = 1240.
+    EXPECT_DOUBLE_EQ(model.alpha(), 8.0);
+    EXPECT_DOUBLE_EQ(model.beta(), 1240.0);
+    Sample zero{"z", 0.0, 0.0, 0.0, 0.0};
+    EXPECT_DOUBLE_EQ(model.predict(zero), 1240.0);
+}
+
+TEST(PhamModel, MatchesDefinition)
+{
+    PhamModel model;
+    model.fit(toyData());
+    // beta = R4K - C4K - 7*H4K = 2000 - 800 - 350 = 850.
+    EXPECT_DOUBLE_EQ(model.beta(), 850.0);
+    // R = 7H + C + beta.
+    Sample probe{"p", 0.0, 20.0, 0.0, 100.0};
+    EXPECT_DOUBLE_EQ(model.predict(probe), 7.0 * 20.0 + 100.0 + 850.0);
+    // Passes through the 4KB point by construction.
+    EXPECT_DOUBLE_EQ(model.predict(toyData().all4k), 2000.0);
+}
+
+TEST(AlamModel, MatchesDefinition)
+{
+    AlamModel model;
+    model.fit(toyData());
+    // beta = R2M - C2M = 1240; R = C + beta.
+    EXPECT_DOUBLE_EQ(model.beta(), 1240.0);
+    Sample probe{"p", 0.0, 0.0, 0.0, 300.0};
+    EXPECT_DOUBLE_EQ(model.predict(probe), 1540.0);
+    EXPECT_DOUBLE_EQ(model.predict(toyData().all2m), 1300.0);
+}
+
+TEST(YanivModel, PassesThroughBothAnchors)
+{
+    YanivModel model;
+    model.fit(toyData());
+    EXPECT_DOUBLE_EQ(model.predict(toyData().all4k), 2000.0);
+    EXPECT_DOUBLE_EQ(model.predict(toyData().all2m), 1300.0);
+    // slope = (2000-1300)/(800-60).
+    EXPECT_NEAR(model.alpha(), 700.0 / 740.0, 1e-12);
+}
+
+TEST(YanivModel, AlamIsYanivWithUnitSlope)
+{
+    // The paper: "the Alam model is equivalent to the Yaniv model
+    // where alpha = 1". Craft data where the true slope is 1 and check
+    // the two coincide.
+    SampleSet data;
+    data.all4k = Sample{"grow-0", 2000.0, 0.0, 100.0, 900.0};
+    data.all2m = Sample{"grow-8", 1150.0, 0.0, 5.0, 50.0};
+    data.samples = {data.all4k, data.all2m};
+
+    YanivModel yaniv;
+    AlamModel alam;
+    yaniv.fit(data);
+    alam.fit(data);
+    EXPECT_DOUBLE_EQ(yaniv.alpha(), 1.0);
+    Sample probe{"p", 0.0, 0.0, 40.0, 500.0};
+    EXPECT_DOUBLE_EQ(yaniv.predict(probe), alam.predict(probe));
+}
+
+TEST(FixedModels, PredictBeforeFitPanics)
+{
+    BasuModel model;
+    EXPECT_THROW(model.predict(Sample{}), std::logic_error);
+}
+
+TEST(FixedModels, BasuNeedsMisses)
+{
+    SampleSet data = toyData();
+    data.all4k.m = 0.0;
+    BasuModel model;
+    EXPECT_THROW(model.fit(data), std::logic_error);
+}
+
+TEST(FixedModels, YanivNeedsDistinctAnchors)
+{
+    SampleSet data = toyData();
+    data.all2m.c = data.all4k.c;
+    YanivModel model;
+    EXPECT_THROW(model.fit(data), std::logic_error);
+}
+
+TEST(FixedModels, FactoryOrderAndNames)
+{
+    auto models = makeFixedModels();
+    ASSERT_EQ(models.size(), 5u);
+    EXPECT_EQ(models[0]->name(), "pham");
+    EXPECT_EQ(models[1]->name(), "alam");
+    EXPECT_EQ(models[2]->name(), "gandhi");
+    EXPECT_EQ(models[3]->name(), "basu");
+    EXPECT_EQ(models[4]->name(), "yaniv");
+}
+
+TEST(FixedModels, DescribeShowsFittedForm)
+{
+    BasuModel model;
+    model.fit(toyData());
+    std::string text = model.describe();
+    EXPECT_NE(text.find("M"), std::string::npos);
+    EXPECT_NE(text.find("1200"), std::string::npos);
+}
+
+TEST(FixedModels, NegativeBetaWhenWalkCyclesExceedRuntime)
+{
+    // Broadwell gups: C4K > R4K drives Basu's beta negative — the
+    // pathology Section VI-D reports.
+    SampleSet data = toyData();
+    data.all4k = Sample{"grow-0", 2000.0, 0.0, 100.0, 2600.0};
+    data.samples[0] = data.all4k;
+    BasuModel model;
+    model.fit(data);
+    EXPECT_LT(model.beta(), 0.0);
+    Sample zero{"z", 0.0, 0.0, 0.0, 0.0};
+    EXPECT_LT(model.predict(zero), 0.0);
+}

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Tests for the polynomial regression models and Mosmodel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/evaluation.hh"
+#include "models/mosmodel.hh"
+#include "models/regression_models.hh"
+#include "support/random.hh"
+
+using namespace mosaic;
+using namespace mosaic::models;
+
+namespace
+{
+
+/**
+ * Build a synthetic sample set from a ground-truth runtime function
+ * R(h, m, c), sweeping coverage like a layout campaign does.
+ */
+template <typename F>
+SampleSet
+syntheticData(F runtime, std::size_t n = 54)
+{
+    SampleSet data;
+    Rng rng(321);
+    for (std::size_t i = 0; i < n; ++i) {
+        // Coverage sweeps 0..1; counters shrink with coverage.
+        double coverage = static_cast<double>(i) / (n - 1);
+        double jitter = 0.9 + 0.2 * rng.nextDouble();
+        double m = 1e6 * (1.0 - coverage) * jitter;
+        double h = 3e5 * (1.0 - coverage * 0.8) * jitter;
+        double c = 40.0 * m + 8.0 * h;
+        Sample sample{"s" + std::to_string(i), runtime(h, m, c), h, m, c};
+        data.samples.push_back(sample);
+    }
+    data.all4k = data.samples.front();
+    data.all2m = data.samples.back();
+    data.all1g = data.samples.back();
+    return data;
+}
+
+} // namespace
+
+TEST(PolyModel, NamesAndDegrees)
+{
+    EXPECT_EQ(PolyModel(1).name(), "poly1");
+    EXPECT_EQ(PolyModel(3).name(), "poly3");
+    EXPECT_EQ(makePoly2()->name(), "poly2");
+    EXPECT_THROW(PolyModel(0), std::logic_error);
+}
+
+TEST(PolyModel, Poly1RecoversLinearGroundTruth)
+{
+    auto data = syntheticData(
+        [](double, double, double c) { return 5e7 + 0.9 * c; });
+    PolyModel model(1);
+    auto errors = evaluateModel(model, data);
+    EXPECT_LT(errors.maxError, 1e-6);
+    EXPECT_NEAR(model.linearSlope(), 0.9, 1e-6);
+}
+
+TEST(PolyModel, Poly2RecoversQuadraticWherePoly1Fails)
+{
+    auto truth = [](double, double, double c) {
+        return 5e7 + 0.5 * c + c * c / 2e8;
+    };
+    auto data = syntheticData(truth);
+    PolyModel poly1(1), poly2(2);
+    auto e1 = evaluateModel(poly1, data);
+    auto e2 = evaluateModel(poly2, data);
+    EXPECT_GT(e1.maxError, 0.02);
+    EXPECT_LT(e2.maxError, 1e-6);
+}
+
+TEST(PolyModel, HigherDegreeNeverFitsWorseInSampleRss)
+{
+    auto truth = [](double, double, double c) {
+        return 4e7 + 0.8 * c + std::sqrt(c + 1.0) * 1e3;
+    };
+    auto data = syntheticData(truth);
+    double previous = 1e300;
+    for (unsigned degree = 1; degree <= 3; ++degree) {
+        PolyModel model(degree);
+        model.fit(data);
+        double rss = 0.0;
+        for (const auto &sample : data.samples) {
+            double r = sample.r - model.predict(sample);
+            rss += r * r;
+        }
+        EXPECT_LE(rss, previous * (1.0 + 1e-9)) << "degree " << degree;
+        previous = rss;
+    }
+}
+
+TEST(PolyModel, NeedsEnoughSamples)
+{
+    SampleSet tiny;
+    tiny.samples = {Sample{"a", 1, 0, 0, 0}, Sample{"b", 2, 0, 0, 1}};
+    PolyModel model(3);
+    EXPECT_THROW(model.fit(tiny), std::logic_error);
+}
+
+TEST(Mosmodel, TwentyFeaturesLassoSparse)
+{
+    auto data = syntheticData(
+        [](double h, double m, double c) {
+            return 5e7 + 0.7 * c + 7.0 * h + 20.0 * m;
+        });
+    Mosmodel model;
+    model.fit(data);
+    EXPECT_EQ(model.numFeatures(), 20u);
+    // Lasso keeps only a handful of active coefficients (the paper
+    // reports <= 5 for its data).
+    EXPECT_LE(model.numActiveCoefficients(), 8u);
+    EXPECT_GE(model.numActiveCoefficients(), 1u);
+}
+
+TEST(Mosmodel, FitsMultiInputGroundTruth)
+{
+    auto data = syntheticData(
+        [](double h, double m, double c) {
+            return 5e7 + 0.7 * c + 7.0 * h + 20.0 * m;
+        });
+    Mosmodel model;
+    auto errors = evaluateModel(model, data);
+    EXPECT_LT(errors.maxError, 0.01);
+}
+
+TEST(Mosmodel, BeatsPoly3OnHDependentRuntime)
+{
+    // Runtime depends on H in a way C alone cannot express (H and C
+    // are deliberately decorrelated here).
+    SampleSet data;
+    Rng rng(9);
+    for (std::size_t i = 0; i < 54; ++i) {
+        double h = 1e5 + 9e5 * rng.nextDouble();
+        double m = 1e5 + 9e5 * rng.nextDouble();
+        double c = 50.0 * m;
+        double r = 4e7 + 0.8 * c + 25.0 * h;
+        data.samples.push_back(Sample{"s", r, h, m, c});
+    }
+    data.all4k = data.samples.front();
+    data.all2m = data.samples.back();
+    data.all1g = data.samples.back();
+
+    PolyModel poly3(3);
+    Mosmodel mosmodel;
+    auto e3 = evaluateModel(poly3, data);
+    auto em = evaluateModel(mosmodel, data);
+    EXPECT_LT(em.maxError, e3.maxError * 0.5);
+    EXPECT_LT(em.maxError, 0.01);
+}
+
+TEST(Mosmodel, DescribeListsActiveTerms)
+{
+    auto data = syntheticData(
+        [](double, double, double c) { return 1e7 + c; });
+    Mosmodel model;
+    model.fit(data);
+    std::string text = model.describe();
+    EXPECT_NE(text.find("R = "), std::string::npos);
+}
+
+TEST(Mosmodel, RequiresCampaignSizedData)
+{
+    SampleSet tiny;
+    for (int i = 0; i < 5; ++i)
+        tiny.samples.push_back(Sample{"s", 1.0 * i, 0, 0, 1.0 * i});
+    Mosmodel model;
+    EXPECT_THROW(model.fit(tiny), std::logic_error);
+}
+
+TEST(ModelFactories, AllModelsLineUp)
+{
+    auto all = makeAllModels();
+    ASSERT_EQ(all.size(), 9u);
+    EXPECT_EQ(all[0]->name(), "pham");
+    EXPECT_EQ(all[4]->name(), "yaniv");
+    EXPECT_EQ(all[5]->name(), "poly1");
+    EXPECT_EQ(all[8]->name(), "mosmodel");
+    auto fresh = makeNewModels();
+    ASSERT_EQ(fresh.size(), 4u);
+    EXPECT_EQ(fresh[3]->name(), "mosmodel");
+}
+
+TEST(Evaluation, MaxAndGeomeanConsistency)
+{
+    // A truth poly1 cannot fit exactly, so errors sit well above the
+    // geomean's zero-floor and max >= geomean must hold.
+    auto data = syntheticData([](double, double, double c) {
+        return 1e7 + 0.5 * c + std::sqrt(c + 1.0) * 3e3;
+    });
+    PolyModel model(1);
+    auto errors = evaluateModel(model, data);
+    EXPECT_GT(errors.maxError, 1e-4);
+    EXPECT_GE(errors.maxError, errors.geoMeanError);
+}
+
+TEST(Evaluation, CrossValidationWorseThanInSampleOnInterior)
+{
+    // Table 6's observation: held-out errors exceed fitted errors.
+    // Cross validation pins the extreme-C endpoints into training, so
+    // the comparable in-sample figure is the max over the *interior*
+    // samples.
+    auto truth = [](double, double, double c) {
+        return 3e7 + 0.6 * c + std::sqrt(c + 1.0) * 3e3;
+    };
+    auto data = syntheticData(truth);
+    PolyModel in_sample(3);
+    in_sample.fit(data);
+
+    std::size_t min_i = 0, max_i = 0;
+    for (std::size_t i = 1; i < data.samples.size(); ++i) {
+        if (data.samples[i].c < data.samples[min_i].c)
+            min_i = i;
+        if (data.samples[i].c > data.samples[max_i].c)
+            max_i = i;
+    }
+    double interior_max = 0.0;
+    for (std::size_t i = 0; i < data.samples.size(); ++i) {
+        if (i == min_i || i == max_i)
+            continue;
+        const auto &sample = data.samples[i];
+        interior_max = std::max(
+            interior_max, std::fabs(sample.r - in_sample.predict(
+                                                   sample)) /
+                              sample.r);
+    }
+    EXPECT_GT(interior_max, 1e-8);
+    double cv = crossValidateMaxError([] { return makePoly3(); }, data);
+    EXPECT_GE(cv, interior_max * 0.8);
+}
+
+TEST(Evaluation, SingleInputR2RanksInformativeInputs)
+{
+    // Runtime driven by C: R2(C) must be high, R2(H) low (H is noise).
+    SampleSet data;
+    Rng rng(17);
+    for (std::size_t i = 0; i < 54; ++i) {
+        double c = 1e8 * rng.nextDouble();
+        double h = 1e6 * rng.nextDouble(); // unrelated
+        double m = c / 50.0;
+        data.samples.push_back(
+            Sample{"s", 1e7 + 0.9 * c, h, m, c});
+    }
+    data.all4k = data.samples.front();
+    data.all2m = data.samples.back();
+    data.all1g = data.samples.back();
+
+    double r2c = singleInputR2(data, 'C');
+    double r2m = singleInputR2(data, 'M');
+    double r2h = singleInputR2(data, 'H');
+    EXPECT_GT(r2c, 0.99);
+    EXPECT_GT(r2m, 0.99); // M is proportional to C here
+    EXPECT_LT(r2h, 0.3);
+    EXPECT_THROW(singleInputR2(data, 'X'), std::runtime_error);
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the THP steady-state layout derivation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mosalloc/thp.hh"
+
+using namespace mosaic;
+using namespace mosaic::alloc;
+
+namespace
+{
+
+MosallocConfig
+setupConfig()
+{
+    MosallocConfig config;
+    config.heapLayout = MosaicLayout(32_MiB);
+    config.anonLayout = MosaicLayout(32_MiB);
+    config.filePoolSize = 1_MiB;
+    return config;
+}
+
+} // namespace
+
+TEST(Thp, PromotesFullyPopulatedHeapFrames)
+{
+    Mosalloc allocator(setupConfig());
+    allocator.malloc(5_MiB); // high water ~5 MiB
+    MosaicLayout layout = thpHeapLayout(allocator);
+    // Two full 2MB frames fit below the high-water mark.
+    ASSERT_EQ(layout.regions().size(), 1u);
+    EXPECT_EQ(layout.regions()[0].start, 0u);
+    EXPECT_GE(layout.regions()[0].length, 4_MiB);
+    EXPECT_EQ(layout.regions()[0].pageSize, PageSize::Page2M);
+    // The partially populated tail frame stays 4KB.
+    EXPECT_EQ(layout.pageSizeAt(layout.regions()[0].end()),
+              PageSize::Page4K);
+}
+
+TEST(Thp, UntouchedPoolsStay4k)
+{
+    Mosalloc allocator(setupConfig());
+    EXPECT_TRUE(thpHeapLayout(allocator).regions().empty());
+    EXPECT_TRUE(thpAnonLayout(allocator).regions().empty());
+}
+
+TEST(Thp, SmallFootprintBelowOneFrameStays4k)
+{
+    Mosalloc allocator(setupConfig());
+    allocator.malloc(512_KiB);
+    EXPECT_TRUE(thpHeapLayout(allocator).regions().empty());
+}
+
+TEST(Thp, AnonPoolPromotedIndependently)
+{
+    Mosalloc allocator(setupConfig());
+    allocator.mmap(7_MiB);
+    MosaicLayout layout = thpAnonLayout(allocator);
+    ASSERT_EQ(layout.regions().size(), 1u);
+    EXPECT_EQ(layout.regions()[0].length, 6_MiB);
+}
+
+TEST(Thp, ConfigCoversBothPools)
+{
+    Mosalloc allocator(setupConfig());
+    allocator.malloc(3_MiB);
+    allocator.mmap(3_MiB);
+    MosallocConfig config = thpStyleConfig(allocator);
+    EXPECT_GT(config.heapLayout.hugeCoverage(), 0.0);
+    EXPECT_GT(config.anonLayout.hugeCoverage(), 0.0);
+    // THP never uses 1GB pages.
+    for (const auto &region : config.heapLayout.regions())
+        EXPECT_EQ(region.pageSize, PageSize::Page2M);
+}
+
+TEST(Thp, NoControlOverPlacement)
+{
+    // THP promotion always starts at the pool base — the user cannot
+    // target a hot region the way Mosalloc windows can (limitation (1)
+    // of Section V-A).
+    Mosalloc allocator(setupConfig());
+    allocator.malloc(9_MiB);
+    MosaicLayout layout = thpHeapLayout(allocator);
+    ASSERT_FALSE(layout.regions().empty());
+    EXPECT_EQ(layout.regions()[0].start, 0u);
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the Lasso coordinate-descent fitter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/lasso.hh"
+#include "support/random.hh"
+
+using namespace mosaic;
+using stats::LassoConfig;
+using stats::Matrix;
+using stats::Vector;
+
+namespace
+{
+
+/** y = 2 + 3*x0 - 1.5*x2 with x1 pure noise. */
+void
+makeSparseProblem(std::size_t n, Matrix &x, Vector &y)
+{
+    Rng rng(77);
+    x = Matrix(n, 3);
+    y.assign(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        double x0 = rng.nextDouble() * 10;
+        double x1 = rng.nextDouble() * 10;
+        double x2 = rng.nextDouble() * 10;
+        x(i, 0) = x0;
+        x(i, 1) = x1;
+        x(i, 2) = x2;
+        y[i] = 2.0 + 3.0 * x0 - 1.5 * x2;
+    }
+}
+
+} // namespace
+
+TEST(Lasso, RecoversSparseModel)
+{
+    Matrix x;
+    Vector y;
+    makeSparseProblem(60, x, y);
+    auto result = stats::fitLasso(x, y);
+    EXPECT_NEAR(result.coefficients[0], 3.0, 0.05);
+    EXPECT_NEAR(result.coefficients[2], -1.5, 0.05);
+    EXPECT_NEAR(result.coefficients[1], 0.0, 0.05);
+    EXPECT_NEAR(result.intercept, 2.0, 0.5);
+}
+
+TEST(Lasso, PredictionMatchesGenerator)
+{
+    Matrix x;
+    Vector y;
+    makeSparseProblem(60, x, y);
+    auto result = stats::fitLasso(x, y);
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+        double predicted = result.predict(x.row(i));
+        EXPECT_NEAR(predicted, y[i], std::fabs(y[i]) * 0.02 + 0.5);
+    }
+}
+
+TEST(Lasso, StrongPenaltyZeroesEverything)
+{
+    Matrix x;
+    Vector y;
+    makeSparseProblem(60, x, y);
+    LassoConfig config;
+    config.lambdaRatio = 1.0; // lambda = lambda_max
+    auto result = stats::fitLasso(x, y, config);
+    EXPECT_EQ(result.numZeroCoefficients, 3u);
+    // Prediction degenerates to the mean of y.
+    double mean = 0;
+    for (double v : y)
+        mean += v;
+    mean /= static_cast<double>(y.size());
+    EXPECT_NEAR(result.predict({1, 1, 1}), mean, 1e-6);
+}
+
+TEST(Lasso, PenaltyMonotonicallyIncreasesSparsity)
+{
+    Matrix x;
+    Vector y;
+    makeSparseProblem(80, x, y);
+    std::size_t previous = 0;
+    for (double ratio : {1e-4, 1e-2, 0.3, 1.0}) {
+        LassoConfig config;
+        config.lambdaRatio = ratio;
+        auto result = stats::fitLasso(x, y, config);
+        EXPECT_GE(result.numZeroCoefficients, previous);
+        previous = result.numZeroCoefficients;
+    }
+}
+
+TEST(Lasso, HandlesConstantColumns)
+{
+    Rng rng(5);
+    Matrix x(30, 2);
+    Vector y(30);
+    for (std::size_t i = 0; i < 30; ++i) {
+        x(i, 0) = 4.2; // constant
+        x(i, 1) = rng.nextDouble();
+        y[i] = 10.0 * x(i, 1) + 1.0;
+    }
+    auto result = stats::fitLasso(x, y);
+    EXPECT_NEAR(result.coefficients[1], 10.0, 0.1);
+    EXPECT_DOUBLE_EQ(result.coefficients[0], 0.0);
+}
+
+TEST(Lasso, ScaleInvarianceAcrossFeatureMagnitudes)
+{
+    // One feature in units of 1e9 (like walk cycles), one in 1e2.
+    Rng rng(9);
+    Matrix x(50, 2);
+    Vector y(50);
+    for (std::size_t i = 0; i < 50; ++i) {
+        double big = rng.nextDouble() * 1e9;
+        double small = rng.nextDouble() * 1e2;
+        x(i, 0) = big;
+        x(i, 1) = small;
+        y[i] = 3e-6 * big + 2.0 * small + 5.0;
+    }
+    auto result = stats::fitLasso(x, y);
+    for (std::size_t i = 0; i < 50; ++i)
+        EXPECT_NEAR(result.predict(x.row(i)), y[i],
+                    std::fabs(y[i]) * 0.02 + 1.0);
+}
+
+TEST(Lasso, ConvergesWithinIterationBudget)
+{
+    Matrix x;
+    Vector y;
+    makeSparseProblem(60, x, y);
+    auto result = stats::fitLasso(x, y);
+    EXPECT_LT(result.iterations, 100000u);
+}
+
+TEST(Lasso, RejectsBadInput)
+{
+    Matrix x(4, 2);
+    Vector y(3);
+    EXPECT_THROW(stats::fitLasso(x, y), std::logic_error);
+}

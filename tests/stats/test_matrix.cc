@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the dense matrix type and the Householder-QR solver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/matrix.hh"
+#include "support/random.hh"
+
+using namespace mosaic;
+using stats::Matrix;
+using stats::Vector;
+
+TEST(Matrix, ConstructionAndIndexing)
+{
+    Matrix m(2, 3);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    m(1, 2) = 5.0;
+    EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+    EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(Matrix, FromRowsAndTranspose)
+{
+    Matrix m = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+    Matrix t = m.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+    EXPECT_DOUBLE_EQ(t(0, 0), 1.0);
+}
+
+TEST(Matrix, Identity)
+{
+    Matrix eye = Matrix::identity(3);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_DOUBLE_EQ(eye(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, MultiplyMatrix)
+{
+    Matrix a = Matrix::fromRows({{1, 2}, {3, 4}});
+    Matrix b = Matrix::fromRows({{5, 6}, {7, 8}});
+    Matrix c = a.multiply(b);
+    EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyVector)
+{
+    Matrix a = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+    Vector v = {1, 0, -1};
+    Vector out = a.multiply(v);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_DOUBLE_EQ(out[0], -2.0);
+    EXPECT_DOUBLE_EQ(out[1], -2.0);
+}
+
+TEST(Matrix, RowAndColExtraction)
+{
+    Matrix a = Matrix::fromRows({{1, 2}, {3, 4}, {5, 6}});
+    Vector row = a.row(1);
+    Vector col = a.col(0);
+    EXPECT_EQ(row, (Vector{3, 4}));
+    EXPECT_EQ(col, (Vector{1, 3, 5}));
+}
+
+TEST(VectorOps, DotAndNorm)
+{
+    EXPECT_DOUBLE_EQ(stats::dot({1, 2, 3}, {4, 5, 6}), 32.0);
+    EXPECT_DOUBLE_EQ(stats::norm2({3, 4}), 5.0);
+}
+
+TEST(LeastSquares, ExactSquareSystem)
+{
+    // 2x + y = 5; x - y = 1  =>  x = 2, y = 1
+    Matrix a = Matrix::fromRows({{2, 1}, {1, -1}});
+    Vector b = {5, 1};
+    Vector x = stats::solveLeastSquares(a, b);
+    EXPECT_NEAR(x[0], 2.0, 1e-10);
+    EXPECT_NEAR(x[1], 1.0, 1e-10);
+}
+
+TEST(LeastSquares, OverdeterminedRecoversCoefficients)
+{
+    // y = 3 + 2t sampled noiselessly: exact recovery expected.
+    Rng rng(1);
+    const std::size_t n = 40;
+    Matrix a(n, 2);
+    Vector b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double t = rng.nextDouble() * 10.0;
+        a(i, 0) = 1.0;
+        a(i, 1) = t;
+        b[i] = 3.0 + 2.0 * t;
+    }
+    Vector x = stats::solveLeastSquares(a, b);
+    EXPECT_NEAR(x[0], 3.0, 1e-9);
+    EXPECT_NEAR(x[1], 2.0, 1e-9);
+}
+
+TEST(LeastSquares, MinimizesResidualOnNoisyData)
+{
+    Rng rng(2);
+    const std::size_t n = 100;
+    Matrix a(n, 2);
+    Vector b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double t = static_cast<double>(i);
+        a(i, 0) = 1.0;
+        a(i, 1) = t;
+        b[i] = 1.0 + 0.5 * t + (rng.nextDouble() - 0.5);
+    }
+    Vector x = stats::solveLeastSquares(a, b);
+    // Perturbing the solution must not reduce the residual.
+    auto residual = [&](const Vector &coef) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            double r = b[i] - coef[0] * a(i, 0) - coef[1] * a(i, 1);
+            acc += r * r;
+        }
+        return acc;
+    };
+    double best = residual(x);
+    for (double d : {-0.01, 0.01}) {
+        EXPECT_GE(residual({x[0] + d, x[1]}), best);
+        EXPECT_GE(residual({x[0], x[1] + d}), best);
+    }
+}
+
+TEST(LeastSquares, RankDeficientColumnsGetZero)
+{
+    // Second column is identically zero: coefficient must be 0, the
+    // rest of the fit unaffected.
+    Matrix a(10, 3);
+    Vector b(10);
+    for (std::size_t i = 0; i < 10; ++i) {
+        double t = static_cast<double>(i);
+        a(i, 0) = 1.0;
+        a(i, 1) = 0.0;
+        a(i, 2) = t;
+        b[i] = 4.0 + 7.0 * t;
+    }
+    Vector x = stats::solveLeastSquares(a, b);
+    EXPECT_NEAR(x[0], 4.0, 1e-9);
+    EXPECT_DOUBLE_EQ(x[1], 0.0);
+    EXPECT_NEAR(x[2], 7.0, 1e-9);
+}
+
+TEST(LeastSquares, DuplicatedColumnHandled)
+{
+    // Two identical columns: solver must not blow up; the fit must
+    // still reproduce the targets.
+    Matrix a(8, 2);
+    Vector b(8);
+    for (std::size_t i = 0; i < 8; ++i) {
+        double t = static_cast<double>(i + 1);
+        a(i, 0) = t;
+        a(i, 1) = t;
+        b[i] = 10.0 * t;
+    }
+    Vector x = stats::solveLeastSquares(a, b);
+    for (std::size_t i = 0; i < 8; ++i) {
+        double predicted = x[0] * a(i, 0) + x[1] * a(i, 1);
+        EXPECT_NEAR(predicted, b[i], 1e-8);
+    }
+}
+
+TEST(LeastSquares, DimensionMismatchPanics)
+{
+    Matrix a(3, 2);
+    Vector b(2);
+    EXPECT_THROW(stats::solveLeastSquares(a, b), std::logic_error);
+}

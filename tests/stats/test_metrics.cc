@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the paper's error metrics, R^2, scaler, and K-fold splits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "stats/kfold.hh"
+#include "stats/metrics.hh"
+#include "stats/scaler.hh"
+
+using namespace mosaic;
+using stats::Vector;
+
+TEST(Metrics, AbsoluteRelativeError)
+{
+    EXPECT_DOUBLE_EQ(stats::absoluteRelativeError(100, 110), 0.1);
+    EXPECT_DOUBLE_EQ(stats::absoluteRelativeError(100, 90), 0.1);
+    EXPECT_DOUBLE_EQ(stats::absoluteRelativeError(100, 100), 0.0);
+}
+
+TEST(Metrics, MaxAbsRelError)
+{
+    Vector measured = {100, 200, 400};
+    Vector predicted = {110, 190, 400};
+    EXPECT_DOUBLE_EQ(stats::maxAbsRelError(measured, predicted), 0.1);
+}
+
+TEST(Metrics, GeoMeanIsGeometric)
+{
+    Vector measured = {100, 100};
+    Vector predicted = {110, 140}; // errors 0.1 and 0.4
+    double expected = std::sqrt(0.1 * 0.4);
+    EXPECT_NEAR(stats::geoMeanAbsRelError(measured, predicted), expected,
+                1e-12);
+}
+
+TEST(Metrics, GeoMeanFloorsZeroErrors)
+{
+    Vector measured = {100, 100};
+    Vector predicted = {100, 120}; // one exact sample
+    double value = stats::geoMeanAbsRelError(measured, predicted);
+    EXPECT_GT(value, 0.0);
+    EXPECT_NEAR(value, std::sqrt(1e-6 * 0.2), 1e-9);
+}
+
+TEST(Metrics, MeanAndStdDev)
+{
+    Vector values = {2, 4, 4, 4, 5, 5, 7, 9};
+    EXPECT_DOUBLE_EQ(stats::mean(values), 5.0);
+    EXPECT_DOUBLE_EQ(stats::stdDev(values), 2.0);
+}
+
+TEST(Metrics, RSquaredPerfectAndMeanPredictor)
+{
+    Vector measured = {1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(stats::rSquared(measured, measured), 1.0);
+    Vector mean_pred(4, 2.5);
+    EXPECT_NEAR(stats::rSquared(measured, mean_pred), 0.0, 1e-12);
+}
+
+TEST(Metrics, PearsonCorrelation)
+{
+    Vector a = {1, 2, 3, 4};
+    Vector b = {2, 4, 6, 8};
+    EXPECT_NEAR(stats::pearson(a, b), 1.0, 1e-12);
+    Vector c = {8, 6, 4, 2};
+    EXPECT_NEAR(stats::pearson(a, c), -1.0, 1e-12);
+}
+
+TEST(Scaler, ZeroMeanUnitVariance)
+{
+    stats::Matrix data = stats::Matrix::fromRows(
+        {{1, 100}, {2, 200}, {3, 300}, {4, 400}});
+    stats::StandardScaler scaler;
+    stats::Matrix out = scaler.fitTransform(data);
+    for (std::size_t c = 0; c < 2; ++c) {
+        double sum = 0, sq = 0;
+        for (std::size_t r = 0; r < 4; ++r) {
+            sum += out(r, c);
+            sq += out(r, c) * out(r, c);
+        }
+        EXPECT_NEAR(sum, 0.0, 1e-12);
+        EXPECT_NEAR(sq / 4.0, 1.0, 1e-12);
+    }
+}
+
+TEST(Scaler, ConstantColumnSurvives)
+{
+    stats::Matrix data = stats::Matrix::fromRows({{5, 1}, {5, 2}, {5, 3}});
+    stats::StandardScaler scaler;
+    stats::Matrix out = scaler.fitTransform(data);
+    for (std::size_t r = 0; r < 3; ++r)
+        EXPECT_DOUBLE_EQ(out(r, 0), 0.0);
+}
+
+TEST(KFold, PartitionIsDisjointAndComplete)
+{
+    auto splits = stats::makeKFoldSplits(54, 6);
+    ASSERT_EQ(splits.size(), 6u);
+    std::set<std::size_t> all_test;
+    for (const auto &split : splits) {
+        EXPECT_EQ(split.testIndices.size(), 9u);
+        EXPECT_EQ(split.trainIndices.size(), 45u);
+        for (auto index : split.testIndices) {
+            EXPECT_TRUE(all_test.insert(index).second)
+                << "index " << index << " in two test folds";
+            // Index must not be in its own training set.
+            EXPECT_EQ(std::count(split.trainIndices.begin(),
+                                 split.trainIndices.end(), index),
+                      0);
+        }
+    }
+    EXPECT_EQ(all_test.size(), 54u);
+}
+
+TEST(KFold, UnevenSizesDifferByAtMostOne)
+{
+    auto splits = stats::makeKFoldSplits(10, 3);
+    std::size_t lo = 10, hi = 0;
+    for (const auto &split : splits) {
+        lo = std::min(lo, split.testIndices.size());
+        hi = std::max(hi, split.testIndices.size());
+    }
+    EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(KFold, DeterministicPerSeed)
+{
+    auto a = stats::makeKFoldSplits(20, 4, 7);
+    auto b = stats::makeKFoldSplits(20, 4, 7);
+    auto c = stats::makeKFoldSplits(20, 4, 8);
+    EXPECT_EQ(a[0].testIndices, b[0].testIndices);
+    EXPECT_NE(a[0].testIndices, c[0].testIndices);
+}
+
+TEST(KFold, RejectsDegenerateRequests)
+{
+    EXPECT_THROW(stats::makeKFoldSplits(3, 4), std::logic_error);
+    EXPECT_THROW(stats::makeKFoldSplits(10, 1), std::logic_error);
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for polynomial feature expansion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/poly_features.hh"
+
+using namespace mosaic;
+using stats::PolynomialFeatures;
+
+TEST(PolyFeatures, CountMatchesBinomialFormula)
+{
+    // C(inputs + degree, degree)
+    EXPECT_EQ(stats::polynomialFeatureCount(1, 3), 4u);
+    EXPECT_EQ(stats::polynomialFeatureCount(3, 3), 20u);
+    EXPECT_EQ(stats::polynomialFeatureCount(3, 2), 10u);
+    EXPECT_EQ(stats::polynomialFeatureCount(2, 1), 3u);
+}
+
+TEST(PolyFeatures, MosmodelHasTwentyFeatures)
+{
+    // The paper: "a third-order polynomial in three variables has 20
+    // parameters".
+    PolynomialFeatures features(3, 3);
+    EXPECT_EQ(features.numFeatures(), 20u);
+}
+
+TEST(PolyFeatures, ConstantFeatureFirst)
+{
+    PolynomialFeatures features(2, 2);
+    stats::Vector out = features.expand({3.0, 5.0});
+    EXPECT_DOUBLE_EQ(out[0], 1.0);
+}
+
+TEST(PolyFeatures, SingleInputPowers)
+{
+    PolynomialFeatures features(1, 3);
+    stats::Vector out = features.expand({2.0});
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_DOUBLE_EQ(out[0], 1.0);
+    EXPECT_DOUBLE_EQ(out[1], 2.0);
+    EXPECT_DOUBLE_EQ(out[2], 4.0);
+    EXPECT_DOUBLE_EQ(out[3], 8.0);
+}
+
+TEST(PolyFeatures, CrossTermsPresent)
+{
+    PolynomialFeatures features(2, 2);
+    // Features: 1, x, y, x^2, xy, y^2 (order: by degree then lexico).
+    stats::Vector out = features.expand({2.0, 3.0});
+    ASSERT_EQ(out.size(), 6u);
+    double product = 1.0;
+    bool found_xy = false;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        const auto &exps = features.exponentsOf(i);
+        if (exps[0] == 1 && exps[1] == 1) {
+            found_xy = true;
+            EXPECT_DOUBLE_EQ(out[i], 6.0);
+        }
+        (void)product;
+    }
+    EXPECT_TRUE(found_xy);
+}
+
+TEST(PolyFeatures, ExponentTotalsBounded)
+{
+    PolynomialFeatures features(3, 3);
+    for (std::size_t i = 0; i < features.numFeatures(); ++i) {
+        unsigned total = 0;
+        for (unsigned e : features.exponentsOf(i))
+            total += e;
+        EXPECT_LE(total, 3u);
+    }
+}
+
+TEST(PolyFeatures, FeaturesAreUnique)
+{
+    PolynomialFeatures features(3, 3);
+    for (std::size_t i = 0; i < features.numFeatures(); ++i)
+        for (std::size_t j = i + 1; j < features.numFeatures(); ++j)
+            EXPECT_NE(features.exponentsOf(i), features.exponentsOf(j));
+}
+
+TEST(PolyFeatures, ExpandMatrixRowwise)
+{
+    PolynomialFeatures features(2, 1);
+    stats::Matrix inputs = stats::Matrix::fromRows({{1, 2}, {3, 4}});
+    stats::Matrix out = features.expandMatrix(inputs);
+    EXPECT_EQ(out.rows(), 2u);
+    EXPECT_EQ(out.cols(), 3u); // 1, x, y
+    EXPECT_DOUBLE_EQ(out(1, 0), 1.0);
+}
+
+TEST(PolyFeatures, FeatureNames)
+{
+    PolynomialFeatures features(3, 3);
+    std::vector<std::string> names = {"H", "M", "C"};
+    EXPECT_EQ(features.featureName(0, names), "1");
+    // Find the H*C^2 feature and check its name.
+    bool found = false;
+    for (std::size_t i = 0; i < features.numFeatures(); ++i) {
+        const auto &exps = features.exponentsOf(i);
+        if (exps[0] == 1 && exps[1] == 0 && exps[2] == 2) {
+            EXPECT_EQ(features.featureName(i, names), "H*C^2");
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+class PolyFeatureCountTest
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>>
+{
+};
+
+TEST_P(PolyFeatureCountTest, MatchesClosedForm)
+{
+    auto [inputs, degree] = GetParam();
+    PolynomialFeatures features(inputs, degree);
+    EXPECT_EQ(features.numFeatures(),
+              stats::polynomialFeatureCount(inputs, degree));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PolyFeatureCountTest,
+    ::testing::Values(std::make_pair(1u, 1u), std::make_pair(1u, 4u),
+                      std::make_pair(2u, 3u), std::make_pair(3u, 1u),
+                      std::make_pair(3u, 2u), std::make_pair(3u, 3u),
+                      std::make_pair(4u, 2u), std::make_pair(4u, 3u)));

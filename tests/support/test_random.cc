@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the deterministic RNG substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/random.hh"
+
+using namespace mosaic;
+
+TEST(SplitMix64, IsDeterministic)
+{
+    std::uint64_t s1 = 42, s2 = 42;
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(splitMix64(s1), splitMix64(s2));
+}
+
+TEST(SplitMix64, AdvancesState)
+{
+    std::uint64_t state = 42;
+    std::uint64_t first = splitMix64(state);
+    std::uint64_t second = splitMix64(state);
+    EXPECT_NE(first, second);
+}
+
+TEST(HashU64, IsStateless)
+{
+    EXPECT_EQ(hashU64(123), hashU64(123));
+    EXPECT_NE(hashU64(123), hashU64(124));
+}
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(7), b(8);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(99);
+    for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL, 1ULL << 40}) {
+        for (int i = 0; i < 200; ++i)
+            ASSERT_LT(rng.nextBounded(bound), bound);
+    }
+}
+
+TEST(Rng, BoundedOneAlwaysZero)
+{
+    Rng rng(5);
+    for (int i = 0; i < 50; ++i)
+        ASSERT_EQ(rng.nextBounded(1), 0u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        double value = rng.nextDouble();
+        ASSERT_GE(value, 0.0);
+        ASSERT_LT(value, 1.0);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        std::int64_t value = rng.nextRange(-3, 3);
+        ASSERT_GE(value, -3);
+        ASSERT_LE(value, 3);
+        saw_lo |= value == -3;
+        saw_hi |= value == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BoundedParetoWithinBounds)
+{
+    Rng rng(13);
+    for (int i = 0; i < 2000; ++i) {
+        double value = rng.nextBoundedPareto(1.5, 1.0, 100.0);
+        ASSERT_GE(value, 1.0);
+        ASSERT_LE(value, 100.0);
+    }
+}
+
+TEST(Rng, BoundedParetoIsSkewedLow)
+{
+    Rng rng(17);
+    int low = 0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) {
+        if (rng.nextBoundedPareto(1.5, 1.0, 100.0) < 10.0)
+            ++low;
+    }
+    // A heavy-tailed distribution on [1,100] puts most mass below 10.
+    EXPECT_GT(low, n * 3 / 4);
+}
+
+TEST(Rng, GeometricMeanRoughlyInverseP)
+{
+    Rng rng(23);
+    const double p = 0.25;
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.nextGeometric(p));
+    double mean = sum / n;
+    EXPECT_NEAR(mean, 1.0 / p, 0.2);
+}
+
+TEST(Rng, GeometricAlwaysAtLeastOne)
+{
+    Rng rng(29);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_GE(rng.nextGeometric(0.9), 1u);
+    for (int i = 0; i < 10; ++i)
+        ASSERT_EQ(rng.nextGeometric(1.0), 1u);
+}
+
+TEST(Rng, UniformCoverage)
+{
+    // All 8 buckets of a bounded draw should be populated.
+    Rng rng(31);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.nextBounded(8));
+    EXPECT_EQ(seen.size(), 8u);
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for string/formatting helpers and the text-table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/str.hh"
+#include "support/types.hh"
+
+using namespace mosaic;
+
+TEST(SplitString, BasicFields)
+{
+    auto fields = splitString("a,b,c", ',');
+    ASSERT_EQ(fields.size(), 3u);
+    EXPECT_EQ(fields[0], "a");
+    EXPECT_EQ(fields[1], "b");
+    EXPECT_EQ(fields[2], "c");
+}
+
+TEST(SplitString, PreservesEmptyFields)
+{
+    auto fields = splitString(",x,", ',');
+    ASSERT_EQ(fields.size(), 3u);
+    EXPECT_EQ(fields[0], "");
+    EXPECT_EQ(fields[1], "x");
+    EXPECT_EQ(fields[2], "");
+}
+
+TEST(SplitString, NoDelimiterSingleField)
+{
+    auto fields = splitString("hello", ',');
+    ASSERT_EQ(fields.size(), 1u);
+    EXPECT_EQ(fields[0], "hello");
+}
+
+TEST(TrimString, StripsBothEnds)
+{
+    EXPECT_EQ(trimString("  abc \t\n"), "abc");
+    EXPECT_EQ(trimString("abc"), "abc");
+    EXPECT_EQ(trimString("   "), "");
+    EXPECT_EQ(trimString(""), "");
+}
+
+TEST(FormatDouble, Precision)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
+
+TEST(FormatPercent, FractionToPercent)
+{
+    EXPECT_EQ(formatPercent(0.423), "42.3%");
+    EXPECT_EQ(formatPercent(1.92, 0), "192%");
+}
+
+TEST(FormatBytes, PicksUnits)
+{
+    EXPECT_EQ(formatBytes(512), "512 B");
+    EXPECT_EQ(formatBytes(2_KiB), "2.0 KiB");
+    EXPECT_EQ(formatBytes(96_MiB), "96.0 MiB");
+    EXPECT_EQ(formatBytes(3_GiB), "3.0 GiB");
+}
+
+TEST(Padding, LeftAndRight)
+{
+    EXPECT_EQ(padLeft("ab", 4), "  ab");
+    EXPECT_EQ(padRight("ab", 4), "ab  ");
+    EXPECT_EQ(padLeft("abcd", 2), "abcd");
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable table;
+    table.setHeader({"name", "value"});
+    table.addRow({"x", "1"});
+    table.addRow({"longer", "22"});
+    std::string out = table.render();
+    // Every line has the same length.
+    auto lines = splitString(out, '\n');
+    ASSERT_GE(lines.size(), 4u);
+    EXPECT_EQ(lines[0].size(), lines[2].size());
+    EXPECT_EQ(lines[2].size(), lines[3].size());
+    EXPECT_EQ(table.numRows(), 2u);
+}
+
+TEST(TextTable, RendersWithoutHeader)
+{
+    TextTable table;
+    table.addRow({"a", "b"});
+    std::string out = table.render();
+    EXPECT_NE(out.find("a"), std::string::npos);
+    EXPECT_EQ(out.find("---"), std::string::npos);
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tests for alignment helpers, literals, and the logging macros.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "support/logging.hh"
+#include "support/types.hh"
+
+using namespace mosaic;
+
+TEST(Literals, ByteUnits)
+{
+    EXPECT_EQ(1_KiB, 1024u);
+    EXPECT_EQ(2_MiB, 2u * 1024 * 1024);
+    EXPECT_EQ(1_GiB, 1024ull * 1024 * 1024);
+}
+
+TEST(Align, DownAndUp)
+{
+    EXPECT_EQ(alignDown(4097, 4096), 4096u);
+    EXPECT_EQ(alignDown(4096, 4096), 4096u);
+    EXPECT_EQ(alignUp(4097, 4096), 8192u);
+    EXPECT_EQ(alignUp(4096, 4096), 4096u);
+    EXPECT_EQ(alignUp(0, 4096), 0u);
+}
+
+TEST(PowerOfTwo, Predicate)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(4096));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(4097));
+}
+
+TEST(FloorLog2, KnownValues)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(floorLog2(5000), 12u);
+}
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    EXPECT_THROW(mosaic_panic("boom ", 42), std::logic_error);
+}
+
+TEST(Logging, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(mosaic_fatal("bad config"), std::runtime_error);
+}
+
+TEST(Logging, AssertPassesAndFails)
+{
+    EXPECT_NO_THROW(mosaic_assert(1 + 1 == 2, "fine"));
+    EXPECT_THROW(mosaic_assert(1 + 1 == 3, "broken"), std::logic_error);
+}
+
+TEST(Logging, MessagesCarryContext)
+{
+    try {
+        mosaic_panic("value was ", 17);
+        FAIL() << "should have thrown";
+    } catch (const std::logic_error &error) {
+        std::string what = error.what();
+        EXPECT_NE(what.find("value was 17"), std::string::npos);
+        EXPECT_NE(what.find("test_types.cc"), std::string::npos);
+    }
+}

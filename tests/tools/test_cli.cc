@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Tests for the command-line argument parser shared by the tools.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tools/cli_common.hh"
+
+using namespace mosaic::cli;
+
+namespace
+{
+
+Args
+parse(std::vector<const char *> words)
+{
+    words.insert(words.begin(), "prog");
+    return parseArgs(static_cast<int>(words.size()),
+                     const_cast<char **>(words.data()));
+}
+
+} // namespace
+
+TEST(Cli, KeyValuePairs)
+{
+    Args args = parse({"--workload", "spec06/mcf", "--platform",
+                       "Haswell"});
+    EXPECT_TRUE(args.has("workload"));
+    EXPECT_EQ(args.get("workload"), "spec06/mcf");
+    EXPECT_EQ(args.get("platform"), "Haswell");
+    EXPECT_FALSE(args.has("layout"));
+}
+
+TEST(Cli, FlagsWithoutValues)
+{
+    Args args = parse({"--csv", "--workload", "gups/8GB"});
+    EXPECT_TRUE(args.has("csv"));
+    EXPECT_EQ(args.get("csv"), "true");
+    EXPECT_EQ(args.get("workload"), "gups/8GB");
+}
+
+TEST(Cli, TrailingFlag)
+{
+    Args args = parse({"--workload", "gups/8GB", "--stats"});
+    EXPECT_TRUE(args.has("stats"));
+}
+
+TEST(Cli, PositionalArguments)
+{
+    Args args = parse({"first", "--key", "value", "second"});
+    ASSERT_EQ(args.positional.size(), 2u);
+    EXPECT_EQ(args.positional[0], "first");
+    EXPECT_EQ(args.positional[1], "second");
+}
+
+TEST(Cli, DefaultsWhenMissing)
+{
+    Args args = parse({});
+    EXPECT_EQ(args.get("layout", "all-4KB"), "all-4KB");
+    EXPECT_TRUE(args.positional.empty());
+}
+
+TEST(Cli, RepeatedKeyLastWins)
+{
+    Args args = parse({"--out", "a.csv", "--out", "b.csv"});
+    EXPECT_EQ(args.get("out"), "b.csv");
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for binary trace serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
+
+#include "support/random.hh"
+#include "trace/trace_io.hh"
+
+using namespace mosaic;
+using namespace mosaic::trace;
+
+namespace
+{
+
+MemoryTrace
+randomTrace(std::size_t n, std::uint64_t seed = 5)
+{
+    MemoryTrace trace;
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+        trace.add(rng.next() & 0xffffffffffffULL,
+                  static_cast<unsigned>(rng.nextBounded(1000)),
+                  (rng.next() & 1) != 0);
+    }
+    return trace;
+}
+
+struct TempFile
+{
+    explicit TempFile(const char *name) : path(name) {}
+    ~TempFile() { std::remove(path.c_str()); }
+    std::string path;
+};
+
+} // namespace
+
+TEST(TraceIo, RoundTripPreservesEveryRecord)
+{
+    TempFile file("trace_io_roundtrip.mtrc");
+    MemoryTrace original = randomTrace(10000);
+    saveTrace(original, file.path);
+    MemoryTrace loaded = loadTrace(file.path);
+
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        ASSERT_EQ(loaded.records()[i].vaddr,
+                  original.records()[i].vaddr);
+        ASSERT_EQ(loaded.records()[i].gap, original.records()[i].gap);
+        ASSERT_EQ(loaded.records()[i].isWrite,
+                  original.records()[i].isWrite);
+    }
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips)
+{
+    TempFile file("trace_io_empty.mtrc");
+    saveTrace(MemoryTrace(), file.path);
+    EXPECT_EQ(loadTrace(file.path).size(), 0u);
+}
+
+TEST(TraceIo, OddBlockBoundaries)
+{
+    // Sizes around the 4096-record write/read block size.
+    for (std::size_t n : {1u, 4095u, 4096u, 4097u, 9000u}) {
+        TempFile file("trace_io_block.mtrc");
+        MemoryTrace original = randomTrace(n, n);
+        saveTrace(original, file.path);
+        MemoryTrace loaded = loadTrace(file.path);
+        ASSERT_EQ(loaded.size(), n);
+        EXPECT_EQ(loaded.records().back().vaddr,
+                  original.records().back().vaddr);
+    }
+}
+
+TEST(TraceIo, DetectsNonTraceFiles)
+{
+    TempFile file("trace_io_bogus.bin");
+    FILE *raw = std::fopen(file.path.c_str(), "wb");
+    std::fputs("definitely not a trace", raw);
+    std::fclose(raw);
+    EXPECT_FALSE(isTraceFile(file.path));
+    EXPECT_THROW(loadTrace(file.path), std::logic_error);
+}
+
+TEST(TraceIo, DetectsTruncation)
+{
+    TempFile file("trace_io_trunc.mtrc");
+    saveTrace(randomTrace(5000), file.path);
+    // Chop the file in half.
+    FILE *raw = std::fopen(file.path.c_str(), "rb+");
+    std::fseek(raw, 0, SEEK_END);
+    long size = std::ftell(raw);
+    std::fclose(raw);
+    EXPECT_EQ(truncate(file.path.c_str(), size / 2), 0);
+    EXPECT_THROW(loadTrace(file.path), std::logic_error);
+}
+
+TEST(TraceIo, IsTraceFileRecognizesOwnOutput)
+{
+    TempFile file("trace_io_magic.mtrc");
+    saveTrace(randomTrace(10), file.path);
+    EXPECT_TRUE(isTraceFile(file.path));
+    EXPECT_FALSE(isTraceFile("no_such_file.mtrc"));
+}

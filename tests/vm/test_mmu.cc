@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the MMU facade and its PMU-style H/M/C accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memhier/hierarchy.hh"
+#include "vm/mmu.hh"
+
+using namespace mosaic;
+using namespace mosaic::vm;
+using alloc::PageSize;
+
+namespace
+{
+
+struct MmuFixture
+{
+    explicit MmuFixture(unsigned walkers = 1)
+        : table(mem), hierarchy(hierConfig())
+    {
+        MmuConfig config;
+        config.numWalkers = walkers;
+        mmu = std::make_unique<Mmu>(table, hierarchy, config);
+    }
+
+    static mem::HierarchyConfig
+    hierConfig()
+    {
+        mem::HierarchyConfig config;
+        config.l1 = {"L1", 4_KiB, 2, 64};
+        config.l2 = {"L2", 32_KiB, 4, 64};
+        config.l3 = {"L3", 256_KiB, 8, 64};
+        return config;
+    }
+
+    PhysMem mem;
+    PageTable table;
+    mem::MemoryHierarchy hierarchy;
+    std::unique_ptr<Mmu> mmu;
+};
+
+constexpr VirtAddr base = 0x4000000000ULL;
+
+} // namespace
+
+TEST(Mmu, FirstAccessWalksThenHits)
+{
+    MmuFixture fixture;
+    fixture.table.map(base, PageSize::Page4K, 0x80000000ULL);
+
+    auto first = fixture.mmu->translate(base + 8, 0);
+    EXPECT_EQ(first.outcome, TlbOutcome::Miss);
+    EXPECT_GT(first.latency, 0u);
+    EXPECT_EQ(first.physAddr, 0x80000008ULL);
+    EXPECT_EQ(fixture.mmu->counters().m, 1u);
+    EXPECT_GT(fixture.mmu->counters().c, 0u);
+
+    auto second = fixture.mmu->translate(base + 16, 100000);
+    EXPECT_EQ(second.outcome, TlbOutcome::L1Hit);
+    EXPECT_EQ(second.latency, 0u);
+    EXPECT_EQ(second.physAddr, 0x80000010ULL);
+}
+
+TEST(Mmu, L2HitCostsSevenCycles)
+{
+    MmuFixture fixture;
+    // Map enough pages to overflow the 64-entry L1 but not the L2.
+    for (std::uint64_t i = 0; i < 256; ++i)
+        fixture.table.map(base + i * 4_KiB, PageSize::Page4K,
+                          0x80000000ULL + i * 4_KiB);
+    for (std::uint64_t i = 0; i < 256; ++i)
+        fixture.mmu->translate(base + i * 4_KiB, i * 1000);
+
+    auto result = fixture.mmu->translate(base, 10000000);
+    EXPECT_EQ(result.outcome, TlbOutcome::L2Hit);
+    EXPECT_EQ(result.latency, 7u);
+    EXPECT_EQ(fixture.mmu->counters().h, 1u);
+}
+
+TEST(Mmu, CountersSumToAccesses)
+{
+    MmuFixture fixture;
+    for (std::uint64_t i = 0; i < 512; ++i)
+        fixture.table.map(base + i * 4_KiB, PageSize::Page4K,
+                          0x80000000ULL + i * 4_KiB);
+    const std::uint64_t n = 5000;
+    for (std::uint64_t i = 0; i < n; ++i)
+        fixture.mmu->translate(base + (i % 512) * 4_KiB, i * 10);
+    const auto &counters = fixture.mmu->counters();
+    EXPECT_EQ(counters.l1Hits + counters.h + counters.m, n);
+}
+
+TEST(Mmu, UnmappedAccessPanics)
+{
+    MmuFixture fixture;
+    EXPECT_THROW(fixture.mmu->translate(0x123456000ULL, 0),
+                 std::logic_error);
+}
+
+TEST(Mmu, FlushForgetsTranslations)
+{
+    MmuFixture fixture;
+    fixture.table.map(base, PageSize::Page4K, 0x80000000ULL);
+    fixture.mmu->translate(base, 0);
+    fixture.mmu->flush();
+    auto result = fixture.mmu->translate(base, 100000);
+    EXPECT_EQ(result.outcome, TlbOutcome::Miss);
+    EXPECT_EQ(fixture.mmu->counters().m, 2u);
+}
+
+TEST(Mmu, WalkCyclesAccumulateAcrossWalkers)
+{
+    // With 2 walkers and back-to-back misses, C grows by the full walk
+    // latency of each walk even though they overlap in time.
+    MmuFixture fixture(2);
+    fixture.table.map(base, PageSize::Page4K, 0x80000000ULL);
+    fixture.table.map(base + 1_GiB, PageSize::Page4K, 0x80002000ULL);
+    auto e1 = fixture.mmu->translate(base, 0);
+    auto e2 = fixture.mmu->translate(base + 1_GiB, 0);
+    EXPECT_EQ(e2.queueCycles, 0u);
+    EXPECT_EQ(fixture.mmu->counters().c, e1.latency + e2.latency);
+}

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for physical memory, page-table construction and translation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mosalloc/mosalloc.hh"
+#include "vm/page_table.hh"
+#include "vm/phys_mem.hh"
+
+using namespace mosaic;
+using namespace mosaic::vm;
+using alloc::PageSize;
+
+TEST(PhysMem, PageTableNodesAreSequential4k)
+{
+    PhysMem mem;
+    PhysAddr a = mem.allocPageTableNode();
+    PhysAddr b = mem.allocPageTableNode();
+    EXPECT_EQ(b - a, 4_KiB);
+    EXPECT_EQ(mem.numPageTableNodes(), 2u);
+}
+
+TEST(PhysMem, DataFramesNaturallyAligned)
+{
+    PhysMem mem;
+    PhysAddr small = mem.allocDataFrame(PageSize::Page4K);
+    PhysAddr huge = mem.allocDataFrame(PageSize::Page2M);
+    PhysAddr giant = mem.allocDataFrame(PageSize::Page1G);
+    EXPECT_EQ(small % 4_KiB, 0u);
+    EXPECT_EQ(huge % 2_MiB, 0u);
+    EXPECT_EQ(giant % 1_GiB, 0u);
+    EXPECT_GE(huge, PhysMem::dataBase);
+}
+
+TEST(LevelHelpers, ShiftsAndIndices)
+{
+    EXPECT_EQ(levelShift(PtLevel::Pml4), 39u);
+    EXPECT_EQ(levelShift(PtLevel::Pt), 12u);
+    VirtAddr va = (3ULL << 39) | (5ULL << 30) | (7ULL << 21) | (9ULL << 12);
+    EXPECT_EQ(levelIndex(va, PtLevel::Pml4), 3u);
+    EXPECT_EQ(levelIndex(va, PtLevel::Pdpt), 5u);
+    EXPECT_EQ(levelIndex(va, PtLevel::Pd), 7u);
+    EXPECT_EQ(levelIndex(va, PtLevel::Pt), 9u);
+}
+
+TEST(LevelHelpers, LeafLevels)
+{
+    EXPECT_EQ(leafLevel(PageSize::Page4K), PtLevel::Pt);
+    EXPECT_EQ(leafLevel(PageSize::Page2M), PtLevel::Pd);
+    EXPECT_EQ(leafLevel(PageSize::Page1G), PtLevel::Pdpt);
+}
+
+TEST(PageTable, MapAndTranslate4k)
+{
+    PhysMem mem;
+    PageTable table(mem);
+    VirtAddr va = 0x4000000000ULL;
+    table.map(va, PageSize::Page4K, 0x80000000ULL);
+
+    Translation xlate = table.translate(va + 0x123);
+    ASSERT_TRUE(xlate.valid);
+    EXPECT_EQ(xlate.physAddr, 0x80000123ULL);
+    EXPECT_EQ(xlate.pageSize, PageSize::Page4K);
+    EXPECT_EQ(xlate.depth, 4u);
+}
+
+TEST(PageTable, MapAndTranslate2m)
+{
+    PhysMem mem;
+    PageTable table(mem);
+    VirtAddr va = 0x4000000000ULL;
+    table.map(va, PageSize::Page2M, 0x80000000ULL);
+    Translation xlate = table.translate(va + 0x123456);
+    ASSERT_TRUE(xlate.valid);
+    EXPECT_EQ(xlate.physAddr, 0x80123456ULL);
+    EXPECT_EQ(xlate.pageSize, PageSize::Page2M);
+    EXPECT_EQ(xlate.depth, 3u);
+}
+
+TEST(PageTable, MapAndTranslate1g)
+{
+    PhysMem mem;
+    PageTable table(mem);
+    VirtAddr va = 0x4000000000ULL;
+    table.map(va, PageSize::Page1G, 0x40000000ULL);
+    Translation xlate = table.translate(va + 0x3fffffffULL);
+    ASSERT_TRUE(xlate.valid);
+    EXPECT_EQ(xlate.physAddr, 0x40000000ULL + 0x3fffffffULL);
+    EXPECT_EQ(xlate.depth, 2u);
+}
+
+TEST(PageTable, UnmappedIsInvalid)
+{
+    PhysMem mem;
+    PageTable table(mem);
+    Translation xlate = table.translate(0x1234000);
+    EXPECT_FALSE(xlate.valid);
+}
+
+TEST(PageTable, EntryChainAddressesAreDistinctAndInPtRegion)
+{
+    PhysMem mem;
+    PageTable table(mem);
+    VirtAddr va = 0x4000000000ULL;
+    table.map(va, PageSize::Page4K, 0x80000000ULL);
+    Translation xlate = table.translate(va);
+    ASSERT_EQ(xlate.depth, 4u);
+    for (unsigned i = 0; i < 4; ++i) {
+        EXPECT_LT(xlate.entryAddrs[i],
+                  PhysMem::pageTableBase + PhysMem::pageTableRegion);
+        for (unsigned j = i + 1; j < 4; ++j)
+            EXPECT_NE(xlate.entryAddrs[i], xlate.entryAddrs[j]);
+    }
+}
+
+TEST(PageTable, SiblingPagesShareUpperNodes)
+{
+    PhysMem mem;
+    PageTable table(mem);
+    VirtAddr va = 0x4000000000ULL;
+    table.map(va, PageSize::Page4K, 0x80000000ULL);
+    std::size_t nodes_after_first = table.numNodes();
+    table.map(va + 4_KiB, PageSize::Page4K, 0x80001000ULL);
+    // Same PT leaf node: no new nodes needed.
+    EXPECT_EQ(table.numNodes(), nodes_after_first);
+    // Entry chains share the first three levels.
+    Translation x1 = table.translate(va);
+    Translation x2 = table.translate(va + 4_KiB);
+    EXPECT_EQ(x1.entryAddrs[0], x2.entryAddrs[0]);
+    EXPECT_EQ(x1.entryAddrs[2], x2.entryAddrs[2]);
+    EXPECT_NE(x1.entryAddrs[3], x2.entryAddrs[3]);
+}
+
+TEST(PageTable, RejectsDoubleAndMisalignedMaps)
+{
+    PhysMem mem;
+    PageTable table(mem);
+    VirtAddr va = 0x4000000000ULL;
+    table.map(va, PageSize::Page4K, 0x80000000ULL);
+    EXPECT_THROW(table.map(va, PageSize::Page4K, 0x80002000ULL),
+                 std::logic_error);
+    EXPECT_THROW(table.map(0x123, PageSize::Page4K, 0x80000000ULL),
+                 std::logic_error);
+    EXPECT_THROW(table.map(va + 8_MiB, PageSize::Page2M, 0x1000ULL),
+                 std::logic_error);
+}
+
+TEST(PageTable, PopulateFromMosalloc)
+{
+    alloc::MosallocConfig config;
+    config.heapLayout = alloc::MosaicLayout(
+        4_MiB, {alloc::MosaicRegion{2_MiB, 2_MiB, PageSize::Page2M}});
+    config.anonLayout = alloc::MosaicLayout(2_MiB);
+    config.filePoolSize = 1_MiB;
+    alloc::Mosalloc allocator(config);
+
+    PhysMem mem;
+    PageTable table(mem);
+    table.populate(allocator);
+
+    // 2 MiB of 4KB heap pages + 1 x 2MB page.
+    auto counts = table.mappedPages();
+    EXPECT_EQ(counts[static_cast<std::size_t>(PageSize::Page2M)], 1u);
+    EXPECT_EQ(counts[static_cast<std::size_t>(PageSize::Page4K)],
+              (2_MiB + 2_MiB + 1_MiB) / 4_KiB);
+
+    // Every pool address translates; page sizes match the layout.
+    VirtAddr heap = alloc::PoolAddresses::heapBase;
+    EXPECT_TRUE(table.translate(heap).valid);
+    EXPECT_EQ(table.translate(heap + 3_MiB).pageSize, PageSize::Page2M);
+    EXPECT_EQ(table.translate(heap + 1_MiB).pageSize, PageSize::Page4K);
+
+    // Distinct pages map to distinct frames.
+    PhysAddr f1 = table.translate(heap).physAddr;
+    PhysAddr f2 = table.translate(heap + 4_KiB).physAddr;
+    EXPECT_NE(f1, f2);
+}

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Tests for the TLB arrays and the two-level TLB system, including the
+ * per-microarchitecture L2 policies of Table 4.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/tlb.hh"
+
+using namespace mosaic;
+using namespace mosaic::vm;
+using alloc::PageSize;
+
+TEST(TlbArray, AbsentArrayAlwaysMisses)
+{
+    TlbArray array(0, 0);
+    EXPECT_FALSE(array.present());
+    EXPECT_FALSE(array.lookup(42));
+    array.insert(42); // no-op, no crash
+    EXPECT_FALSE(array.lookup(42));
+}
+
+TEST(TlbArray, InsertThenHit)
+{
+    TlbArray array(16, 4);
+    EXPECT_FALSE(array.lookup(100));
+    array.insert(100);
+    EXPECT_TRUE(array.lookup(100));
+    EXPECT_EQ(array.hits, 1u);
+    EXPECT_EQ(array.misses, 1u);
+}
+
+TEST(TlbArray, FullyAssociativeWhenWaysExceedEntries)
+{
+    TlbArray array(4, 16);
+    EXPECT_EQ(array.numWays(), 4u);
+    EXPECT_EQ(array.numSets(), 1u);
+}
+
+TEST(TlbArray, LruEvictionWithinSet)
+{
+    // Fully associative 2-entry array.
+    TlbArray array(2, 2);
+    array.insert(1 << 2);
+    array.insert(2 << 2);
+    array.lookup(1 << 2);    // refresh key 1
+    array.insert(3 << 2);    // evicts key 2
+    EXPECT_TRUE(array.lookup(1 << 2));
+    EXPECT_FALSE(array.lookup(2 << 2));
+    EXPECT_TRUE(array.lookup(3 << 2));
+}
+
+TEST(TlbArray, CapacityBound)
+{
+    // Insert more distinct keys than entries: at most `entries` can hit.
+    TlbArray array(16, 4);
+    for (std::uint64_t k = 0; k < 64; ++k)
+        array.insert(k << 2);
+    unsigned resident = 0;
+    for (std::uint64_t k = 0; k < 64; ++k)
+        resident += array.lookup(k << 2) ? 1 : 0;
+    EXPECT_LE(resident, 16u);
+}
+
+TEST(TlbArray, FlushDropsEverything)
+{
+    TlbArray array(16, 4);
+    array.insert(5);
+    array.flush();
+    EXPECT_FALSE(array.lookup(5));
+}
+
+namespace
+{
+
+L2TlbConfig
+sandyBridgeL2()
+{
+    L2TlbConfig l2;
+    l2.entries = 512;
+    l2.ways = 4;
+    l2.shares2m = false;
+    l2.entries1g = 0;
+    return l2;
+}
+
+L2TlbConfig
+broadwellL2()
+{
+    L2TlbConfig l2;
+    l2.entries = 1536;
+    l2.ways = 12;
+    l2.shares2m = true;
+    l2.entries1g = 16;
+    return l2;
+}
+
+} // namespace
+
+TEST(TlbSystem, MissFillHitSequence)
+{
+    TlbSystem tlb(L1TlbConfig{}, sandyBridgeL2());
+    VirtAddr va = 0x12345678000ULL;
+    EXPECT_EQ(tlb.lookup(va, PageSize::Page4K), TlbOutcome::Miss);
+    tlb.fill(va, PageSize::Page4K);
+    EXPECT_EQ(tlb.lookup(va, PageSize::Page4K), TlbOutcome::L1Hit);
+    EXPECT_EQ(tlb.fullMisses(), 1u);
+    EXPECT_EQ(tlb.l1Hits(), 1u);
+}
+
+TEST(TlbSystem, L2HitAfterL1Eviction)
+{
+    TlbSystem tlb(L1TlbConfig{}, sandyBridgeL2());
+    // Fill 64 + extra 4KB translations mapping to distinct L1 slots;
+    // early ones fall out of the 64-entry L1 but stay in the 512-entry
+    // L2.
+    for (std::uint64_t i = 0; i < 256; ++i)
+        tlb.fill(i * 4_KiB, PageSize::Page4K);
+    auto outcome = tlb.lookup(0, PageSize::Page4K);
+    EXPECT_EQ(outcome, TlbOutcome::L2Hit);
+    EXPECT_EQ(tlb.l2Hits(), 1u);
+    // An L2 hit promotes to L1: next access is an L1 hit.
+    EXPECT_EQ(tlb.lookup(0, PageSize::Page4K), TlbOutcome::L1Hit);
+}
+
+TEST(TlbSystem, SandyBridge2mSkipsL2)
+{
+    // SNB's L2 TLB holds 4KB translations only: a 2MB translation
+    // evicted from L1 must walk again (Miss, not L2Hit).
+    TlbSystem tlb(L1TlbConfig{}, sandyBridgeL2());
+    for (std::uint64_t i = 0; i < 64; ++i)
+        tlb.fill(i * 2_MiB, PageSize::Page2M);
+    EXPECT_EQ(tlb.lookup(0, PageSize::Page2M), TlbOutcome::Miss);
+    EXPECT_FALSE(tlb.l2Holds(PageSize::Page2M));
+}
+
+TEST(TlbSystem, Broadwell2mSharesL2)
+{
+    TlbSystem tlb(L1TlbConfig{}, broadwellL2());
+    for (std::uint64_t i = 0; i < 64; ++i)
+        tlb.fill(i * 2_MiB, PageSize::Page2M);
+    EXPECT_EQ(tlb.lookup(0, PageSize::Page2M), TlbOutcome::L2Hit);
+    EXPECT_TRUE(tlb.l2Holds(PageSize::Page2M));
+}
+
+TEST(TlbSystem, Broadwell1gHasDedicatedArray)
+{
+    TlbSystem tlb(L1TlbConfig{}, broadwellL2());
+    // Push 8 x 1GB translations: more than the 4-entry L1 but within
+    // the 16-entry L2 1GB array.
+    for (std::uint64_t i = 0; i < 8; ++i)
+        tlb.fill(i * 1_GiB, PageSize::Page1G);
+    EXPECT_EQ(tlb.lookup(0, PageSize::Page1G), TlbOutcome::L2Hit);
+
+    TlbSystem snb(L1TlbConfig{}, sandyBridgeL2());
+    for (std::uint64_t i = 0; i < 8; ++i)
+        snb.fill(i * 1_GiB, PageSize::Page1G);
+    EXPECT_EQ(snb.lookup(0, PageSize::Page1G), TlbOutcome::Miss);
+}
+
+TEST(TlbSystem, PageSizesDoNotAlias)
+{
+    // A 2MB translation of a region must not answer 4KB lookups of
+    // the same addresses, and vice versa.
+    TlbSystem tlb(L1TlbConfig{}, broadwellL2());
+    tlb.fill(0x40000000ULL, PageSize::Page2M);
+    EXPECT_EQ(tlb.lookup(0x40000000ULL, PageSize::Page4K),
+              TlbOutcome::Miss);
+}
+
+TEST(TlbSystem, CountersMatchOutcomes)
+{
+    TlbSystem tlb(L1TlbConfig{}, broadwellL2());
+    std::uint64_t h = 0, m = 0, l1 = 0;
+    for (std::uint64_t i = 0; i < 3000; ++i) {
+        VirtAddr va = (i % 700) * 4_KiB;
+        auto outcome = tlb.lookup(va, PageSize::Page4K);
+        switch (outcome) {
+          case TlbOutcome::L1Hit:
+            ++l1;
+            break;
+          case TlbOutcome::L2Hit:
+            ++h;
+            break;
+          case TlbOutcome::Miss:
+            ++m;
+            tlb.fill(va, PageSize::Page4K);
+            break;
+        }
+    }
+    EXPECT_EQ(tlb.l1Hits(), l1);
+    EXPECT_EQ(tlb.l2Hits(), h);
+    EXPECT_EQ(tlb.fullMisses(), m);
+    EXPECT_EQ(l1 + h + m, 3000u);
+    EXPECT_GT(h, 0u);
+    EXPECT_GT(m, 0u);
+}
+
+class TlbReachTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TlbReachTest, WorkingSetsWithinL1ReachNeverMissTwice)
+{
+    // Property: a working set of N <= 32 2MB pages (L1 2MB capacity),
+    // accessed round-robin, misses each page exactly once.
+    std::uint64_t pages = GetParam();
+    TlbSystem tlb(L1TlbConfig{}, broadwellL2());
+    std::uint64_t misses = 0;
+    for (int round = 0; round < 5; ++round) {
+        for (std::uint64_t p = 0; p < pages; ++p) {
+            if (tlb.lookup(p * 2_MiB, PageSize::Page2M) ==
+                TlbOutcome::Miss) {
+                ++misses;
+                tlb.fill(p * 2_MiB, PageSize::Page2M);
+            }
+        }
+    }
+    EXPECT_EQ(misses, pages);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TlbReachTest,
+                         ::testing::Values(1u, 4u, 8u, 16u, 32u));

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the miss-concentration structure the sliding-window
+ * heuristic exploits (Section VI-B): "for most workloads, TLB misses
+ * are mostly concentrated in a relatively small memory region" — e.g.
+ * 80% of graph500's misses come from a small slice of its space —
+ * while uniform-access workloads like gups have no such hot region.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/miss_profile.hh"
+#include "workloads/gapbs.hh"
+#include "workloads/graph500.hh"
+#include "workloads/gups.hh"
+#include "workloads/spec.hh"
+
+using namespace mosaic;
+using namespace mosaic::workloads;
+
+namespace
+{
+
+/** Fraction of the pool the X-percent hot region occupies. */
+double
+hotRegionShare(const Workload &workload, double fraction)
+{
+    auto trace = workload.generateTrace();
+    trace::MissProfile profile(trace, workload.primaryPoolBase(),
+                               workload.primaryPoolSize());
+    auto hot = profile.findHotRegion(fraction);
+    return static_cast<double>(hot.length) /
+           static_cast<double>(workload.primaryPoolSize());
+}
+
+} // namespace
+
+TEST(MissConcentration, Graph500MissesConcentrateOnHubs)
+{
+    Graph500Params params;
+    params.numVertices = 1u << 16;
+    params.refBudget = 120000;
+    Graph500Workload workload(params);
+    // 60% of the misses fit in well under half the pool: the hub
+    // adjacency runs dominate the traffic.
+    EXPECT_LT(hotRegionShare(workload, 0.6), 0.5);
+}
+
+TEST(MissConcentration, XalancTreeTopIsHot)
+{
+    XalancParams params;
+    params.nodeArenaBytes = 24_MiB;
+    params.stringBytes = 4_MiB;
+    params.refBudget = 120000;
+    XalancWorkload workload(params);
+    // Every descent crosses the top levels: strong concentration.
+    EXPECT_LT(hotRegionShare(workload, 0.4), 0.55);
+}
+
+TEST(MissConcentration, GupsIsUniform)
+{
+    GupsParams params;
+    params.tableBytes = 48_MiB;
+    params.updates = 60000;
+    GupsWorkload workload(params);
+    // Uniform random access: covering X% of the misses takes ~X% of
+    // the pool; there is no hot region to exploit.
+    double share = hotRegionShare(workload, 0.6);
+    EXPECT_GT(share, 0.45);
+    EXPECT_LT(share, 0.75);
+}
+
+TEST(MissConcentration, TwitterPrHammersHubRanks)
+{
+    GapbsParams params = gapbsPrTwitter();
+    params.graph = twitterGraph(1u << 15);
+    params.refBudget = 120000;
+    GapbsWorkload workload(params);
+    EXPECT_LT(hotRegionShare(workload, 0.6), 0.6);
+}
+
+TEST(MissConcentration, HotRegionGrowsWithFraction)
+{
+    Graph500Params params;
+    params.numVertices = 1u << 16;
+    params.refBudget = 120000;
+    Graph500Workload workload(params);
+    double s20 = hotRegionShare(workload, 0.2);
+    double s80 = hotRegionShare(workload, 0.8);
+    EXPECT_LE(s20, s80);
+}

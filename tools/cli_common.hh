@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Minimal argument parsing shared by the command-line tools.
+ */
+
+#ifndef MOSAIC_TOOLS_CLI_COMMON_HH
+#define MOSAIC_TOOLS_CLI_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mosaic::cli
+{
+
+/** Parsed "--key value" options plus positional arguments. */
+struct Args
+{
+    std::map<std::string, std::string> options;
+    std::vector<std::string> positional;
+
+    bool
+    has(const std::string &key) const
+    {
+        return options.count(key) != 0;
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback = "") const
+    {
+        auto it = options.find(key);
+        return it == options.end() ? fallback : it->second;
+    }
+};
+
+/**
+ * Parse argv. "--key value" pairs become options; "--flag" followed by
+ * another option (or nothing) becomes a true flag; everything else is
+ * positional.
+ */
+inline Args
+parseArgs(int argc, char **argv)
+{
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+        std::string word = argv[i];
+        if (word.rfind("--", 0) == 0) {
+            std::string key = word.substr(2);
+            if (i + 1 < argc &&
+                std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                args.options[key] = argv[++i];
+            } else {
+                args.options[key] = "true";
+            }
+        } else {
+            args.positional.push_back(word);
+        }
+    }
+    return args;
+}
+
+/** Print usage text and exit. */
+[[noreturn]] inline void
+usage(const std::string &text)
+{
+    std::fprintf(stderr, "%s", text.c_str());
+    std::exit(2);
+}
+
+} // namespace mosaic::cli
+
+#endif // MOSAIC_TOOLS_CLI_COMMON_HH

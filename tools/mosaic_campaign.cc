@@ -1,0 +1,68 @@
+/**
+ * @file
+ * mosaic_campaign: run a (subset of the) measurement campaign from the
+ * command line and write the dataset CSV.
+ *
+ * Examples:
+ *   mosaic_campaign --out my_dataset.csv
+ *   mosaic_campaign --workloads spec06/mcf,gups/8GB \
+ *                   --platforms SandyBridge --threads 2 --out mcf.csv
+ */
+
+#include <cstdio>
+
+#include "experiments/campaign.hh"
+#include "support/str.hh"
+#include "tools/cli_common.hh"
+
+namespace
+{
+
+constexpr const char *usageText =
+    "usage: mosaic_campaign [--workloads a,b,...] [--platforms x,y]\n"
+    "                       [--threads N] [--no-1gb] [--out FILE]\n"
+    "defaults: all 19 workloads, the paper's 3 platforms, 2 threads,\n"
+    "          out = mosaic_dataset.csv\n";
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mosaic;
+    auto args = cli::parseArgs(argc, argv);
+    if (args.has("help"))
+        cli::usage(usageText);
+
+    exp::CampaignConfig config;
+    if (args.has("workloads")) {
+        for (const auto &label :
+             splitString(args.get("workloads"), ',')) {
+            if (!trimString(label).empty())
+                config.workloads.push_back(trimString(label));
+        }
+    }
+    if (args.has("platforms")) {
+        config.platforms.clear();
+        for (const auto &name :
+             splitString(args.get("platforms"), ',')) {
+            if (!trimString(name).empty())
+                config.platforms.push_back(
+                    cpu::platformByName(trimString(name)));
+        }
+    }
+    if (args.has("threads"))
+        config.threads =
+            static_cast<unsigned>(std::stoul(args.get("threads")));
+    if (args.has("no-1gb"))
+        config.include1g = false;
+
+    std::string out = args.get("out", exp::defaultDatasetPath());
+    exp::CampaignRunner runner(config);
+    exp::Dataset dataset = runner.run();
+    dataset.save(out);
+    std::printf("wrote %zu runs (%zu platforms x %zu workloads) to %s\n",
+                dataset.totalRuns(), dataset.platforms().size(),
+                dataset.workloads().size(), out.c_str());
+    return 0;
+}

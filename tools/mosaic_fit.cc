@@ -1,0 +1,82 @@
+/**
+ * @file
+ * mosaic_fit: fit runtime models against a dataset CSV and report
+ * errors — the analysis half of the methodology, scriptable.
+ *
+ * Examples:
+ *   mosaic_fit --dataset mosaic_dataset.csv
+ *   mosaic_fit --dataset mosaic_dataset.csv --workload spec06/mcf \
+ *              --platform SandyBridge --models yaniv,mosmodel --describe
+ */
+
+#include <cstdio>
+
+#include "experiments/campaign.hh"
+#include "experiments/report.hh"
+#include "models/evaluation.hh"
+#include "support/str.hh"
+#include "tools/cli_common.hh"
+
+namespace
+{
+
+constexpr const char *usageText =
+    "usage: mosaic_fit [--dataset FILE] [--workload LABEL]\n"
+    "                  [--platform NAME] [--models a,b,...]\n"
+    "                  [--describe]\n"
+    "defaults: dataset = mosaic_dataset.csv, all pairs, all 9 models\n";
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mosaic;
+    auto args = cli::parseArgs(argc, argv);
+    if (args.has("help"))
+        cli::usage(usageText);
+
+    auto dataset =
+        exp::Dataset::load(args.get("dataset", exp::defaultDatasetPath()));
+
+    std::vector<std::string> models = exp::paperModelOrder();
+    if (args.has("models")) {
+        models.clear();
+        for (const auto &name : splitString(args.get("models"), ','))
+            if (!trimString(name).empty())
+                models.push_back(trimString(name));
+    }
+
+    TextTable table;
+    std::vector<std::string> header = {"platform", "workload"};
+    header.insert(header.end(), models.begin(), models.end());
+    table.setHeader(header);
+
+    for (const auto &platform : dataset.platforms()) {
+        if (args.has("platform") && platform != args.get("platform"))
+            continue;
+        for (const auto &workload : dataset.workloads()) {
+            if (args.has("workload") && workload != args.get("workload"))
+                continue;
+            if (!dataset.has(platform, workload))
+                continue;
+            auto set = dataset.sampleSet(platform, workload);
+            if (!set.tlbSensitive())
+                continue;
+            std::vector<std::string> cells = {platform, workload};
+            for (const auto &name : models) {
+                auto model = exp::makeModelByName(name);
+                auto errors = models::evaluateModel(*model, set);
+                cells.push_back(formatPercent(errors.maxError));
+                if (args.has("describe")) {
+                    std::printf("%s %s %s: %s\n", platform.c_str(),
+                                workload.c_str(), name.c_str(),
+                                model->describe().c_str());
+                }
+            }
+            table.addRow(cells);
+        }
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * mosaic_run: simulate one (workload, platform, layout) triple and
+ * print the PMU readout — the smallest unit of the paper's
+ * methodology, scriptable.
+ *
+ * Examples:
+ *   mosaic_run --workload spec06/mcf --platform SandyBridge \
+ *              --layout all-2MB
+ *   mosaic_run --workload gups/8GB --platform Broadwell \
+ *              --layout window:0:64MiB --csv
+ *   mosaic_run --list
+ */
+
+#include <cstdio>
+
+#include "cpu/stats_report.hh"
+#include "cpu/system.hh"
+#include "mosalloc/layout.hh"
+#include "support/logging.hh"
+#include "support/str.hh"
+#include "tools/cli_common.hh"
+#include "workloads/registry.hh"
+
+namespace
+{
+
+using namespace mosaic;
+
+constexpr const char *usageText =
+    "usage: mosaic_run --workload <label> --platform <name> "
+    "--layout <spec> [--csv|--stats]\n"
+    "       mosaic_run --list\n"
+    "layout specs:\n"
+    "  all-4KB | all-2MB | all-1GB      uniform page size\n"
+    "  window:<start>:<len>             one 2MB window (sizes accept\n"
+    "                                   KiB/MiB/GiB suffixes)\n"
+    "  config:<string>                  MosaicLayout config string\n";
+
+/** Parse "64MiB"-style sizes. */
+Bytes
+parseSize(const std::string &text)
+{
+    std::size_t pos = 0;
+    double value = std::stod(text, &pos);
+    std::string suffix = trimString(text.substr(pos));
+    if (suffix == "KiB" || suffix == "K")
+        return static_cast<Bytes>(value * 1024);
+    if (suffix == "MiB" || suffix == "M")
+        return static_cast<Bytes>(value * 1024 * 1024);
+    if (suffix == "GiB" || suffix == "G")
+        return static_cast<Bytes>(value * 1024 * 1024 * 1024);
+    if (suffix.empty() || suffix == "B")
+        return static_cast<Bytes>(value);
+    mosaic_fatal("bad size suffix: ", suffix);
+}
+
+alloc::MosaicLayout
+parseLayout(const std::string &spec, Bytes pool_size)
+{
+    using alloc::MosaicLayout;
+    using alloc::PageSize;
+    if (spec == "all-4KB")
+        return MosaicLayout(pool_size);
+    if (spec == "all-2MB")
+        return MosaicLayout::uniform(pool_size, PageSize::Page2M);
+    if (spec == "all-1GB")
+        return MosaicLayout::uniform(pool_size, PageSize::Page1G);
+    if (spec.rfind("window:", 0) == 0) {
+        auto fields = splitString(spec.substr(7), ':');
+        if (fields.size() != 2)
+            mosaic_fatal("bad window spec: ", spec);
+        return MosaicLayout::withWindow(pool_size, parseSize(fields[0]),
+                                        parseSize(fields[1]),
+                                        PageSize::Page2M);
+    }
+    if (spec.rfind("config:", 0) == 0)
+        return MosaicLayout::fromConfigString(pool_size, spec.substr(7));
+    mosaic_fatal("unknown layout spec: ", spec);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mosaic;
+    auto args = cli::parseArgs(argc, argv);
+
+    if (args.has("list")) {
+        std::printf("workloads:\n");
+        for (const auto &label : workloads::workloadLabels())
+            std::printf("  %s\n", label.c_str());
+        std::printf("platforms:\n");
+        for (const auto &spec : cpu::allPlatforms())
+            std::printf("  %s\n", spec.name.c_str());
+        return 0;
+    }
+    if (!args.has("workload") || !args.has("platform"))
+        cli::usage(usageText);
+
+    auto workload = workloads::makeWorkload(args.get("workload"));
+    auto platform = cpu::platformByName(args.get("platform"));
+    auto layout = parseLayout(args.get("layout", "all-4KB"),
+                              workload->primaryPoolSize());
+
+    auto trace = workload->generateTrace();
+    auto result = cpu::simulateRun(
+        platform, workload->makeAllocConfig(layout), trace);
+
+    if (args.has("stats")) {
+        std::printf("%s", cpu::formatStats(result).c_str());
+        return 0;
+    }
+    if (args.has("csv")) {
+        std::printf("workload,platform,layout,R,H,M,C,instructions,"
+                    "refs\n");
+        std::printf("%s,%s,%s,%llu,%llu,%llu,%llu,%llu,%llu\n",
+                    args.get("workload").c_str(),
+                    platform.name.c_str(),
+                    args.get("layout", "all-4KB").c_str(),
+                    static_cast<unsigned long long>(result.runtimeCycles),
+                    static_cast<unsigned long long>(result.tlbHitsL2),
+                    static_cast<unsigned long long>(result.tlbMisses),
+                    static_cast<unsigned long long>(result.walkCycles),
+                    static_cast<unsigned long long>(result.instructions),
+                    static_cast<unsigned long long>(result.memoryRefs));
+        return 0;
+    }
+
+    std::printf("%s on %s, layout %s\n", args.get("workload").c_str(),
+                platform.name.c_str(),
+                args.get("layout", "all-4KB").c_str());
+    TextTable table;
+    table.addRow({"runtime cycles (R)",
+                  std::to_string(result.runtimeCycles)});
+    table.addRow({"L2-TLB hits (H)", std::to_string(result.tlbHitsL2)});
+    table.addRow({"TLB misses (M)", std::to_string(result.tlbMisses)});
+    table.addRow({"walk cycles (C)",
+                  std::to_string(result.walkCycles)});
+    table.addRow({"instructions", std::to_string(result.instructions)});
+    table.addRow({"memory refs", std::to_string(result.memoryRefs)});
+    table.addRow({"walker queue cycles",
+                  std::to_string(result.walkerQueueCycles)});
+    table.addRow({"IPC", formatDouble(
+                             static_cast<double>(result.instructions) /
+                                 static_cast<double>(
+                                     result.runtimeCycles),
+                             3)});
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
