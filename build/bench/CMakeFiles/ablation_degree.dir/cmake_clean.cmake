@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_degree.dir/ablation_degree.cpp.o"
+  "CMakeFiles/ablation_degree.dir/ablation_degree.cpp.o.d"
+  "ablation_degree"
+  "ablation_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

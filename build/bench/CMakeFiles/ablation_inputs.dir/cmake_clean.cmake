@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_inputs.dir/ablation_inputs.cpp.o"
+  "CMakeFiles/ablation_inputs.dir/ablation_inputs.cpp.o.d"
+  "ablation_inputs"
+  "ablation_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

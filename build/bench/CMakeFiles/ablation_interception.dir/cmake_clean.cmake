@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_interception.dir/ablation_interception.cpp.o"
+  "CMakeFiles/ablation_interception.dir/ablation_interception.cpp.o.d"
+  "ablation_interception"
+  "ablation_interception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_interception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lasso.dir/ablation_lasso.cpp.o"
+  "CMakeFiles/ablation_lasso.dir/ablation_lasso.cpp.o.d"
+  "ablation_lasso"
+  "ablation_lasso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lasso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_walkers.dir/ablation_walkers.cpp.o"
+  "CMakeFiles/ablation_walkers.dir/ablation_walkers.cpp.o.d"
+  "ablation_walkers"
+  "ablation_walkers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_walkers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

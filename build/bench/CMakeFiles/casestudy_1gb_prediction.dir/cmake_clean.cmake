@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casestudy_1gb_prediction.dir/casestudy_1gb_prediction.cpp.o"
+  "CMakeFiles/casestudy_1gb_prediction.dir/casestudy_1gb_prediction.cpp.o.d"
+  "casestudy_1gb_prediction"
+  "casestudy_1gb_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casestudy_1gb_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

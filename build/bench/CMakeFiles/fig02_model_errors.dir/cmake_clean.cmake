@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_model_errors.dir/fig02_model_errors.cpp.o"
+  "CMakeFiles/fig02_model_errors.dir/fig02_model_errors.cpp.o.d"
+  "fig02_model_errors"
+  "fig02_model_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_model_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

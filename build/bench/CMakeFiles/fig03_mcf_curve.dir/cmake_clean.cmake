@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_mcf_curve.dir/fig03_mcf_curve.cpp.o"
+  "CMakeFiles/fig03_mcf_curve.dir/fig03_mcf_curve.cpp.o.d"
+  "fig03_mcf_curve"
+  "fig03_mcf_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_mcf_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_max_errors.dir/fig05_max_errors.cpp.o"
+  "CMakeFiles/fig05_max_errors.dir/fig05_max_errors.cpp.o.d"
+  "fig05_max_errors"
+  "fig05_max_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_max_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_geomean_errors.dir/fig06_geomean_errors.cpp.o"
+  "CMakeFiles/fig06_geomean_errors.dir/fig06_geomean_errors.cpp.o.d"
+  "fig06_geomean_errors"
+  "fig06_geomean_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_geomean_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

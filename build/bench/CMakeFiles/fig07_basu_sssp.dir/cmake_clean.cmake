@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_basu_sssp.dir/fig07_basu_sssp.cpp.o"
+  "CMakeFiles/fig07_basu_sssp.dir/fig07_basu_sssp.cpp.o.d"
+  "fig07_basu_sssp"
+  "fig07_basu_sssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_basu_sssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

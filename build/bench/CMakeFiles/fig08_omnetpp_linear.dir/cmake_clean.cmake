@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_omnetpp_linear.dir/fig08_omnetpp_linear.cpp.o"
+  "CMakeFiles/fig08_omnetpp_linear.dir/fig08_omnetpp_linear.cpp.o.d"
+  "fig08_omnetpp_linear"
+  "fig08_omnetpp_linear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_omnetpp_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_xalancbmk_slope.dir/fig09_xalancbmk_slope.cpp.o"
+  "CMakeFiles/fig09_xalancbmk_slope.dir/fig09_xalancbmk_slope.cpp.o.d"
+  "fig09_xalancbmk_slope"
+  "fig09_xalancbmk_slope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_xalancbmk_slope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

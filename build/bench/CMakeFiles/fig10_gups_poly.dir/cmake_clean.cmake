@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_gups_poly.dir/fig10_gups_poly.cpp.o"
+  "CMakeFiles/fig10_gups_poly.dir/fig10_gups_poly.cpp.o.d"
+  "fig10_gups_poly"
+  "fig10_gups_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_gups_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_pr_twitter_1gb.dir/fig11_pr_twitter_1gb.cpp.o"
+  "CMakeFiles/fig11_pr_twitter_1gb.dir/fig11_pr_twitter_1gb.cpp.o.d"
+  "fig11_pr_twitter_1gb"
+  "fig11_pr_twitter_1gb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_pr_twitter_1gb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

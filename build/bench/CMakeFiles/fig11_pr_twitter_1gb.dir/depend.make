@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_pr_twitter_1gb.
+# This may be replaced when dependencies are built.

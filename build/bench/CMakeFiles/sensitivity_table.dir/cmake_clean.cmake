@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_table.dir/sensitivity_table.cpp.o"
+  "CMakeFiles/sensitivity_table.dir/sensitivity_table.cpp.o.d"
+  "sensitivity_table"
+  "sensitivity_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table34_platforms.dir/table34_platforms.cpp.o"
+  "CMakeFiles/table34_platforms.dir/table34_platforms.cpp.o.d"
+  "table34_platforms"
+  "table34_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table34_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_cross_validation.dir/table6_cross_validation.cpp.o"
+  "CMakeFiles/table6_cross_validation.dir/table6_cross_validation.cpp.o.d"
+  "table6_cross_validation"
+  "table6_cross_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_cross_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

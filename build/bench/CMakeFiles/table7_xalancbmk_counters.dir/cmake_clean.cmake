@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_xalancbmk_counters.dir/table7_xalancbmk_counters.cpp.o"
+  "CMakeFiles/table7_xalancbmk_counters.dir/table7_xalancbmk_counters.cpp.o.d"
+  "table7_xalancbmk_counters"
+  "table7_xalancbmk_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_xalancbmk_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

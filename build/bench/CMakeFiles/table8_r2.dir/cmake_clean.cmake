@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_r2.dir/table8_r2.cpp.o"
+  "CMakeFiles/table8_r2.dir/table8_r2.cpp.o.d"
+  "table8_r2"
+  "table8_r2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_r2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_eval_1gb.dir/design_eval_1gb.cpp.o"
+  "CMakeFiles/design_eval_1gb.dir/design_eval_1gb.cpp.o.d"
+  "design_eval_1gb"
+  "design_eval_1gb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_eval_1gb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for design_eval_1gb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hugepage_tuning.dir/hugepage_tuning.cpp.o"
+  "CMakeFiles/hugepage_tuning.dir/hugepage_tuning.cpp.o.d"
+  "hugepage_tuning"
+  "hugepage_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hugepage_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

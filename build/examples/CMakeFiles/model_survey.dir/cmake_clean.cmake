@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_survey.dir/model_survey.cpp.o"
+  "CMakeFiles/model_survey.dir/model_survey.cpp.o.d"
+  "model_survey"
+  "model_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

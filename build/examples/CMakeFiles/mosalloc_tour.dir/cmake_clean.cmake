@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosalloc_tour.dir/mosalloc_tour.cpp.o"
+  "CMakeFiles/mosalloc_tour.dir/mosalloc_tour.cpp.o.d"
+  "mosalloc_tour"
+  "mosalloc_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosalloc_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

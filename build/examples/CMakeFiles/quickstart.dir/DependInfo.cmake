@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/mosaic_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/mosaic_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mosaic_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/layouts/CMakeFiles/mosaic_layouts.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mosaic_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/mosaic_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/memhier/CMakeFiles/mosaic_memhier.dir/DependInfo.cmake"
+  "/root/repo/build/src/mosalloc/CMakeFiles/mosaic_mosalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/mosaic_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mosaic_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mosaic_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/core.cc" "src/cpu/CMakeFiles/mosaic_cpu.dir/core.cc.o" "gcc" "src/cpu/CMakeFiles/mosaic_cpu.dir/core.cc.o.d"
+  "/root/repo/src/cpu/platform.cc" "src/cpu/CMakeFiles/mosaic_cpu.dir/platform.cc.o" "gcc" "src/cpu/CMakeFiles/mosaic_cpu.dir/platform.cc.o.d"
+  "/root/repo/src/cpu/stats_report.cc" "src/cpu/CMakeFiles/mosaic_cpu.dir/stats_report.cc.o" "gcc" "src/cpu/CMakeFiles/mosaic_cpu.dir/stats_report.cc.o.d"
+  "/root/repo/src/cpu/system.cc" "src/cpu/CMakeFiles/mosaic_cpu.dir/system.cc.o" "gcc" "src/cpu/CMakeFiles/mosaic_cpu.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mosaic_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/mosaic_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/memhier/CMakeFiles/mosaic_memhier.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mosaic_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mosalloc/CMakeFiles/mosaic_mosalloc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

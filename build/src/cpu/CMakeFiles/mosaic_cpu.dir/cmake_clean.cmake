@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_cpu.dir/core.cc.o"
+  "CMakeFiles/mosaic_cpu.dir/core.cc.o.d"
+  "CMakeFiles/mosaic_cpu.dir/platform.cc.o"
+  "CMakeFiles/mosaic_cpu.dir/platform.cc.o.d"
+  "CMakeFiles/mosaic_cpu.dir/stats_report.cc.o"
+  "CMakeFiles/mosaic_cpu.dir/stats_report.cc.o.d"
+  "CMakeFiles/mosaic_cpu.dir/system.cc.o"
+  "CMakeFiles/mosaic_cpu.dir/system.cc.o.d"
+  "libmosaic_cpu.a"
+  "libmosaic_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

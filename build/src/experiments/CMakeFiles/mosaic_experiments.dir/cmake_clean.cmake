@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_experiments.dir/campaign.cc.o"
+  "CMakeFiles/mosaic_experiments.dir/campaign.cc.o.d"
+  "CMakeFiles/mosaic_experiments.dir/dataset.cc.o"
+  "CMakeFiles/mosaic_experiments.dir/dataset.cc.o.d"
+  "CMakeFiles/mosaic_experiments.dir/plot_export.cc.o"
+  "CMakeFiles/mosaic_experiments.dir/plot_export.cc.o.d"
+  "CMakeFiles/mosaic_experiments.dir/report.cc.o"
+  "CMakeFiles/mosaic_experiments.dir/report.cc.o.d"
+  "libmosaic_experiments.a"
+  "libmosaic_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_layouts.dir/heuristics.cc.o"
+  "CMakeFiles/mosaic_layouts.dir/heuristics.cc.o.d"
+  "libmosaic_layouts.a"
+  "libmosaic_layouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_layouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memhier/cache.cc" "src/memhier/CMakeFiles/mosaic_memhier.dir/cache.cc.o" "gcc" "src/memhier/CMakeFiles/mosaic_memhier.dir/cache.cc.o.d"
+  "/root/repo/src/memhier/hierarchy.cc" "src/memhier/CMakeFiles/mosaic_memhier.dir/hierarchy.cc.o" "gcc" "src/memhier/CMakeFiles/mosaic_memhier.dir/hierarchy.cc.o.d"
+  "/root/repo/src/memhier/prefetcher.cc" "src/memhier/CMakeFiles/mosaic_memhier.dir/prefetcher.cc.o" "gcc" "src/memhier/CMakeFiles/mosaic_memhier.dir/prefetcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mosaic_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

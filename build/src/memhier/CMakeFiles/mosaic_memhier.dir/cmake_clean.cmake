@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_memhier.dir/cache.cc.o"
+  "CMakeFiles/mosaic_memhier.dir/cache.cc.o.d"
+  "CMakeFiles/mosaic_memhier.dir/hierarchy.cc.o"
+  "CMakeFiles/mosaic_memhier.dir/hierarchy.cc.o.d"
+  "CMakeFiles/mosaic_memhier.dir/prefetcher.cc.o"
+  "CMakeFiles/mosaic_memhier.dir/prefetcher.cc.o.d"
+  "libmosaic_memhier.a"
+  "libmosaic_memhier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_memhier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/evaluation.cc" "src/models/CMakeFiles/mosaic_models.dir/evaluation.cc.o" "gcc" "src/models/CMakeFiles/mosaic_models.dir/evaluation.cc.o.d"
+  "/root/repo/src/models/fixed_models.cc" "src/models/CMakeFiles/mosaic_models.dir/fixed_models.cc.o" "gcc" "src/models/CMakeFiles/mosaic_models.dir/fixed_models.cc.o.d"
+  "/root/repo/src/models/mosmodel.cc" "src/models/CMakeFiles/mosaic_models.dir/mosmodel.cc.o" "gcc" "src/models/CMakeFiles/mosaic_models.dir/mosmodel.cc.o.d"
+  "/root/repo/src/models/regression_models.cc" "src/models/CMakeFiles/mosaic_models.dir/regression_models.cc.o" "gcc" "src/models/CMakeFiles/mosaic_models.dir/regression_models.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mosaic_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mosaic_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_models.dir/evaluation.cc.o"
+  "CMakeFiles/mosaic_models.dir/evaluation.cc.o.d"
+  "CMakeFiles/mosaic_models.dir/fixed_models.cc.o"
+  "CMakeFiles/mosaic_models.dir/fixed_models.cc.o.d"
+  "CMakeFiles/mosaic_models.dir/mosmodel.cc.o"
+  "CMakeFiles/mosaic_models.dir/mosmodel.cc.o.d"
+  "CMakeFiles/mosaic_models.dir/regression_models.cc.o"
+  "CMakeFiles/mosaic_models.dir/regression_models.cc.o.d"
+  "libmosaic_models.a"
+  "libmosaic_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mosalloc/layout.cc" "src/mosalloc/CMakeFiles/mosaic_mosalloc.dir/layout.cc.o" "gcc" "src/mosalloc/CMakeFiles/mosaic_mosalloc.dir/layout.cc.o.d"
+  "/root/repo/src/mosalloc/mosalloc.cc" "src/mosalloc/CMakeFiles/mosaic_mosalloc.dir/mosalloc.cc.o" "gcc" "src/mosalloc/CMakeFiles/mosaic_mosalloc.dir/mosalloc.cc.o.d"
+  "/root/repo/src/mosalloc/page_size.cc" "src/mosalloc/CMakeFiles/mosaic_mosalloc.dir/page_size.cc.o" "gcc" "src/mosalloc/CMakeFiles/mosaic_mosalloc.dir/page_size.cc.o.d"
+  "/root/repo/src/mosalloc/pool.cc" "src/mosalloc/CMakeFiles/mosaic_mosalloc.dir/pool.cc.o" "gcc" "src/mosalloc/CMakeFiles/mosaic_mosalloc.dir/pool.cc.o.d"
+  "/root/repo/src/mosalloc/thp.cc" "src/mosalloc/CMakeFiles/mosaic_mosalloc.dir/thp.cc.o" "gcc" "src/mosalloc/CMakeFiles/mosaic_mosalloc.dir/thp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mosaic_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

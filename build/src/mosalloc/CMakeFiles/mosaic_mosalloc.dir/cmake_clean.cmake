@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_mosalloc.dir/layout.cc.o"
+  "CMakeFiles/mosaic_mosalloc.dir/layout.cc.o.d"
+  "CMakeFiles/mosaic_mosalloc.dir/mosalloc.cc.o"
+  "CMakeFiles/mosaic_mosalloc.dir/mosalloc.cc.o.d"
+  "CMakeFiles/mosaic_mosalloc.dir/page_size.cc.o"
+  "CMakeFiles/mosaic_mosalloc.dir/page_size.cc.o.d"
+  "CMakeFiles/mosaic_mosalloc.dir/pool.cc.o"
+  "CMakeFiles/mosaic_mosalloc.dir/pool.cc.o.d"
+  "CMakeFiles/mosaic_mosalloc.dir/thp.cc.o"
+  "CMakeFiles/mosaic_mosalloc.dir/thp.cc.o.d"
+  "libmosaic_mosalloc.a"
+  "libmosaic_mosalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_mosalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/kfold.cc" "src/stats/CMakeFiles/mosaic_stats.dir/kfold.cc.o" "gcc" "src/stats/CMakeFiles/mosaic_stats.dir/kfold.cc.o.d"
+  "/root/repo/src/stats/lasso.cc" "src/stats/CMakeFiles/mosaic_stats.dir/lasso.cc.o" "gcc" "src/stats/CMakeFiles/mosaic_stats.dir/lasso.cc.o.d"
+  "/root/repo/src/stats/matrix.cc" "src/stats/CMakeFiles/mosaic_stats.dir/matrix.cc.o" "gcc" "src/stats/CMakeFiles/mosaic_stats.dir/matrix.cc.o.d"
+  "/root/repo/src/stats/metrics.cc" "src/stats/CMakeFiles/mosaic_stats.dir/metrics.cc.o" "gcc" "src/stats/CMakeFiles/mosaic_stats.dir/metrics.cc.o.d"
+  "/root/repo/src/stats/poly_features.cc" "src/stats/CMakeFiles/mosaic_stats.dir/poly_features.cc.o" "gcc" "src/stats/CMakeFiles/mosaic_stats.dir/poly_features.cc.o.d"
+  "/root/repo/src/stats/scaler.cc" "src/stats/CMakeFiles/mosaic_stats.dir/scaler.cc.o" "gcc" "src/stats/CMakeFiles/mosaic_stats.dir/scaler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mosaic_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

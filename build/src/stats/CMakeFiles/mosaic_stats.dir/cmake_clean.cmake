@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_stats.dir/kfold.cc.o"
+  "CMakeFiles/mosaic_stats.dir/kfold.cc.o.d"
+  "CMakeFiles/mosaic_stats.dir/lasso.cc.o"
+  "CMakeFiles/mosaic_stats.dir/lasso.cc.o.d"
+  "CMakeFiles/mosaic_stats.dir/matrix.cc.o"
+  "CMakeFiles/mosaic_stats.dir/matrix.cc.o.d"
+  "CMakeFiles/mosaic_stats.dir/metrics.cc.o"
+  "CMakeFiles/mosaic_stats.dir/metrics.cc.o.d"
+  "CMakeFiles/mosaic_stats.dir/poly_features.cc.o"
+  "CMakeFiles/mosaic_stats.dir/poly_features.cc.o.d"
+  "CMakeFiles/mosaic_stats.dir/scaler.cc.o"
+  "CMakeFiles/mosaic_stats.dir/scaler.cc.o.d"
+  "libmosaic_stats.a"
+  "libmosaic_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_support.dir/logging.cc.o"
+  "CMakeFiles/mosaic_support.dir/logging.cc.o.d"
+  "CMakeFiles/mosaic_support.dir/random.cc.o"
+  "CMakeFiles/mosaic_support.dir/random.cc.o.d"
+  "CMakeFiles/mosaic_support.dir/str.cc.o"
+  "CMakeFiles/mosaic_support.dir/str.cc.o.d"
+  "libmosaic_support.a"
+  "libmosaic_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/miss_profile.cc" "src/trace/CMakeFiles/mosaic_trace.dir/miss_profile.cc.o" "gcc" "src/trace/CMakeFiles/mosaic_trace.dir/miss_profile.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/trace/CMakeFiles/mosaic_trace.dir/trace.cc.o" "gcc" "src/trace/CMakeFiles/mosaic_trace.dir/trace.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/trace/CMakeFiles/mosaic_trace.dir/trace_io.cc.o" "gcc" "src/trace/CMakeFiles/mosaic_trace.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mosaic_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/mosaic_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mosalloc/CMakeFiles/mosaic_mosalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/memhier/CMakeFiles/mosaic_memhier.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_trace.dir/miss_profile.cc.o"
+  "CMakeFiles/mosaic_trace.dir/miss_profile.cc.o.d"
+  "CMakeFiles/mosaic_trace.dir/trace.cc.o"
+  "CMakeFiles/mosaic_trace.dir/trace.cc.o.d"
+  "CMakeFiles/mosaic_trace.dir/trace_io.cc.o"
+  "CMakeFiles/mosaic_trace.dir/trace_io.cc.o.d"
+  "libmosaic_trace.a"
+  "libmosaic_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_vm.dir/mmu.cc.o"
+  "CMakeFiles/mosaic_vm.dir/mmu.cc.o.d"
+  "CMakeFiles/mosaic_vm.dir/page_table.cc.o"
+  "CMakeFiles/mosaic_vm.dir/page_table.cc.o.d"
+  "CMakeFiles/mosaic_vm.dir/phys_mem.cc.o"
+  "CMakeFiles/mosaic_vm.dir/phys_mem.cc.o.d"
+  "CMakeFiles/mosaic_vm.dir/tlb.cc.o"
+  "CMakeFiles/mosaic_vm.dir/tlb.cc.o.d"
+  "CMakeFiles/mosaic_vm.dir/walker.cc.o"
+  "CMakeFiles/mosaic_vm.dir/walker.cc.o.d"
+  "libmosaic_vm.a"
+  "libmosaic_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

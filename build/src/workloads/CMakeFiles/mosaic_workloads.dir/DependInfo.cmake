@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/gapbs.cc" "src/workloads/CMakeFiles/mosaic_workloads.dir/gapbs.cc.o" "gcc" "src/workloads/CMakeFiles/mosaic_workloads.dir/gapbs.cc.o.d"
+  "/root/repo/src/workloads/graph.cc" "src/workloads/CMakeFiles/mosaic_workloads.dir/graph.cc.o" "gcc" "src/workloads/CMakeFiles/mosaic_workloads.dir/graph.cc.o.d"
+  "/root/repo/src/workloads/graph500.cc" "src/workloads/CMakeFiles/mosaic_workloads.dir/graph500.cc.o" "gcc" "src/workloads/CMakeFiles/mosaic_workloads.dir/graph500.cc.o.d"
+  "/root/repo/src/workloads/gups.cc" "src/workloads/CMakeFiles/mosaic_workloads.dir/gups.cc.o" "gcc" "src/workloads/CMakeFiles/mosaic_workloads.dir/gups.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/mosaic_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/mosaic_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/spec.cc" "src/workloads/CMakeFiles/mosaic_workloads.dir/spec.cc.o" "gcc" "src/workloads/CMakeFiles/mosaic_workloads.dir/spec.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/mosaic_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/mosaic_workloads.dir/workload.cc.o.d"
+  "/root/repo/src/workloads/xsbench.cc" "src/workloads/CMakeFiles/mosaic_workloads.dir/xsbench.cc.o" "gcc" "src/workloads/CMakeFiles/mosaic_workloads.dir/xsbench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mosaic_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/mosalloc/CMakeFiles/mosaic_mosalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mosaic_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/mosaic_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/memhier/CMakeFiles/mosaic_memhier.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_workloads.dir/gapbs.cc.o"
+  "CMakeFiles/mosaic_workloads.dir/gapbs.cc.o.d"
+  "CMakeFiles/mosaic_workloads.dir/graph.cc.o"
+  "CMakeFiles/mosaic_workloads.dir/graph.cc.o.d"
+  "CMakeFiles/mosaic_workloads.dir/graph500.cc.o"
+  "CMakeFiles/mosaic_workloads.dir/graph500.cc.o.d"
+  "CMakeFiles/mosaic_workloads.dir/gups.cc.o"
+  "CMakeFiles/mosaic_workloads.dir/gups.cc.o.d"
+  "CMakeFiles/mosaic_workloads.dir/registry.cc.o"
+  "CMakeFiles/mosaic_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/mosaic_workloads.dir/spec.cc.o"
+  "CMakeFiles/mosaic_workloads.dir/spec.cc.o.d"
+  "CMakeFiles/mosaic_workloads.dir/workload.cc.o"
+  "CMakeFiles/mosaic_workloads.dir/workload.cc.o.d"
+  "CMakeFiles/mosaic_workloads.dir/xsbench.cc.o"
+  "CMakeFiles/mosaic_workloads.dir/xsbench.cc.o.d"
+  "libmosaic_workloads.a"
+  "libmosaic_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

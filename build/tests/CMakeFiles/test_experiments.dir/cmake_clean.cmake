@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_experiments.dir/experiments/test_campaign.cc.o"
+  "CMakeFiles/test_experiments.dir/experiments/test_campaign.cc.o.d"
+  "CMakeFiles/test_experiments.dir/experiments/test_dataset.cc.o"
+  "CMakeFiles/test_experiments.dir/experiments/test_dataset.cc.o.d"
+  "CMakeFiles/test_experiments.dir/experiments/test_report.cc.o"
+  "CMakeFiles/test_experiments.dir/experiments/test_report.cc.o.d"
+  "test_experiments"
+  "test_experiments.pdb"
+  "test_experiments[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layouts.dir/layouts/test_heuristics.cc.o"
+  "CMakeFiles/test_layouts.dir/layouts/test_heuristics.cc.o.d"
+  "test_layouts"
+  "test_layouts.pdb"
+  "test_layouts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

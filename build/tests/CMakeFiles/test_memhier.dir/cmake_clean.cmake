@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memhier.dir/memhier/test_cache.cc.o"
+  "CMakeFiles/test_memhier.dir/memhier/test_cache.cc.o.d"
+  "CMakeFiles/test_memhier.dir/memhier/test_cache_properties.cc.o"
+  "CMakeFiles/test_memhier.dir/memhier/test_cache_properties.cc.o.d"
+  "CMakeFiles/test_memhier.dir/memhier/test_prefetcher.cc.o"
+  "CMakeFiles/test_memhier.dir/memhier/test_prefetcher.cc.o.d"
+  "test_memhier"
+  "test_memhier.pdb"
+  "test_memhier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memhier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

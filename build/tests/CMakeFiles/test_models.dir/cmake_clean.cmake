@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_models.dir/models/test_fixed_models.cc.o"
+  "CMakeFiles/test_models.dir/models/test_fixed_models.cc.o.d"
+  "CMakeFiles/test_models.dir/models/test_mosmodel_config.cc.o"
+  "CMakeFiles/test_models.dir/models/test_mosmodel_config.cc.o.d"
+  "CMakeFiles/test_models.dir/models/test_regression_models.cc.o"
+  "CMakeFiles/test_models.dir/models/test_regression_models.cc.o.d"
+  "test_models"
+  "test_models.pdb"
+  "test_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mosalloc.dir/mosalloc/test_layout.cc.o"
+  "CMakeFiles/test_mosalloc.dir/mosalloc/test_layout.cc.o.d"
+  "CMakeFiles/test_mosalloc.dir/mosalloc/test_mosalloc.cc.o"
+  "CMakeFiles/test_mosalloc.dir/mosalloc/test_mosalloc.cc.o.d"
+  "CMakeFiles/test_mosalloc.dir/mosalloc/test_mosalloc_stress.cc.o"
+  "CMakeFiles/test_mosalloc.dir/mosalloc/test_mosalloc_stress.cc.o.d"
+  "CMakeFiles/test_mosalloc.dir/mosalloc/test_pools.cc.o"
+  "CMakeFiles/test_mosalloc.dir/mosalloc/test_pools.cc.o.d"
+  "CMakeFiles/test_mosalloc.dir/mosalloc/test_thp.cc.o"
+  "CMakeFiles/test_mosalloc.dir/mosalloc/test_thp.cc.o.d"
+  "test_mosalloc"
+  "test_mosalloc.pdb"
+  "test_mosalloc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mosalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm.dir/vm/test_mmu.cc.o"
+  "CMakeFiles/test_vm.dir/vm/test_mmu.cc.o.d"
+  "CMakeFiles/test_vm.dir/vm/test_page_table.cc.o"
+  "CMakeFiles/test_vm.dir/vm/test_page_table.cc.o.d"
+  "CMakeFiles/test_vm.dir/vm/test_tlb.cc.o"
+  "CMakeFiles/test_vm.dir/vm/test_tlb.cc.o.d"
+  "CMakeFiles/test_vm.dir/vm/test_walker.cc.o"
+  "CMakeFiles/test_vm.dir/vm/test_walker.cc.o.d"
+  "test_vm"
+  "test_vm.pdb"
+  "test_vm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

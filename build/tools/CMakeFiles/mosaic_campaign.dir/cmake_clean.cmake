@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_campaign.dir/mosaic_campaign.cc.o"
+  "CMakeFiles/mosaic_campaign.dir/mosaic_campaign.cc.o.d"
+  "mosaic_campaign"
+  "mosaic_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_export.dir/mosaic_export.cc.o"
+  "CMakeFiles/mosaic_export.dir/mosaic_export.cc.o.d"
+  "mosaic_export"
+  "mosaic_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

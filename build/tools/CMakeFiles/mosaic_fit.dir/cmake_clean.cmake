@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_fit.dir/mosaic_fit.cc.o"
+  "CMakeFiles/mosaic_fit.dir/mosaic_fit.cc.o.d"
+  "mosaic_fit"
+  "mosaic_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

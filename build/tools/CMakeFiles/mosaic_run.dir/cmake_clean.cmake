@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_run.dir/mosaic_run.cc.o"
+  "CMakeFiles/mosaic_run.dir/mosaic_run.cc.o.d"
+  "mosaic_run"
+  "mosaic_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
