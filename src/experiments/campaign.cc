@@ -1,17 +1,133 @@
 #include "experiments/campaign.hh"
 
 #include <atomic>
+#include <cctype>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <mutex>
 #include <thread>
 
 #include "cpu/system.hh"
+#include "support/io_util.hh"
 #include "support/logging.hh"
+#include "support/retry.hh"
 #include "trace/miss_profile.hh"
+#include "trace/trace_io.hh"
 
 namespace mosaic::exp
 {
+
+namespace
+{
+
+/** Turn "spec06/mcf" into a filesystem-safe cache file stem. */
+std::string
+sanitizeLabel(const std::string &label)
+{
+    std::string out = label;
+    for (char &c : out) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' &&
+            c != '_') {
+            c = '_';
+        }
+    }
+    return out;
+}
+
+/**
+ * Produce the workload's trace, preferring the binary cache when
+ * configured. Cache damage is recoverable by construction: a corrupt
+ * file is discarded and the trace regenerated; transient I/O failures
+ * are retried with backoff; a failed re-save costs only the cache.
+ */
+Result<trace::MemoryTrace>
+obtainTrace(const workloads::Workload &workload,
+            const CampaignConfig &config, std::size_t &retries)
+{
+    const std::string label = workload.info().label();
+    std::string cache_path;
+    if (!config.traceCacheDir.empty()) {
+        if (auto made = ensureDirectory(config.traceCacheDir);
+            !made.ok()) {
+            // No usable cache dir: fall through to in-memory traces
+            // instead of burning a retry schedule per pair.
+            mosaic_warn("trace cache disabled: ", made.error().str());
+        } else {
+            cache_path = config.traceCacheDir + "/" +
+                         sanitizeLabel(label) + ".mtrc";
+        }
+    }
+    if (!cache_path.empty()) {
+        if (trace::isTraceFile(cache_path)) {
+            std::size_t attempt_retries = 0;
+            auto loaded = retryWithBackoff(
+                config.retry,
+                [&] { return trace::loadTraceResult(cache_path); },
+                &attempt_retries);
+            retries += attempt_retries;
+            if (loaded.ok())
+                return loaded;
+            if (loaded.error().category() == ErrorCategory::Corrupt) {
+                mosaic_warn("trace cache for ", label, " is corrupt (",
+                            loaded.error().str(), "); regenerating");
+                removeFileIfExists(cache_path);
+            } else {
+                mosaic_warn("trace cache for ", label, " unreadable (",
+                            loaded.error().str(), "); regenerating");
+            }
+        }
+    }
+
+    trace::MemoryTrace generated;
+    try {
+        generated = workload.generateTrace();
+    } catch (const std::exception &e) {
+        return Error(ErrorCategory::Internal,
+                     std::string("trace generation failed: ") + e.what())
+            .withContext("workload " + label);
+    }
+
+    if (!cache_path.empty()) {
+        std::size_t attempt_retries = 0;
+        auto saved = retryWithBackoff(
+            config.retry,
+            [&] { return trace::saveTraceResult(generated, cache_path); },
+            &attempt_retries);
+        retries += attempt_retries;
+        if (!saved.ok()) {
+            // The cache is an optimization; losing it is not a cell
+            // failure.
+            mosaic_warn("cannot cache trace for ", label, ": ",
+                        saved.error().str());
+        }
+    }
+    return generated;
+}
+
+} // namespace
+
+std::string
+CampaignReport::summary() const
+{
+    std::string out =
+        "campaign: " + std::to_string(cellsCompleted) +
+        " cell(s) completed, " + std::to_string(cellsResumed) +
+        " resumed from cache, " + std::to_string(retriesPerformed) +
+        " transient retries, " + std::to_string(checkpointsWritten) +
+        " checkpoints\n";
+    if (failures.empty()) {
+        out += "campaign: no failed cells\n";
+        return out;
+    }
+    out += "campaign: " + std::to_string(failures.size()) +
+           " cell(s) FAILED:\n";
+    for (const auto &failure : failures) {
+        out += "  " + failure.platform + "/" + failure.workload + "/" +
+               failure.layout + ": " + failure.error.str() + "\n";
+    }
+    return out;
+}
 
 CampaignRunner::CampaignRunner(CampaignConfig config)
     : config_(std::move(config))
@@ -24,52 +140,156 @@ CampaignRunner::CampaignRunner(CampaignConfig config)
         config_.threads = 1;
 }
 
-void
+std::vector<CellFailure>
 CampaignRunner::runPair(const workloads::Workload &workload,
                         const cpu::PlatformSpec &platform,
-                        const CampaignConfig &config, Dataset &dataset)
+                        const CampaignConfig &config, Dataset &dataset,
+                        const std::set<std::string> *done_layouts,
+                        std::size_t *retries)
 {
-    // The trace and the miss profile are layout-independent.
-    trace::MemoryTrace trace = workload.generateTrace();
-    trace::MissProfile profile(trace, workload.primaryPoolBase(),
-                               workload.primaryPoolSize());
-
-    auto layouts = layouts::paperCampaignLayouts(
-        workload.primaryPoolSize(), profile, config.seed);
-    if (config.include1g) {
-        layouts.push_back(layouts::uniformLayout(
-            workload.primaryPoolSize(), alloc::PageSize::Page1G));
-    }
-
     const std::string label = workload.info().label();
-    for (const auto &named : layouts) {
-        RunRecord record;
-        record.platform = platform.name;
-        record.workload = label;
-        record.layout = named.name;
-        record.result = cpu::simulateRun(
-            platform, workload.makeAllocConfig(named.layout), trace);
-        dataset.add(std::move(record));
+    std::vector<CellFailure> failures;
+
+    // The trace and the miss profile are layout-independent.
+    std::size_t trace_retries = 0;
+    auto trace_result = obtainTrace(workload, config, trace_retries);
+    if (retries)
+        *retries += trace_retries;
+    if (!trace_result.ok()) {
+        failures.push_back({platform.name, label, "*",
+                            trace_result.error()});
+        return failures;
     }
+    const trace::MemoryTrace &trace = trace_result.value();
+
+    std::vector<layouts::NamedLayout> layouts;
+    try {
+        trace::MissProfile profile(trace, workload.primaryPoolBase(),
+                                   workload.primaryPoolSize());
+        layouts = layouts::paperCampaignLayouts(
+            workload.primaryPoolSize(), profile, config.seed);
+        if (config.include1g) {
+            layouts.push_back(layouts::uniformLayout(
+                workload.primaryPoolSize(), alloc::PageSize::Page1G));
+        }
+    } catch (const std::exception &e) {
+        failures.push_back(
+            {platform.name, label, "*",
+             Error(ErrorCategory::Internal,
+                   std::string("layout construction failed: ") +
+                       e.what())});
+        return failures;
+    }
+
+    for (const auto &named : layouts) {
+        if (done_layouts && done_layouts->count(named.name))
+            continue;
+        try {
+            RunRecord record;
+            record.platform = platform.name;
+            record.workload = label;
+            record.layout = named.name;
+            record.result = cpu::simulateRun(
+                platform, workload.makeAllocConfig(named.layout), trace);
+            dataset.add(std::move(record));
+        } catch (const std::exception &e) {
+            // One bad cell must not take down the pair: record it and
+            // keep simulating the remaining layouts.
+            failures.push_back(
+                {platform.name, label, named.name,
+                 Error(ErrorCategory::Internal, e.what())});
+        }
+    }
+    return failures;
 }
 
-Dataset
-CampaignRunner::run()
+CampaignReport
+CampaignRunner::runImpl(const std::string *cache_path)
 {
     struct Task
     {
         std::string workload;
         const cpu::PlatformSpec *platform;
+        const std::set<std::string> *done = nullptr;
     };
+
+    CampaignReport report;
+    using Key = std::pair<std::string, std::string>;
+    std::map<Key, std::set<std::string>> covered;
+
+    // Resume: fold the (possibly partial, possibly damaged) cache into
+    // the report and remember which cells it already covers.
+    if (cache_path) {
+        std::ifstream probe(*cache_path);
+        if (probe.good()) {
+            probe.close();
+            std::size_t load_retries = 0;
+            auto cached = retryWithBackoff(
+                config_.retry,
+                [&] { return Dataset::loadResult(*cache_path); },
+                &load_retries);
+            report.retriesPerformed += load_retries;
+            if (cached.ok()) {
+                for (const auto &platform : config_.platforms) {
+                    for (const auto &label : config_.workloads) {
+                        if (!cached.value().has(platform.name, label))
+                            continue;
+                        auto &done = covered[{platform.name, label}];
+                        for (const auto &record :
+                             cached.value().runs(platform.name, label)) {
+                            if (done.insert(record.layout).second) {
+                                report.dataset.add(record);
+                                ++report.cellsResumed;
+                            }
+                        }
+                    }
+                }
+                if (config_.verbose && report.cellsResumed > 0) {
+                    mosaic_inform("campaign: resuming, ",
+                                  report.cellsResumed,
+                                  " cell(s) already in ", *cache_path);
+                }
+            } else {
+                mosaic_warn("campaign cache ", *cache_path,
+                            " unusable (", cached.error().str(),
+                            "); starting fresh");
+            }
+        }
+    }
+
     std::vector<Task> tasks;
-    for (const auto &label : config_.workloads)
-        for (const auto &platform : config_.platforms)
-            tasks.push_back({label, &platform});
+    for (const auto &label : config_.workloads) {
+        for (const auto &platform : config_.platforms) {
+            auto it = covered.find({platform.name, label});
+            const std::set<std::string> *done =
+                it == covered.end() ? nullptr : &it->second;
+            if (done && done->size() >= expectedCellsPerPair())
+                continue; // fully covered; skip without a trace
+            tasks.push_back({label, &platform, done});
+        }
+    }
 
     std::mutex merge_mutex;
     std::atomic<std::size_t> next{0};
-    std::atomic<std::size_t> done{0};
-    Dataset dataset;
+    std::size_t done_count = 0;
+    std::size_t since_checkpoint = 0;
+
+    auto checkpoint = [&]() {
+        // Called under merge_mutex. Checkpoint loss is survivable (the
+        // final save still happens); warn and continue.
+        std::size_t save_retries = 0;
+        auto saved = retryWithBackoff(
+            config_.retry,
+            [&] { return report.dataset.saveResult(*cache_path); },
+            &save_retries);
+        report.retriesPerformed += save_retries;
+        if (saved.ok()) {
+            ++report.checkpointsWritten;
+        } else {
+            mosaic_warn("campaign checkpoint to ", *cache_path,
+                        " failed: ", saved.error().str());
+        }
+    };
 
     auto worker = [&] {
         while (true) {
@@ -77,23 +297,47 @@ CampaignRunner::run()
             if (index >= tasks.size())
                 return;
             const Task &task = tasks[index];
-            auto workload = workloads::makeWorkload(task.workload);
 
             Dataset local;
-            runPair(*workload, *task.platform, config_, local);
+            std::vector<CellFailure> failures;
+            std::size_t retries = 0;
+            try {
+                auto workload = workloads::makeWorkload(task.workload);
+                failures = runPair(*workload, *task.platform, config_,
+                                   local, task.done, &retries);
+            } catch (const std::exception &e) {
+                failures.push_back(
+                    {task.platform->name, task.workload, "*",
+                     Error(ErrorCategory::Config, e.what())});
+            }
 
             {
                 std::lock_guard<std::mutex> lock(merge_mutex);
-                for (const auto &record :
-                     local.runs(task.platform->name, task.workload)) {
-                    dataset.add(record);
+                std::size_t added = 0;
+                if (local.has(task.platform->name, task.workload)) {
+                    for (const auto &record : local.runs(
+                             task.platform->name, task.workload)) {
+                        report.dataset.add(record);
+                        ++added;
+                    }
                 }
-                std::size_t completed = ++done;
+                report.cellsCompleted += added;
+                report.retriesPerformed += retries;
+                for (auto &failure : failures)
+                    report.failures.push_back(std::move(failure));
+
+                std::size_t completed = ++done_count;
                 if (config_.verbose) {
                     mosaic_inform("campaign: ", completed, "/",
                                   tasks.size(), " pairs done (",
                                   task.platform->name, " ",
                                   task.workload, ")");
+                }
+                if (cache_path && config_.checkpointEvery > 0 &&
+                    ++since_checkpoint >= config_.checkpointEvery &&
+                    completed < tasks.size()) {
+                    since_checkpoint = 0;
+                    checkpoint();
                 }
             }
         }
@@ -106,7 +350,47 @@ CampaignRunner::run()
         pool.emplace_back(worker);
     for (auto &thread : pool)
         thread.join();
-    return dataset;
+
+    if (cache_path) {
+        std::size_t save_retries = 0;
+        auto saved = retryWithBackoff(
+            config_.retry,
+            [&] { return report.dataset.saveResult(*cache_path); },
+            &save_retries);
+        report.retriesPerformed += save_retries;
+        if (!saved.ok()) {
+            report.failures.push_back(
+                {"*", "*", "save",
+                 saved.error().withContext("final dataset save to " +
+                                           *cache_path)});
+        } else if (config_.verbose) {
+            mosaic_inform("campaign: saved ",
+                          report.dataset.totalRuns(), " runs to ",
+                          *cache_path);
+        }
+    }
+    return report;
+}
+
+CampaignReport
+CampaignRunner::runReport()
+{
+    return runImpl(nullptr);
+}
+
+CampaignReport
+CampaignRunner::runReport(const std::string &cache_path)
+{
+    return runImpl(&cache_path);
+}
+
+Dataset
+CampaignRunner::run()
+{
+    CampaignReport report = runReport();
+    if (!report.allOk())
+        mosaic_warn(report.summary());
+    return std::move(report.dataset);
 }
 
 Dataset
@@ -115,33 +399,41 @@ CampaignRunner::loadOrRun(const std::string &cache_path)
     std::ifstream probe(cache_path);
     if (probe.good()) {
         probe.close();
-        Dataset cached = Dataset::load(cache_path);
-        bool complete = true;
-        for (const auto &label : config_.workloads) {
-            for (const auto &platform : config_.platforms) {
-                if (!cached.has(platform.name, label)) {
-                    complete = false;
-                    break;
+        auto cached = Dataset::loadResult(cache_path);
+        if (cached.ok()) {
+            bool complete = true;
+            for (const auto &label : config_.workloads) {
+                for (const auto &platform : config_.platforms) {
+                    if (!cached.value().has(platform.name, label) ||
+                        cached.value().runs(platform.name, label).size() <
+                            expectedCellsPerPair()) {
+                        complete = false;
+                        break;
+                    }
                 }
+                if (!complete)
+                    break;
             }
-        }
-        if (complete) {
-            if (config_.verbose) {
-                mosaic_inform("campaign: loaded ", cached.totalRuns(),
-                              " cached runs from ", cache_path);
+            if (complete) {
+                if (config_.verbose) {
+                    mosaic_inform("campaign: loaded ",
+                                  cached.value().totalRuns(),
+                                  " cached runs from ", cache_path);
+                }
+                return std::move(cached.value());
             }
-            return cached;
+            mosaic_warn("campaign cache ", cache_path,
+                        " is incomplete; resuming the missing cells");
+        } else {
+            mosaic_warn("campaign cache ", cache_path, " unusable (",
+                        cached.error().str(), "); re-running");
         }
-        mosaic_warn("campaign cache ", cache_path,
-                    " is incomplete; re-running");
     }
 
-    Dataset dataset = run();
-    dataset.save(cache_path);
-    if (config_.verbose)
-        mosaic_inform("campaign: saved ", dataset.totalRuns(),
-                      " runs to ", cache_path);
-    return dataset;
+    CampaignReport report = runReport(cache_path);
+    if (!report.allOk())
+        mosaic_warn(report.summary());
+    return std::move(report.dataset);
 }
 
 std::string

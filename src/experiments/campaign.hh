@@ -7,17 +7,27 @@
  * and replayed under each (platform, layout); pairs are distributed
  * over a small thread pool. A CSV cache makes the campaign a
  * run-once-per-checkout cost.
+ *
+ * The campaign is fault-tolerant at (platform, workload, layout) cell
+ * granularity: a failing cell records a structured error and the
+ * campaign continues, transient I/O failures are retried with capped
+ * exponential backoff, completed samples are checkpointed to the CSV
+ * cache with atomic writes, and an interrupted campaign resumes from
+ * the partial cache, skipping cells already covered.
  */
 
 #ifndef MOSAIC_EXPERIMENTS_CAMPAIGN_HH
 #define MOSAIC_EXPERIMENTS_CAMPAIGN_HH
 
+#include <set>
 #include <string>
 #include <vector>
 
 #include "cpu/platform.hh"
 #include "experiments/dataset.hh"
 #include "layouts/heuristics.hh"
+#include "support/error.hh"
+#include "support/retry.hh"
 #include "workloads/registry.hh"
 
 namespace mosaic::exp
@@ -42,6 +52,60 @@ struct CampaignConfig
     bool verbose = true;
 
     std::uint64_t seed = 0x9a4d;
+
+    /**
+     * Directory for binary trace caches (one .mtrc per workload);
+     * empty regenerates traces in-memory every run. A corrupt cached
+     * trace is discarded and regenerated, never fatal.
+     */
+    std::string traceCacheDir;
+
+    /** Backoff schedule for transient (I/O) failures. */
+    RetryPolicy retry;
+
+    /**
+     * Checkpoint the dataset to the cache path after this many
+     * completed (platform, workload) pairs; 0 saves only at the end.
+     * Only applies to loadOrRun()/runReport() with a cache path.
+     */
+    std::size_t checkpointEvery = 1;
+};
+
+/** One failed campaign cell, with the error that killed it. */
+struct CellFailure
+{
+    std::string platform;
+    std::string workload;
+
+    /** Layout name, or "*" when the whole pair failed (trace, config). */
+    std::string layout;
+
+    Error error;
+};
+
+/** Outcome of a campaign: the samples plus a structured account of
+ *  what failed, what was resumed, and what was retried. */
+struct CampaignReport
+{
+    Dataset dataset;
+    std::vector<CellFailure> failures;
+
+    /** Cells simulated successfully in this run. */
+    std::size_t cellsCompleted = 0;
+
+    /** Cells skipped because the resume cache already covered them. */
+    std::size_t cellsResumed = 0;
+
+    /** Transient-failure retries performed (trace cache I/O). */
+    std::size_t retriesPerformed = 0;
+
+    /** Mid-campaign checkpoint flushes written. */
+    std::size_t checkpointsWritten = 0;
+
+    bool allOk() const { return failures.empty(); }
+
+    /** Multi-line human-readable summary (counts + failed cells). */
+    std::string summary() const;
 };
 
 /**
@@ -52,26 +116,52 @@ class CampaignRunner
   public:
     explicit CampaignRunner(CampaignConfig config = CampaignConfig());
 
-    /** Run everything (no cache). */
+    /** Run everything (no cache), reporting per-cell failures. */
+    CampaignReport runReport();
+
+    /**
+     * Resume from @p cache_path if it exists (cells already covered
+     * are not recomputed), checkpoint completed pairs back to it
+     * atomically, and save the final dataset there.
+     */
+    CampaignReport runReport(const std::string &cache_path);
+
+    /** Run everything (no cache); warns if any cell failed. */
     Dataset run();
 
     /**
      * Load @p cache_path if it exists and covers the configured
-     * (platform, workload) grid; otherwise run and save.
+     * (platform, workload) grid; otherwise resume/run and save.
      */
     Dataset loadOrRun(const std::string &cache_path);
 
     /**
-     * Run one (workload, platform) pair: generate the trace, build the
-     * 54+1 layouts, simulate each, and append records to @p dataset.
+     * Run one (workload, platform) pair: generate (or load from the
+     * trace cache) the trace, build the 54+1 layouts, simulate each,
+     * and append records to @p dataset. Layout names in
+     * @p done_layouts are skipped (campaign resume). Failing cells
+     * are returned, not thrown.
      */
-    static void runPair(const workloads::Workload &workload,
-                        const cpu::PlatformSpec &platform,
-                        const CampaignConfig &config, Dataset &dataset);
+    static std::vector<CellFailure> runPair(
+        const workloads::Workload &workload,
+        const cpu::PlatformSpec &platform, const CampaignConfig &config,
+        Dataset &dataset,
+        const std::set<std::string> *done_layouts = nullptr,
+        std::size_t *retries = nullptr);
 
     const CampaignConfig &config() const { return config_; }
 
+    /** Cells expected per (platform, workload) pair: 54 (+ all-1GB). */
+    std::size_t
+    expectedCellsPerPair() const
+    {
+        return layouts::numPaperCampaignLayouts +
+               (config_.include1g ? 1 : 0);
+    }
+
   private:
+    CampaignReport runImpl(const std::string *cache_path);
+
     CampaignConfig config_;
 };
 

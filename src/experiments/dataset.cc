@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <fstream>
+#include <sstream>
 
+#include "support/fault_injector.hh"
+#include "support/io_util.hh"
 #include "support/logging.hh"
 #include "support/str.hh"
 
@@ -127,70 +130,110 @@ constexpr const char *csvHeader =
 
 } // namespace
 
-void
-Dataset::save(const std::string &path) const
+Result<void>
+Dataset::saveResult(const std::string &path) const
 {
-    std::ofstream file(path);
-    mosaic_assert(file.good(), "cannot open ", path, " for writing");
-    file << csvHeader << "\n";
+    std::ostringstream out;
+    out << csvHeader << "\n";
     for (const auto &[key, records] : runs_) {
         for (const auto &record : records) {
             const auto &r = record.result;
-            file << record.platform << ',' << record.workload << ','
-                 << record.layout << ',' << r.runtimeCycles << ','
-                 << r.tlbHitsL2 << ',' << r.tlbMisses << ','
-                 << r.walkCycles << ',' << r.instructions << ','
-                 << r.memoryRefs << ',' << r.l1TlbHits << ','
-                 << r.walkerQueueCycles << ',' << r.progL1dLoads << ','
-                 << r.progL2Loads << ',' << r.progL3Loads << ','
-                 << r.progDramLoads << ',' << r.walkL1dLoads << ','
-                 << r.walkL2Loads << ',' << r.walkL3Loads << ','
-                 << r.walkDramLoads << "\n";
+            std::ostringstream row;
+            row << record.platform << ',' << record.workload << ','
+                << record.layout << ',' << r.runtimeCycles << ','
+                << r.tlbHitsL2 << ',' << r.tlbMisses << ','
+                << r.walkCycles << ',' << r.instructions << ','
+                << r.memoryRefs << ',' << r.l1TlbHits << ','
+                << r.walkerQueueCycles << ',' << r.progL1dLoads << ','
+                << r.progL2Loads << ',' << r.progL3Loads << ','
+                << r.progDramLoads << ',' << r.walkL1dLoads << ','
+                << r.walkL2Loads << ',' << r.walkL3Loads << ','
+                << r.walkDramLoads;
+            std::string text = row.str();
+            if (faults().shouldFail(FaultSite::CsvTruncate))
+                text = text.substr(0, text.size() / 2);
+            out << text << "\n";
         }
     }
+    return writeFileAtomic(path, out.str());
+}
+
+Result<Dataset>
+Dataset::loadResult(const std::string &path, DatasetLoadStats *stats)
+{
+    std::ifstream file(path);
+    if (!file.good() || faults().shouldFail(FaultSite::CsvOpen))
+        return ioError("cannot open " + path);
+    std::string line;
+    std::getline(file, line);
+    if (trimString(line) != csvHeader) {
+        return corruptError("unexpected dataset header in " + path +
+                            " (not a mosaic dataset CSV?)");
+    }
+
+    Dataset dataset;
+    DatasetLoadStats local;
+    while (std::getline(file, line)) {
+        if (trimString(line).empty())
+            continue;
+        auto fields = splitString(line, ',');
+        RunRecord record;
+        bool good = fields.size() == 19;
+        if (good) {
+            record.platform = fields[0];
+            record.workload = fields[1];
+            record.layout = fields[2];
+            auto &r = record.result;
+            std::size_t i = 3;
+            try {
+                r.runtimeCycles = std::stoull(fields[i++]);
+                r.tlbHitsL2 = std::stoull(fields[i++]);
+                r.tlbMisses = std::stoull(fields[i++]);
+                r.walkCycles = std::stoull(fields[i++]);
+                r.instructions = std::stoull(fields[i++]);
+                r.memoryRefs = std::stoull(fields[i++]);
+                r.l1TlbHits = std::stoull(fields[i++]);
+                r.walkerQueueCycles = std::stoull(fields[i++]);
+                r.progL1dLoads = std::stoull(fields[i++]);
+                r.progL2Loads = std::stoull(fields[i++]);
+                r.progL3Loads = std::stoull(fields[i++]);
+                r.progDramLoads = std::stoull(fields[i++]);
+                r.walkL1dLoads = std::stoull(fields[i++]);
+                r.walkL2Loads = std::stoull(fields[i++]);
+                r.walkL3Loads = std::stoull(fields[i++]);
+                r.walkDramLoads = std::stoull(fields[i++]);
+            } catch (const std::exception &) {
+                good = false;
+            }
+        }
+        if (!good) {
+            // A malformed row is recoverable damage: drop it and let
+            // the campaign recompute that cell, keeping the rest.
+            ++local.rowsSkipped;
+            continue;
+        }
+        dataset.add(std::move(record));
+        ++local.rowsLoaded;
+    }
+    if (local.rowsSkipped > 0) {
+        mosaic_warn("dataset ", path, ": skipped ", local.rowsSkipped,
+                    " malformed row(s), kept ", local.rowsLoaded);
+    }
+    if (stats)
+        *stats = local;
+    return dataset;
+}
+
+void
+Dataset::save(const std::string &path) const
+{
+    saveResult(path).okOrThrow();
 }
 
 Dataset
 Dataset::load(const std::string &path)
 {
-    std::ifstream file(path);
-    mosaic_assert(file.good(), "cannot open ", path);
-    std::string line;
-    std::getline(file, line);
-    mosaic_assert(trimString(line) == csvHeader,
-                  "unexpected dataset header in ", path);
-
-    Dataset dataset;
-    while (std::getline(file, line)) {
-        if (trimString(line).empty())
-            continue;
-        auto fields = splitString(line, ',');
-        mosaic_assert(fields.size() == 19, "bad dataset row: ", line);
-        RunRecord record;
-        record.platform = fields[0];
-        record.workload = fields[1];
-        record.layout = fields[2];
-        auto &r = record.result;
-        std::size_t i = 3;
-        r.runtimeCycles = std::stoull(fields[i++]);
-        r.tlbHitsL2 = std::stoull(fields[i++]);
-        r.tlbMisses = std::stoull(fields[i++]);
-        r.walkCycles = std::stoull(fields[i++]);
-        r.instructions = std::stoull(fields[i++]);
-        r.memoryRefs = std::stoull(fields[i++]);
-        r.l1TlbHits = std::stoull(fields[i++]);
-        r.walkerQueueCycles = std::stoull(fields[i++]);
-        r.progL1dLoads = std::stoull(fields[i++]);
-        r.progL2Loads = std::stoull(fields[i++]);
-        r.progL3Loads = std::stoull(fields[i++]);
-        r.progDramLoads = std::stoull(fields[i++]);
-        r.walkL1dLoads = std::stoull(fields[i++]);
-        r.walkL2Loads = std::stoull(fields[i++]);
-        r.walkL3Loads = std::stoull(fields[i++]);
-        r.walkDramLoads = std::stoull(fields[i++]);
-        dataset.add(std::move(record));
-    }
-    return dataset;
+    return loadResult(path).okOrThrow();
 }
 
 } // namespace mosaic::exp

@@ -14,6 +14,7 @@
 
 #include "cpu/core.hh"
 #include "models/sample.hh"
+#include "support/error.hh"
 
 namespace mosaic::exp
 {
@@ -31,6 +32,15 @@ struct RunRecord
 inline const std::string layoutAll4k = "grow-0";  ///< empty window
 inline const std::string layoutAll2m = "grow-8";  ///< full window
 inline const std::string layoutAll1g = "all-1GB";
+
+/** What loadResult() accepted and what it had to drop. */
+struct DatasetLoadStats
+{
+    std::size_t rowsLoaded = 0;
+
+    /** Malformed rows skipped (half-written tail of a killed run). */
+    std::size_t rowsSkipped = 0;
+};
 
 /**
  * All runs of a campaign, keyed by (platform, workload).
@@ -63,10 +73,27 @@ class Dataset
                              const std::string &workload,
                              const std::string &layout) const;
 
-    /** Persist to CSV. */
+    /**
+     * Persist to CSV atomically (temp file + fsync + rename): readers
+     * and a rerun after a mid-write kill see either the previous
+     * complete file or the new one, never a torn mix.
+     */
+    Result<void> saveResult(const std::string &path) const;
+
+    /**
+     * Load a previously saved dataset. Malformed data rows — the tail
+     * a killed writer without atomic rename would leave, or rot — are
+     * skipped and counted in @p stats, so a partial cache still seeds
+     * a campaign resume. Errors: Io (unreadable), Corrupt (wrong
+     * header — not a mosaic dataset).
+     */
+    static Result<Dataset> loadResult(const std::string &path,
+                                      DatasetLoadStats *stats = nullptr);
+
+    /** Throwing wrapper around saveResult(). */
     void save(const std::string &path) const;
 
-    /** Load a previously saved dataset. */
+    /** Throwing wrapper around loadResult(). */
     static Dataset load(const std::string &path);
 
   private:

@@ -96,7 +96,8 @@ paperCampaignLayouts(Bytes pool_size, const trace::MissProfile &profile,
         auto sliding = slidingWindowLayouts(pool_size, profile, fraction, 8);
         layouts.insert(layouts.end(), sliding.begin(), sliding.end());
     }
-    mosaic_assert(layouts.size() == 54, "expected 54 layouts, got ",
+    mosaic_assert(layouts.size() == numPaperCampaignLayouts,
+                  "expected ", numPaperCampaignLayouts, " layouts, got ",
                   layouts.size());
     return layouts;
 }

@@ -60,6 +60,14 @@ std::vector<NamedLayout> slidingWindowLayouts(
     unsigned n = 8);
 
 /**
+ * Number of layouts paperCampaignLayouts() produces — structural (9 +
+ * 9 + 4*9), independent of the workload, so campaign resume can tell
+ * a fully-covered (platform, workload) pair from a partial one without
+ * generating the trace the layouts are derived from.
+ */
+constexpr std::size_t numPaperCampaignLayouts = 54;
+
+/**
  * The full 54-layout campaign of the paper: growing (9) + random (9)
  * + sliding at X in {20, 40, 60, 80}% (36).
  */

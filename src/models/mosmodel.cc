@@ -57,32 +57,104 @@ Mosmodel::fit(const SampleSet &data)
                   "Mosmodel needs a layout campaign, got ",
                   samples.size(), " samples");
 
+    // Drop samples holding non-finite counters up front: one poisoned
+    // row would otherwise spoil the whole design matrix.
     const std::size_t num_inputs = config_.inputs.size();
-    stats::Matrix inputs(samples.size(), num_inputs);
-    stats::Vector target(samples.size());
-    for (std::size_t i = 0; i < samples.size(); ++i) {
-        auto row = inputsOf(samples[i]);
+    std::vector<stats::Vector> rows;
+    stats::Vector target;
+    rows.reserve(samples.size());
+    target.reserve(samples.size());
+    droppedSamples_ = 0;
+    for (const auto &sample : samples) {
+        auto row = inputsOf(sample);
+        bool finite = std::isfinite(sample.r);
+        for (double v : row)
+            finite = finite && std::isfinite(v);
+        if (!finite) {
+            ++droppedSamples_;
+            continue;
+        }
+        rows.push_back(std::move(row));
+        target.push_back(sample.r);
+    }
+    if (droppedSamples_ > 0) {
+        mosaic_warn("Mosmodel: dropped ", droppedSamples_,
+                    " sample(s) with non-finite counters (", rows.size(),
+                    " kept)");
+    }
+    mosaic_assert(rows.size() >= 2,
+                  "Mosmodel has no finite samples left to fit");
+
+    stats::Matrix inputs(rows.size(), num_inputs);
+    for (std::size_t i = 0; i < rows.size(); ++i)
         for (std::size_t j = 0; j < num_inputs; ++j)
-            inputs(i, j) = row[j];
-        target[i] = samples[i].r;
-    }
+            inputs(i, j) = rows[i][j];
 
-    // Expand to monomials; drop the constant column (the Lasso fitter
-    // carries an explicit intercept).
-    stats::Matrix expanded = features_.expandMatrix(inputs);
-    stats::Matrix design(expanded.rows(), expanded.cols() - 1);
-    for (std::size_t r = 0; r < expanded.rows(); ++r)
-        for (std::size_t c = 1; c < expanded.cols(); ++c)
-            design(r, c - 1) = expanded(r, c);
+    // Try the configured degree first; degrade toward the linear fit
+    // when the numerics fail (non-finite values, divergence) instead
+    // of publishing silent garbage. A non-converged result is kept
+    // only if no lower degree fully converges.
+    std::string first_failure;
+    for (unsigned degree = config_.degree; degree >= 1; --degree) {
+        stats::PolynomialFeatures features(num_inputs, degree);
 
-    stats::LassoConfig lasso = config_.lasso;
-    if (config_.autoLambda && !config_.lambdaGrid.empty() &&
-        samples.size() >= 2 * config_.lambdaFolds) {
-        lasso.lambdaRatio = selectLambda(design, target);
+        // Expand to monomials; drop the constant column (the Lasso
+        // fitter carries an explicit intercept).
+        stats::Matrix expanded = features.expandMatrix(inputs);
+        stats::Matrix design(expanded.rows(), expanded.cols() - 1);
+        for (std::size_t r = 0; r < expanded.rows(); ++r)
+            for (std::size_t c = 1; c < expanded.cols(); ++c)
+                design(r, c - 1) = expanded(r, c);
+
+        stats::LassoConfig lasso = config_.lasso;
+        if (config_.autoLambda && !config_.lambdaGrid.empty() &&
+            rows.size() >= 2 * config_.lambdaFolds) {
+            try {
+                lasso.lambdaRatio = selectLambda(design, target);
+            } catch (const std::exception &e) {
+                mosaic_warn("Mosmodel: lambda selection failed (",
+                            e.what(), "); using configured ratio");
+            }
+        }
+
+        auto result = stats::fitLassoChecked(design, target, lasso);
+        if (!result.ok()) {
+            if (first_failure.empty())
+                first_failure = result.error().str();
+            if (degree > 1) {
+                mosaic_warn("Mosmodel: degree-", degree, " fit failed (",
+                            result.error().str(),
+                            "); falling back to degree ", degree - 1);
+                continue;
+            }
+            throw std::runtime_error(
+                "Mosmodel fit failed at every degree: " +
+                result.error().str() +
+                (first_failure == result.error().str()
+                     ? std::string()
+                     : " (first failure: " + first_failure + ")"));
+        }
+        if (!result.value().converged && degree > 1) {
+            mosaic_warn("Mosmodel: degree-", degree,
+                        " fit did not converge; falling back to degree ",
+                        degree - 1);
+            continue;
+        }
+        if (!result.value().converged) {
+            mosaic_warn("Mosmodel: linear fit did not converge; keeping "
+                        "its coefficients");
+        }
+        if (degree < config_.degree) {
+            mosaic_warn("Mosmodel: degraded from degree ",
+                        config_.degree, " to degree ", degree);
+        }
+        chosenLambdaRatio_ = lasso.lambdaRatio;
+        result_ = std::move(result.value());
+        features_ = std::move(features);
+        fittedDegree_ = degree;
+        fitted_ = true;
+        return;
     }
-    chosenLambdaRatio_ = lasso.lambdaRatio;
-    result_ = stats::fitLasso(design, target, lasso);
-    fitted_ = true;
 }
 
 double

@@ -76,6 +76,23 @@ class Mosmodel : public RuntimeModel
     /** The regularization ratio the fit ended up using. */
     double chosenLambdaRatio() const { return chosenLambdaRatio_; }
 
+    /**
+     * Polynomial degree the accepted fit actually used. Equals the
+     * configured degree unless the fit degraded (non-finite values or
+     * non-convergence forced a lower-degree fallback).
+     */
+    unsigned fittedDegree() const { return fittedDegree_; }
+
+    /** True when fit() fell back below the configured degree. */
+    bool
+    degraded() const
+    {
+        return fitted_ && fittedDegree_ < config_.degree;
+    }
+
+    /** Samples fit() dropped for holding non-finite counter values. */
+    std::size_t droppedSamples() const { return droppedSamples_; }
+
   private:
     /** Counter magnitudes differ wildly; scale into O(1) units. */
     static constexpr double hScale = 1e-6;
@@ -92,6 +109,8 @@ class Mosmodel : public RuntimeModel
     stats::PolynomialFeatures features_;
     stats::LassoResult result_;
     double chosenLambdaRatio_ = 0.0;
+    unsigned fittedDegree_ = 0;
+    std::size_t droppedSamples_ = 0;
     bool fitted_ = false;
 };
 

@@ -1,8 +1,10 @@
 #include "stats/lasso.hh"
 
 #include <cmath>
+#include <limits>
 
 #include "stats/scaler.hh"
+#include "support/fault_injector.hh"
 #include "support/logging.hh"
 
 namespace mosaic::stats
@@ -35,13 +37,34 @@ LassoResult::predict(const Vector &features) const
     return acc;
 }
 
-LassoResult
-fitLasso(const Matrix &x, const Vector &y, const LassoConfig &config)
+Result<LassoResult>
+fitLassoChecked(const Matrix &x_in, const Vector &y,
+                const LassoConfig &config)
 {
-    const std::size_t n = x.rows();
-    const std::size_t p = x.cols();
+    const std::size_t n = x_in.rows();
+    const std::size_t p = x_in.cols();
     mosaic_assert(y.size() == n, "target length mismatch");
     mosaic_assert(n >= 2, "need at least two samples");
+
+    Matrix x = x_in;
+    if (faults().shouldFail(FaultSite::LassoNan) && n > 0 && p > 0)
+        x(0, 0) = std::numeric_limits<double>::quiet_NaN();
+
+    // NaN/Inf poison every inner product below; reject them up front
+    // with a pinpointed error instead of fitting garbage.
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < p; ++j) {
+            if (!std::isfinite(x(i, j))) {
+                return numericError(
+                    "non-finite value in design matrix at row " +
+                    std::to_string(i) + ", col " + std::to_string(j));
+            }
+        }
+        if (!std::isfinite(y[i])) {
+            return numericError("non-finite target value at row " +
+                                std::to_string(i));
+        }
+    }
 
     // Standardize features; center the target.
     StandardScaler scaler;
@@ -84,6 +107,15 @@ fitLasso(const Matrix &x, const Vector &y, const LassoConfig &config)
         for (double coefficient : result.coefficients) {
             if (coefficient == 0.0)
                 ++result.numZeroCoefficients;
+            if (!std::isfinite(coefficient)) {
+                return numericError(
+                    "least-squares fit produced a non-finite "
+                    "coefficient");
+            }
+        }
+        if (!std::isfinite(result.intercept)) {
+            return numericError(
+                "least-squares fit produced a non-finite intercept");
         }
         return result;
     }
@@ -101,6 +133,7 @@ fitLasso(const Matrix &x, const Vector &y, const LassoConfig &config)
     Vector beta(p, 0.0);
     Vector residual = yc; // residual = yc - xs * beta, beta starts at 0.
 
+    bool converged = false;
     std::size_t iter = 0;
     for (; iter < config.maxIterations; ++iter) {
         double max_delta = 0.0;
@@ -124,8 +157,10 @@ fitLasso(const Matrix &x, const Vector &y, const LassoConfig &config)
             }
             max_beta = std::max(max_beta, std::fabs(beta[j]));
         }
-        if (max_delta <= config.tolerance * (max_beta + 1.0))
+        if (max_delta <= config.tolerance * (max_beta + 1.0)) {
+            converged = true;
             break;
+        }
     }
 
     // Map standardized-space coefficients back to raw feature space:
@@ -141,7 +176,25 @@ fitLasso(const Matrix &x, const Vector &y, const LassoConfig &config)
             ++result.numZeroCoefficients;
     }
     result.iterations = iter + 1;
+    result.converged = converged;
+
+    if (!std::isfinite(result.intercept)) {
+        return numericError("Lasso fit produced a non-finite intercept");
+    }
+    for (std::size_t j = 0; j < p; ++j) {
+        if (!std::isfinite(result.coefficients[j])) {
+            return numericError(
+                "Lasso fit produced a non-finite coefficient at index " +
+                std::to_string(j));
+        }
+    }
     return result;
+}
+
+LassoResult
+fitLasso(const Matrix &x, const Vector &y, const LassoConfig &config)
+{
+    return fitLassoChecked(x, y, config).okOrThrow();
 }
 
 } // namespace mosaic::stats

@@ -16,6 +16,7 @@
 #include <cstddef>
 
 #include "stats/matrix.hh"
+#include "support/error.hh"
 
 namespace mosaic::stats
 {
@@ -33,9 +34,13 @@ struct LassoConfig
      * Convergence threshold on the max coefficient update, relative
      * to the largest coefficient magnitude (standardized-space
      * coefficients scale with the target, so an absolute threshold
-     * would be meaningless).
+     * would be meaningless). Calibrated so healthy fits on correlated
+     * polynomial designs converge within ~2k sweeps while oscillating
+     * or diverging descents still exhaust maxIterations: tightening
+     * it further does not measurably change the coefficients, it only
+     * turns every fit into a spurious "did not converge".
      */
-    double tolerance = 1e-8;
+    double tolerance = 1e-5;
 
     /** Hard cap on coordinate-descent sweeps. */
     std::size_t maxIterations = 20000;
@@ -56,17 +61,36 @@ struct LassoResult
     /** Number of exactly-zero coefficients after fitting. */
     std::size_t numZeroCoefficients = 0;
 
+    /**
+     * False when coordinate descent exhausted maxIterations without
+     * meeting the tolerance. The coefficients are still usable, but
+     * callers that can degrade (e.g. drop to a lower-degree fit)
+     * should treat a non-converged fit as suspect.
+     */
+    bool converged = true;
+
     /** Predict the target for one raw feature row (without intercept
      *  column). */
     double predict(const Vector &features) const;
 };
 
 /**
- * Fit Lasso on raw features @p x (no intercept column) against @p y.
+ * Fit Lasso on raw features @p x (no intercept column) against @p y,
+ * validating the numerics instead of producing silent garbage: a
+ * Numeric error is returned when the design matrix or target holds
+ * non-finite values (NaN/Inf poison every inner product) or when the
+ * fitted coefficients come out non-finite. Convergence failure is NOT
+ * an error — the result is returned with converged == false so the
+ * caller can decide whether to degrade.
  *
  * Features are standardized internally and the intercept is handled by
  * centering, so callers pass raw counter values directly.
  */
+Result<LassoResult> fitLassoChecked(const Matrix &x, const Vector &y,
+                                    const LassoConfig &config =
+                                        LassoConfig());
+
+/** Throwing wrapper around fitLassoChecked(). */
 LassoResult fitLasso(const Matrix &x, const Vector &y,
                      const LassoConfig &config = LassoConfig());
 

@@ -1,0 +1,43 @@
+#include "support/error.hh"
+
+namespace mosaic
+{
+
+const char *
+errorCategoryName(ErrorCategory category)
+{
+    switch (category) {
+      case ErrorCategory::Io:
+        return "io";
+      case ErrorCategory::Corrupt:
+        return "corrupt";
+      case ErrorCategory::Parse:
+        return "parse";
+      case ErrorCategory::Config:
+        return "config";
+      case ErrorCategory::Numeric:
+        return "numeric";
+      case ErrorCategory::Internal:
+        return "internal";
+    }
+    return "unknown";
+}
+
+std::string
+Error::str() const
+{
+    std::string out = std::string(errorCategoryName(category_)) +
+                      " error: " + message_;
+    if (!context_.empty()) {
+        out += " (";
+        for (std::size_t i = 0; i < context_.size(); ++i) {
+            if (i > 0)
+                out += "; ";
+            out += context_[i];
+        }
+        out += ")";
+    }
+    return out;
+}
+
+} // namespace mosaic

@@ -1,0 +1,169 @@
+#include "support/fault_injector.hh"
+
+#include <cstdlib>
+
+#include "support/str.hh"
+
+namespace mosaic
+{
+
+namespace
+{
+
+constexpr const char *siteNames[] = {
+    "trace-open", "trace-corrupt", "csv-truncate", "csv-open",
+    "lasso-nan",
+};
+
+static_assert(sizeof(siteNames) / sizeof(siteNames[0]) ==
+                  static_cast<std::size_t>(FaultSite::NumSites),
+              "site name table out of sync");
+
+/** xorshift64: small, fast, and plenty for picking corruption bits. */
+std::uint64_t
+nextRandom(std::uint64_t &state)
+{
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+}
+
+} // namespace
+
+Result<FaultSite>
+faultSiteByName(const std::string &name)
+{
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(FaultSite::NumSites); ++i) {
+        if (name == siteNames[i])
+            return static_cast<FaultSite>(i);
+    }
+    return configError("unknown fault site '" + name + "'");
+}
+
+const char *
+faultSiteName(FaultSite site)
+{
+    return siteNames[static_cast<std::size_t>(site)];
+}
+
+FaultInjector &
+FaultInjector::instance()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+void
+FaultInjector::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &site : sites_)
+        site = SiteState{};
+    rngState_ = 1;
+}
+
+void
+FaultInjector::arm(FaultSite site, std::uint64_t nth)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &state = sites_[static_cast<std::size_t>(site)];
+    state.armed = true;
+    state.fireOn = nth;
+    state.hits = 0;
+}
+
+void
+FaultInjector::setSeed(std::uint64_t seed)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    rngState_ = seed ? seed : 1; // xorshift dies on zero state
+}
+
+Result<void>
+FaultInjector::configure(const std::string &spec)
+{
+    for (const auto &entry : splitString(spec, ',')) {
+        std::string item = trimString(entry);
+        if (item.empty())
+            continue;
+        auto fields = splitString(item, ':');
+        if (fields.size() != 2) {
+            return configError("bad fault spec entry '" + item +
+                              "' (want site:count)");
+        }
+        std::string key = trimString(fields[0]);
+        std::string count = trimString(fields[1]);
+        if (key == "seed") {
+            try {
+                setSeed(std::stoull(count));
+            } catch (const std::exception &) {
+                return configError("bad fault seed '" + count + "'");
+            }
+            continue;
+        }
+        auto site = faultSiteByName(key);
+        if (!site.ok())
+            return site.error();
+        std::uint64_t nth = 0;
+        if (count != "*") {
+            try {
+                nth = std::stoull(count);
+            } catch (const std::exception &) {
+                return configError("bad fault count '" + count + "' for " +
+                                  key);
+            }
+        }
+        arm(site.value(), nth);
+    }
+    return {};
+}
+
+void
+FaultInjector::configureFromEnv()
+{
+    if (const char *env = std::getenv("MOSAIC_FAULTS")) {
+        auto result = configure(env);
+        if (!result.ok()) {
+            // A bad spec must not silently disable injection the user
+            // asked for; surface it loudly at startup.
+            throw std::runtime_error("MOSAIC_FAULTS: " +
+                                     result.error().str());
+        }
+    }
+}
+
+bool
+FaultInjector::shouldFail(FaultSite site)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &state = sites_[static_cast<std::size_t>(site)];
+    if (!state.armed)
+        return false;
+    ++state.hits;
+    return state.fireOn == 0 || state.hits == state.fireOn;
+}
+
+std::uint64_t
+FaultInjector::hits(FaultSite site) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sites_[static_cast<std::size_t>(site)].hits;
+}
+
+void
+FaultInjector::corruptBuffer(void *data, std::size_t size)
+{
+    if (size == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto *bytes = static_cast<unsigned char *>(data);
+    // Flip one bit in each of up to 4 deterministic positions.
+    for (int i = 0; i < 4; ++i) {
+        std::uint64_t r = nextRandom(rngState_);
+        bytes[r % size] ^= static_cast<unsigned char>(1u << (r >> 32) % 8);
+    }
+}
+
+} // namespace mosaic

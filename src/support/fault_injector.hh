@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Deterministic fault injection for exercising recovery paths.
+ *
+ * Every recovery path in the campaign engine — corrupt-trace
+ * regeneration, CSV row skipping, open retries, Lasso degradation —
+ * is driven by tests through this hook rather than assumed to work.
+ * Faults are armed per site, fire on the N-th hit of that site (or on
+ * every hit), and all randomness (corruption offsets, bit picks) comes
+ * from a seeded generator so failures reproduce exactly.
+ *
+ * Configuration is programmatic (tests) or via the MOSAIC_FAULTS
+ * environment variable (whole-binary runs), e.g.:
+ *
+ *   MOSAIC_FAULTS="trace-open:3,trace-corrupt:1,seed:42"
+ *
+ * fails the 3rd trace-file open and corrupts the 1st trace written,
+ * with corruption offsets drawn from seed 42. A count of "*" arms the
+ * site for every hit. An unset/empty spec disables all sites, which is
+ * the production default — every check is a single relaxed branch.
+ */
+
+#ifndef MOSAIC_SUPPORT_FAULT_INJECTOR_HH
+#define MOSAIC_SUPPORT_FAULT_INJECTOR_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "support/error.hh"
+
+namespace mosaic
+{
+
+/** Instrumented failure points. */
+enum class FaultSite : std::size_t
+{
+    TraceOpen,    ///< fopen() of a trace file reports failure
+    TraceCorrupt, ///< bytes of a written trace block are flipped
+    CsvTruncate,  ///< a dataset CSV row is emitted half-written
+    CsvOpen,      ///< open of the dataset CSV reports failure
+    LassoNan,     ///< a NaN is injected into the Lasso design matrix
+    NumSites
+};
+
+/** Parse "trace-open" etc.; Config error for unknown names. */
+Result<FaultSite> faultSiteByName(const std::string &name);
+
+/** Inverse of faultSiteByName(). */
+const char *faultSiteName(FaultSite site);
+
+/**
+ * Process-wide registry of armed faults. Thread-safe: campaign workers
+ * hit sites concurrently and counters must not be lost.
+ */
+class FaultInjector
+{
+  public:
+    static FaultInjector &instance();
+
+    /** Disarm every site and reset hit counters and the RNG. */
+    void reset();
+
+    /**
+     * Arm @p site to fire on its @p nth hit (1-based). @p nth == 0
+     * fires on every hit.
+     */
+    void arm(FaultSite site, std::uint64_t nth);
+
+    /** Seed for corruption-offset randomness (default 1). */
+    void setSeed(std::uint64_t seed);
+
+    /**
+     * Parse a "site:count,site:count,seed:N" spec. Returns a Config
+     * error on unknown site names or malformed counts; sites parsed
+     * before the error remain armed.
+     */
+    Result<void> configure(const std::string &spec);
+
+    /** configure() from $MOSAIC_FAULTS if set; ignores empty. */
+    void configureFromEnv();
+
+    /**
+     * Record a hit at @p site and report whether the armed fault
+     * fires. Sites that were never armed cost one load and compare.
+     */
+    bool shouldFail(FaultSite site);
+
+    /** Total hits recorded at @p site (fired or not). */
+    std::uint64_t hits(FaultSite site) const;
+
+    /** Deterministically flip a few bits of @p data. */
+    void corruptBuffer(void *data, std::size_t size);
+
+  private:
+    FaultInjector() = default;
+
+    struct SiteState
+    {
+        bool armed = false;
+        std::uint64_t fireOn = 0; ///< 0 = every hit
+        std::uint64_t hits = 0;
+    };
+
+    mutable std::mutex mutex_;
+    std::array<SiteState, static_cast<std::size_t>(FaultSite::NumSites)>
+        sites_;
+    std::uint64_t rngState_ = 1;
+};
+
+/** Shorthand for FaultInjector::instance(). */
+inline FaultInjector &
+faults()
+{
+    return FaultInjector::instance();
+}
+
+} // namespace mosaic
+
+#endif // MOSAIC_SUPPORT_FAULT_INJECTOR_HH

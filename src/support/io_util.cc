@@ -1,0 +1,122 @@
+#include "support/io_util.hh"
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace mosaic
+{
+
+namespace
+{
+
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+std::string
+errnoText()
+{
+    return std::strerror(errno);
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t size, std::uint32_t crc)
+{
+    static const auto table = makeCrcTable();
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint32_t c = crc ^ 0xffffffffu;
+    for (std::size_t i = 0; i < size; ++i)
+        c = table[(c ^ bytes[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+std::string
+tempPathFor(const std::string &path)
+{
+    return path + ".tmp";
+}
+
+Result<void>
+flushAndSync(std::FILE *file, const std::string &path)
+{
+    if (std::fflush(file) != 0)
+        return ioError("flush failed for " + path + ": " + errnoText());
+    if (fsync(fileno(file)) != 0)
+        return ioError("fsync failed for " + path + ": " + errnoText());
+    return {};
+}
+
+Result<void>
+renameFile(const std::string &from, const std::string &to)
+{
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+        return ioError("cannot rename " + from + " to " + to + ": " +
+                       errnoText());
+    }
+    return {};
+}
+
+void
+removeFileIfExists(const std::string &path)
+{
+    std::remove(path.c_str());
+}
+
+Result<void>
+ensureDirectory(const std::string &path)
+{
+    if (mkdir(path.c_str(), 0755) == 0 || errno == EEXIST)
+        return {};
+    return ioError("cannot create directory " + path + ": " +
+                   errnoText());
+}
+
+Result<void>
+writeFileAtomic(const std::string &path, const std::string &contents)
+{
+    const std::string tmp = tempPathFor(path);
+    std::FILE *file = std::fopen(tmp.c_str(), "wb");
+    if (!file)
+        return ioError("cannot open " + tmp + " for writing: " +
+                       errnoText());
+
+    if (!contents.empty() &&
+        std::fwrite(contents.data(), 1, contents.size(), file) !=
+            contents.size()) {
+        std::fclose(file);
+        removeFileIfExists(tmp);
+        return ioError("short write to " + tmp + ": " + errnoText());
+    }
+    if (auto synced = flushAndSync(file, tmp); !synced.ok()) {
+        std::fclose(file);
+        removeFileIfExists(tmp);
+        return synced;
+    }
+    if (std::fclose(file) != 0) {
+        removeFileIfExists(tmp);
+        return ioError("close failed for " + tmp + ": " + errnoText());
+    }
+    if (auto renamed = renameFile(tmp, path); !renamed.ok()) {
+        removeFileIfExists(tmp);
+        return renamed;
+    }
+    return {};
+}
+
+} // namespace mosaic

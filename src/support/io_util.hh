@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Durable file I/O: CRC32 checksums and atomic writes.
+ *
+ * Caches (the dataset CSV, trace files) are rewritten while older
+ * copies are live and may be read by the next run after a mid-write
+ * kill. All cache writes therefore go through writeFileAtomic(): write
+ * to "<path>.tmp", fsync, rename — the published path either holds the
+ * complete old contents or the complete new contents, never a torn
+ * mix.
+ */
+
+#ifndef MOSAIC_SUPPORT_IO_UTIL_HH
+#define MOSAIC_SUPPORT_IO_UTIL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "support/error.hh"
+
+namespace mosaic
+{
+
+/** IEEE 802.3 CRC32 of @p size bytes, continuing from @p crc. */
+std::uint32_t crc32(const void *data, std::size_t size,
+                    std::uint32_t crc = 0);
+
+/** The temp-file name writeFileAtomic() stages into. */
+std::string tempPathFor(const std::string &path);
+
+/**
+ * Atomically replace @p path with @p contents: write "<path>.tmp",
+ * flush + fsync, rename over @p path. Io error on any failure (the
+ * temp file is removed on a failed attempt).
+ */
+Result<void> writeFileAtomic(const std::string &path,
+                             const std::string &contents);
+
+/** fflush + fsync @p file (still open); Io error on failure. */
+Result<void> flushAndSync(std::FILE *file, const std::string &path);
+
+/** rename() wrapper with an Io error carrying both names. */
+Result<void> renameFile(const std::string &from, const std::string &to);
+
+/** remove() ignoring ENOENT; used to clear poisoned cache files. */
+void removeFileIfExists(const std::string &path);
+
+/** mkdir (one level) ignoring EEXIST; Io error on other failures. */
+Result<void> ensureDirectory(const std::string &path);
+
+} // namespace mosaic
+
+#endif // MOSAIC_SUPPORT_IO_UTIL_HH

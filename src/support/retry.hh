@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Retry with capped exponential backoff for transient failures.
+ *
+ * The campaign treats I/O errors (Error::transient()) as retryable:
+ * a flaky filesystem or a racing writer should cost a few hundred
+ * milliseconds, not the whole campaign. Everything else (corrupt
+ * files, parse errors, numeric failures) fails fast — retrying a CRC
+ * mismatch cannot help.
+ */
+
+#ifndef MOSAIC_SUPPORT_RETRY_HH
+#define MOSAIC_SUPPORT_RETRY_HH
+
+#include <chrono>
+#include <cstddef>
+#include <thread>
+
+#include "support/error.hh"
+
+namespace mosaic
+{
+
+/** Backoff schedule: initial, initial*multiplier, ... capped at max. */
+struct RetryPolicy
+{
+    /** Total attempts, including the first (1 = no retries). */
+    std::size_t maxAttempts = 3;
+
+    /** Delay before the first retry. Zero sleeps are skipped. */
+    std::chrono::milliseconds initialDelay{10};
+
+    /** Backoff growth factor per retry. */
+    double multiplier = 2.0;
+
+    /** Upper bound on any single delay. */
+    std::chrono::milliseconds maxDelay{1000};
+};
+
+/**
+ * Invoke @p fn (returning Result<T>) until it succeeds, fails with a
+ * non-transient error, or @p policy.maxAttempts is exhausted. The
+ * result of the last attempt is returned; @p retries, when non-null,
+ * receives the number of retries actually performed.
+ */
+template <typename Fn>
+auto
+retryWithBackoff(const RetryPolicy &policy, Fn &&fn,
+                 std::size_t *retries = nullptr) -> decltype(fn())
+{
+    std::size_t attempts = std::max<std::size_t>(policy.maxAttempts, 1);
+    auto delay = policy.initialDelay;
+    for (std::size_t attempt = 1;; ++attempt) {
+        auto result = fn();
+        if (result.ok() || !result.error().transient() ||
+            attempt >= attempts) {
+            if (retries)
+                *retries = attempt - 1;
+            return result;
+        }
+        if (delay.count() > 0)
+            std::this_thread::sleep_for(delay);
+        delay = std::min(
+            std::chrono::milliseconds(static_cast<long long>(
+                static_cast<double>(delay.count()) * policy.multiplier)),
+            policy.maxDelay);
+    }
+}
+
+} // namespace mosaic
+
+#endif // MOSAIC_SUPPORT_RETRY_HH

@@ -3,7 +3,8 @@
 #include <cstdio>
 #include <memory>
 
-#include "support/logging.hh"
+#include "support/fault_injector.hh"
+#include "support/io_util.hh"
 
 namespace mosaic::trace
 {
@@ -25,8 +26,12 @@ struct Header
 {
     std::uint32_t magic;
     std::uint32_t version;
+    std::uint32_t endianTag;
+    std::uint32_t recordCrc; ///< CRC32 over all packed record bytes
     std::uint64_t numRecords;
 };
+
+static_assert(sizeof(Header) == 24, "header layout");
 
 struct FileCloser
 {
@@ -42,59 +47,108 @@ using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
 } // namespace
 
-void
-saveTrace(const MemoryTrace &trace, const std::string &path)
+Result<void>
+saveTraceResult(const MemoryTrace &trace, const std::string &path)
 {
-    FilePtr file(std::fopen(path.c_str(), "wb"));
-    mosaic_assert(file != nullptr, "cannot open ", path, " for writing");
+    const std::string tmp = tempPathFor(path);
+    FilePtr file(std::fopen(tmp.c_str(), "wb"));
+    if (!file || faults().shouldFail(FaultSite::TraceOpen))
+        return ioError("cannot open " + tmp + " for writing");
 
-    Header header{traceMagic, traceVersion, trace.size()};
-    mosaic_assert(std::fwrite(&header, sizeof(header), 1, file.get()) ==
-                      1,
-                  "header write failed for ", path);
+    // The header goes first with a placeholder CRC; the real CRC is
+    // accumulated while packing and patched in before the rename.
+    Header header{traceMagic, traceVersion, traceEndianTag, 0,
+                  trace.size()};
+    if (std::fwrite(&header, sizeof(header), 1, file.get()) != 1) {
+        removeFileIfExists(tmp);
+        return ioError("header write failed for " + tmp);
+    }
 
-    // Buffered block writes: pack 4096 records at a time.
+    // Buffered block writes: pack 4096 records at a time. The CRC is
+    // computed over the true packed bytes *before* fault injection, so
+    // an injected corruption is detectable on load, like real rot.
+    std::uint32_t crc = 0;
     std::vector<PackedRecord> block;
     block.reserve(4096);
+    auto flushBlock = [&]() -> Result<void> {
+        crc = crc32(block.data(), block.size() * sizeof(PackedRecord),
+                    crc);
+        if (faults().shouldFail(FaultSite::TraceCorrupt))
+            faults().corruptBuffer(block.data(),
+                                   block.size() * sizeof(PackedRecord));
+        if (std::fwrite(block.data(), sizeof(PackedRecord), block.size(),
+                        file.get()) != block.size())
+            return ioError("record write failed for " + tmp);
+        block.clear();
+        return {};
+    };
+
     for (const auto &record : trace.records()) {
         std::uint8_t flags =
             static_cast<std::uint8_t>((record.isWrite ? 1 : 0) |
                                       (record.dependsOnPrev ? 2 : 0));
         block.push_back(PackedRecord{record.vaddr, record.gap, flags});
         if (block.size() == block.capacity()) {
-            mosaic_assert(std::fwrite(block.data(),
-                                      sizeof(PackedRecord),
-                                      block.size(),
-                                      file.get()) == block.size(),
-                          "record write failed for ", path);
-            block.clear();
+            if (auto flushed = flushBlock(); !flushed.ok()) {
+                removeFileIfExists(tmp);
+                return flushed;
+            }
         }
     }
     if (!block.empty()) {
-        mosaic_assert(std::fwrite(block.data(), sizeof(PackedRecord),
-                                  block.size(),
-                                  file.get()) == block.size(),
-                      "record write failed for ", path);
+        if (auto flushed = flushBlock(); !flushed.ok()) {
+            removeFileIfExists(tmp);
+            return flushed;
+        }
     }
+
+    // Patch the CRC into the header and publish.
+    header.recordCrc = crc;
+    if (std::fseek(file.get(), 0, SEEK_SET) != 0 ||
+        std::fwrite(&header, sizeof(header), 1, file.get()) != 1) {
+        removeFileIfExists(tmp);
+        return ioError("header rewrite failed for " + tmp);
+    }
+    if (auto synced = flushAndSync(file.get(), tmp); !synced.ok()) {
+        removeFileIfExists(tmp);
+        return synced;
+    }
+    file.reset();
+    if (auto renamed = renameFile(tmp, path); !renamed.ok()) {
+        removeFileIfExists(tmp);
+        return renamed;
+    }
+    return {};
 }
 
-MemoryTrace
-loadTrace(const std::string &path)
+Result<MemoryTrace>
+loadTraceResult(const std::string &path)
 {
     FilePtr file(std::fopen(path.c_str(), "rb"));
-    mosaic_assert(file != nullptr, "cannot open ", path);
+    if (!file || faults().shouldFail(FaultSite::TraceOpen))
+        return ioError("cannot open " + path);
 
     Header header{};
-    mosaic_assert(std::fread(&header, sizeof(header), 1, file.get()) ==
-                      1,
-                  "truncated header in ", path);
-    mosaic_assert(header.magic == traceMagic, "not a trace file: ",
-                  path);
-    mosaic_assert(header.version == traceVersion,
-                  "unsupported trace version ", header.version);
+    if (std::fread(&header, sizeof(header), 1, file.get()) != 1)
+        return corruptError("truncated header in " + path);
+    if (header.magic != traceMagic)
+        return corruptError("not a trace file: " + path);
+    // Version sits at the same offset in every format revision, so
+    // check it before the fields v2 introduced.
+    if (header.version != traceVersion) {
+        return corruptError("unsupported trace version " +
+                            std::to_string(header.version) + " in " +
+                            path + " (expected " +
+                            std::to_string(traceVersion) + ")");
+    }
+    if (header.endianTag != traceEndianTag) {
+        return corruptError("trace file " + path +
+                            " was written with a different endianness");
+    }
 
     MemoryTrace trace;
     trace.reserve(header.numRecords);
+    std::uint32_t crc = 0;
     std::vector<PackedRecord> block(4096);
     std::uint64_t remaining = header.numRecords;
     while (remaining > 0) {
@@ -102,7 +156,9 @@ loadTrace(const std::string &path)
             std::min<std::uint64_t>(remaining, block.size()));
         std::size_t got = std::fread(block.data(), sizeof(PackedRecord),
                                      want, file.get());
-        mosaic_assert(got == want, "truncated records in ", path);
+        if (got != want)
+            return corruptError("truncated records in " + path);
+        crc = crc32(block.data(), got * sizeof(PackedRecord), crc);
         for (std::size_t i = 0; i < got; ++i) {
             trace.add(block[i].vaddr, block[i].gap,
                       (block[i].flags & 1) != 0,
@@ -110,7 +166,23 @@ loadTrace(const std::string &path)
         }
         remaining -= got;
     }
+    if (crc != header.recordCrc) {
+        return corruptError("CRC mismatch in " + path +
+                            " (file is corrupt)");
+    }
     return trace;
+}
+
+void
+saveTrace(const MemoryTrace &trace, const std::string &path)
+{
+    saveTraceResult(trace, path).okOrThrow();
+}
+
+MemoryTrace
+loadTrace(const std::string &path)
+{
+    return loadTraceResult(path).okOrThrow();
 }
 
 bool

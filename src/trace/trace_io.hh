@@ -7,6 +7,17 @@
  * short experiments; persisting traces lets campaign reruns and
  * external tools skip it. The format is a fixed little-endian header
  * followed by packed records.
+ *
+ * Format v2 hardens the header for cache use: an endianness tag (a
+ * file written on a big-endian machine is rejected instead of decoded
+ * as garbage), and a CRC32 over the packed record bytes so truncation
+ * and bit flips are detected deterministically. Future-version files
+ * are rejected with a structured error, never parsed speculatively.
+ *
+ * The Result-returning functions are the primary API: a corrupt or
+ * unreadable trace is a recoverable condition (the campaign
+ * regenerates the trace), not a process-fatal one. The throwing
+ * wrappers remain for tools and tests that want exception flow.
  */
 
 #ifndef MOSAIC_TRACE_TRACE_IO_HH
@@ -14,6 +25,7 @@
 
 #include <string>
 
+#include "support/error.hh"
 #include "trace/trace.hh"
 
 namespace mosaic::trace
@@ -21,12 +33,29 @@ namespace mosaic::trace
 
 /** Magic bytes identifying a mosaic trace file ("MTRC" + version). */
 constexpr std::uint32_t traceMagic = 0x4d545243;
-constexpr std::uint32_t traceVersion = 1;
+constexpr std::uint32_t traceVersion = 2;
 
-/** Write @p trace to @p path; fatal on I/O failure. */
+/** Little-endian marker; reads back byte-swapped on big-endian. */
+constexpr std::uint32_t traceEndianTag = 0x01020304;
+
+/**
+ * Write @p trace to @p path atomically (temp file + fsync + rename):
+ * a killed run never leaves a torn trace cache. Io error on failure.
+ */
+Result<void> saveTraceResult(const MemoryTrace &trace,
+                             const std::string &path);
+
+/**
+ * Read a trace previously written by saveTraceResult(). Io error if
+ * the file cannot be opened/read; Corrupt error on bad magic, wrong
+ * endianness, unsupported version, truncation, or CRC mismatch.
+ */
+Result<MemoryTrace> loadTraceResult(const std::string &path);
+
+/** Throwing wrapper around saveTraceResult(). */
 void saveTrace(const MemoryTrace &trace, const std::string &path);
 
-/** Read a trace previously written by saveTrace; fatal on mismatch. */
+/** Throwing wrapper around loadTraceResult(). */
 MemoryTrace loadTrace(const std::string &path);
 
 /** @return true if @p path exists and carries the trace magic. */

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Fault-tolerance tests for the campaign engine: cell-failure
+ * isolation, corrupt-trace-cache recovery, transient-I/O retries, and
+ * checkpoint/resume from a partial dataset CSV — the failure drills
+ * behind "a killed campaign loses at most one checkpoint interval".
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "experiments/campaign.hh"
+#include "support/fault_injector.hh"
+#include "support/io_util.hh"
+#include "support/random.hh"
+#include "trace/trace_io.hh"
+
+using namespace mosaic;
+using namespace mosaic::exp;
+
+namespace
+{
+
+/** A minimal TLB-sensitive workload (mirrors test_campaign.cc). */
+class TinyWorkload : public workloads::Workload
+{
+  public:
+    workloads::WorkloadInfo
+    info() const override
+    {
+        return {"test", "tiny"};
+    }
+
+    Bytes heapPoolSize() const override { return 24_MiB; }
+
+    trace::MemoryTrace
+    generateTrace() const override
+    {
+        trace::MemoryTrace trace;
+        Rng rng(99);
+        VirtAddr base = alloc::PoolAddresses::heapBase;
+        for (int i = 0; i < 12000; ++i)
+            trace.add(base + alignDown(rng.nextBounded(24_MiB), 8), 2,
+                      false);
+        return trace;
+    }
+};
+
+/** Quiet config with instant retries and a scratch trace-cache dir. */
+CampaignConfig
+faultConfig(const std::string &trace_dir = std::string())
+{
+    CampaignConfig config;
+    config.verbose = false;
+    config.retry.initialDelay = std::chrono::milliseconds(0);
+    config.traceCacheDir = trace_dir;
+    if (!trace_dir.empty())
+        mkdir(trace_dir.c_str(), 0755);
+    return config;
+}
+
+class CampaignFaultTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { faults().reset(); }
+    void TearDown() override { faults().reset(); }
+};
+
+} // namespace
+
+TEST_F(CampaignFaultTest, CorruptTraceCacheIsRegenerated)
+{
+    std::string dir = "test_campaign_trace_cache";
+    std::string cache = dir + "/test_tiny.mtrc";
+    CampaignConfig config = faultConfig(dir);
+    TinyWorkload workload;
+
+    // First pair run populates the cache — with the write corrupted.
+    faults().arm(FaultSite::TraceCorrupt, 1);
+    Dataset first;
+    auto failures = CampaignRunner::runPair(workload, cpu::sandyBridge(),
+                                            config, first);
+    faults().reset();
+    EXPECT_TRUE(failures.empty());
+    ASSERT_TRUE(trace::isTraceFile(cache));
+    EXPECT_FALSE(trace::loadTraceResult(cache).ok()); // damage landed
+
+    // Second run must detect the damage (CRC), discard the file,
+    // regenerate, and still complete every cell.
+    Dataset second;
+    failures = CampaignRunner::runPair(workload, cpu::sandyBridge(),
+                                       config, second);
+    EXPECT_TRUE(failures.empty());
+    EXPECT_EQ(second.runs("SandyBridge", "test/tiny").size(), 55u);
+
+    // The repaired cache is valid again and the two datasets agree
+    // (the trace is deterministic either way).
+    EXPECT_TRUE(trace::loadTraceResult(cache).ok());
+    EXPECT_EQ(first.findRun("SandyBridge", "test/tiny", layoutAll2m)
+                  .result.runtimeCycles,
+              second.findRun("SandyBridge", "test/tiny", layoutAll2m)
+                  .result.runtimeCycles);
+
+    removeFileIfExists(cache);
+    rmdir(dir.c_str());
+}
+
+TEST_F(CampaignFaultTest, TransientOpenFailureIsRetried)
+{
+    std::string dir = "test_campaign_retry_cache";
+    std::string cache = dir + "/test_tiny.mtrc";
+    CampaignConfig config = faultConfig(dir);
+    TinyWorkload workload;
+
+    // Populate a valid cache.
+    Dataset warmup;
+    CampaignRunner::runPair(workload, cpu::sandyBridge(), config, warmup);
+    ASSERT_TRUE(trace::loadTraceResult(cache).ok());
+
+    // Fail the 1st cache open; the backoff retry must recover.
+    faults().arm(FaultSite::TraceOpen, 1);
+    Dataset dataset;
+    std::size_t retries = 0;
+    auto failures = CampaignRunner::runPair(
+        workload, cpu::sandyBridge(), config, dataset, nullptr, &retries);
+    faults().reset();
+
+    EXPECT_TRUE(failures.empty());
+    EXPECT_GE(retries, 1u);
+    EXPECT_EQ(dataset.runs("SandyBridge", "test/tiny").size(), 55u);
+
+    removeFileIfExists(cache);
+    rmdir(dir.c_str());
+}
+
+TEST_F(CampaignFaultTest, ExhaustedRetriesFailThePairNotTheCampaign)
+{
+    std::string dir = "test_campaign_dead_cache";
+    std::string cache = dir + "/test_tiny.mtrc";
+    CampaignConfig config = faultConfig(dir);
+    config.retry.maxAttempts = 2;
+    TinyWorkload workload;
+
+    Dataset warmup;
+    CampaignRunner::runPair(workload, cpu::sandyBridge(), config, warmup);
+    ASSERT_TRUE(trace::isTraceFile(cache));
+
+    // Every open fails: the cache load gives up after its retries, but
+    // the engine falls back to regenerating the trace in memory — the
+    // cache is an optimization, never a single point of failure. The
+    // re-save also fails (same site), which only costs the cache.
+    faults().arm(FaultSite::TraceOpen, 0);
+    Dataset dataset;
+    auto failures = CampaignRunner::runPair(workload, cpu::sandyBridge(),
+                                            config, dataset);
+    faults().reset();
+
+    EXPECT_TRUE(failures.empty());
+    EXPECT_EQ(dataset.runs("SandyBridge", "test/tiny").size(), 55u);
+
+    removeFileIfExists(cache);
+    rmdir(dir.c_str());
+}
+
+/**
+ * The end-to-end drill from the issue: a campaign with an injected
+ * fault completes, reports the failed cells in its summary, and a
+ * rerun resumes from the partial CSV without recomputing covered
+ * cells. Uses the real registry workload "gups/8GB" (the cheapest one)
+ * because the threaded runner resolves workloads by label.
+ */
+TEST_F(CampaignFaultTest, FaultyCampaignCompletesReportsAndResumes)
+{
+    std::string cache = "test_campaign_resume.csv";
+    removeFileIfExists(cache);
+
+    CampaignConfig config = faultConfig();
+    config.workloads = {"gups/8GB", "bogus/does-not-exist"};
+    config.platforms = {cpu::sandyBridge()};
+    config.threads = 2;
+    config.checkpointEvery = 1;
+    CampaignRunner runner(config);
+
+    // Phase A: the bad workload fails; the good pair still completes
+    // and is checkpointed + saved to the CSV cache.
+    CampaignReport first = runner.runReport(cache);
+    EXPECT_FALSE(first.allOk());
+    ASSERT_EQ(first.failures.size(), 1u);
+    EXPECT_EQ(first.failures[0].workload, "bogus/does-not-exist");
+    EXPECT_EQ(first.failures[0].layout, "*");
+    EXPECT_EQ(first.failures[0].error.category(), ErrorCategory::Config);
+    EXPECT_EQ(first.cellsCompleted, 55u);
+    EXPECT_EQ(first.cellsResumed, 0u);
+    EXPECT_GE(first.checkpointsWritten, 1u);
+    EXPECT_NE(first.summary().find("FAILED"), std::string::npos);
+    EXPECT_NE(first.summary().find("bogus/does-not-exist"),
+              std::string::npos);
+    ASSERT_EQ(first.dataset.runs("SandyBridge", "gups/8GB").size(), 55u);
+
+    // Phase B: a rerun resumes every completed cell from the CSV and
+    // simulates nothing new; only the bad workload fails again.
+    CampaignReport second = runner.runReport(cache);
+    EXPECT_EQ(second.cellsResumed, 55u);
+    EXPECT_EQ(second.cellsCompleted, 0u);
+    ASSERT_EQ(second.failures.size(), 1u);
+    EXPECT_EQ(second.failures[0].workload, "bogus/does-not-exist");
+    EXPECT_EQ(second.dataset.totalRuns(), 55u);
+
+    // Phase C: drop 5 cells from the cache (an interrupted run's
+    // partial CSV); the resume recomputes exactly those 5, and the
+    // recomputed values match the original run bit-for-bit.
+    const auto &complete = first.dataset.runs("SandyBridge", "gups/8GB");
+    Dataset partial;
+    std::vector<std::string> dropped;
+    for (std::size_t i = 0; i < complete.size(); ++i) {
+        if (i < 5)
+            dropped.push_back(complete[i].layout);
+        else
+            partial.add(complete[i]);
+    }
+    partial.save(cache);
+
+    CampaignConfig good_only = config;
+    good_only.workloads = {"gups/8GB"};
+    CampaignRunner resumer(good_only);
+    CampaignReport third = resumer.runReport(cache);
+    EXPECT_TRUE(third.allOk());
+    EXPECT_EQ(third.cellsResumed, 50u);
+    EXPECT_EQ(third.cellsCompleted, 5u);
+    EXPECT_EQ(third.dataset.totalRuns(), 55u);
+    for (const auto &layout : dropped) {
+        EXPECT_EQ(third.dataset.findRun("SandyBridge", "gups/8GB", layout)
+                      .result.runtimeCycles,
+                  first.dataset.findRun("SandyBridge", "gups/8GB", layout)
+                      .result.runtimeCycles)
+            << layout;
+    }
+
+    // The final CSV on disk now covers the full pair again.
+    auto reloaded = Dataset::loadResult(cache);
+    ASSERT_TRUE(reloaded.ok());
+    EXPECT_EQ(reloaded.value().totalRuns(), 55u);
+    removeFileIfExists(cache);
+}

@@ -8,6 +8,8 @@
 #include <cstdio>
 
 #include "experiments/dataset.hh"
+#include "support/fault_injector.hh"
+#include "support/io_util.hh"
 
 using namespace mosaic;
 using namespace mosaic::exp;
@@ -127,7 +129,101 @@ TEST(Dataset, LoadRejectsBadHeader)
     FILE *file = std::fopen(path.c_str(), "w");
     std::fputs("not,a,dataset\n", file);
     std::fclose(file);
-    EXPECT_THROW(Dataset::load(path), std::logic_error);
+    EXPECT_THROW(Dataset::load(path), std::runtime_error);
+    auto result = Dataset::loadResult(path);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().category(), ErrorCategory::Corrupt);
+    std::remove(path.c_str());
+}
+
+TEST(Dataset, LoadMissingFileIsTransientIoError)
+{
+    auto result = Dataset::loadResult("no_such_dataset.csv");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().category(), ErrorCategory::Io);
+    EXPECT_TRUE(result.error().transient());
+}
+
+TEST(Dataset, LoadSkipsMalformedRows)
+{
+    Dataset dataset = makeToyDataset();
+    std::string path = "test_dataset_malformed.csv";
+    dataset.save(path);
+
+    // Append the kind of tail a killed writer (without atomic rename)
+    // would leave: a half-written row, a non-numeric row, junk.
+    FILE *file = std::fopen(path.c_str(), "a");
+    std::fputs("SandyBridge,toy/a,chopped,123\n", file);
+    std::fputs("SandyBridge,toy/a,bad,x,y,z,w,v,u,t\n", file);
+    std::fputs("garbage\n", file);
+    std::fclose(file);
+
+    DatasetLoadStats stats;
+    auto result = Dataset::loadResult(path, &stats);
+    std::remove(path.c_str());
+
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().totalRuns(), dataset.totalRuns());
+    EXPECT_EQ(stats.rowsLoaded, dataset.totalRuns());
+    EXPECT_EQ(stats.rowsSkipped, 3u);
+}
+
+TEST(Dataset, SaveIsAtomicAndLeavesNoTempFile)
+{
+    Dataset dataset = makeToyDataset();
+    std::string path = "test_dataset_atomic.csv";
+
+    // Pre-existing file gets replaced wholesale, not appended to.
+    FILE *stale = std::fopen(path.c_str(), "w");
+    std::fputs("stale contents that must vanish\n", stale);
+    std::fclose(stale);
+
+    dataset.save(path);
+    Dataset loaded = Dataset::load(path);
+    EXPECT_EQ(loaded.totalRuns(), dataset.totalRuns());
+
+    FILE *tmp = std::fopen(tempPathFor(path).c_str(), "rb");
+    EXPECT_EQ(tmp, nullptr);
+    if (tmp)
+        std::fclose(tmp);
+    std::remove(path.c_str());
+}
+
+TEST(Dataset, InjectedTruncatedRowIsSkippedOnReload)
+{
+    Dataset dataset = makeToyDataset();
+    std::string path = "test_dataset_fault.csv";
+
+    faults().reset();
+    faults().arm(FaultSite::CsvTruncate, 1);
+    dataset.save(path);
+    faults().reset();
+
+    DatasetLoadStats stats;
+    auto result = Dataset::loadResult(path, &stats);
+    std::remove(path.c_str());
+
+    // The damaged row is dropped, everything else survives.
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().totalRuns(), dataset.totalRuns() - 1);
+    EXPECT_EQ(stats.rowsSkipped, 1u);
+}
+
+TEST(Dataset, InjectedOpenFailureIsIoError)
+{
+    Dataset dataset = makeToyDataset();
+    std::string path = "test_dataset_openfault.csv";
+    dataset.save(path);
+
+    faults().reset();
+    faults().arm(FaultSite::CsvOpen, 1);
+    auto result = Dataset::loadResult(path);
+    faults().reset();
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().category(), ErrorCategory::Io);
+
+    // The file itself is intact; a retry succeeds.
+    EXPECT_TRUE(Dataset::loadResult(path).ok());
     std::remove(path.c_str());
 }
 

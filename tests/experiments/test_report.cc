@@ -163,10 +163,11 @@ TEST(Report, CrossValidationMapHasNewModels)
 TEST(Report, MultiplePlatformsAggregated)
 {
     Dataset combined = syntheticDataset("SandyBridge", "toy/w");
-    for (const auto &record :
-         syntheticDataset("Haswell", "toy/w").runs("Haswell", "toy/w")) {
+    // The dataset must outlive the loop: runs() returns a reference
+    // into it, and a temporary would dangle before the first add().
+    Dataset haswell = syntheticDataset("Haswell", "toy/w");
+    for (const auto &record : haswell.runs("Haswell", "toy/w"))
         combined.add(record);
-    }
     EXPECT_EQ(combined.platforms().size(), 2u);
     auto rows = computeErrorGrid(combined, ErrorKind::Max);
     EXPECT_EQ(rows.size(), 2u);

@@ -7,7 +7,10 @@
 
 #include <cmath>
 
+#include <limits>
+
 #include "stats/lasso.hh"
+#include "support/fault_injector.hh"
 #include "support/random.hh"
 
 using namespace mosaic;
@@ -142,4 +145,71 @@ TEST(Lasso, RejectsBadInput)
     Matrix x(4, 2);
     Vector y(3);
     EXPECT_THROW(stats::fitLasso(x, y), std::logic_error);
+}
+
+TEST(Lasso, ReportsConvergenceOnEasyProblem)
+{
+    Matrix x;
+    Vector y;
+    makeSparseProblem(60, x, y);
+    auto result = stats::fitLassoChecked(x, y);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result.value().converged);
+}
+
+TEST(Lasso, FlagsNonConvergenceInsteadOfFailing)
+{
+    Matrix x;
+    Vector y;
+    makeSparseProblem(60, x, y);
+    LassoConfig config;
+    config.maxIterations = 1; // starve the descent
+    config.tolerance = 1e-14;
+    auto result = stats::fitLassoChecked(x, y, config);
+    ASSERT_TRUE(result.ok()); // usable coefficients, just suspect
+    EXPECT_FALSE(result.value().converged);
+}
+
+TEST(Lasso, NanInDesignMatrixIsNumericError)
+{
+    Matrix x;
+    Vector y;
+    makeSparseProblem(30, x, y);
+    x(7, 1) = std::numeric_limits<double>::quiet_NaN();
+    auto result = stats::fitLassoChecked(x, y);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().category(), ErrorCategory::Numeric);
+    // The error pinpoints the bad cell for the postmortem.
+    EXPECT_NE(result.error().message().find("row 7"), std::string::npos);
+    EXPECT_THROW(stats::fitLasso(x, y), std::runtime_error);
+}
+
+TEST(Lasso, InfInTargetIsNumericError)
+{
+    Matrix x;
+    Vector y;
+    makeSparseProblem(30, x, y);
+    y[3] = std::numeric_limits<double>::infinity();
+    auto result = stats::fitLassoChecked(x, y);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().category(), ErrorCategory::Numeric);
+}
+
+TEST(Lasso, InjectedNanFaultIsCaught)
+{
+    Matrix x;
+    Vector y;
+    makeSparseProblem(30, x, y);
+
+    faults().reset();
+    faults().arm(FaultSite::LassoNan, 1);
+    auto poisoned = stats::fitLassoChecked(x, y);
+    faults().reset();
+
+    ASSERT_FALSE(poisoned.ok());
+    EXPECT_EQ(poisoned.error().category(), ErrorCategory::Numeric);
+
+    // The caller's matrix is not mutated by the injector.
+    auto clean = stats::fitLassoChecked(x, y);
+    EXPECT_TRUE(clean.ok());
 }

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the structured error type and Result<T>.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+
+using namespace mosaic;
+
+TEST(Error, CarriesCategoryAndMessage)
+{
+    Error error = ioError("cannot open x");
+    EXPECT_EQ(error.category(), ErrorCategory::Io);
+    EXPECT_EQ(error.message(), "cannot open x");
+    EXPECT_TRUE(error.transient());
+    EXPECT_EQ(error.str(), "io error: cannot open x");
+}
+
+TEST(Error, OnlyIoIsTransient)
+{
+    EXPECT_TRUE(ioError("x").transient());
+    EXPECT_FALSE(corruptError("x").transient());
+    EXPECT_FALSE(parseError("x").transient());
+    EXPECT_FALSE(configError("x").transient());
+    EXPECT_FALSE(numericError("x").transient());
+}
+
+TEST(Error, ContextChainRendersInOrder)
+{
+    Error error = corruptError("CRC mismatch");
+    error.addContext("while loading trace a.mtrc");
+    error.addContext("while running cell SandyBridge/gups");
+    EXPECT_EQ(error.str(),
+              "corrupt error: CRC mismatch (while loading trace a.mtrc; "
+              "while running cell SandyBridge/gups)");
+    EXPECT_EQ(error.context().size(), 2u);
+}
+
+TEST(Error, WithContextCopies)
+{
+    Error base = parseError("bad row");
+    Error derived = base.withContext("line 7");
+    EXPECT_TRUE(base.context().empty());
+    ASSERT_EQ(derived.context().size(), 1u);
+    EXPECT_EQ(derived.context()[0], "line 7");
+}
+
+TEST(Error, CategoryNames)
+{
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::Io), "io");
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::Corrupt), "corrupt");
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::Parse), "parse");
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::Config), "config");
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::Numeric), "numeric");
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::Internal), "internal");
+}
+
+TEST(Result, HoldsValue)
+{
+    Result<int> result(42);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value(), 42);
+    EXPECT_EQ(result.valueOr(7), 42);
+}
+
+TEST(Result, HoldsError)
+{
+    Result<int> result(numericError("NaN"));
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().category(), ErrorCategory::Numeric);
+    EXPECT_EQ(result.valueOr(7), 7);
+    EXPECT_THROW(result.value(), std::logic_error);
+}
+
+TEST(Result, OkOrThrowUnwrapsOrThrows)
+{
+    EXPECT_EQ(Result<int>(3).okOrThrow(), 3);
+    EXPECT_THROW(Result<int>(ioError("gone")).okOrThrow(),
+                 std::runtime_error);
+}
+
+TEST(Result, VoidSpecialization)
+{
+    Result<void> good;
+    EXPECT_TRUE(good.ok());
+    EXPECT_NO_THROW(good.okOrThrow());
+
+    Result<void> bad(ioError("disk full"));
+    EXPECT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().category(), ErrorCategory::Io);
+    EXPECT_THROW(bad.okOrThrow(), std::runtime_error);
+}
+
+TEST(Result, MovesNonCopyableValues)
+{
+    auto ptr = std::make_unique<int>(5);
+    Result<std::unique_ptr<int>> result(std::move(ptr));
+    ASSERT_TRUE(result.ok());
+    auto out = std::move(result).okOrThrow();
+    EXPECT_EQ(*out, 5);
+}

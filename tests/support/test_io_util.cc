@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for CRC32 and atomic file writes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/io_util.hh"
+
+using namespace mosaic;
+
+namespace
+{
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream file(path);
+    std::ostringstream out;
+    out << file.rdbuf();
+    return out.str();
+}
+
+} // namespace
+
+TEST(Crc32, MatchesKnownVectors)
+{
+    // The classic IEEE 802.3 check value.
+    EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+    EXPECT_EQ(crc32("", 0), 0u);
+}
+
+TEST(Crc32, IncrementalEqualsOneShot)
+{
+    const char *data = "the quick brown fox jumps over the lazy dog";
+    std::size_t size = 43, split = 17;
+    std::uint32_t oneShot = crc32(data, size);
+    std::uint32_t partial = crc32(data, split);
+    EXPECT_EQ(crc32(data + split, size - split, partial), oneShot);
+}
+
+TEST(Crc32, DetectsSingleBitFlip)
+{
+    std::uint8_t buf[32] = {0};
+    std::uint32_t before = crc32(buf, sizeof(buf));
+    buf[13] ^= 0x04;
+    EXPECT_NE(crc32(buf, sizeof(buf)), before);
+}
+
+TEST(IoUtil, TempPathAppendsSuffix)
+{
+    EXPECT_EQ(tempPathFor("a/b.csv"), "a/b.csv.tmp");
+}
+
+TEST(IoUtil, WriteFileAtomicCreatesAndReplaces)
+{
+    std::string path = "test_io_util_atomic.txt";
+    ASSERT_TRUE(writeFileAtomic(path, "first\n").ok());
+    EXPECT_EQ(slurp(path), "first\n");
+
+    ASSERT_TRUE(writeFileAtomic(path, "second\n").ok());
+    EXPECT_EQ(slurp(path), "second\n");
+
+    // No staging file survives a successful publish.
+    FILE *tmp = std::fopen(tempPathFor(path).c_str(), "rb");
+    EXPECT_EQ(tmp, nullptr);
+    if (tmp)
+        std::fclose(tmp);
+    std::remove(path.c_str());
+}
+
+TEST(IoUtil, WriteFileAtomicFailsIntoIoError)
+{
+    auto result = writeFileAtomic("no_such_dir/x.txt", "data");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().category(), ErrorCategory::Io);
+}
+
+TEST(IoUtil, RemoveFileIfExistsIgnoresMissing)
+{
+    removeFileIfExists("definitely_not_here.txt"); // must not throw
+    std::string path = "test_io_util_remove.txt";
+    ASSERT_TRUE(writeFileAtomic(path, "x").ok());
+    removeFileIfExists(path);
+    FILE *gone = std::fopen(path.c_str(), "rb");
+    EXPECT_EQ(gone, nullptr);
+    if (gone)
+        std::fclose(gone);
+}
+
+TEST(IoUtil, RenameFileReportsMissingSource)
+{
+    auto result = renameFile("missing_src.txt", "dst.txt");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().category(), ErrorCategory::Io);
+}

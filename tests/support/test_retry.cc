@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for retry with capped exponential backoff.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/retry.hh"
+
+using namespace mosaic;
+
+namespace
+{
+
+/** Zero-delay policy so tests never sleep. */
+RetryPolicy
+fastPolicy(std::size_t attempts)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = attempts;
+    policy.initialDelay = std::chrono::milliseconds(0);
+    return policy;
+}
+
+} // namespace
+
+TEST(Retry, SucceedsFirstTry)
+{
+    std::size_t calls = 0, retries = 99;
+    auto result = retryWithBackoff(
+        fastPolicy(3),
+        [&]() -> Result<int> {
+            ++calls;
+            return 1;
+        },
+        &retries);
+    EXPECT_TRUE(result.ok());
+    EXPECT_EQ(calls, 1u);
+    EXPECT_EQ(retries, 0u);
+}
+
+TEST(Retry, RetriesTransientUntilSuccess)
+{
+    std::size_t calls = 0, retries = 0;
+    auto result = retryWithBackoff(
+        fastPolicy(5),
+        [&]() -> Result<int> {
+            if (++calls < 3)
+                return ioError("flaky");
+            return 7;
+        },
+        &retries);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value(), 7);
+    EXPECT_EQ(calls, 3u);
+    EXPECT_EQ(retries, 2u);
+}
+
+TEST(Retry, GivesUpAfterMaxAttempts)
+{
+    std::size_t calls = 0;
+    auto result = retryWithBackoff(fastPolicy(3), [&]() -> Result<int> {
+        ++calls;
+        return ioError("always down");
+    });
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(calls, 3u);
+}
+
+TEST(Retry, NonTransientFailsFast)
+{
+    std::size_t calls = 0;
+    auto result = retryWithBackoff(fastPolicy(5), [&]() -> Result<int> {
+        ++calls;
+        return corruptError("CRC mismatch");
+    });
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(calls, 1u); // retrying corruption cannot help
+}
+
+TEST(Retry, ZeroAttemptsStillRunsOnce)
+{
+    std::size_t calls = 0;
+    auto result = retryWithBackoff(fastPolicy(0), [&]() -> Result<int> {
+        ++calls;
+        return 4;
+    });
+    EXPECT_TRUE(result.ok());
+    EXPECT_EQ(calls, 1u);
+}
+
+TEST(Retry, WorksWithVoidResults)
+{
+    std::size_t calls = 0;
+    auto result = retryWithBackoff(fastPolicy(4), [&]() -> Result<void> {
+        if (++calls < 2)
+            return ioError("flaky");
+        return {};
+    });
+    EXPECT_TRUE(result.ok());
+    EXPECT_EQ(calls, 2u);
+}

@@ -8,6 +8,8 @@
 #include <cstdio>
 #include <unistd.h>
 
+#include "support/fault_injector.hh"
+#include "support/io_util.hh"
 #include "support/random.hh"
 #include "trace/trace_io.hh"
 
@@ -84,7 +86,10 @@ TEST(TraceIo, DetectsNonTraceFiles)
     std::fputs("definitely not a trace", raw);
     std::fclose(raw);
     EXPECT_FALSE(isTraceFile(file.path));
-    EXPECT_THROW(loadTrace(file.path), std::logic_error);
+    EXPECT_THROW(loadTrace(file.path), std::runtime_error);
+    auto result = loadTraceResult(file.path);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().category(), ErrorCategory::Corrupt);
 }
 
 TEST(TraceIo, DetectsTruncation)
@@ -97,7 +102,129 @@ TEST(TraceIo, DetectsTruncation)
     long size = std::ftell(raw);
     std::fclose(raw);
     EXPECT_EQ(truncate(file.path.c_str(), size / 2), 0);
-    EXPECT_THROW(loadTrace(file.path), std::logic_error);
+    EXPECT_THROW(loadTrace(file.path), std::runtime_error);
+    auto result = loadTraceResult(file.path);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().category(), ErrorCategory::Corrupt);
+}
+
+namespace
+{
+
+/** Overwrite @p size bytes at @p offset in an existing file. */
+void
+patchFile(const std::string &path, long offset, const void *data,
+          std::size_t size)
+{
+    FILE *raw = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(raw, nullptr);
+    ASSERT_EQ(std::fseek(raw, offset, SEEK_SET), 0);
+    ASSERT_EQ(std::fwrite(data, 1, size, raw), size);
+    std::fclose(raw);
+}
+
+} // namespace
+
+TEST(TraceIo, DetectsBitFlipViaCrc)
+{
+    TempFile file("trace_io_bitflip.mtrc");
+    saveTrace(randomTrace(5000), file.path);
+
+    // Flip one bit in the middle of the record region (header is 24
+    // bytes; records start right after it).
+    FILE *raw = std::fopen(file.path.c_str(), "rb+");
+    ASSERT_NE(raw, nullptr);
+    std::fseek(raw, 24 + 1000, SEEK_SET);
+    int byte = std::fgetc(raw);
+    std::fseek(raw, -1, SEEK_CUR);
+    std::fputc(byte ^ 0x10, raw);
+    std::fclose(raw);
+
+    auto result = loadTraceResult(file.path);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().category(), ErrorCategory::Corrupt);
+    EXPECT_NE(result.error().message().find("CRC"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsFutureVersion)
+{
+    TempFile file("trace_io_future.mtrc");
+    saveTrace(randomTrace(10), file.path);
+
+    std::uint32_t future = traceVersion + 1;
+    patchFile(file.path, 4, &future, sizeof(future)); // version @4
+
+    auto result = loadTraceResult(file.path);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().category(), ErrorCategory::Corrupt);
+    EXPECT_NE(result.error().message().find("version"),
+              std::string::npos);
+}
+
+TEST(TraceIo, RejectsForeignEndianness)
+{
+    TempFile file("trace_io_endian.mtrc");
+    saveTrace(randomTrace(10), file.path);
+
+    std::uint32_t swapped = __builtin_bswap32(traceEndianTag);
+    patchFile(file.path, 8, &swapped, sizeof(swapped)); // endianTag @8
+
+    auto result = loadTraceResult(file.path);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().category(), ErrorCategory::Corrupt);
+    EXPECT_NE(result.error().message().find("endian"),
+              std::string::npos);
+}
+
+TEST(TraceIo, MissingFileIsTransientIoError)
+{
+    auto result = loadTraceResult("no_such_trace.mtrc");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().category(), ErrorCategory::Io);
+    EXPECT_TRUE(result.error().transient());
+}
+
+TEST(TraceIo, InjectedOpenFailureIsIoError)
+{
+    TempFile file("trace_io_fault_open.mtrc");
+    saveTrace(randomTrace(10), file.path);
+
+    faults().reset();
+    faults().arm(FaultSite::TraceOpen, 1);
+    auto result = loadTraceResult(file.path);
+    faults().reset();
+
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().category(), ErrorCategory::Io);
+    // The file is fine, so a later attempt (a retry) succeeds.
+    EXPECT_TRUE(loadTraceResult(file.path).ok());
+}
+
+TEST(TraceIo, InjectedWriteCorruptionIsCaughtOnLoad)
+{
+    TempFile file("trace_io_fault_corrupt.mtrc");
+    faults().reset();
+    faults().arm(FaultSite::TraceCorrupt, 1);
+    saveTrace(randomTrace(5000), file.path);
+    faults().reset();
+
+    // The CRC covers the true bytes, so the injected damage must be
+    // detected exactly like real on-disk rot.
+    auto result = loadTraceResult(file.path);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().category(), ErrorCategory::Corrupt);
+    EXPECT_NE(result.error().message().find("CRC"), std::string::npos);
+}
+
+TEST(TraceIo, SaveLeavesNoTempFileBehind)
+{
+    TempFile file("trace_io_tmp.mtrc");
+    saveTrace(randomTrace(100), file.path);
+    EXPECT_TRUE(isTraceFile(file.path));
+    FILE *tmp = std::fopen(tempPathFor(file.path).c_str(), "rb");
+    EXPECT_EQ(tmp, nullptr);
+    if (tmp)
+        std::fclose(tmp);
 }
 
 TEST(TraceIo, IsTraceFileRecognizesOwnOutput)

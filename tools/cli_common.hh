@@ -9,8 +9,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "support/error.hh"
+#include "support/fault_injector.hh"
 
 namespace mosaic::cli
 {
@@ -67,6 +71,38 @@ usage(const std::string &text)
 {
     std::fprintf(stderr, "%s", text.c_str());
     std::exit(2);
+}
+
+/**
+ * Tool entry-point guard: this is where recoverable library errors
+ * that nothing handled become a clean exit. Arms the fault injector
+ * from $MOSAIC_FAULTS first, so whole-binary fault drills work on
+ * every tool.
+ */
+template <typename Fn>
+int
+runGuarded(const char *tool, Fn &&body)
+{
+    try {
+        FaultInjector::instance().configureFromEnv();
+        return body();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s: %s\n", tool, e.what());
+        return 1;
+    }
+}
+
+/** Unwrap a Result at the CLI boundary: print the error and exit. */
+template <typename T>
+T
+unwrapOrDie(const char *tool, Result<T> result)
+{
+    if (!result.ok()) {
+        std::fprintf(stderr, "%s: %s\n", tool,
+                     result.error().str().c_str());
+        std::exit(2);
+    }
+    return std::move(result).okOrThrow();
 }
 
 } // namespace mosaic::cli

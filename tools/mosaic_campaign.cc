@@ -3,15 +3,25 @@
  * mosaic_campaign: run a (subset of the) measurement campaign from the
  * command line and write the dataset CSV.
  *
+ * The campaign is fault-tolerant: failed cells are reported in a
+ * summary instead of aborting the run, completed pairs are
+ * checkpointed to the output CSV with atomic writes, and --resume
+ * skips cells a previous (interrupted) run already covered.
+ *
  * Examples:
  *   mosaic_campaign --out my_dataset.csv
  *   mosaic_campaign --workloads spec06/mcf,gups/8GB \
  *                   --platforms SandyBridge --threads 2 --out mcf.csv
+ *   mosaic_campaign --out big.csv --resume --trace-cache traces/
+ *
+ * Exit codes: 0 all cells completed, 2 usage error, 3 campaign
+ * finished but some cells failed (the summary lists them).
  */
 
 #include <cstdio>
 
 #include "experiments/campaign.hh"
+#include "support/io_util.hh"
 #include "support/str.hh"
 #include "tools/cli_common.hh"
 
@@ -21,13 +31,15 @@ namespace
 constexpr const char *usageText =
     "usage: mosaic_campaign [--workloads a,b,...] [--platforms x,y]\n"
     "                       [--threads N] [--no-1gb] [--out FILE]\n"
+    "                       [--resume] [--trace-cache DIR]\n"
+    "                       [--checkpoint-every N] [--max-retries N]\n"
     "defaults: all 19 workloads, the paper's 3 platforms, 2 threads,\n"
-    "          out = mosaic_dataset.csv\n";
-
-} // namespace
+    "          out = mosaic_dataset.csv, checkpoint every pair\n"
+    "--resume keeps cells already present in --out instead of\n"
+    "recomputing them; without it the output is rebuilt from scratch.\n";
 
 int
-main(int argc, char **argv)
+campaignMain(int argc, char **argv)
 {
     using namespace mosaic;
     auto args = cli::parseArgs(argc, argv);
@@ -56,13 +68,36 @@ main(int argc, char **argv)
             static_cast<unsigned>(std::stoul(args.get("threads")));
     if (args.has("no-1gb"))
         config.include1g = false;
+    if (args.has("trace-cache"))
+        config.traceCacheDir = args.get("trace-cache");
+    if (args.has("checkpoint-every"))
+        config.checkpointEvery = std::stoul(args.get("checkpoint-every"));
+    if (args.has("max-retries"))
+        config.retry.maxAttempts =
+            1 + std::stoul(args.get("max-retries"));
 
     std::string out = args.get("out", exp::defaultDatasetPath());
     exp::CampaignRunner runner(config);
-    exp::Dataset dataset = runner.run();
-    dataset.save(out);
+    if (!args.has("resume")) {
+        // A fresh run must not resume from a stale file of the same
+        // name.
+        removeFileIfExists(out);
+    }
+    exp::CampaignReport report = runner.runReport(out);
+
     std::printf("wrote %zu runs (%zu platforms x %zu workloads) to %s\n",
-                dataset.totalRuns(), dataset.platforms().size(),
-                dataset.workloads().size(), out.c_str());
-    return 0;
+                report.dataset.totalRuns(),
+                report.dataset.platforms().size(),
+                report.dataset.workloads().size(), out.c_str());
+    std::printf("%s", report.summary().c_str());
+    return report.allOk() ? 0 : 3;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return mosaic::cli::runGuarded(
+        "mosaic_campaign", [&] { return campaignMain(argc, argv); });
 }

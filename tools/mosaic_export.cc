@@ -26,10 +26,8 @@ constexpr const char *usageText =
     "defaults: dataset = mosaic_dataset.csv, outdir = plots,\n"
     "          curves = the paper's Figure 3/7/8/10/11 pairs\n";
 
-} // namespace
-
 int
-main(int argc, char **argv)
+exportMain(int argc, char **argv)
 {
     using namespace mosaic;
     auto args = cli::parseArgs(argc, argv);
@@ -86,4 +84,13 @@ main(int argc, char **argv)
                 "%s/*.gp)\n",
                 files, outdir.c_str(), outdir.c_str());
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return mosaic::cli::runGuarded(
+        "mosaic_export", [&] { return exportMain(argc, argv); });
 }

@@ -26,10 +26,8 @@ constexpr const char *usageText =
     "                  [--describe]\n"
     "defaults: dataset = mosaic_dataset.csv, all pairs, all 9 models\n";
 
-} // namespace
-
 int
-main(int argc, char **argv)
+fitMain(int argc, char **argv)
 {
     using namespace mosaic;
     auto args = cli::parseArgs(argc, argv);
@@ -79,4 +77,13 @@ main(int argc, char **argv)
     }
     std::printf("%s", table.render().c_str());
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return mosaic::cli::runGuarded("mosaic_fit",
+                                   [&] { return fitMain(argc, argv); });
 }

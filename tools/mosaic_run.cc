@@ -37,12 +37,17 @@ constexpr const char *usageText =
     "                                   KiB/MiB/GiB suffixes)\n"
     "  config:<string>                  MosaicLayout config string\n";
 
-/** Parse "64MiB"-style sizes. */
-Bytes
+/** Parse "64MiB"-style sizes; Parse error on bad suffixes/numbers. */
+Result<Bytes>
 parseSize(const std::string &text)
 {
     std::size_t pos = 0;
-    double value = std::stod(text, &pos);
+    double value = 0.0;
+    try {
+        value = std::stod(text, &pos);
+    } catch (const std::exception &) {
+        return parseError("bad size value: " + text);
+    }
     std::string suffix = trimString(text.substr(pos));
     if (suffix == "KiB" || suffix == "K")
         return static_cast<Bytes>(value * 1024);
@@ -52,10 +57,10 @@ parseSize(const std::string &text)
         return static_cast<Bytes>(value * 1024 * 1024 * 1024);
     if (suffix.empty() || suffix == "B")
         return static_cast<Bytes>(value);
-    mosaic_fatal("bad size suffix: ", suffix);
+    return parseError("bad size suffix: " + suffix);
 }
 
-alloc::MosaicLayout
+Result<alloc::MosaicLayout>
 parseLayout(const std::string &spec, Bytes pool_size)
 {
     using alloc::MosaicLayout;
@@ -69,20 +74,31 @@ parseLayout(const std::string &spec, Bytes pool_size)
     if (spec.rfind("window:", 0) == 0) {
         auto fields = splitString(spec.substr(7), ':');
         if (fields.size() != 2)
-            mosaic_fatal("bad window spec: ", spec);
-        return MosaicLayout::withWindow(pool_size, parseSize(fields[0]),
-                                        parseSize(fields[1]),
+            return parseError("bad window spec: " + spec);
+        auto start = parseSize(fields[0]);
+        if (!start.ok())
+            return start.error().withContext("window start in " + spec);
+        auto length = parseSize(fields[1]);
+        if (!length.ok())
+            return length.error().withContext("window length in " + spec);
+        return MosaicLayout::withWindow(pool_size, start.value(),
+                                        length.value(),
                                         PageSize::Page2M);
     }
-    if (spec.rfind("config:", 0) == 0)
-        return MosaicLayout::fromConfigString(pool_size, spec.substr(7));
-    mosaic_fatal("unknown layout spec: ", spec);
+    if (spec.rfind("config:", 0) == 0) {
+        try {
+            return MosaicLayout::fromConfigString(pool_size,
+                                                  spec.substr(7));
+        } catch (const std::exception &e) {
+            return parseError(std::string("bad layout config: ") +
+                              e.what());
+        }
+    }
+    return parseError("unknown layout spec: " + spec);
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runMain(int argc, char **argv)
 {
     using namespace mosaic;
     auto args = cli::parseArgs(argc, argv);
@@ -101,8 +117,9 @@ main(int argc, char **argv)
 
     auto workload = workloads::makeWorkload(args.get("workload"));
     auto platform = cpu::platformByName(args.get("platform"));
-    auto layout = parseLayout(args.get("layout", "all-4KB"),
-                              workload->primaryPoolSize());
+    auto layout = cli::unwrapOrDie(
+        "mosaic_run", parseLayout(args.get("layout", "all-4KB"),
+                                  workload->primaryPoolSize()));
 
     auto trace = workload->generateTrace();
     auto result = cpu::simulateRun(
@@ -149,4 +166,13 @@ main(int argc, char **argv)
                              3)});
     std::printf("%s", table.render().c_str());
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return mosaic::cli::runGuarded("mosaic_run",
+                                   [&] { return runMain(argc, argv); });
 }
