@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Replay micro-benchmark: how fast does the simulator chew through a
+ * trace?
+ *
+ * Every campaign cell is bottlenecked by the same inner loop (trace
+ * record -> TLB -> page walk -> cache hierarchy), so this harness
+ * times exactly that loop on a deterministic synthetic trace, per
+ * platform and per layout, and emits a machine-readable
+ * BENCH_replay.json so the records/sec trajectory is tracked across
+ * PRs. Simulated *semantics* are pinned separately by the
+ * golden-counter tests; this binary only measures throughput.
+ *
+ * Usage:
+ *   replay_bench [--records N] [--reps R] [--footprint-mb M]
+ *                [--out BENCH_replay.json] [--baseline OLD.json]
+ *                [--baseline-source LABEL] [--quick]
+ *
+ * --baseline embeds the aggregate numbers of a previous run (e.g. the
+ * pre-optimization build) into the output, plus the speedup ratio.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cpu/platform.hh"
+#include "cpu/system.hh"
+#include "mosalloc/mosalloc.hh"
+#include "trace/synth.hh"
+
+namespace
+{
+
+using namespace mosaic;
+
+struct BenchRun
+{
+    std::string platform;
+    std::string layout;
+    double wallSeconds = 0.0;
+    double recordsPerSec = 0.0;
+    cpu::RunResult result;
+};
+
+double
+nowSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+/** Pull "key": number out of a previously written bench JSON. */
+bool
+extractNumber(const std::string &text, const std::string &object,
+              const std::string &key, double &out)
+{
+    std::size_t obj = text.find("\"" + object + "\"");
+    if (obj == std::string::npos)
+        return false;
+    std::size_t pos = text.find("\"" + key + "\"", obj);
+    if (pos == std::string::npos)
+        return false;
+    pos = text.find(':', pos);
+    if (pos == std::string::npos)
+        return false;
+    return std::sscanf(text.c_str() + pos + 1, "%lf", &out) == 1;
+}
+
+std::string
+getOpt(int argc, char **argv, const char *name, const char *fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], name) == 0)
+            return argv[i + 1];
+    }
+    return fallback;
+}
+
+bool
+hasFlag(int argc, char **argv, const char *name)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], name) == 0)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool quick = hasFlag(argc, argv, "--quick");
+    const std::uint64_t records = std::stoull(
+        getOpt(argc, argv, "--records", quick ? "200000" : "2000000"));
+    const int reps =
+        std::stoi(getOpt(argc, argv, "--reps", quick ? "2" : "3"));
+    const Bytes footprint_mb =
+        std::stoull(getOpt(argc, argv, "--footprint-mb", "64"));
+    const std::string out_path =
+        getOpt(argc, argv, "--out", "BENCH_replay.json");
+    const std::string baseline_path = getOpt(argc, argv, "--baseline", "");
+    const std::string baseline_source =
+        getOpt(argc, argv, "--baseline-source", "previous run");
+
+    const Bytes footprint = footprint_mb * 1_MiB;
+    const Bytes pool = alignUp(footprint + 4_MiB, 1_GiB);
+
+    // The traced region: one heap allocation; the trace is a pure
+    // function of (base, footprint, seed) and thus identical for every
+    // platform and layout below.
+    struct NamedMosaic
+    {
+        const char *name;
+        alloc::MosaicLayout layout;
+    };
+    std::vector<NamedMosaic> mosaics;
+    mosaics.push_back(
+        {"all4k", alloc::MosaicLayout(pool)});
+    mosaics.push_back(
+        {"all2m", alloc::MosaicLayout::uniform(pool, alloc::PageSize::Page2M)});
+
+    std::vector<BenchRun> runs;
+    double total_wall = 0.0;
+    double total_records = 0.0;
+
+    for (const auto &platform : cpu::paperPlatforms()) {
+        for (const auto &mosaic : mosaics) {
+            alloc::MosallocConfig alloc_config;
+            alloc_config.heapLayout = mosaic.layout;
+            alloc_config.anonLayout = alloc::MosaicLayout(16_MiB);
+            alloc::Mosalloc allocator(alloc_config);
+            VirtAddr base = allocator.malloc(footprint);
+
+            trace::SynthTraceParams synth;
+            synth.records = records;
+            synth.base = base;
+            synth.footprint = footprint;
+            trace::MemoryTrace trace = trace::makeSynthTrace(synth);
+
+            BenchRun run;
+            run.platform = platform.name;
+            run.layout = mosaic.name;
+            run.wallSeconds = 1e300;
+            for (int rep = 0; rep < reps; ++rep) {
+                // Fresh machine per rep: cold TLBs and caches, so
+                // every rep replays the identical work.
+                cpu::System system(platform, allocator);
+                double start = nowSeconds();
+                run.result = system.run(trace);
+                run.wallSeconds =
+                    std::min(run.wallSeconds, nowSeconds() - start);
+            }
+            run.recordsPerSec =
+                static_cast<double>(records) / run.wallSeconds;
+            std::printf("%-12s %-6s %8.3fs  %12.0f records/sec\n",
+                        run.platform.c_str(), run.layout.c_str(),
+                        run.wallSeconds, run.recordsPerSec);
+            total_wall += run.wallSeconds;
+            total_records += static_cast<double>(records);
+            runs.push_back(run);
+        }
+    }
+
+    double aggregate_rps = total_records / total_wall;
+    std::printf("aggregate: %.3fs, %.0f records/sec\n", total_wall,
+                aggregate_rps);
+
+    double base_rps = 0.0, base_wall = 0.0;
+    bool have_baseline = false;
+    if (!baseline_path.empty()) {
+        std::ifstream in(baseline_path);
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        std::string text = buffer.str();
+        have_baseline =
+            extractNumber(text, "aggregate", "records_per_sec",
+                          base_rps) &&
+            extractNumber(text, "aggregate", "wall_seconds", base_wall);
+        if (!have_baseline) {
+            std::fprintf(stderr,
+                         "warn: no aggregate numbers found in %s\n",
+                         baseline_path.c_str());
+        }
+    }
+
+    std::ostringstream json;
+    json << "{\n";
+    json << "  \"schema\": \"mosaic-replay-bench/1\",\n";
+    json << "  \"records\": " << records << ",\n";
+    json << "  \"reps\": " << reps << ",\n";
+    json << "  \"footprint_bytes\": " << footprint << ",\n";
+    json << "  \"runs\": [\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const auto &run = runs[i];
+        const auto &r = run.result;
+        json << "    {\"platform\": \"" << run.platform
+             << "\", \"layout\": \"" << run.layout << "\",\n";
+        char line[256];
+        std::snprintf(line, sizeof line,
+                      "     \"wall_seconds\": %.6f, "
+                      "\"records_per_sec\": %.1f,\n",
+                      run.wallSeconds, run.recordsPerSec);
+        json << line;
+        json << "     \"counters\": {\"r\": " << r.runtimeCycles
+             << ", \"h\": " << r.tlbHitsL2 << ", \"m\": " << r.tlbMisses
+             << ", \"c\": " << r.walkCycles
+             << ", \"l1_tlb_hits\": " << r.l1TlbHits
+             << ", \"walker_queue\": " << r.walkerQueueCycles << "},\n";
+        json << "     \"cache_loads\": {\"prog_l1\": " << r.progL1dLoads
+             << ", \"prog_l2\": " << r.progL2Loads
+             << ", \"prog_l3\": " << r.progL3Loads
+             << ", \"prog_dram\": " << r.progDramLoads
+             << ", \"walk_l1\": " << r.walkL1dLoads
+             << ", \"walk_l2\": " << r.walkL2Loads
+             << ", \"walk_l3\": " << r.walkL3Loads
+             << ", \"walk_dram\": " << r.walkDramLoads << "}}"
+             << (i + 1 < runs.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n";
+    char agg[256];
+    std::snprintf(agg, sizeof agg,
+                  "  \"aggregate\": {\"wall_seconds\": %.6f, "
+                  "\"records_per_sec\": %.1f}",
+                  total_wall, aggregate_rps);
+    json << agg;
+    if (have_baseline) {
+        char base[512];
+        std::snprintf(base, sizeof base,
+                      ",\n  \"baseline\": {\"wall_seconds\": %.6f, "
+                      "\"records_per_sec\": %.1f, \"source\": \"%s\"},\n"
+                      "  \"speedup_vs_baseline\": %.3f",
+                      base_wall, base_rps, baseline_source.c_str(),
+                      base_rps > 0 ? aggregate_rps / base_rps : 0.0);
+        json << base;
+        if (base_rps > 0) {
+            std::printf("speedup vs baseline (%s): %.3fx\n",
+                        baseline_source.c_str(), aggregate_rps / base_rps);
+        }
+    }
+    json << "\n}\n";
+
+    std::ofstream out(out_path);
+    out << json.str();
+    out.close();
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 #include <vector>
 
 #include "support/logging.hh"
+#include "trace/replay_batch.hh"
 
 namespace mosaic::cpu
 {
@@ -25,24 +25,40 @@ namespace
  * Sliding history of (instruction index, retire time) pairs used to
  * enforce the ROB constraint: an operation enters execution only after
  * the instruction robInstructions older than it has retired.
+ *
+ * Backed by a fixed power-of-two ring: each record retires at least
+ * one instruction, so at most robInstructions entries are ever live
+ * between the drain point and the push point.
  */
 class RetireHistory
 {
   public:
+    explicit RetireHistory(unsigned rob_instructions)
+    {
+        std::size_t capacity = 2;
+        while (capacity < rob_instructions + 2u)
+            capacity <<= 1;
+        mask_ = capacity - 1;
+        entries_.resize(capacity);
+    }
+
     void
     push(std::uint64_t inst_index, double retire_time)
     {
-        entries_.push_back({inst_index, retire_time});
+        mosaic_assert(tail_ - head_ <= mask_,
+                      "retire history ring overflow");
+        entries_[tail_ & mask_] = {inst_index, retire_time};
+        ++tail_;
     }
 
     /** Latest retire time of any instruction <= @p inst_index. */
     double
     retiredBy(std::uint64_t inst_index)
     {
-        while (!entries_.empty() &&
-               entries_.front().instIndex <= inst_index) {
-            lastPassed_ = entries_.front().retireTime;
-            entries_.pop_front();
+        while (head_ != tail_ &&
+               entries_[head_ & mask_].instIndex <= inst_index) {
+            lastPassed_ = entries_[head_ & mask_].retireTime;
+            ++head_;
         }
         return lastPassed_;
     }
@@ -54,7 +70,10 @@ class RetireHistory
         double retireTime;
     };
 
-    std::deque<Entry> entries_;
+    std::vector<Entry> entries_;
+    std::size_t mask_ = 0;
+    std::size_t head_ = 0;
+    std::size_t tail_ = 0;
     double lastPassed_ = 0.0;
 };
 
@@ -74,56 +93,103 @@ CoreModel::run(const trace::MemoryTrace &trace, vm::Mmu &mmu,
 
     // ROB bound: retire times of recent references, queried by
     // instruction age.
-    RetireHistory history;
+    RetireHistory history(params_.robInstructions);
 
     double work_clock = 0.0;   // pure-work (fetch/execute) clock
     double retire_clock = 0.0; // in-order retirement clock
     double prev_completion = 0.0;
     std::uint64_t inst_index = 0;
 
-    for (const auto &record : trace.records()) {
-        std::uint64_t insts = record.gap + 1;
-        double work = base_cpi * static_cast<double>(insts);
-        work_clock += work;
-        inst_index += insts;
+    // How far ahead of the current record to software-prefetch the
+    // simulated cache-set metadata. The address stream is known in
+    // advance and software translation is pure, so this is host-side
+    // only: no simulated structure sees a staged address early.
+    constexpr std::size_t kPrefetchAhead = 16;
 
-        // The ROB admits this operation once the instruction
-        // robInstructions before it has retired.
-        double rob_ready =
-            inst_index > params_.robInstructions
-                ? history.retiredBy(inst_index - params_.robInstructions)
-                : 0.0;
-        double issue =
-            std::max({work_clock, outstanding[ring], rob_ready});
-        // Pointer-chase step: the address comes from the previous
-        // reference's data, so it cannot issue until that completes.
-        if (record.dependsOnPrev)
-            issue = std::max(issue, prev_completion);
+    // Per-chunk staging buffers: the data line and leaf page-table
+    // entry each record will touch, derived by the pure software
+    // translation before any simulated state advances.
+    std::vector<PhysAddr> stagedData(trace::ReplayBatcher::kChunkRecords);
+    std::vector<PhysAddr> stagedEntry(trace::ReplayBatcher::kChunkRecords);
 
-        // Address translation (TLB lookup, possibly a hardware walk).
-        auto xlat = mmu.translate(record.vaddr,
-                                  static_cast<Cycles>(issue));
-        double xlat_done =
-            issue + static_cast<double>(xlat.queueCycles + xlat.latency);
+    trace::ReplayBatcher batcher(trace);
+    trace::ReplayBatcher::Chunk chunk;
+    while (batcher.next(chunk)) {
+        // Stage the chunk's translations in one pure pass. The
+        // iterations are independent (unlike the timing loop below),
+        // so the host pipelines the memo misses, and the timing loop
+        // then finds every slot warm.
+        for (std::size_t i = 0; i < chunk.size; ++i) {
+            if (i + 8 < chunk.size)
+                mmu.prefetchXlate(chunk.vaddr[i + 8]);
+            const VirtAddr vaddr = chunk.vaddr[i];
+            const vm::Translation &xlate = mmu.peekTranslate(vaddr);
+            stagedData[i] = xlate.physAddr + (vaddr & 0xfff);
+            stagedEntry[i] = xlate.entryAddrs[xlate.depth - 1];
+        }
 
-        // The data access depends on the translation; latency beyond a
-        // pipelined L1 hit is exposed to the completion time.
-        auto data = hierarchy.access(xlat.physAddr,
-                                     mem::Requester::Program);
-        double data_extra =
-            data.latency > l1_latency
-                ? static_cast<double>(data.latency - l1_latency)
-                : 0.0;
-        double completion = xlat_done + data_extra;
+        for (std::size_t i = 0; i < chunk.size; ++i) {
+            if (i + kPrefetchAhead < chunk.size) {
+                // Hint the sets the record will scan: its data line,
+                // and the leaf page-table entry a TLB miss would read
+                // through the same hierarchy.
+                hierarchy.prefetchSets(stagedData[i + kPrefetchAhead]);
+                hierarchy.prefetchSets(stagedEntry[i + kPrefetchAhead]);
+            }
 
-        outstanding[ring] = completion;
-        ring = (ring + 1) % params_.maxOutstanding;
-        prev_completion = completion;
+            const VirtAddr vaddr = chunk.vaddr[i];
+            const std::uint32_t meta = chunk.meta[i];
 
-        // Retirement is in order: it progresses by the work amount and
-        // may not pass the operation's completion.
-        retire_clock = std::max(retire_clock + work, completion);
-        history.push(inst_index, retire_clock);
+            std::uint64_t insts =
+                (meta & trace::ReplayBatcher::kGapMask) + 1;
+            double work = base_cpi * static_cast<double>(insts);
+            work_clock += work;
+            inst_index += insts;
+
+            // The ROB admits this operation once the instruction
+            // robInstructions before it has retired.
+            double rob_ready =
+                inst_index > params_.robInstructions
+                    ? history.retiredBy(inst_index -
+                                        params_.robInstructions)
+                    : 0.0;
+            double issue =
+                std::max({work_clock, outstanding[ring], rob_ready});
+            // Pointer-chase step: the address comes from the previous
+            // reference's data, so it cannot issue until that
+            // completes.
+            if (meta & trace::ReplayBatcher::kDependsBit)
+                issue = std::max(issue, prev_completion);
+
+            // Address translation (TLB lookup, possibly a hardware
+            // walk).
+            auto xlat = mmu.translate(vaddr,
+                                      static_cast<Cycles>(issue));
+            double xlat_done =
+                issue +
+                static_cast<double>(xlat.queueCycles + xlat.latency);
+
+            // The data access depends on the translation; latency
+            // beyond a pipelined L1 hit is exposed to the completion
+            // time.
+            auto data = hierarchy.access(xlat.physAddr,
+                                         mem::Requester::Program);
+            double data_extra =
+                data.latency > l1_latency
+                    ? static_cast<double>(data.latency - l1_latency)
+                    : 0.0;
+            double completion = xlat_done + data_extra;
+
+            outstanding[ring] = completion;
+            if (++ring == outstanding.size())
+                ring = 0;
+            prev_completion = completion;
+
+            // Retirement is in order: it progresses by the work amount
+            // and may not pass the operation's completion.
+            retire_clock = std::max(retire_clock + work, completion);
+            history.push(inst_index, retire_clock);
+        }
     }
 
     RunResult result;

@@ -1,5 +1,6 @@
 #include "experiments/campaign.hh"
 
+#include <array>
 #include <atomic>
 #include <cctype>
 #include <cstdlib>
@@ -217,6 +218,14 @@ CampaignRunner::runImpl(const std::string *cache_path)
     using Key = std::pair<std::string, std::string>;
     std::map<Key, std::set<std::string>> covered;
 
+    // Every (platform, workload, layout) key ever admitted into
+    // report.dataset. The resume cache may hold duplicate rows (a
+    // checkpoint that fired mid-pair on a run that later appended the
+    // same pair again), and the configured grid may name a pair twice;
+    // this set guarantees the dataset — and therefore the saved CSV —
+    // never carries a key twice.
+    std::set<std::array<std::string, 3>> admitted;
+
     // Resume: fold the (possibly partial, possibly damaged) cache into
     // the report and remember which cells it already covers.
     if (cache_path) {
@@ -237,7 +246,11 @@ CampaignRunner::runImpl(const std::string *cache_path)
                         auto &done = covered[{platform.name, label}];
                         for (const auto &record :
                              cached.value().runs(platform.name, label)) {
-                            if (done.insert(record.layout).second) {
+                            if (done.insert(record.layout).second &&
+                                admitted
+                                    .insert({platform.name, label,
+                                             record.layout})
+                                    .second) {
                                 report.dataset.add(record);
                                 ++report.cellsResumed;
                             }
@@ -258,8 +271,11 @@ CampaignRunner::runImpl(const std::string *cache_path)
     }
 
     std::vector<Task> tasks;
+    std::set<Key> scheduled;
     for (const auto &label : config_.workloads) {
         for (const auto &platform : config_.platforms) {
+            if (!scheduled.insert({platform.name, label}).second)
+                continue; // pair named twice in the grid; run it once
             auto it = covered.find({platform.name, label});
             const std::set<std::string> *done =
                 it == covered.end() ? nullptr : &it->second;
@@ -317,6 +333,16 @@ CampaignRunner::runImpl(const std::string *cache_path)
                 if (local.has(task.platform->name, task.workload)) {
                     for (const auto &record : local.runs(
                              task.platform->name, task.workload)) {
+                        // Deduplicate by (platform, workload, layout):
+                        // a cell already admitted (resumed from the
+                        // cache or merged by another worker) must not
+                        // append a second row.
+                        if (!admitted
+                                 .insert({record.platform,
+                                          record.workload,
+                                          record.layout})
+                                 .second)
+                            continue;
                         report.dataset.add(record);
                         ++added;
                     }

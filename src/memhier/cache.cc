@@ -10,69 +10,28 @@ Cache::Cache(const CacheConfig &config)
 {
     mosaic_assert(isPowerOfTwo(config.lineSize), "line size must be 2^n");
     mosaic_assert(config.ways >= 1, "need at least one way");
+    mosaic_assert(config.ways <= 16,
+                  "packed LRU stack caps associativity at 16 in ",
+                  config.name);
     Bytes lines = config.capacity / config.lineSize;
     mosaic_assert(lines % config.ways == 0,
                   "capacity/line/ways mismatch in ", config.name);
     numSets_ = lines / config.ways;
     mosaic_assert(isPowerOfTwo(numSets_),
                   "set count must be a power of two in ", config.name);
+    setMask_ = numSets_ - 1;
     lineShift_ = floorLog2(config.lineSize);
     setShift_ = floorLog2(numSets_);
-    ways_.assign(numSets_ * config.ways, Way());
-}
-
-bool
-Cache::access(PhysAddr addr, Requester requester)
-{
-    std::uint64_t line = addr >> lineShift_;
-    std::uint64_t set = line & (numSets_ - 1);
-    std::uint64_t tag = line >> setShift_;
-    Way *base = &ways_[set * config_.ways];
-
-    ++lruClock_;
-    auto req = static_cast<std::size_t>(requester);
-
-    Way *victim = base;
-    for (unsigned w = 0; w < config_.ways; ++w) {
-        Way &way = base[w];
-        if (way.valid && way.tag == tag) {
-            way.lastUse = lruClock_;
-            ++stats_.hits[req];
-            return true;
-        }
-        if (!way.valid) {
-            victim = &way; // Prefer an invalid way over any LRU victim.
-        } else if (victim->valid && way.lastUse < victim->lastUse) {
-            victim = &way;
-        }
-    }
-
-    ++stats_.misses[req];
-    victim->valid = true;
-    victim->tag = tag;
-    victim->lastUse = lruClock_;
-    return false;
-}
-
-bool
-Cache::probe(PhysAddr addr) const
-{
-    std::uint64_t line = addr >> lineShift_;
-    std::uint64_t set = line & (numSets_ - 1);
-    std::uint64_t tag = line >> setShift_;
-    const Way *base = &ways_[set * config_.ways];
-    for (unsigned w = 0; w < config_.ways; ++w) {
-        if (base[w].valid && base[w].tag == tag)
-            return true;
-    }
-    return false;
+    numWays_ = config.ways;
+    tags_.assign(numSets_ * config.ways, kEmptyTag);
+    lruStack_.assign(numSets_, kSeedStack);
 }
 
 void
 Cache::flush()
 {
-    ways_.assign(ways_.size(), Way());
-    lruClock_ = 0;
+    tags_.assign(tags_.size(), kEmptyTag);
+    lruStack_.assign(lruStack_.size(), kSeedStack);
 }
 
 } // namespace mosaic::mem

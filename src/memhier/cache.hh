@@ -6,11 +6,22 @@
  * hardware page-table walker) because the paper's Table 7 shows walker
  * references polluting the data caches — one of the mechanisms behind
  * runtime growing *faster* than linearly in walk cycles.
+ *
+ * access()/probe() are header-inline: they run several times per trace
+ * record in the replay inner loop. Recency is kept as one packed
+ * 64-bit LRU stack per set (4-bit way indices, MRU in the low nibble)
+ * instead of per-way timestamps: the victim is read straight off the
+ * stack tail with no per-way bookkeeping, the hit path refreshes
+ * recency with a branchless nibble splice, and a set's tags shrink to
+ * 8 bytes per way, halving the metadata the replay loop streams
+ * through the host caches. The packed form caps associativity at 16
+ * ways (the largest any modelled platform uses).
  */
 
 #ifndef MOSAIC_MEMHIER_CACHE_HH
 #define MOSAIC_MEMHIER_CACHE_HH
 
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -67,7 +78,7 @@ struct CacheConfig
  * Set-associative, write-allocate cache with true-LRU replacement.
  *
  * Data contents are not stored (the simulation is timing-only); each
- * way keeps a tag and an LRU timestamp.
+ * way keeps a tag, and each set a packed LRU order.
  */
 class Cache
 {
@@ -78,12 +89,20 @@ class Cache
      * Access the line containing @p addr.
      * @return true on hit; on miss the line is allocated (LRU victim).
      */
-    bool access(PhysAddr addr, Requester requester);
+    inline bool access(PhysAddr addr, Requester requester);
 
     /** Probe without changing state. @return true if resident. */
-    bool probe(PhysAddr addr) const;
+    inline bool probe(PhysAddr addr) const;
 
-    /** Invalidate all lines and reset the LRU clock (not the stats). */
+    /**
+     * Hint the host CPU to pull @p addr's set metadata into its own
+     * caches. Purely a host-side prefetch: no simulated state (tags,
+     * LRU, stats) is touched, so issuing or skipping it can never
+     * change a counter.
+     */
+    inline void prefetchSet(PhysAddr addr) const;
+
+    /** Invalidate all lines and reset the LRU order (not the stats). */
     void flush();
 
     const CacheConfig &config() const { return config_; }
@@ -93,21 +112,141 @@ class Cache
     std::uint64_t numSets() const { return numSets_; }
 
   private:
-    struct Way
+    /**
+     * Tag of an empty way. Unreachable for real lines: physical
+     * addresses stay below 2^52, so line >> setShift cannot be all
+     * ones.
+     */
+    static constexpr std::uint64_t kEmptyTag = ~0ULL;
+
+    /**
+     * Initial per-set LRU stack: nibble i holds way i, so the stack
+     * reads MRU=[0, 1, ..., 15]=LRU. Empty ways therefore leave the
+     * stack tail in descending order of way index, which reproduces
+     * the pinned warmup rule exactly: the victim while the set still
+     * has empty ways is the *last* (highest-index) empty way, because
+     * touched ways have been spliced to the front and untouched ones
+     * keep their seed order. Nibbles at positions >= ways are inert
+     * padding (splices never move them down).
+     */
+    static constexpr std::uint64_t kSeedStack = 0xfedcba9876543210ULL;
+
+    /**
+     * Move the nibble at position @p pos of @p stack to the front
+     * (MRU). Branchless; positions above @p pos are untouched.
+     */
+    static std::uint64_t
+    spliceToFront(std::uint64_t stack, unsigned pos)
     {
-        std::uint64_t tag = ~0ULL;
-        std::uint64_t lastUse = 0;
-        bool valid = false;
-    };
+        std::uint64_t nib = (stack >> (4 * pos)) & 0xf;
+        std::uint64_t below = stack & ((1ULL << (4 * pos)) - 1);
+        // Two shifts: "4 * pos + 4" would be an UB 64-bit shift for
+        // pos 15.
+        std::uint64_t above = ((stack >> (4 * pos)) >> 4) << (4 * pos);
+        return (above << 4) | (below << 4) | nib;
+    }
+
+    template <unsigned kWays>
+    inline bool accessImpl(PhysAddr addr, Requester requester);
 
     CacheConfig config_;
     std::uint64_t numSets_;
+    std::uint64_t setMask_;
     unsigned lineShift_;
     unsigned setShift_;
-    std::vector<Way> ways_; ///< numSets_ x config_.ways, row-major
-    std::uint64_t lruClock_ = 0;
+    unsigned numWays_; ///< config_.ways, hoisted for the scan
+    std::vector<std::uint64_t> tags_; ///< numSets_ x ways, row-major
+    std::vector<std::uint64_t> lruStack_; ///< one packed stack per set
     CacheStats stats_;
 };
+
+template <unsigned kWays>
+bool
+Cache::accessImpl(PhysAddr addr, Requester requester)
+{
+    const unsigned ways = kWays > 0 ? kWays : numWays_;
+    std::uint64_t line = addr >> lineShift_;
+    std::uint64_t set = line & setMask_;
+    std::uint64_t tag = line >> setShift_;
+    std::uint64_t *base = &tags_[set * ways];
+    std::uint64_t &stack = lruStack_[set];
+
+    auto req = static_cast<std::size_t>(requester);
+
+    for (unsigned w = 0; w < ways; ++w) {
+        if (base[w] == tag) {
+            // Find w's position in the stack and splice it to MRU.
+            // SWAR zero-nibble scan: the lowest matching position is
+            // exact (no borrow can propagate past a nonzero nibble),
+            // and w occurs exactly once among the first `ways`
+            // nibbles, below any aliasing padding nibble.
+            std::uint64_t diff = stack ^ (0x1111111111111111ULL * w);
+            std::uint64_t zero = (diff - 0x1111111111111111ULL) &
+                                 ~diff & 0x8888888888888888ULL;
+            unsigned pos =
+                static_cast<unsigned>(std::countr_zero(zero)) >> 2;
+            stack = spliceToFront(stack, pos);
+            ++stats_.hits[req];
+            return true;
+        }
+    }
+
+    // Miss: the victim is the stack tail — the LRU way once the set is
+    // full, the highest-index empty way while it is warming up (see
+    // kSeedStack). Allocating makes it MRU.
+    unsigned victim =
+        static_cast<unsigned>((stack >> (4 * (ways - 1))) & 0xf);
+    base[victim] = tag;
+    stack = spliceToFront(stack, ways - 1);
+    ++stats_.misses[req];
+    return false;
+}
+
+bool
+Cache::access(PhysAddr addr, Requester requester)
+{
+    // Compile-time trip counts for the associativities every modelled
+    // platform uses (8-way L1d/L2, 16-way L3): the unrolled scans
+    // have no loop overhead. Behaviour is identical across arms.
+    switch (numWays_) {
+      case 8:
+        return accessImpl<8>(addr, requester);
+      case 16:
+        return accessImpl<16>(addr, requester);
+      default:
+        return accessImpl<0>(addr, requester);
+    }
+}
+
+bool
+Cache::probe(PhysAddr addr) const
+{
+    std::uint64_t line = addr >> lineShift_;
+    std::uint64_t set = line & setMask_;
+    std::uint64_t tag = line >> setShift_;
+    const std::uint64_t *base = &tags_[set * numWays_];
+    for (unsigned w = 0; w < numWays_; ++w) {
+        if (base[w] == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::prefetchSet(PhysAddr addr) const
+{
+    std::uint64_t set = (addr >> lineShift_) & setMask_;
+    const char *base =
+        reinterpret_cast<const char *>(&tags_[set * numWays_]);
+    // A set's tags span numWays_ * 8 bytes (up to 2 host lines for a
+    // 16-way L3 set). Read-intent prefetch: PREFETCHW is painfully
+    // slow under some hypervisors, and the scan reads before it
+    // writes anyway. The LRU stacks are small enough (8B per set) to
+    // stay host-resident without hints.
+    for (unsigned offset = 0; offset < numWays_ * sizeof(std::uint64_t);
+         offset += 64)
+        __builtin_prefetch(base + offset, 0, 3);
+}
 
 } // namespace mosaic::mem
 

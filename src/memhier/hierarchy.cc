@@ -13,31 +13,6 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &config)
 {
 }
 
-AccessResult
-MemoryHierarchy::access(PhysAddr addr, Requester requester)
-{
-    const auto &lat = config_.latencies;
-    if (l1_.access(addr, requester))
-        return {lat.l1, ServedBy::L1};
-
-    // L1 misses train the L2 streamer (program traffic only, as on
-    // the real parts); prefetch fills land in L2 and L3 for free.
-    if (config_.prefetcher.enabled && requester == Requester::Program) {
-        for (PhysAddr fill : prefetcher_.observe(addr)) {
-            if (!l2_.probe(fill)) {
-                l2_.access(fill, Requester::Prefetcher);
-                l3_.access(fill, Requester::Prefetcher);
-            }
-        }
-    }
-
-    if (l2_.access(addr, requester))
-        return {lat.l2, ServedBy::L2};
-    if (l3_.access(addr, requester))
-        return {lat.l3, ServedBy::L3};
-    return {lat.dram, ServedBy::Dram};
-}
-
 void
 MemoryHierarchy::flush()
 {

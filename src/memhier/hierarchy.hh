@@ -70,7 +70,20 @@ class MemoryHierarchy
     explicit MemoryHierarchy(const HierarchyConfig &config);
 
     /** Access @p addr on behalf of @p requester. */
-    AccessResult access(PhysAddr addr, Requester requester);
+    inline AccessResult access(PhysAddr addr, Requester requester);
+
+    /**
+     * Host-side prefetch of the set metadata @p addr will touch.
+     * Simulated state is untouched; see Cache::prefetchSet. The L1
+     * array is small enough to stay host-resident, so only the larger
+     * L2/L3 arrays are worth hinting.
+     */
+    void
+    prefetchSets(PhysAddr addr) const
+    {
+        l2_.prefetchSet(addr);
+        l3_.prefetchSet(addr);
+    }
 
     const Cache &l1() const { return l1_; }
     const Cache &l2() const { return l2_; }
@@ -93,6 +106,33 @@ class MemoryHierarchy
     Cache l3_;
     StreamPrefetcher prefetcher_;
 };
+
+// Header-inline: this runs once per program reference and once per
+// page-walk entry read in the replay inner loop.
+AccessResult
+MemoryHierarchy::access(PhysAddr addr, Requester requester)
+{
+    const auto &lat = config_.latencies;
+    if (l1_.access(addr, requester))
+        return {lat.l1, ServedBy::L1};
+
+    // L1 misses train the L2 streamer (program traffic only, as on
+    // the real parts); prefetch fills land in L2 and L3 for free.
+    if (config_.prefetcher.enabled && requester == Requester::Program) {
+        for (PhysAddr fill : prefetcher_.observe(addr)) {
+            if (!l2_.probe(fill)) {
+                l2_.access(fill, Requester::Prefetcher);
+                l3_.access(fill, Requester::Prefetcher);
+            }
+        }
+    }
+
+    if (l2_.access(addr, requester))
+        return {lat.l2, ServedBy::L2};
+    if (l3_.access(addr, requester))
+        return {lat.l3, ServedBy::L3};
+    return {lat.dram, ServedBy::Dram};
+}
 
 } // namespace mosaic::mem
 

@@ -15,10 +15,11 @@ StreamPrefetcher::StreamPrefetcher(const PrefetcherConfig &config,
     streams_.resize(config.streams);
 }
 
-std::vector<PhysAddr>
+const std::vector<PhysAddr> &
 StreamPrefetcher::observe(PhysAddr addr)
 {
-    std::vector<PhysAddr> fills;
+    std::vector<PhysAddr> &fills = fills_;
+    fills.clear();
     if (!config_.enabled)
         return fills;
 

@@ -59,8 +59,10 @@ class StreamPrefetcher
      * Observe a demand access to @p addr.
      * @return line-aligned addresses to pre-fill (empty when the
      *         prefetcher is disabled or the stream is untrained).
+     *         The referenced buffer is reused by the next observe()
+     *         call — the hot loop must not allocate per access.
      */
-    std::vector<PhysAddr> observe(PhysAddr addr);
+    const std::vector<PhysAddr> &observe(PhysAddr addr);
 
     const PrefetcherConfig &config() const { return config_; }
     const PrefetcherStats &stats() const { return stats_; }
@@ -80,6 +82,9 @@ class StreamPrefetcher
     std::vector<Stream> streams_;
     std::uint64_t clock_ = 0;
     PrefetcherStats stats_;
+
+    /** Scratch buffer returned by observe(); reused across calls. */
+    std::vector<PhysAddr> fills_;
 };
 
 } // namespace mosaic::mem

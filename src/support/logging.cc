@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <stdexcept>
 
 namespace mosaic
@@ -15,6 +16,26 @@ namespace
  * terminating so gtest death-free assertions can observe them.
  */
 bool throwOnError = true;
+
+/**
+ * Emit one complete "<prefix><message>\n" line to stderr under a
+ * process-wide mutex. Campaign worker threads report progress
+ * concurrently; composing the full line first and writing it in one
+ * locked call keeps lines from interleaving mid-line.
+ */
+void
+logLine(const char *prefix, const std::string &message)
+{
+    static std::mutex mutex;
+    std::string line;
+    line.reserve(std::char_traits<char>::length(prefix) +
+                 message.size() + 1);
+    line += prefix;
+    line += message;
+    line += '\n';
+    std::lock_guard<std::mutex> lock(mutex);
+    std::fwrite(line.data(), 1, line.size(), stderr);
+}
 
 } // namespace
 
@@ -43,13 +64,13 @@ fatalImpl(const char *file, int line, const std::string &message)
 void
 warnImpl(const std::string &message)
 {
-    std::fprintf(stderr, "warn: %s\n", message.c_str());
+    logLine("warn: ", message);
 }
 
 void
 informImpl(const std::string &message)
 {
-    std::fprintf(stderr, "info: %s\n", message.c_str());
+    logLine("info: ", message);
 }
 
 } // namespace mosaic

@@ -1,0 +1,36 @@
+#include "trace/replay_batch.hh"
+
+namespace mosaic::trace
+{
+
+bool
+ReplayBatcher::next(Chunk &chunk)
+{
+    const auto &records = trace_.records();
+    if (cursor_ >= records.size()) {
+        chunk = Chunk{};
+        return false;
+    }
+
+    std::size_t count =
+        std::min(kChunkRecords, records.size() - cursor_);
+    const TraceRecord *src = records.data() + cursor_;
+    for (std::size_t i = 0; i < count; ++i) {
+        const TraceRecord &rec = src[i];
+        vaddr_[i] = rec.vaddr;
+        std::uint32_t meta = rec.gap;
+        if (rec.isWrite)
+            meta |= kWriteBit;
+        if (rec.dependsOnPrev)
+            meta |= kDependsBit;
+        meta_[i] = meta;
+    }
+    cursor_ += count;
+
+    chunk.vaddr = vaddr_.data();
+    chunk.meta = meta_.data();
+    chunk.size = count;
+    return true;
+}
+
+} // namespace mosaic::trace

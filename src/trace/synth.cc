@@ -1,0 +1,59 @@
+#include "trace/synth.hh"
+
+#include "support/logging.hh"
+#include "support/random.hh"
+
+namespace mosaic::trace
+{
+
+MemoryTrace
+makeSynthTrace(const SynthTraceParams &params)
+{
+    mosaic_assert(params.seqPct + params.hotPct + params.randPct +
+                          params.chasePct ==
+                      100,
+                  "synth trace phase percentages must sum to 100");
+    mosaic_assert(params.footprint >= 4_KiB, "synth footprint too small");
+
+    MemoryTrace trace;
+    trace.reserve(params.records);
+    Rng rng(params.seed);
+
+    const std::uint64_t words = params.footprint / 8;
+    const std::uint64_t hot_words =
+        std::min(params.hotBytes, params.footprint) / 8;
+    const VirtAddr end = params.base + params.footprint;
+
+    const unsigned seq_cut = params.seqPct;
+    const unsigned hot_cut = seq_cut + params.hotPct;
+    const unsigned rand_cut = hot_cut + params.randPct;
+
+    VirtAddr cursor = params.base;
+    for (std::uint64_t i = 0; i < params.records; ++i) {
+        std::uint64_t draw = rng.next();
+        auto phase = static_cast<unsigned>(draw % 100);
+        auto gap = static_cast<unsigned>(1 + ((draw >> 32) % 6));
+        std::uint64_t pick = draw >> 8;
+
+        if (phase < seq_cut) {
+            cursor += 64;
+            if (cursor >= end)
+                cursor = params.base;
+            trace.add(cursor, gap, (i & 7) == 0);
+        } else if (phase < hot_cut) {
+            VirtAddr addr =
+                params.base + 8 * (hot_words ? pick % hot_words : 0);
+            trace.add(addr, gap, (i & 3) == 0);
+        } else if (phase < rand_cut) {
+            trace.add(params.base + 8 * (pick % words), gap, false);
+        } else {
+            // Pointer chase: the address "came from" the previous
+            // reference's data, serializing the two.
+            trace.add(params.base + 8 * (pick % words), gap, false,
+                      true);
+        }
+    }
+    return trace;
+}
+
+} // namespace mosaic::trace

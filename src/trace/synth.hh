@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deterministic synthetic replay traces.
+ *
+ * The replay micro-benchmark and the golden-counter regression suite
+ * need a trace that (a) is a pure function of its parameters, (b) mixes
+ * the access patterns of the paper's workloads — long sequential scans,
+ * a hot working set, GUPS-style random updates, and pointer chases —
+ * and (c) is cheap to regenerate anywhere (CI, a fresh checkout)
+ * without touching the workload registry. This generator provides it.
+ */
+
+#ifndef MOSAIC_TRACE_SYNTH_HH
+#define MOSAIC_TRACE_SYNTH_HH
+
+#include <cstdint>
+
+#include "support/types.hh"
+#include "trace/trace.hh"
+
+namespace mosaic::trace
+{
+
+/** Parameters of one synthetic replay trace. */
+struct SynthTraceParams
+{
+    /** Number of trace records to emit. */
+    std::uint64_t records = 1u << 20;
+
+    /** Virtual base of the touched region (must be mapped by the
+     *  caller's allocator before replay). */
+    VirtAddr base = 0;
+
+    /** Bytes of address space touched, starting at base. */
+    Bytes footprint = 64_MiB;
+
+    /** Size of the high-locality hot set at the start of the region. */
+    Bytes hotBytes = 2_MiB;
+
+    /** Percent of records in each phase; the four must sum to 100. */
+    unsigned seqPct = 60;   ///< 64B-stride sequential scan
+    unsigned hotPct = 22;   ///< random word inside the hot set
+    unsigned randPct = 12;  ///< random word anywhere (GUPS-like)
+    unsigned chasePct = 6;  ///< dependent pointer-chase load
+
+    std::uint64_t seed = 0x5EEDBA5Eu;
+};
+
+/**
+ * Generate the trace described by @p params.
+ *
+ * Deterministic: identical parameters produce a bit-identical trace on
+ * every platform and build (the generator draws only from the repo's
+ * own Xoshiro stream). Golden-counter tests depend on this.
+ */
+MemoryTrace makeSynthTrace(const SynthTraceParams &params);
+
+} // namespace mosaic::trace
+
+#endif // MOSAIC_TRACE_SYNTH_HH

@@ -1,7 +1,5 @@
 #include "vm/mmu.hh"
 
-#include "support/logging.hh"
-
 namespace mosaic::vm
 {
 
@@ -10,46 +8,16 @@ Mmu::Mmu(const PageTable &page_table, mem::MemoryHierarchy &hierarchy,
     : pageTable_(page_table),
       config_(config),
       tlb_(config.l1Tlb, config.l2Tlb),
-      walker_(page_table, hierarchy, config.pwc, config.numWalkers)
+      walker_(page_table, hierarchy, config.pwc, config.numWalkers),
+      xlateCache_(kXlateCacheSize)
 {
-}
-
-TranslationEvent
-Mmu::translate(VirtAddr vaddr, Cycles now)
-{
-    Translation xlate = pageTable_.translate(vaddr);
-    mosaic_assert(xlate.valid, "access to unmapped address ", vaddr);
-
-    TranslationEvent event;
-    event.physAddr = xlate.physAddr;
-    event.pageSize = xlate.pageSize;
-    event.outcome = tlb_.lookup(vaddr, xlate.pageSize);
-
-    switch (event.outcome) {
-      case TlbOutcome::L1Hit:
-        ++counters_.l1Hits;
-        break;
-      case TlbOutcome::L2Hit:
-        ++counters_.h;
-        event.latency = config_.l2TlbHitLatency;
-        break;
-      case TlbOutcome::Miss: {
-        WalkResult walk = walker_.walk(xlate, vaddr, now);
-        tlb_.fill(vaddr, xlate.pageSize);
-        ++counters_.m;
-        counters_.c += walk.walkCycles;
-        counters_.queueCycles += walk.queueCycles;
-        event.latency = walk.walkCycles;
-        event.queueCycles = walk.queueCycles;
-        break;
-      }
-    }
-    return event;
 }
 
 void
 Mmu::flush()
 {
+    // Architectural state only: the translation memo caches a pure
+    // function of the page table and survives flushes by design.
     tlb_.flush();
     walker_.flushPwcs();
 }

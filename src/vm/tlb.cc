@@ -9,12 +9,15 @@ TlbArray::TlbArray(std::uint32_t entries, std::uint32_t ways)
     : entries_(entries), ways_(ways)
 {
     if (entries_ == 0) {
+        // Absent array: lookups count misses, inserts are dropped,
+        // and no geometry is derived (nothing to divide by).
         ways_ = 0;
         return;
     }
     if (ways_ == 0 || ways_ > entries_)
-        ways_ = entries_; // Fully associative.
-    mosaic_assert(entries_ % ways_ == 0, "entries not divisible by ways");
+        ways_ = entries_; // Clamp to fully associative.
+    mosaic_assert(entries_ % ways_ == 0, "TLB entries ", entries_,
+                  " not divisible by ways ", ways_);
     numSets_ = entries_ / ways_;
     mosaic_assert(isPowerOfTwo(numSets_), "set count must be 2^n, got ",
                   numSets_);
@@ -22,59 +25,12 @@ TlbArray::TlbArray(std::uint32_t entries, std::uint32_t ways)
     storage_.assign(entries_, Way());
 }
 
-bool
-TlbArray::lookup(std::uint64_t key)
-{
-    if (entries_ == 0) {
-        ++misses;
-        return false;
-    }
-    // Low 2 bits of the key carry the page size; index above them.
-    std::uint64_t set = (key >> 2) & setMask_;
-    Way *base = &storage_[set * ways_];
-    ++lruClock_;
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-        if (base[w].valid && base[w].key == key) {
-            base[w].lastUse = lruClock_;
-            ++hits;
-            return true;
-        }
-    }
-    ++misses;
-    return false;
-}
-
-void
-TlbArray::insert(std::uint64_t key)
-{
-    if (entries_ == 0)
-        return;
-    std::uint64_t set = (key >> 2) & setMask_;
-    Way *base = &storage_[set * ways_];
-    ++lruClock_;
-
-    Way *victim = base;
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-        Way &way = base[w];
-        if (way.valid && way.key == key) {
-            way.lastUse = lruClock_; // Already present; refresh.
-            return;
-        }
-        if (!way.valid)
-            victim = &way;
-        else if (victim->valid && way.lastUse < victim->lastUse)
-            victim = &way;
-    }
-    victim->valid = true;
-    victim->key = key;
-    victim->lastUse = lruClock_;
-}
-
 void
 TlbArray::flush()
 {
     storage_.assign(storage_.size(), Way());
     lruClock_ = 0;
+    lastHit_ = kNoWay;
 }
 
 TlbSystem::TlbSystem(const L1TlbConfig &l1, const L2TlbConfig &l2)
@@ -87,64 +43,10 @@ TlbSystem::TlbSystem(const L1TlbConfig &l1, const L2TlbConfig &l2)
 {
 }
 
-bool
-TlbSystem::l2Holds(alloc::PageSize size) const
-{
-    switch (size) {
-      case alloc::PageSize::Page4K:
-        return l2Shared_.present();
-      case alloc::PageSize::Page2M:
-        return l2Config_.shares2m && l2Shared_.present();
-      case alloc::PageSize::Page1G:
-        return l2Huge1g_.present();
-    }
-    return false;
-}
-
 const TlbArray &
 TlbSystem::l1Array(alloc::PageSize size) const
 {
     return l1_[static_cast<std::size_t>(size)];
-}
-
-TlbArray &
-TlbSystem::l1ArrayMut(alloc::PageSize size)
-{
-    return l1_[static_cast<std::size_t>(size)];
-}
-
-TlbOutcome
-TlbSystem::lookup(VirtAddr vaddr, alloc::PageSize size)
-{
-    std::uint64_t key = makeKey(vaddr, size);
-    if (l1ArrayMut(size).lookup(key)) {
-        ++l1HitCount_;
-        return TlbOutcome::L1Hit;
-    }
-    if (l2Holds(size)) {
-        TlbArray &l2 = size == alloc::PageSize::Page1G ? l2Huge1g_
-                                                       : l2Shared_;
-        if (l2.lookup(key)) {
-            // Promote into the L1 on an L2 hit, as the hardware does.
-            l1ArrayMut(size).insert(key);
-            ++l2HitCount_;
-            return TlbOutcome::L2Hit;
-        }
-    }
-    ++fullMissCount_;
-    return TlbOutcome::Miss;
-}
-
-void
-TlbSystem::fill(VirtAddr vaddr, alloc::PageSize size)
-{
-    std::uint64_t key = makeKey(vaddr, size);
-    l1ArrayMut(size).insert(key);
-    if (l2Holds(size)) {
-        TlbArray &l2 = size == alloc::PageSize::Page1G ? l2Huge1g_
-                                                       : l2Shared_;
-        l2.insert(key);
-    }
 }
 
 void

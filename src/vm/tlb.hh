@@ -8,6 +8,11 @@
  * only, Haswell shares 4KB+2MB entries, Broadwell/Skylake additionally
  * have a small 1GB array. Page sizes the L2 cannot hold fall straight
  * through to the page walker, exactly as on the real parts.
+ *
+ * The lookup/insert paths are header-inline: they run once per trace
+ * record in the replay inner loop, and cross-TU calls cost more than
+ * the 4-way scans themselves. The golden-counter suite pins their
+ * observable behaviour (hit/miss counts and LRU order) bit-exactly.
  */
 
 #ifndef MOSAIC_VM_TLB_HH
@@ -29,22 +34,24 @@ namespace mosaic::vm
  * The array stores opaque 64-bit keys; callers encode the virtual page
  * number and (for shared arrays) the page size into the key. The set
  * index is derived from the key's low bits, LRU replacement within a
- * set.
+ * set. Keys must never equal ~0 (the empty-way sentinel); real keys
+ * are derived from 48-bit virtual addresses and cannot reach it.
  */
 class TlbArray
 {
   public:
     /**
      * @param entries total entry count (0 = array absent)
-     * @param ways associativity; clamped to entries (full assoc)
+     * @param ways associativity; 0 or > entries clamps to entries
+     *        (fully associative)
      */
     TlbArray(std::uint32_t entries, std::uint32_t ways);
 
     /** Look up @p key; updates LRU on hit. */
-    bool lookup(std::uint64_t key);
+    inline bool lookup(std::uint64_t key);
 
     /** Install @p key (evicting the set's LRU victim on conflict). */
-    void insert(std::uint64_t key);
+    inline void insert(std::uint64_t key);
 
     /** Drop all entries. */
     void flush();
@@ -58,11 +65,14 @@ class TlbArray
     std::uint64_t misses = 0;
 
   private:
+    /** Key value of an empty way; unreachable for real keys. */
+    static constexpr std::uint64_t kEmptyKey = ~0ULL;
+
+    /** One way: 16 bytes so a 4-way set is a single cache line. */
     struct Way
     {
-        std::uint64_t key = ~0ULL;
+        std::uint64_t key = kEmptyKey;
         std::uint64_t lastUse = 0;
-        bool valid = false;
     };
 
     std::uint32_t entries_;
@@ -71,7 +81,76 @@ class TlbArray
     std::uint64_t setMask_ = 0;
     std::vector<Way> storage_;
     std::uint64_t lruClock_ = 0;
+
+    /** No-memo sentinel for lastHit_. */
+    static constexpr std::uint32_t kNoWay = ~0u;
+
+    /**
+     * Index of the way that served the last hit (repeat-lookup memo).
+     * Checked by key on every use, so eviction or flush cannot make it
+     * serve a stale translation; it only short-circuits the set scan.
+     * An index (not a pointer) keeps copies of the array safe.
+     */
+    std::uint32_t lastHit_ = kNoWay;
 };
+
+bool
+TlbArray::lookup(std::uint64_t key)
+{
+    if (entries_ == 0) {
+        ++misses;
+        return false;
+    }
+    // Repeat-hit fast path: the scan would find this same way and
+    // perform exactly these updates.
+    if (lastHit_ != kNoWay && storage_[lastHit_].key == key) {
+        storage_[lastHit_].lastUse = ++lruClock_;
+        ++hits;
+        return true;
+    }
+    // Low 2 bits of the key carry the page size; index above them.
+    std::uint64_t set = (key >> 2) & setMask_;
+    Way *base = &storage_[set * ways_];
+    ++lruClock_;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (base[w].key == key) {
+            base[w].lastUse = lruClock_;
+            lastHit_ = static_cast<std::uint32_t>(set * ways_ + w);
+            ++hits;
+            return true;
+        }
+    }
+    ++misses;
+    return false;
+}
+
+void
+TlbArray::insert(std::uint64_t key)
+{
+    if (entries_ == 0)
+        return;
+    std::uint64_t set = (key >> 2) & setMask_;
+    Way *base = &storage_[set * ways_];
+    ++lruClock_;
+
+    // Victim choice (pinned by the golden counters): the last empty
+    // way of the set if any way is empty, otherwise the LRU way.
+    Way *victim = base;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        Way &way = base[w];
+        if (way.key == key) {
+            way.lastUse = lruClock_; // Already present; refresh.
+            return;
+        }
+        if (way.key == kEmptyKey)
+            victim = &way;
+        else if (victim->key != kEmptyKey &&
+                 way.lastUse < victim->lastUse)
+            victim = &way;
+    }
+    victim->key = key;
+    victim->lastUse = lruClock_;
+}
 
 /** Split L1 TLB geometry: one array per page size. */
 struct L1TlbConfig
@@ -118,10 +197,10 @@ class TlbSystem
      * Look up @p vaddr, whose page is known to be @p size.
      * On Miss the caller must complete a walk and then call fill().
      */
-    TlbOutcome lookup(VirtAddr vaddr, alloc::PageSize size);
+    inline TlbOutcome lookup(VirtAddr vaddr, alloc::PageSize size);
 
     /** Install a translation after a walk (fills L1 and L2). */
-    void fill(VirtAddr vaddr, alloc::PageSize size);
+    inline void fill(VirtAddr vaddr, alloc::PageSize size);
 
     /** Drop all entries in both levels. */
     void flush();
@@ -135,11 +214,24 @@ class TlbSystem
     std::uint64_t l1Hits() const { return l1HitCount_; }
 
     const TlbArray &l1Array(alloc::PageSize size) const;
+
     const TlbArray &l2Shared() const { return l2Shared_; }
     const TlbArray &l2Huge1g() const { return l2Huge1g_; }
 
     /** True if the L2 can hold translations of @p size. */
-    bool l2Holds(alloc::PageSize size) const;
+    bool
+    l2Holds(alloc::PageSize size) const
+    {
+        switch (size) {
+          case alloc::PageSize::Page4K:
+            return l2Shared_.present();
+          case alloc::PageSize::Page2M:
+            return l2Config_.shares2m && l2Shared_.present();
+          case alloc::PageSize::Page1G:
+            return l2Huge1g_.present();
+        }
+        return false;
+    }
 
   private:
     /** Size-disambiguated lookup key for shared arrays. */
@@ -150,7 +242,11 @@ class TlbSystem
         return (vpn << 2) | static_cast<std::uint64_t>(size);
     }
 
-    TlbArray &l1ArrayMut(alloc::PageSize size);
+    TlbArray &
+    l1ArrayMut(alloc::PageSize size)
+    {
+        return l1_[static_cast<std::size_t>(size)];
+    }
 
     std::array<TlbArray, alloc::numPageSizes> l1_;
     TlbArray l2Shared_;
@@ -161,6 +257,40 @@ class TlbSystem
     std::uint64_t l2HitCount_ = 0;
     std::uint64_t fullMissCount_ = 0;
 };
+
+TlbOutcome
+TlbSystem::lookup(VirtAddr vaddr, alloc::PageSize size)
+{
+    std::uint64_t key = makeKey(vaddr, size);
+    if (l1ArrayMut(size).lookup(key)) {
+        ++l1HitCount_;
+        return TlbOutcome::L1Hit;
+    }
+    if (l2Holds(size)) {
+        TlbArray &l2 = size == alloc::PageSize::Page1G ? l2Huge1g_
+                                                       : l2Shared_;
+        if (l2.lookup(key)) {
+            // Promote into the L1 on an L2 hit, as the hardware does.
+            l1ArrayMut(size).insert(key);
+            ++l2HitCount_;
+            return TlbOutcome::L2Hit;
+        }
+    }
+    ++fullMissCount_;
+    return TlbOutcome::Miss;
+}
+
+void
+TlbSystem::fill(VirtAddr vaddr, alloc::PageSize size)
+{
+    std::uint64_t key = makeKey(vaddr, size);
+    l1ArrayMut(size).insert(key);
+    if (l2Holds(size)) {
+        TlbArray &l2 = size == alloc::PageSize::Page1G ? l2Huge1g_
+                                                       : l2Shared_;
+        l2.insert(key);
+    }
+}
 
 } // namespace mosaic::vm
 

@@ -245,3 +245,63 @@ TEST_F(CampaignFaultTest, FaultyCampaignCompletesReportsAndResumes)
     EXPECT_EQ(reloaded.value().totalRuns(), 55u);
     removeFileIfExists(cache);
 }
+
+/**
+ * Resume-after-checkpoint row uniqueness: a cache CSV damaged into
+ * holding the same (platform, workload, layout) rows twice — the shape
+ * a checkpoint that fired mid-pair plus a later re-append would leave —
+ * must resume into a dataset with every key exactly once, even when
+ * the configured grid also names the pair twice.
+ */
+TEST_F(CampaignFaultTest, ResumeAfterCheckpointNeverDuplicatesRows)
+{
+    std::string cache = "test_campaign_dedup.csv";
+    removeFileIfExists(cache);
+
+    CampaignConfig config = faultConfig();
+    config.workloads = {"gups/8GB"};
+    config.platforms = {cpu::sandyBridge()};
+    config.threads = 2;
+    CampaignRunner runner(config);
+
+    // A complete pair to damage.
+    CampaignReport first = runner.runReport(cache);
+    ASSERT_TRUE(first.allOk());
+    const auto &complete = first.dataset.runs("SandyBridge", "gups/8GB");
+    ASSERT_EQ(complete.size(), 55u);
+
+    // Partial cache with duplicates: the first 10 cells twice over,
+    // the remaining 45 missing.
+    Dataset damaged;
+    for (std::size_t i = 0; i < 10; ++i)
+        damaged.add(complete[i]);
+    for (std::size_t i = 0; i < 10; ++i)
+        damaged.add(complete[i]);
+    damaged.save(cache);
+    ASSERT_EQ(Dataset::loadResult(cache).value().totalRuns(), 20u);
+
+    // Resume with the pair listed twice in the grid for good measure.
+    CampaignConfig doubled = config;
+    doubled.workloads = {"gups/8GB", "gups/8GB"};
+    CampaignRunner resumer(doubled);
+    CampaignReport second = resumer.runReport(cache);
+    EXPECT_TRUE(second.allOk());
+    EXPECT_EQ(second.cellsResumed, 10u);
+    EXPECT_EQ(second.cellsCompleted, 45u);
+
+    // Every key appears exactly once, in memory and in the saved CSV.
+    auto assertUnique = [](const Dataset &dataset) {
+        const auto &runs = dataset.runs("SandyBridge", "gups/8GB");
+        EXPECT_EQ(runs.size(), 55u);
+        std::set<std::string> layouts;
+        for (const auto &record : runs)
+            EXPECT_TRUE(layouts.insert(record.layout).second)
+                << "duplicate row for layout " << record.layout;
+    };
+    assertUnique(second.dataset);
+    auto reloaded = Dataset::loadResult(cache);
+    ASSERT_TRUE(reloaded.ok());
+    assertUnique(reloaded.value());
+    EXPECT_EQ(reloaded.value().totalRuns(), 55u);
+    removeFileIfExists(cache);
+}

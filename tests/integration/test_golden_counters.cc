@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Golden-counter regression suite.
+ *
+ * Replay hot-path optimizations must never change simulated semantics:
+ * for a fixed synthetic trace, the PMU readout (R, H, M, C) must stay
+ * bit-identical on every modelled platform and layout. The goldens
+ * below were captured from the unoptimized replay path; any divergence
+ * means an "optimization" silently changed the simulation.
+ *
+ * To recapture after an *intentional* semantic change (and only then),
+ * run with MOSAIC_GOLDEN_PRINT=1 and paste the printed rows:
+ *
+ *   MOSAIC_GOLDEN_PRINT=1 ./tests/test_integration \
+ *       --gtest_filter='GoldenCounters.*'
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "cpu/platform.hh"
+#include "cpu/system.hh"
+#include "mosalloc/mosalloc.hh"
+#include "trace/synth.hh"
+
+using namespace mosaic;
+
+namespace
+{
+
+constexpr Bytes kFootprint = 48_MiB;
+constexpr Bytes kPool = 1_GiB;
+constexpr std::uint64_t kRecords = 150000;
+
+/** The layout grid: uniform 4K/2M/1G plus a mixed 2MB window. */
+alloc::MosaicLayout
+layoutByName(const std::string &name)
+{
+    if (name == "all4k")
+        return alloc::MosaicLayout(kPool);
+    if (name == "all2m")
+        return alloc::MosaicLayout::uniform(kPool, alloc::PageSize::Page2M);
+    if (name == "all1g")
+        return alloc::MosaicLayout::uniform(kPool, alloc::PageSize::Page1G);
+    if (name == "win2m")
+        return alloc::MosaicLayout::withWindow(kPool, 0, 24_MiB,
+                                               alloc::PageSize::Page2M);
+    ADD_FAILURE() << "unknown layout " << name;
+    return alloc::MosaicLayout(kPool);
+}
+
+cpu::RunResult
+runCell(const std::string &platform_name, const std::string &layout_name)
+{
+    alloc::MosallocConfig config;
+    config.heapLayout = layoutByName(layout_name);
+    config.anonLayout = alloc::MosaicLayout(16_MiB);
+    alloc::Mosalloc allocator(config);
+    VirtAddr base = allocator.malloc(kFootprint);
+
+    trace::SynthTraceParams synth;
+    synth.records = kRecords;
+    synth.base = base;
+    synth.footprint = kFootprint;
+    trace::MemoryTrace trace = trace::makeSynthTrace(synth);
+
+    cpu::System system(cpu::platformByName(platform_name), allocator);
+    return system.run(trace);
+}
+
+struct Golden
+{
+    const char *platform;
+    const char *layout;
+    std::uint64_t r;
+    std::uint64_t h;
+    std::uint64_t m;
+    std::uint64_t c;
+};
+
+constexpr const char *kLayouts[] = {"all4k", "all2m", "all1g", "win2m"};
+
+// Captured from the pre-optimization replay path (see file comment).
+constexpr Golden kGolden[] = {
+    // clang-format off
+    {"SandyBridge", "all4k", 4272958ULL, 15243ULL, 43615ULL, 1782620ULL},
+    {"SandyBridge", "all2m", 3055553ULL, 0ULL, 24ULL, 1084ULL},
+    {"SandyBridge", "all1g", 3054748ULL, 0ULL, 1ULL, 400ULL},
+    {"SandyBridge", "win2m", 3399314ULL, 970ULL, 12559ULL, 819498ULL},
+    {"IvyBridge", "all4k", 4272958ULL, 15243ULL, 43615ULL, 1782620ULL},
+    {"IvyBridge", "all2m", 3055553ULL, 0ULL, 24ULL, 1084ULL},
+    {"IvyBridge", "all1g", 3054748ULL, 0ULL, 1ULL, 400ULL},
+    {"IvyBridge", "win2m", 3399314ULL, 970ULL, 12559ULL, 819498ULL},
+    {"Haswell", "all4k", 3900850ULL, 26307ULL, 32551ULL, 1240380ULL},
+    {"Haswell", "all2m", 3094601ULL, 0ULL, 24ULL, 1134ULL},
+    {"Haswell", "all1g", 3093754ULL, 0ULL, 1ULL, 420ULL},
+    {"Haswell", "win2m", 3340386ULL, 2028ULL, 11501ULL, 559782ULL},
+    {"Broadwell", "all4k", 2325387ULL, 31716ULL, 27142ULL, 1111750ULL},
+    {"Broadwell", "all2m", 2040898ULL, 0ULL, 24ULL, 934ULL},
+    {"Broadwell", "all1g", 2040385ULL, 0ULL, 1ULL, 340ULL},
+    {"Broadwell", "win2m", 2135822ULL, 3002ULL, 10527ULL, 481614ULL},
+    {"Skylake", "all4k", 2318275ULL, 31716ULL, 27142ULL, 1111750ULL},
+    {"Skylake", "all2m", 2022736ULL, 0ULL, 24ULL, 934ULL},
+    {"Skylake", "all1g", 2022227ULL, 0ULL, 1ULL, 340ULL},
+    {"Skylake", "win2m", 2117094ULL, 3002ULL, 10527ULL, 481614ULL},
+    // clang-format on
+};
+
+} // namespace
+
+TEST(GoldenCounters, CountersBitIdenticalOnEveryPlatform)
+{
+    if (std::getenv("MOSAIC_GOLDEN_PRINT")) {
+        for (const auto &platform : cpu::allPlatforms()) {
+            for (const char *layout : kLayouts) {
+                auto res = runCell(platform.name, layout);
+                std::printf("    {\"%s\", \"%s\", %lluULL, %lluULL, "
+                            "%lluULL, %lluULL},\n",
+                            platform.name.c_str(), layout,
+                            static_cast<unsigned long long>(
+                                res.runtimeCycles),
+                            static_cast<unsigned long long>(res.tlbHitsL2),
+                            static_cast<unsigned long long>(res.tlbMisses),
+                            static_cast<unsigned long long>(
+                                res.walkCycles));
+            }
+        }
+        GTEST_SKIP() << "golden print mode: no assertions";
+    }
+
+    ASSERT_GT(std::size(kGolden), 0u)
+        << "golden table is empty; capture with MOSAIC_GOLDEN_PRINT=1";
+    for (const auto &golden : kGolden) {
+        SCOPED_TRACE(std::string(golden.platform) + "/" + golden.layout);
+        auto res = runCell(golden.platform, golden.layout);
+        EXPECT_EQ(res.runtimeCycles, golden.r);
+        EXPECT_EQ(res.tlbHitsL2, golden.h);
+        EXPECT_EQ(res.tlbMisses, golden.m);
+        EXPECT_EQ(res.walkCycles, golden.c);
+    }
+}
+
+TEST(GoldenCounters, SynthTraceIsDeterministic)
+{
+    trace::SynthTraceParams params;
+    params.records = 5000;
+    params.base = 0x4000000000ULL;
+    params.footprint = 8_MiB;
+    auto a = trace::makeSynthTrace(params);
+    auto b = trace::makeSynthTrace(params);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a.records()[i].vaddr, b.records()[i].vaddr) << i;
+        ASSERT_EQ(a.records()[i].gap, b.records()[i].gap) << i;
+        ASSERT_EQ(a.records()[i].isWrite, b.records()[i].isWrite) << i;
+        ASSERT_EQ(a.records()[i].dependsOnPrev,
+                  b.records()[i].dependsOnPrev)
+            << i;
+    }
+}

@@ -222,3 +222,107 @@ TEST_P(TlbReachTest, WorkingSetsWithinL1ReachNeverMissTwice)
 
 INSTANTIATE_TEST_SUITE_P(Sweep, TlbReachTest,
                          ::testing::Values(1u, 4u, 8u, 16u, 32u));
+
+namespace
+{
+
+/** One TLB array geometry from Table 4 of the paper. */
+struct TlbShape
+{
+    const char *label;
+    std::uint32_t entries;
+    std::uint32_t ways;
+    std::uint32_t expectWays;
+    std::uint32_t expectSets;
+};
+
+} // namespace
+
+class TlbShapeTest : public ::testing::TestWithParam<TlbShape>
+{
+};
+
+TEST_P(TlbShapeTest, GeometryDerivesAndClampsSafely)
+{
+    // Regression for the ctor hardening: every Table-4 shape —
+    // including the degenerate ones (absent arrays, ways exceeding
+    // entries) — must derive a sane geometry instead of dividing by
+    // zero or mis-sizing the set count.
+    const TlbShape &shape = GetParam();
+    TlbArray array(shape.entries, shape.ways);
+    EXPECT_EQ(array.present(), shape.entries != 0) << shape.label;
+    EXPECT_EQ(array.numEntries(), shape.entries) << shape.label;
+    EXPECT_EQ(array.numWays(), shape.expectWays) << shape.label;
+    EXPECT_EQ(array.numSets(), shape.expectSets) << shape.label;
+}
+
+TEST_P(TlbShapeTest, FillsToCapacityAndNoFurther)
+{
+    // Insert exactly `entries` keys that spread across all sets, then
+    // `entries` more: a correct geometry retains exactly one array's
+    // worth; a mis-derived set mask would thrash or alias.
+    const TlbShape &shape = GetParam();
+    TlbArray array(shape.entries, shape.ways);
+    if (shape.entries == 0) {
+        array.insert(4); // must be a harmless no-op
+        EXPECT_FALSE(array.lookup(4));
+        return;
+    }
+    for (std::uint64_t k = 0; k < shape.entries; ++k)
+        array.insert(k << 2);
+    unsigned resident = 0;
+    for (std::uint64_t k = 0; k < shape.entries; ++k)
+        resident += array.lookup(k << 2) ? 1 : 0;
+    EXPECT_EQ(resident, shape.entries) << shape.label;
+
+    for (std::uint64_t k = shape.entries; k < 2 * shape.entries; ++k)
+        array.insert(k << 2);
+    resident = 0;
+    for (std::uint64_t k = 0; k < 2 * shape.entries; ++k)
+        resident += array.lookup(k << 2) ? 1 : 0;
+    EXPECT_EQ(resident, shape.entries) << shape.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table4, TlbShapeTest,
+    ::testing::Values(
+        // L1 arrays (all generations).
+        TlbShape{"l1_4k_64x4", 64, 4, 4, 16},
+        TlbShape{"l1_2m_32x4", 32, 4, 4, 8},
+        // The 4-entry 1GB array: ways == entries, fully associative.
+        TlbShape{"l1_1g_4x4", 4, 4, 4, 1},
+        // ways > entries must clamp to fully associative, not assert.
+        TlbShape{"l1_1g_4x16_clamped", 4, 16, 4, 1},
+        // ways == 0 likewise means fully associative.
+        TlbShape{"l1_1g_4x0_clamped", 4, 0, 4, 1},
+        // L2 arrays: SNB/IVB, HSW, BDW/SKL (+ the 16-entry 1GB side
+        // array, fully associative).
+        TlbShape{"l2_snb_512x4", 512, 4, 4, 128},
+        TlbShape{"l2_hsw_1024x8", 1024, 8, 8, 128},
+        TlbShape{"l2_bdw_1536x12", 1536, 12, 12, 128},
+        TlbShape{"l2_bdw_1g_16x16", 16, 16, 16, 1},
+        // Absent arrays (SNB has no L2 1GB entries): 0 entries must
+        // not derive any geometry.
+        TlbShape{"absent_0x0", 0, 0, 0, 0},
+        TlbShape{"absent_0x4", 0, 4, 0, 0}));
+
+TEST(TlbSystem, FullyAssociative1gArrayRetainsFourPages)
+{
+    // The 4-entry fully-associative L1 1GB array on a platform with no
+    // L2 1GB backing (SandyBridge): 4 huge pages round-robin must miss
+    // once each, and a 5th must evict the LRU one.
+    TlbSystem tlb(L1TlbConfig{}, sandyBridgeL2());
+    for (int round = 0; round < 3; ++round) {
+        for (std::uint64_t p = 0; p < 4; ++p) {
+            if (tlb.lookup(p * 1_GiB, PageSize::Page1G) ==
+                TlbOutcome::Miss)
+                tlb.fill(p * 1_GiB, PageSize::Page1G);
+        }
+    }
+    EXPECT_EQ(tlb.fullMisses(), 4u);
+
+    tlb.fill(4 * 1_GiB, PageSize::Page1G); // evicts the LRU page (0)
+    EXPECT_EQ(tlb.lookup(0, PageSize::Page1G), TlbOutcome::Miss);
+    EXPECT_EQ(tlb.lookup(4 * 1_GiB, PageSize::Page1G),
+              TlbOutcome::L1Hit);
+}
