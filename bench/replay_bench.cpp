@@ -15,9 +15,13 @@
  *   replay_bench [--records N] [--reps R] [--footprint-mb M]
  *                [--out BENCH_replay.json] [--baseline OLD.json]
  *                [--baseline-source LABEL] [--quick]
+ *                [--metrics-out FILE]
  *
  * --baseline embeds the aggregate numbers of a previous run (e.g. the
  * pre-optimization build) into the output, plus the speedup ratio.
+ * --metrics-out additionally dumps the shared metrics registry (the
+ * same replay phases and counters the campaign reports through) as a
+ * JSON run manifest.
  */
 
 #include <algorithm>
@@ -32,6 +36,7 @@
 #include "cpu/platform.hh"
 #include "cpu/system.hh"
 #include "mosalloc/mosalloc.hh"
+#include "support/metrics.hh"
 #include "trace/synth.hh"
 
 namespace
@@ -47,15 +52,6 @@ struct BenchRun
     double recordsPerSec = 0.0;
     cpu::RunResult result;
 };
-
-double
-nowSeconds()
-{
-    using clock = std::chrono::steady_clock;
-    return std::chrono::duration<double>(
-               clock::now().time_since_epoch())
-        .count();
-}
 
 /** Pull "key": number out of a previously written bench JSON. */
 bool
@@ -153,12 +149,17 @@ main(int argc, char **argv)
             run.wallSeconds = 1e300;
             for (int rep = 0; rep < reps; ++rep) {
                 // Fresh machine per rep: cold TLBs and caches, so
-                // every rep replays the identical work.
+                // every rep replays the identical work. Wall time
+                // comes from the shared metrics registry — System::run
+                // publishes each replay into the "replay/run" phase —
+                // so the bench and --metrics-out report from one
+                // source instead of ad-hoc counters.
                 cpu::System system(platform, allocator);
-                double start = nowSeconds();
+                PhaseStats before = mosaic::metrics().phase("replay/run");
                 run.result = system.run(trace);
-                run.wallSeconds =
-                    std::min(run.wallSeconds, nowSeconds() - start);
+                PhaseStats after = mosaic::metrics().phase("replay/run");
+                run.wallSeconds = std::min(
+                    run.wallSeconds, after.seconds - before.seconds);
             }
             run.recordsPerSec =
                 static_cast<double>(records) / run.wallSeconds;
@@ -253,5 +254,24 @@ main(int argc, char **argv)
     out << json.str();
     out.close();
     std::printf("wrote %s\n", out_path.c_str());
+
+    const std::string metrics_out =
+        getOpt(argc, argv, "--metrics-out", "");
+    if (!metrics_out.empty()) {
+        mosaic::RunManifest manifest("replay_bench");
+        manifest.setConfig("records", records);
+        manifest.setConfig("reps", static_cast<std::uint64_t>(reps));
+        manifest.setConfig("footprint_bytes", footprint);
+        manifest.setConfig("out", out_path);
+        auto written = manifest.write(metrics_out, mosaic::metrics());
+        if (!written.ok()) {
+            std::fprintf(stderr,
+                         "warn: cannot write metrics manifest %s: %s\n",
+                         metrics_out.c_str(),
+                         written.error().str().c_str());
+        } else {
+            std::printf("wrote %s\n", metrics_out.c_str());
+        }
+    }
     return 0;
 }

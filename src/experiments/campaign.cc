@@ -3,6 +3,7 @@
 #include <array>
 #include <atomic>
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
@@ -12,6 +13,7 @@
 #include "cpu/system.hh"
 #include "support/io_util.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
 #include "support/retry.hh"
 #include "trace/miss_profile.hh"
 #include "trace/trace_io.hh"
@@ -19,12 +21,8 @@
 namespace mosaic::exp
 {
 
-namespace
-{
-
-/** Turn "spec06/mcf" into a filesystem-safe cache file stem. */
 std::string
-sanitizeLabel(const std::string &label)
+traceCacheStem(const std::string &label)
 {
     std::string out = label;
     for (char &c : out) {
@@ -33,8 +31,18 @@ sanitizeLabel(const std::string &label)
             c = '_';
         }
     }
-    return out;
+    // Sanitizing alone collides distinct labels ("spec06/mcf" and
+    // "spec06_mcf" both map to "spec06_mcf"), which would let one
+    // workload silently replay another's cached trace. A short hash of
+    // the raw label keeps the stem unique per label.
+    char hash[16];
+    std::snprintf(hash, sizeof hash, "-%08x",
+                  crc32(label.data(), label.size()));
+    return out + hash;
 }
+
+namespace
+{
 
 /**
  * Produce the workload's trace, preferring the binary cache when
@@ -46,6 +54,7 @@ Result<trace::MemoryTrace>
 obtainTrace(const workloads::Workload &workload,
             const CampaignConfig &config, std::size_t &retries)
 {
+    ScopedTimer timer(metrics(), "campaign/trace");
     const std::string label = workload.info().label();
     std::string cache_path;
     if (!config.traceCacheDir.empty()) {
@@ -56,7 +65,7 @@ obtainTrace(const workloads::Workload &workload,
             mosaic_warn("trace cache disabled: ", made.error().str());
         } else {
             cache_path = config.traceCacheDir + "/" +
-                         sanitizeLabel(label) + ".mtrc";
+                         traceCacheStem(label) + ".mtrc";
         }
     }
     if (!cache_path.empty()) {
@@ -67,8 +76,11 @@ obtainTrace(const workloads::Workload &workload,
                 [&] { return trace::loadTraceResult(cache_path); },
                 &attempt_retries);
             retries += attempt_retries;
-            if (loaded.ok())
+            if (loaded.ok()) {
+                metrics().add("campaign/trace_cache_hits");
                 return loaded;
+            }
+            metrics().add("campaign/trace_cache_regens");
             if (loaded.error().category() == ErrorCategory::Corrupt) {
                 mosaic_warn("trace cache for ", label, " is corrupt (",
                             loaded.error().str(), "); regenerating");
@@ -77,11 +89,14 @@ obtainTrace(const workloads::Workload &workload,
                 mosaic_warn("trace cache for ", label, " unreadable (",
                             loaded.error().str(), "); regenerating");
             }
+        } else {
+            metrics().add("campaign/trace_cache_misses");
         }
     }
 
     trace::MemoryTrace generated;
     try {
+        ScopedTimer generate(metrics(), "campaign/trace/generate");
         generated = workload.generateTrace();
     } catch (const std::exception &e) {
         return Error(ErrorCategory::Internal,
@@ -99,6 +114,7 @@ obtainTrace(const workloads::Workload &workload,
         if (!saved.ok()) {
             // The cache is an optimization; losing it is not a cell
             // failure.
+            metrics().add("campaign/trace_cache_save_failures");
             mosaic_warn("cannot cache trace for ", label, ": ",
                         saved.error().str());
         }
@@ -185,6 +201,7 @@ CampaignRunner::runPair(const workloads::Workload &workload,
     for (const auto &named : layouts) {
         if (done_layouts && done_layouts->count(named.name))
             continue;
+        ScopedTimer cell_timer(metrics(), "campaign/cell");
         try {
             RunRecord record;
             record.platform = platform.name;
@@ -196,6 +213,7 @@ CampaignRunner::runPair(const workloads::Workload &workload,
         } catch (const std::exception &e) {
             // One bad cell must not take down the pair: record it and
             // keep simulating the remaining layouts.
+            metrics().add("campaign/cells_failed");
             failures.push_back(
                 {platform.name, label, named.name,
                  Error(ErrorCategory::Internal, e.what())});
@@ -232,6 +250,7 @@ CampaignRunner::runImpl(const std::string *cache_path)
         std::ifstream probe(*cache_path);
         if (probe.good()) {
             probe.close();
+            ScopedTimer resume_timer(metrics(), "campaign/resume");
             std::size_t load_retries = 0;
             auto cached = retryWithBackoff(
                 config_.retry,
@@ -257,6 +276,8 @@ CampaignRunner::runImpl(const std::string *cache_path)
                         }
                     }
                 }
+                metrics().add("campaign/cells_resumed",
+                              report.cellsResumed);
                 if (config_.verbose && report.cellsResumed > 0) {
                     mosaic_inform("campaign: resuming, ",
                                   report.cellsResumed,
@@ -289,10 +310,12 @@ CampaignRunner::runImpl(const std::string *cache_path)
     std::atomic<std::size_t> next{0};
     std::size_t done_count = 0;
     std::size_t since_checkpoint = 0;
+    StopWatch campaign_watch;
 
     auto checkpoint = [&]() {
         // Called under merge_mutex. Checkpoint loss is survivable (the
         // final save still happens); warn and continue.
+        ScopedTimer checkpoint_timer(metrics(), "campaign/checkpoint");
         std::size_t save_retries = 0;
         auto saved = retryWithBackoff(
             config_.retry,
@@ -301,6 +324,7 @@ CampaignRunner::runImpl(const std::string *cache_path)
         report.retriesPerformed += save_retries;
         if (saved.ok()) {
             ++report.checkpointsWritten;
+            metrics().add("campaign/checkpoints");
         } else {
             mosaic_warn("campaign checkpoint to ", *cache_path,
                         " failed: ", saved.error().str());
@@ -349,15 +373,37 @@ CampaignRunner::runImpl(const std::string *cache_path)
                 }
                 report.cellsCompleted += added;
                 report.retriesPerformed += retries;
+                metrics().add("campaign/cells_completed", added);
+                if (retries > 0)
+                    metrics().add("campaign/retries", retries);
+                if (!failures.empty())
+                    metrics().add("campaign/failures", failures.size());
                 for (auto &failure : failures)
                     report.failures.push_back(std::move(failure));
 
                 std::size_t completed = ++done_count;
                 if (config_.verbose) {
+                    // Heartbeat: progress plus throughput and ETA, so
+                    // a long grid is never a silent black box.
+                    double elapsed = campaign_watch.elapsedSeconds();
+                    double rate = elapsed > 0.0
+                                      ? static_cast<double>(completed) /
+                                            elapsed
+                                      : 0.0;
+                    double eta =
+                        rate > 0.0
+                            ? static_cast<double>(tasks.size() -
+                                                  completed) /
+                                  rate
+                            : 0.0;
+                    char pace[64];
+                    std::snprintf(pace, sizeof pace,
+                                  "%.2f pairs/sec, ETA %.0fs", rate,
+                                  eta);
                     mosaic_inform("campaign: ", completed, "/",
                                   tasks.size(), " pairs done (",
                                   task.platform->name, " ",
-                                  task.workload, ")");
+                                  task.workload, ") — ", pace);
                 }
                 if (cache_path && config_.checkpointEvery > 0 &&
                     ++since_checkpoint >= config_.checkpointEvery &&
@@ -378,6 +424,7 @@ CampaignRunner::runImpl(const std::string *cache_path)
         thread.join();
 
     if (cache_path) {
+        ScopedTimer save_timer(metrics(), "campaign/save");
         std::size_t save_retries = 0;
         auto saved = retryWithBackoff(
             config_.retry,
@@ -430,9 +477,20 @@ CampaignRunner::loadOrRun(const std::string &cache_path)
             bool complete = true;
             for (const auto &label : config_.workloads) {
                 for (const auto &platform : config_.platforms) {
-                    if (!cached.value().has(platform.name, label) ||
-                        cached.value().runs(platform.name, label).size() <
-                            expectedCellsPerPair()) {
+                    if (!cached.value().has(platform.name, label)) {
+                        complete = false;
+                        break;
+                    }
+                    // Count distinct layouts, not raw rows: a cache
+                    // holding duplicate rows but missing layouts must
+                    // read as incomplete, or the missing cells would
+                    // never be simulated (mirrors the admitted-set
+                    // dedup in runImpl).
+                    std::set<std::string> distinct;
+                    for (const auto &record :
+                         cached.value().runs(platform.name, label))
+                        distinct.insert(record.layout);
+                    if (distinct.size() < expectedCellsPerPair()) {
                         complete = false;
                         break;
                     }

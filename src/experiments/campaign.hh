@@ -165,6 +165,13 @@ class CampaignRunner
     CampaignConfig config_;
 };
 
+/**
+ * Filesystem-safe trace-cache file stem for a workload label:
+ * sanitized label plus a short hash of the raw label, so distinct
+ * labels ("spec06/mcf" vs "spec06_mcf") never share a cache file.
+ */
+std::string traceCacheStem(const std::string &label);
+
 /** Default cache location used by all bench binaries and examples. */
 std::string defaultDatasetPath();
 

@@ -184,26 +184,26 @@ Dataset::loadResult(const std::string &path, DatasetLoadStats *stats)
             record.workload = fields[1];
             record.layout = fields[2];
             auto &r = record.result;
+            // Strict full-match parses: std::stoull would admit "-1"
+            // (wrapping to 2^64-1) and "123abc" (ignoring the tail) —
+            // garbage counters that would silently poison the (R, H,
+            // M, C) dataset the models are fitted on.
+            std::uint64_t *counters[] = {
+                &r.runtimeCycles,   &r.tlbHitsL2,
+                &r.tlbMisses,       &r.walkCycles,
+                &r.instructions,    &r.memoryRefs,
+                &r.l1TlbHits,       &r.walkerQueueCycles,
+                &r.progL1dLoads,    &r.progL2Loads,
+                &r.progL3Loads,     &r.progDramLoads,
+                &r.walkL1dLoads,    &r.walkL2Loads,
+                &r.walkL3Loads,     &r.walkDramLoads,
+            };
             std::size_t i = 3;
-            try {
-                r.runtimeCycles = std::stoull(fields[i++]);
-                r.tlbHitsL2 = std::stoull(fields[i++]);
-                r.tlbMisses = std::stoull(fields[i++]);
-                r.walkCycles = std::stoull(fields[i++]);
-                r.instructions = std::stoull(fields[i++]);
-                r.memoryRefs = std::stoull(fields[i++]);
-                r.l1TlbHits = std::stoull(fields[i++]);
-                r.walkerQueueCycles = std::stoull(fields[i++]);
-                r.progL1dLoads = std::stoull(fields[i++]);
-                r.progL2Loads = std::stoull(fields[i++]);
-                r.progL3Loads = std::stoull(fields[i++]);
-                r.progDramLoads = std::stoull(fields[i++]);
-                r.walkL1dLoads = std::stoull(fields[i++]);
-                r.walkL2Loads = std::stoull(fields[i++]);
-                r.walkL3Loads = std::stoull(fields[i++]);
-                r.walkDramLoads = std::stoull(fields[i++]);
-            } catch (const std::exception &) {
-                good = false;
+            for (std::uint64_t *counter : counters) {
+                if (!parseUnsignedFull(fields[i++], *counter)) {
+                    good = false;
+                    break;
+                }
             }
         }
         if (!good) {

@@ -6,6 +6,7 @@
 #include "models/regression_models.hh"
 #include "stats/kfold.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
 #include "support/str.hh"
 
 namespace mosaic::models
@@ -94,6 +95,8 @@ Mosmodel::fit(const SampleSet &data)
     // when the numerics fail (non-finite values, divergence) instead
     // of publishing silent garbage. A non-converged result is kept
     // only if no lower degree fully converges.
+    ScopedTimer fit_timer(metrics(), "fit/mosmodel");
+    metrics().add("fit/mosmodel_fits");
     std::string first_failure;
     for (unsigned degree = config_.degree; degree >= 1; --degree) {
         stats::PolynomialFeatures features(num_inputs, degree);
@@ -110,6 +113,9 @@ Mosmodel::fit(const SampleSet &data)
         if (config_.autoLambda && !config_.lambdaGrid.empty() &&
             rows.size() >= 2 * config_.lambdaFolds) {
             try {
+                ScopedTimer sweep_timer(metrics(), "fit/lambda_select");
+                metrics().add("fit/lambda_sweeps",
+                              config_.lambdaGrid.size());
                 lasso.lambdaRatio = selectLambda(design, target);
             } catch (const std::exception &e) {
                 mosaic_warn("Mosmodel: lambda selection failed (",
@@ -141,13 +147,18 @@ Mosmodel::fit(const SampleSet &data)
             continue;
         }
         if (!result.value().converged) {
+            metrics().add("fit/nonconverged_kept");
             mosaic_warn("Mosmodel: linear fit did not converge; keeping "
                         "its coefficients");
         }
         if (degree < config_.degree) {
+            metrics().add("fit/degree_fallbacks",
+                          config_.degree - degree);
             mosaic_warn("Mosmodel: degraded from degree ",
                         config_.degree, " to degree ", degree);
         }
+        metrics().set("fit/last_lambda_ratio", lasso.lambdaRatio);
+        metrics().set("fit/last_degree", static_cast<double>(degree));
         chosenLambdaRatio_ = lasso.lambdaRatio;
         result_ = std::move(result.value());
         features_ = std::move(features);

@@ -6,6 +6,7 @@
 #include "stats/scaler.hh"
 #include "support/fault_injector.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
 
 namespace mosaic::stats
 {
@@ -45,6 +46,9 @@ fitLassoChecked(const Matrix &x_in, const Vector &y,
     const std::size_t p = x_in.cols();
     mosaic_assert(y.size() == n, "target length mismatch");
     mosaic_assert(n >= 2, "need at least two samples");
+
+    metrics().add("lasso/fits");
+    ScopedTimer timer(metrics(), "fit/lasso");
 
     Matrix x = x_in;
     if (faults().shouldFail(FaultSite::LassoNan) && n > 0 && p > 0)
@@ -177,6 +181,9 @@ fitLassoChecked(const Matrix &x_in, const Vector &y,
     }
     result.iterations = iter + 1;
     result.converged = converged;
+    metrics().add("lasso/iterations", result.iterations);
+    if (!converged)
+        metrics().add("lasso/nonconverged");
 
     if (!std::isfinite(result.intercept)) {
         return numericError("Lasso fit produced a non-finite intercept");

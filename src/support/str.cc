@@ -39,6 +39,24 @@ trimString(const std::string &text)
     return std::string(begin, end);
 }
 
+bool
+parseUnsignedFull(const std::string &text, std::uint64_t &out)
+{
+    if (text.empty())
+        return false;
+    std::uint64_t value = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9')
+            return false;
+        std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+        if (value > (UINT64_MAX - digit) / 10)
+            return false; // would overflow rather than wrap
+        value = value * 10 + digit;
+    }
+    out = value;
+    return true;
+}
+
 std::string
 formatDouble(double value, int precision)
 {

@@ -6,6 +6,7 @@
 #ifndef MOSAIC_SUPPORT_STR_HH
 #define MOSAIC_SUPPORT_STR_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,14 @@ std::vector<std::string> splitString(const std::string &text, char delim);
 
 /** Strip leading/trailing whitespace. */
 std::string trimString(const std::string &text);
+
+/**
+ * Strict full-match unsigned decimal parse: the entire field must be
+ * digits (no sign, no leading/trailing junk, no overflow past 2^64-1).
+ * Unlike std::stoull, "-1" and "123abc" are rejected instead of
+ * silently wrapping or truncating. @return false on any violation.
+ */
+bool parseUnsignedFull(const std::string &text, std::uint64_t &out);
 
 /** Format a double with @p precision significant decimal digits. */
 std::string formatDouble(double value, int precision = 3);

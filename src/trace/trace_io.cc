@@ -5,6 +5,7 @@
 
 #include "support/fault_injector.hh"
 #include "support/io_util.hh"
+#include "support/metrics.hh"
 
 namespace mosaic::trace
 {
@@ -50,6 +51,8 @@ using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 Result<void>
 saveTraceResult(const MemoryTrace &trace, const std::string &path)
 {
+    ScopedTimer timer(metrics(), "trace/save");
+    metrics().add("trace/saves");
     const std::string tmp = tempPathFor(path);
     FilePtr file(std::fopen(tmp.c_str(), "wb"));
     if (!file || faults().shouldFail(FaultSite::TraceOpen))
@@ -124,6 +127,8 @@ saveTraceResult(const MemoryTrace &trace, const std::string &path)
 Result<MemoryTrace>
 loadTraceResult(const std::string &path)
 {
+    ScopedTimer timer(metrics(), "trace/load");
+    metrics().add("trace/loads");
     FilePtr file(std::fopen(path.c_str(), "rb"));
     if (!file || faults().shouldFail(FaultSite::TraceOpen))
         return ioError("cannot open " + path);

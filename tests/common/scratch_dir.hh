@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Unique temp-dir scratch space for tests.
+ *
+ * Tests used to write fixed-name files and directories into the CWD
+ * ("test_campaign_dead_cache/", "test_dataset_roundtrip.csv"), which
+ * collides under parallel ctest and leaves artifacts behind whenever a
+ * test aborts before its manual cleanup line — one such directory was
+ * sitting in the repo root. ScratchDir gives each test an
+ * mkdtemp-unique directory under $TMPDIR and removes it recursively on
+ * destruction, even when assertions fail mid-test.
+ */
+
+#ifndef MOSAIC_TESTS_COMMON_SCRATCH_DIR_HH
+#define MOSAIC_TESTS_COMMON_SCRATCH_DIR_HH
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+namespace mosaic::test
+{
+
+/** RAII unique scratch directory, recursively deleted on destruction. */
+class ScratchDir
+{
+  public:
+    explicit ScratchDir(const std::string &tag = "mosaic_test")
+    {
+        const char *base = std::getenv("TMPDIR");
+        std::string pattern =
+            std::string(base && *base ? base : "/tmp") + "/" + tag +
+            ".XXXXXX";
+        std::vector<char> buffer(pattern.begin(), pattern.end());
+        buffer.push_back('\0');
+        if (::mkdtemp(buffer.data()) != nullptr)
+            path_ = buffer.data();
+    }
+
+    ~ScratchDir()
+    {
+        if (!path_.empty()) {
+            std::error_code ec;
+            std::filesystem::remove_all(path_, ec);
+        }
+    }
+
+    ScratchDir(const ScratchDir &) = delete;
+    ScratchDir &operator=(const ScratchDir &) = delete;
+
+    /** Absolute path of the directory ("" if creation failed). */
+    const std::string &path() const { return path_; }
+
+    /** Absolute path of @p name inside the scratch directory. */
+    std::string
+    file(const std::string &name) const
+    {
+        return path_ + "/" + name;
+    }
+
+  private:
+    std::string path_;
+};
+
+} // namespace mosaic::test
+
+#endif // MOSAIC_TESTS_COMMON_SCRATCH_DIR_HH

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+
 #include "experiments/campaign.hh"
 #include "support/random.hh"
 
@@ -108,6 +110,26 @@ TEST(Campaign, CountersOrderedByCoverage)
     for (const auto &sample : set.samples) {
         EXPECT_LE(sample.m, set.all4k.m * 1.01) << sample.layoutName;
         EXPECT_GE(sample.m, set.all2m.m * 0.5) << sample.layoutName;
+    }
+}
+
+TEST(Campaign, TraceCacheStemsNeverCollide)
+{
+    // "spec06/mcf" and "spec06_mcf" used to sanitize to the identical
+    // stem "spec06_mcf", so one workload could silently replay the
+    // other's cached trace. The label hash keeps the stems apart.
+    EXPECT_NE(traceCacheStem("spec06/mcf"), traceCacheStem("spec06_mcf"));
+    EXPECT_NE(traceCacheStem("a/b"), traceCacheStem("a b"));
+    EXPECT_NE(traceCacheStem("a/b"), traceCacheStem("a.b"));
+
+    // Deterministic (the stem is the on-disk cache key across runs).
+    EXPECT_EQ(traceCacheStem("spec06/mcf"), traceCacheStem("spec06/mcf"));
+
+    // Still filesystem-safe: no separators or shell metacharacters.
+    for (char c : traceCacheStem("we/ird: la*bel?")) {
+        EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) ||
+                    c == '_' || c == '-')
+            << "unsafe stem character: " << c;
     }
 }
 

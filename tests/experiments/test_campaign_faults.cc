@@ -12,6 +12,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "common/scratch_dir.hh"
 #include "experiments/campaign.hh"
 #include "support/fault_injector.hh"
 #include "support/io_util.hh"
@@ -67,14 +68,23 @@ class CampaignFaultTest : public ::testing::Test
   protected:
     void SetUp() override { faults().reset(); }
     void TearDown() override { faults().reset(); }
+
+    /** Where the trace cache stores TinyWorkload's trace. */
+    static std::string
+    tinyCachePath(const std::string &dir)
+    {
+        return dir + "/" + traceCacheStem("test/tiny") + ".mtrc";
+    }
+
+    test::ScratchDir scratch_;
 };
 
 } // namespace
 
 TEST_F(CampaignFaultTest, CorruptTraceCacheIsRegenerated)
 {
-    std::string dir = "test_campaign_trace_cache";
-    std::string cache = dir + "/test_tiny.mtrc";
+    std::string dir = scratch_.file("trace_cache");
+    std::string cache = tinyCachePath(dir);
     CampaignConfig config = faultConfig(dir);
     TinyWorkload workload;
 
@@ -103,15 +113,12 @@ TEST_F(CampaignFaultTest, CorruptTraceCacheIsRegenerated)
                   .result.runtimeCycles,
               second.findRun("SandyBridge", "test/tiny", layoutAll2m)
                   .result.runtimeCycles);
-
-    removeFileIfExists(cache);
-    rmdir(dir.c_str());
 }
 
 TEST_F(CampaignFaultTest, TransientOpenFailureIsRetried)
 {
-    std::string dir = "test_campaign_retry_cache";
-    std::string cache = dir + "/test_tiny.mtrc";
+    std::string dir = scratch_.file("retry_cache");
+    std::string cache = tinyCachePath(dir);
     CampaignConfig config = faultConfig(dir);
     TinyWorkload workload;
 
@@ -131,15 +138,12 @@ TEST_F(CampaignFaultTest, TransientOpenFailureIsRetried)
     EXPECT_TRUE(failures.empty());
     EXPECT_GE(retries, 1u);
     EXPECT_EQ(dataset.runs("SandyBridge", "test/tiny").size(), 55u);
-
-    removeFileIfExists(cache);
-    rmdir(dir.c_str());
 }
 
 TEST_F(CampaignFaultTest, ExhaustedRetriesFailThePairNotTheCampaign)
 {
-    std::string dir = "test_campaign_dead_cache";
-    std::string cache = dir + "/test_tiny.mtrc";
+    std::string dir = scratch_.file("dead_cache");
+    std::string cache = tinyCachePath(dir);
     CampaignConfig config = faultConfig(dir);
     config.retry.maxAttempts = 2;
     TinyWorkload workload;
@@ -160,9 +164,6 @@ TEST_F(CampaignFaultTest, ExhaustedRetriesFailThePairNotTheCampaign)
 
     EXPECT_TRUE(failures.empty());
     EXPECT_EQ(dataset.runs("SandyBridge", "test/tiny").size(), 55u);
-
-    removeFileIfExists(cache);
-    rmdir(dir.c_str());
 }
 
 /**
@@ -174,8 +175,7 @@ TEST_F(CampaignFaultTest, ExhaustedRetriesFailThePairNotTheCampaign)
  */
 TEST_F(CampaignFaultTest, FaultyCampaignCompletesReportsAndResumes)
 {
-    std::string cache = "test_campaign_resume.csv";
-    removeFileIfExists(cache);
+    std::string cache = scratch_.file("resume.csv");
 
     CampaignConfig config = faultConfig();
     config.workloads = {"gups/8GB", "bogus/does-not-exist"};
@@ -243,7 +243,6 @@ TEST_F(CampaignFaultTest, FaultyCampaignCompletesReportsAndResumes)
     auto reloaded = Dataset::loadResult(cache);
     ASSERT_TRUE(reloaded.ok());
     EXPECT_EQ(reloaded.value().totalRuns(), 55u);
-    removeFileIfExists(cache);
 }
 
 /**
@@ -255,8 +254,7 @@ TEST_F(CampaignFaultTest, FaultyCampaignCompletesReportsAndResumes)
  */
 TEST_F(CampaignFaultTest, ResumeAfterCheckpointNeverDuplicatesRows)
 {
-    std::string cache = "test_campaign_dedup.csv";
-    removeFileIfExists(cache);
+    std::string cache = scratch_.file("dedup.csv");
 
     CampaignConfig config = faultConfig();
     config.workloads = {"gups/8GB"};
@@ -303,5 +301,56 @@ TEST_F(CampaignFaultTest, ResumeAfterCheckpointNeverDuplicatesRows)
     ASSERT_TRUE(reloaded.ok());
     assertUnique(reloaded.value());
     EXPECT_EQ(reloaded.value().totalRuns(), 55u);
-    removeFileIfExists(cache);
+}
+
+/**
+ * loadOrRun completeness must count distinct layouts, not raw rows: a
+ * cache holding 55 rows made of 11 layouts five times over has the
+ * "right" row count, but 44 cells were never simulated. The old raw
+ * runs().size() check declared such a cache complete and returned it
+ * as-is.
+ */
+TEST_F(CampaignFaultTest, LoadOrRunTreatsDuplicateRowCacheAsIncomplete)
+{
+    std::string cache = scratch_.file("loadorrun.csv");
+
+    CampaignConfig config = faultConfig();
+    config.workloads = {"gups/8GB"};
+    config.platforms = {cpu::sandyBridge()};
+    config.threads = 2;
+
+    CampaignRunner runner(config);
+    Dataset complete_data = runner.loadOrRun(cache);
+    const auto &complete = complete_data.runs("SandyBridge", "gups/8GB");
+    ASSERT_EQ(complete.size(), 55u);
+
+    // Damaged cache: the first 11 layouts repeated five times — 55 raw
+    // rows (the expected per-pair count), only 11 distinct layouts.
+    Dataset damaged;
+    for (int copy = 0; copy < 5; ++copy) {
+        for (std::size_t i = 0; i < 11; ++i)
+            damaged.add(complete[i]);
+    }
+    damaged.save(cache);
+    ASSERT_EQ(Dataset::loadResult(cache).value().totalRuns(), 55u);
+
+    // loadOrRun must see through the row count, resume the 44 missing
+    // layouts, and hand back a full deduplicated pair.
+    CampaignRunner resumer(config);
+    Dataset repaired = resumer.loadOrRun(cache);
+    const auto &runs = repaired.runs("SandyBridge", "gups/8GB");
+    EXPECT_EQ(runs.size(), 55u);
+    std::set<std::string> layouts;
+    for (const auto &record : runs)
+        layouts.insert(record.layout);
+    EXPECT_EQ(layouts.size(), 55u);
+
+    // The resumed cells match the original simulation bit-for-bit.
+    for (const auto &record : complete) {
+        EXPECT_EQ(repaired
+                      .findRun("SandyBridge", "gups/8GB", record.layout)
+                      .result.runtimeCycles,
+                  record.result.runtimeCycles)
+            << record.layout;
+    }
 }

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "common/scratch_dir.hh"
 #include "experiments/dataset.hh"
 #include "support/fault_injector.hh"
 #include "support/io_util.hh"
@@ -105,10 +106,10 @@ TEST(Dataset, CsvRoundTrip)
     Dataset dataset = makeToyDataset();
     dataset.add(makeRecord("Haswell", "toy/b", layoutAll4k, 900, 300));
 
-    std::string path = "test_dataset_roundtrip.csv";
+    test::ScratchDir scratch;
+    std::string path = scratch.file("roundtrip.csv");
     dataset.save(path);
     Dataset loaded = Dataset::load(path);
-    std::remove(path.c_str());
 
     EXPECT_EQ(loaded.totalRuns(), dataset.totalRuns());
     const auto &original = dataset.findRun("SandyBridge", "toy/a",
@@ -125,7 +126,8 @@ TEST(Dataset, CsvRoundTrip)
 
 TEST(Dataset, LoadRejectsBadHeader)
 {
-    std::string path = "test_dataset_bad.csv";
+    test::ScratchDir scratch;
+    std::string path = scratch.file("bad.csv");
     FILE *file = std::fopen(path.c_str(), "w");
     std::fputs("not,a,dataset\n", file);
     std::fclose(file);
@@ -133,7 +135,6 @@ TEST(Dataset, LoadRejectsBadHeader)
     auto result = Dataset::loadResult(path);
     ASSERT_FALSE(result.ok());
     EXPECT_EQ(result.error().category(), ErrorCategory::Corrupt);
-    std::remove(path.c_str());
 }
 
 TEST(Dataset, LoadMissingFileIsTransientIoError)
@@ -147,31 +148,41 @@ TEST(Dataset, LoadMissingFileIsTransientIoError)
 TEST(Dataset, LoadSkipsMalformedRows)
 {
     Dataset dataset = makeToyDataset();
-    std::string path = "test_dataset_malformed.csv";
+    test::ScratchDir scratch;
+    std::string path = scratch.file("malformed.csv");
     dataset.save(path);
 
     // Append the kind of tail a killed writer (without atomic rename)
-    // would leave: a half-written row, a non-numeric row, junk.
+    // would leave: a half-written row, a non-numeric row, junk — plus
+    // the rows std::stoull used to let through: a negative count
+    // (wraps to 2^64-1) and a number with trailing junk (silently
+    // truncated). The strict parser must reject all of them.
     FILE *file = std::fopen(path.c_str(), "a");
     std::fputs("SandyBridge,toy/a,chopped,123\n", file);
     std::fputs("SandyBridge,toy/a,bad,x,y,z,w,v,u,t\n", file);
     std::fputs("garbage\n", file);
+    std::fputs("SandyBridge,toy/a,neg,-1,2,3,4,5,6,7,8,9,10,11,12,13,"
+               "14,15,16\n",
+               file);
+    std::fputs("SandyBridge,toy/a,junk,123abc,2,3,4,5,6,7,8,9,10,11,12,"
+               "13,14,15,16\n",
+               file);
     std::fclose(file);
 
     DatasetLoadStats stats;
     auto result = Dataset::loadResult(path, &stats);
-    std::remove(path.c_str());
 
     ASSERT_TRUE(result.ok());
     EXPECT_EQ(result.value().totalRuns(), dataset.totalRuns());
     EXPECT_EQ(stats.rowsLoaded, dataset.totalRuns());
-    EXPECT_EQ(stats.rowsSkipped, 3u);
+    EXPECT_EQ(stats.rowsSkipped, 5u);
 }
 
 TEST(Dataset, SaveIsAtomicAndLeavesNoTempFile)
 {
     Dataset dataset = makeToyDataset();
-    std::string path = "test_dataset_atomic.csv";
+    test::ScratchDir scratch;
+    std::string path = scratch.file("atomic.csv");
 
     // Pre-existing file gets replaced wholesale, not appended to.
     FILE *stale = std::fopen(path.c_str(), "w");
@@ -186,13 +197,13 @@ TEST(Dataset, SaveIsAtomicAndLeavesNoTempFile)
     EXPECT_EQ(tmp, nullptr);
     if (tmp)
         std::fclose(tmp);
-    std::remove(path.c_str());
 }
 
 TEST(Dataset, InjectedTruncatedRowIsSkippedOnReload)
 {
     Dataset dataset = makeToyDataset();
-    std::string path = "test_dataset_fault.csv";
+    test::ScratchDir scratch;
+    std::string path = scratch.file("fault.csv");
 
     faults().reset();
     faults().arm(FaultSite::CsvTruncate, 1);
@@ -201,7 +212,6 @@ TEST(Dataset, InjectedTruncatedRowIsSkippedOnReload)
 
     DatasetLoadStats stats;
     auto result = Dataset::loadResult(path, &stats);
-    std::remove(path.c_str());
 
     // The damaged row is dropped, everything else survives.
     ASSERT_TRUE(result.ok());
@@ -212,7 +222,8 @@ TEST(Dataset, InjectedTruncatedRowIsSkippedOnReload)
 TEST(Dataset, InjectedOpenFailureIsIoError)
 {
     Dataset dataset = makeToyDataset();
-    std::string path = "test_dataset_openfault.csv";
+    test::ScratchDir scratch;
+    std::string path = scratch.file("openfault.csv");
     dataset.save(path);
 
     faults().reset();
@@ -224,7 +235,6 @@ TEST(Dataset, InjectedOpenFailureIsIoError)
 
     // The file itself is intact; a retry succeeds.
     EXPECT_TRUE(Dataset::loadResult(path).ok());
-    std::remove(path.c_str());
 }
 
 TEST(Dataset, ToSampleMapsCounters)

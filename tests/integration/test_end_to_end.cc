@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "common/scratch_dir.hh"
 #include "cpu/platform.hh"
 #include "experiments/campaign.hh"
 #include "experiments/report.hh"
@@ -166,10 +167,10 @@ TEST(EndToEnd, CrossValidationStillFavoursMosmodel)
 TEST(EndToEnd, DatasetCacheRoundTripPreservesEvaluation)
 {
     const auto &dataset = sharedDataset();
-    std::string path = "test_e2e_cache.csv";
+    test::ScratchDir scratch;
+    std::string path = scratch.file("e2e_cache.csv");
     dataset.save(path);
     auto loaded = exp::Dataset::load(path);
-    std::remove(path.c_str());
 
     auto before = exp::computeOverallMaxErrors(dataset);
     auto after = exp::computeOverallMaxErrors(loaded);

@@ -9,6 +9,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/scratch_dir.hh"
 #include "support/io_util.hh"
 
 using namespace mosaic;
@@ -58,7 +59,8 @@ TEST(IoUtil, TempPathAppendsSuffix)
 
 TEST(IoUtil, WriteFileAtomicCreatesAndReplaces)
 {
-    std::string path = "test_io_util_atomic.txt";
+    test::ScratchDir scratch;
+    std::string path = scratch.file("atomic.txt");
     ASSERT_TRUE(writeFileAtomic(path, "first\n").ok());
     EXPECT_EQ(slurp(path), "first\n");
 
@@ -70,7 +72,6 @@ TEST(IoUtil, WriteFileAtomicCreatesAndReplaces)
     EXPECT_EQ(tmp, nullptr);
     if (tmp)
         std::fclose(tmp);
-    std::remove(path.c_str());
 }
 
 TEST(IoUtil, WriteFileAtomicFailsIntoIoError)
@@ -83,7 +84,8 @@ TEST(IoUtil, WriteFileAtomicFailsIntoIoError)
 TEST(IoUtil, RemoveFileIfExistsIgnoresMissing)
 {
     removeFileIfExists("definitely_not_here.txt"); // must not throw
-    std::string path = "test_io_util_remove.txt";
+    test::ScratchDir scratch;
+    std::string path = scratch.file("remove.txt");
     ASSERT_TRUE(writeFileAtomic(path, "x").ok());
     removeFileIfExists(path);
     FILE *gone = std::fopen(path.c_str(), "rb");

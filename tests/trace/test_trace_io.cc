@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <unistd.h>
 
+#include "common/scratch_dir.hh"
 #include "support/fault_injector.hh"
 #include "support/io_util.hh"
 #include "support/random.hh"
@@ -32,10 +33,11 @@ randomTrace(std::size_t n, std::uint64_t seed = 5)
     return trace;
 }
 
+/** A named file inside its own scratch directory, gone on scope exit. */
 struct TempFile
 {
-    explicit TempFile(const char *name) : path(name) {}
-    ~TempFile() { std::remove(path.c_str()); }
+    explicit TempFile(const char *name) : path(scratch.file(name)) {}
+    test::ScratchDir scratch;
     std::string path;
 };
 

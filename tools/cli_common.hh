@@ -15,6 +15,7 @@
 
 #include "support/error.hh"
 #include "support/fault_injector.hh"
+#include "support/metrics.hh"
 
 namespace mosaic::cli
 {
@@ -89,6 +90,26 @@ runGuarded(const char *tool, Fn &&body)
     } catch (const std::exception &e) {
         std::fprintf(stderr, "%s: %s\n", tool, e.what());
         return 1;
+    }
+}
+
+/**
+ * Emit the JSON run manifest to --metrics-out FILE, when requested.
+ * Every tool supports the flag; a failed manifest write warns but
+ * never changes the tool's exit code (observability must not fail a
+ * run that succeeded).
+ */
+inline void
+writeManifestIfRequested(const Args &args, const RunManifest &manifest)
+{
+    if (!args.has("metrics-out"))
+        return;
+    const std::string path = args.get("metrics-out");
+    auto written = manifest.write(path, metrics());
+    if (!written.ok()) {
+        std::fprintf(stderr,
+                     "warn: cannot write metrics manifest %s: %s\n",
+                     path.c_str(), written.error().str().c_str());
     }
 }
 

@@ -33,10 +33,13 @@ constexpr const char *usageText =
     "                       [--threads N] [--no-1gb] [--out FILE]\n"
     "                       [--resume] [--trace-cache DIR]\n"
     "                       [--checkpoint-every N] [--max-retries N]\n"
+    "                       [--metrics-out FILE]\n"
     "defaults: all 19 workloads, the paper's 3 platforms, 2 threads,\n"
     "          out = mosaic_dataset.csv, checkpoint every pair\n"
     "--resume keeps cells already present in --out instead of\n"
-    "recomputing them; without it the output is rebuilt from scratch.\n";
+    "recomputing them; without it the output is rebuilt from scratch.\n"
+    "--metrics-out writes a JSON run manifest (config, per-phase\n"
+    "timings, trace-cache/retry counters, failures) after the run.\n";
 
 int
 campaignMain(int argc, char **argv)
@@ -83,7 +86,33 @@ campaignMain(int argc, char **argv)
         // name.
         removeFileIfExists(out);
     }
+    ScopedTimer total_timer(metrics(), "campaign/total");
     exp::CampaignReport report = runner.runReport(out);
+    total_timer.stop();
+
+    RunManifest manifest("mosaic_campaign");
+    const auto &effective = runner.config();
+    std::vector<std::string> platform_names;
+    for (const auto &platform : effective.platforms)
+        platform_names.push_back(platform.name);
+    manifest.setConfig("out", out);
+    manifest.setConfig("workloads", effective.workloads);
+    manifest.setConfig("platforms", platform_names);
+    manifest.setConfig("threads",
+                       static_cast<std::uint64_t>(effective.threads));
+    manifest.setConfig("include_1gb", effective.include1g);
+    manifest.setConfig("seed", effective.seed);
+    manifest.setConfig("resume", args.has("resume"));
+    manifest.setConfig("trace_cache_dir", effective.traceCacheDir);
+    manifest.setConfig("checkpoint_every",
+                       static_cast<std::uint64_t>(
+                           effective.checkpointEvery));
+    for (const auto &failure : report.failures) {
+        manifest.addFailure(failure.platform + "/" + failure.workload +
+                                "/" + failure.layout,
+                            failure.error.str());
+    }
+    cli::writeManifestIfRequested(args, manifest);
 
     std::printf("wrote %zu runs (%zu platforms x %zu workloads) to %s\n",
                 report.dataset.totalRuns(),

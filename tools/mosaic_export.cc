@@ -23,6 +23,7 @@ namespace
 constexpr const char *usageText =
     "usage: mosaic_export [--dataset FILE] [--outdir DIR]\n"
     "                     [--curves wl:platform,wl:platform,...]\n"
+    "                     [--metrics-out FILE]\n"
     "defaults: dataset = mosaic_dataset.csv, outdir = plots,\n"
     "          curves = the paper's Figure 3/7/8/10/11 pairs\n";
 
@@ -34,6 +35,7 @@ exportMain(int argc, char **argv)
     if (args.has("help"))
         cli::usage(usageText);
 
+    ScopedTimer total_timer(metrics(), "export/total");
     auto dataset = exp::Dataset::load(
         args.get("dataset", exp::defaultDatasetPath()));
     std::string outdir = args.get("outdir", "plots");
@@ -79,6 +81,20 @@ exportMain(int argc, char **argv)
     files += exp::exportErrorGrid(dataset, exp::ErrorKind::GeoMean,
                                   outdir + "/fig6_geomean")
                  .size();
+
+    total_timer.stop();
+
+    RunManifest manifest("mosaic_export");
+    manifest.setConfig("dataset",
+                       args.get("dataset", exp::defaultDatasetPath()));
+    manifest.setConfig("outdir", outdir);
+    std::vector<std::string> curve_names;
+    for (const auto &[workload, platform] : curves)
+        curve_names.push_back(workload + ":" + platform);
+    manifest.setConfig("curves", curve_names);
+    manifest.setConfig("files_written",
+                       static_cast<std::uint64_t>(files));
+    cli::writeManifestIfRequested(args, manifest);
 
     std::printf("wrote %zu files under %s/ (render with: gnuplot "
                 "%s/*.gp)\n",

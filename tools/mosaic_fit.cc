@@ -23,8 +23,10 @@ namespace
 constexpr const char *usageText =
     "usage: mosaic_fit [--dataset FILE] [--workload LABEL]\n"
     "                  [--platform NAME] [--models a,b,...]\n"
-    "                  [--describe]\n"
-    "defaults: dataset = mosaic_dataset.csv, all pairs, all 9 models\n";
+    "                  [--describe] [--metrics-out FILE]\n"
+    "defaults: dataset = mosaic_dataset.csv, all pairs, all 9 models\n"
+    "--metrics-out writes a JSON run manifest (Lasso sweep counters,\n"
+    "fit timings, fallback-ladder depth) after the run.\n";
 
 int
 fitMain(int argc, char **argv)
@@ -34,6 +36,7 @@ fitMain(int argc, char **argv)
     if (args.has("help"))
         cli::usage(usageText);
 
+    ScopedTimer total_timer(metrics(), "fit/total");
     auto dataset =
         exp::Dataset::load(args.get("dataset", exp::defaultDatasetPath()));
 
@@ -75,6 +78,20 @@ fitMain(int argc, char **argv)
             table.addRow(cells);
         }
     }
+    total_timer.stop();
+
+    RunManifest manifest("mosaic_fit");
+    manifest.setConfig("dataset",
+                       args.get("dataset", exp::defaultDatasetPath()));
+    manifest.setConfig("models", models);
+    if (args.has("platform"))
+        manifest.setConfig("platform", args.get("platform"));
+    if (args.has("workload"))
+        manifest.setConfig("workload", args.get("workload"));
+    manifest.setConfig("pairs_fitted",
+                       static_cast<std::uint64_t>(table.numRows()));
+    cli::writeManifestIfRequested(args, manifest);
+
     std::printf("%s", table.render().c_str());
     return 0;
 }

@@ -30,6 +30,7 @@ using namespace mosaic;
 constexpr const char *usageText =
     "usage: mosaic_run --workload <label> --platform <name> "
     "--layout <spec> [--csv|--stats]\n"
+    "                 [--metrics-out FILE]\n"
     "       mosaic_run --list\n"
     "layout specs:\n"
     "  all-4KB | all-2MB | all-1GB      uniform page size\n"
@@ -121,9 +122,19 @@ runMain(int argc, char **argv)
         "mosaic_run", parseLayout(args.get("layout", "all-4KB"),
                                   workload->primaryPoolSize()));
 
+    ScopedTimer total_timer(metrics(), "run/total");
     auto trace = workload->generateTrace();
     auto result = cpu::simulateRun(
         platform, workload->makeAllocConfig(layout), trace);
+    total_timer.stop();
+
+    RunManifest manifest("mosaic_run");
+    manifest.setConfig("workload", args.get("workload"));
+    manifest.setConfig("platform", platform.name);
+    manifest.setConfig("layout", args.get("layout", "all-4KB"));
+    manifest.setConfig("records",
+                       static_cast<std::uint64_t>(trace.size()));
+    cli::writeManifestIfRequested(args, manifest);
 
     if (args.has("stats")) {
         std::printf("%s", cpu::formatStats(result).c_str());
