@@ -13,9 +13,17 @@
  *
  * Usage:
  *   replay_bench [--records N] [--reps R] [--footprint-mb M]
+ *                [--jobs N]
  *                [--out BENCH_replay.json] [--baseline OLD.json]
  *                [--baseline-source LABEL] [--quick]
  *                [--metrics-out FILE]
+ *
+ * --jobs runs the (platform, layout) grid cells concurrently, one
+ * simulator per worker over the shared immutable trace, each timing
+ * its replays through a private metrics shard (merged into the global
+ * registry afterwards). Per-cell throughput numbers measure the same
+ * single-thread inner loop for any jobs value; the sweep wall time
+ * shows the parallel-replay scaling.
  *
  * --baseline embeds the aggregate numbers of a previous run (e.g. the
  * pre-optimization build) into the output, plus the speedup ratio.
@@ -25,18 +33,23 @@
  */
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cpu/platform.hh"
 #include "cpu/system.hh"
 #include "mosalloc/mosalloc.hh"
+#include "support/fault_injector.hh"
+#include "support/logging.hh"
 #include "support/metrics.hh"
+#include "support/sim_context.hh"
 #include "trace/synth.hh"
 
 namespace
@@ -107,6 +120,8 @@ main(int argc, char **argv)
     const std::string baseline_path = getOpt(argc, argv, "--baseline", "");
     const std::string baseline_source =
         getOpt(argc, argv, "--baseline-source", "previous run");
+    const unsigned jobs = static_cast<unsigned>(
+        std::stoul(getOpt(argc, argv, "--jobs", "1")));
 
     const Bytes footprint = footprint_mb * 1_MiB;
     const Bytes pool = alignUp(footprint + 4_MiB, 1_GiB);
@@ -125,56 +140,112 @@ main(int argc, char **argv)
     mosaics.push_back(
         {"all2m", alloc::MosaicLayout::uniform(pool, alloc::PageSize::Page2M)});
 
-    std::vector<BenchRun> runs;
-    double total_wall = 0.0;
-    double total_records = 0.0;
-
-    for (const auto &platform : cpu::paperPlatforms()) {
+    // The grid cells are independent: build them all first, then run
+    // them over the worker pool. Each cell owns its allocator, trace
+    // and System; each worker times through its own metrics shard, so
+    // the "replay/run" phase deltas never mix across workers.
+    struct BenchCell
+    {
+        const cpu::PlatformSpec *platform;
+        const NamedMosaic *mosaic;
+        alloc::MosallocConfig allocConfig;
+        VirtAddr base = 0;
+        trace::MemoryTrace trace;
+    };
+    std::vector<BenchCell> cells;
+    const auto platforms = cpu::paperPlatforms();
+    for (const auto &platform : platforms) {
         for (const auto &mosaic : mosaics) {
-            alloc::MosallocConfig alloc_config;
-            alloc_config.heapLayout = mosaic.layout;
-            alloc_config.anonLayout = alloc::MosaicLayout(16_MiB);
-            alloc::Mosalloc allocator(alloc_config);
-            VirtAddr base = allocator.malloc(footprint);
+            BenchCell cell;
+            cell.platform = &platform;
+            cell.mosaic = &mosaic;
+            cell.allocConfig.heapLayout = mosaic.layout;
+            cell.allocConfig.anonLayout = alloc::MosaicLayout(16_MiB);
+            alloc::Mosalloc allocator(cell.allocConfig);
+            cell.base = allocator.malloc(footprint);
 
             trace::SynthTraceParams synth;
             synth.records = records;
-            synth.base = base;
+            synth.base = cell.base;
             synth.footprint = footprint;
-            trace::MemoryTrace trace = trace::makeSynthTrace(synth);
-
-            BenchRun run;
-            run.platform = platform.name;
-            run.layout = mosaic.name;
-            run.wallSeconds = 1e300;
-            for (int rep = 0; rep < reps; ++rep) {
-                // Fresh machine per rep: cold TLBs and caches, so
-                // every rep replays the identical work. Wall time
-                // comes from the shared metrics registry — System::run
-                // publishes each replay into the "replay/run" phase —
-                // so the bench and --metrics-out report from one
-                // source instead of ad-hoc counters.
-                cpu::System system(platform, allocator);
-                PhaseStats before = mosaic::metrics().phase("replay/run");
-                run.result = system.run(trace);
-                PhaseStats after = mosaic::metrics().phase("replay/run");
-                run.wallSeconds = std::min(
-                    run.wallSeconds, after.seconds - before.seconds);
-            }
-            run.recordsPerSec =
-                static_cast<double>(records) / run.wallSeconds;
-            std::printf("%-12s %-6s %8.3fs  %12.0f records/sec\n",
-                        run.platform.c_str(), run.layout.c_str(),
-                        run.wallSeconds, run.recordsPerSec);
-            total_wall += run.wallSeconds;
-            total_records += static_cast<double>(records);
-            runs.push_back(run);
+            cell.trace = trace::makeSynthTrace(synth);
+            cells.push_back(std::move(cell));
         }
     }
 
+    const unsigned workers = std::max(
+        1u, std::min<unsigned>(
+                jobs, static_cast<unsigned>(cells.size())));
+    std::vector<BenchRun> runs(cells.size());
+    std::vector<MetricsRegistry> shards(workers);
+    std::atomic<std::size_t> next_cell{0};
+    auto sweep_start = std::chrono::steady_clock::now();
+    std::vector<std::thread> worker_pool;
+    for (unsigned worker = 0; worker < workers; ++worker) {
+        worker_pool.emplace_back([&, worker] {
+            MetricsRegistry &shard = shards[worker];
+            SimContext context(shard, faults(), 0, worker);
+            while (true) {
+                std::size_t index = next_cell.fetch_add(1);
+                if (index >= cells.size())
+                    return;
+                const BenchCell &cell = cells[index];
+                // Rebuild the allocation deterministically: same
+                // config, same malloc, same base the trace targets.
+                alloc::Mosalloc allocator(cell.allocConfig);
+                VirtAddr base = allocator.malloc(footprint);
+                mosaic_assert(base == cell.base,
+                              "allocator no longer deterministic");
+
+                BenchRun run;
+                run.platform = cell.platform->name;
+                run.layout = cell.mosaic->name;
+                run.wallSeconds = 1e300;
+                for (int rep = 0; rep < reps; ++rep) {
+                    // Fresh machine per rep: cold TLBs and caches, so
+                    // every rep replays the identical work. Wall time
+                    // comes from this worker's shard — System::run
+                    // publishes each replay into the "replay/run"
+                    // phase — so the bench and --metrics-out report
+                    // from one source instead of ad-hoc counters.
+                    cpu::System system(*cell.platform, allocator,
+                                       context);
+                    PhaseStats before = shard.phase("replay/run");
+                    run.result = system.run(cell.trace);
+                    PhaseStats after = shard.phase("replay/run");
+                    run.wallSeconds = std::min(
+                        run.wallSeconds, after.seconds - before.seconds);
+                }
+                run.recordsPerSec =
+                    static_cast<double>(records) / run.wallSeconds;
+                runs[index] = std::move(run);
+            }
+        });
+    }
+    for (auto &thread : worker_pool)
+        thread.join();
+    double sweep_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      sweep_start)
+            .count();
+    for (unsigned worker = 0; worker < workers; ++worker)
+        mosaic::metrics().mergeFrom(shards[worker]);
+    mosaic::metrics().set("bench/jobs", static_cast<double>(workers));
+
+    double total_wall = 0.0;
+    double total_records = 0.0;
+    for (const auto &run : runs) {
+        std::printf("%-12s %-6s %8.3fs  %12.0f records/sec\n",
+                    run.platform.c_str(), run.layout.c_str(),
+                    run.wallSeconds, run.recordsPerSec);
+        total_wall += run.wallSeconds;
+        total_records += static_cast<double>(records);
+    }
+
     double aggregate_rps = total_records / total_wall;
-    std::printf("aggregate: %.3fs, %.0f records/sec\n", total_wall,
-                aggregate_rps);
+    std::printf("aggregate: %.3fs replay time, %.0f records/sec "
+                "(%u job(s), sweep wall %.3fs)\n",
+                total_wall, aggregate_rps, workers, sweep_wall);
 
     double base_rps = 0.0, base_wall = 0.0;
     bool have_baseline = false;
@@ -199,6 +270,7 @@ main(int argc, char **argv)
     json << "  \"schema\": \"mosaic-replay-bench/1\",\n";
     json << "  \"records\": " << records << ",\n";
     json << "  \"reps\": " << reps << ",\n";
+    json << "  \"jobs\": " << workers << ",\n";
     json << "  \"footprint_bytes\": " << footprint << ",\n";
     json << "  \"runs\": [\n";
     for (std::size_t i = 0; i < runs.size(); ++i) {
@@ -231,8 +303,9 @@ main(int argc, char **argv)
     char agg[256];
     std::snprintf(agg, sizeof agg,
                   "  \"aggregate\": {\"wall_seconds\": %.6f, "
-                  "\"records_per_sec\": %.1f}",
-                  total_wall, aggregate_rps);
+                  "\"records_per_sec\": %.1f, "
+                  "\"sweep_wall_seconds\": %.6f}",
+                  total_wall, aggregate_rps, sweep_wall);
     json << agg;
     if (have_baseline) {
         char base[512];
@@ -261,6 +334,7 @@ main(int argc, char **argv)
         mosaic::RunManifest manifest("replay_bench");
         manifest.setConfig("records", records);
         manifest.setConfig("reps", static_cast<std::uint64_t>(reps));
+        manifest.setConfig("jobs", static_cast<std::uint64_t>(workers));
         manifest.setConfig("footprint_bytes", footprint);
         manifest.setConfig("out", out_path);
         auto written = manifest.write(metrics_out, mosaic::metrics());

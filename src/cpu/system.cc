@@ -6,8 +6,9 @@ namespace mosaic::cpu
 {
 
 System::System(const PlatformSpec &platform,
-               const alloc::Mosalloc &allocator)
-    : platform_(platform), core_(platform.core)
+               const alloc::Mosalloc &allocator,
+               const SimContext &context)
+    : platform_(platform), context_(context), core_(platform.core)
 {
     physMem_ = std::make_unique<vm::PhysMem>();
     pageTable_ = std::make_unique<vm::PageTable>(*physMem_);
@@ -23,11 +24,11 @@ System::run(const trace::MemoryTrace &trace)
     // One registry update per replay, never per record: the inner loop
     // stays untouched, so the instrumented build holds the
     // BENCH_replay.json throughput baseline and the golden counters.
-    ScopedTimer timer(metrics(), "replay/run");
+    MetricsRegistry &registry = context_.metrics();
+    ScopedTimer timer(registry, "replay/run");
     RunResult result = core_.run(trace, *mmu_, *hierarchy_);
     timer.stop();
 
-    MetricsRegistry &registry = metrics();
     registry.add("replay/records", trace.size());
     registry.add("replay/prog_l1_loads", result.progL1dLoads);
     registry.add("replay/prog_l2_loads", result.progL2Loads);
@@ -47,8 +48,16 @@ simulateRun(const PlatformSpec &platform,
             const alloc::MosallocConfig &alloc_config,
             const trace::MemoryTrace &trace)
 {
+    return simulateRun(platform, alloc_config, trace, globalSimContext());
+}
+
+RunResult
+simulateRun(const PlatformSpec &platform,
+            const alloc::MosallocConfig &alloc_config,
+            const trace::MemoryTrace &trace, const SimContext &context)
+{
     alloc::Mosalloc allocator(alloc_config);
-    System system(platform, allocator);
+    System system(platform, allocator, context);
     return system.run(trace);
 }
 

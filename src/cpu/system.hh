@@ -18,6 +18,7 @@
 #include "cpu/platform.hh"
 #include "memhier/hierarchy.hh"
 #include "mosalloc/mosalloc.hh"
+#include "support/sim_context.hh"
 #include "trace/trace.hh"
 #include "vm/mmu.hh"
 #include "vm/page_table.hh"
@@ -28,6 +29,13 @@ namespace mosaic::cpu
 
 /**
  * One fully assembled simulated machine.
+ *
+ * A System owns all of its mutable state (physical memory, page table,
+ * caches, TLBs, walkers); the trace it replays is read-only. Distinct
+ * System instances may therefore replay the same shared MemoryTrace
+ * from different threads concurrently — the campaign scheduler relies
+ * on this. Observability goes through the SimContext the System was
+ * built with (per-worker shard or, by default, the global registry).
  */
 class System
 {
@@ -35,8 +43,10 @@ class System
     /**
      * Build the machine: allocates physical frames for every page of
      * every pool of @p allocator and constructs the page table.
+     * Metrics publish into @p context's sink.
      */
-    System(const PlatformSpec &platform, const alloc::Mosalloc &allocator);
+    System(const PlatformSpec &platform, const alloc::Mosalloc &allocator,
+           const SimContext &context = globalSimContext());
 
     /** Replay @p trace from a cold start and return the PMU readout. */
     RunResult run(const trace::MemoryTrace &trace);
@@ -45,9 +55,11 @@ class System
     const vm::PageTable &pageTable() const { return *pageTable_; }
     const vm::Mmu &mmu() const { return *mmu_; }
     const mem::MemoryHierarchy &hierarchy() const { return *hierarchy_; }
+    const SimContext &context() const { return context_; }
 
   private:
     PlatformSpec platform_;
+    SimContext context_;
     std::unique_ptr<vm::PhysMem> physMem_;
     std::unique_ptr<vm::PageTable> pageTable_;
     std::unique_ptr<mem::MemoryHierarchy> hierarchy_;
@@ -65,6 +77,12 @@ class System
 RunResult simulateRun(const PlatformSpec &platform,
                       const alloc::MosallocConfig &alloc_config,
                       const trace::MemoryTrace &trace);
+
+/** As above, publishing observability through @p context. */
+RunResult simulateRun(const PlatformSpec &platform,
+                      const alloc::MosallocConfig &alloc_config,
+                      const trace::MemoryTrace &trace,
+                      const SimContext &context);
 
 } // namespace mosaic::cpu
 

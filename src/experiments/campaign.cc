@@ -8,6 +8,7 @@
 #include <fstream>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "cpu/system.hh"
@@ -49,12 +50,16 @@ namespace
  * configured. Cache damage is recoverable by construction: a corrupt
  * file is discarded and the trace regenerated; transient I/O failures
  * are retried with backoff; a failed re-save costs only the cache.
+ * Observability and fault sites go through @p context, so concurrent
+ * workers publish into their own shards.
  */
 Result<trace::MemoryTrace>
 obtainTrace(const workloads::Workload &workload,
-            const CampaignConfig &config, std::size_t &retries)
+            const CampaignConfig &config, std::size_t &retries,
+            const SimContext &context)
 {
-    ScopedTimer timer(metrics(), "campaign/trace");
+    MetricsRegistry &registry = context.metrics();
+    ScopedTimer timer(registry, "campaign/trace");
     const std::string label = workload.info().label();
     std::string cache_path;
     if (!config.traceCacheDir.empty()) {
@@ -73,14 +78,16 @@ obtainTrace(const workloads::Workload &workload,
             std::size_t attempt_retries = 0;
             auto loaded = retryWithBackoff(
                 config.retry,
-                [&] { return trace::loadTraceResult(cache_path); },
+                [&] {
+                    return trace::loadTraceResult(cache_path, context);
+                },
                 &attempt_retries);
             retries += attempt_retries;
             if (loaded.ok()) {
-                metrics().add("campaign/trace_cache_hits");
+                registry.add("campaign/trace_cache_hits");
                 return loaded;
             }
-            metrics().add("campaign/trace_cache_regens");
+            registry.add("campaign/trace_cache_regens");
             if (loaded.error().category() == ErrorCategory::Corrupt) {
                 mosaic_warn("trace cache for ", label, " is corrupt (",
                             loaded.error().str(), "); regenerating");
@@ -90,13 +97,13 @@ obtainTrace(const workloads::Workload &workload,
                             loaded.error().str(), "); regenerating");
             }
         } else {
-            metrics().add("campaign/trace_cache_misses");
+            registry.add("campaign/trace_cache_misses");
         }
     }
 
     trace::MemoryTrace generated;
     try {
-        ScopedTimer generate(metrics(), "campaign/trace/generate");
+        ScopedTimer generate(registry, "campaign/trace/generate");
         generated = workload.generateTrace();
     } catch (const std::exception &e) {
         return Error(ErrorCategory::Internal,
@@ -108,18 +115,58 @@ obtainTrace(const workloads::Workload &workload,
         std::size_t attempt_retries = 0;
         auto saved = retryWithBackoff(
             config.retry,
-            [&] { return trace::saveTraceResult(generated, cache_path); },
+            [&] {
+                return trace::saveTraceResult(generated, cache_path,
+                                              context);
+            },
             &attempt_retries);
         retries += attempt_retries;
         if (!saved.ok()) {
             // The cache is an optimization; losing it is not a cell
             // failure.
-            metrics().add("campaign/trace_cache_save_failures");
+            registry.add("campaign/trace_cache_save_failures");
             mosaic_warn("cannot cache trace for ", label, ": ",
                         saved.error().str());
         }
     }
     return generated;
+}
+
+/** The 54-layout exploration plus the optional all-1GB reference.
+ *  Layouts depend only on (trace, pool, seed) — never the platform —
+ *  so one set serves every platform of a workload. */
+Result<std::vector<layouts::NamedLayout>>
+buildCampaignLayouts(const workloads::Workload &workload,
+                     const trace::MemoryTrace &trace,
+                     const CampaignConfig &config)
+{
+    try {
+        trace::MissProfile profile(trace, workload.primaryPoolBase(),
+                                   workload.primaryPoolSize());
+        auto layouts = layouts::paperCampaignLayouts(
+            workload.primaryPoolSize(), profile, config.seed);
+        if (config.include1g) {
+            layouts.push_back(layouts::uniformLayout(
+                workload.primaryPoolSize(), alloc::PageSize::Page1G));
+        }
+        return layouts;
+    } catch (const std::exception &e) {
+        return Error(ErrorCategory::Internal,
+                     std::string("layout construction failed: ") +
+                         e.what());
+    }
+}
+
+/** Construct a workload via the configured factory (tests) or the
+ *  benchmark registry (default). May throw; callers map the throw to
+ *  a Config-category pair failure. */
+std::unique_ptr<workloads::Workload>
+makeConfiguredWorkload(const CampaignConfig &config,
+                       const std::string &label)
+{
+    if (config.workloadFactory)
+        return config.workloadFactory(label);
+    return workloads::makeWorkload(label);
 }
 
 } // namespace
@@ -153,8 +200,15 @@ CampaignRunner::CampaignRunner(CampaignConfig config)
         config_.workloads = workloads::workloadLabels();
     if (config_.platforms.empty())
         config_.platforms = cpu::paperPlatforms();
-    if (config_.threads == 0)
-        config_.threads = 1;
+}
+
+unsigned
+CampaignRunner::effectiveJobs() const
+{
+    if (config_.jobs > 0)
+        return config_.jobs;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 2;
 }
 
 std::vector<CellFailure>
@@ -162,14 +216,15 @@ CampaignRunner::runPair(const workloads::Workload &workload,
                         const cpu::PlatformSpec &platform,
                         const CampaignConfig &config, Dataset &dataset,
                         const std::set<std::string> *done_layouts,
-                        std::size_t *retries)
+                        std::size_t *retries, const SimContext &context)
 {
     const std::string label = workload.info().label();
     std::vector<CellFailure> failures;
 
     // The trace and the miss profile are layout-independent.
     std::size_t trace_retries = 0;
-    auto trace_result = obtainTrace(workload, config, trace_retries);
+    auto trace_result =
+        obtainTrace(workload, config, trace_retries, context);
     if (retries)
         *retries += trace_retries;
     if (!trace_result.ok()) {
@@ -179,41 +234,31 @@ CampaignRunner::runPair(const workloads::Workload &workload,
     }
     const trace::MemoryTrace &trace = trace_result.value();
 
-    std::vector<layouts::NamedLayout> layouts;
-    try {
-        trace::MissProfile profile(trace, workload.primaryPoolBase(),
-                                   workload.primaryPoolSize());
-        layouts = layouts::paperCampaignLayouts(
-            workload.primaryPoolSize(), profile, config.seed);
-        if (config.include1g) {
-            layouts.push_back(layouts::uniformLayout(
-                workload.primaryPoolSize(), alloc::PageSize::Page1G));
-        }
-    } catch (const std::exception &e) {
+    auto layouts_result = buildCampaignLayouts(workload, trace, config);
+    if (!layouts_result.ok()) {
         failures.push_back(
-            {platform.name, label, "*",
-             Error(ErrorCategory::Internal,
-                   std::string("layout construction failed: ") +
-                       e.what())});
+            {platform.name, label, "*", layouts_result.error()});
         return failures;
     }
+    const auto &layouts = layouts_result.value();
 
     for (const auto &named : layouts) {
         if (done_layouts && done_layouts->count(named.name))
             continue;
-        ScopedTimer cell_timer(metrics(), "campaign/cell");
+        ScopedTimer cell_timer(context.metrics(), "campaign/cell");
         try {
             RunRecord record;
             record.platform = platform.name;
             record.workload = label;
             record.layout = named.name;
             record.result = cpu::simulateRun(
-                platform, workload.makeAllocConfig(named.layout), trace);
+                platform, workload.makeAllocConfig(named.layout), trace,
+                context);
             dataset.add(std::move(record));
         } catch (const std::exception &e) {
             // One bad cell must not take down the pair: record it and
             // keep simulating the remaining layouts.
-            metrics().add("campaign/cells_failed");
+            context.metrics().add("campaign/cells_failed");
             failures.push_back(
                 {platform.name, label, named.name,
                  Error(ErrorCategory::Internal, e.what())});
@@ -225,27 +270,23 @@ CampaignRunner::runPair(const workloads::Workload &workload,
 CampaignReport
 CampaignRunner::runImpl(const std::string *cache_path)
 {
-    struct Task
-    {
-        std::string workload;
-        const cpu::PlatformSpec *platform;
-        const std::set<std::string> *done = nullptr;
-    };
-
     CampaignReport report;
     using Key = std::pair<std::string, std::string>;
     std::map<Key, std::set<std::string>> covered;
 
-    // Every (platform, workload, layout) key ever admitted into
-    // report.dataset. The resume cache may hold duplicate rows (a
-    // checkpoint that fired mid-pair on a run that later appended the
-    // same pair again), and the configured grid may name a pair twice;
-    // this set guarantees the dataset — and therefore the saved CSV —
-    // never carries a key twice.
-    std::set<std::array<std::string, 3>> admitted;
+    // Resumed cells, three ways: the raw cache (row order preserved,
+    // for pairs kept wholesale), a keyed index (for splicing resumed
+    // cells back into canonical layout positions of partially-done
+    // pairs), and a deduplicated base dataset (checkpoint snapshots).
+    std::optional<Dataset> resume_data;
+    std::map<std::array<std::string, 3>, RunRecord> resumed_records;
+    Dataset resumed_base;
 
-    // Resume: fold the (possibly partial, possibly damaged) cache into
-    // the report and remember which cells it already covers.
+    // Resume: fold the (possibly partial, possibly damaged) cache and
+    // remember which cells it already covers. The cache may hold
+    // duplicate rows (a checkpoint that fired mid-pair on a run that
+    // later appended the same pair again); the per-pair done set keeps
+    // only the first occurrence of each layout.
     if (cache_path) {
         std::ifstream probe(*cache_path);
         if (probe.good()) {
@@ -258,21 +299,22 @@ CampaignRunner::runImpl(const std::string *cache_path)
                 &load_retries);
             report.retriesPerformed += load_retries;
             if (cached.ok()) {
+                resume_data = std::move(cached.value());
                 for (const auto &platform : config_.platforms) {
                     for (const auto &label : config_.workloads) {
-                        if (!cached.value().has(platform.name, label))
+                        if (!resume_data->has(platform.name, label))
                             continue;
                         auto &done = covered[{platform.name, label}];
                         for (const auto &record :
-                             cached.value().runs(platform.name, label)) {
-                            if (done.insert(record.layout).second &&
-                                admitted
-                                    .insert({platform.name, label,
-                                             record.layout})
-                                    .second) {
-                                report.dataset.add(record);
-                                ++report.cellsResumed;
-                            }
+                             resume_data->runs(platform.name, label)) {
+                            if (!done.insert(record.layout).second)
+                                continue;
+                            resumed_base.add(record);
+                            resumed_records.emplace(
+                                std::array<std::string, 3>{
+                                    platform.name, label, record.layout},
+                                record);
+                            ++report.cellsResumed;
                         }
                     }
                 }
@@ -291,7 +333,36 @@ CampaignRunner::runImpl(const std::string *cache_path)
         }
     }
 
-    std::vector<Task> tasks;
+    // ---- Schedule: one shared state per distinct workload, pairs in
+    // grid order. The pair/cell orders fixed here define the canonical
+    // result order, independent of how workers interleave. ----
+
+    /** Shared immutable inputs of one workload's cells, prepared once
+     *  (trace + layouts are platform-independent). */
+    struct WorkloadState
+    {
+        std::string label;
+        std::unique_ptr<workloads::Workload> workload;
+        std::shared_ptr<const trace::MemoryTrace> trace;
+        std::vector<layouts::NamedLayout> layouts;
+        std::size_t retries = 0;
+        std::optional<Error> error;
+    };
+
+    struct PairTask
+    {
+        std::size_t state;
+        const cpu::PlatformSpec *platform;
+        const std::set<std::string> *done = nullptr;
+
+        /** Open cells; decremented under the progress mutex. */
+        std::size_t cellsRemaining = 0;
+    };
+
+    std::vector<WorkloadState> states;
+    std::map<std::string, std::size_t> state_index;
+    std::vector<PairTask> pairs;
+    std::vector<Key> covered_pairs;
     std::set<Key> scheduled;
     for (const auto &label : config_.workloads) {
         for (const auto &platform : config_.platforms) {
@@ -300,26 +371,134 @@ CampaignRunner::runImpl(const std::string *cache_path)
             auto it = covered.find({platform.name, label});
             const std::set<std::string> *done =
                 it == covered.end() ? nullptr : &it->second;
-            if (done && done->size() >= expectedCellsPerPair())
-                continue; // fully covered; skip without a trace
-            tasks.push_back({label, &platform, done});
+            if (done && done->size() >= expectedCellsPerPair()) {
+                // Fully covered; keep the cached rows without a trace.
+                covered_pairs.push_back({platform.name, label});
+                continue;
+            }
+            auto [state_it, inserted] =
+                state_index.try_emplace(label, states.size());
+            if (inserted)
+                states.push_back({label, nullptr, nullptr, {}, 0, {}});
+            pairs.push_back({state_it->second, &platform, done, 0});
         }
     }
 
-    std::mutex merge_mutex;
-    std::atomic<std::size_t> next{0};
-    std::size_t done_count = 0;
-    std::size_t since_checkpoint = 0;
-    StopWatch campaign_watch;
+    const unsigned jobs = effectiveJobs();
+    auto runPool = [](unsigned n, auto &&body) {
+        std::vector<std::thread> pool;
+        for (unsigned i = 0; i < n; ++i)
+            pool.emplace_back(body, i);
+        for (auto &thread : pool)
+            thread.join();
+    };
 
-    auto checkpoint = [&]() {
-        // Called under merge_mutex. Checkpoint loss is survivable (the
-        // final save still happens); warn and continue.
+    // ---- Phase 1: prepare workloads (factory + trace + layouts) in
+    // parallel. Each worker publishes into a private shard. ----
+    const unsigned prep_jobs = std::min<unsigned>(
+        jobs, std::max<std::size_t>(states.size(), 1));
+    std::vector<MetricsRegistry> prep_shards(prep_jobs);
+    std::atomic<std::size_t> next_state{0};
+    StopWatch campaign_watch;
+    runPool(prep_jobs, [&](unsigned worker) {
+        SimContext context(prep_shards[worker], faults(), config_.seed,
+                           worker);
+        while (true) {
+            std::size_t index = next_state.fetch_add(1);
+            if (index >= states.size())
+                return;
+            WorkloadState &state = states[index];
+            try {
+                state.workload =
+                    makeConfiguredWorkload(config_, state.label);
+            } catch (const std::exception &e) {
+                state.error = Error(ErrorCategory::Config, e.what());
+                continue;
+            }
+            auto trace_result = obtainTrace(*state.workload, config_,
+                                            state.retries, context);
+            if (!trace_result.ok()) {
+                state.error = trace_result.error();
+                continue;
+            }
+            auto layouts_result = buildCampaignLayouts(
+                *state.workload, trace_result.value(), config_);
+            if (!layouts_result.ok()) {
+                state.error = layouts_result.error();
+                continue;
+            }
+            state.layouts = std::move(layouts_result).okOrThrow();
+            state.trace = std::make_shared<trace::MemoryTrace>(
+                std::move(trace_result).okOrThrow());
+        }
+    });
+
+    // ---- Phase 2: simulate every open cell over the worker pool.
+    // The cell list (and the slot each result lands in) is in
+    // canonical order: pairs in grid order, layouts in builder order —
+    // the exact order the old sequential engine produced. ----
+    struct Cell
+    {
+        std::size_t pair;
+        std::size_t layout;
+    };
+
+    /** Exactly one of record/failure is set once the cell ran. */
+    struct CellOutcome
+    {
+        std::optional<RunRecord> record;
+        std::optional<CellFailure> failure;
+    };
+
+    std::vector<Cell> cells;
+    for (std::size_t p = 0; p < pairs.size(); ++p) {
+        PairTask &pair = pairs[p];
+        const WorkloadState &state = states[pair.state];
+        if (state.error)
+            continue; // whole pair failed in prep; reported below
+        for (std::size_t li = 0; li < state.layouts.size(); ++li) {
+            if (pair.done && pair.done->count(state.layouts[li].name))
+                continue;
+            cells.push_back({p, li});
+            ++pair.cellsRemaining;
+        }
+    }
+    // Pairs this run resolves: ones with open cells plus ones whose
+    // prep failed. Both advance the checkpoint cadence, as in the
+    // sequential engine — a failed pair still flushes progress, so a
+    // later crash resumes from the freshest state.
+    std::size_t failed_pairs = 0;
+    std::size_t live_pairs = 0;
+    for (const auto &pair : pairs) {
+        if (states[pair.state].error)
+            ++failed_pairs;
+        else if (pair.cellsRemaining > 0)
+            ++live_pairs;
+    }
+    const std::size_t total_pairs = live_pairs + failed_pairs;
+
+    std::vector<CellOutcome> slots(cells.size());
+    std::mutex progress_mutex;
+    std::atomic<std::size_t> next_cell{0};
+    std::size_t cells_done = 0;
+    std::size_t pairs_done = 0;
+    std::size_t since_checkpoint = 0;
+
+    // Called under progress_mutex. Checkpoint loss is survivable (the
+    // final save still happens); warn and continue. The snapshot walks
+    // the slots in canonical order, so even a mid-run checkpoint CSV
+    // is deterministic given the same set of completed cells.
+    auto checkpointLocked = [&]() {
         ScopedTimer checkpoint_timer(metrics(), "campaign/checkpoint");
+        Dataset snapshot = resumed_base;
+        for (const auto &slot : slots) {
+            if (slot.record)
+                snapshot.add(*slot.record);
+        }
         std::size_t save_retries = 0;
         auto saved = retryWithBackoff(
             config_.retry,
-            [&] { return report.dataset.saveResult(*cache_path); },
+            [&] { return snapshot.saveResult(*cache_path); },
             &save_retries);
         report.retriesPerformed += save_retries;
         if (saved.ok()) {
@@ -331,97 +510,195 @@ CampaignRunner::runImpl(const std::string *cache_path)
         }
     };
 
-    auto worker = [&] {
+    // Account for prep-failed pairs up front (they have no cells to
+    // wait for), checkpointing on the same cadence a completed pair
+    // would.
+    for (std::size_t burned = 0; burned < failed_pairs; ++burned) {
+        ++pairs_done;
+        if (cache_path && config_.checkpointEvery > 0 &&
+            ++since_checkpoint >= config_.checkpointEvery &&
+            pairs_done < total_pairs) {
+            since_checkpoint = 0;
+            checkpointLocked();
+        }
+    }
+
+    const unsigned cell_jobs = std::min<unsigned>(
+        jobs, std::max<std::size_t>(cells.size(), 1));
+    std::vector<MetricsRegistry> cell_shards(cell_jobs);
+    runPool(cell_jobs, [&](unsigned worker) {
+        MetricsRegistry &shard = cell_shards[worker];
+        SimContext context(shard, faults(), config_.seed, worker);
         while (true) {
-            std::size_t index = next.fetch_add(1);
-            if (index >= tasks.size())
+            std::size_t index = next_cell.fetch_add(1);
+            if (index >= cells.size())
                 return;
-            const Task &task = tasks[index];
+            const Cell &cell = cells[index];
+            PairTask &pair = pairs[cell.pair];
+            const WorkloadState &state = states[pair.state];
+            const auto &named = state.layouts[cell.layout];
 
-            Dataset local;
-            std::vector<CellFailure> failures;
-            std::size_t retries = 0;
+            // Simulate outside any lock: each worker owns its System;
+            // the trace and layout are shared immutable.
+            CellOutcome outcome;
+            ScopedTimer cell_timer(shard, "campaign/cell");
             try {
-                auto workload = workloads::makeWorkload(task.workload);
-                failures = runPair(*workload, *task.platform, config_,
-                                   local, task.done, &retries);
+                RunRecord record;
+                record.platform = pair.platform->name;
+                record.workload = state.label;
+                record.layout = named.name;
+                record.result = cpu::simulateRun(
+                    *pair.platform,
+                    state.workload->makeAllocConfig(named.layout),
+                    *state.trace, context);
+                outcome.record = std::move(record);
             } catch (const std::exception &e) {
-                failures.push_back(
-                    {task.platform->name, task.workload, "*",
-                     Error(ErrorCategory::Config, e.what())});
+                // One bad cell must not take down the pair: record it
+                // and keep simulating the remaining layouts.
+                shard.add("campaign/cells_failed");
+                outcome.failure =
+                    CellFailure{pair.platform->name, state.label,
+                                named.name,
+                                Error(ErrorCategory::Internal, e.what())};
             }
+            cell_timer.stop();
 
+            // Commit under the progress mutex: slot write, pair
+            // accounting, heartbeat composition, checkpoint cadence.
+            std::string heartbeat;
             {
-                std::lock_guard<std::mutex> lock(merge_mutex);
-                std::size_t added = 0;
-                if (local.has(task.platform->name, task.workload)) {
-                    for (const auto &record : local.runs(
-                             task.platform->name, task.workload)) {
-                        // Deduplicate by (platform, workload, layout):
-                        // a cell already admitted (resumed from the
-                        // cache or merged by another worker) must not
-                        // append a second row.
-                        if (!admitted
-                                 .insert({record.platform,
-                                          record.workload,
-                                          record.layout})
-                                 .second)
-                            continue;
-                        report.dataset.add(record);
-                        ++added;
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                slots[index] = std::move(outcome);
+                ++cells_done;
+                if (--pair.cellsRemaining == 0) {
+                    ++pairs_done;
+                    if (config_.verbose) {
+                        // Heartbeat: progress plus throughput and ETA,
+                        // so a long grid is never a silent black box.
+                        double elapsed =
+                            campaign_watch.elapsedSeconds();
+                        double rate =
+                            elapsed > 0.0
+                                ? static_cast<double>(cells_done) /
+                                      elapsed
+                                : 0.0;
+                        double eta =
+                            rate > 0.0
+                                ? static_cast<double>(cells.size() -
+                                                      cells_done) /
+                                      rate
+                                : 0.0;
+                        char pace[96];
+                        std::snprintf(pace, sizeof pace,
+                                      "%.2f cells/sec, ETA %.0fs",
+                                      rate, eta);
+                        heartbeat = detail::concat(
+                            "campaign: ", pairs_done, "/", total_pairs,
+                            " pairs done (", pair.platform->name, " ",
+                            state.label, ") — ", pace);
+                    }
+                    if (cache_path && config_.checkpointEvery > 0 &&
+                        ++since_checkpoint >= config_.checkpointEvery &&
+                        pairs_done < total_pairs) {
+                        since_checkpoint = 0;
+                        checkpointLocked();
                     }
                 }
-                report.cellsCompleted += added;
-                report.retriesPerformed += retries;
-                metrics().add("campaign/cells_completed", added);
-                if (retries > 0)
-                    metrics().add("campaign/retries", retries);
-                if (!failures.empty())
-                    metrics().add("campaign/failures", failures.size());
-                for (auto &failure : failures)
-                    report.failures.push_back(std::move(failure));
-
-                std::size_t completed = ++done_count;
-                if (config_.verbose) {
-                    // Heartbeat: progress plus throughput and ETA, so
-                    // a long grid is never a silent black box.
-                    double elapsed = campaign_watch.elapsedSeconds();
-                    double rate = elapsed > 0.0
-                                      ? static_cast<double>(completed) /
-                                            elapsed
-                                      : 0.0;
-                    double eta =
-                        rate > 0.0
-                            ? static_cast<double>(tasks.size() -
-                                                  completed) /
-                                  rate
-                            : 0.0;
-                    char pace[64];
-                    std::snprintf(pace, sizeof pace,
-                                  "%.2f pairs/sec, ETA %.0fs", rate,
-                                  eta);
-                    mosaic_inform("campaign: ", completed, "/",
-                                  tasks.size(), " pairs done (",
-                                  task.platform->name, " ",
-                                  task.workload, ") — ", pace);
-                }
-                if (cache_path && config_.checkpointEvery > 0 &&
-                    ++since_checkpoint >= config_.checkpointEvery &&
-                    completed < tasks.size()) {
-                    since_checkpoint = 0;
-                    checkpoint();
-                }
             }
+            // Every worker-side progress line goes through the
+            // mutex-protected logging layer, composed as one complete
+            // line, so parallel workers never interleave mid-line.
+            if (!heartbeat.empty())
+                mosaic_inform(heartbeat);
         }
+    });
+
+    // ---- Join: merge worker shards into the global registry in
+    // worker order (deterministic manifest for any jobs count), then
+    // assemble results in canonical slot order. ----
+    for (const auto &shard : prep_shards)
+        metrics().mergeFrom(shard);
+    for (unsigned worker = 0; worker < cell_shards.size(); ++worker) {
+        metrics().mergeFrom(cell_shards[worker]);
+        // Per-worker phase breakdown for the run manifest: how much
+        // cell time each worker absorbed (seconds + cell count).
+        metrics().addPhaseStats(
+            "campaign/worker/" + std::to_string(worker),
+            cell_shards[worker].phase("campaign/cell"));
+    }
+    metrics().set("campaign/jobs", static_cast<double>(cell_jobs));
+
+    std::size_t trace_retries = 0;
+    for (const auto &state : states)
+        trace_retries += state.retries;
+    report.retriesPerformed += trace_retries;
+    if (trace_retries > 0)
+        metrics().add("campaign/retries", trace_retries);
+
+    // Assemble the dataset pair by pair, each pair's rows in canonical
+    // layout order with resumed cells spliced back into their
+    // positions — so a resumed run's CSV is byte-identical to an
+    // uninterrupted one. The emitted set guards against duplicate keys
+    // (a cache with repeated rows, a grid naming a pair twice).
+    std::size_t added = 0;
+    std::set<std::array<std::string, 3>> emitted;
+    auto emitRecord = [&](const RunRecord &record, bool fresh) {
+        if (!emitted
+                 .insert({record.platform, record.workload,
+                          record.layout})
+                 .second) {
+            return;
+        }
+        report.dataset.add(record);
+        if (fresh)
+            ++added;
     };
 
-    unsigned n = std::min<unsigned>(config_.threads,
-                                    std::max<std::size_t>(tasks.size(), 1));
-    std::vector<std::thread> pool;
-    for (unsigned i = 0; i < n; ++i)
-        pool.emplace_back(worker);
-    for (auto &thread : pool)
-        thread.join();
+    // Pairs the cache fully covered, in cached row order (canonical
+    // whenever this engine wrote the cache).
+    for (const auto &[platform, label] : covered_pairs) {
+        for (const auto &record : resume_data->runs(platform, label))
+            emitRecord(record, false);
+    }
+
+    // Scheduled pairs, in grid order. cells[] was built pair-major
+    // with ascending layout indices, so a single cursor walks the
+    // slots in lock-step with this loop.
+    std::size_t cursor = 0;
+    for (const auto &pair : pairs) {
+        const WorkloadState &state = states[pair.state];
+        if (state.error) {
+            // Prep failed: keep whatever the cache held for the pair
+            // and report one pair-level failure.
+            if (resume_data &&
+                resume_data->has(pair.platform->name, state.label)) {
+                for (const auto &record :
+                     resume_data->runs(pair.platform->name, state.label))
+                    emitRecord(record, false);
+            }
+            report.failures.push_back({pair.platform->name, state.label,
+                                       "*", *state.error});
+            continue;
+        }
+        for (const auto &named : state.layouts) {
+            if (pair.done && pair.done->count(named.name)) {
+                auto it = resumed_records.find(
+                    {pair.platform->name, state.label, named.name});
+                if (it != resumed_records.end())
+                    emitRecord(it->second, false);
+                continue;
+            }
+            CellOutcome &slot = slots[cursor++];
+            if (slot.record)
+                emitRecord(*slot.record, true);
+            else if (slot.failure)
+                report.failures.push_back(std::move(*slot.failure));
+        }
+    }
+    report.cellsCompleted += added;
+    metrics().add("campaign/cells_completed", added);
+    if (!report.failures.empty())
+        metrics().add("campaign/failures", report.failures.size());
 
     if (cache_path) {
         ScopedTimer save_timer(metrics(), "campaign/save");

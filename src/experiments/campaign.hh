@@ -3,10 +3,15 @@
  * The measurement campaign of Section VI: run every workload on every
  * platform under the 54 exploration layouts plus the all-1GB reference.
  *
- * Traces are generated once per workload (they are layout-independent)
- * and replayed under each (platform, layout); pairs are distributed
- * over a small thread pool. A CSV cache makes the campaign a
- * run-once-per-checkout cost.
+ * Traces and layouts are prepared once per workload (they are
+ * platform- and layout-independent), then every (platform, workload,
+ * layout) cell is simulated by a work-queue scheduler over `jobs`
+ * worker threads. Each worker owns a private metrics shard and a
+ * SimContext, so the replay hot path never contends on the global
+ * registry; shards merge into it — in worker order — when the pool
+ * joins. Results land in canonically ordered slots, so the dataset
+ * (and the saved CSV) is byte-identical for any worker count. A CSV
+ * cache makes the campaign a run-once-per-checkout cost.
  *
  * The campaign is fault-tolerant at (platform, workload, layout) cell
  * granularity: a failing cell records a structured error and the
@@ -19,6 +24,8 @@
 #ifndef MOSAIC_EXPERIMENTS_CAMPAIGN_HH
 #define MOSAIC_EXPERIMENTS_CAMPAIGN_HH
 
+#include <functional>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -28,6 +35,7 @@
 #include "layouts/heuristics.hh"
 #include "support/error.hh"
 #include "support/retry.hh"
+#include "support/sim_context.hh"
 #include "workloads/registry.hh"
 
 namespace mosaic::exp
@@ -42,8 +50,21 @@ struct CampaignConfig
     /** Platforms to run on (empty = the paper's three). */
     std::vector<cpu::PlatformSpec> platforms;
 
-    /** Worker threads. */
-    unsigned threads = 2;
+    /**
+     * Worker threads for the cell scheduler; 0 picks the hardware
+     * concurrency. The dataset produced is bit-identical for any
+     * value.
+     */
+    unsigned jobs = 0;
+
+    /**
+     * Constructs workloads by paper label; unset uses the benchmark
+     * registry (workloads::makeWorkload). Tests inject synthetic
+     * workloads through this seam.
+     */
+    std::function<std::unique_ptr<workloads::Workload>(
+        const std::string &)>
+        workloadFactory;
 
     /** Also run the all-1GB layout (case study / sensitivity test). */
     bool include1g = true;
@@ -147,9 +168,13 @@ class CampaignRunner
         const cpu::PlatformSpec &platform, const CampaignConfig &config,
         Dataset &dataset,
         const std::set<std::string> *done_layouts = nullptr,
-        std::size_t *retries = nullptr);
+        std::size_t *retries = nullptr,
+        const SimContext &context = globalSimContext());
 
     const CampaignConfig &config() const { return config_; }
+
+    /** Scheduler width: config jobs, or hardware concurrency when 0. */
+    unsigned effectiveJobs() const;
 
     /** Cells expected per (platform, workload) pair: 54 (+ all-1GB). */
     std::size_t

@@ -59,8 +59,11 @@ void
 FaultInjector::reset()
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (auto &site : sites_)
-        site = SiteState{};
+    for (auto &site : sites_) {
+        site.armed.store(false, std::memory_order_release);
+        site.fireOn.store(0, std::memory_order_relaxed);
+        site.hits.store(0, std::memory_order_relaxed);
+    }
     rngState_ = 1;
 }
 
@@ -69,9 +72,12 @@ FaultInjector::arm(FaultSite site, std::uint64_t nth)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     auto &state = sites_[static_cast<std::size_t>(site)];
-    state.armed = true;
-    state.fireOn = nth;
-    state.hits = 0;
+    // fireOn/hits must be in place before the armed flag is visible:
+    // a worker that observes armed==true (acquire) must never read the
+    // previous arming's trigger or count.
+    state.fireOn.store(nth, std::memory_order_relaxed);
+    state.hits.store(0, std::memory_order_relaxed);
+    state.armed.store(true, std::memory_order_release);
 }
 
 void
@@ -137,19 +143,23 @@ FaultInjector::configureFromEnv()
 bool
 FaultInjector::shouldFail(FaultSite site)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
     auto &state = sites_[static_cast<std::size_t>(site)];
-    if (!state.armed)
+    if (!state.armed.load(std::memory_order_acquire))
         return false;
-    ++state.hits;
-    return state.fireOn == 0 || state.hits == state.fireOn;
+    // fetch_add hands every racing worker a distinct hit number, so an
+    // "nth hit" fault fires in exactly one of them and the hit tally
+    // never loses increments under parallel workers.
+    std::uint64_t hit =
+        state.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::uint64_t fire_on = state.fireOn.load(std::memory_order_relaxed);
+    return fire_on == 0 || hit == fire_on;
 }
 
 std::uint64_t
 FaultInjector::hits(FaultSite site) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return sites_[static_cast<std::size_t>(site)].hits;
+    return sites_[static_cast<std::size_t>(site)].hits.load(
+        std::memory_order_relaxed);
 }
 
 void

@@ -24,6 +24,7 @@
 #define MOSAIC_SUPPORT_FAULT_INJECTOR_HH
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
@@ -53,7 +54,12 @@ const char *faultSiteName(FaultSite site);
 
 /**
  * Process-wide registry of armed faults. Thread-safe: campaign workers
- * hit sites concurrently and counters must not be lost.
+ * hit sites concurrently and counters must not be lost. Hit counting
+ * is lock-free (atomic fetch-add), so an "nth hit" fault fires exactly
+ * once no matter how many workers race through the site, and a site
+ * that was never armed really does cost a single relaxed load on the
+ * hot path. Configuration (arm/reset/seed) takes a mutex; it happens
+ * at test setup, never while the replay loop runs.
  */
 class FaultInjector
 {
@@ -99,12 +105,16 @@ class FaultInjector
 
     struct SiteState
     {
-        bool armed = false;
-        std::uint64_t fireOn = 0; ///< 0 = every hit
-        std::uint64_t hits = 0;
+        /** Armed flag, released after fireOn is in place (arm()). */
+        std::atomic<bool> armed{false};
+
+        std::atomic<std::uint64_t> fireOn{0}; ///< 0 = every hit
+        std::atomic<std::uint64_t> hits{0};
     };
 
+    /** Serializes configuration and the corruption RNG, not hits. */
     mutable std::mutex mutex_;
+
     std::array<SiteState, static_cast<std::size_t>(FaultSite::NumSites)>
         sites_;
     std::uint64_t rngState_ = 1;

@@ -47,6 +47,37 @@ MetricsRegistry::addPhaseSample(const std::string &path, double seconds)
     ++stats.count;
 }
 
+void
+MetricsRegistry::addPhaseStats(const std::string &path,
+                               const PhaseStats &stats)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    PhaseStats &mine = phases_[path];
+    mine.seconds += stats.seconds;
+    mine.count += stats.count;
+}
+
+void
+MetricsRegistry::mergeFrom(const MetricsRegistry &shard)
+{
+    // Snapshot the shard first: taking both mutexes at once would
+    // order-deadlock if two registries ever merged into each other.
+    auto counters = shard.counters();
+    auto gauges = shard.gauges();
+    auto phases = shard.phases();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, value] : counters)
+        counters_[name] += value;
+    for (const auto &[name, value] : gauges)
+        gauges_[name] = value;
+    for (const auto &[path, stats] : phases) {
+        PhaseStats &mine = phases_[path];
+        mine.seconds += stats.seconds;
+        mine.count += stats.count;
+    }
+}
+
 PhaseStats
 MetricsRegistry::phase(const std::string &path) const
 {

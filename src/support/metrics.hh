@@ -67,8 +67,20 @@ class MetricsRegistry
     /** Accumulate @p seconds (one interval) into phase @p path. */
     void addPhaseSample(const std::string &path, double seconds);
 
+    /** Fold pre-accumulated stats into phase @p path (shard merge). */
+    void addPhaseStats(const std::string &path, const PhaseStats &stats);
+
     /** Accumulated stats of phase @p path (zeros if never recorded). */
     PhaseStats phase(const std::string &path) const;
+
+    /**
+     * Fold @p shard into this registry: counters and phases merge
+     * additively, gauges take the shard's value (last merge wins).
+     * Campaign workers accumulate into private shards while running
+     * and merge at join time — in worker order, so the merged registry
+     * is identical for any worker count.
+     */
+    void mergeFrom(const MetricsRegistry &shard);
 
     /** Snapshots, sorted by name (stable manifest output). */
     std::vector<std::pair<std::string, std::uint64_t>> counters() const;

@@ -1,0 +1,26 @@
+#include "support/sim_context.hh"
+
+namespace mosaic
+{
+
+SimContext::SimContext()
+    : metrics_(&mosaic::metrics()), faults_(&FaultInjector::instance())
+{
+}
+
+SimContext::SimContext(MetricsRegistry &metrics_sink,
+                       FaultInjector &fault_view, std::uint64_t seed,
+                       unsigned worker_id)
+    : metrics_(&metrics_sink), faults_(&fault_view), seed_(seed),
+      workerId_(worker_id)
+{
+}
+
+const SimContext &
+globalSimContext()
+{
+    static const SimContext context;
+    return context;
+}
+
+} // namespace mosaic

@@ -51,11 +51,20 @@ using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 Result<void>
 saveTraceResult(const MemoryTrace &trace, const std::string &path)
 {
-    ScopedTimer timer(metrics(), "trace/save");
-    metrics().add("trace/saves");
+    return saveTraceResult(trace, path, globalSimContext());
+}
+
+Result<void>
+saveTraceResult(const MemoryTrace &trace, const std::string &path,
+                const SimContext &context)
+{
+    MetricsRegistry &registry = context.metrics();
+    FaultInjector &faults = context.faults();
+    ScopedTimer timer(registry, "trace/save");
+    registry.add("trace/saves");
     const std::string tmp = tempPathFor(path);
     FilePtr file(std::fopen(tmp.c_str(), "wb"));
-    if (!file || faults().shouldFail(FaultSite::TraceOpen))
+    if (!file || faults.shouldFail(FaultSite::TraceOpen))
         return ioError("cannot open " + tmp + " for writing");
 
     // The header goes first with a placeholder CRC; the real CRC is
@@ -76,9 +85,9 @@ saveTraceResult(const MemoryTrace &trace, const std::string &path)
     auto flushBlock = [&]() -> Result<void> {
         crc = crc32(block.data(), block.size() * sizeof(PackedRecord),
                     crc);
-        if (faults().shouldFail(FaultSite::TraceCorrupt))
-            faults().corruptBuffer(block.data(),
-                                   block.size() * sizeof(PackedRecord));
+        if (faults.shouldFail(FaultSite::TraceCorrupt))
+            faults.corruptBuffer(block.data(),
+                                 block.size() * sizeof(PackedRecord));
         if (std::fwrite(block.data(), sizeof(PackedRecord), block.size(),
                         file.get()) != block.size())
             return ioError("record write failed for " + tmp);
@@ -127,10 +136,17 @@ saveTraceResult(const MemoryTrace &trace, const std::string &path)
 Result<MemoryTrace>
 loadTraceResult(const std::string &path)
 {
-    ScopedTimer timer(metrics(), "trace/load");
-    metrics().add("trace/loads");
+    return loadTraceResult(path, globalSimContext());
+}
+
+Result<MemoryTrace>
+loadTraceResult(const std::string &path, const SimContext &context)
+{
+    MetricsRegistry &registry = context.metrics();
+    ScopedTimer timer(registry, "trace/load");
+    registry.add("trace/loads");
     FilePtr file(std::fopen(path.c_str(), "rb"));
-    if (!file || faults().shouldFail(FaultSite::TraceOpen))
+    if (!file || context.faults().shouldFail(FaultSite::TraceOpen))
         return ioError("cannot open " + path);
 
     Header header{};

@@ -26,6 +26,7 @@
 #include <string>
 
 #include "support/error.hh"
+#include "support/sim_context.hh"
 #include "trace/trace.hh"
 
 namespace mosaic::trace
@@ -45,12 +46,21 @@ constexpr std::uint32_t traceEndianTag = 0x01020304;
 Result<void> saveTraceResult(const MemoryTrace &trace,
                              const std::string &path);
 
+/** As above, publishing metrics and fault hits through @p context. */
+Result<void> saveTraceResult(const MemoryTrace &trace,
+                             const std::string &path,
+                             const SimContext &context);
+
 /**
  * Read a trace previously written by saveTraceResult(). Io error if
  * the file cannot be opened/read; Corrupt error on bad magic, wrong
  * endianness, unsupported version, truncation, or CRC mismatch.
  */
 Result<MemoryTrace> loadTraceResult(const std::string &path);
+
+/** As above, publishing metrics and fault hits through @p context. */
+Result<MemoryTrace> loadTraceResult(const std::string &path,
+                                    const SimContext &context);
 
 /** Throwing wrapper around saveTraceResult(). */
 void saveTrace(const MemoryTrace &trace, const std::string &path);

@@ -180,7 +180,7 @@ TEST_F(CampaignFaultTest, FaultyCampaignCompletesReportsAndResumes)
     CampaignConfig config = faultConfig();
     config.workloads = {"gups/8GB", "bogus/does-not-exist"};
     config.platforms = {cpu::sandyBridge()};
-    config.threads = 2;
+    config.jobs = 2;
     config.checkpointEvery = 1;
     CampaignRunner runner(config);
 
@@ -259,7 +259,7 @@ TEST_F(CampaignFaultTest, ResumeAfterCheckpointNeverDuplicatesRows)
     CampaignConfig config = faultConfig();
     config.workloads = {"gups/8GB"};
     config.platforms = {cpu::sandyBridge()};
-    config.threads = 2;
+    config.jobs = 2;
     CampaignRunner runner(config);
 
     // A complete pair to damage.
@@ -317,7 +317,7 @@ TEST_F(CampaignFaultTest, LoadOrRunTreatsDuplicateRowCacheAsIncomplete)
     CampaignConfig config = faultConfig();
     config.workloads = {"gups/8GB"};
     config.platforms = {cpu::sandyBridge()};
-    config.threads = 2;
+    config.jobs = 2;
 
     CampaignRunner runner(config);
     Dataset complete_data = runner.loadOrRun(cache);

@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
+#include <thread>
+#include <vector>
 
 #include "support/fault_injector.hh"
 
@@ -101,6 +104,59 @@ TEST_F(FaultInjectorTest, ConfigureRejectsGarbage)
     EXPECT_FALSE(faults().configure("trace-open").ok());
     EXPECT_FALSE(faults().configure("trace-open:abc").ok());
     EXPECT_TRUE(faults().configure("").ok());
+}
+
+TEST_F(FaultInjectorTest, ConcurrentHittersNeverLoseCountsAndFireOnce)
+{
+    // Campaign workers hammer shared fault sites concurrently; the
+    // lock-free hit path must not lose counts, and "fire on the nth
+    // hit" must fire for exactly one of the racing threads.
+    constexpr int threads = 8;
+    constexpr std::uint64_t perThread = 20000;
+    constexpr std::uint64_t fireOn = threads * perThread / 2;
+    faults().arm(FaultSite::TraceOpen, fireOn);
+
+    std::atomic<std::uint64_t> fired{0};
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&] {
+            for (std::uint64_t i = 0; i < perThread; ++i) {
+                if (faults().shouldFail(FaultSite::TraceOpen))
+                    fired.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    for (auto &thread : pool)
+        thread.join();
+
+    EXPECT_EQ(faults().hits(FaultSite::TraceOpen),
+              static_cast<std::uint64_t>(threads) * perThread);
+    EXPECT_EQ(fired.load(), 1u);
+}
+
+TEST_F(FaultInjectorTest, ConcurrentEveryHitModeFiresForAllThreads)
+{
+    constexpr int threads = 4;
+    constexpr std::uint64_t perThread = 5000;
+    faults().arm(FaultSite::CsvOpen, 0); // every hit fires
+
+    std::atomic<std::uint64_t> fired{0};
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&] {
+            for (std::uint64_t i = 0; i < perThread; ++i) {
+                if (faults().shouldFail(FaultSite::CsvOpen))
+                    fired.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    for (auto &thread : pool)
+        thread.join();
+
+    EXPECT_EQ(fired.load(),
+              static_cast<std::uint64_t>(threads) * perThread);
+    EXPECT_EQ(faults().hits(FaultSite::CsvOpen),
+              static_cast<std::uint64_t>(threads) * perThread);
 }
 
 TEST_F(FaultInjectorTest, CorruptBufferIsDeterministicPerSeed)

@@ -274,6 +274,76 @@ TEST(Metrics, ResetDropsEverything)
     EXPECT_TRUE(registry.phases().empty());
 }
 
+TEST(Metrics, AddPhaseStatsFoldsPreAccumulatedIntervals)
+{
+    MetricsRegistry registry;
+    registry.addPhaseSample("campaign/cell", 0.25);
+    registry.addPhaseStats("campaign/cell", PhaseStats{0.75, 3});
+    PhaseStats stats = registry.phase("campaign/cell");
+    EXPECT_NEAR(stats.seconds, 1.0, 1e-9);
+    EXPECT_EQ(stats.count, 4u);
+
+    // Workers that timed nothing merge as zeros.
+    registry.addPhaseStats("campaign/idle", PhaseStats{});
+    EXPECT_EQ(registry.phase("campaign/idle").count, 0u);
+}
+
+TEST(Metrics, MergeFromFoldsShardsDeterministically)
+{
+    MetricsRegistry total;
+    total.add("cells", 1);
+    total.set("jobs", 1.0);
+    total.addPhaseSample("cell", 0.5);
+
+    MetricsRegistry shard_a;
+    shard_a.add("cells", 2);
+    shard_a.add("retries", 1);
+    shard_a.set("jobs", 4.0);
+    shard_a.addPhaseSample("cell", 0.25);
+
+    MetricsRegistry shard_b;
+    shard_b.add("cells", 3);
+    shard_b.addPhaseSample("cell", 0.25);
+    shard_b.addPhaseSample("trace", 1.0);
+
+    total.mergeFrom(shard_a);
+    total.mergeFrom(shard_b);
+
+    // Counters and phases merge additively; gauges take the last
+    // merged shard that set them.
+    EXPECT_EQ(total.counter("cells"), 6u);
+    EXPECT_EQ(total.counter("retries"), 1u);
+    EXPECT_EQ(total.gauge("jobs"), 4.0);
+    EXPECT_NEAR(total.phase("cell").seconds, 1.0, 1e-9);
+    EXPECT_EQ(total.phase("cell").count, 3u);
+    EXPECT_EQ(total.phase("trace").count, 1u);
+
+    // Merging an empty shard is a no-op.
+    total.mergeFrom(MetricsRegistry());
+    EXPECT_EQ(total.counter("cells"), 6u);
+}
+
+TEST(Metrics, ConcurrentShardMergesAreLossless)
+{
+    // Workers merging their shards into one registry concurrently (the
+    // campaign does it under join, but the registry itself must hold).
+    constexpr int shards = 8;
+    MetricsRegistry total;
+    std::vector<std::thread> pool;
+    for (int s = 0; s < shards; ++s) {
+        pool.emplace_back([&] {
+            MetricsRegistry shard;
+            shard.add("cells", 10);
+            shard.addPhaseSample("cell", 0.001);
+            total.mergeFrom(shard);
+        });
+    }
+    for (auto &thread : pool)
+        thread.join();
+    EXPECT_EQ(total.counter("cells"), 10u * shards);
+    EXPECT_EQ(total.phase("cell").count, static_cast<std::uint64_t>(shards));
+}
+
 TEST(Metrics, JsonEscapeHandlesSpecials)
 {
     EXPECT_EQ(jsonEscape("plain"), "plain");

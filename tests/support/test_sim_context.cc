@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Tests for the SimContext dependency seam: the global context binds
+ * the process-wide services, explicit contexts isolate observability
+ * into per-worker shards, and context-threaded APIs publish where the
+ * context says, not into the global registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/sim_context.hh"
+
+using namespace mosaic;
+
+TEST(SimContext, GlobalContextBindsProcessWideServices)
+{
+    const SimContext &context = globalSimContext();
+    EXPECT_EQ(&context.metrics(), &metrics());
+    EXPECT_EQ(&context.faults(), &faults());
+    EXPECT_EQ(context.workerId(), 0u);
+
+    // Default-constructed contexts bind the same services.
+    SimContext fresh;
+    EXPECT_EQ(&fresh.metrics(), &metrics());
+    EXPECT_EQ(&fresh.faults(), &faults());
+}
+
+TEST(SimContext, ExplicitContextRoutesIntoShard)
+{
+    MetricsRegistry shard;
+    SimContext context(shard, faults(), 42, 3);
+    EXPECT_EQ(&context.metrics(), &shard);
+    EXPECT_EQ(context.seed(), 42u);
+    EXPECT_EQ(context.workerId(), 3u);
+
+    std::uint64_t global_before = metrics().counter("simctx/test");
+    context.metrics().add("simctx/test", 7);
+    EXPECT_EQ(shard.counter("simctx/test"), 7u);
+    EXPECT_EQ(metrics().counter("simctx/test"), global_before);
+}
+
+TEST(SimContext, WithSeedCopiesEverythingElse)
+{
+    MetricsRegistry shard;
+    SimContext context(shard, faults(), 1, 5);
+    SimContext reseeded = context.withSeed(99);
+    EXPECT_EQ(reseeded.seed(), 99u);
+    EXPECT_EQ(&reseeded.metrics(), &shard);
+    EXPECT_EQ(&reseeded.faults(), &faults());
+    EXPECT_EQ(reseeded.workerId(), 5u);
+    EXPECT_EQ(context.seed(), 1u); // original untouched
+}

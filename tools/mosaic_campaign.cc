@@ -8,10 +8,13 @@
  * checkpointed to the output CSV with atomic writes, and --resume
  * skips cells a previous (interrupted) run already covered.
  *
+ * Cells are simulated by a parallel work-queue scheduler (--jobs N);
+ * the CSV produced is byte-identical for any worker count.
+ *
  * Examples:
  *   mosaic_campaign --out my_dataset.csv
  *   mosaic_campaign --workloads spec06/mcf,gups/8GB \
- *                   --platforms SandyBridge --threads 2 --out mcf.csv
+ *                   --platforms SandyBridge --jobs 4 --out mcf.csv
  *   mosaic_campaign --out big.csv --resume --trace-cache traces/
  *
  * Exit codes: 0 all cells completed, 2 usage error, 3 campaign
@@ -30,12 +33,15 @@ namespace
 
 constexpr const char *usageText =
     "usage: mosaic_campaign [--workloads a,b,...] [--platforms x,y]\n"
-    "                       [--threads N] [--no-1gb] [--out FILE]\n"
+    "                       [--jobs N] [--no-1gb] [--out FILE]\n"
     "                       [--resume] [--trace-cache DIR]\n"
     "                       [--checkpoint-every N] [--max-retries N]\n"
     "                       [--metrics-out FILE]\n"
-    "defaults: all 19 workloads, the paper's 3 platforms, 2 threads,\n"
-    "          out = mosaic_dataset.csv, checkpoint every pair\n"
+    "defaults: all 19 workloads, the paper's 3 platforms, jobs =\n"
+    "          hardware concurrency, out = mosaic_dataset.csv,\n"
+    "          checkpoint every pair\n"
+    "--jobs picks the worker-thread count; the dataset CSV is\n"
+    "byte-identical for any value (--threads is a deprecated alias).\n"
     "--resume keeps cells already present in --out instead of\n"
     "recomputing them; without it the output is rebuilt from scratch.\n"
     "--metrics-out writes a JSON run manifest (config, per-phase\n"
@@ -66,8 +72,11 @@ campaignMain(int argc, char **argv)
                     cpu::platformByName(trimString(name)));
         }
     }
-    if (args.has("threads"))
-        config.threads =
+    if (args.has("jobs"))
+        config.jobs =
+            static_cast<unsigned>(std::stoul(args.get("jobs")));
+    else if (args.has("threads")) // deprecated alias, kept for scripts
+        config.jobs =
             static_cast<unsigned>(std::stoul(args.get("threads")));
     if (args.has("no-1gb"))
         config.include1g = false;
@@ -98,8 +107,9 @@ campaignMain(int argc, char **argv)
     manifest.setConfig("out", out);
     manifest.setConfig("workloads", effective.workloads);
     manifest.setConfig("platforms", platform_names);
-    manifest.setConfig("threads",
-                       static_cast<std::uint64_t>(effective.threads));
+    manifest.setConfig("jobs",
+                       static_cast<std::uint64_t>(
+                           runner.effectiveJobs()));
     manifest.setConfig("include_1gb", effective.include1g);
     manifest.setConfig("seed", effective.seed);
     manifest.setConfig("resume", args.has("resume"));
