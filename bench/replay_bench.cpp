@@ -13,7 +13,7 @@
  *
  * Usage:
  *   replay_bench [--records N] [--reps R] [--footprint-mb M]
- *                [--jobs N]
+ *                [--jobs N] [--fused]
  *                [--out BENCH_replay.json] [--baseline OLD.json]
  *                [--baseline-source LABEL] [--quick]
  *                [--metrics-out FILE]
@@ -24,6 +24,13 @@
  * registry afterwards). Per-cell throughput numbers measure the same
  * single-thread inner loop for any jobs value; the sweep wall time
  * shows the parallel-replay scaling.
+ *
+ * --fused additionally replays each platform's whole layout grid in
+ * one fused pass (cpu::simulateRunFused) and records fused vs.
+ * sequential throughput, including the speedup ratio, in the JSON.
+ * The fused counters are verified bit-identical against the
+ * sequential runs before anything is written; a divergence fails the
+ * benchmark (exit 4).
  *
  * --baseline embeds the aggregate numbers of a previous run (e.g. the
  * pre-optimization build) into the output, plus the speedup ratio.
@@ -38,6 +45,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -64,6 +72,15 @@ struct BenchRun
     double wallSeconds = 0.0;
     double recordsPerSec = 0.0;
     cpu::RunResult result;
+};
+
+/** One fused pass (a platform's whole layout grid in one replay). */
+struct FusedRun
+{
+    std::string platform;
+    std::size_t layouts = 0;
+    double wallSeconds = 0.0;
+    double recordsPerSec = 0.0;
 };
 
 /** Pull "key": number out of a previously written bench JSON. */
@@ -103,12 +120,31 @@ hasFlag(int argc, char **argv, const char *name)
     return false;
 }
 
+/** Fields of a RunResult that must agree between engines. */
+bool
+sameCounters(const cpu::RunResult &a, const cpu::RunResult &b)
+{
+    return a.runtimeCycles == b.runtimeCycles &&
+           a.tlbHitsL2 == b.tlbHitsL2 && a.tlbMisses == b.tlbMisses &&
+           a.walkCycles == b.walkCycles && a.l1TlbHits == b.l1TlbHits &&
+           a.walkerQueueCycles == b.walkerQueueCycles &&
+           a.progL1dLoads == b.progL1dLoads &&
+           a.progL2Loads == b.progL2Loads &&
+           a.progL3Loads == b.progL3Loads &&
+           a.progDramLoads == b.progDramLoads &&
+           a.walkL1dLoads == b.walkL1dLoads &&
+           a.walkL2Loads == b.walkL2Loads &&
+           a.walkL3Loads == b.walkL3Loads &&
+           a.walkDramLoads == b.walkDramLoads;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     const bool quick = hasFlag(argc, argv, "--quick");
+    const bool fused = hasFlag(argc, argv, "--fused");
     const std::uint64_t records = std::stoull(
         getOpt(argc, argv, "--records", quick ? "200000" : "2000000"));
     const int reps =
@@ -139,6 +175,12 @@ main(int argc, char **argv)
         {"all4k", alloc::MosaicLayout(pool)});
     mosaics.push_back(
         {"all2m", alloc::MosaicLayout::uniform(pool, alloc::PageSize::Page2M)});
+    mosaics.push_back(
+        {"all1g", alloc::MosaicLayout::uniform(pool, alloc::PageSize::Page1G)});
+    mosaics.push_back(
+        {"win2m", alloc::MosaicLayout::withWindow(
+                      pool, 0, std::min<Bytes>(24_MiB, footprint),
+                      alloc::PageSize::Page2M)});
 
     // The grid cells are independent: build them all first, then run
     // them over the worker pool. Each cell owns its allocator, trace
@@ -173,6 +215,14 @@ main(int argc, char **argv)
         }
     }
 
+    auto runPool = [](unsigned n, auto &&body) {
+        std::vector<std::thread> pool;
+        for (unsigned i = 0; i < n; ++i)
+            pool.emplace_back(body, i);
+        for (auto &thread : pool)
+            thread.join();
+    };
+
     const unsigned workers = std::max(
         1u, std::min<unsigned>(
                 jobs, static_cast<unsigned>(cells.size())));
@@ -180,50 +230,45 @@ main(int argc, char **argv)
     std::vector<MetricsRegistry> shards(workers);
     std::atomic<std::size_t> next_cell{0};
     auto sweep_start = std::chrono::steady_clock::now();
-    std::vector<std::thread> worker_pool;
-    for (unsigned worker = 0; worker < workers; ++worker) {
-        worker_pool.emplace_back([&, worker] {
-            MetricsRegistry &shard = shards[worker];
-            SimContext context(shard, faults(), 0, worker);
-            while (true) {
-                std::size_t index = next_cell.fetch_add(1);
-                if (index >= cells.size())
-                    return;
-                const BenchCell &cell = cells[index];
-                // Rebuild the allocation deterministically: same
-                // config, same malloc, same base the trace targets.
-                alloc::Mosalloc allocator(cell.allocConfig);
-                VirtAddr base = allocator.malloc(footprint);
-                mosaic_assert(base == cell.base,
-                              "allocator no longer deterministic");
+    runPool(workers, [&](unsigned worker) {
+        MetricsRegistry &shard = shards[worker];
+        SimContext context(shard, faults(), 0, worker);
+        while (true) {
+            std::size_t index = next_cell.fetch_add(1);
+            if (index >= cells.size())
+                return;
+            const BenchCell &cell = cells[index];
+            // Rebuild the allocation deterministically: same
+            // config, same malloc, same base the trace targets.
+            alloc::Mosalloc allocator(cell.allocConfig);
+            VirtAddr base = allocator.malloc(footprint);
+            mosaic_assert(base == cell.base,
+                          "allocator no longer deterministic");
 
-                BenchRun run;
-                run.platform = cell.platform->name;
-                run.layout = cell.mosaic->name;
-                run.wallSeconds = 1e300;
-                for (int rep = 0; rep < reps; ++rep) {
-                    // Fresh machine per rep: cold TLBs and caches, so
-                    // every rep replays the identical work. Wall time
-                    // comes from this worker's shard — System::run
-                    // publishes each replay into the "replay/run"
-                    // phase — so the bench and --metrics-out report
-                    // from one source instead of ad-hoc counters.
-                    cpu::System system(*cell.platform, allocator,
-                                       context);
-                    PhaseStats before = shard.phase("replay/run");
-                    run.result = system.run(cell.trace);
-                    PhaseStats after = shard.phase("replay/run");
-                    run.wallSeconds = std::min(
-                        run.wallSeconds, after.seconds - before.seconds);
-                }
-                run.recordsPerSec =
-                    static_cast<double>(records) / run.wallSeconds;
-                runs[index] = std::move(run);
+            BenchRun run;
+            run.platform = cell.platform->name;
+            run.layout = cell.mosaic->name;
+            run.wallSeconds = 1e300;
+            for (int rep = 0; rep < reps; ++rep) {
+                // Fresh machine per rep: cold TLBs and caches, so
+                // every rep replays the identical work. Wall time
+                // comes from this worker's shard — System::run
+                // publishes each replay into the "replay/run"
+                // phase — so the bench and --metrics-out report
+                // from one source instead of ad-hoc counters.
+                cpu::System system(*cell.platform, allocator,
+                                   context);
+                PhaseStats before = shard.phase("replay/run");
+                run.result = system.run(cell.trace);
+                PhaseStats after = shard.phase("replay/run");
+                run.wallSeconds = std::min(
+                    run.wallSeconds, after.seconds - before.seconds);
             }
-        });
-    }
-    for (auto &thread : worker_pool)
-        thread.join();
+            run.recordsPerSec =
+                static_cast<double>(records) / run.wallSeconds;
+            runs[index] = std::move(run);
+        }
+    });
     double sweep_wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       sweep_start)
@@ -247,6 +292,97 @@ main(int argc, char **argv)
                 "(%u job(s), sweep wall %.3fs)\n",
                 total_wall, aggregate_rps, workers, sweep_wall);
 
+    // ---- Fused passes: each platform's whole layout grid through one
+    // trace pass. The per-lane counters must be bit-identical to the
+    // sequential cells above; a mismatch is a correctness bug, not a
+    // noise source, and fails the benchmark. ----
+    std::vector<FusedRun> fused_runs;
+    double fused_wall = 0.0, fused_records = 0.0;
+    if (fused) {
+        fused_runs.resize(platforms.size());
+        const unsigned fused_workers = std::max(
+            1u, std::min<unsigned>(
+                    jobs, static_cast<unsigned>(platforms.size())));
+        std::vector<MetricsRegistry> fused_shards(fused_workers);
+        std::atomic<std::size_t> next_platform{0};
+        std::atomic<bool> mismatch{false};
+        runPool(fused_workers, [&](unsigned worker) {
+            MetricsRegistry &shard = fused_shards[worker];
+            SimContext context(shard, faults(), 0, worker);
+            while (true) {
+                std::size_t p = next_platform.fetch_add(1);
+                if (p >= platforms.size())
+                    return;
+                const auto &platform = platforms[p];
+                // The grid cells of this platform, in mosaic order;
+                // all lanes replay the first cell's trace (the traced
+                // base is layout-independent by construction).
+                std::vector<const BenchCell *> grid;
+                std::vector<alloc::MosallocConfig> configs;
+                for (const auto &cell : cells) {
+                    if (cell.platform != &platform)
+                        continue;
+                    mosaic_assert(cell.base == cells[0].base,
+                                  "traced base must not depend on the "
+                                  "layout");
+                    grid.push_back(&cell);
+                    configs.push_back(cell.allocConfig);
+                }
+                const trace::MemoryTrace &trace = grid.front()->trace;
+
+                FusedRun run;
+                run.platform = platform.name;
+                run.layouts = configs.size();
+                run.wallSeconds = 1e300;
+                std::vector<Result<cpu::RunResult>> outcomes;
+                for (int rep = 0; rep < reps; ++rep) {
+                    PhaseStats before = shard.phase("replay/fused_pass");
+                    outcomes = cpu::simulateRunFused(platform, configs,
+                                                     trace, context);
+                    PhaseStats after = shard.phase("replay/fused_pass");
+                    run.wallSeconds = std::min(
+                        run.wallSeconds, after.seconds - before.seconds);
+                }
+                run.recordsPerSec = static_cast<double>(records) *
+                                    static_cast<double>(run.layouts) /
+                                    run.wallSeconds;
+                for (std::size_t i = 0; i < grid.size(); ++i) {
+                    if (!outcomes[i].ok() ||
+                        !sameCounters(outcomes[i].value(),
+                                      runs[grid[i] - cells.data()]
+                                          .result)) {
+                        std::fprintf(
+                            stderr,
+                            "FUSED COUNTER MISMATCH: %s/%s diverges "
+                            "from the sequential replay\n",
+                            platform.name.c_str(),
+                            grid[i]->mosaic->name);
+                        mismatch.store(true);
+                    }
+                }
+                fused_runs[p] = std::move(run);
+            }
+        });
+        if (mismatch.load())
+            return 4;
+        for (unsigned worker = 0; worker < fused_workers; ++worker)
+            mosaic::metrics().mergeFrom(fused_shards[worker]);
+
+        for (const auto &run : fused_runs) {
+            std::printf("%-12s fused(%zu layouts) %8.3fs  "
+                        "%12.0f records/sec\n",
+                        run.platform.c_str(), run.layouts,
+                        run.wallSeconds, run.recordsPerSec);
+            fused_wall += run.wallSeconds;
+            fused_records += static_cast<double>(records) *
+                             static_cast<double>(run.layouts);
+        }
+        std::printf("fused aggregate: %.3fs replay time, %.0f "
+                    "records/sec (%.3fx vs sequential)\n",
+                    fused_wall, fused_records / fused_wall,
+                    (fused_records / fused_wall) / aggregate_rps);
+    }
+
     double base_rps = 0.0, base_wall = 0.0;
     bool have_baseline = false;
     if (!baseline_path.empty()) {
@@ -267,7 +403,7 @@ main(int argc, char **argv)
 
     std::ostringstream json;
     json << "{\n";
-    json << "  \"schema\": \"mosaic-replay-bench/1\",\n";
+    json << "  \"schema\": \"mosaic-replay-bench/2\",\n";
     json << "  \"records\": " << records << ",\n";
     json << "  \"reps\": " << reps << ",\n";
     json << "  \"jobs\": " << workers << ",\n";
@@ -300,6 +436,32 @@ main(int argc, char **argv)
              << (i + 1 < runs.size() ? "," : "") << "\n";
     }
     json << "  ],\n";
+    if (fused) {
+        json << "  \"fused_runs\": [\n";
+        for (std::size_t i = 0; i < fused_runs.size(); ++i) {
+            const auto &run = fused_runs[i];
+            char line[256];
+            std::snprintf(line, sizeof line,
+                          "    {\"platform\": \"%s\", \"layouts\": %zu, "
+                          "\"wall_seconds\": %.6f, "
+                          "\"records_per_sec\": %.1f}%s\n",
+                          run.platform.c_str(), run.layouts,
+                          run.wallSeconds, run.recordsPerSec,
+                          i + 1 < fused_runs.size() ? "," : "");
+            json << line;
+        }
+        json << "  ],\n";
+        char fusedagg[256];
+        std::snprintf(fusedagg, sizeof fusedagg,
+                      "  \"fused\": {\"layouts_per_pass\": %zu, "
+                      "\"wall_seconds\": %.6f, "
+                      "\"records_per_sec\": %.1f, "
+                      "\"speedup_vs_sequential\": %.3f},\n",
+                      mosaics.size(), fused_wall,
+                      fused_records / fused_wall,
+                      (fused_records / fused_wall) / aggregate_rps);
+        json << fusedagg;
+    }
     char agg[256];
     std::snprintf(agg, sizeof agg,
                   "  \"aggregate\": {\"wall_seconds\": %.6f, "
@@ -336,6 +498,8 @@ main(int argc, char **argv)
         manifest.setConfig("reps", static_cast<std::uint64_t>(reps));
         manifest.setConfig("jobs", static_cast<std::uint64_t>(workers));
         manifest.setConfig("footprint_bytes", footprint);
+        manifest.setConfig("fused",
+                           static_cast<std::uint64_t>(fused ? 1 : 0));
         manifest.setConfig("out", out_path);
         auto written = manifest.write(metrics_out, mosaic::metrics());
         if (!written.ok()) {

@@ -77,6 +77,43 @@ class RetireHistory
     double lastPassed_ = 0.0;
 };
 
+/**
+ * Read the PMU counters of one finished replay back out of the
+ * machine's MMU and hierarchy. Shared by the sequential and fused
+ * engines so both produce the readout through identical code.
+ */
+RunResult
+readoutCounters(const trace::MemoryTrace &trace, double retire_clock,
+                const vm::Mmu &mmu, const mem::MemoryHierarchy &hierarchy)
+{
+    RunResult result;
+    result.runtimeCycles = static_cast<Cycles>(std::llround(retire_clock));
+    result.instructions = trace.totalInstructions();
+    result.memoryRefs = trace.size();
+
+    const auto &mmu_counters = mmu.counters();
+    result.tlbHitsL2 = mmu_counters.h;
+    result.tlbMisses = mmu_counters.m;
+    result.walkCycles = mmu_counters.c;
+    result.l1TlbHits = mmu_counters.l1Hits;
+    result.walkerQueueCycles = mmu_counters.queueCycles;
+
+    auto prog = mem::Requester::Program;
+    auto walk = mem::Requester::Walker;
+    const auto &l1s = hierarchy.l1().stats();
+    const auto &l2s = hierarchy.l2().stats();
+    const auto &l3s = hierarchy.l3().stats();
+    result.progL1dLoads = l1s.accesses(prog);
+    result.progL2Loads = l2s.accesses(prog);
+    result.progL3Loads = l3s.accesses(prog);
+    result.progDramLoads = l3s.misses[static_cast<std::size_t>(prog)];
+    result.walkL1dLoads = l1s.accesses(walk);
+    result.walkL2Loads = l2s.accesses(walk);
+    result.walkL3Loads = l3s.accesses(walk);
+    result.walkDramLoads = l3s.misses[static_cast<std::size_t>(walk)];
+    return result;
+}
+
 } // namespace
 
 RunResult
@@ -192,32 +229,169 @@ CoreModel::run(const trace::MemoryTrace &trace, vm::Mmu &mmu,
         }
     }
 
-    RunResult result;
-    result.runtimeCycles = static_cast<Cycles>(std::llround(retire_clock));
-    result.instructions = trace.totalInstructions();
-    result.memoryRefs = trace.size();
+    return readoutCounters(trace, retire_clock, mmu, hierarchy);
+}
 
-    const auto &mmu_counters = mmu.counters();
-    result.tlbHitsL2 = mmu_counters.h;
-    result.tlbMisses = mmu_counters.m;
-    result.walkCycles = mmu_counters.c;
-    result.l1TlbHits = mmu_counters.l1Hits;
-    result.walkerQueueCycles = mmu_counters.queueCycles;
+std::vector<RunResult>
+CoreModel::runFused(const trace::MemoryTrace &trace,
+                    std::span<const FusedLane> lanes)
+{
+    const double base_cpi = params_.baseCpi;
+    const std::size_t num_lanes = lanes.size();
 
-    auto prog = mem::Requester::Program;
-    auto walk = mem::Requester::Walker;
-    const auto &l1s = hierarchy.l1().stats();
-    const auto &l2s = hierarchy.l2().stats();
-    const auto &l3s = hierarchy.l3().stats();
-    result.progL1dLoads = l1s.accesses(prog);
-    result.progL2Loads = l2s.accesses(prog);
-    result.progL3Loads = l3s.accesses(prog);
-    result.progDramLoads = l3s.misses[static_cast<std::size_t>(prog)];
-    result.walkL1dLoads = l1s.accesses(walk);
-    result.walkL2Loads = l2s.accesses(walk);
-    result.walkL3Loads = l3s.accesses(walk);
-    result.walkDramLoads = l3s.misses[static_cast<std::size_t>(walk)];
-    return result;
+    /**
+     * Per-lane machine state. Every field mirrors the identically
+     * named local of run(); the per-record update sequence below is
+     * kept op-for-op (and FP-op-for-FP-op) identical so each lane
+     * retires the exact arithmetic a dedicated sequential run would.
+     */
+    struct LaneState
+    {
+        vm::Mmu *mmu;
+        mem::MemoryHierarchy *hierarchy;
+        double workClock = 0.0;
+        double retireClock = 0.0;
+        double prevCompletion = 0.0;
+        std::uint64_t instIndex = 0;
+        std::size_t ring = 0;
+        Cycles l1Latency;
+        RetireHistory history;
+        std::vector<double> outstanding;
+        std::vector<PhysAddr> stagedData;
+        std::vector<PhysAddr> stagedEntry;
+        std::vector<alloc::PageSize> stagedSize;
+
+        LaneState(const FusedLane &lane, const CoreParams &params)
+            : mmu(lane.mmu),
+              hierarchy(lane.hierarchy),
+              l1Latency(lane.hierarchy->config().latencies.l1),
+              history(params.robInstructions),
+              outstanding(params.maxOutstanding, 0.0),
+              stagedData(trace::ReplayBatcher::kChunkRecords),
+              stagedEntry(trace::ReplayBatcher::kChunkRecords),
+              stagedSize(trace::ReplayBatcher::kChunkRecords)
+        {
+        }
+    };
+
+    std::vector<LaneState> states;
+    states.reserve(num_lanes);
+    for (const FusedLane &lane : lanes) {
+        mosaic_assert(lane.mmu && lane.hierarchy,
+                      "fused lane without a machine");
+        states.emplace_back(lane, params_);
+    }
+
+    constexpr std::size_t kPrefetchAhead = 16;
+
+    // Lane-blocked fan-out: decode a block of chunks once, then run
+    // every lane over the whole block before decoding the next. One
+    // lane's hot simulator state (TLB arrays, cache tags, memo slots)
+    // stays host-cache-resident for kFanoutChunks * kChunkRecords
+    // consecutive records instead of being evicted by its siblings
+    // after every record; the block itself is decoded num_lanes times
+    // less often than run() would decode it.
+    trace::ReplayBatcher batcher(trace);
+    trace::ReplayBatcher::Block block;
+    while (batcher.nextBlock(block)) {
+        for (LaneState &state : states) {
+            vm::Mmu &mmu = *state.mmu;
+            mem::MemoryHierarchy &hierarchy = *state.hierarchy;
+            PhysAddr *staged_data = state.stagedData.data();
+            PhysAddr *staged_entry = state.stagedEntry.data();
+            alloc::PageSize *staged_size = state.stagedSize.data();
+            for (std::size_t c = 0; c < block.chunks; ++c) {
+                const trace::ReplayBatcher::Chunk &chunk =
+                    block.chunk[c];
+
+                // Staging pass, identical to run()'s (plus the page
+                // size, which the timing pass below reuses instead of
+                // re-reading the memo).
+                for (std::size_t i = 0; i < chunk.size; ++i) {
+                    if (i + 8 < chunk.size)
+                        mmu.prefetchXlate(chunk.vaddr[i + 8]);
+                    const VirtAddr vaddr = chunk.vaddr[i];
+                    const vm::Translation &xlate =
+                        mmu.peekTranslate(vaddr);
+                    staged_data[i] = xlate.physAddr + (vaddr & 0xfff);
+                    staged_entry[i] =
+                        xlate.entryAddrs[xlate.depth - 1];
+                    staged_size[i] = xlate.pageSize;
+                }
+
+                // Timing pass: op-for-op the run() loop, except that
+                // the translation comes from the staged arrays
+                // (translateStaged) rather than a second memo lookup.
+                for (std::size_t i = 0; i < chunk.size; ++i) {
+                    if (i + kPrefetchAhead < chunk.size) {
+                        hierarchy.prefetchSets(
+                            staged_data[i + kPrefetchAhead]);
+                        hierarchy.prefetchSets(
+                            staged_entry[i + kPrefetchAhead]);
+                    }
+                    const PhysAddr data_addr = staged_data[i];
+                    const alloc::PageSize page_size = staged_size[i];
+
+                    const VirtAddr vaddr = chunk.vaddr[i];
+                    const std::uint32_t meta = chunk.meta[i];
+
+                    std::uint64_t insts =
+                        (meta & trace::ReplayBatcher::kGapMask) + 1;
+                    double work =
+                        base_cpi * static_cast<double>(insts);
+                    state.workClock += work;
+                    state.instIndex += insts;
+
+                    double rob_ready =
+                        state.instIndex > params_.robInstructions
+                            ? state.history.retiredBy(
+                                  state.instIndex -
+                                  params_.robInstructions)
+                            : 0.0;
+                    double issue = std::max(
+                        {state.workClock,
+                         state.outstanding[state.ring], rob_ready});
+                    if (meta & trace::ReplayBatcher::kDependsBit)
+                        issue = std::max(issue, state.prevCompletion);
+
+                    auto xlat = mmu.translateStaged(
+                        vaddr, data_addr, page_size,
+                        static_cast<Cycles>(issue));
+                    double xlat_done =
+                        issue + static_cast<double>(xlat.queueCycles +
+                                                    xlat.latency);
+
+                    auto data = hierarchy.access(
+                        xlat.physAddr, mem::Requester::Program);
+                    double data_extra =
+                        data.latency > state.l1Latency
+                            ? static_cast<double>(data.latency -
+                                                  state.l1Latency)
+                            : 0.0;
+                    double completion = xlat_done + data_extra;
+
+                    state.outstanding[state.ring] = completion;
+                    if (++state.ring == state.outstanding.size())
+                        state.ring = 0;
+                    state.prevCompletion = completion;
+
+                    state.retireClock = std::max(
+                        state.retireClock + work, completion);
+                    state.history.push(state.instIndex,
+                                       state.retireClock);
+                }
+            }
+        }
+    }
+
+    std::vector<RunResult> results;
+    results.reserve(num_lanes);
+    for (const LaneState &state : states) {
+        results.push_back(readoutCounters(trace, state.retireClock,
+                                          *state.mmu,
+                                          *state.hierarchy));
+    }
+    return results;
 }
 
 } // namespace mosaic::cpu

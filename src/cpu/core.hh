@@ -22,6 +22,7 @@
 #define MOSAIC_CPU_CORE_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "memhier/hierarchy.hh"
@@ -77,6 +78,18 @@ struct RunResult
 };
 
 /**
+ * One layout lane of a fused multi-layout replay: the mutable machine
+ * state (MMU + cache hierarchy) a fused pass drives for that layout.
+ * Both structures must be freshly constructed (or flushed), exactly as
+ * CoreModel::run requires.
+ */
+struct FusedLane
+{
+    vm::Mmu *mmu = nullptr;
+    mem::MemoryHierarchy *hierarchy = nullptr;
+};
+
+/**
  * The retire-stream timing engine.
  */
 class CoreModel
@@ -92,6 +105,27 @@ class CoreModel
      */
     RunResult run(const trace::MemoryTrace &trace, vm::Mmu &mmu,
                   mem::MemoryHierarchy &hierarchy);
+
+    /**
+     * Replay @p trace once, driving every lane in @p lanes through the
+     * same single pass over the staged replay chunks.
+     *
+     * Lanes are fully independent machines: per record, each lane
+     * performs exactly the operations (in exactly the order, including
+     * floating-point order) that a dedicated run() would perform, so
+     * every lane's RunResult is bit-identical to a sequential run over
+     * the same (mmu, hierarchy) pair — the fused golden tests enforce
+     * this. The pass iterates lane-blocked over decoded fan-out blocks
+     * (ReplayBatcher::nextBlock): each block is decoded once and every
+     * lane consumes it while its own simulator state stays
+     * host-cache-hot, and the timing loop retires each record through
+     * the staged translation (Mmu::translateStaged) instead of a
+     * second memo lookup.
+     *
+     * Returns one RunResult per lane, in lane order.
+     */
+    std::vector<RunResult> runFused(const trace::MemoryTrace &trace,
+                                    std::span<const FusedLane> lanes);
 
     const CoreParams &params() const { return params_; }
 

@@ -1,9 +1,40 @@
 #include "cpu/system.hh"
 
+#include <stdexcept>
+
+#include "support/fault_injector.hh"
 #include "support/metrics.hh"
 
 namespace mosaic::cpu
 {
+
+namespace
+{
+
+/**
+ * Per-replay counter totals, published once per finished run — the
+ * fused pass publishes the identical set per lane, so campaign
+ * dashboards see the same totals whichever engine simulated a cell.
+ */
+void
+publishReplayCounters(MetricsRegistry &registry,
+                      const trace::MemoryTrace &trace,
+                      const RunResult &result)
+{
+    registry.add("replay/records", trace.size());
+    registry.add("replay/prog_l1_loads", result.progL1dLoads);
+    registry.add("replay/prog_l2_loads", result.progL2Loads);
+    registry.add("replay/prog_l3_loads", result.progL3Loads);
+    registry.add("replay/prog_dram_loads", result.progDramLoads);
+    registry.add("replay/walk_l1_loads", result.walkL1dLoads);
+    registry.add("replay/walk_l2_loads", result.walkL2Loads);
+    registry.add("replay/walk_l3_loads", result.walkL3Loads);
+    registry.add("replay/walk_dram_loads", result.walkDramLoads);
+    registry.add("replay/tlb_misses", result.tlbMisses);
+    registry.add("replay/walk_cycles", result.walkCycles);
+}
+
+} // namespace
 
 System::System(const PlatformSpec &platform,
                const alloc::Mosalloc &allocator,
@@ -29,17 +60,7 @@ System::run(const trace::MemoryTrace &trace)
     RunResult result = core_.run(trace, *mmu_, *hierarchy_);
     timer.stop();
 
-    registry.add("replay/records", trace.size());
-    registry.add("replay/prog_l1_loads", result.progL1dLoads);
-    registry.add("replay/prog_l2_loads", result.progL2Loads);
-    registry.add("replay/prog_l3_loads", result.progL3Loads);
-    registry.add("replay/prog_dram_loads", result.progDramLoads);
-    registry.add("replay/walk_l1_loads", result.walkL1dLoads);
-    registry.add("replay/walk_l2_loads", result.walkL2Loads);
-    registry.add("replay/walk_l3_loads", result.walkL3Loads);
-    registry.add("replay/walk_dram_loads", result.walkDramLoads);
-    registry.add("replay/tlb_misses", result.tlbMisses);
-    registry.add("replay/walk_cycles", result.walkCycles);
+    publishReplayCounters(registry, trace, result);
     return result;
 }
 
@@ -56,9 +77,75 @@ simulateRun(const PlatformSpec &platform,
             const alloc::MosallocConfig &alloc_config,
             const trace::MemoryTrace &trace, const SimContext &context)
 {
+    if (context.faults().shouldFail(FaultSite::SimLane))
+        throw std::runtime_error("injected sim-lane fault");
     alloc::Mosalloc allocator(alloc_config);
     System system(platform, allocator, context);
     return system.run(trace);
+}
+
+std::vector<Result<RunResult>>
+simulateRunFused(const PlatformSpec &platform,
+                 std::span<const alloc::MosallocConfig> alloc_configs,
+                 const trace::MemoryTrace &trace,
+                 const SimContext &context)
+{
+    MetricsRegistry &registry = context.metrics();
+
+    // Build every lane's machine first, isolating per-lane failures:
+    // a layout whose allocator or System cannot be built (or that
+    // draws an injected sim-lane fault, the hook the fused
+    // fault-isolation tests use) must not keep its siblings from
+    // replaying.
+    std::vector<std::unique_ptr<System>> systems(alloc_configs.size());
+    std::vector<Result<RunResult>> outcomes;
+    outcomes.reserve(alloc_configs.size());
+    std::vector<FusedLane> lanes;
+    lanes.reserve(alloc_configs.size());
+    for (std::size_t i = 0; i < alloc_configs.size(); ++i) {
+        try {
+            if (context.faults().shouldFail(FaultSite::SimLane))
+                throw std::runtime_error("injected sim-lane fault");
+            alloc::Mosalloc allocator(alloc_configs[i]);
+            systems[i] = std::make_unique<System>(platform, allocator,
+                                                  context);
+            lanes.push_back({systems[i]->mmu_.get(),
+                             systems[i]->hierarchy_.get()});
+            outcomes.push_back(RunResult{}); // placeholder; filled below
+        } catch (const std::exception &e) {
+            registry.add("replay/fused_lane_failures");
+            outcomes.push_back(
+                Error(ErrorCategory::Internal,
+                      std::string("fused lane setup failed: ") +
+                          e.what()));
+        }
+    }
+
+    if (!lanes.empty()) {
+        // The timed "replay/fused_pass" phase covers exactly the fused
+        // replay, mirroring how "replay/run" covers one sequential
+        // replay: machine construction above and bookkeeping below are
+        // excluded from both, so the two phases compare like for like.
+        CoreModel core(platform.core);
+        ScopedTimer pass_timer(registry, "replay/fused_pass");
+        std::vector<RunResult> results = core.runFused(trace, lanes);
+        pass_timer.stop();
+
+        std::size_t lane = 0;
+        for (std::size_t i = 0; i < alloc_configs.size(); ++i) {
+            if (!systems[i])
+                continue;
+            publishReplayCounters(registry, trace, results[lane]);
+            outcomes[i] = results[lane];
+            ++lane;
+        }
+    }
+
+    registry.add("replay/fused_passes");
+    registry.add("replay/fused_lane_runs", lanes.size());
+    registry.set("replay/fused_layouts",
+                 static_cast<double>(lanes.size()));
+    return outcomes;
 }
 
 } // namespace mosaic::cpu

@@ -13,8 +13,11 @@
 #define MOSAIC_CPU_SYSTEM_HH
 
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "cpu/core.hh"
+#include "support/error.hh"
 #include "cpu/platform.hh"
 #include "memhier/hierarchy.hh"
 #include "mosalloc/mosalloc.hh"
@@ -58,6 +61,12 @@ class System
     const SimContext &context() const { return context_; }
 
   private:
+    /** The fused engine drives this System's machine state directly. */
+    friend std::vector<Result<RunResult>> simulateRunFused(
+        const PlatformSpec &platform,
+        std::span<const alloc::MosallocConfig> alloc_configs,
+        const trace::MemoryTrace &trace, const SimContext &context);
+
     PlatformSpec platform_;
     SimContext context_;
     std::unique_ptr<vm::PhysMem> physMem_;
@@ -83,6 +92,34 @@ RunResult simulateRun(const PlatformSpec &platform,
                       const alloc::MosallocConfig &alloc_config,
                       const trace::MemoryTrace &trace,
                       const SimContext &context);
+
+/**
+ * Fused multi-layout replay: build one System per entry of
+ * @p alloc_configs and drive all of them through a *single* pass over
+ * @p trace (CoreModel::runFused) instead of one full replay per
+ * layout.
+ *
+ * Per-layout semantics are untouched: every returned RunResult is
+ * bit-identical to what simulateRun(platform, alloc_configs[i], trace)
+ * would produce — the fused golden tests enforce this — so callers may
+ * freely substitute a fused pass for a per-layout loop.
+ *
+ * Failures are isolated per lane: a layout whose machine cannot be
+ * built (bad config, injected "sim-lane" fault) yields an error slot
+ * while its siblings still replay and stay bit-identical to their
+ * sequential results. The returned vector parallels @p alloc_configs.
+ *
+ * Observability (through @p context's sink): a "replay/fused_pass"
+ * phase per pass, a "replay/fused_layouts" gauge (lanes in the last
+ * pass), "replay/fused_passes" / "replay/fused_lane_runs" counters,
+ * and the same per-lane "replay/..." counter totals System::run would
+ * publish.
+ */
+std::vector<Result<RunResult>>
+simulateRunFused(const PlatformSpec &platform,
+                 std::span<const alloc::MosallocConfig> alloc_configs,
+                 const trace::MemoryTrace &trace,
+                 const SimContext &context = globalSimContext());
 
 } // namespace mosaic::cpu
 

@@ -463,6 +463,37 @@ CampaignRunner::runImpl(const std::string *cache_path)
             ++pair.cellsRemaining;
         }
     }
+    // The scheduler hands out *units*: `count` consecutive cells of
+    // one pair, starting at cell index `begin`. With fused replay off
+    // every unit is a single cell; with it on, a fully-open pair's
+    // cells are grouped so one worker replays the whole group through
+    // a single shared-trace pass. Pairs with resumed cells keep
+    // per-cell units — their open layouts may be non-consecutive, and
+    // per-cell scheduling leaves the resume-splice bookkeeping
+    // untouched. Units never change which slot a result lands in, so
+    // the canonical assembly below is oblivious to the grouping.
+    struct Unit
+    {
+        std::size_t begin;
+        std::size_t count;
+    };
+
+    const std::size_t group_size =
+        config_.fused ? std::max<std::size_t>(config_.fusedGroupSize, 1)
+                      : 1;
+    std::vector<Unit> units;
+    for (std::size_t i = 0; i < cells.size();) {
+        std::size_t count = 1;
+        if (!pairs[cells[i].pair].done) {
+            while (count < group_size && i + count < cells.size() &&
+                   cells[i + count].pair == cells[i].pair &&
+                   cells[i + count].layout == cells[i].layout + count)
+                ++count;
+        }
+        units.push_back({i, count});
+        i += count;
+    }
+
     // Pairs this run resolves: ones with open cells plus ones whose
     // prep failed. Both advance the checkpoint cadence, as in the
     // sequential engine — a failed pair still flushes progress, so a
@@ -479,7 +510,7 @@ CampaignRunner::runImpl(const std::string *cache_path)
 
     std::vector<CellOutcome> slots(cells.size());
     std::mutex progress_mutex;
-    std::atomic<std::size_t> next_cell{0};
+    std::atomic<std::size_t> next_unit{0};
     std::size_t cells_done = 0;
     std::size_t pairs_done = 0;
     std::size_t since_checkpoint = 0;
@@ -524,22 +555,20 @@ CampaignRunner::runImpl(const std::string *cache_path)
     }
 
     const unsigned cell_jobs = std::min<unsigned>(
-        jobs, std::max<std::size_t>(cells.size(), 1));
+        jobs, std::max<std::size_t>(units.size(), 1));
     std::vector<MetricsRegistry> cell_shards(cell_jobs);
     runPool(cell_jobs, [&](unsigned worker) {
         MetricsRegistry &shard = cell_shards[worker];
         SimContext context(shard, faults(), config_.seed, worker);
-        while (true) {
-            std::size_t index = next_cell.fetch_add(1);
-            if (index >= cells.size())
-                return;
+
+        // Simulate one cell on the sequential engine, outside any
+        // lock: each worker owns its System; the trace and layout are
+        // shared immutable.
+        auto simulateCell = [&](std::size_t index) -> CellOutcome {
             const Cell &cell = cells[index];
-            PairTask &pair = pairs[cell.pair];
+            const PairTask &pair = pairs[cell.pair];
             const WorkloadState &state = states[pair.state];
             const auto &named = state.layouts[cell.layout];
-
-            // Simulate outside any lock: each worker owns its System;
-            // the trace and layout are shared immutable.
             CellOutcome outcome;
             ScopedTimer cell_timer(shard, "campaign/cell");
             try {
@@ -562,15 +591,79 @@ CampaignRunner::runImpl(const std::string *cache_path)
                                 Error(ErrorCategory::Internal, e.what())};
             }
             cell_timer.stop();
+            return outcome;
+        };
 
-            // Commit under the progress mutex: slot write, pair
+        while (true) {
+            std::size_t uindex = next_unit.fetch_add(1);
+            if (uindex >= units.size())
+                return;
+            const Unit &unit = units[uindex];
+            PairTask &pair = pairs[cells[unit.begin].pair];
+            const WorkloadState &state = states[pair.state];
+
+            std::vector<CellOutcome> outcomes(unit.count);
+            if (unit.count > 1) {
+                // Fused group: decode the shared trace once and drive
+                // every layout lane through a single pass. A lane that
+                // fails (or a group that cannot even assemble its
+                // configs) leaves its outcome empty here and is re-run
+                // on the sequential engine below, so fused scheduling
+                // can only ever add results, never lose them — the CSV
+                // stays byte-identical to a non-fused run.
+                try {
+                    std::vector<alloc::MosallocConfig> configs;
+                    configs.reserve(unit.count);
+                    for (std::size_t k = 0; k < unit.count; ++k) {
+                        const auto &named =
+                            state.layouts[cells[unit.begin + k].layout];
+                        configs.push_back(
+                            state.workload->makeAllocConfig(
+                                named.layout));
+                    }
+                    ScopedTimer group_timer(shard,
+                                            "campaign/fused_group");
+                    auto lanes = cpu::simulateRunFused(
+                        *pair.platform, configs, *state.trace, context);
+                    group_timer.stop();
+                    shard.add("campaign/fused_groups");
+                    for (std::size_t k = 0; k < unit.count; ++k) {
+                        if (!lanes[k].ok()) {
+                            shard.add("campaign/fused_lane_fallbacks");
+                            continue;
+                        }
+                        const auto &named =
+                            state.layouts[cells[unit.begin + k].layout];
+                        RunRecord record;
+                        record.platform = pair.platform->name;
+                        record.workload = state.label;
+                        record.layout = named.name;
+                        record.result =
+                            std::move(lanes[k]).okOrThrow();
+                        outcomes[k].record = std::move(record);
+                    }
+                } catch (const std::exception &e) {
+                    shard.add("campaign/fused_group_fallbacks");
+                    mosaic_warn("fused group fell back to per-cell "
+                                "replay: ",
+                                e.what());
+                }
+            }
+            for (std::size_t k = 0; k < unit.count; ++k) {
+                if (!outcomes[k].record && !outcomes[k].failure)
+                    outcomes[k] = simulateCell(unit.begin + k);
+            }
+
+            // Commit under the progress mutex: slot writes, pair
             // accounting, heartbeat composition, checkpoint cadence.
             std::string heartbeat;
             {
                 std::lock_guard<std::mutex> lock(progress_mutex);
-                slots[index] = std::move(outcome);
-                ++cells_done;
-                if (--pair.cellsRemaining == 0) {
+                for (std::size_t k = 0; k < unit.count; ++k)
+                    slots[unit.begin + k] = std::move(outcomes[k]);
+                cells_done += unit.count;
+                pair.cellsRemaining -= unit.count;
+                if (pair.cellsRemaining == 0) {
                     ++pairs_done;
                     if (config_.verbose) {
                         // Heartbeat: progress plus throughput and ETA,
@@ -627,6 +720,7 @@ CampaignRunner::runImpl(const std::string *cache_path)
             cell_shards[worker].phase("campaign/cell"));
     }
     metrics().set("campaign/jobs", static_cast<double>(cell_jobs));
+    metrics().set("campaign/fused", config_.fused ? 1.0 : 0.0);
 
     std::size_t trace_retries = 0;
     for (const auto &state : states)

@@ -11,7 +11,11 @@
  * registry; shards merge into it — in worker order — when the pool
  * joins. Results land in canonically ordered slots, so the dataset
  * (and the saved CSV) is byte-identical for any worker count. A CSV
- * cache makes the campaign a run-once-per-checkout cost.
+ * cache makes the campaign a run-once-per-checkout cost. With
+ * CampaignConfig::fused the scheduler hands workers groups of
+ * consecutive layouts of one pair, replayed in a single fused pass
+ * that decodes the shared trace once (see cpu::simulateRunFused);
+ * per-layout counters — and therefore the CSV — are unchanged.
  *
  * The campaign is fault-tolerant at (platform, workload, layout) cell
  * granularity: a failing cell records a structured error and the
@@ -90,6 +94,20 @@ struct CampaignConfig
      * Only applies to loadOrRun()/runReport() with a cache path.
      */
     std::size_t checkpointEvery = 1;
+
+    /**
+     * Schedule groups of consecutive layouts of one (platform,
+     * workload) pair through a single fused replay pass
+     * (cpu::simulateRunFused) instead of one simulateRun per cell.
+     * Per-layout results are bit-identical either way, so the dataset
+     * CSV is byte-identical with fused on or off, for any jobs count.
+     * Pairs with resumed (cached) cells fall back to per-cell
+     * scheduling, as does any layout whose fused lane fails.
+     */
+    bool fused = false;
+
+    /** Layouts per fused pass when `fused` is set (clamped to >= 1). */
+    unsigned fusedGroupSize = 4;
 };
 
 /** One failed campaign cell, with the error that killed it. */

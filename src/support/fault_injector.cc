@@ -12,7 +12,7 @@ namespace
 
 constexpr const char *siteNames[] = {
     "trace-open", "trace-corrupt", "csv-truncate", "csv-open",
-    "lasso-nan",
+    "lasso-nan", "sim-lane",
 };
 
 static_assert(sizeof(siteNames) / sizeof(siteNames[0]) ==

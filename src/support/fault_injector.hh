@@ -43,6 +43,7 @@ enum class FaultSite : std::size_t
     CsvTruncate,  ///< a dataset CSV row is emitted half-written
     CsvOpen,      ///< open of the dataset CSV reports failure
     LassoNan,     ///< a NaN is injected into the Lasso design matrix
+    SimLane,      ///< building one simulation lane (cell/layout) fails
     NumSites
 };
 

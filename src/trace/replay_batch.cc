@@ -1,7 +1,26 @@
 #include "trace/replay_batch.hh"
 
+#include <algorithm>
+
 namespace mosaic::trace
 {
+
+void
+ReplayBatcher::stage(std::size_t base, std::size_t count)
+{
+    const TraceRecord *src = trace_.records().data() + cursor_;
+    for (std::size_t i = 0; i < count; ++i) {
+        const TraceRecord &rec = src[i];
+        vaddr_[base + i] = rec.vaddr;
+        std::uint32_t meta = rec.gap;
+        if (rec.isWrite)
+            meta |= kWriteBit;
+        if (rec.dependsOnPrev)
+            meta |= kDependsBit;
+        meta_[base + i] = meta;
+    }
+    cursor_ += count;
+}
 
 bool
 ReplayBatcher::next(Chunk &chunk)
@@ -14,22 +33,36 @@ ReplayBatcher::next(Chunk &chunk)
 
     std::size_t count =
         std::min(kChunkRecords, records.size() - cursor_);
-    const TraceRecord *src = records.data() + cursor_;
-    for (std::size_t i = 0; i < count; ++i) {
-        const TraceRecord &rec = src[i];
-        vaddr_[i] = rec.vaddr;
-        std::uint32_t meta = rec.gap;
-        if (rec.isWrite)
-            meta |= kWriteBit;
-        if (rec.dependsOnPrev)
-            meta |= kDependsBit;
-        meta_[i] = meta;
-    }
-    cursor_ += count;
+    stage(0, count);
 
     chunk.vaddr = vaddr_.data();
     chunk.meta = meta_.data();
     chunk.size = count;
+    return true;
+}
+
+bool
+ReplayBatcher::nextBlock(Block &block)
+{
+    const auto &records = trace_.records();
+    block.chunks = 0;
+    block.records = 0;
+    if (cursor_ >= records.size())
+        return false;
+
+    while (block.chunks < kFanoutChunks && cursor_ < records.size()) {
+        std::size_t base = block.chunks * kChunkRecords;
+        std::size_t count =
+            std::min(kChunkRecords, records.size() - cursor_);
+        stage(base, count);
+
+        Chunk &chunk = block.chunk[block.chunks];
+        chunk.vaddr = vaddr_.data() + base;
+        chunk.meta = meta_.data() + base;
+        chunk.size = count;
+        ++block.chunks;
+        block.records += count;
+    }
     return true;
 }
 

@@ -33,6 +33,14 @@ class ReplayBatcher
      *  comfortably inside a 32 KiB host L1d next to the TLB arrays. */
     static constexpr std::size_t kChunkRecords = 1024;
 
+    /**
+     * Chunks staged per block for fan-out replay (see nextBlock): a
+     * block is decoded once and then consumed by every layout lane of
+     * a fused pass, so it is sized for the L2 the lanes re-read it
+     * from (8 * 12 KiB = 96 KiB), not for L1 like a single chunk.
+     */
+    static constexpr std::size_t kFanoutChunks = 8;
+
     /** Packed metadata layout (one uint32 per record). */
     static constexpr std::uint32_t kGapMask = 0xffffu;
     static constexpr std::uint32_t kWriteBit = 1u << 16;
@@ -46,19 +54,44 @@ class ReplayBatcher
         std::size_t size = 0;
     };
 
+    /**
+     * A group of consecutive staged chunks (fan-out iteration unit).
+     * Pointers are valid until the next nextBlock()/next(); record
+     * order across chunk[0..chunks) is exactly trace order.
+     */
+    struct Block
+    {
+        std::array<Chunk, kFanoutChunks> chunk;
+        std::size_t chunks = 0;
+        std::size_t records = 0;
+    };
+
     explicit ReplayBatcher(const MemoryTrace &trace) : trace_(trace) {}
 
     /** Stage the next chunk; returns false once the trace is drained. */
     bool next(Chunk &chunk);
 
+    /**
+     * Stage the next up-to-kFanoutChunks chunks in one decode pass;
+     * returns false once the trace is drained. Staging each chunk is
+     * byte-identical to what next() would stage, so consumers may mix
+     * granularities; the block form exists so a fused multi-lane
+     * replay can decode once per block and iterate lanes over it.
+     */
+    bool nextBlock(Block &block);
+
     /** Rewind to the start of the trace. */
     void reset() { cursor_ = 0; }
 
   private:
+    /** Stage records [cursor_, cursor_+count) at buffer offset
+     *  @p base. */
+    void stage(std::size_t base, std::size_t count);
+
     const MemoryTrace &trace_;
     std::size_t cursor_ = 0;
-    std::array<VirtAddr, kChunkRecords> vaddr_;
-    std::array<std::uint32_t, kChunkRecords> meta_;
+    std::array<VirtAddr, kFanoutChunks * kChunkRecords> vaddr_;
+    std::array<std::uint32_t, kFanoutChunks * kChunkRecords> meta_;
 };
 
 } // namespace mosaic::trace

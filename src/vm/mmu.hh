@@ -88,6 +88,20 @@ class Mmu
     inline TranslationEvent translate(VirtAddr vaddr, Cycles now);
 
     /**
+     * translate() for a record whose software translation was already
+     * staged: @p staged_phys and @p size must be the physAddr
+     * (page-offset included) and page size that peekTranslate(@p
+     * vaddr) produced. Skips the duplicate memo lookup on the TLB-hit
+     * paths; every simulated action and counter is identical to
+     * translate(vaddr, now). The fused replay engine stages a chunk
+     * per lane and then retires it through this entry.
+     */
+    inline TranslationEvent translateStaged(VirtAddr vaddr,
+                                            PhysAddr staged_phys,
+                                            alloc::PageSize size,
+                                            Cycles now);
+
+    /**
      * Software-translate @p vaddr without touching any simulated
      * state: no TLB lookup, no counters, no walker. Warms the
      * translation memo as a side effect (pure, so harmless). Used by
@@ -178,6 +192,40 @@ Mmu::translate(VirtAddr vaddr, Cycles now)
       case TlbOutcome::Miss: {
         WalkResult walk = walker_.walk(xlate, vaddr, now);
         tlb_.fill(vaddr, xlate.pageSize);
+        ++counters_.m;
+        counters_.c += walk.walkCycles;
+        counters_.queueCycles += walk.queueCycles;
+        event.latency = walk.walkCycles;
+        event.queueCycles = walk.queueCycles;
+        break;
+      }
+    }
+    return event;
+}
+
+TranslationEvent
+Mmu::translateStaged(VirtAddr vaddr, PhysAddr staged_phys,
+                     alloc::PageSize size, Cycles now)
+{
+    TranslationEvent event;
+    event.physAddr = staged_phys;
+    event.pageSize = size;
+    event.outcome = tlb_.lookup(vaddr, size);
+
+    switch (event.outcome) {
+      case TlbOutcome::L1Hit:
+        ++counters_.l1Hits;
+        break;
+      case TlbOutcome::L2Hit:
+        ++counters_.h;
+        event.latency = config_.l2TlbHitLatency;
+        break;
+      case TlbOutcome::Miss: {
+        // The walker needs the full entry chain; the memo slot is
+        // still warm from the staging pass that produced staged_phys.
+        const Translation &xlate = lookupXlate(vaddr);
+        WalkResult walk = walker_.walk(xlate, vaddr, now);
+        tlb_.fill(vaddr, size);
         ++counters_.m;
         counters_.c += walk.walkCycles;
         counters_.queueCycles += walk.queueCycles;

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Fused campaign scheduling tests: with CampaignConfig::fused the
+ * scheduler replays groups of layouts through one shared-trace pass,
+ * and the dataset CSV must stay byte-identical to the per-cell engine
+ * for any (fused, jobs) combination. Resume keeps per-cell scheduling
+ * for pairs with cached cells, and a failing fused lane falls back to
+ * the sequential engine instead of losing (or changing) its cell.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "common/scratch_dir.hh"
+#include "experiments/campaign.hh"
+#include "support/fault_injector.hh"
+#include "support/metrics.hh"
+#include "support/random.hh"
+
+using namespace mosaic;
+using namespace mosaic::exp;
+
+namespace
+{
+
+/** Same tiny TLB-sensitive workload the other campaign tests use. */
+class TinyWorkload : public workloads::Workload
+{
+  public:
+    workloads::WorkloadInfo
+    info() const override
+    {
+        return {"test", "tiny"};
+    }
+
+    Bytes heapPoolSize() const override { return 24_MiB; }
+
+    trace::MemoryTrace
+    generateTrace() const override
+    {
+        trace::MemoryTrace trace;
+        Rng rng(99);
+        VirtAddr base = alloc::PoolAddresses::heapBase;
+        for (int i = 0; i < 12000; ++i)
+            trace.add(base + alignDown(rng.nextBounded(24_MiB), 8), 2,
+                      false);
+        return trace;
+    }
+};
+
+CampaignConfig
+fusedConfig()
+{
+    CampaignConfig config;
+    config.verbose = false;
+    config.workloads = {"test/tiny"};
+    config.workloadFactory =
+        [](const std::string &label) -> std::unique_ptr<workloads::Workload> {
+        if (label == "test/tiny")
+            return std::make_unique<TinyWorkload>();
+        throw std::runtime_error("unknown test workload: " + label);
+    };
+    return config;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+}
+
+class CampaignFusedTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { faults().reset(); }
+    void TearDown() override { faults().reset(); }
+
+    test::ScratchDir scratch_;
+};
+
+} // namespace
+
+TEST_F(CampaignFusedTest, CsvByteIdenticalForAnyFusedJobsCombination)
+{
+    // The determinism contract the CI gate enforces end-to-end: the
+    // same grid, fused on or off, serial or wide, one CSV byte stream.
+    std::string reference;
+    std::size_t expected_cells = 0;
+    for (bool fused : {false, true}) {
+        for (unsigned jobs : {1u, 4u}) {
+            CampaignConfig config = fusedConfig();
+            config.fused = fused;
+            config.jobs = jobs;
+            std::string csv = scratch_.file(
+                (fused ? std::string("fused") : std::string("seq")) +
+                "-j" + std::to_string(jobs) + ".csv");
+            CampaignReport report =
+                CampaignRunner(config).runReport(csv);
+            ASSERT_TRUE(report.allOk()) << report.summary();
+            if (reference.empty()) {
+                reference = slurp(csv);
+                expected_cells = report.cellsCompleted;
+                ASSERT_FALSE(reference.empty());
+            } else {
+                EXPECT_EQ(report.cellsCompleted, expected_cells);
+                EXPECT_EQ(slurp(csv), reference)
+                    << "fused=" << fused << " jobs=" << jobs;
+            }
+        }
+    }
+}
+
+TEST_F(CampaignFusedTest, FusedGroupsCoverEveryOpenCell)
+{
+    std::uint64_t groups_before = metrics().counter("campaign/fused_groups");
+    CampaignConfig config = fusedConfig();
+    config.fused = true;
+    config.fusedGroupSize = 4;
+    config.jobs = 2;
+    CampaignReport report = CampaignRunner(config).runReport();
+    ASSERT_TRUE(report.allOk()) << report.summary();
+
+    // 3 platforms x 55 layouts in groups of <= 4: ceil(55/4) = 14 per
+    // pair. Every cell rode a fused pass; none fell back.
+    std::uint64_t groups =
+        metrics().counter("campaign/fused_groups") - groups_before;
+    EXPECT_EQ(groups, 3u * 14u);
+    EXPECT_EQ(metrics().gauge("campaign/fused"), 1.0);
+}
+
+TEST_F(CampaignFusedTest, ResumedPairsFallBackToPerCellScheduling)
+{
+    CampaignConfig config = fusedConfig();
+    config.fused = true;
+    config.jobs = 4;
+    std::string full_csv = scratch_.file("full.csv");
+    CampaignReport full = CampaignRunner(config).runReport(full_csv);
+    ASSERT_TRUE(full.allOk()) << full.summary();
+    std::string full_bytes = slurp(full_csv);
+
+    // Partial checkpoint: platform 0 complete, platform 1 half done,
+    // platform 2 untouched — the resumed run must splice cached rows
+    // and simulate only the open cells, fused where a pair is fully
+    // open and per-cell where the resume left holes.
+    Dataset partial;
+    std::size_t kept = 0, dropped = 0;
+    const auto platforms = full.dataset.platforms();
+    ASSERT_EQ(platforms.size(), 3u);
+    for (std::size_t p = 0; p < platforms.size(); ++p) {
+        const auto &runs = full.dataset.runs(platforms[p], "test/tiny");
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+            if (p == 0 || (p == 1 && i % 2 == 0)) {
+                partial.add(runs[i]);
+                ++kept;
+            } else {
+                ++dropped;
+            }
+        }
+    }
+    ASSERT_GT(dropped, 0u);
+    std::string resume_csv = scratch_.file("resume.csv");
+    partial.save(resume_csv);
+
+    CampaignReport resumed = CampaignRunner(config).runReport(resume_csv);
+    ASSERT_TRUE(resumed.allOk()) << resumed.summary();
+    EXPECT_EQ(resumed.cellsResumed, kept);
+    EXPECT_EQ(resumed.cellsCompleted, dropped);
+    EXPECT_EQ(slurp(resume_csv), full_bytes);
+}
+
+TEST_F(CampaignFusedTest, FailingFusedLaneFallsBackWithoutLosingCells)
+{
+    // Reference bytes from a clean non-fused run.
+    CampaignConfig config = fusedConfig();
+    config.jobs = 1;
+    std::string clean_csv = scratch_.file("clean.csv");
+    CampaignReport clean = CampaignRunner(config).runReport(clean_csv);
+    ASSERT_TRUE(clean.allOk()) << clean.summary();
+
+    // Fused run with one injected sim-lane fault: the poisoned lane is
+    // re-simulated on the sequential engine, so the campaign still
+    // completes every cell and the CSV is unchanged.
+    std::uint64_t fallbacks_before =
+        metrics().counter("campaign/fused_lane_fallbacks");
+    config.fused = true;
+    faults().arm(FaultSite::SimLane, 3);
+    std::string faulty_csv = scratch_.file("faulty.csv");
+    CampaignReport faulty = CampaignRunner(config).runReport(faulty_csv);
+    faults().reset();
+
+    ASSERT_TRUE(faulty.allOk()) << faulty.summary();
+    EXPECT_EQ(faulty.cellsCompleted, clean.cellsCompleted);
+    EXPECT_EQ(metrics().counter("campaign/fused_lane_fallbacks") -
+                  fallbacks_before,
+              1u);
+    EXPECT_EQ(slurp(faulty_csv), slurp(clean_csv));
+}

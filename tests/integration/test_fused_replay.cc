@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Fused multi-layout replay regression suite.
+ *
+ * The fused engine (cpu::simulateRunFused) decodes a shared trace once
+ * and drives N independent layout lanes through a single pass. Its
+ * whole contract is that this is *only* a host-side optimization: every
+ * lane's PMU readout must be bit-identical to a dedicated sequential
+ * simulateRun over the same (platform, layout, trace) cell. These
+ * tests pin that contract on TLB-pressure-diverse layouts and on two
+ * access-pattern extremes (GUPS-heavy random updates and
+ * pointer-chase-heavy dependent loads), and pin the failure-isolation
+ * and observability behaviour the campaign scheduler relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cpu/platform.hh"
+#include "cpu/system.hh"
+#include "mosalloc/mosalloc.hh"
+#include "support/fault_injector.hh"
+#include "support/metrics.hh"
+#include "support/sim_context.hh"
+#include "trace/synth.hh"
+
+using namespace mosaic;
+
+namespace
+{
+
+constexpr Bytes kFootprint = 48_MiB;
+constexpr Bytes kPool = 1_GiB;
+constexpr std::uint64_t kRecords = 120000;
+
+/** TLB-pressure-diverse layout grid (same shape as the golden suite). */
+alloc::MosallocConfig
+configByName(const std::string &name)
+{
+    alloc::MosallocConfig config;
+    if (name == "all4k")
+        config.heapLayout = alloc::MosaicLayout(kPool);
+    else if (name == "all2m")
+        config.heapLayout =
+            alloc::MosaicLayout::uniform(kPool, alloc::PageSize::Page2M);
+    else if (name == "all1g")
+        config.heapLayout =
+            alloc::MosaicLayout::uniform(kPool, alloc::PageSize::Page1G);
+    else if (name == "win2m")
+        config.heapLayout = alloc::MosaicLayout::withWindow(
+            kPool, 0, 24_MiB, alloc::PageSize::Page2M);
+    else
+        ADD_FAILURE() << "unknown layout " << name;
+    config.anonLayout = alloc::MosaicLayout(16_MiB);
+    return config;
+}
+
+constexpr const char *kLayouts[] = {"all4k", "all2m", "all1g", "win2m"};
+
+std::vector<alloc::MosallocConfig>
+layoutGrid()
+{
+    std::vector<alloc::MosallocConfig> configs;
+    for (const char *name : kLayouts)
+        configs.push_back(configByName(name));
+    return configs;
+}
+
+/** Trace over the shared heap base (layout-independent by design). */
+trace::MemoryTrace
+makeTrace(trace::SynthTraceParams params)
+{
+    alloc::Mosalloc allocator(configByName("all4k"));
+    params.base = allocator.malloc(kFootprint);
+    params.footprint = kFootprint;
+    params.records = kRecords;
+    return trace::makeSynthTrace(params);
+}
+
+/** GUPS-heavy: mostly random word updates across the footprint. */
+trace::SynthTraceParams
+gupsHeavyParams()
+{
+    trace::SynthTraceParams params;
+    params.seqPct = 10;
+    params.hotPct = 10;
+    params.randPct = 75;
+    params.chasePct = 5;
+    return params;
+}
+
+/** Chase-heavy: dependent pointer walks dominate (random-walk). */
+trace::SynthTraceParams
+chaseHeavyParams()
+{
+    trace::SynthTraceParams params;
+    params.seqPct = 10;
+    params.hotPct = 15;
+    params.randPct = 25;
+    params.chasePct = 50;
+    return params;
+}
+
+/** Every RunResult field, not just the headline four. */
+void
+expectSameResult(const cpu::RunResult &fused, const cpu::RunResult &seq)
+{
+    EXPECT_EQ(fused.runtimeCycles, seq.runtimeCycles);
+    EXPECT_EQ(fused.tlbHitsL2, seq.tlbHitsL2);
+    EXPECT_EQ(fused.tlbMisses, seq.tlbMisses);
+    EXPECT_EQ(fused.walkCycles, seq.walkCycles);
+    EXPECT_EQ(fused.instructions, seq.instructions);
+    EXPECT_EQ(fused.memoryRefs, seq.memoryRefs);
+    EXPECT_EQ(fused.l1TlbHits, seq.l1TlbHits);
+    EXPECT_EQ(fused.walkerQueueCycles, seq.walkerQueueCycles);
+    EXPECT_EQ(fused.progL1dLoads, seq.progL1dLoads);
+    EXPECT_EQ(fused.progL2Loads, seq.progL2Loads);
+    EXPECT_EQ(fused.progL3Loads, seq.progL3Loads);
+    EXPECT_EQ(fused.progDramLoads, seq.progDramLoads);
+    EXPECT_EQ(fused.walkL1dLoads, seq.walkL1dLoads);
+    EXPECT_EQ(fused.walkL2Loads, seq.walkL2Loads);
+    EXPECT_EQ(fused.walkL3Loads, seq.walkL3Loads);
+    EXPECT_EQ(fused.walkDramLoads, seq.walkDramLoads);
+}
+
+void
+expectFusedMatchesSequential(const std::string &platform_name,
+                             const trace::MemoryTrace &trace)
+{
+    const cpu::PlatformSpec platform = cpu::platformByName(platform_name);
+    const auto configs = layoutGrid();
+
+    std::vector<cpu::RunResult> sequential;
+    for (const auto &config : configs)
+        sequential.push_back(cpu::simulateRun(platform, config, trace));
+
+    auto fused = cpu::simulateRunFused(platform, configs, trace);
+    ASSERT_EQ(fused.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        SCOPED_TRACE(platform_name + "/" + kLayouts[i]);
+        ASSERT_TRUE(fused[i].ok()) << fused[i].error().str();
+        expectSameResult(fused[i].value(), sequential[i]);
+    }
+}
+
+class FusedReplayTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { faults().reset(); }
+    void TearDown() override { faults().reset(); }
+};
+
+} // namespace
+
+TEST_F(FusedReplayTest, GupsHeavyCountersBitIdenticalToSequential)
+{
+    trace::MemoryTrace trace = makeTrace(gupsHeavyParams());
+    expectFusedMatchesSequential("SandyBridge", trace);
+    expectFusedMatchesSequential("Broadwell", trace);
+}
+
+TEST_F(FusedReplayTest, ChaseHeavyCountersBitIdenticalToSequential)
+{
+    trace::MemoryTrace trace = makeTrace(chaseHeavyParams());
+    expectFusedMatchesSequential("Haswell", trace);
+    expectFusedMatchesSequential("Skylake", trace);
+}
+
+TEST_F(FusedReplayTest, LaneFaultDoesNotPoisonSiblingLanes)
+{
+    trace::MemoryTrace trace = makeTrace(gupsHeavyParams());
+    const cpu::PlatformSpec platform = cpu::platformByName("SandyBridge");
+    const auto configs = layoutGrid();
+
+    std::vector<cpu::RunResult> sequential;
+    for (const auto &config : configs)
+        sequential.push_back(cpu::simulateRun(platform, config, trace));
+
+    // Arm the sim-lane site to fire on its second hit: lane 1 (all2m)
+    // must fail while lanes 0, 2, and 3 replay to bit-identical
+    // results — a failed lane may cost its own cell, never a sibling.
+    faults().arm(FaultSite::SimLane, 2);
+    auto fused = cpu::simulateRunFused(platform, configs, trace);
+    faults().reset();
+
+    ASSERT_EQ(fused.size(), configs.size());
+    EXPECT_FALSE(fused[1].ok());
+    EXPECT_NE(fused[1].error().str().find("sim-lane"), std::string::npos);
+    for (std::size_t i : {std::size_t(0), std::size_t(2), std::size_t(3)}) {
+        SCOPED_TRACE(kLayouts[i]);
+        ASSERT_TRUE(fused[i].ok()) << fused[i].error().str();
+        expectSameResult(fused[i].value(), sequential[i]);
+    }
+}
+
+TEST_F(FusedReplayTest, PublishesFusedPassMetrics)
+{
+    trace::MemoryTrace trace = makeTrace(gupsHeavyParams());
+    const auto configs = layoutGrid();
+
+    MetricsRegistry registry;
+    SimContext context(registry, faults());
+    auto fused = cpu::simulateRunFused(
+        cpu::platformByName("SandyBridge"), configs, trace, context);
+    for (const auto &lane : fused)
+        ASSERT_TRUE(lane.ok());
+
+    // One timed fused pass covering all four lanes, with the per-lane
+    // replay counters published exactly as a sequential run would.
+    EXPECT_EQ(registry.phase("replay/fused_pass").count, 1u);
+    EXPECT_GT(registry.phase("replay/fused_pass").seconds, 0.0);
+    EXPECT_EQ(registry.counter("replay/fused_passes"), 1u);
+    EXPECT_EQ(registry.counter("replay/fused_lane_runs"),
+              configs.size());
+    EXPECT_EQ(registry.gauge("replay/fused_layouts"),
+              static_cast<double>(configs.size()));
+    EXPECT_EQ(registry.counter("replay/records"),
+              configs.size() * trace.size());
+    EXPECT_EQ(registry.counter("replay/fused_lane_failures"), 0u);
+}

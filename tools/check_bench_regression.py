@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over replay_bench JSON output.
+
+Compares a freshly measured BENCH_replay.json against the committed
+baseline and fails (exit 1) when throughput regressed beyond the
+tolerance. Checked, all one-sided (only slowdowns fail, speedups pass):
+
+  * aggregate.records_per_sec       -- the sequential per-cell sweep
+  * fused.records_per_sec           -- the fused multi-layout pass
+  * per-cell records_per_sec        -- each (platform, layout) cell,
+                                       at a wider tolerance (cells are
+                                       noisier than the aggregate)
+  * fused.speedup_vs_sequential     -- absolute sanity floor: the fused
+                                       engine must never be materially
+                                       slower than sequential replay
+
+The default tolerance is deliberately wide (20%) because CI runners
+are shared and noisy; the bench itself takes the min over repetitions
+after a calibration rep, which removes most cold-start noise. The
+fused speedup floor defaults to 0.9: measured honestly, fused replay
+amortizes only trace decode (a few percent of replay time), so its
+sustainable guarantee is "at least as fast as sequential minus noise",
+not a multiple (see DESIGN.md "Fused multi-layout replay").
+
+Usage:
+  check_bench_regression.py --baseline BENCH_replay.json \
+      --fresh fresh.json [--tolerance 0.20] [--cell-tolerance 0.30] \
+      [--fused-floor 0.90]
+
+Exit codes: 0 no regression, 1 regression detected, 2 bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as exc:
+        sys.exit(f"error: cannot load {path}: {exc}")
+    schema = doc.get("schema", "")
+    if not str(schema).startswith("mosaic-replay-bench/"):
+        sys.exit(f"error: {path}: unexpected schema {schema!r}")
+    return doc
+
+
+def cells(doc):
+    return {
+        (run["platform"], run["layout"]): run["records_per_sec"]
+        for run in doc.get("runs", [])
+    }
+
+
+class Gate:
+    def __init__(self):
+        self.failures = []
+        self.checked = 0
+
+    def check(self, label, fresh, floor, detail=""):
+        self.checked += 1
+        verdict = "ok" if fresh >= floor else "REGRESSION"
+        print(f"  {label}: {fresh:,.0f} vs floor {floor:,.0f} "
+              f"{detail}-> {verdict}")
+        if fresh < floor:
+            self.failures.append(label)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="replay_bench perf-regression gate")
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_replay.json")
+    parser.add_argument("--fresh", required=True,
+                        help="freshly measured replay_bench JSON")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed aggregate slowdown (default 0.20)")
+    parser.add_argument("--cell-tolerance", type=float, default=0.30,
+                        help="allowed per-cell slowdown (default 0.30)")
+    parser.add_argument("--fused-floor", type=float, default=0.90,
+                        help="minimum fused speedup_vs_sequential "
+                             "(default 0.90)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+    gate = Gate()
+
+    print(f"baseline: {args.baseline} ({baseline.get('schema')}, "
+          f"{baseline.get('records'):,} records)")
+    print(f"fresh:    {args.fresh} ({fresh.get('schema')}, "
+          f"{fresh.get('records'):,} records)")
+
+    base_agg = baseline.get("aggregate", {}).get("records_per_sec")
+    fresh_agg = fresh.get("aggregate", {}).get("records_per_sec")
+    if base_agg and fresh_agg:
+        gate.check("aggregate records/sec", fresh_agg,
+                   base_agg * (1.0 - args.tolerance),
+                   f"(baseline {base_agg:,.0f}, "
+                   f"-{args.tolerance:.0%}) ")
+    else:
+        sys.exit("error: both files need aggregate.records_per_sec")
+
+    base_fused = baseline.get("fused", {}).get("records_per_sec")
+    fresh_fused = fresh.get("fused", {}).get("records_per_sec")
+    if base_fused and fresh_fused:
+        gate.check("fused records/sec", fresh_fused,
+                   base_fused * (1.0 - args.tolerance),
+                   f"(baseline {base_fused:,.0f}, "
+                   f"-{args.tolerance:.0%}) ")
+    elif fresh_fused and not base_fused:
+        print("  fused records/sec: no baseline (pre-fused schema); "
+              "skipped")
+
+    fresh_speedup = fresh.get("fused", {}).get("speedup_vs_sequential")
+    if fresh_speedup is not None:
+        gate.checked += 1
+        verdict = ("ok" if fresh_speedup >= args.fused_floor
+                   else "REGRESSION")
+        print(f"  fused speedup vs sequential: {fresh_speedup:.3f} "
+              f"(floor {args.fused_floor:.2f}) -> {verdict}")
+        if fresh_speedup < args.fused_floor:
+            gate.failures.append("fused speedup floor")
+
+    base_cells = cells(baseline)
+    fresh_cells = cells(fresh)
+    missing = sorted(set(base_cells) - set(fresh_cells))
+    if missing:
+        sys.exit(f"error: fresh run is missing cells: {missing}")
+    for key in sorted(base_cells):
+        platform, layout = key
+        gate.check(f"cell {platform}/{layout}", fresh_cells[key],
+                   base_cells[key] * (1.0 - args.cell_tolerance))
+
+    if gate.failures:
+        print(f"\nFAIL: {len(gate.failures)}/{gate.checked} checks "
+              f"regressed: {', '.join(gate.failures)}")
+        return 1
+    print(f"\nOK: {gate.checked} checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

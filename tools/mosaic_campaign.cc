@@ -36,12 +36,17 @@ constexpr const char *usageText =
     "                       [--jobs N] [--no-1gb] [--out FILE]\n"
     "                       [--resume] [--trace-cache DIR]\n"
     "                       [--checkpoint-every N] [--max-retries N]\n"
+    "                       [--fused] [--fused-group N]\n"
     "                       [--metrics-out FILE]\n"
     "defaults: all 19 workloads, the paper's 3 platforms, jobs =\n"
     "          hardware concurrency, out = mosaic_dataset.csv,\n"
     "          checkpoint every pair\n"
     "--jobs picks the worker-thread count; the dataset CSV is\n"
     "byte-identical for any value (--threads is a deprecated alias).\n"
+    "--fused replays groups of layouts of one (platform, workload)\n"
+    "pair through a single shared-trace pass (--fused-group layouts\n"
+    "per pass, default 4); per-layout results are bit-identical, so\n"
+    "the CSV is byte-identical with or without it.\n"
     "--resume keeps cells already present in --out instead of\n"
     "recomputing them; without it the output is rebuilt from scratch.\n"
     "--metrics-out writes a JSON run manifest (config, per-phase\n"
@@ -87,6 +92,13 @@ campaignMain(int argc, char **argv)
     if (args.has("max-retries"))
         config.retry.maxAttempts =
             1 + std::stoul(args.get("max-retries"));
+    if (args.has("fused"))
+        config.fused = true;
+    if (args.has("fused-group")) {
+        config.fused = true;
+        config.fusedGroupSize = static_cast<unsigned>(
+            std::stoul(args.get("fused-group")));
+    }
 
     std::string out = args.get("out", exp::defaultDatasetPath());
     exp::CampaignRunner runner(config);
@@ -117,6 +129,10 @@ campaignMain(int argc, char **argv)
     manifest.setConfig("checkpoint_every",
                        static_cast<std::uint64_t>(
                            effective.checkpointEvery));
+    manifest.setConfig("fused", effective.fused);
+    manifest.setConfig("fused_group",
+                       static_cast<std::uint64_t>(
+                           effective.fusedGroupSize));
     for (const auto &failure : report.failures) {
         manifest.addFailure(failure.platform + "/" + failure.workload +
                                 "/" + failure.layout,
