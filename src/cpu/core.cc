@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "support/error.hh"
 #include "support/logging.hh"
 #include "trace/replay_batch.hh"
 
@@ -114,11 +115,26 @@ readoutCounters(const trace::MemoryTrace &trace, double retire_clock,
     return result;
 }
 
+/**
+ * Cooperative watchdog check, shared by both replay engines. Called
+ * once per chunk/block — a time query every ~1k simulated records —
+ * so the hot record loop stays branch-free of clock reads.
+ */
+inline void
+checkDeadline(std::chrono::steady_clock::time_point deadline)
+{
+    if (deadline != std::chrono::steady_clock::time_point::max() &&
+        std::chrono::steady_clock::now() > deadline) {
+        throw TimeoutError("replay exceeded its watchdog deadline");
+    }
+}
+
 } // namespace
 
 RunResult
 CoreModel::run(const trace::MemoryTrace &trace, vm::Mmu &mmu,
-               mem::MemoryHierarchy &hierarchy)
+               mem::MemoryHierarchy &hierarchy,
+               std::chrono::steady_clock::time_point deadline)
 {
     const double base_cpi = params_.baseCpi;
     const Cycles l1_latency = hierarchy.config().latencies.l1;
@@ -152,6 +168,7 @@ CoreModel::run(const trace::MemoryTrace &trace, vm::Mmu &mmu,
     trace::ReplayBatcher batcher(trace);
     trace::ReplayBatcher::Chunk chunk;
     while (batcher.next(chunk)) {
+        checkDeadline(deadline);
         // Stage the chunk's translations in one pure pass. The
         // iterations are independent (unlike the timing loop below),
         // so the host pipelines the memo misses, and the timing loop
@@ -234,7 +251,8 @@ CoreModel::run(const trace::MemoryTrace &trace, vm::Mmu &mmu,
 
 std::vector<RunResult>
 CoreModel::runFused(const trace::MemoryTrace &trace,
-                    std::span<const FusedLane> lanes)
+                    std::span<const FusedLane> lanes,
+                    std::chrono::steady_clock::time_point deadline)
 {
     const double base_cpi = params_.baseCpi;
     const std::size_t num_lanes = lanes.size();
@@ -294,6 +312,7 @@ CoreModel::runFused(const trace::MemoryTrace &trace,
     trace::ReplayBatcher batcher(trace);
     trace::ReplayBatcher::Block block;
     while (batcher.nextBlock(block)) {
+        checkDeadline(deadline);
         for (LaneState &state : states) {
             vm::Mmu &mmu = *state.mmu;
             mem::MemoryHierarchy &hierarchy = *state.hierarchy;

@@ -21,6 +21,7 @@
 #ifndef MOSAIC_CPU_CORE_HH
 #define MOSAIC_CPU_CORE_HH
 
+#include <chrono>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -102,9 +103,15 @@ class CoreModel
      *
      * The MMU and hierarchy must be freshly constructed (or flushed)
      * per run; counters are read back into the RunResult.
+     *
+     * @p deadline is a cooperative watchdog: it is checked once per
+     * replay chunk (~1k records, negligible cost) and, once passed,
+     * the run throws TimeoutError. The default never expires.
      */
     RunResult run(const trace::MemoryTrace &trace, vm::Mmu &mmu,
-                  mem::MemoryHierarchy &hierarchy);
+                  mem::MemoryHierarchy &hierarchy,
+                  std::chrono::steady_clock::time_point deadline =
+                      std::chrono::steady_clock::time_point::max());
 
     /**
      * Replay @p trace once, driving every lane in @p lanes through the
@@ -123,9 +130,15 @@ class CoreModel
      * second memo lookup.
      *
      * Returns one RunResult per lane, in lane order.
+     *
+     * @p deadline is the same cooperative watchdog as run()'s,
+     * checked once per fan-out block.
      */
-    std::vector<RunResult> runFused(const trace::MemoryTrace &trace,
-                                    std::span<const FusedLane> lanes);
+    std::vector<RunResult> runFused(
+        const trace::MemoryTrace &trace,
+        std::span<const FusedLane> lanes,
+        std::chrono::steady_clock::time_point deadline =
+            std::chrono::steady_clock::time_point::max());
 
     const CoreParams &params() const { return params_; }
 

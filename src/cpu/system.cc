@@ -57,7 +57,8 @@ System::run(const trace::MemoryTrace &trace)
     // BENCH_replay.json throughput baseline and the golden counters.
     MetricsRegistry &registry = context_.metrics();
     ScopedTimer timer(registry, "replay/run");
-    RunResult result = core_.run(trace, *mmu_, *hierarchy_);
+    RunResult result =
+        core_.run(trace, *mmu_, *hierarchy_, context_.deadline());
     timer.stop();
 
     publishReplayCounters(registry, trace, result);
@@ -128,7 +129,8 @@ simulateRunFused(const PlatformSpec &platform,
         // excluded from both, so the two phases compare like for like.
         CoreModel core(platform.core);
         ScopedTimer pass_timer(registry, "replay/fused_pass");
-        std::vector<RunResult> results = core.runFused(trace, lanes);
+        std::vector<RunResult> results =
+            core.runFused(trace, lanes, context.deadline());
         pass_timer.stop();
 
         std::size_t lane = 0;

@@ -3,6 +3,7 @@
 #include <array>
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -12,12 +13,13 @@
 #include <thread>
 
 #include "cpu/system.hh"
+#include "experiments/shard.hh"
 #include "support/io_util.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
 #include "support/retry.hh"
 #include "trace/miss_profile.hh"
-#include "trace/trace_io.hh"
+#include "trace/trace_store.hh"
 
 namespace mosaic::exp
 {
@@ -46,12 +48,14 @@ namespace
 {
 
 /**
- * Produce the workload's trace, preferring the binary cache when
- * configured. Cache damage is recoverable by construction: a corrupt
- * file is discarded and the trace regenerated; transient I/O failures
- * are retried with backoff; a failed re-save costs only the cache.
- * Observability and fault sites go through @p context, so concurrent
- * workers publish into their own shards.
+ * Produce the workload's trace, preferring the columnar store cache
+ * (trace::TraceStore) when configured. Cache damage is recoverable by
+ * construction: a store that exists but cannot be loaded — corrupt
+ * columns, a torn commit, a zero-byte file, or an unreadable file even
+ * after the transient-retry schedule — is quarantined (renamed
+ * "*.corrupt") and the trace regenerated; a failed re-save costs only
+ * the cache. Observability and fault sites go through @p context, so
+ * concurrent workers publish into their own shards.
  */
 Result<trace::MemoryTrace>
 obtainTrace(const workloads::Workload &workload,
@@ -70,34 +74,43 @@ obtainTrace(const workloads::Workload &workload,
             mosaic_warn("trace cache disabled: ", made.error().str());
         } else {
             cache_path = config.traceCacheDir + "/" +
-                         traceCacheStem(label) + ".mtrc";
+                         traceCacheStem(label) +
+                         trace::traceStoreExtension;
         }
     }
     if (!cache_path.empty()) {
-        if (trace::isTraceFile(cache_path)) {
+        std::ifstream probe(cache_path);
+        const bool exists = probe.good();
+        probe.close();
+        if (exists) {
             std::size_t attempt_retries = 0;
             auto loaded = retryWithBackoff(
                 config.retry,
                 [&] {
-                    return trace::loadTraceResult(cache_path, context);
+                    return trace::loadStoredTrace(cache_path, context);
                 },
                 &attempt_retries);
             retries += attempt_retries;
             if (loaded.ok()) {
-                registry.add("campaign/trace_cache_hits");
+                registry.add("trace_store/hits");
                 return loaded;
             }
-            registry.add("campaign/trace_cache_regens");
-            if (loaded.error().category() == ErrorCategory::Corrupt) {
-                mosaic_warn("trace cache for ", label, " is corrupt (",
-                            loaded.error().str(), "); regenerating");
-                removeFileIfExists(cache_path);
-            } else {
-                mosaic_warn("trace cache for ", label, " unreadable (",
-                            loaded.error().str(), "); regenerating");
-            }
+            // The file is there but cannot be trusted (zero bytes, CRC
+            // mismatch, torn commit, persistent I/O failure): move it
+            // aside so the evidence survives for inspection, and
+            // regenerate into the now-free slot.
+            registry.add("trace_store/quarantined");
+            registry.add("trace_store/regens");
+            std::string quarantined =
+                trace::quarantineStoreFile(cache_path);
+            mosaic_warn("trace store for ", label, " unusable (",
+                        loaded.error().str(), "); ",
+                        quarantined.empty()
+                            ? std::string("removed; regenerating")
+                            : "quarantined to " + quarantined +
+                                  "; regenerating");
         } else {
-            registry.add("campaign/trace_cache_misses");
+            registry.add("trace_store/misses");
         }
     }
 
@@ -116,15 +129,15 @@ obtainTrace(const workloads::Workload &workload,
         auto saved = retryWithBackoff(
             config.retry,
             [&] {
-                return trace::saveTraceResult(generated, cache_path,
-                                              context);
+                return trace::TraceStore::save(generated, cache_path,
+                                               context);
             },
             &attempt_retries);
         retries += attempt_retries;
         if (!saved.ok()) {
             // The cache is an optimization; losing it is not a cell
             // failure.
-            registry.add("campaign/trace_cache_save_failures");
+            registry.add("trace_store/save_failures");
             mosaic_warn("cannot cache trace for ", label, ": ",
                         saved.error().str());
         }
@@ -357,6 +370,19 @@ CampaignRunner::runImpl(const std::string *cache_path)
 
         /** Open cells; decremented under the progress mutex. */
         std::size_t cellsRemaining = 0;
+
+        /** Position in the deduplicated grid walk — the pair's
+         *  coordinate in the shard partition, identical in every
+         *  shard of a campaign. */
+        std::size_t ordinal = 0;
+    };
+
+    const bool sharded = config_.shardCount > 1;
+    const std::size_t cells_per_pair = expectedCellsPerPair();
+    auto ownsCell = [&](const PairTask &pair, std::size_t layout) {
+        return !sharded ||
+               shardOwnsCell(config_.shardIndex, config_.shardCount,
+                             pair.ordinal, layout, cells_per_pair);
     };
 
     std::vector<WorkloadState> states;
@@ -364,15 +390,26 @@ CampaignRunner::runImpl(const std::string *cache_path)
     std::vector<PairTask> pairs;
     std::vector<Key> covered_pairs;
     std::set<Key> scheduled;
+    std::size_t grid_ordinal = 0;
     for (const auto &label : config_.workloads) {
         for (const auto &platform : config_.platforms) {
             if (!scheduled.insert({platform.name, label}).second)
                 continue; // pair named twice in the grid; run it once
+            const std::size_t ordinal = grid_ordinal++;
+            if (sharded &&
+                shardCellsOfPair(config_.shardIndex, config_.shardCount,
+                                 ordinal, cells_per_pair) == 0)
+                continue; // the partition gave this pair to others
             auto it = covered.find({platform.name, label});
             const std::set<std::string> *done =
                 it == covered.end() ? nullptr : &it->second;
-            if (done && done->size() >= expectedCellsPerPair()) {
-                // Fully covered; keep the cached rows without a trace.
+            // A fully covered pair keeps its cached rows without even
+            // a trace — but only unsharded: a shard always preps its
+            // pairs, because the shard manifest must name the pair's
+            // canonical layout order and only the layout builder knows
+            // it.
+            if (!sharded && done &&
+                done->size() >= expectedCellsPerPair()) {
                 covered_pairs.push_back({platform.name, label});
                 continue;
             }
@@ -380,7 +417,8 @@ CampaignRunner::runImpl(const std::string *cache_path)
                 state_index.try_emplace(label, states.size());
             if (inserted)
                 states.push_back({label, nullptr, nullptr, {}, 0, {}});
-            pairs.push_back({state_it->second, &platform, done, 0});
+            pairs.push_back(
+                {state_it->second, &platform, done, 0, ordinal});
         }
     }
 
@@ -457,6 +495,8 @@ CampaignRunner::runImpl(const std::string *cache_path)
         if (state.error)
             continue; // whole pair failed in prep; reported below
         for (std::size_t li = 0; li < state.layouts.size(); ++li) {
+            if (!ownsCell(pair, li))
+                continue; // another shard's cell
             if (pair.done && pair.done->count(state.layouts[li].name))
                 continue;
             cells.push_back({p, li});
@@ -485,9 +525,12 @@ CampaignRunner::runImpl(const std::string *cache_path)
     for (std::size_t i = 0; i < cells.size();) {
         std::size_t count = 1;
         if (!pairs[cells[i].pair].done) {
+            // Cells of one fully-open pair are grouped in cell-vector
+            // order; under sharding the owned layouts of a pair are
+            // strided, but a fused pass over non-consecutive layouts
+            // is exactly as valid (every lane is independent).
             while (count < group_size && i + count < cells.size() &&
-                   cells[i + count].pair == cells[i].pair &&
-                   cells[i + count].layout == cells[i].layout + count)
+                   cells[i + count].pair == cells[i].pair)
                 ++count;
         }
         units.push_back({i, count});
@@ -515,6 +558,58 @@ CampaignRunner::runImpl(const std::string *cache_path)
     std::size_t pairs_done = 0;
     std::size_t since_checkpoint = 0;
 
+    // Everything that defines the shard partition, hashed: two shard
+    // CSVs merge only when these agree.
+    std::vector<std::string> platform_names;
+    for (const auto &platform : config_.platforms)
+        platform_names.push_back(platform.name);
+    const std::uint32_t config_hash = shardConfigHash(
+        config_.workloads, platform_names, config_.include1g,
+        config_.seed, cells_per_pair, config_.shardCount);
+    std::size_t expected_cells = 0;
+    for (const auto &pair : pairs) {
+        expected_cells +=
+            shardCellsOfPair(config_.shardIndex, config_.shardCount,
+                             pair.ordinal, cells_per_pair);
+    }
+
+    // The embedded manifest appended to every sharded CSV write
+    // (checkpoints included, so even a killed shard leaves a valid —
+    // merely incomplete — shard file behind for a degraded merge).
+    // Canonical layout order per pair comes from the prepped states;
+    // pairs whose prep failed contribute no order line and no rows.
+    auto makeShardTrailer = [&](const Dataset &snapshot) -> std::string {
+        if (!sharded)
+            return "";
+        std::vector<ShardPairOrder> order;
+        for (const auto &pair : pairs) {
+            const WorkloadState &state = states[pair.state];
+            if (state.error || state.layouts.empty())
+                continue;
+            ShardPairOrder entry;
+            entry.platform = pair.platform->name;
+            entry.workload = state.label;
+            for (std::size_t li = 0; li < state.layouts.size(); ++li) {
+                entry.layouts.push_back(state.layouts[li].name);
+                entry.owned.push_back(ownsCell(pair, li));
+            }
+            order.push_back(std::move(entry));
+        }
+        ShardManifest manifest;
+        manifest.shardIndex = config_.shardIndex;
+        manifest.shardCount = config_.shardCount;
+        manifest.cells = snapshot.totalRuns();
+        manifest.expected = expected_cells;
+        manifest.cellsPerPair = cells_per_pair;
+        manifest.configHash = config_hash;
+        const std::string csv = snapshot.toCsv();
+        const std::size_t header_bytes =
+            std::string(datasetCsvHeader()).size() + 1; // + '\n'
+        manifest.rowCrc = crc32(csv.data() + header_bytes,
+                                csv.size() - header_bytes);
+        return formatShardTrailer(manifest, order);
+    };
+
     // Called under progress_mutex. Checkpoint loss is survivable (the
     // final save still happens); warn and continue. The snapshot walks
     // the slots in canonical order, so even a mid-run checkpoint CSV
@@ -529,7 +624,10 @@ CampaignRunner::runImpl(const std::string *cache_path)
         std::size_t save_retries = 0;
         auto saved = retryWithBackoff(
             config_.retry,
-            [&] { return snapshot.saveResult(*cache_path); },
+            [&] {
+                return snapshot.saveResult(*cache_path,
+                                           makeShardTrailer(snapshot));
+            },
             &save_retries);
         report.retriesPerformed += save_retries;
         if (saved.ok()) {
@@ -564,7 +662,9 @@ CampaignRunner::runImpl(const std::string *cache_path)
         // Simulate one cell on the sequential engine, outside any
         // lock: each worker owns its System; the trace and layout are
         // shared immutable.
-        auto simulateCell = [&](std::size_t index) -> CellOutcome {
+        auto simulateCell = [&](std::size_t index,
+                                const SimContext &cell_context)
+            -> CellOutcome {
             const Cell &cell = cells[index];
             const PairTask &pair = pairs[cell.pair];
             const WorkloadState &state = states[pair.state];
@@ -579,8 +679,16 @@ CampaignRunner::runImpl(const std::string *cache_path)
                 record.result = cpu::simulateRun(
                     *pair.platform,
                     state.workload->makeAllocConfig(named.layout),
-                    *state.trace, context);
+                    *state.trace, cell_context);
                 outcome.record = std::move(record);
+            } catch (const TimeoutError &e) {
+                // The watchdog fired: a hung cell is an isolated
+                // Timeout failure, not a wedged worker.
+                shard.add("campaign/cells_timed_out");
+                shard.add("campaign/cells_failed");
+                outcome.failure =
+                    CellFailure{pair.platform->name, state.label,
+                                named.name, timeoutError(e.what())};
             } catch (const std::exception &e) {
                 // One bad cell must not take down the pair: record it
                 // and keep simulating the remaining layouts.
@@ -601,6 +709,20 @@ CampaignRunner::runImpl(const std::string *cache_path)
             const Unit &unit = units[uindex];
             PairTask &pair = pairs[cells[unit.begin].pair];
             const WorkloadState &state = states[pair.state];
+
+            // A unit of k cells gets k cell budgets; the cooperative
+            // deadline is checked inside the replay loops (per chunk),
+            // so an expired budget surfaces here as TimeoutError.
+            SimContext unit_context = context;
+            if (config_.cellTimeoutSeconds > 0.0) {
+                auto budget = std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(
+                        config_.cellTimeoutSeconds *
+                        static_cast<double>(unit.count)));
+                unit_context = context.withDeadline(
+                    std::chrono::steady_clock::now() + budget);
+            }
 
             std::vector<CellOutcome> outcomes(unit.count);
             if (unit.count > 1) {
@@ -624,7 +746,8 @@ CampaignRunner::runImpl(const std::string *cache_path)
                     ScopedTimer group_timer(shard,
                                             "campaign/fused_group");
                     auto lanes = cpu::simulateRunFused(
-                        *pair.platform, configs, *state.trace, context);
+                        *pair.platform, configs, *state.trace,
+                        unit_context);
                     group_timer.stop();
                     shard.add("campaign/fused_groups");
                     for (std::size_t k = 0; k < unit.count; ++k) {
@@ -642,6 +765,21 @@ CampaignRunner::runImpl(const std::string *cache_path)
                             std::move(lanes[k]).okOrThrow();
                         outcomes[k].record = std::move(record);
                     }
+                } catch (const TimeoutError &e) {
+                    // The fused pass blew the unit's whole watchdog
+                    // budget: mark every cell as an isolated Timeout
+                    // failure. No sequential fallback — replaying a
+                    // genuinely hung group cell by cell would only
+                    // multiply the wasted wall-clock.
+                    shard.add("campaign/cells_timed_out", unit.count);
+                    shard.add("campaign/cells_failed", unit.count);
+                    for (std::size_t k = 0; k < unit.count; ++k) {
+                        const auto &named =
+                            state.layouts[cells[unit.begin + k].layout];
+                        outcomes[k].failure = CellFailure{
+                            pair.platform->name, state.label,
+                            named.name, timeoutError(e.what())};
+                    }
                 } catch (const std::exception &e) {
                     shard.add("campaign/fused_group_fallbacks");
                     mosaic_warn("fused group fell back to per-cell "
@@ -651,7 +789,8 @@ CampaignRunner::runImpl(const std::string *cache_path)
             }
             for (std::size_t k = 0; k < unit.count; ++k) {
                 if (!outcomes[k].record && !outcomes[k].failure)
-                    outcomes[k] = simulateCell(unit.begin + k);
+                    outcomes[k] =
+                        simulateCell(unit.begin + k, unit_context);
             }
 
             // Commit under the progress mutex: slot writes, pair
@@ -721,6 +860,14 @@ CampaignRunner::runImpl(const std::string *cache_path)
     }
     metrics().set("campaign/jobs", static_cast<double>(cell_jobs));
     metrics().set("campaign/fused", config_.fused ? 1.0 : 0.0);
+    if (sharded) {
+        metrics().set("campaign/shard_index",
+                      static_cast<double>(config_.shardIndex));
+        metrics().set("campaign/shard_count",
+                      static_cast<double>(config_.shardCount));
+        metrics().set("campaign/shard_cells_expected",
+                      static_cast<double>(expected_cells));
+    }
 
     std::size_t trace_retries = 0;
     for (const auto &state : states)
@@ -774,7 +921,10 @@ CampaignRunner::runImpl(const std::string *cache_path)
                                        "*", *state.error});
             continue;
         }
-        for (const auto &named : state.layouts) {
+        for (std::size_t li = 0; li < state.layouts.size(); ++li) {
+            const auto &named = state.layouts[li];
+            if (!ownsCell(pair, li))
+                continue; // another shard's cell, never a local slot
             if (pair.done && pair.done->count(named.name)) {
                 auto it = resumed_records.find(
                     {pair.platform->name, state.label, named.name});
@@ -799,7 +949,13 @@ CampaignRunner::runImpl(const std::string *cache_path)
         std::size_t save_retries = 0;
         auto saved = retryWithBackoff(
             config_.retry,
-            [&] { return report.dataset.saveResult(*cache_path); },
+            [&]() -> Result<void> {
+                if (sharded &&
+                    faults().shouldFail(FaultSite::ShardWrite))
+                    return ioError("injected shard-write fault");
+                return report.dataset.saveResult(
+                    *cache_path, makeShardTrailer(report.dataset));
+            },
             &save_retries);
         report.retriesPerformed += save_retries;
         if (!saved.ok()) {
@@ -846,8 +1002,25 @@ CampaignRunner::loadOrRun(const std::string &cache_path)
         auto cached = Dataset::loadResult(cache_path);
         if (cached.ok()) {
             bool complete = true;
+            // Mirror runImpl's grid walk (deduplicated, label-major)
+            // so pair ordinals — and with them the per-pair cell
+            // quota of a sharded campaign — match the scheduler's.
+            const bool sharded = config_.shardCount > 1;
+            std::set<std::pair<std::string, std::string>> seen;
+            std::size_t ordinal = 0;
             for (const auto &label : config_.workloads) {
                 for (const auto &platform : config_.platforms) {
+                    if (!seen.insert({platform.name, label}).second)
+                        continue;
+                    const std::size_t pair_ordinal = ordinal++;
+                    const std::size_t want =
+                        sharded ? shardCellsOfPair(
+                                      config_.shardIndex,
+                                      config_.shardCount, pair_ordinal,
+                                      expectedCellsPerPair())
+                                : expectedCellsPerPair();
+                    if (want == 0)
+                        continue; // pair fully owned by other shards
                     if (!cached.value().has(platform.name, label)) {
                         complete = false;
                         break;
@@ -861,7 +1034,7 @@ CampaignRunner::loadOrRun(const std::string &cache_path)
                     for (const auto &record :
                          cached.value().runs(platform.name, label))
                         distinct.insert(record.layout);
-                    if (distinct.size() < expectedCellsPerPair()) {
+                    if (distinct.size() < want) {
                         complete = false;
                         break;
                     }

@@ -79,9 +79,10 @@ struct CampaignConfig
     std::uint64_t seed = 0x9a4d;
 
     /**
-     * Directory for binary trace caches (one .mtrc per workload);
-     * empty regenerates traces in-memory every run. A corrupt cached
-     * trace is discarded and regenerated, never fatal.
+     * Directory for binary trace caches (one columnar .mtsc store per
+     * workload — see trace::TraceStore); empty regenerates traces
+     * in-memory every run. A corrupt, torn, or zero-byte store is
+     * quarantined (renamed "*.corrupt") and regenerated, never fatal.
      */
     std::string traceCacheDir;
 
@@ -108,6 +109,27 @@ struct CampaignConfig
 
     /** Layouts per fused pass when `fused` is set (clamped to >= 1). */
     unsigned fusedGroupSize = 4;
+
+    /**
+     * Shard coordinates for multi-process campaigns ("--shard i/N"):
+     * this process simulates only the cells the deterministic
+     * round-robin partition (exp::shardOwnsCell over the canonical
+     * slot order) assigns to shardIndex, and its dataset CSV carries
+     * an embedded manifest so mosaic_merge can validate and splice the
+     * shards back into the byte-identical canonical dataset.
+     * shardCount <= 1 disables sharding.
+     */
+    unsigned shardIndex = 0;
+    unsigned shardCount = 1;
+
+    /**
+     * Watchdog budget per cell, in seconds; 0 disables it. A
+     * scheduling unit of k cells gets k times the budget; when the
+     * cooperative deadline expires inside the replay loops, the unit's
+     * cells fail with Timeout errors and the campaign continues — a
+     * hung cell is an isolated failure, never a wedged worker.
+     */
+    double cellTimeoutSeconds = 0.0;
 };
 
 /** One failed campaign cell, with the error that killed it. */

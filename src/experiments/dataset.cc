@@ -130,8 +130,14 @@ constexpr const char *csvHeader =
 
 } // namespace
 
-Result<void>
-Dataset::saveResult(const std::string &path) const
+const char *
+datasetCsvHeader()
+{
+    return csvHeader;
+}
+
+std::string
+Dataset::toCsv() const
 {
     std::ostringstream out;
     out << csvHeader << "\n";
@@ -155,7 +161,14 @@ Dataset::saveResult(const std::string &path) const
             out << text << "\n";
         }
     }
-    return writeFileAtomic(path, out.str());
+    return out.str();
+}
+
+Result<void>
+Dataset::saveResult(const std::string &path,
+                    const std::string &trailer) const
+{
+    return writeFileAtomic(path, toCsv() + trailer);
 }
 
 Result<Dataset>
@@ -174,7 +187,13 @@ Dataset::loadResult(const std::string &path, DatasetLoadStats *stats)
     Dataset dataset;
     DatasetLoadStats local;
     while (std::getline(file, line)) {
-        if (trimString(line).empty())
+        std::string trimmed = trimString(line);
+        if (trimmed.empty())
+            continue;
+        // Comment lines (the embedded shard manifest) are part of the
+        // format, not damage: skip them without counting them as
+        // malformed rows.
+        if (trimmed[0] == '#')
             continue;
         auto fields = splitString(line, ',');
         RunRecord record;

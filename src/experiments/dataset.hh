@@ -74,11 +74,23 @@ class Dataset
                              const std::string &layout) const;
 
     /**
+     * Render the dataset as CSV text: the canonical header plus one
+     * row per run, pairs in key order, rows in insertion order —
+     * exactly the bytes saveResult() persists.
+     */
+    std::string toCsv() const;
+
+    /**
      * Persist to CSV atomically (temp file + fsync + rename): readers
      * and a rerun after a mid-write kill see either the previous
-     * complete file or the new one, never a torn mix.
+     * complete file or the new one, never a torn mix. @p trailer, when
+     * non-empty, is appended verbatim after the last row — sharded
+     * campaigns use it for the embedded "# mosaic-shard" manifest
+     * (loadResult() skips comment lines, so a trailer never perturbs a
+     * resume).
      */
-    Result<void> saveResult(const std::string &path) const;
+    Result<void> saveResult(const std::string &path,
+                            const std::string &trailer = "") const;
 
     /**
      * Load a previously saved dataset. Malformed data rows — the tail
@@ -103,6 +115,9 @@ class Dataset
 
 /** Convert one run into a model-facing sample. */
 models::Sample toSample(const RunRecord &record);
+
+/** The canonical dataset CSV header row (no trailing newline). */
+const char *datasetCsvHeader();
 
 } // namespace mosaic::exp
 

@@ -1,0 +1,425 @@
+#include "experiments/shard.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "experiments/dataset.hh"
+#include "support/fault_injector.hh"
+#include "support/io_util.hh"
+#include "support/str.hh"
+
+namespace mosaic::exp
+{
+
+namespace
+{
+
+constexpr const char *manifestPrefix = "# mosaic-shard:";
+constexpr const char *orderPrefix = "# mosaic-shard-order:";
+
+std::string
+hex32(std::uint32_t value)
+{
+    char out[16];
+    std::snprintf(out, sizeof out, "%08x", value);
+    return out;
+}
+
+bool
+parseHex32(const std::string &text, std::uint32_t &out)
+{
+    if (text.empty() || text.size() > 8)
+        return false;
+    std::uint32_t value = 0;
+    for (char c : text) {
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else
+            return false;
+        value = (value << 4) | static_cast<std::uint32_t>(digit);
+    }
+    out = value;
+    return true;
+}
+
+/** "# mosaic-shard: v=1 shard=0/2 cells=.. ..." -> ShardManifest. */
+Result<ShardManifest>
+parseManifestLine(const std::string &line)
+{
+    ShardManifest manifest;
+    bool got_shard = false, got_cells = false, got_expected = false;
+    bool got_cpp = false, got_config = false, got_crc = false;
+    std::istringstream words(line.substr(std::string(manifestPrefix).size()));
+    std::string word;
+    while (words >> word) {
+        auto eq = word.find('=');
+        if (eq == std::string::npos)
+            return corruptError("malformed shard manifest token '" +
+                                word + "'");
+        std::string key = word.substr(0, eq);
+        std::string value = word.substr(eq + 1);
+        std::uint64_t number = 0;
+        if (key == "v") {
+            if (!parseUnsignedFull(value, number))
+                return corruptError("bad shard manifest version '" +
+                                    value + "'");
+            manifest.version = static_cast<unsigned>(number);
+        } else if (key == "shard") {
+            auto slash = value.find('/');
+            std::uint64_t index = 0, count = 0;
+            if (slash == std::string::npos ||
+                !parseUnsignedFull(value.substr(0, slash), index) ||
+                !parseUnsignedFull(value.substr(slash + 1), count)) {
+                return corruptError("bad shard coordinates '" + value +
+                                    "' (want i/N)");
+            }
+            manifest.shardIndex = static_cast<unsigned>(index);
+            manifest.shardCount = static_cast<unsigned>(count);
+            got_shard = true;
+        } else if (key == "cells") {
+            if (!parseUnsignedFull(value, number))
+                return corruptError("bad shard cell count '" + value +
+                                    "'");
+            manifest.cells = number;
+            got_cells = true;
+        } else if (key == "expected") {
+            if (!parseUnsignedFull(value, number))
+                return corruptError("bad shard expected count '" +
+                                    value + "'");
+            manifest.expected = number;
+            got_expected = true;
+        } else if (key == "cells_per_pair") {
+            if (!parseUnsignedFull(value, number))
+                return corruptError("bad cells_per_pair '" + value +
+                                    "'");
+            manifest.cellsPerPair = number;
+            got_cpp = true;
+        } else if (key == "config") {
+            if (!parseHex32(value, manifest.configHash))
+                return corruptError("bad shard config hash '" + value +
+                                    "'");
+            got_config = true;
+        } else if (key == "crc") {
+            if (!parseHex32(value, manifest.rowCrc))
+                return corruptError("bad shard row CRC '" + value +
+                                    "'");
+            got_crc = true;
+        }
+        // Unknown keys are skipped: a later writer may add fields
+        // without stranding older merge binaries.
+    }
+    if (!got_shard || !got_cells || !got_expected || !got_cpp ||
+        !got_config || !got_crc) {
+        return corruptError("shard manifest is missing required fields");
+    }
+    if (manifest.shardCount == 0 ||
+        manifest.shardIndex >= manifest.shardCount)
+        return corruptError("shard manifest coordinates out of range");
+    return manifest;
+}
+
+/** "# mosaic-shard-order: plat\twork\tl1*|l2|..." -> ShardPairOrder. */
+Result<ShardPairOrder>
+parseOrderLine(const std::string &line)
+{
+    std::string body = line.substr(std::string(orderPrefix).size());
+    if (!body.empty() && body[0] == ' ')
+        body.erase(0, 1);
+    auto fields = splitString(body, '\t');
+    if (fields.size() != 3)
+        return corruptError("malformed shard order line '" + line + "'");
+    ShardPairOrder order;
+    order.platform = fields[0];
+    order.workload = fields[1];
+    for (const auto &token : splitString(fields[2], '|')) {
+        if (token.empty())
+            return corruptError("empty layout in shard order line");
+        bool owned = token.back() == '*';
+        order.layouts.push_back(
+            owned ? token.substr(0, token.size() - 1) : token);
+        order.owned.push_back(owned);
+    }
+    if (order.layouts.empty())
+        return corruptError("shard order line lists no layouts");
+    return order;
+}
+
+} // namespace
+
+std::size_t
+shardCellsOfPair(unsigned shard_index, unsigned shard_count,
+                 std::size_t pair_ordinal, std::size_t cells_per_pair)
+{
+    if (shard_count <= 1)
+        return cells_per_pair;
+    std::size_t owned = 0;
+    for (std::size_t li = 0; li < cells_per_pair; ++li) {
+        if (shardOwnsCell(shard_index, shard_count, pair_ordinal, li,
+                          cells_per_pair))
+            ++owned;
+    }
+    return owned;
+}
+
+std::uint32_t
+shardConfigHash(const std::vector<std::string> &workloads,
+                const std::vector<std::string> &platforms,
+                bool include_1g, std::uint64_t seed,
+                std::size_t cells_per_pair, unsigned shard_count)
+{
+    // Canonical text, hashed: newline-framed fields cannot collide by
+    // concatenation ("ab"+"c" vs "a"+"bc").
+    std::ostringstream canon;
+    canon << "mosaic-shard-config v1\n";
+    canon << "seed " << seed << "\n";
+    canon << "include1g " << (include_1g ? 1 : 0) << "\n";
+    canon << "cells_per_pair " << cells_per_pair << "\n";
+    canon << "shards " << shard_count << "\n";
+    for (const auto &workload : workloads)
+        canon << "w " << workload << "\n";
+    for (const auto &platform : platforms)
+        canon << "p " << platform << "\n";
+    const std::string text = canon.str();
+    return crc32(text.data(), text.size());
+}
+
+std::string
+formatShardTrailer(const ShardManifest &manifest,
+                   const std::vector<ShardPairOrder> &order)
+{
+    std::ostringstream out;
+    for (const auto &pair : order) {
+        out << orderPrefix << ' ' << pair.platform << '\t'
+            << pair.workload << '\t';
+        for (std::size_t i = 0; i < pair.layouts.size(); ++i) {
+            if (i > 0)
+                out << '|';
+            out << pair.layouts[i];
+            if (i < pair.owned.size() && pair.owned[i])
+                out << '*';
+        }
+        out << '\n';
+    }
+    // The manifest line comes last: it doubles as the trailer's commit
+    // marker, so a truncated trailer reads as "manifest missing"
+    // rather than as a silently smaller shard.
+    out << manifestPrefix << " v=" << manifest.version << " shard="
+        << manifest.shardIndex << '/' << manifest.shardCount
+        << " cells=" << manifest.cells << " expected="
+        << manifest.expected << " cells_per_pair="
+        << manifest.cellsPerPair << " config="
+        << hex32(manifest.configHash) << " crc="
+        << hex32(manifest.rowCrc) << '\n';
+    return out.str();
+}
+
+Result<ShardFile>
+readShardFile(const std::string &path, const SimContext &context)
+{
+    context.metrics().add("merge/shards_read");
+    std::ifstream file(path);
+    if (!file.good() ||
+        context.faults().shouldFail(FaultSite::MergeRead))
+        return ioError("cannot open shard CSV " + path);
+
+    std::string line;
+    if (!std::getline(file, line) ||
+        trimString(line) != datasetCsvHeader()) {
+        return corruptError("unexpected header in shard CSV " + path +
+                            " (not a mosaic dataset?)");
+    }
+
+    ShardFile shard;
+    shard.path = path;
+    bool have_manifest = false;
+    std::uint32_t crc = 0;
+    while (std::getline(file, line)) {
+        std::string trimmed = trimString(line);
+        if (trimmed.empty())
+            continue;
+        if (trimmed[0] == '#') {
+            if (trimmed.rfind(orderPrefix, 0) == 0) {
+                auto order = parseOrderLine(trimmed);
+                if (!order.ok())
+                    return order.error().withContext("in " + path);
+                shard.order.push_back(std::move(order).okOrThrow());
+            } else if (trimmed.rfind(manifestPrefix, 0) == 0) {
+                if (have_manifest) {
+                    return corruptError("duplicate shard manifest in " +
+                                        path);
+                }
+                auto manifest = parseManifestLine(trimmed);
+                if (!manifest.ok())
+                    return manifest.error().withContext("in " + path);
+                shard.manifest = manifest.value();
+                have_manifest = true;
+            }
+            // Other comments: tolerated, ignored.
+            continue;
+        }
+        if (have_manifest) {
+            return corruptError("data row after the shard manifest in " +
+                                path);
+        }
+        auto fields = splitString(line, ',');
+        if (fields.size() != 19) {
+            return corruptError("malformed data row in shard CSV " +
+                                path);
+        }
+        std::array<std::string, 3> key{fields[0], fields[1], fields[2]};
+        if (!shard.rows.emplace(key, line).second) {
+            return corruptError("duplicate cell " + fields[0] + "/" +
+                                fields[1] + "/" + fields[2] + " in " +
+                                path);
+        }
+        // The CRC covers the raw row bytes exactly as they will be
+        // spliced into the merged file, including each newline.
+        crc = crc32(line.data(), line.size(), crc);
+        crc = crc32("\n", 1, crc);
+    }
+
+    if (!have_manifest) {
+        return corruptError("shard CSV " + path +
+                            " has no embedded manifest (incomplete or "
+                            "not written by --shard?)");
+    }
+    if (shard.manifest.version != 1) {
+        return corruptError("unsupported shard manifest version " +
+                            std::to_string(shard.manifest.version) +
+                            " in " + path);
+    }
+    if (shard.manifest.cells != shard.rows.size()) {
+        return corruptError(
+            "shard CSV " + path + " holds " +
+            std::to_string(shard.rows.size()) +
+            " row(s) but its manifest promises " +
+            std::to_string(shard.manifest.cells));
+    }
+    if (shard.manifest.rowCrc != crc) {
+        return corruptError("row CRC mismatch in shard CSV " + path +
+                            " (file is corrupt)");
+    }
+
+    // Every row must be accounted for by an order line of its pair.
+    std::map<std::pair<std::string, std::string>,
+             const ShardPairOrder *>
+        by_pair;
+    for (const auto &order : shard.order)
+        by_pair[{order.platform, order.workload}] = &order;
+    for (const auto &[key, raw] : shard.rows) {
+        auto it = by_pair.find({key[0], key[1]});
+        if (it == by_pair.end() ||
+            std::find(it->second->layouts.begin(),
+                      it->second->layouts.end(),
+                      key[2]) == it->second->layouts.end()) {
+            return corruptError("row " + key[0] + "/" + key[1] + "/" +
+                                key[2] + " in " + path +
+                                " is not covered by any shard order "
+                                "line");
+        }
+    }
+    return shard;
+}
+
+Result<MergeOutcome>
+mergeShards(const std::vector<ShardFile> &shards, bool allow_missing)
+{
+    if (shards.empty())
+        return configError("no shard CSVs to merge");
+
+    const ShardManifest &reference = shards.front().manifest;
+    std::set<unsigned> indices;
+    for (const ShardFile &shard : shards) {
+        const ShardManifest &manifest = shard.manifest;
+        if (manifest.shardCount != reference.shardCount ||
+            manifest.configHash != reference.configHash ||
+            manifest.cellsPerPair != reference.cellsPerPair) {
+            return corruptError(
+                "shard " + shard.path +
+                " belongs to a different campaign than " +
+                shards.front().path +
+                " (config hash / shard count mismatch)");
+        }
+        if (!indices.insert(manifest.shardIndex).second) {
+            return corruptError("two shard CSVs claim shard index " +
+                                std::to_string(manifest.shardIndex));
+        }
+        if (!allow_missing && manifest.cells != manifest.expected) {
+            return corruptError(
+                "shard " + shard.path + " is incomplete (" +
+                std::to_string(manifest.cells) + "/" +
+                std::to_string(manifest.expected) +
+                " cells); rerun it or merge with "
+                "--allow-missing-shards");
+        }
+    }
+    if (!allow_missing && indices.size() != reference.shardCount) {
+        return corruptError(
+            "merge needs all " + std::to_string(reference.shardCount) +
+            " shards but only " + std::to_string(indices.size()) +
+            " were given (use --allow-missing-shards for a partial "
+            "dataset)");
+    }
+
+    // Union the per-pair canonical orders, verifying agreement, and
+    // the rows, rejecting duplicates across shards.
+    std::map<std::pair<std::string, std::string>,
+             std::vector<std::string>>
+        order;
+    std::map<std::array<std::string, 3>, const std::string *> rows;
+    for (const ShardFile &shard : shards) {
+        for (const auto &pair : shard.order) {
+            auto [it, inserted] = order.try_emplace(
+                std::make_pair(pair.platform, pair.workload),
+                pair.layouts);
+            if (!inserted && it->second != pair.layouts) {
+                return corruptError(
+                    "shards disagree on the layout order of " +
+                    pair.platform + "/" + pair.workload +
+                    " (different campaigns?)");
+            }
+        }
+        for (const auto &[key, raw] : shard.rows) {
+            if (!rows.emplace(key, &raw).second) {
+                return corruptError("cell " + key[0] + "/" + key[1] +
+                                    "/" + key[2] +
+                                    " appears in more than one shard");
+            }
+        }
+    }
+
+    MergeOutcome outcome;
+    std::ostringstream out;
+    out << datasetCsvHeader() << "\n";
+    for (const auto &[pair, layouts] : order) {
+        for (const auto &layout : layouts) {
+            auto it = rows.find({pair.first, pair.second, layout});
+            if (it == rows.end()) {
+                outcome.missing.push_back(
+                    {pair.first, pair.second, layout});
+                continue;
+            }
+            out << *it->second << "\n";
+            ++outcome.rowsMerged;
+        }
+    }
+    if (!allow_missing && !outcome.missing.empty()) {
+        const MissingCell &first = outcome.missing.front();
+        return corruptError(
+            std::to_string(outcome.missing.size()) +
+            " cell(s) missing from the merged dataset (first: " +
+            first.platform + "/" + first.workload + "/" + first.layout +
+            "); rerun the owning shard or merge with "
+            "--allow-missing-shards");
+    }
+    outcome.csv = out.str();
+    return outcome;
+}
+
+} // namespace mosaic::exp

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Sharded campaigns: deterministic cell partition, the embedded shard
+ * manifest, and the merge step that splices shard CSVs back into the
+ * byte-identical canonical dataset.
+ *
+ * A campaign sharded "--shard i/N" runs exactly the cells whose global
+ * ordinal (pair grid ordinal x cells-per-pair + layout index) is
+ * congruent to i mod N — a round-robin over the canonical slot order,
+ * so shards are balanced to within one cell and the partition is a
+ * pure function of the grid, never of timing.
+ *
+ * Each shard CSV carries a trailing comment-block manifest:
+ *
+ *   # mosaic-shard-order: <platform>\t<workload>\t<layout>[*]|...
+ *   ...one line per pair the shard owns cells of...
+ *   # mosaic-shard: v=1 shard=i/N cells=C expected=E
+ *   #   cells_per_pair=P config=HHHHHHHH crc=HHHHHHHH   (one line)
+ *
+ * The order lines record the pair's canonical layout order (identical
+ * in every shard — layouts are deterministic), with "*" marking the
+ * layouts this shard owns; the manifest line carries the shard's
+ * coordinates, its cell counts, a hash of the campaign configuration
+ * (so shards of different campaigns cannot be merged), and a CRC32
+ * over the raw data-row bytes. Dataset::loadResult() skips "#" lines,
+ * so the manifest never perturbs a shard resume.
+ *
+ * mergeShards() validates every manifest (count, config hash, CRC,
+ * order agreement, no duplicate cells) and emits the canonical CSV:
+ * pairs in sorted (platform, workload) order, rows in canonical layout
+ * order, raw row bytes spliced verbatim — byte-identical to what one
+ * unsharded campaign process writes. Strict merge fails on any missing
+ * cell; degraded merge (--allow-missing-shards) emits the partial
+ * dataset plus an explicit missing-cell report instead.
+ */
+
+#ifndef MOSAIC_EXPERIMENTS_SHARD_HH
+#define MOSAIC_EXPERIMENTS_SHARD_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/error.hh"
+#include "support/sim_context.hh"
+
+namespace mosaic::exp
+{
+
+/** Round-robin cell partition over the canonical slot order. */
+inline bool
+shardOwnsCell(unsigned shard_index, unsigned shard_count,
+              std::size_t pair_ordinal, std::size_t layout_index,
+              std::size_t cells_per_pair)
+{
+    if (shard_count <= 1)
+        return true;
+    return (pair_ordinal * cells_per_pair + layout_index) %
+               shard_count ==
+           shard_index;
+}
+
+/** Cells of one pair owned by one shard (pure index arithmetic). */
+std::size_t shardCellsOfPair(unsigned shard_index, unsigned shard_count,
+                             std::size_t pair_ordinal,
+                             std::size_t cells_per_pair);
+
+/**
+ * Hash of everything that defines the cell partition. Two shard CSVs
+ * merge only if their hashes agree: same grid, same layout seed, same
+ * shard count.
+ */
+std::uint32_t shardConfigHash(const std::vector<std::string> &workloads,
+                              const std::vector<std::string> &platforms,
+                              bool include_1g, std::uint64_t seed,
+                              std::size_t cells_per_pair,
+                              unsigned shard_count);
+
+/** The "# mosaic-shard:" coordinates and integrity fields. */
+struct ShardManifest
+{
+    unsigned version = 1;
+    unsigned shardIndex = 0;
+    unsigned shardCount = 1;
+
+    /** Data rows actually present in the CSV. */
+    std::size_t cells = 0;
+
+    /** Cells the partition assigns to this shard (== cells when the
+     *  shard ran to completion; fewer for a mid-run checkpoint). */
+    std::size_t expected = 0;
+
+    std::size_t cellsPerPair = 0;
+    std::uint32_t configHash = 0;
+
+    /** CRC32 over the raw data-row bytes (each row incl. its '\n'). */
+    std::uint32_t rowCrc = 0;
+};
+
+/** One pair's canonical layout order, with this-shard ownership. */
+struct ShardPairOrder
+{
+    std::string platform;
+    std::string workload;
+    std::vector<std::string> layouts; ///< canonical (builder) order
+    std::vector<bool> owned;          ///< parallel: shard owns cell
+};
+
+/** Render the manifest comment block appended to a shard CSV. */
+std::string formatShardTrailer(
+    const ShardManifest &manifest,
+    const std::vector<ShardPairOrder> &order);
+
+/** A parsed and CRC-verified shard CSV. */
+struct ShardFile
+{
+    std::string path;
+    ShardManifest manifest;
+    std::vector<ShardPairOrder> order;
+
+    /** Raw row bytes (no '\n') keyed by (platform, workload, layout). */
+    std::map<std::array<std::string, 3>, std::string> rows;
+};
+
+/**
+ * Read and validate one shard CSV: header, manifest presence, cell
+ * count, row CRC. Errors: Io (unreadable, or an injected "merge-read"
+ * fault), Corrupt (bad header, missing/malformed manifest, CRC or
+ * count mismatch, malformed row).
+ */
+Result<ShardFile> readShardFile(
+    const std::string &path,
+    const SimContext &context = globalSimContext());
+
+/** One cell a degraded merge could not recover. */
+struct MissingCell
+{
+    std::string platform;
+    std::string workload;
+    std::string layout;
+};
+
+/** What mergeShards() produced. */
+struct MergeOutcome
+{
+    /** Canonical CSV text (header + spliced rows). */
+    std::string csv;
+
+    /** Cells named by order lines but present in no shard. */
+    std::vector<MissingCell> missing;
+
+    std::size_t rowsMerged = 0;
+};
+
+/**
+ * Splice shards into the canonical dataset. All shards must agree on
+ * (shard count, config hash, cells per pair) and per-pair layout
+ * order; duplicate shard indices or duplicate cells are always errors.
+ * With @p allow_missing false the merge additionally requires all N
+ * shards present, each complete (cells == expected), and no missing
+ * cells; with it true, gaps land in MergeOutcome::missing and the
+ * partial CSV is still produced.
+ */
+Result<MergeOutcome> mergeShards(const std::vector<ShardFile> &shards,
+                                 bool allow_missing);
+
+} // namespace mosaic::exp
+
+#endif // MOSAIC_EXPERIMENTS_SHARD_HH

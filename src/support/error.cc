@@ -17,6 +17,8 @@ errorCategoryName(ErrorCategory category)
         return "config";
       case ErrorCategory::Numeric:
         return "numeric";
+      case ErrorCategory::Timeout:
+        return "timeout";
       case ErrorCategory::Internal:
         return "internal";
     }

@@ -30,6 +30,7 @@ enum class ErrorCategory
     Parse,   ///< text input does not match the expected grammar
     Config,  ///< the user asked for something that does not exist
     Numeric, ///< non-finite values or a diverging numerical procedure
+    Timeout, ///< a watchdog deadline expired; the work was abandoned
     Internal ///< invariant violation surfaced as an error (from a throw)
 };
 
@@ -202,6 +203,28 @@ numericError(std::string message)
 {
     return Error(ErrorCategory::Numeric, std::move(message));
 }
+
+inline Error
+timeoutError(std::string message)
+{
+    return Error(ErrorCategory::Timeout, std::move(message));
+}
+
+/**
+ * Thrown from deep inside the replay loop when a cooperative watchdog
+ * deadline expires (see SimContext::deadline()). The campaign catches
+ * it at the cell boundary and converts it into a Timeout Error, so a
+ * hung cell becomes one isolated CellFailure instead of a wedged
+ * worker.
+ */
+class TimeoutError : public std::runtime_error
+{
+  public:
+    explicit TimeoutError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
 
 } // namespace mosaic
 

@@ -44,6 +44,11 @@ enum class FaultSite : std::size_t
     CsvOpen,      ///< open of the dataset CSV reports failure
     LassoNan,     ///< a NaN is injected into the Lasso design matrix
     SimLane,      ///< building one simulation lane (cell/layout) fails
+    StoreOpen,    ///< open/mmap of a columnar trace store fails
+    StoreCorrupt, ///< bytes of a written store column are flipped
+    StoreCommit,  ///< a store is published without its commit marker
+    ShardWrite,   ///< writing a shard CSV reports failure
+    MergeRead,    ///< reading a shard CSV during merge fails
     NumSites
 };
 

@@ -30,6 +30,7 @@
 #ifndef MOSAIC_SUPPORT_SIM_CONTEXT_HH
 #define MOSAIC_SUPPORT_SIM_CONTEXT_HH
 
+#include <chrono>
 #include <cstdint>
 
 #include "support/fault_injector.hh"
@@ -76,11 +77,39 @@ class SimContext
         return out;
     }
 
+    /**
+     * Cooperative watchdog deadline. The replay loops check it once
+     * per chunk (~1k records) and throw TimeoutError when it has
+     * passed, so a hung cell surfaces as an isolated failure instead
+     * of wedging its worker forever. Defaults to "never".
+     */
+    std::chrono::steady_clock::time_point deadline() const
+    {
+        return deadline_;
+    }
+
+    /** True when a finite deadline is set. */
+    bool hasDeadline() const
+    {
+        return deadline_ != std::chrono::steady_clock::time_point::max();
+    }
+
+    /** Copy of this context with a watchdog deadline. */
+    SimContext
+    withDeadline(std::chrono::steady_clock::time_point deadline) const
+    {
+        SimContext out = *this;
+        out.deadline_ = deadline;
+        return out;
+    }
+
   private:
     MetricsRegistry *metrics_;
     FaultInjector *faults_;
     std::uint64_t seed_ = 0;
     unsigned workerId_ = 0;
+    std::chrono::steady_clock::time_point deadline_ =
+        std::chrono::steady_clock::time_point::max();
 };
 
 /**

@@ -17,7 +17,7 @@
 #include "support/fault_injector.hh"
 #include "support/io_util.hh"
 #include "support/random.hh"
-#include "trace/trace_io.hh"
+#include "trace/trace_store.hh"
 
 using namespace mosaic;
 using namespace mosaic::exp;
@@ -73,7 +73,8 @@ class CampaignFaultTest : public ::testing::Test
     static std::string
     tinyCachePath(const std::string &dir)
     {
-        return dir + "/" + traceCacheStem("test/tiny") + ".mtrc";
+        return dir + "/" + traceCacheStem("test/tiny") +
+               trace::traceStoreExtension;
     }
 
     test::ScratchDir scratch_;
@@ -89,16 +90,16 @@ TEST_F(CampaignFaultTest, CorruptTraceCacheIsRegenerated)
     TinyWorkload workload;
 
     // First pair run populates the cache — with the write corrupted.
-    faults().arm(FaultSite::TraceCorrupt, 1);
+    faults().arm(FaultSite::StoreCorrupt, 1);
     Dataset first;
     auto failures = CampaignRunner::runPair(workload, cpu::sandyBridge(),
                                             config, first);
     faults().reset();
     EXPECT_TRUE(failures.empty());
-    ASSERT_TRUE(trace::isTraceFile(cache));
-    EXPECT_FALSE(trace::loadTraceResult(cache).ok()); // damage landed
+    ASSERT_TRUE(trace::isTraceStoreFile(cache));
+    EXPECT_FALSE(trace::TraceStore::open(cache).ok()); // damage landed
 
-    // Second run must detect the damage (CRC), discard the file,
+    // Second run must detect the damage (CRC), quarantine the file,
     // regenerate, and still complete every cell.
     Dataset second;
     failures = CampaignRunner::runPair(workload, cpu::sandyBridge(),
@@ -106,9 +107,11 @@ TEST_F(CampaignFaultTest, CorruptTraceCacheIsRegenerated)
     EXPECT_TRUE(failures.empty());
     EXPECT_EQ(second.runs("SandyBridge", "test/tiny").size(), 55u);
 
-    // The repaired cache is valid again and the two datasets agree
-    // (the trace is deterministic either way).
-    EXPECT_TRUE(trace::loadTraceResult(cache).ok());
+    // The damaged file was preserved as evidence, the repaired cache
+    // is valid again, and the two datasets agree (the trace is
+    // deterministic either way).
+    EXPECT_TRUE(trace::isTraceStoreFile(cache + ".corrupt"));
+    EXPECT_TRUE(trace::TraceStore::open(cache).ok());
     EXPECT_EQ(first.findRun("SandyBridge", "test/tiny", layoutAll2m)
                   .result.runtimeCycles,
               second.findRun("SandyBridge", "test/tiny", layoutAll2m)
@@ -125,10 +128,10 @@ TEST_F(CampaignFaultTest, TransientOpenFailureIsRetried)
     // Populate a valid cache.
     Dataset warmup;
     CampaignRunner::runPair(workload, cpu::sandyBridge(), config, warmup);
-    ASSERT_TRUE(trace::loadTraceResult(cache).ok());
+    ASSERT_TRUE(trace::TraceStore::open(cache).ok());
 
     // Fail the 1st cache open; the backoff retry must recover.
-    faults().arm(FaultSite::TraceOpen, 1);
+    faults().arm(FaultSite::StoreOpen, 1);
     Dataset dataset;
     std::size_t retries = 0;
     auto failures = CampaignRunner::runPair(
@@ -150,13 +153,13 @@ TEST_F(CampaignFaultTest, ExhaustedRetriesFailThePairNotTheCampaign)
 
     Dataset warmup;
     CampaignRunner::runPair(workload, cpu::sandyBridge(), config, warmup);
-    ASSERT_TRUE(trace::isTraceFile(cache));
+    ASSERT_TRUE(trace::isTraceStoreFile(cache));
 
     // Every open fails: the cache load gives up after its retries, but
     // the engine falls back to regenerating the trace in memory — the
     // cache is an optimization, never a single point of failure. The
     // re-save also fails (same site), which only costs the cache.
-    faults().arm(FaultSite::TraceOpen, 0);
+    faults().arm(FaultSite::StoreOpen, 0);
     Dataset dataset;
     auto failures = CampaignRunner::runPair(workload, cpu::sandyBridge(),
                                             config, dataset);

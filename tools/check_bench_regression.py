@@ -14,6 +14,11 @@ tolerance. Checked, all one-sided (only slowdowns fail, speedups pass):
                                        engine must never be materially
                                        slower than sequential replay
 
+A baseline that predates a schema bump (missing aggregate/fused
+blocks or run-entry keys) skips the affected checks with a warning
+instead of crashing; the fresh file, produced by the current bench
+binary, is still required to carry the aggregate.
+
 The default tolerance is deliberately wide (20%) because CI runners
 are shared and noisy; the bench itself takes the min over repetitions
 after a calibration rep, which removes most cold-start noise. The
@@ -47,11 +52,33 @@ def load(path):
     return doc
 
 
-def cells(doc):
-    return {
-        (run["platform"], run["layout"]): run["records_per_sec"]
-        for run in doc.get("runs", [])
-    }
+def warn(message):
+    print(f"warning: {message}", file=sys.stderr)
+
+
+def cells(doc, path):
+    """Per-cell throughput map, tolerating schema drift.
+
+    A baseline committed before a schema bump may hold run entries
+    without the keys this gate reads; those entries are skipped with a
+    warning instead of KeyError-ing the whole gate (the remaining
+    cells still get checked).
+    """
+    out = {}
+    skipped = 0
+    for run in doc.get("runs", []):
+        platform = run.get("platform")
+        layout = run.get("layout")
+        rate = run.get("records_per_sec")
+        if platform is None or layout is None or rate is None:
+            skipped += 1
+            continue
+        out[(platform, layout)] = rate
+    if skipped:
+        warn(f"{path}: skipped {skipped} run entr"
+             f"{'y' if skipped == 1 else 'ies'} missing "
+             "platform/layout/records_per_sec (older schema?)")
+    return out
 
 
 class Gate:
@@ -88,20 +115,34 @@ def main():
     fresh = load(args.fresh)
     gate = Gate()
 
-    print(f"baseline: {args.baseline} ({baseline.get('schema')}, "
-          f"{baseline.get('records'):,} records)")
-    print(f"fresh:    {args.fresh} ({fresh.get('schema')}, "
-          f"{fresh.get('records'):,} records)")
+    def describe(path, doc):
+        records = doc.get("records")
+        records_text = (f"{records:,} records"
+                        if isinstance(records, (int, float))
+                        else "record count unknown")
+        print(f"{path} ({doc.get('schema')}, {records_text})")
+
+    print("baseline: ", end="")
+    describe(args.baseline, baseline)
+    print("fresh:    ", end="")
+    describe(args.fresh, fresh)
 
     base_agg = baseline.get("aggregate", {}).get("records_per_sec")
     fresh_agg = fresh.get("aggregate", {}).get("records_per_sec")
-    if base_agg and fresh_agg:
+    if not fresh_agg:
+        # The fresh file comes from the current bench binary; if even
+        # it lacks the aggregate, the measurement itself is broken.
+        sys.exit("error: fresh file lacks aggregate.records_per_sec")
+    if base_agg:
         gate.check("aggregate records/sec", fresh_agg,
                    base_agg * (1.0 - args.tolerance),
                    f"(baseline {base_agg:,.0f}, "
                    f"-{args.tolerance:.0%}) ")
     else:
-        sys.exit("error: both files need aggregate.records_per_sec")
+        # A baseline from before the schema carried the aggregate:
+        # skip the check rather than fail the gate on old data.
+        warn(f"{args.baseline}: no aggregate.records_per_sec "
+             "(pre-aggregate schema?); aggregate check skipped")
 
     base_fused = baseline.get("fused", {}).get("records_per_sec")
     fresh_fused = fresh.get("fused", {}).get("records_per_sec")
@@ -124,8 +165,8 @@ def main():
         if fresh_speedup < args.fused_floor:
             gate.failures.append("fused speedup floor")
 
-    base_cells = cells(baseline)
-    fresh_cells = cells(fresh)
+    base_cells = cells(baseline, args.baseline)
+    fresh_cells = cells(fresh, args.fresh)
     missing = sorted(set(base_cells) - set(fresh_cells))
     if missing:
         sys.exit(f"error: fresh run is missing cells: {missing}")

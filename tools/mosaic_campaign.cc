@@ -37,6 +37,7 @@ constexpr const char *usageText =
     "                       [--resume] [--trace-cache DIR]\n"
     "                       [--checkpoint-every N] [--max-retries N]\n"
     "                       [--fused] [--fused-group N]\n"
+    "                       [--shard I/N] [--cell-timeout SECONDS]\n"
     "                       [--metrics-out FILE]\n"
     "defaults: all 19 workloads, the paper's 3 platforms, jobs =\n"
     "          hardware concurrency, out = mosaic_dataset.csv,\n"
@@ -49,6 +50,14 @@ constexpr const char *usageText =
     "the CSV is byte-identical with or without it.\n"
     "--resume keeps cells already present in --out instead of\n"
     "recomputing them; without it the output is rebuilt from scratch.\n"
+    "--shard I/N runs only the cells the deterministic round-robin\n"
+    "partition assigns to shard I (0-based) of N; the output CSV\n"
+    "carries an embedded manifest so `mosaic_merge` can validate and\n"
+    "splice the N shard CSVs into the byte-identical canonical\n"
+    "dataset.\n"
+    "--cell-timeout gives each cell a watchdog budget in seconds; a\n"
+    "cell that exceeds it fails with a timeout error instead of\n"
+    "hanging its worker (0 = off, the default).\n"
     "--metrics-out writes a JSON run manifest (config, per-phase\n"
     "timings, trace-cache/retry counters, failures) after the run.\n";
 
@@ -99,6 +108,25 @@ campaignMain(int argc, char **argv)
         config.fusedGroupSize = static_cast<unsigned>(
             std::stoul(args.get("fused-group")));
     }
+    if (args.has("shard")) {
+        const std::string spec = args.get("shard");
+        auto slash = spec.find('/');
+        std::uint64_t index = 0, count = 0;
+        if (slash == std::string::npos ||
+            !parseUnsignedFull(spec.substr(0, slash), index) ||
+            !parseUnsignedFull(spec.substr(slash + 1), count) ||
+            count == 0 || index >= count) {
+            std::fprintf(stderr,
+                         "mosaic_campaign: bad --shard '%s' (want "
+                         "I/N with 0 <= I < N)\n",
+                         spec.c_str());
+            return 2;
+        }
+        config.shardIndex = static_cast<unsigned>(index);
+        config.shardCount = static_cast<unsigned>(count);
+    }
+    if (args.has("cell-timeout"))
+        config.cellTimeoutSeconds = std::stod(args.get("cell-timeout"));
 
     std::string out = args.get("out", exp::defaultDatasetPath());
     exp::CampaignRunner runner(config);
@@ -133,6 +161,14 @@ campaignMain(int argc, char **argv)
     manifest.setConfig("fused_group",
                        static_cast<std::uint64_t>(
                            effective.fusedGroupSize));
+    manifest.setConfig("shard_index",
+                       static_cast<std::uint64_t>(
+                           effective.shardIndex));
+    manifest.setConfig("shard_count",
+                       static_cast<std::uint64_t>(
+                           effective.shardCount));
+    manifest.setConfig("cell_timeout_seconds",
+                       std::to_string(effective.cellTimeoutSeconds));
     for (const auto &failure : report.failures) {
         manifest.addFailure(failure.platform + "/" + failure.workload +
                                 "/" + failure.layout,
