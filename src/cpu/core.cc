@@ -129,96 +129,187 @@ checkDeadline(std::chrono::steady_clock::time_point deadline)
     }
 }
 
-} // namespace
-
-RunResult
-CoreModel::run(const trace::MemoryTrace &trace, vm::Mmu &mmu,
-               mem::MemoryHierarchy &hierarchy,
-               std::chrono::steady_clock::time_point deadline)
+/**
+ * Record sources the replay kernels draw from. Both present the same
+ * three per-record fields; the arithmetic consuming them is shared
+ * (LaneEngine), so which source feeds a run can never change a
+ * counter. The SoA form is the fused path's staged block (decoded
+ * once, consumed by every lane); the AoS form reads the trace
+ * in place, sparing the sequential path the restaging copy.
+ */
+struct SoaRecords
 {
-    const double base_cpi = params_.baseCpi;
-    const Cycles l1_latency = hierarchy.config().latencies.l1;
+    const trace::ReplayBatcher::Chunk &chunk;
+
+    std::size_t size() const { return chunk.size; }
+    VirtAddr vaddrAt(std::size_t i) const { return chunk.vaddr[i]; }
+    std::uint64_t
+    instsAt(std::size_t i) const
+    {
+        return (chunk.meta[i] & trace::ReplayBatcher::kGapMask) + 1;
+    }
+    bool
+    dependsAt(std::size_t i) const
+    {
+        return chunk.meta[i] & trace::ReplayBatcher::kDependsBit;
+    }
+};
+
+struct AosRecords
+{
+    const trace::TraceRecord *recs;
+    std::size_t count;
+
+    std::size_t size() const { return count; }
+    VirtAddr vaddrAt(std::size_t i) const { return recs[i].vaddr; }
+    std::uint64_t
+    instsAt(std::size_t i) const
+    {
+        return static_cast<std::uint64_t>(recs[i].gap) + 1;
+    }
+    bool dependsAt(std::size_t i) const { return recs[i].dependsOnPrev; }
+};
+
+/**
+ * Per-lane replay engine: the machine references, staging buffers, and
+ * timing-model state of one simulated platform/mosaic cell, plus the
+ * per-chunk stage/retire kernels. run() drives exactly one of these;
+ * runFused() drives one per lane. Sharing the kernel bodies makes the
+ * two engines arithmetic-identical *by construction* — there is one
+ * per-record update sequence, not two kept in sync by review.
+ */
+struct LaneEngine
+{
+    vm::Mmu &mmu;
+    mem::MemoryHierarchy &hierarchy;
+    const CoreParams &params;
+    const Cycles l1Latency;
+
+    double workClock = 0.0;   // pure-work (fetch/execute) clock
+    double retireClock = 0.0; // in-order retirement clock
+    double prevCompletion = 0.0;
+    std::uint64_t instIndex = 0;
 
     // MSHR bound: completion times of the last maxOutstanding memory
     // operations; a new one may not issue before the oldest completed.
-    std::vector<double> outstanding(params_.maxOutstanding, 0.0);
     std::size_t ring = 0;
+    std::vector<double> outstanding;
 
     // ROB bound: retire times of recent references, queried by
     // instruction age.
-    RetireHistory history(params_.robInstructions);
+    RetireHistory history;
 
-    double work_clock = 0.0;   // pure-work (fetch/execute) clock
-    double retire_clock = 0.0; // in-order retirement clock
-    double prev_completion = 0.0;
-    std::uint64_t inst_index = 0;
+    // Per-chunk staging buffers: the data line, leaf page-table entry
+    // and page size each record will touch, derived by the pure
+    // software translation before any simulated state advances.
+    std::vector<PhysAddr> stagedData;
+    std::vector<PhysAddr> stagedEntry;
+    std::vector<alloc::PageSize> stagedSize;
 
-    // How far ahead of the current record to software-prefetch the
-    // simulated cache-set metadata. The address stream is known in
-    // advance and software translation is pure, so this is host-side
-    // only: no simulated structure sees a staged address early.
-    constexpr std::size_t kPrefetchAhead = 16;
+    /** How far ahead of the current record to software-prefetch the
+     *  simulated cache-set metadata. The address stream is known in
+     *  advance and software translation is pure, so this is host-side
+     *  only: no simulated structure sees a staged address early. */
+    static constexpr std::size_t kPrefetchAhead = 16;
 
-    // Per-chunk staging buffers: the data line and leaf page-table
-    // entry each record will touch, derived by the pure software
-    // translation before any simulated state advances.
-    std::vector<PhysAddr> stagedData(trace::ReplayBatcher::kChunkRecords);
-    std::vector<PhysAddr> stagedEntry(trace::ReplayBatcher::kChunkRecords);
+    LaneEngine(vm::Mmu &mmu_ref, mem::MemoryHierarchy &hier,
+               const CoreParams &core_params)
+        : mmu(mmu_ref),
+          hierarchy(hier),
+          params(core_params),
+          l1Latency(hier.config().latencies.l1),
+          outstanding(core_params.maxOutstanding, 0.0),
+          history(core_params.robInstructions),
+          stagedData(trace::ReplayBatcher::kChunkRecords),
+          stagedEntry(trace::ReplayBatcher::kChunkRecords),
+          stagedSize(trace::ReplayBatcher::kChunkRecords)
+    {
+    }
 
-    trace::ReplayBatcher batcher(trace);
-    trace::ReplayBatcher::Chunk chunk;
-    while (batcher.next(chunk)) {
-        checkDeadline(deadline);
-        // Stage the chunk's translations in one pure pass. The
-        // iterations are independent (unlike the timing loop below),
-        // so the host pipelines the memo misses, and the timing loop
-        // then finds every slot warm.
-        for (std::size_t i = 0; i < chunk.size; ++i) {
-            if (i + 8 < chunk.size)
-                mmu.prefetchXlate(chunk.vaddr[i + 8]);
-            const VirtAddr vaddr = chunk.vaddr[i];
-            const vm::Translation &xlate = mmu.peekTranslate(vaddr);
-            stagedData[i] = xlate.physAddr + (vaddr & 0xfff);
-            stagedEntry[i] = xlate.entryAddrs[xlate.depth - 1];
+    /**
+     * Stage one chunk's translations in one pure pass. The iterations
+     * are independent (unlike the timing loop), so the host pipelines
+     * the memo misses, and the timing loop then finds every slot warm.
+     */
+    template <class Records>
+    inline void
+    stageChunk(const Records &src)
+    {
+        const std::size_t n = src.size();
+        PhysAddr *staged_data = stagedData.data();
+        PhysAddr *staged_entry = stagedEntry.data();
+        alloc::PageSize *staged_size = stagedSize.data();
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i + 8 < n)
+                mmu.prefetchXlate(src.vaddrAt(i + 8));
+            const vm::Mmu::StagedXlate xlate =
+                mmu.peekTranslate(src.vaddrAt(i));
+            staged_data[i] = xlate.physAddr;
+            staged_entry[i] = xlate.leafEntry;
+            staged_size[i] = xlate.pageSize;
         }
+    }
 
-        for (std::size_t i = 0; i < chunk.size; ++i) {
-            if (i + kPrefetchAhead < chunk.size) {
+    /**
+     * Retire one staged chunk through the timing model. The per-record
+     * sequence is the paper's single-core model: work advances the
+     * clock, the MSHR ring and ROB history bound issue, translation
+     * and the data access bound completion, retirement is in-order.
+     */
+    template <class Records>
+    inline void
+    retireChunk(const Records &src)
+    {
+        const double base_cpi = params.baseCpi;
+        const unsigned rob_instructions = params.robInstructions;
+        const std::size_t n = src.size();
+        const PhysAddr *staged_data = stagedData.data();
+        const PhysAddr *staged_entry = stagedEntry.data();
+        const alloc::PageSize *staged_size = stagedSize.data();
+
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i + kPrefetchAhead < n) {
                 // Hint the sets the record will scan: its data line,
                 // and the leaf page-table entry a TLB miss would read
-                // through the same hierarchy.
-                hierarchy.prefetchSets(stagedData[i + kPrefetchAhead]);
-                hierarchy.prefetchSets(stagedEntry[i + kPrefetchAhead]);
+                // through the same hierarchy. The entry hint is only
+                // worth its issue slots for 4KB pages — the split L1
+                // TLBs cover the whole footprint at 2MB/1GB, so walks
+                // there are too rare to pay for per-record prefetch
+                // traffic. (Prefetch hints never touch simulated
+                // state, so the filter cannot change a counter.)
+                hierarchy.prefetchSets(staged_data[i + kPrefetchAhead]);
+                if (staged_size[i + kPrefetchAhead] ==
+                    alloc::PageSize::Page4K)
+                    hierarchy.prefetchSets(
+                        staged_entry[i + kPrefetchAhead]);
             }
 
-            const VirtAddr vaddr = chunk.vaddr[i];
-            const std::uint32_t meta = chunk.meta[i];
+            const VirtAddr vaddr = src.vaddrAt(i);
 
-            std::uint64_t insts =
-                (meta & trace::ReplayBatcher::kGapMask) + 1;
+            std::uint64_t insts = src.instsAt(i);
             double work = base_cpi * static_cast<double>(insts);
-            work_clock += work;
-            inst_index += insts;
+            workClock += work;
+            instIndex += insts;
 
             // The ROB admits this operation once the instruction
             // robInstructions before it has retired.
             double rob_ready =
-                inst_index > params_.robInstructions
-                    ? history.retiredBy(inst_index -
-                                        params_.robInstructions)
+                instIndex > rob_instructions
+                    ? history.retiredBy(instIndex - rob_instructions)
                     : 0.0;
             double issue =
-                std::max({work_clock, outstanding[ring], rob_ready});
+                std::max({workClock, outstanding[ring], rob_ready});
             // Pointer-chase step: the address comes from the previous
             // reference's data, so it cannot issue until that
             // completes.
-            if (meta & trace::ReplayBatcher::kDependsBit)
-                issue = std::max(issue, prev_completion);
+            if (src.dependsAt(i))
+                issue = std::max(issue, prevCompletion);
 
             // Address translation (TLB lookup, possibly a hardware
-            // walk).
-            auto xlat = mmu.translate(vaddr,
-                                      static_cast<Cycles>(issue));
+            // walk), from the staged software translation.
+            auto xlat = mmu.translateStaged(vaddr, staged_data[i],
+                                            staged_size[i],
+                                            static_cast<Cycles>(issue));
             double xlat_done =
                 issue +
                 static_cast<double>(xlat.queueCycles + xlat.latency);
@@ -229,24 +320,50 @@ CoreModel::run(const trace::MemoryTrace &trace, vm::Mmu &mmu,
             auto data = hierarchy.access(xlat.physAddr,
                                          mem::Requester::Program);
             double data_extra =
-                data.latency > l1_latency
-                    ? static_cast<double>(data.latency - l1_latency)
+                data.latency > l1Latency
+                    ? static_cast<double>(data.latency - l1Latency)
                     : 0.0;
             double completion = xlat_done + data_extra;
 
             outstanding[ring] = completion;
             if (++ring == outstanding.size())
                 ring = 0;
-            prev_completion = completion;
+            prevCompletion = completion;
 
             // Retirement is in order: it progresses by the work amount
             // and may not pass the operation's completion.
-            retire_clock = std::max(retire_clock + work, completion);
-            history.push(inst_index, retire_clock);
+            retireClock = std::max(retireClock + work, completion);
+            history.push(instIndex, retireClock);
         }
     }
+};
 
-    return readoutCounters(trace, retire_clock, mmu, hierarchy);
+} // namespace
+
+RunResult
+CoreModel::run(const trace::MemoryTrace &trace, vm::Mmu &mmu,
+               mem::MemoryHierarchy &hierarchy,
+               std::chrono::steady_clock::time_point deadline)
+{
+    LaneEngine lane(mmu, hierarchy, params_);
+
+    // Sequential replay reads the trace in place (no restaging copy:
+    // the SoA batcher pays off only when several lanes consume one
+    // decode). Same chunk granularity as the batcher, so the staging
+    // buffers and watchdog cadence match the fused path.
+    const trace::TraceRecord *records = trace.records().data();
+    const std::size_t total = trace.size();
+    for (std::size_t base = 0; base < total;
+         base += trace::ReplayBatcher::kChunkRecords) {
+        checkDeadline(deadline);
+        AosRecords src{records + base,
+                       std::min(trace::ReplayBatcher::kChunkRecords,
+                                total - base)};
+        lane.stageChunk(src);
+        lane.retireChunk(src);
+    }
+
+    return readoutCounters(trace, lane.retireClock, mmu, hierarchy);
 }
 
 std::vector<RunResult>
@@ -254,53 +371,15 @@ CoreModel::runFused(const trace::MemoryTrace &trace,
                     std::span<const FusedLane> lanes,
                     std::chrono::steady_clock::time_point deadline)
 {
-    const double base_cpi = params_.baseCpi;
     const std::size_t num_lanes = lanes.size();
 
-    /**
-     * Per-lane machine state. Every field mirrors the identically
-     * named local of run(); the per-record update sequence below is
-     * kept op-for-op (and FP-op-for-FP-op) identical so each lane
-     * retires the exact arithmetic a dedicated sequential run would.
-     */
-    struct LaneState
-    {
-        vm::Mmu *mmu;
-        mem::MemoryHierarchy *hierarchy;
-        double workClock = 0.0;
-        double retireClock = 0.0;
-        double prevCompletion = 0.0;
-        std::uint64_t instIndex = 0;
-        std::size_t ring = 0;
-        Cycles l1Latency;
-        RetireHistory history;
-        std::vector<double> outstanding;
-        std::vector<PhysAddr> stagedData;
-        std::vector<PhysAddr> stagedEntry;
-        std::vector<alloc::PageSize> stagedSize;
-
-        LaneState(const FusedLane &lane, const CoreParams &params)
-            : mmu(lane.mmu),
-              hierarchy(lane.hierarchy),
-              l1Latency(lane.hierarchy->config().latencies.l1),
-              history(params.robInstructions),
-              outstanding(params.maxOutstanding, 0.0),
-              stagedData(trace::ReplayBatcher::kChunkRecords),
-              stagedEntry(trace::ReplayBatcher::kChunkRecords),
-              stagedSize(trace::ReplayBatcher::kChunkRecords)
-        {
-        }
-    };
-
-    std::vector<LaneState> states;
+    std::vector<LaneEngine> states;
     states.reserve(num_lanes);
     for (const FusedLane &lane : lanes) {
         mosaic_assert(lane.mmu && lane.hierarchy,
                       "fused lane without a machine");
-        states.emplace_back(lane, params_);
+        states.emplace_back(*lane.mmu, *lane.hierarchy, params_);
     }
-
-    constexpr std::size_t kPrefetchAhead = 16;
 
     // Lane-blocked fan-out: decode a block of chunks once, then run
     // every lane over the whole block before decoding the next. One
@@ -308,107 +387,28 @@ CoreModel::runFused(const trace::MemoryTrace &trace,
     // stays host-cache-resident for kFanoutChunks * kChunkRecords
     // consecutive records instead of being evicted by its siblings
     // after every record; the block itself is decoded num_lanes times
-    // less often than run() would decode it.
+    // less often than run() would decode it. The stage/retire kernels
+    // are the same LaneEngine code run() executes, so each lane's
+    // arithmetic is identical to a dedicated sequential run.
     trace::ReplayBatcher batcher(trace);
     trace::ReplayBatcher::Block block;
     while (batcher.nextBlock(block)) {
         checkDeadline(deadline);
-        for (LaneState &state : states) {
-            vm::Mmu &mmu = *state.mmu;
-            mem::MemoryHierarchy &hierarchy = *state.hierarchy;
-            PhysAddr *staged_data = state.stagedData.data();
-            PhysAddr *staged_entry = state.stagedEntry.data();
-            alloc::PageSize *staged_size = state.stagedSize.data();
+        for (LaneEngine &state : states) {
             for (std::size_t c = 0; c < block.chunks; ++c) {
-                const trace::ReplayBatcher::Chunk &chunk =
-                    block.chunk[c];
-
-                // Staging pass, identical to run()'s (plus the page
-                // size, which the timing pass below reuses instead of
-                // re-reading the memo).
-                for (std::size_t i = 0; i < chunk.size; ++i) {
-                    if (i + 8 < chunk.size)
-                        mmu.prefetchXlate(chunk.vaddr[i + 8]);
-                    const VirtAddr vaddr = chunk.vaddr[i];
-                    const vm::Translation &xlate =
-                        mmu.peekTranslate(vaddr);
-                    staged_data[i] = xlate.physAddr + (vaddr & 0xfff);
-                    staged_entry[i] =
-                        xlate.entryAddrs[xlate.depth - 1];
-                    staged_size[i] = xlate.pageSize;
-                }
-
-                // Timing pass: op-for-op the run() loop, except that
-                // the translation comes from the staged arrays
-                // (translateStaged) rather than a second memo lookup.
-                for (std::size_t i = 0; i < chunk.size; ++i) {
-                    if (i + kPrefetchAhead < chunk.size) {
-                        hierarchy.prefetchSets(
-                            staged_data[i + kPrefetchAhead]);
-                        hierarchy.prefetchSets(
-                            staged_entry[i + kPrefetchAhead]);
-                    }
-                    const PhysAddr data_addr = staged_data[i];
-                    const alloc::PageSize page_size = staged_size[i];
-
-                    const VirtAddr vaddr = chunk.vaddr[i];
-                    const std::uint32_t meta = chunk.meta[i];
-
-                    std::uint64_t insts =
-                        (meta & trace::ReplayBatcher::kGapMask) + 1;
-                    double work =
-                        base_cpi * static_cast<double>(insts);
-                    state.workClock += work;
-                    state.instIndex += insts;
-
-                    double rob_ready =
-                        state.instIndex > params_.robInstructions
-                            ? state.history.retiredBy(
-                                  state.instIndex -
-                                  params_.robInstructions)
-                            : 0.0;
-                    double issue = std::max(
-                        {state.workClock,
-                         state.outstanding[state.ring], rob_ready});
-                    if (meta & trace::ReplayBatcher::kDependsBit)
-                        issue = std::max(issue, state.prevCompletion);
-
-                    auto xlat = mmu.translateStaged(
-                        vaddr, data_addr, page_size,
-                        static_cast<Cycles>(issue));
-                    double xlat_done =
-                        issue + static_cast<double>(xlat.queueCycles +
-                                                    xlat.latency);
-
-                    auto data = hierarchy.access(
-                        xlat.physAddr, mem::Requester::Program);
-                    double data_extra =
-                        data.latency > state.l1Latency
-                            ? static_cast<double>(data.latency -
-                                                  state.l1Latency)
-                            : 0.0;
-                    double completion = xlat_done + data_extra;
-
-                    state.outstanding[state.ring] = completion;
-                    if (++state.ring == state.outstanding.size())
-                        state.ring = 0;
-                    state.prevCompletion = completion;
-
-                    state.retireClock = std::max(
-                        state.retireClock + work, completion);
-                    state.history.push(state.instIndex,
-                                       state.retireClock);
-                }
+                SoaRecords src{block.chunk[c]};
+                state.stageChunk(src);
+                state.retireChunk(src);
             }
         }
     }
 
     std::vector<RunResult> results;
     results.reserve(num_lanes);
-    for (const LaneState &state : states) {
+    for (const LaneEngine &state : states) {
         results.push_back(readoutCounters(trace, state.retireClock,
-                                          *state.mmu,
-                                          *state.hierarchy));
+                                          state.mmu,
+                                          state.hierarchy));
     }
     return results;
 }

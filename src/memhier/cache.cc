@@ -23,6 +23,20 @@ Cache::Cache(const CacheConfig &config)
     lineShift_ = floorLog2(config.lineSize);
     setShift_ = floorLog2(numSets_);
     numWays_ = config.ways;
+    // Tags are stored 32-bit. For the unrolled fast arms (8/16 ways —
+    // every cache a modelled platform instantiates), prove here, once,
+    // that any address PhysMem can mint (< kMaxSimPhysAddr, asserted
+    // per allocation) tags below the empty-way sentinel, so the replay
+    // access path needs no per-access range check. Other
+    // associativities take the generic arm, which checks the tag per
+    // access instead — tiny test geometries (e.g. a 2-set L1) cannot
+    // satisfy the structural bound but also never see such addresses.
+    if (numWays_ == 8 || numWays_ == 16) {
+        mosaic_assert(
+            (kMaxSimPhysAddr >> lineShift_ >> setShift_) < kEmptyTag,
+            "32-bit tags cannot span kMaxSimPhysAddr in ",
+            config.name);
+    }
     tags_.assign(numSets_ * config.ways, kEmptyTag);
     lruStack_.assign(numSets_, kSeedStack);
 }

@@ -12,10 +12,11 @@
  * 64-bit LRU stack per set (4-bit way indices, MRU in the low nibble)
  * instead of per-way timestamps: the victim is read straight off the
  * stack tail with no per-way bookkeeping, the hit path refreshes
- * recency with a branchless nibble splice, and a set's tags shrink to
- * 8 bytes per way, halving the metadata the replay loop streams
- * through the host caches. The packed form caps associativity at 16
- * ways (the largest any modelled platform uses).
+ * recency with a branchless nibble splice, and a set's tags are
+ * stored as 4 bytes per way, so a 16-way L3 set's tags fit one host
+ * cache line and the largest tag array stays host-L2-resident. The
+ * packed form caps associativity at 16 ways (the largest any modelled
+ * platform uses).
  */
 
 #ifndef MOSAIC_MEMHIER_CACHE_HH
@@ -26,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "support/logging.hh"
+#include "support/simd.hh"
 #include "support/types.hh"
 
 namespace mosaic::mem
@@ -113,11 +116,13 @@ class Cache
 
   private:
     /**
-     * Tag of an empty way. Unreachable for real lines: physical
-     * addresses stay below 2^52, so line >> setShift cannot be all
-     * ones.
+     * Tag of an empty way. Tags are stored narrow (32-bit) so a
+     * 16-way L3 set's tags fit one host cache line and the largest
+     * tag array stays L2-resident on the host; accessImpl asserts
+     * every real tag fits below the sentinel (simulated physical
+     * memory is a few GiB, so line >> setShift has ample headroom).
      */
-    static constexpr std::uint64_t kEmptyTag = ~0ULL;
+    static constexpr std::uint32_t kEmptyTag = ~0u;
 
     /**
      * Initial per-set LRU stack: nibble i holds way i, so the stack
@@ -155,7 +160,7 @@ class Cache
     unsigned lineShift_;
     unsigned setShift_;
     unsigned numWays_; ///< config_.ways, hoisted for the scan
-    std::vector<std::uint64_t> tags_; ///< numSets_ x ways, row-major
+    std::vector<std::uint32_t> tags_; ///< numSets_ x ways, row-major
     std::vector<std::uint64_t> lruStack_; ///< one packed stack per set
     CacheStats stats_;
 };
@@ -167,28 +172,43 @@ Cache::accessImpl(PhysAddr addr, Requester requester)
     const unsigned ways = kWays > 0 ? kWays : numWays_;
     std::uint64_t line = addr >> lineShift_;
     std::uint64_t set = line & setMask_;
-    std::uint64_t tag = line >> setShift_;
-    std::uint64_t *base = &tags_[set * ways];
+    // Lossless narrowing: for the unrolled arms the constructor proves
+    // every address below kMaxSimPhysAddr tags under the sentinel (and
+    // PhysMem asserts that bound on each allocation); the generic arm
+    // serves arbitrary test geometries, so it checks each access —
+    // off the replay hot path, the branch costs nothing.
+    if constexpr (kWays == 0) {
+        mosaic_assert((line >> setShift_) < kEmptyTag,
+                      "address tags above the 32-bit sentinel in ",
+                      config_.name);
+    }
+    auto tag = static_cast<std::uint32_t>(line >> setShift_);
+    std::uint32_t *base = &tags_[set * ways];
     std::uint64_t &stack = lruStack_[set];
 
     auto req = static_cast<std::size_t>(requester);
 
-    for (unsigned w = 0; w < ways; ++w) {
-        if (base[w] == tag) {
-            // Find w's position in the stack and splice it to MRU.
-            // SWAR zero-nibble scan: the lowest matching position is
-            // exact (no borrow can propagate past a nonzero nibble),
-            // and w occurs exactly once among the first `ways`
-            // nibbles, below any aliasing padding nibble.
-            std::uint64_t diff = stack ^ (0x1111111111111111ULL * w);
-            std::uint64_t zero = (diff - 0x1111111111111111ULL) &
-                                 ~diff & 0x8888888888888888ULL;
-            unsigned pos =
-                static_cast<unsigned>(std::countr_zero(zero)) >> 2;
-            stack = spliceToFront(stack, pos);
-            ++stats_.hits[req];
-            return true;
-        }
+    // Vectorized tag scan: one data-parallel compare across the whole
+    // set (kWays constant => the chunk loop unrolls flat). Tags are
+    // unique within a set, so the scan's lowest-match contract makes
+    // it behaviourally identical to the original way-by-way loop.
+    int w = simd::findKey32(base, ways, tag);
+    if (w >= 0) {
+        // Find w's position in the stack and splice it to MRU.
+        // SWAR zero-nibble scan: the lowest matching position is
+        // exact (no borrow can propagate past a nonzero nibble),
+        // and w occurs exactly once among the first `ways`
+        // nibbles, below any aliasing padding nibble.
+        std::uint64_t diff =
+            stack ^ (0x1111111111111111ULL *
+                     static_cast<unsigned>(w));
+        std::uint64_t zero = (diff - 0x1111111111111111ULL) & ~diff &
+                             0x8888888888888888ULL;
+        unsigned pos =
+            static_cast<unsigned>(std::countr_zero(zero)) >> 2;
+        stack = spliceToFront(stack, pos);
+        ++stats_.hits[req];
+        return true;
     }
 
     // Miss: the victim is the stack tail — the LRU way once the set is
@@ -223,13 +243,9 @@ Cache::probe(PhysAddr addr) const
 {
     std::uint64_t line = addr >> lineShift_;
     std::uint64_t set = line & setMask_;
-    std::uint64_t tag = line >> setShift_;
-    const std::uint64_t *base = &tags_[set * numWays_];
-    for (unsigned w = 0; w < numWays_; ++w) {
-        if (base[w] == tag)
-            return true;
-    }
-    return false;
+    auto tag = static_cast<std::uint32_t>(line >> setShift_);
+    const std::uint32_t *base = &tags_[set * numWays_];
+    return simd::findKey32(base, numWays_, tag) >= 0;
 }
 
 void
@@ -241,11 +257,14 @@ Cache::prefetchSet(PhysAddr addr) const
     // A set's tags span numWays_ * 8 bytes (up to 2 host lines for a
     // 16-way L3 set). Read-intent prefetch: PREFETCHW is painfully
     // slow under some hypervisors, and the scan reads before it
-    // writes anyway. The LRU stacks are small enough (8B per set) to
-    // stay host-resident without hints.
-    for (unsigned offset = 0; offset < numWays_ * sizeof(std::uint64_t);
+    // writes anyway.
+    for (unsigned offset = 0; offset < numWays_ * sizeof(std::uint32_t);
          offset += 64)
         __builtin_prefetch(base + offset, 0, 3);
+    // The set's packed LRU stack lives in a separate array (8B per
+    // set, ~120KB for the largest modelled L3) and every access reads
+    // and rewrites it; pull its line too.
+    __builtin_prefetch(&lruStack_[set], 0, 3);
 }
 
 } // namespace mosaic::mem

@@ -74,9 +74,11 @@ class MemoryHierarchy
 
     /**
      * Host-side prefetch of the set metadata @p addr will touch.
-     * Simulated state is untouched; see Cache::prefetchSet. The L1
-     * array is small enough to stay host-resident, so only the larger
-     * L2/L3 arrays are worth hinting.
+     * Simulated state is untouched; see Cache::prefetchSet. With
+     * 4-byte tags the L1/L2 arrays are a few tens of KB and stay
+     * host-resident; only the L3 array is large enough to be worth
+     * hinting (extra prefetches cost issue slots and can evict
+     * useful lines, so fewer is faster here).
      */
     void
     prefetchSets(PhysAddr addr) const

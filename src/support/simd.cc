@@ -1,0 +1,54 @@
+#include "support/simd.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace mosaic::simd
+{
+
+namespace detail
+{
+
+int gTier = initTier();
+
+int
+initTier()
+{
+    Tier tier = compiledTier();
+    if (const char *env = std::getenv("MOSAIC_SIMD")) {
+        if (std::strcmp(env, "scalar") == 0)
+            tier = Tier::Scalar;
+        else if (std::strcmp(env, "sse2") == 0 &&
+                 tier > Tier::Sse2)
+            tier = Tier::Sse2;
+        // "avx2" (or anything else) keeps the compiled best; a binary
+        // built without AVX2 cannot be talked into executing it.
+    }
+    return static_cast<int>(tier);
+}
+
+} // namespace detail
+
+void
+setTier(Tier tier)
+{
+    if (tier > compiledTier())
+        tier = compiledTier();
+    detail::gTier = static_cast<int>(tier);
+}
+
+const char *
+tierName(Tier tier)
+{
+    switch (tier) {
+      case Tier::Scalar:
+        return "scalar";
+      case Tier::Sse2:
+        return "sse2";
+      case Tier::Avx2:
+        return "avx2";
+    }
+    return "unknown";
+}
+
+} // namespace mosaic::simd

@@ -22,6 +22,15 @@ using VirtAddr = std::uint64_t;
 /** A physical address in the simulated machine. */
 using PhysAddr = std::uint64_t;
 
+/**
+ * Ceiling on simulated physical addresses, shared between the
+ * allocator that mints them (PhysMem asserts it per allocation) and
+ * the cache model whose 32-bit tags require it (Cache's constructor
+ * derives its tag-width headroom from this bound, keeping the
+ * per-access path free of range checks).
+ */
+constexpr PhysAddr kMaxSimPhysAddr = 1ULL << 40;
+
 /** A count of CPU clock cycles. */
 using Cycles = std::uint64_t;
 

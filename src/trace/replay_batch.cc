@@ -9,15 +9,16 @@ void
 ReplayBatcher::stage(std::size_t base, std::size_t count)
 {
     const TraceRecord *src = trace_.records().data() + cursor_;
+    // Branchless flag packing: bool is 0/1, so the flag bits shift
+    // straight into place and the loop stays vectorizable.
+    static_assert(kWriteBit == 1u << 16 && kDependsBit == 1u << 17);
     for (std::size_t i = 0; i < count; ++i) {
         const TraceRecord &rec = src[i];
         vaddr_[base + i] = rec.vaddr;
-        std::uint32_t meta = rec.gap;
-        if (rec.isWrite)
-            meta |= kWriteBit;
-        if (rec.dependsOnPrev)
-            meta |= kDependsBit;
-        meta_[base + i] = meta;
+        meta_[base + i] =
+            rec.gap |
+            (static_cast<std::uint32_t>(rec.isWrite) << 16) |
+            (static_cast<std::uint32_t>(rec.dependsOnPrev) << 17);
     }
     cursor_ += count;
 }

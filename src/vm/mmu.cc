@@ -13,6 +13,60 @@ Mmu::Mmu(const PageTable &page_table, mem::MemoryHierarchy &hierarchy,
 {
 }
 
+TranslationEvent
+Mmu::translateCold(VirtAddr vaddr, PhysAddr staged_phys,
+                   alloc::PageSize size, TlbOutcome outcome, Cycles now)
+{
+    TranslationEvent event;
+    event.physAddr = staged_phys;
+    event.pageSize = size;
+    event.outcome = outcome;
+    if (outcome == TlbOutcome::L2Hit) {
+        ++counters_.h;
+        event.latency = config_.l2TlbHitLatency;
+        return event;
+    }
+
+    // Full miss: the walker needs the entry chain, which neither the
+    // staged arrays nor the packed memo carry. Re-derive it from the
+    // page table instead of trusting the caller — the translation is
+    // pure, so a staging pass that has since recycled the memo slot
+    // (fused lanes advance through chunks at different rates) cannot
+    // alias this record's walk. The guard asserts the staged values
+    // still describe this vaddr. All radix indices use address bits
+    // >= 12, so the granule base walks the same entry chain.
+    Translation xlate =
+        pageTable_.translateWith(descentCursor_, (vaddr >> 12) << 12);
+    mosaic_assert(xlate.valid, "access to unmapped address ", vaddr);
+    mosaic_assert(xlate.physAddr + (vaddr & 0xfff) == staged_phys &&
+                      xlate.pageSize == size,
+                  "staged translation aliased for vaddr ", vaddr);
+    WalkResult walk = walker_.walk(xlate, vaddr, now);
+    tlb_.fill(vaddr, size);
+    ++counters_.m;
+    counters_.c += walk.walkCycles;
+    counters_.queueCycles += walk.queueCycles;
+    event.latency = walk.walkCycles;
+    event.queueCycles = walk.queueCycles;
+    return event;
+}
+
+void
+Mmu::refillXlate(std::uint64_t granule, XlateEntry &slot)
+{
+    // All radix indices use address bits >= 12, so the granule base
+    // translates through the same entry chain as any address inside
+    // it; only the low 12 bits of physAddr differ.
+    Translation fresh =
+        pageTable_.translateWith(descentCursor_, granule << 12);
+    mosaic_assert(fresh.valid, "access to unmapped granule ",
+                  granule << 12);
+    slot.tag = (granule << 2) |
+               static_cast<std::uint64_t>(fresh.pageSize);
+    slot.physBase = fresh.physAddr;
+    slot.leafEntry = fresh.entryAddrs[fresh.depth - 1];
+}
+
 void
 Mmu::flush()
 {

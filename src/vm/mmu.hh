@@ -102,15 +102,32 @@ class Mmu
                                             Cycles now);
 
     /**
+     * What the replay loop stages per record: everything the timing
+     * pass needs that is derivable from the pure software translation.
+     */
+    struct StagedXlate
+    {
+        PhysAddr physAddr;        ///< vaddr's translation (offset included)
+        PhysAddr leafEntry;       ///< leaf page-table entry's address
+        alloc::PageSize pageSize;
+    };
+
+    /**
      * Software-translate @p vaddr without touching any simulated
      * state: no TLB lookup, no counters, no walker. Warms the
      * translation memo as a side effect (pure, so harmless). Used by
      * the replay loop to stage a chunk of translations up front.
      */
-    const Translation &
+    StagedXlate
     peekTranslate(VirtAddr vaddr)
     {
-        return lookupXlate(vaddr);
+        std::uint64_t granule = vaddr >> 12;
+        XlateEntry &slot =
+            xlateCache_[granule & (kXlateCacheSize - 1)];
+        if ((slot.tag >> 2) != granule) [[unlikely]]
+            refillXlate(granule, slot);
+        return {slot.physBase + (vaddr & 0xfff), slot.leafEntry,
+                static_cast<alloc::PageSize>(slot.tag & 0x3)};
     }
 
     /** Host-side prefetch of @p vaddr's translation-memo slot. */
@@ -125,6 +142,16 @@ class Mmu
     /** Reset TLBs and PWCs (e.g., between benchmark repetitions). */
     void flush();
 
+    /**
+     * Cold continuation of translateStaged() for the non-L1-hit
+     * outcomes. Out-of-line (and kept out of the inliner's reach) so
+     * the replay loop's hot path carries only the L1-hit code;
+     * see the "Replay kernel" section of DESIGN.md.
+     */
+    [[gnu::noinline]] TranslationEvent
+    translateCold(VirtAddr vaddr, PhysAddr staged_phys,
+                  alloc::PageSize size, TlbOutcome outcome, Cycles now);
+
     const MmuCounters &counters() const { return counters_; }
     const TlbSystem &tlb() const { return tlb_; }
     const PageWalker &walker() const { return walker_; }
@@ -132,36 +159,29 @@ class Mmu
 
   private:
     /** Translation-memo geometry: direct-mapped, 4KB granules. 16K
-     *  slots (1 MiB of host memory) cover a 64 MiB footprint with no
-     *  conflict misses. */
+     *  slots (384 KiB of host memory) cover a 64 MiB footprint with
+     *  no conflict misses. */
     static constexpr std::size_t kXlateCacheSize = 16384;
 
-    /** Memoized software translation of one 4KB granule's base. */
+    /**
+     * Memoized software translation of one 4KB granule's base, packed
+     * to 24 bytes so the staging pass's random slot reads stay inside
+     * the host L2 (a full Translation-per-slot memo is 3x larger and
+     * streams the entry chain the hot path never reads; the walker
+     * re-derives the chain from the page table on the miss path).
+     */
     struct XlateEntry
     {
-        std::uint64_t granule = ~0ULL; ///< vaddr >> 12, ~0 = empty
-        Translation xlate;
+        /** (granule << 2) | pageSize; ~0 = empty. Granules come from
+         *  48-bit virtual addresses, so the tag cannot reach ~0. */
+        std::uint64_t tag = ~0ULL;
+        PhysAddr physBase = 0;  ///< translation of the granule base
+        PhysAddr leafEntry = 0; ///< entryAddrs[depth - 1]
     };
 
-    /** Software translation of @p vaddr, via the memo. */
-    const Translation &
-    lookupXlate(VirtAddr vaddr)
-    {
-        std::uint64_t granule = vaddr >> 12;
-        XlateEntry &slot =
-            xlateCache_[granule & (kXlateCacheSize - 1)];
-        if (slot.granule != granule) {
-            // All radix indices use address bits >= 12, so the
-            // granule base translates through the same entry chain as
-            // vaddr itself; only the low 12 bits of physAddr differ.
-            Translation fresh = pageTable_.translate(granule << 12);
-            mosaic_assert(fresh.valid, "access to unmapped address ",
-                          vaddr);
-            slot.granule = granule;
-            slot.xlate = fresh;
-        }
-        return slot.xlate;
-    }
+    /** Memo-miss refill: the full (pure) software radix descent. */
+    [[gnu::noinline]] void
+    refillXlate(std::uint64_t granule, XlateEntry &slot);
 
     const PageTable &pageTable_;
     MmuConfig config_;
@@ -169,72 +189,41 @@ class Mmu
     PageWalker walker_;
     MmuCounters counters_;
     std::vector<XlateEntry> xlateCache_;
+
+    /** Batched-descent cursor for memo refills and cold walks: runs
+     *  of nearby addresses skip the radix levels they share. Host
+     *  state only; never affects what a translation returns. */
+    PageTable::DescentCursor descentCursor_;
 };
 
 TranslationEvent
 Mmu::translate(VirtAddr vaddr, Cycles now)
 {
-    const Translation &xlate = lookupXlate(vaddr);
-
-    TranslationEvent event;
-    event.physAddr = xlate.physAddr + (vaddr & 0xfff);
-    event.pageSize = xlate.pageSize;
-    event.outcome = tlb_.lookup(vaddr, xlate.pageSize);
-
-    switch (event.outcome) {
-      case TlbOutcome::L1Hit:
-        ++counters_.l1Hits;
-        break;
-      case TlbOutcome::L2Hit:
-        ++counters_.h;
-        event.latency = config_.l2TlbHitLatency;
-        break;
-      case TlbOutcome::Miss: {
-        WalkResult walk = walker_.walk(xlate, vaddr, now);
-        tlb_.fill(vaddr, xlate.pageSize);
-        ++counters_.m;
-        counters_.c += walk.walkCycles;
-        counters_.queueCycles += walk.queueCycles;
-        event.latency = walk.walkCycles;
-        event.queueCycles = walk.queueCycles;
-        break;
-      }
-    }
-    return event;
+    // One implementation for both entries: translate() is
+    // translateStaged() fed straight from the memo. The cold path
+    // re-derives the translation from the page table (pure), so
+    // routing through the staged form changes no simulated action.
+    StagedXlate staged = peekTranslate(vaddr);
+    return translateStaged(vaddr, staged.physAddr, staged.pageSize, now);
 }
 
 TranslationEvent
 Mmu::translateStaged(VirtAddr vaddr, PhysAddr staged_phys,
                      alloc::PageSize size, Cycles now)
 {
-    TranslationEvent event;
-    event.physAddr = staged_phys;
-    event.pageSize = size;
-    event.outcome = tlb_.lookup(vaddr, size);
-
-    switch (event.outcome) {
-      case TlbOutcome::L1Hit:
+    // Fast path: the replay loop's common case is an L1-TLB hit, and
+    // it needs nothing beyond the staged translation and a counter
+    // bump. Everything else (L2 latency, walks, fills) lives in the
+    // out-of-line cold continuation so this inlines small and hot.
+    TlbOutcome outcome = tlb_.lookup(vaddr, size);
+    if (outcome == TlbOutcome::L1Hit) [[likely]] {
         ++counters_.l1Hits;
-        break;
-      case TlbOutcome::L2Hit:
-        ++counters_.h;
-        event.latency = config_.l2TlbHitLatency;
-        break;
-      case TlbOutcome::Miss: {
-        // The walker needs the full entry chain; the memo slot is
-        // still warm from the staging pass that produced staged_phys.
-        const Translation &xlate = lookupXlate(vaddr);
-        WalkResult walk = walker_.walk(xlate, vaddr, now);
-        tlb_.fill(vaddr, size);
-        ++counters_.m;
-        counters_.c += walk.walkCycles;
-        counters_.queueCycles += walk.queueCycles;
-        event.latency = walk.walkCycles;
-        event.queueCycles = walk.queueCycles;
-        break;
-      }
+        TranslationEvent event;
+        event.physAddr = staged_phys;
+        event.pageSize = size;
+        return event;
     }
-    return event;
+    return translateCold(vaddr, staged_phys, size, outcome, now);
 }
 
 } // namespace mosaic::vm

@@ -98,4 +98,64 @@ PageTable::translate(VirtAddr vaddr) const
     return result;
 }
 
+Translation
+PageTable::translateWith(DescentCursor &cursor, VirtAddr vaddr) const
+{
+    // Deepest restartable level: the node entered at level l is
+    // selected by vaddr bits 47:levelShift(l-1), so it is shared iff
+    // those bits match the cursor's address. The tests are nested
+    // (diff >> 21 == 0 implies diff >> 30 == 0), so the sum counts
+    // the matching prefix — no branches on the address bits.
+    std::uint64_t diff = vaddr ^ cursor.lastVaddr;
+    unsigned start = 0;
+    if (cursor.warm) {
+        start = static_cast<unsigned>((diff >> 39) == 0) +
+                static_cast<unsigned>((diff >> 30) == 0) +
+                static_cast<unsigned>((diff >> 21) == 0);
+        start = std::min(start, cursor.maxStart);
+    }
+
+    Translation result;
+    // Re-emit the skipped prefix's entry addresses from the cached
+    // node ids — the same nodes a full descent would visit.
+    for (unsigned l = 0; l < start; ++l) {
+        result.entryAddrs[result.depth++] = entryPhysAddr(
+            cursor.nodeId[l], levelIndex(vaddr, static_cast<PtLevel>(l)));
+    }
+
+    std::uint32_t node_id = cursor.nodeId[start];
+    for (unsigned l = start; l < numPtLevels; ++l) {
+        auto level = static_cast<PtLevel>(l);
+        cursor.nodeId[l] = node_id;
+        std::uint64_t index = levelIndex(vaddr, level);
+        const Entry &entry = nodes_[node_id].entries[index];
+        result.entryAddrs[result.depth++] = entryPhysAddr(node_id, index);
+        if (!entry.present) {
+            // valid stays false. The loop above already rewrote
+            // nodeId slots for this vaddr's path while lastVaddr
+            // still names the previous one; go cold rather than let
+            // a later prefix match reuse the mixed state.
+            cursor.warm = false;
+            return result;
+        }
+        if (entry.leaf) {
+            alloc::PageSize size =
+                level == PtLevel::Pdpt ? alloc::PageSize::Page1G
+                : level == PtLevel::Pd ? alloc::PageSize::Page2M
+                                       : alloc::PageSize::Page4K;
+            mosaic_assert(level != PtLevel::Pml4, "leaf PML4E impossible");
+            Bytes page = alloc::pageBytes(size);
+            result.valid = true;
+            result.pageSize = size;
+            result.physAddr = entry.phys + (vaddr & (page - 1));
+            cursor.lastVaddr = vaddr;
+            cursor.maxStart = result.depth - 1;
+            cursor.warm = true;
+            return result;
+        }
+        node_id = entry.next;
+    }
+    return result;
+}
+
 } // namespace mosaic::vm

@@ -114,6 +114,39 @@ class PageTable
      */
     Translation translate(VirtAddr vaddr) const;
 
+    /**
+     * Memo of the most recent descent: the node entered at each level
+     * and the address whose index bits selected it. translateWith()
+     * reuses the longest matching prefix, so a run of translations in
+     * the same region (a staging pass refilling consecutive memo
+     * granules, or a cluster of TLB-missing records) skips the
+     * upper-level node visits they share. Purely host-side state — a
+     * cursor never changes what a translation returns, only how many
+     * radix nodes the host touches to compute it.
+     */
+    struct DescentCursor
+    {
+        VirtAddr lastVaddr = 0;
+
+        /** Node entered at each level ([0] is always the root). */
+        std::array<std::uint32_t, numPtLevels> nodeId{};
+
+        /** Deepest level whose cached node may be reused (depth - 1
+         *  of the last descent: levels past a leaf were never
+         *  entered, so their slots are stale). */
+        unsigned maxStart = 0;
+
+        bool warm = false;
+    };
+
+    /**
+     * translate(), restarting the radix descent from the deepest
+     * level @p cursor shares with @p vaddr. Returns bit-identical
+     * results to translate() for every address (property-tested).
+     */
+    Translation translateWith(DescentCursor &cursor,
+                              VirtAddr vaddr) const;
+
     /** Number of table nodes (== simulated PT frames). */
     std::size_t numNodes() const { return nodes_.size(); }
 

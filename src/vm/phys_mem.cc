@@ -22,6 +22,8 @@ PhysMem::allocDataFrame(alloc::PageSize size)
     dataCursor_ = alignUp(dataCursor_, frame);
     PhysAddr addr = dataBase + dataCursor_;
     dataCursor_ += frame;
+    mosaic_assert(addr + frame <= maxPhysAddr,
+                  "simulated physical memory exceeds maxPhysAddr");
     return addr;
 }
 

@@ -33,6 +33,10 @@ class PhysMem
     /** Data frames start here (1 GiB aligned for 1GB frames). */
     static constexpr PhysAddr dataBase = pageTableBase + pageTableRegion;
 
+    /** Ceiling on every simulated physical address (see
+     *  kMaxSimPhysAddr: the cache model's 32-bit tags rely on it). */
+    static constexpr PhysAddr maxPhysAddr = kMaxSimPhysAddr;
+
     PhysMem() = default;
 
     /**

@@ -22,13 +22,15 @@ TlbArray::TlbArray(std::uint32_t entries, std::uint32_t ways)
     mosaic_assert(isPowerOfTwo(numSets_), "set count must be 2^n, got ",
                   numSets_);
     setMask_ = numSets_ - 1;
-    storage_.assign(entries_, Way());
+    keys_.assign(entries_, kEmptyKey);
+    lastUse_.assign(entries_, 0);
 }
 
 void
 TlbArray::flush()
 {
-    storage_.assign(storage_.size(), Way());
+    keys_.assign(keys_.size(), kEmptyKey);
+    lastUse_.assign(lastUse_.size(), 0);
     lruClock_ = 0;
     lastHit_ = kNoWay;
 }

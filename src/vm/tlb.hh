@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "mosalloc/page_size.hh"
+#include "support/simd.hh"
 #include "support/types.hh"
 
 namespace mosaic::vm
@@ -68,18 +69,21 @@ class TlbArray
     /** Key value of an empty way; unreachable for real keys. */
     static constexpr std::uint64_t kEmptyKey = ~0ULL;
 
-    /** One way: 16 bytes so a 4-way set is a single cache line. */
-    struct Way
-    {
-        std::uint64_t key = kEmptyKey;
-        std::uint64_t lastUse = 0;
-    };
-
     std::uint32_t entries_;
     std::uint32_t ways_;
     std::uint32_t numSets_ = 0;
     std::uint64_t setMask_ = 0;
-    std::vector<Way> storage_;
+
+    /**
+     * Way state, structure-of-arrays: the lookup scan touches only
+     * keys_ (a 4-way set is one 32-byte vector compare), and
+     * lastUse_ is read solely on the insert/victim path. The previous
+     * AoS {key, lastUse} pairs made every scan stride over recency
+     * words it never compared.
+     */
+    std::vector<std::uint64_t> keys_;
+    std::vector<std::uint64_t> lastUse_;
+
     std::uint64_t lruClock_ = 0;
 
     /** No-memo sentinel for lastHit_. */
@@ -103,22 +107,24 @@ TlbArray::lookup(std::uint64_t key)
     }
     // Repeat-hit fast path: the scan would find this same way and
     // perform exactly these updates.
-    if (lastHit_ != kNoWay && storage_[lastHit_].key == key) {
-        storage_[lastHit_].lastUse = ++lruClock_;
+    if (lastHit_ != kNoWay && keys_[lastHit_] == key) {
+        lastUse_[lastHit_] = ++lruClock_;
         ++hits;
         return true;
     }
     // Low 2 bits of the key carry the page size; index above them.
     std::uint64_t set = (key >> 2) & setMask_;
-    Way *base = &storage_[set * ways_];
+    std::uint64_t base = set * ways_;
     ++lruClock_;
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-        if (base[w].key == key) {
-            base[w].lastUse = lruClock_;
-            lastHit_ = static_cast<std::uint32_t>(set * ways_ + w);
-            ++hits;
-            return true;
-        }
+    // Vectorized set scan; keys are unique within a set, so the
+    // lowest-match contract reproduces the original loop exactly.
+    int w = simd::findKey(&keys_[base], ways_, key);
+    if (w >= 0) {
+        std::uint64_t slot = base + static_cast<unsigned>(w);
+        lastUse_[slot] = lruClock_;
+        lastHit_ = static_cast<std::uint32_t>(slot);
+        ++hits;
+        return true;
     }
     ++misses;
     return false;
@@ -130,26 +136,35 @@ TlbArray::insert(std::uint64_t key)
     if (entries_ == 0)
         return;
     std::uint64_t set = (key >> 2) & setMask_;
-    Way *base = &storage_[set * ways_];
+    std::uint64_t base = set * ways_;
     ++lruClock_;
 
-    // Victim choice (pinned by the golden counters): the last empty
-    // way of the set if any way is empty, otherwise the LRU way.
-    Way *victim = base;
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-        Way &way = base[w];
-        if (way.key == key) {
-            way.lastUse = lruClock_; // Already present; refresh.
-            return;
-        }
-        if (way.key == kEmptyKey)
-            victim = &way;
-        else if (victim->key != kEmptyKey &&
-                 way.lastUse < victim->lastUse)
-            victim = &way;
+    // Victim choice (pinned by the golden counters): refresh if the
+    // key is already resident; else the *last* empty way if any way is
+    // empty; else the LRU way (lowest index on lastUse ties). The
+    // original way-by-way loop interleaved all three rules with
+    // data-dependent branches; splitting them into two vector scans
+    // plus a cmov-friendly argmin keeps the fill path (every walk
+    // fills two arrays, plus the walk-cache installs) branch-cheap.
+    const std::uint64_t *keys = &keys_[base];
+    int match = simd::findKey(keys, ways_, key);
+    if (match >= 0) {
+        lastUse_[base + static_cast<unsigned>(match)] = lruClock_;
+        return;
     }
-    victim->key = key;
-    victim->lastUse = lruClock_;
+    int empty = simd::findKeyLast(keys, ways_, kEmptyKey);
+    std::uint32_t victim;
+    if (empty >= 0) {
+        victim = static_cast<std::uint32_t>(empty);
+    } else {
+        victim = 0;
+        for (std::uint32_t w = 1; w < ways_; ++w)
+            victim = lastUse_[base + w] < lastUse_[base + victim]
+                         ? w
+                         : victim;
+    }
+    keys_[base + victim] = key;
+    lastUse_[base + victim] = lruClock_;
 }
 
 /** Split L1 TLB geometry: one array per page size. */

@@ -24,6 +24,7 @@
 #include "support/fault_injector.hh"
 #include "support/metrics.hh"
 #include "support/sim_context.hh"
+#include "support/simd.hh"
 #include "trace/synth.hh"
 
 using namespace mosaic;
@@ -166,6 +167,33 @@ TEST_F(FusedReplayTest, ChaseHeavyCountersBitIdenticalToSequential)
     trace::MemoryTrace trace = makeTrace(chaseHeavyParams());
     expectFusedMatchesSequential("Haswell", trace);
     expectFusedMatchesSequential("Skylake", trace);
+}
+
+TEST_F(FusedReplayTest, ScalarFallbackKernelBitIdenticalToVectorized)
+{
+    // The fused engine's inner loop dispatches through the simd tier;
+    // a whole fused pass under the forced-scalar fallback must produce
+    // the same per-lane readout as the build's best tier (CI runs the
+    // entire suite this way on the no-AVX leg; this test pins the
+    // equivalence within a single binary as well).
+    trace::MemoryTrace trace = makeTrace(gupsHeavyParams());
+    const cpu::PlatformSpec platform = cpu::platformByName("Skylake");
+    const auto configs = layoutGrid();
+
+    const simd::Tier best = simd::activeTier();
+    auto vectorized = cpu::simulateRunFused(platform, configs, trace);
+    simd::setTier(simd::Tier::Scalar);
+    auto scalar = cpu::simulateRunFused(platform, configs, trace);
+    simd::setTier(best);
+
+    ASSERT_EQ(vectorized.size(), scalar.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        SCOPED_TRACE(std::string("scalar-vs-") +
+                     simd::tierName(best) + "/" + kLayouts[i]);
+        ASSERT_TRUE(vectorized[i].ok());
+        ASSERT_TRUE(scalar[i].ok());
+        expectSameResult(scalar[i].value(), vectorized[i].value());
+    }
 }
 
 TEST_F(FusedReplayTest, LaneFaultDoesNotPoisonSiblingLanes)

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Equivalence tests for the vectorized key/tag scans.
+ *
+ * The scans in support/simd.hh are drop-in replacements for scalar
+ * first-match (and last-match) loops in the replay hot path; the whole
+ * correctness story of the SIMD kernel rests on every tier returning
+ * the same index for the same input. These tests fuzz all three
+ * primitives (findKey, findKey32, findKeyLast) across every reachable
+ * tier, every count 1..32 (covering the 4-way TLBs, 8/16-way caches
+ * and the 32-entry fully-associative PWC), needle present / absent /
+ * duplicated, and misaligned buffer offsets (the set base address is
+ * never guaranteed 16-byte aligned).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "support/random.hh"
+#include "support/simd.hh"
+
+using namespace mosaic;
+using namespace mosaic::simd;
+
+namespace
+{
+
+/** Scalar reference: lowest match. */
+template <typename T>
+int
+refFirst(const T *keys, unsigned count, T needle)
+{
+    for (unsigned i = 0; i < count; ++i)
+        if (keys[i] == needle)
+            return static_cast<int>(i);
+    return -1;
+}
+
+/** Scalar reference: highest match. */
+template <typename T>
+int
+refLast(const T *keys, unsigned count, T needle)
+{
+    int best = -1;
+    for (unsigned i = 0; i < count; ++i)
+        if (keys[i] == needle)
+            best = static_cast<int>(i);
+    return best;
+}
+
+/** Tiers reachable in this binary (compiled ceiling applies). */
+std::vector<Tier>
+reachableTiers()
+{
+    std::vector<Tier> tiers{Tier::Scalar};
+    if (compiledTier() >= Tier::Sse2)
+        tiers.push_back(Tier::Sse2);
+    if (compiledTier() >= Tier::Avx2)
+        tiers.push_back(Tier::Avx2);
+    return tiers;
+}
+
+/** Restore the ambient tier even if an assertion aborts the test. */
+struct TierGuard
+{
+    Tier saved = activeTier();
+    ~TierGuard() { setTier(saved); }
+};
+
+} // namespace
+
+TEST(Simd, SetTierClampsToCompiledTier)
+{
+    TierGuard guard;
+    setTier(Tier::Avx2);
+    EXPECT_LE(activeTier(), compiledTier());
+    setTier(Tier::Scalar);
+    EXPECT_EQ(activeTier(), Tier::Scalar);
+}
+
+TEST(Simd, FindKey64AllTiersMatchReference)
+{
+    TierGuard guard;
+    Rng rng(0xf00d);
+    for (unsigned count = 1; count <= 32; ++count) {
+        for (int trial = 0; trial < 200; ++trial) {
+            // Offset into an oversized buffer: exercises unaligned
+            // loads and proves the scans never read past count.
+            std::vector<std::uint64_t> buffer(count + 9,
+                                              0xdeadbeefcafe0000ULL);
+            std::uint64_t *keys = buffer.data() + (trial % 4);
+            for (unsigned i = 0; i < count; ++i)
+                keys[i] = rng.nextBounded(count + 3); // dups likely
+            std::uint64_t needle = rng.nextBounded(count + 3);
+            int expected = refFirst(keys, count, needle);
+            for (Tier tier : reachableTiers()) {
+                setTier(tier);
+                EXPECT_EQ(findKey(keys, count, needle), expected)
+                    << tierName(tier) << " count=" << count
+                    << " trial=" << trial;
+            }
+        }
+    }
+}
+
+TEST(Simd, FindKey32AllTiersMatchReference)
+{
+    TierGuard guard;
+    Rng rng(0xbeef);
+    for (unsigned count = 1; count <= 32; ++count) {
+        for (int trial = 0; trial < 200; ++trial) {
+            std::vector<std::uint32_t> buffer(count + 17, 0xabad1deau);
+            std::uint32_t *keys = buffer.data() + (trial % 8);
+            for (unsigned i = 0; i < count; ++i)
+                keys[i] =
+                    static_cast<std::uint32_t>(rng.nextBounded(count + 3));
+            auto needle =
+                static_cast<std::uint32_t>(rng.nextBounded(count + 3));
+            int expected = refFirst(keys, count, needle);
+            for (Tier tier : reachableTiers()) {
+                setTier(tier);
+                EXPECT_EQ(findKey32(keys, count, needle), expected)
+                    << tierName(tier) << " count=" << count
+                    << " trial=" << trial;
+            }
+        }
+    }
+}
+
+TEST(Simd, FindKeyLastAllTiersMatchReference)
+{
+    TierGuard guard;
+    Rng rng(0xcafe);
+    for (unsigned count = 1; count <= 32; ++count) {
+        for (int trial = 0; trial < 200; ++trial) {
+            std::vector<std::uint64_t> buffer(count + 9, ~0ULL - 1);
+            std::uint64_t *keys = buffer.data() + (trial % 4);
+            for (unsigned i = 0; i < count; ++i)
+                keys[i] = rng.nextBounded(count + 3);
+            std::uint64_t needle = rng.nextBounded(count + 3);
+            int expected = refLast(keys, count, needle);
+            for (Tier tier : reachableTiers()) {
+                setTier(tier);
+                EXPECT_EQ(findKeyLast(keys, count, needle), expected)
+                    << tierName(tier) << " count=" << count
+                    << " trial=" << trial;
+            }
+        }
+    }
+}
+
+TEST(Simd, SentinelNeedleFindsEmptyWays)
+{
+    // The production use of findKeyLast: locating the last ~0 slot in
+    // a partially warmed set.
+    TierGuard guard;
+    constexpr std::uint64_t kEmpty = ~0ULL;
+    for (unsigned count : {4u, 8u, 32u}) {
+        std::vector<std::uint64_t> keys(count, kEmpty);
+        for (Tier tier : reachableTiers()) {
+            setTier(tier);
+            EXPECT_EQ(findKeyLast(keys.data(), count, kEmpty),
+                      static_cast<int>(count - 1))
+                << tierName(tier);
+        }
+        // Fill from the front, as warm-up does.
+        for (unsigned filled = 1; filled <= count; ++filled) {
+            keys[filled - 1] = filled; // any non-sentinel key
+            int expected = filled == count ? -1
+                                           : static_cast<int>(count - 1);
+            for (Tier tier : reachableTiers()) {
+                setTier(tier);
+                EXPECT_EQ(findKeyLast(keys.data(), count, kEmpty),
+                          expected)
+                    << tierName(tier) << " filled=" << filled;
+            }
+        }
+    }
+}

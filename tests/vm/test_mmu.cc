@@ -110,6 +110,78 @@ TEST(Mmu, FlushForgetsTranslations)
     EXPECT_EQ(fixture.mmu->counters().m, 2u);
 }
 
+TEST(Mmu, StagedAndFullTranslationsAgreeWhenInterleaved)
+{
+    // Regression test for the staged-translation memo aliasing hazard:
+    // the replay kernel stages peekTranslate() results a chunk ahead of
+    // the retire loop, so a staged {physAddr, pageSize} can be consumed
+    // at a different `now` — and, in the fused engine, interleaved with
+    // other lanes' full translate() calls that advance time at
+    // different rates and recycle the same memo slots. Two MMUs over
+    // one page table replay the same access stream, one through
+    // translate(), one through peek-then-translateStaged with a
+    // deliberately stale staging distance and a second stream hammering
+    // aliasing granules in between; every event and every counter must
+    // be bit-identical.
+    MmuFixture plain, staged;
+    // Map both fixtures' tables identically: mixed 4K/2M pages so the
+    // staged path carries both page sizes.
+    auto mapBoth = [&](VirtAddr vaddr, PageSize size, PhysAddr paddr) {
+        plain.table.map(vaddr, size, paddr);
+        staged.table.map(vaddr, size, paddr);
+    };
+    for (std::uint64_t i = 0; i < 128; ++i)
+        mapBoth(base + i * 4_KiB, PageSize::Page4K,
+                0x80000000ULL + i * 4_KiB);
+    mapBoth(base + 1_GiB, PageSize::Page2M, 0xc0000000ULL);
+
+    // Access stream: strides that wrap the 128-page window (TLB
+    // evictions), repeated granules (memo hits), and the 2M page
+    // (different size class through the same staged plumbing).
+    std::vector<VirtAddr> stream;
+    for (std::uint64_t i = 0; i < 4000; ++i) {
+        switch (i % 5) {
+          case 0:
+            stream.push_back(base + (i * 7 % 128) * 4_KiB + (i % 4096));
+            break;
+          case 1:
+            stream.push_back(base + (i % 128) * 4_KiB);
+            break;
+          case 2:
+            stream.push_back(base + 1_GiB + (i * 64 % 2_MiB));
+            break;
+          default:
+            stream.push_back(base + (i * 31 % 128) * 4_KiB);
+        }
+    }
+
+    constexpr std::size_t kStageAhead = 16;
+    std::vector<Mmu::StagedXlate> pending(kStageAhead);
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        // Stage kStageAhead addresses in a burst, as the kernel does,
+        // then retire them one by one at later timestamps.
+        if (i % kStageAhead == 0) {
+            for (std::size_t j = i;
+                 j < std::min(i + kStageAhead, stream.size()); ++j)
+                pending[j - i] = staged.mmu->peekTranslate(stream[j]);
+        }
+        Cycles now = static_cast<Cycles>(i * 37);
+        auto full = plain.mmu->translate(stream[i], now);
+        const Mmu::StagedXlate &stage = pending[i % kStageAhead];
+        auto lazy = staged.mmu->translateStaged(
+            stream[i], stage.physAddr, stage.pageSize, now);
+        ASSERT_EQ(full.physAddr, lazy.physAddr) << "at access " << i;
+        ASSERT_EQ(full.outcome, lazy.outcome) << "at access " << i;
+        ASSERT_EQ(full.latency, lazy.latency) << "at access " << i;
+        ASSERT_EQ(full.pageSize, lazy.pageSize) << "at access " << i;
+    }
+    EXPECT_EQ(plain.mmu->counters().l1Hits,
+              staged.mmu->counters().l1Hits);
+    EXPECT_EQ(plain.mmu->counters().h, staged.mmu->counters().h);
+    EXPECT_EQ(plain.mmu->counters().m, staged.mmu->counters().m);
+    EXPECT_EQ(plain.mmu->counters().c, staged.mmu->counters().c);
+}
+
 TEST(Mmu, WalkCyclesAccumulateAcrossWalkers)
 {
     // With 2 walkers and back-to-back misses, C grows by the full walk

@@ -177,3 +177,71 @@ TEST(PageTable, PopulateFromMosalloc)
     PhysAddr f2 = table.translate(heap + 4_KiB).physAddr;
     EXPECT_NE(f1, f2);
 }
+
+/**
+ * Property test backing the "bit-identical to translate()" promise on
+ * PageTable::translateWith: a single cursor dragged through a stream
+ * mixing locality runs (prefix reuse), random jumps (full restarts),
+ * page-size changes (different leaf depths) and unmapped holes (the
+ * cursor must go cold, not corrupt) always yields exactly what a
+ * fresh full descent yields — valid bit, physical address, page size,
+ * and the per-level entry addresses a walker would read.
+ */
+TEST(PageTable, CursorDescentMatchesFullTranslateEverywhere)
+{
+    PhysMem mem;
+    PageTable table(mem);
+    const VirtAddr base = 0x4000000000ULL;
+    // A mixed mapping: 512 x 4K pages, 8 x 2M pages, 1 x 1G page,
+    // spread so upper-level prefixes are shared sometimes and not
+    // others; a hole lives between the 2M run and the 1G page.
+    for (std::uint64_t i = 0; i < 512; ++i)
+        table.map(base + i * 4_KiB, PageSize::Page4K,
+                  0x80000000ULL + i * 4_KiB);
+    for (std::uint64_t i = 0; i < 8; ++i)
+        table.map(base + 1_GiB + i * 2_MiB, PageSize::Page2M,
+                  0xc0000000ULL + i * 2_MiB);
+    table.map(base + 4_GiB, PageSize::Page1G, 0x100000000ULL);
+
+    PageTable::DescentCursor cursor;
+    std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+    auto next = [&state]() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    };
+    for (int i = 0; i < 20000; ++i) {
+        VirtAddr vaddr;
+        switch (next() % 8) {
+          case 0: // sequential run inside the 4K region
+            vaddr = base + (static_cast<std::uint64_t>(i) % 512) * 4_KiB;
+            break;
+          case 1: // random 4K page
+            vaddr = base + (next() % 512) * 4_KiB + (next() % 4096);
+            break;
+          case 2: // 2M region
+            vaddr = base + 1_GiB + (next() % (8 * 2_MiB));
+            break;
+          case 3: // 1G page
+            vaddr = base + 4_GiB + (next() % 1_GiB);
+            break;
+          case 4: // unmapped hole past the 4K run
+            vaddr = base + 2_MiB + (next() % 2_MiB);
+            break;
+          default: // repeat the previous granule (max prefix reuse)
+            vaddr = cursor.lastVaddr + (next() % 4096);
+        }
+        Translation full = table.translate(vaddr);
+        Translation cursored = table.translateWith(cursor, vaddr);
+        ASSERT_EQ(cursored.valid, full.valid) << "access " << i;
+        if (!full.valid)
+            continue;
+        ASSERT_EQ(cursored.physAddr, full.physAddr) << "access " << i;
+        ASSERT_EQ(cursored.pageSize, full.pageSize) << "access " << i;
+        ASSERT_EQ(cursored.depth, full.depth) << "access " << i;
+        for (unsigned l = 0; l < full.depth; ++l)
+            ASSERT_EQ(cursored.entryAddrs[l], full.entryAddrs[l])
+                << "access " << i << " level " << l;
+    }
+}

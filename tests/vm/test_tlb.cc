@@ -326,3 +326,132 @@ TEST(TlbSystem, FullyAssociative1gArrayRetainsFourPages)
     EXPECT_EQ(tlb.lookup(4 * 1_GiB, PageSize::Page1G),
               TlbOutcome::L1Hit);
 }
+
+namespace
+{
+
+/**
+ * Naive reference of TlbArray's documented replacement contract:
+ * linear scans over (key, lastUse) pairs, no SoA split, no vector
+ * scans, no repeat-hit memo. Rules, stated literally: lookup hit
+ * refreshes lastUse; insert refreshes a resident key; otherwise the
+ * victim is the LAST empty way if any way is empty, else the way with
+ * the smallest lastUse (timestamps are unique).
+ */
+class ReferenceTlbArray
+{
+  public:
+    ReferenceTlbArray(std::uint32_t entries, std::uint32_t ways)
+        : ways_(ways == 0 || ways > entries ? entries : ways),
+          sets_(entries == 0 ? 0 : entries / ways_), keys_(entries, kEmpty),
+          lastUse_(entries, 0)
+    {
+    }
+
+    bool
+    lookup(std::uint64_t key)
+    {
+        if (sets_ == 0)
+            return false;
+        std::uint64_t base = ((key >> 2) % sets_) * ways_;
+        ++clock_;
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (keys_[base + w] == key) {
+                lastUse_[base + w] = clock_;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    void
+    insert(std::uint64_t key)
+    {
+        if (sets_ == 0)
+            return;
+        std::uint64_t base = ((key >> 2) % sets_) * ways_;
+        ++clock_;
+        int victim = -1;
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (keys_[base + w] == key) {
+                lastUse_[base + w] = clock_;
+                return;
+            }
+        }
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (keys_[base + w] == kEmpty)
+                victim = static_cast<int>(w);
+        }
+        if (victim < 0) {
+            victim = 0;
+            for (std::uint32_t w = 1; w < ways_; ++w) {
+                if (lastUse_[base + w] <
+                    lastUse_[base + static_cast<std::uint32_t>(victim)])
+                    victim = static_cast<int>(w);
+            }
+        }
+        keys_[base + static_cast<std::uint32_t>(victim)] = key;
+        lastUse_[base + static_cast<std::uint32_t>(victim)] = clock_;
+    }
+
+  private:
+    static constexpr std::uint64_t kEmpty = ~0ULL;
+    std::uint32_t ways_;
+    std::uint64_t sets_;
+    std::vector<std::uint64_t> keys_;
+    std::vector<std::uint64_t> lastUse_;
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace
+
+/**
+ * The vectorized lookup/insert paths against the reference, across the
+ * geometries the platforms instantiate (set-associative L1/L2 shapes
+ * and the small fully-associative arrays). Interleaved lookups and
+ * inserts with warm-up, steady-state eviction and re-reference; any
+ * divergence in the two-scan victim selection or the repeat-hit memo
+ * shows up as a hit/miss mismatch at a concrete step.
+ */
+TEST(TlbArray, MatchesReferenceModelAcrossGeometries)
+{
+    struct Shape
+    {
+        std::uint32_t entries, ways;
+    };
+    constexpr Shape kShapes[] = {
+        {64, 4}, {32, 4}, {4, 4}, {512, 4}, {16, 16}, {32, 0},
+    };
+    for (const auto &shape : kShapes) {
+        TlbArray array(shape.entries, shape.ways);
+        ReferenceTlbArray reference(shape.entries, shape.ways);
+        std::uint64_t state = 0x243f6a8885a308d3ULL ^ shape.entries;
+        auto next = [&state]() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            return state;
+        };
+        std::uint64_t hits = 0, misses = 0;
+        for (int i = 0; i < 50000; ++i) {
+            // Keys over ~2x capacity force evictions; low bits carry a
+            // fake page-size tag as TlbSystem's makeKey does.
+            std::uint64_t key = ((next() % (2 * shape.entries + 3)) << 2) |
+                                (next() % 3);
+            if (next() % 3 == 0) {
+                array.insert(key);
+                reference.insert(key);
+            } else {
+                bool hit = array.lookup(key);
+                ASSERT_EQ(hit, reference.lookup(key))
+                    << "entries=" << shape.entries
+                    << " ways=" << shape.ways << " step " << i;
+                hit ? ++hits : ++misses;
+            }
+        }
+        EXPECT_EQ(array.hits, hits);
+        EXPECT_EQ(array.misses, misses);
+        EXPECT_GT(hits, 0u);
+        EXPECT_GT(misses, 0u);
+    }
+}

@@ -13,6 +13,23 @@ tolerance. Checked, all one-sided (only slowdowns fail, speedups pass):
   * fused.speedup_vs_sequential     -- absolute sanity floor: the fused
                                        engine must never be materially
                                        slower than sequential replay
+  * aggregate.host_cycles_per_record -- nominal host cycles the kernel
+                                       spends per trace record
+                                       (schema /3; TSC-calibrated).
+                                       Two one-sided checks: no >20%
+                                       growth over the baseline, and
+                                       an absolute ceiling
+                                       (--cycles-ceiling, default 100)
+                                       that engages once the committed
+                                       baseline itself is under it —
+                                       so the <100-cycles ratchet
+                                       cannot silently regress. A
+                                       value of 0 means the bench
+                                       could not calibrate a clock
+                                       (non-x86 host without
+                                       MOSAIC_HOST_GHZ); cycle checks
+                                       are skipped, throughput checks
+                                       still run.
 
 A baseline that predates a schema bump (missing aggregate/fused
 blocks or run-entry keys) skips the affected checks with a warning
@@ -94,6 +111,15 @@ class Gate:
         if fresh < floor:
             self.failures.append(label)
 
+    def check_max(self, label, fresh, ceiling, detail=""):
+        """Lower-is-better metric (e.g. host cycles/record)."""
+        self.checked += 1
+        verdict = "ok" if fresh <= ceiling else "REGRESSION"
+        print(f"  {label}: {fresh:,.1f} vs ceiling {ceiling:,.1f} "
+              f"{detail}-> {verdict}")
+        if fresh > ceiling:
+            self.failures.append(label)
+
 
 def main():
     parser = argparse.ArgumentParser(
@@ -109,6 +135,10 @@ def main():
     parser.add_argument("--fused-floor", type=float, default=0.90,
                         help="minimum fused speedup_vs_sequential "
                              "(default 0.90)")
+    parser.add_argument("--cycles-ceiling", type=float, default=100.0,
+                        help="absolute host_cycles_per_record ceiling, "
+                             "enforced once the baseline is under it "
+                             "(default 100)")
     args = parser.parse_args()
 
     baseline = load(args.baseline)
@@ -143,6 +173,31 @@ def main():
         # skip the check rather than fail the gate on old data.
         warn(f"{args.baseline}: no aggregate.records_per_sec "
              "(pre-aggregate schema?); aggregate check skipped")
+
+    base_cycles = baseline.get("aggregate", {}).get(
+        "host_cycles_per_record")
+    fresh_cycles = fresh.get("aggregate", {}).get(
+        "host_cycles_per_record")
+    if not fresh_cycles:
+        # 0 or absent: the bench ran without a calibratable clock
+        # (non-x86 host, no MOSAIC_HOST_GHZ). Throughput checks above
+        # still gate the run.
+        warn("fresh run carries no calibrated host_cycles_per_record; "
+             "cycle checks skipped")
+    elif base_cycles:
+        gate.check_max("aggregate host cycles/record", fresh_cycles,
+                       base_cycles * (1.0 + args.tolerance),
+                       f"(baseline {base_cycles:,.1f}, "
+                       f"+{args.tolerance:.0%}) ")
+        if base_cycles <= args.cycles_ceiling:
+            # The ratchet: once a committed baseline gets under the
+            # ceiling, no future PR may climb back above it, even if
+            # the relative tolerance would allow it.
+            gate.check_max("host cycles/record ceiling", fresh_cycles,
+                           args.cycles_ceiling)
+    else:
+        warn(f"{args.baseline}: no aggregate.host_cycles_per_record "
+             "(pre-/3 schema?); cycle checks skipped")
 
     base_fused = baseline.get("fused", {}).get("records_per_sec")
     fresh_fused = fresh.get("fused", {}).get("records_per_sec")
