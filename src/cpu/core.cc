@@ -117,8 +117,10 @@ readoutCounters(const trace::MemoryTrace &trace, double retire_clock,
 
 /**
  * Cooperative watchdog check, shared by both replay engines. Called
- * once per chunk/block — a time query every ~1k simulated records —
- * so the hot record loop stays branch-free of clock reads.
+ * once per chunk — a time query every ~1k simulated records per lane
+ * — so the hot record loop stays branch-free of clock reads. The
+ * overshoot bound past an expired deadline is therefore one chunk of
+ * cold walks (kChunkRecords records on one lane), not a block.
  */
 inline void
 checkDeadline(std::chrono::steady_clock::time_point deadline)
@@ -393,9 +395,15 @@ CoreModel::runFused(const trace::MemoryTrace &trace,
     trace::ReplayBatcher batcher(trace);
     trace::ReplayBatcher::Block block;
     while (batcher.nextBlock(block)) {
-        checkDeadline(deadline);
         for (LaneEngine &state : states) {
             for (std::size_t c = 0; c < block.chunks; ++c) {
+                // Per chunk per lane, matching run()'s cadence. A
+                // per-block check was kFanoutChunks * num_lanes
+                // chunks apart: a one-block trace fanned across many
+                // lanes would verify the deadline exactly once,
+                // before any simulation, and an expiry mid-block
+                // could overshoot by the whole block's cold walks.
+                checkDeadline(deadline);
                 SoaRecords src{block.chunk[c]};
                 state.stageChunk(src);
                 state.retireChunk(src);

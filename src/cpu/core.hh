@@ -132,7 +132,11 @@ class CoreModel
      * Returns one RunResult per lane, in lane order.
      *
      * @p deadline is the same cooperative watchdog as run()'s,
-     * checked once per fan-out block.
+     * checked once per chunk per lane. The overshoot past an expired
+     * deadline is thus bounded by one chunk of one lane's cold walks
+     * (ReplayBatcher::kChunkRecords records), not by a whole fan-out
+     * block times the lane count — serve's per-query timeouts rely on
+     * this bound.
      */
     std::vector<RunResult> runFused(
         const trace::MemoryTrace &trace,

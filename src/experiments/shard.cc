@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <set>
 #include <sstream>
 
@@ -31,7 +32,11 @@ hex32(std::uint32_t value)
 bool
 parseHex32(const std::string &text, std::uint32_t &out)
 {
-    if (text.empty() || text.size() > 8)
+    // Writers emit exactly eight digits (%08x); accepting fewer here
+    // would let a manifest line torn mid-hash ("crc=0034567") parse
+    // as a "valid" shorter value and mis-diagnose the truncation as
+    // row corruption or a cross-campaign config mismatch.
+    if (text.size() != 8)
         return false;
     std::uint32_t value = 0;
     for (char c : text) {
@@ -223,13 +228,30 @@ Result<ShardFile>
 readShardFile(const std::string &path, const SimContext &context)
 {
     context.metrics().add("merge/shards_read");
-    std::ifstream file(path);
+    std::ifstream file(path, std::ios::binary);
     if (!file.good() ||
         context.faults().shouldFail(FaultSite::MergeRead))
         return ioError("cannot open shard CSV " + path);
 
+    // Slurp the file so a torn final line is detectable: a shard
+    // killed mid-write leaves a file whose last byte is not '\n'
+    // (std::getline would silently hand back the partial line as if
+    // it were complete). The trailer's manifest line is the commit
+    // marker, so any tear — mid-row, mid-order-line, or mid-manifest
+    // — must read as "incomplete", never as a parsed-but-wrong shard.
+    std::string content((std::istreambuf_iterator<char>(file)),
+                        std::istreambuf_iterator<char>());
+    if (content.empty() || content.back() != '\n') {
+        return corruptError(
+            "shard CSV " + path +
+            " does not end in a newline: truncated mid-line (torn "
+            "write or killed shard); the shard is incomplete, rerun "
+            "it");
+    }
+    std::istringstream stream(content);
+
     std::string line;
-    if (!std::getline(file, line) ||
+    if (!std::getline(stream, line) ||
         trimString(line) != datasetCsvHeader()) {
         return corruptError("unexpected header in shard CSV " + path +
                             " (not a mosaic dataset?)");
@@ -239,7 +261,7 @@ readShardFile(const std::string &path, const SimContext &context)
     shard.path = path;
     bool have_manifest = false;
     std::uint32_t crc = 0;
-    while (std::getline(file, line)) {
+    while (std::getline(stream, line)) {
         std::string trimmed = trimString(line);
         if (trimmed.empty())
             continue;

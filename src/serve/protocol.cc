@@ -1,0 +1,152 @@
+#include "serve/protocol.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace mosaic::serve
+{
+
+namespace
+{
+
+std::string
+lower(std::string text)
+{
+    for (char &c : text)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return text;
+}
+
+/** Strict full-match finite non-negative double (protocol metrics). */
+bool
+parseMetric(const std::string &text, double &out)
+{
+    if (text.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size() || errno == ERANGE ||
+        !std::isfinite(value) || value < 0.0) {
+        return false;
+    }
+    out = value;
+    return true;
+}
+
+Result<Request>
+parsePredict(const std::vector<std::string> &words)
+{
+    if (words.size() < 4) {
+        return parseError(
+            "PREDICT wants <platform> <workload> and either h=/m=/c= "
+            "metrics or layout=<name>");
+    }
+    Request request;
+    request.verb = Verb::Predict;
+    PredictQuery &query = request.predict;
+    query.platform = words[1];
+    query.workload = words[2];
+
+    bool got_h = false, got_m = false, got_c = false;
+    for (std::size_t i = 3; i < words.size(); ++i) {
+        const std::string &word = words[i];
+        auto eq = word.find('=');
+        if (eq == std::string::npos || eq == 0 ||
+            eq + 1 >= word.size()) {
+            return parseError("malformed PREDICT field '" + word +
+                              "' (want key=value)");
+        }
+        const std::string key = lower(word.substr(0, eq));
+        const std::string value = word.substr(eq + 1);
+        if (key == "h" || key == "m" || key == "c") {
+            double parsed = 0.0;
+            if (!parseMetric(value, parsed)) {
+                return parseError("bad " + key + " metric '" + value +
+                                  "' (want a finite non-negative "
+                                  "number)");
+            }
+            (key == "h" ? query.h : key == "m" ? query.m : query.c) =
+                parsed;
+            (key == "h"   ? got_h
+             : key == "m" ? got_m
+                          : got_c) = true;
+        } else if (key == "layout") {
+            query.byLayout = true;
+            query.layout = value;
+        } else if (key == "model") {
+            query.model = value;
+        } else {
+            return parseError("unknown PREDICT field '" + key + "'");
+        }
+    }
+
+    const bool any_metric = got_h || got_m || got_c;
+    if (query.byLayout && any_metric) {
+        return parseError(
+            "PREDICT takes either layout= or h=/m=/c=, not both");
+    }
+    if (!query.byLayout && !(got_h && got_m && got_c)) {
+        return parseError(
+            "PREDICT by metrics needs all three of h=, m=, c=");
+    }
+    return request;
+}
+
+} // namespace
+
+Result<Request>
+parseRequest(const std::string &line)
+{
+    if (line.size() > kMaxRequestBytes) {
+        return parseError("request line exceeds " +
+                          std::to_string(kMaxRequestBytes) + " bytes");
+    }
+    // Tolerate CRLF clients and stray control bytes by treating any
+    // whitespace as a separator; reject embedded NULs outright.
+    if (line.find('\0') != std::string::npos)
+        return parseError("request line contains NUL bytes");
+
+    std::vector<std::string> words;
+    std::istringstream stream(line);
+    std::string word;
+    while (stream >> word)
+        words.push_back(word);
+    if (words.empty())
+        return parseError("empty request line");
+
+    const std::string verb = lower(words[0]);
+    if (verb == "predict")
+        return parsePredict(words);
+    if (verb == "stats" || verb == "/stats") {
+        return Request{Verb::Stats, {}};
+    }
+    if (verb == "models")
+        return Request{Verb::Models, {}};
+    if (verb == "ping")
+        return Request{Verb::Ping, {}};
+    if (verb == "quit")
+        return Request{Verb::Quit, {}};
+    return parseError("unknown verb '" + words[0] + "'");
+}
+
+std::string
+formatErrorResponse(const Error &error)
+{
+    std::string message = error.message();
+    for (const auto &note : error.context())
+        message += "; " + note;
+    for (char &c : message) {
+        if (c == '\n' || c == '\r')
+            c = ' ';
+    }
+    return std::string("err ") + errorCategoryName(error.category()) +
+           " " + message;
+}
+
+} // namespace mosaic::serve

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The mosaic_serve wire protocol: line-oriented requests and one-line
+ * responses, parsed and formatted as pure functions so every grammar
+ * edge is testable without a socket.
+ *
+ * Grammar (one request per '\n'-terminated line, '\r' tolerated):
+ *
+ *   PREDICT <platform> <workload> h=<F> m=<F> c=<F> [model=<NAME>]
+ *   PREDICT <platform> <workload> layout=<LAYOUT> [model=<NAME>]
+ *   STATS            (also accepted spelled "/stats")
+ *   MODELS
+ *   PING
+ *   QUIT
+ *
+ * Verbs are case-insensitive; fields are whitespace-separated and may
+ * not contain spaces (workload labels use '/', e.g. "spec06/mcf").
+ * Responses are a single line: "ok ..." on success, or
+ * "err <category> <message>" where <category> is an errorCategoryName
+ * and the message has newlines flattened.
+ */
+
+#ifndef MOSAIC_SERVE_PROTOCOL_HH
+#define MOSAIC_SERVE_PROTOCOL_HH
+
+#include <cstddef>
+#include <string>
+
+#include "support/error.hh"
+
+namespace mosaic::serve
+{
+
+/** Longest accepted request line, in bytes (excluding the newline). */
+inline constexpr std::size_t kMaxRequestBytes = 4096;
+
+enum class Verb
+{
+    Predict,
+    Stats,
+    Models,
+    Ping,
+    Quit,
+};
+
+/** A parsed PREDICT query. */
+struct PredictQuery
+{
+    std::string platform;
+    std::string workload;
+    std::string model = "mosmodel";
+
+    /** Query by layout name instead of raw (h, m, c) metrics. */
+    bool byLayout = false;
+    std::string layout;
+
+    double h = 0.0; ///< L2-TLB hits
+    double m = 0.0; ///< TLB misses
+    double c = 0.0; ///< page-walk cycles
+};
+
+/** One parsed request line. */
+struct Request
+{
+    Verb verb = Verb::Ping;
+    PredictQuery predict; ///< meaningful only when verb == Predict
+};
+
+/**
+ * Parse one request line (without its terminating newline). Returns a
+ * Parse error for malformed or unknown input — including lines longer
+ * than kMaxRequestBytes — never throws, never aborts: this is the
+ * daemon's hostile-input boundary.
+ */
+Result<Request> parseRequest(const std::string &line);
+
+/** Render an error as the one-line "err <category> <message>" form. */
+std::string formatErrorResponse(const Error &error);
+
+} // namespace mosaic::serve
+
+#endif // MOSAIC_SERVE_PROTOCOL_HH

@@ -1,0 +1,510 @@
+#include "serve/server.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/fault_injector.hh"
+#include "support/logging.hh"
+#include "support/sim_context.hh"
+#include "support/str.hh"
+
+namespace mosaic::serve
+{
+
+namespace
+{
+
+constexpr int kPollMillis = 200;
+
+void
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+std::size_t
+latencyBucket(std::chrono::steady_clock::duration elapsed)
+{
+    auto usec = std::chrono::duration_cast<std::chrono::microseconds>(
+                    elapsed)
+                    .count();
+    if (usec < 1)
+        usec = 1;
+    std::size_t bucket = 0;
+    while ((usec >>= 1) != 0)
+        ++bucket;
+    return std::min<std::size_t>(bucket, 63);
+}
+
+/** Lower bound of a histogram bucket, in microseconds. */
+std::uint64_t
+bucketFloorUsec(std::size_t bucket)
+{
+    return std::uint64_t{1} << bucket;
+}
+
+} // namespace
+
+Server::Server(ModelRegistry &registry, ServerOptions options)
+    : registry_(registry), options_(std::move(options))
+{
+    if (options_.workers == 0)
+        options_.workers = 1;
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+std::string
+Server::endpoint() const
+{
+    if (!options_.socketPath.empty())
+        return "unix:" + options_.socketPath;
+    return "tcp:" + std::to_string(boundPort_);
+}
+
+Result<void>
+Server::start()
+{
+    if (started_)
+        return netError("server already started");
+
+    if (!options_.socketPath.empty()) {
+        if (options_.socketPath.size() >=
+            sizeof(sockaddr_un{}.sun_path)) {
+            return configError("socket path too long: " +
+                               options_.socketPath);
+        }
+        listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (listenFd_ < 0) {
+            return netError(std::string("socket(AF_UNIX): ") +
+                            std::strerror(errno));
+        }
+        // A stale socket file from a killed daemon makes bind fail
+        // with EADDRINUSE even though nothing is listening.
+        ::unlink(options_.socketPath.c_str());
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, options_.socketPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0) {
+            const Error error = netError(
+                "bind(" + options_.socketPath +
+                "): " + std::strerror(errno));
+            ::close(listenFd_);
+            listenFd_ = -1;
+            return error;
+        }
+    } else {
+        listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (listenFd_ < 0) {
+            return netError(std::string("socket(AF_INET): ") +
+                            std::strerror(errno));
+        }
+        const int one = 1;
+        ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(options_.port);
+        if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0) {
+            const Error error =
+                netError("bind(127.0.0.1:" +
+                         std::to_string(options_.port) +
+                         "): " + std::strerror(errno));
+            ::close(listenFd_);
+            listenFd_ = -1;
+            return error;
+        }
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(listenFd_,
+                          reinterpret_cast<sockaddr *>(&bound),
+                          &len) == 0) {
+            boundPort_ = ntohs(bound.sin_port);
+        }
+    }
+
+    if (::listen(listenFd_, 128) != 0) {
+        const Error error = netError(std::string("listen: ") +
+                                     std::strerror(errno));
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return error;
+    }
+    setNonBlocking(listenFd_);
+
+    startTime_ = std::chrono::steady_clock::now();
+    stopping_.store(false);
+    workers_.clear();
+    for (unsigned i = 0; i < options_.workers; ++i) {
+        auto worker = std::make_unique<Worker>();
+        int pipefd[2];
+        if (::pipe(pipefd) != 0) {
+            const Error error = netError(std::string("pipe: ") +
+                                         std::strerror(errno));
+            ::close(listenFd_);
+            listenFd_ = -1;
+            workers_.clear();
+            return error;
+        }
+        worker->wakeRead = pipefd[0];
+        worker->wakeWrite = pipefd[1];
+        setNonBlocking(worker->wakeRead);
+        workers_.push_back(std::move(worker));
+    }
+    for (unsigned i = 0; i < options_.workers; ++i) {
+        Worker *worker = workers_[i].get();
+        worker->thread =
+            std::thread([this, worker, i] { workerLoop(*worker, i); });
+    }
+    acceptor_ = std::thread([this] { acceptLoop(); });
+    started_ = true;
+    return Result<void>();
+}
+
+void
+Server::stop()
+{
+    if (!started_)
+        return;
+    stopping_.store(true);
+    if (acceptor_.joinable())
+        acceptor_.join();
+    for (auto &worker : workers_) {
+        // Poke the pipe so a worker blocked in poll() notices now
+        // instead of at its next 200 ms tick.
+        const char byte = 1;
+        [[maybe_unused]] ssize_t n =
+            ::write(worker->wakeWrite, &byte, 1);
+    }
+    for (auto &worker : workers_) {
+        if (worker->thread.joinable())
+            worker->thread.join();
+        ::close(worker->wakeRead);
+        ::close(worker->wakeWrite);
+    }
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    if (!options_.socketPath.empty())
+        ::unlink(options_.socketPath.c_str());
+    drainShards();
+    workers_.clear();
+    started_ = false;
+}
+
+void
+Server::drainShards()
+{
+    for (auto &worker : workers_)
+        worker->shard.drainInto(central_);
+}
+
+void
+Server::acceptLoop()
+{
+    std::size_t next = 0;
+    while (!stopping_.load()) {
+        pollfd pfd{listenFd_, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, kPollMillis);
+        if (ready <= 0)
+            continue;
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        setNonBlocking(fd);
+        central_.add("serve/connections");
+        Worker &worker = *workers_[next % workers_.size()];
+        ++next;
+        {
+            std::lock_guard<std::mutex> lock(worker.mailboxMutex);
+            worker.mailbox.push_back(fd);
+        }
+        const char byte = 1;
+        [[maybe_unused]] ssize_t n =
+            ::write(worker.wakeWrite, &byte, 1);
+    }
+}
+
+bool
+Server::sendAll(int fd, const std::string &text)
+{
+    std::size_t sent = 0;
+    while (sent < text.size()) {
+        const ssize_t n = ::send(fd, text.data() + sent,
+                                 text.size() - sent, MSG_NOSIGNAL);
+        if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
+                      errno == EINTR)) {
+            pollfd pfd{fd, POLLOUT, 0};
+            ::poll(&pfd, 1, kPollMillis);
+            continue;
+        }
+        return false;
+    }
+    return true;
+}
+
+void
+Server::recordLatency(std::chrono::steady_clock::duration elapsed)
+{
+    latency_[latencyBucket(elapsed)].fetch_add(
+        1, std::memory_order_relaxed);
+}
+
+bool
+Server::handleLine(Connection &conn, const std::string &line,
+                   Worker &worker, const SimContext &base)
+{
+    worker.shard.add("serve/requests");
+    auto parsed = parseRequest(line);
+    if (!parsed.ok()) {
+        worker.shard.add("serve/errors");
+        return sendAll(conn.fd,
+                       formatErrorResponse(parsed.error()) + "\n");
+    }
+
+    switch (parsed.value().verb) {
+      case Verb::Ping:
+        return sendAll(conn.fd, "ok pong\n");
+      case Verb::Quit:
+        sendAll(conn.fd, "ok bye\n");
+        return false;
+      case Verb::Models: {
+        std::string response = "ok";
+        for (const auto &name : ModelRegistry::modelNames())
+            response += " " + name;
+        return sendAll(conn.fd, response + "\n");
+      }
+      case Verb::Stats:
+        return sendAll(conn.fd, "ok " + statsJson() + "\n");
+      case Verb::Predict:
+        break;
+    }
+
+    SimContext context = base;
+    if (options_.queryTimeoutSeconds > 0.0) {
+        context = base.withDeadline(
+            std::chrono::steady_clock::now() +
+            std::chrono::microseconds(static_cast<std::int64_t>(
+                options_.queryTimeoutSeconds * 1e6)));
+    }
+    const auto begin = std::chrono::steady_clock::now();
+    auto prediction =
+        registry_.predict(parsed.value().predict, context);
+    recordLatency(std::chrono::steady_clock::now() - begin);
+    worker.shard.add("serve/predictions");
+
+    if (!prediction.ok()) {
+        worker.shard.add("serve/errors");
+        return sendAll(conn.fd,
+                       formatErrorResponse(prediction.error()) + "\n");
+    }
+    const Prediction &value = prediction.value();
+    std::string response =
+        "ok predicted_cycles=" +
+        formatDouble(value.predictedCycles, 6) +
+        " model=" + value.model +
+        " source=" + (value.cold ? "cold" : "warm");
+    if (value.hasMeasured) {
+        response += " measured_cycles=" +
+                    formatDouble(value.measuredCycles, 6);
+    }
+    return sendAll(conn.fd, response + "\n");
+}
+
+void
+Server::workerLoop(Worker &worker, unsigned index)
+{
+    SimContext base(worker.shard, faults(), options_.seed, index);
+    std::vector<Connection> conns;
+    std::vector<pollfd> pfds;
+
+    const auto closeConn = [&](std::size_t i) {
+        ::close(conns[i].fd);
+        conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
+    };
+
+    while (!stopping_.load()) {
+        pfds.clear();
+        pfds.push_back({worker.wakeRead, POLLIN, 0});
+        for (const Connection &conn : conns)
+            pfds.push_back({conn.fd, POLLIN, 0});
+        const int ready =
+            ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                   kPollMillis);
+        if (ready < 0)
+            continue;
+
+        // Iterate backwards so closing connection i cannot shift the
+        // pollfd↔connection correspondence of the ones not yet seen.
+        // Mailbox handover happens after this loop: appending first
+        // would grow conns past the pollfd array built above.
+        for (std::size_t i = conns.size(); i-- > 0;) {
+            const short revents = pfds[i + 1].revents;
+            if (revents == 0)
+                continue;
+            if (revents & (POLLERR | POLLNVAL)) {
+                closeConn(i);
+                continue;
+            }
+            Connection &conn = conns[i];
+            bool keep = true;
+            bool peerClosed = false;
+            char chunk[4096];
+            for (;;) {
+                const ssize_t n =
+                    ::recv(conn.fd, chunk, sizeof(chunk), 0);
+                if (n > 0) {
+                    conn.buffer.append(chunk,
+                                       static_cast<std::size_t>(n));
+                    continue;
+                }
+                if (n == 0 ||
+                    (n < 0 && errno != EAGAIN &&
+                     errno != EWOULDBLOCK && errno != EINTR)) {
+                    peerClosed = true;
+                }
+                break;
+            }
+
+            std::size_t start = 0;
+            for (;;) {
+                const std::size_t nl = conn.buffer.find('\n', start);
+                if (nl == std::string::npos)
+                    break;
+                std::string line =
+                    conn.buffer.substr(start, nl - start);
+                if (!line.empty() && line.back() == '\r')
+                    line.pop_back();
+                start = nl + 1;
+                if (!handleLine(conn, line, worker, base)) {
+                    keep = false;
+                    break;
+                }
+            }
+            conn.buffer.erase(0, start);
+
+            if (keep && conn.buffer.size() > kMaxRequestBytes) {
+                // A line this long can never parse; answer once and
+                // drop the connection instead of buffering garbage
+                // without bound.
+                worker.shard.add("serve/errors");
+                sendAll(conn.fd,
+                        formatErrorResponse(parseError(
+                            "request line exceeds " +
+                            std::to_string(kMaxRequestBytes) +
+                            " bytes")) +
+                            "\n");
+                keep = false;
+            }
+            if (keep && peerClosed) {
+                // Mid-query disconnect: whatever is buffered will
+                // never gain its newline.
+                keep = false;
+            }
+            if (!keep)
+                closeConn(i);
+        }
+
+        if (pfds[0].revents & POLLIN) {
+            char sink[64];
+            while (::read(worker.wakeRead, sink, sizeof(sink)) > 0) {
+            }
+            std::vector<int> incoming;
+            {
+                std::lock_guard<std::mutex> lock(worker.mailboxMutex);
+                incoming.swap(worker.mailbox);
+            }
+            for (int fd : incoming)
+                conns.push_back({fd, {}});
+        }
+    }
+
+    for (const Connection &conn : conns)
+        ::close(conn.fd);
+    conns.clear();
+}
+
+std::string
+Server::statsJson()
+{
+    drainShards();
+
+    std::uint64_t total = 0;
+    std::array<std::uint64_t, 64> buckets{};
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        buckets[i] = latency_[i].load(std::memory_order_relaxed);
+        total += buckets[i];
+    }
+    const auto percentile = [&](double fraction) -> std::uint64_t {
+        if (total == 0)
+            return 0;
+        const std::uint64_t rank = static_cast<std::uint64_t>(
+            fraction * static_cast<double>(total - 1));
+        std::uint64_t seen = 0;
+        for (std::size_t i = 0; i < buckets.size(); ++i) {
+            seen += buckets[i];
+            if (seen > rank)
+                return bucketFloorUsec(i);
+        }
+        return bucketFloorUsec(buckets.size() - 1);
+    };
+
+    const double uptime =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - startTime_)
+            .count();
+    const std::uint64_t requests = central_.counter("serve/requests");
+
+    std::ostringstream out;
+    out << "{\"schema\":\"mosaic-serve-stats/1\""
+        << ",\"uptime_sec\":" << formatDouble(uptime, 3)
+        << ",\"connections\":" << central_.counter("serve/connections")
+        << ",\"requests\":" << requests << ",\"predictions\":"
+        << central_.counter("serve/predictions") << ",\"errors\":"
+        << central_.counter("serve/errors") << ",\"warm_hits\":"
+        << central_.counter("serve/warm_hits")
+        << ",\"cold_simulations\":"
+        << central_.counter("serve/cold_simulations")
+        << ",\"cold_dedup_waits\":"
+        << central_.counter("serve/cold_dedup_waits")
+        << ",\"cold_timeouts\":"
+        << central_.counter("serve/cold_timeouts")
+        << ",\"model_fits\":" << central_.counter("serve/model_fits")
+        << ",\"model_cache_hits\":"
+        << central_.counter("serve/model_cache_hits")
+        << ",\"resident_pairs\":" << registry_.residentPairs().size()
+        << ",\"qps\":"
+        << formatDouble(uptime > 0.0
+                            ? static_cast<double>(requests) / uptime
+                            : 0.0,
+                        3)
+        << ",\"p50_usec\":" << percentile(0.50)
+        << ",\"p99_usec\":" << percentile(0.99) << "}";
+    return out.str();
+}
+
+} // namespace mosaic::serve

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The mosaic_serve network front end: a listening socket (TCP on
+ * loopback or a Unix-domain path), an acceptor thread, and a pool of
+ * poll()-driven workers that each own their accepted connections.
+ *
+ * Threading model:
+ *  - the acceptor round-robins new connections across workers through
+ *    a small mailbox + wake pipe, so no worker ever touches another
+ *    worker's fds;
+ *  - each worker owns a MetricsRegistry shard and a SimContext bound
+ *    to it; every query publishes observability lock-free into its
+ *    worker's shard, and STATS/stop() fold the shards into the central
+ *    registry with MetricsRegistry::drainInto (safe to repeat);
+ *  - queries run synchronously on the owning worker, bounded by the
+ *    cooperative SimContext deadline, so stop() drains in-flight
+ *    queries simply by waiting for each worker's current loop
+ *    iteration to finish.
+ */
+
+#ifndef MOSAIC_SERVE_SERVER_HH
+#define MOSAIC_SERVE_SERVER_HH
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/model_registry.hh"
+#include "serve/protocol.hh"
+#include "support/error.hh"
+#include "support/metrics.hh"
+
+namespace mosaic::serve
+{
+
+struct ServerOptions
+{
+    /** Unix-domain socket path; when set, takes precedence over TCP. */
+    std::string socketPath;
+
+    /** TCP port on 127.0.0.1 (0 = kernel-assigned, see port()). */
+    std::uint16_t port = 0;
+
+    /** Worker threads answering queries. */
+    unsigned workers = 2;
+
+    /** Per-query cooperative deadline in seconds (0 = unbounded). */
+    double queryTimeoutSeconds = 0.0;
+
+    /** Seed forwarded into each worker's SimContext. */
+    std::uint64_t seed = 0;
+};
+
+/**
+ * The daemon. start() binds and spawns threads; stop() drains
+ * in-flight queries, joins every thread, and folds worker metric
+ * shards into centralMetrics(). Safe to stop() more than once.
+ */
+class Server
+{
+  public:
+    Server(ModelRegistry &registry, ServerOptions options);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind, listen, and spawn the acceptor + workers. */
+    Result<void> start();
+
+    /** Graceful shutdown: stop accepting, drain, join, fold shards. */
+    void stop();
+
+    /** The bound TCP port (after start(); 0 for Unix sockets). */
+    std::uint16_t port() const { return boundPort_; }
+
+    /** Human-readable bound endpoint ("unix:<path>" / "tcp:<port>"). */
+    std::string endpoint() const;
+
+    /**
+     * Fold worker shards in and render the one-line stats JSON
+     * (schema "mosaic-serve-stats/1") the STATS verb returns.
+     */
+    std::string statsJson();
+
+    /** The central registry shards fold into (for --metrics-out). */
+    MetricsRegistry &centralMetrics() { return central_; }
+
+  private:
+    struct Connection
+    {
+        int fd = -1;
+        std::string buffer;
+    };
+
+    struct Worker
+    {
+        std::thread thread;
+        MetricsRegistry shard;
+
+        std::mutex mailboxMutex;
+        std::vector<int> mailbox; ///< fds handed over by the acceptor
+
+        int wakeRead = -1; ///< pipe the acceptor pokes to interrupt poll
+        int wakeWrite = -1;
+    };
+
+    void acceptLoop();
+    void workerLoop(Worker &worker, unsigned index);
+
+    /** @return false when the connection must close. */
+    bool handleLine(Connection &conn, const std::string &line,
+                    Worker &worker, const SimContext &base);
+    bool sendAll(int fd, const std::string &text);
+    void recordLatency(std::chrono::steady_clock::duration elapsed);
+    void drainShards();
+
+    ModelRegistry &registry_;
+    ServerOptions options_;
+
+    int listenFd_ = -1;
+    std::uint16_t boundPort_ = 0;
+    std::atomic<bool> stopping_{false};
+    bool started_ = false;
+    std::thread acceptor_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::chrono::steady_clock::time_point startTime_;
+
+    MetricsRegistry central_;
+
+    /** log2(µs) prediction-latency histogram (p50/p99 in STATS). */
+    std::array<std::atomic<std::uint64_t>, 64> latency_{};
+};
+
+} // namespace mosaic::serve
+
+#endif // MOSAIC_SERVE_SERVER_HH

@@ -19,6 +19,10 @@ errorCategoryName(ErrorCategory category)
         return "numeric";
       case ErrorCategory::Timeout:
         return "timeout";
+      case ErrorCategory::Net:
+        return "net";
+      case ErrorCategory::Shutdown:
+        return "shutdown";
       case ErrorCategory::Internal:
         return "internal";
     }

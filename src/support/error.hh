@@ -31,6 +31,8 @@ enum class ErrorCategory
     Config,  ///< the user asked for something that does not exist
     Numeric, ///< non-finite values or a diverging numerical procedure
     Timeout, ///< a watchdog deadline expired; the work was abandoned
+    Net,     ///< socket setup/read/write failed or a peer disconnected
+    Shutdown,///< refused because the daemon is draining for shutdown
     Internal ///< invariant violation surfaced as an error (from a throw)
 };
 
@@ -208,6 +210,18 @@ inline Error
 timeoutError(std::string message)
 {
     return Error(ErrorCategory::Timeout, std::move(message));
+}
+
+inline Error
+netError(std::string message)
+{
+    return Error(ErrorCategory::Net, std::move(message));
+}
+
+inline Error
+shutdownError(std::string message)
+{
+    return Error(ErrorCategory::Shutdown, std::move(message));
 }
 
 /**

@@ -78,6 +78,38 @@ MetricsRegistry::mergeFrom(const MetricsRegistry &shard)
     }
 }
 
+void
+MetricsRegistry::drainInto(MetricsRegistry &target)
+{
+    if (&target == this)
+        return;
+
+    // Move-and-clear under our own lock so every concurrent write
+    // lands either in this drain or the next — never both. The fold
+    // then takes only the target's lock (one mutex at a time; two
+    // threads cross-draining a pair of registries cannot deadlock).
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, PhaseStats> phases;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        counters.swap(counters_);
+        gauges.swap(gauges_);
+        phases.swap(phases_);
+    }
+
+    std::lock_guard<std::mutex> lock(target.mutex_);
+    for (const auto &[name, value] : counters)
+        target.counters_[name] += value;
+    for (const auto &[name, value] : gauges)
+        target.gauges_[name] = value;
+    for (const auto &[path, stats] : phases) {
+        PhaseStats &theirs = target.phases_[path];
+        theirs.seconds += stats.seconds;
+        theirs.count += stats.count;
+    }
+}
+
 PhaseStats
 MetricsRegistry::phase(const std::string &path) const
 {

@@ -79,8 +79,29 @@ class MetricsRegistry
      * Campaign workers accumulate into private shards while running
      * and merge at join time — in worker order, so the merged registry
      * is identical for any worker count.
+     *
+     * mergeFrom is strictly once-at-join: the shard keeps its
+     * contents, so merging the same live shard twice double-counts
+     * every counter and phase it already held. A long-lived shard
+     * that must be folded repeatedly (the serve worker pattern, where
+     * /stats aggregates while workers keep running) uses drainInto
+     * instead.
      */
     void mergeFrom(const MetricsRegistry &shard);
+
+    /**
+     * Move this registry's contents into @p target and clear them,
+     * atomically with respect to concurrent writers on this registry:
+     * every counter increment, gauge write, and phase sample lands in
+     * exactly one drain (or stays here for the next one), never in
+     * two. Counters and phases fold additively into @p target; gauges
+     * overwrite. Gauges written since the last drain transfer; a
+     * gauge untouched since then simply keeps its old value in
+     * @p target rather than being re-written. Draining into itself is
+     * a no-op. Locks are taken one registry at a time, so concurrent
+     * cross-drains cannot deadlock.
+     */
+    void drainInto(MetricsRegistry &target);
 
     /** Snapshots, sorted by name (stable manifest output). */
     std::vector<std::pair<std::string, std::uint64_t>> counters() const;

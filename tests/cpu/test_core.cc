@@ -7,7 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <memory>
+#include <vector>
+
 #include "cpu/system.hh"
+#include "trace/replay_batch.hh"
 #include "support/random.hh"
 
 using namespace mosaic;
@@ -240,4 +245,78 @@ TEST(CoreModel, DependentChainStillBenefitsFromTlbHits)
         testPlatform(),
         poolConfig(span, alloc::PageSize::Page1G), chained);
     EXPECT_GT(r4k.runtimeCycles, r1g.runtimeCycles * 11 / 10);
+}
+
+namespace
+{
+
+/** One fused lane's machine, built outside the deadline window. */
+struct LaneMachine
+{
+    vm::PhysMem phys;
+    vm::PageTable table;
+    mem::MemoryHierarchy hierarchy;
+    vm::Mmu mmu;
+
+    LaneMachine(const PlatformSpec &spec,
+                const alloc::Mosalloc &allocator)
+        : table(phys), hierarchy(spec.hierarchy),
+          mmu(table, hierarchy, spec.mmu)
+    {
+        table.populate(allocator);
+    }
+};
+
+} // namespace
+
+TEST(CoreModel, FusedDeadlineFiresInsideASingleBlock)
+{
+    // Regression: the fused watchdog used to be checked once per
+    // fan-out block. A trace that fits in one block (<= kFanoutChunks
+    // * kChunkRecords records) fanned across many lanes then verified
+    // the deadline exactly once, before any simulation, so a deadline
+    // expiring mid-block never fired and the run overshot by the whole
+    // block's cold walks times the lane count. The check now runs per
+    // chunk per lane (the bound serve's per-query timeouts rely on).
+    auto trace = randomTrace(32_MiB, 4,
+                             trace::ReplayBatcher::kChunkRecords *
+                                 trace::ReplayBatcher::kFanoutChunks);
+    PlatformSpec spec = testPlatform();
+    alloc::Mosalloc allocator(poolConfig(32_MiB));
+
+    constexpr std::size_t numLanes = 64;
+    std::vector<std::unique_ptr<LaneMachine>> machines;
+    std::vector<FusedLane> lanes;
+    for (std::size_t i = 0; i < numLanes; ++i) {
+        machines.push_back(
+            std::make_unique<LaneMachine>(spec, allocator));
+        lanes.push_back(
+            {&machines.back()->mmu, &machines.back()->hierarchy});
+    }
+
+    // The deadline starts ticking only here, after machine
+    // construction, so the window covers replay alone: 64 lanes x
+    // 8192 cold-TLB records take orders of magnitude longer than a
+    // millisecond, while the first per-chunk check happens within
+    // microseconds of entering the block.
+    CoreModel core(spec.core);
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(1);
+    EXPECT_THROW(core.runFused(trace, lanes, deadline), TimeoutError);
+}
+
+TEST(CoreModel, ExpiredDeadlineThrowsBeforeSimulating)
+{
+    auto trace = randomTrace(2_MiB, 4, 4096);
+    PlatformSpec spec = testPlatform();
+    alloc::Mosalloc allocator(poolConfig(2_MiB));
+    LaneMachine machine(spec, allocator);
+    CoreModel core(spec.core);
+    auto expired = std::chrono::steady_clock::now() -
+                   std::chrono::seconds(1);
+    EXPECT_THROW(core.run(trace, machine.mmu, machine.hierarchy,
+                          expired),
+                 TimeoutError);
+    std::vector<FusedLane> lanes{{&machine.mmu, &machine.hierarchy}};
+    EXPECT_THROW(core.runFused(trace, lanes, expired), TimeoutError);
 }

@@ -389,3 +389,56 @@ TEST_F(CampaignShardTest, ShardTimeoutSurfacesHungCellsAsFailures)
     for (const auto &failure : report.failures)
         EXPECT_EQ(failure.error.category(), ErrorCategory::Timeout);
 }
+
+TEST_F(CampaignShardTest, TruncationMatrixRejectsEveryTornPrefix)
+{
+    // The torn-trailer matrix: a shard killed mid-write can leave a
+    // prefix of any length. Every proper prefix must be rejected as a
+    // structured error — never accepted, never mis-diagnosed as row
+    // corruption or a foreign campaign, never a crash. The trailer
+    // region (order lines + manifest commit marker) is swept at every
+    // single byte length, since that is where a torn manifest line
+    // used to parse as a "valid" shorter hex hash; the row region is
+    // sampled.
+    CampaignConfig config = shardTestConfig();
+    config.jobs = 2;
+    std::string shard_csv = runShard(config, 0, 2, "matrix_shard.csv");
+    const std::string complete = slurp(shard_csv);
+
+    auto trailer = complete.find("# mosaic-shard-order:");
+    ASSERT_NE(trailer, std::string::npos);
+    ASSERT_TRUE(readShardFile(shard_csv).ok());
+
+    std::vector<std::size_t> lengths;
+    for (std::size_t cut = 0; cut < complete.size(); cut += 97)
+        lengths.push_back(cut); // sampled row region (and prefix)
+    for (std::size_t cut = trailer; cut < complete.size(); ++cut)
+        lengths.push_back(cut); // every byte of the trailer region
+
+    std::string torn_csv = scratch_.file("matrix_torn.csv");
+    for (std::size_t cut : lengths) {
+        ASSERT_TRUE(
+            writeFileAtomic(torn_csv, complete.substr(0, cut)).ok());
+        auto torn = readShardFile(torn_csv);
+        ASSERT_FALSE(torn.ok()) << "prefix of " << cut
+                                << " bytes parsed as a valid shard";
+        EXPECT_EQ(torn.error().category(), ErrorCategory::Corrupt)
+            << "cut=" << cut << ": " << torn.error().str();
+        const std::string message = torn.error().str();
+        if (cut == 0 || complete[cut - 1] != '\n') {
+            // Mid-line tear: diagnosed as truncation, not as CRC/row
+            // corruption or a config mismatch.
+            EXPECT_NE(message.find("truncated"), std::string::npos)
+                << "cut=" << cut << ": " << message;
+        } else {
+            // Tear at a line boundary: complete lines but no commit
+            // marker -> reported as a missing manifest.
+            EXPECT_NE(message.find("manifest"), std::string::npos)
+                << "cut=" << cut << ": " << message;
+        }
+    }
+
+    // The untouched file still round-trips after the sweep.
+    ASSERT_TRUE(writeFileAtomic(torn_csv, complete).ok());
+    EXPECT_TRUE(readShardFile(torn_csv).ok());
+}

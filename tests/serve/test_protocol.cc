@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Fuzz-edge tests for the serve wire protocol: every malformed shape a
+ * hostile or sloppy client can send must come back as a structured
+ * Parse error, never a throw or an abort.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/protocol.hh"
+
+using namespace mosaic;
+using namespace mosaic::serve;
+
+TEST(ServeProtocol, ParsesMetricPredict)
+{
+    auto parsed = parseRequest(
+        "PREDICT SandyBridge spec06/mcf h=12.5 m=3 c=99000");
+    ASSERT_TRUE(parsed.ok());
+    const Request &request = parsed.value();
+    EXPECT_EQ(request.verb, Verb::Predict);
+    EXPECT_EQ(request.predict.platform, "SandyBridge");
+    EXPECT_EQ(request.predict.workload, "spec06/mcf");
+    EXPECT_FALSE(request.predict.byLayout);
+    EXPECT_DOUBLE_EQ(request.predict.h, 12.5);
+    EXPECT_DOUBLE_EQ(request.predict.m, 3.0);
+    EXPECT_DOUBLE_EQ(request.predict.c, 99000.0);
+    EXPECT_EQ(request.predict.model, "mosmodel");
+}
+
+TEST(ServeProtocol, ParsesLayoutPredictWithModel)
+{
+    auto parsed = parseRequest(
+        "predict Haswell test/tiny layout=grow-3 model=poly2");
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_TRUE(parsed.value().predict.byLayout);
+    EXPECT_EQ(parsed.value().predict.layout, "grow-3");
+    EXPECT_EQ(parsed.value().predict.model, "poly2");
+}
+
+TEST(ServeProtocol, VerbsAreCaseInsensitiveAndCrlfTolerant)
+{
+    EXPECT_EQ(parseRequest("ping").value().verb, Verb::Ping);
+    EXPECT_EQ(parseRequest("PiNg\r").value().verb, Verb::Ping);
+    EXPECT_EQ(parseRequest("  stats  ").value().verb, Verb::Stats);
+    EXPECT_EQ(parseRequest("/stats").value().verb, Verb::Stats);
+    EXPECT_EQ(parseRequest("MODELS").value().verb, Verb::Models);
+    EXPECT_EQ(parseRequest("quit").value().verb, Verb::Quit);
+}
+
+TEST(ServeProtocol, RejectsUnknownVerb)
+{
+    auto parsed = parseRequest("FETCH SandyBridge");
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.error().category(), ErrorCategory::Parse);
+    EXPECT_NE(parsed.error().message().find("unknown verb"),
+              std::string::npos);
+}
+
+TEST(ServeProtocol, RejectsEmptyAndWhitespaceLines)
+{
+    EXPECT_FALSE(parseRequest("").ok());
+    EXPECT_FALSE(parseRequest("   \t  ").ok());
+    EXPECT_FALSE(parseRequest("\r").ok());
+}
+
+TEST(ServeProtocol, RejectsPartialPredicts)
+{
+    // Every truncation of a valid request must fail cleanly.
+    const std::string full =
+        "PREDICT SandyBridge spec06/mcf h=1 m=2 c=3";
+    for (std::size_t cut = 1; cut < full.size(); ++cut) {
+        auto parsed = parseRequest(full.substr(0, cut));
+        if (parsed.ok()) {
+            // The only parsable prefixes would be complete requests;
+            // none exist short of the full string.
+            ADD_FAILURE() << "prefix of length " << cut
+                          << " unexpectedly parsed";
+        } else {
+            EXPECT_EQ(parsed.error().category(),
+                      ErrorCategory::Parse);
+        }
+    }
+    EXPECT_TRUE(parseRequest(full).ok());
+}
+
+TEST(ServeProtocol, RejectsOversizeLine)
+{
+    std::string line = "PREDICT SandyBridge spec06/mcf layout=";
+    line.append(kMaxRequestBytes, 'x');
+    auto parsed = parseRequest(line);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.error().category(), ErrorCategory::Parse);
+    EXPECT_NE(parsed.error().message().find("exceeds"),
+              std::string::npos);
+}
+
+TEST(ServeProtocol, RejectsEmbeddedNul)
+{
+    std::string line = "PING";
+    line.push_back('\0');
+    line += " extra";
+    EXPECT_FALSE(parseRequest(line).ok());
+}
+
+TEST(ServeProtocol, RejectsBadMetricValues)
+{
+    EXPECT_FALSE(
+        parseRequest("PREDICT p w h=1x m=2 c=3").ok()); // garbage
+    EXPECT_FALSE(
+        parseRequest("PREDICT p w h=-1 m=2 c=3").ok()); // negative
+    EXPECT_FALSE(
+        parseRequest("PREDICT p w h=inf m=2 c=3").ok()); // non-finite
+    EXPECT_FALSE(parseRequest("PREDICT p w h=nan m=2 c=3").ok());
+    EXPECT_FALSE(parseRequest("PREDICT p w h= m=2 c=3").ok());
+}
+
+TEST(ServeProtocol, RejectsMissingOrConflictingFields)
+{
+    // Only two of three metrics.
+    EXPECT_FALSE(parseRequest("PREDICT p w h=1 m=2").ok());
+    // layout= and metrics together.
+    EXPECT_FALSE(
+        parseRequest("PREDICT p w layout=grow-3 h=1 m=2 c=3").ok());
+    // Unknown field.
+    EXPECT_FALSE(parseRequest("PREDICT p w q=1 h=1 m=2 c=3").ok());
+    // Malformed key=value shapes.
+    EXPECT_FALSE(parseRequest("PREDICT p w =3").ok());
+    EXPECT_FALSE(parseRequest("PREDICT p w h=").ok());
+    EXPECT_FALSE(parseRequest("PREDICT p w h").ok());
+}
+
+TEST(ServeProtocol, FormatsErrorsOnOneLine)
+{
+    Error error = parseError("bad\nthing");
+    error.addContext("while parsing\r\nline 3");
+    const std::string response = formatErrorResponse(error);
+    EXPECT_EQ(response.find('\n'), std::string::npos);
+    EXPECT_EQ(response.find('\r'), std::string::npos);
+    EXPECT_EQ(response.rfind("err parse ", 0), 0u);
+    EXPECT_NE(response.find("bad thing"), std::string::npos);
+    EXPECT_NE(response.find("; while parsing"), std::string::npos);
+}
+
+TEST(ServeProtocol, RandomBytesNeverCrashTheParser)
+{
+    // Deterministic pseudo-random garbage, printable and not.
+    std::uint64_t state = 0x2545f4914f6cdd1dull;
+    for (int round = 0; round < 500; ++round) {
+        std::string line;
+        const std::size_t length = (state >> 16) % 96;
+        for (std::size_t i = 0; i < length; ++i) {
+            state = state * 6364136223846793005ull + 1442695040888963407ull;
+            line.push_back(static_cast<char>(state >> 33));
+        }
+        auto parsed = parseRequest(line); // must not throw
+        if (!parsed.ok()) {
+            EXPECT_EQ(parsed.error().category(),
+                      ErrorCategory::Parse);
+        }
+    }
+}

@@ -25,6 +25,8 @@ TEST(Error, OnlyIoIsTransient)
     EXPECT_FALSE(parseError("x").transient());
     EXPECT_FALSE(configError("x").transient());
     EXPECT_FALSE(numericError("x").transient());
+    EXPECT_FALSE(netError("x").transient());
+    EXPECT_FALSE(shutdownError("x").transient());
 }
 
 TEST(Error, ContextChainRendersInOrder)
@@ -54,6 +56,10 @@ TEST(Error, CategoryNames)
     EXPECT_STREQ(errorCategoryName(ErrorCategory::Parse), "parse");
     EXPECT_STREQ(errorCategoryName(ErrorCategory::Config), "config");
     EXPECT_STREQ(errorCategoryName(ErrorCategory::Numeric), "numeric");
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::Timeout), "timeout");
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::Net), "net");
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::Shutdown),
+                 "shutdown");
     EXPECT_STREQ(errorCategoryName(ErrorCategory::Internal), "internal");
 }
 

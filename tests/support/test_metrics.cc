@@ -407,3 +407,110 @@ TEST(Metrics, GlobalRegistryIsASingleton)
     MetricsRegistry &b = metrics();
     EXPECT_EQ(&a, &b);
 }
+
+TEST(Metrics, RepeatedMergeFromDoubleCountsButDrainDoesNot)
+{
+    // The serve pattern: a long-lived worker shard folded into a
+    // central registry once per /stats query. mergeFrom leaves the
+    // shard intact, so repeating it double-counts — which is why the
+    // serve path must drain instead.
+    MetricsRegistry shard;
+    shard.add("serve/requests", 10);
+
+    MetricsRegistry merged;
+    merged.mergeFrom(shard);
+    merged.mergeFrom(shard);
+    EXPECT_EQ(merged.counter("serve/requests"), 20u); // the hazard
+
+    MetricsRegistry drained;
+    MetricsRegistry source;
+    source.add("serve/requests", 10);
+    source.drainInto(drained);
+    source.drainInto(drained);
+    EXPECT_EQ(drained.counter("serve/requests"), 10u);
+    EXPECT_EQ(source.counter("serve/requests"), 0u);
+}
+
+TEST(Metrics, DrainMovesCountersGaugesAndPhases)
+{
+    MetricsRegistry source;
+    source.add("serve/warm_hits", 7);
+    source.set("serve/inflight", 3.0);
+    source.addPhaseSample("serve/query", 0.5);
+    source.addPhaseSample("serve/query", 0.25);
+
+    MetricsRegistry target;
+    target.add("serve/warm_hits", 1);
+    source.drainInto(target);
+
+    EXPECT_EQ(target.counter("serve/warm_hits"), 8u);
+    EXPECT_DOUBLE_EQ(target.gauge("serve/inflight"), 3.0);
+    PhaseStats stats = target.phase("serve/query");
+    EXPECT_DOUBLE_EQ(stats.seconds, 0.75);
+    EXPECT_EQ(stats.count, 2u);
+
+    // The source is empty afterwards; a second drain adds nothing and
+    // an untouched gauge keeps its target value.
+    source.drainInto(target);
+    EXPECT_EQ(target.counter("serve/warm_hits"), 8u);
+    EXPECT_DOUBLE_EQ(target.gauge("serve/inflight"), 3.0);
+    EXPECT_EQ(target.phase("serve/query").count, 2u);
+}
+
+TEST(Metrics, DrainIntoSelfIsANoOp)
+{
+    MetricsRegistry registry;
+    registry.add("serve/requests", 5);
+    registry.drainInto(registry);
+    EXPECT_EQ(registry.counter("serve/requests"), 5u);
+}
+
+TEST(Metrics, ScopedPhaseSampleSurvivesRepeatedDrainsExactlyOnce)
+{
+    MetricsRegistry shard;
+    {
+        ScopedPhase phase(shard, "serve");
+        ScopedPhase inner(shard, "query");
+    }
+    MetricsRegistry central;
+    shard.drainInto(central);
+    shard.drainInto(central);
+    shard.drainInto(central);
+    EXPECT_EQ(central.phase("serve/query").count, 1u);
+    EXPECT_EQ(central.phase("serve").count, 1u);
+}
+
+TEST(Metrics, ConcurrentAddsDuringDrainsLoseNothing)
+{
+    // Writers hammer a shard while a drainer repeatedly folds it into
+    // the central registry; every increment must land exactly once
+    // across {central after all drains} + {whatever stayed in shard}.
+    MetricsRegistry shard;
+    MetricsRegistry central;
+    constexpr std::uint64_t perThread = 20000;
+    constexpr unsigned writers = 4;
+
+    std::vector<std::thread> threads;
+    threads.reserve(writers + 1);
+    for (unsigned t = 0; t < writers; ++t) {
+        threads.emplace_back([&shard]() {
+            for (std::uint64_t i = 0; i < perThread; ++i) {
+                shard.add("serve/requests");
+                shard.addPhaseSample("serve/query", 0.001);
+            }
+        });
+    }
+    threads.emplace_back([&shard, &central]() {
+        for (int i = 0; i < 200; ++i)
+            shard.drainInto(central);
+    });
+    for (auto &thread : threads)
+        thread.join();
+    shard.drainInto(central);
+
+    EXPECT_EQ(central.counter("serve/requests"),
+              writers * perThread);
+    EXPECT_EQ(central.phase("serve/query").count,
+              writers * perThread);
+    EXPECT_EQ(shard.counter("serve/requests"), 0u);
+}

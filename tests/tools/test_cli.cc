@@ -66,3 +66,87 @@ TEST(Cli, RepeatedKeyLastWins)
     Args args = parse({"--out", "a.csv", "--out", "b.csv"});
     EXPECT_EQ(args.get("out"), "b.csv");
 }
+
+TEST(CliNumeric, AcceptsPlainUnsigned)
+{
+    auto value = parseUnsignedValue("jobs", "8");
+    ASSERT_TRUE(value.ok());
+    EXPECT_EQ(value.value(), 8u);
+}
+
+TEST(CliNumeric, RejectsTrailingGarbage)
+{
+    // std::stoul would silently parse "4x" as 4; the structured
+    // parser must refuse with a Numeric error naming the option.
+    auto value = parseUnsignedValue("jobs", "4x");
+    ASSERT_FALSE(value.ok());
+    EXPECT_EQ(value.error().category(),
+              mosaic::ErrorCategory::Numeric);
+    EXPECT_NE(value.error().str().find("--jobs"), std::string::npos);
+}
+
+TEST(CliNumeric, RejectsNegative)
+{
+    // std::stoul wraps "-1" to 2^64-1; the parser must reject it.
+    auto value = parseUnsignedValue("shard", "-1");
+    ASSERT_FALSE(value.ok());
+    EXPECT_EQ(value.error().category(),
+              mosaic::ErrorCategory::Numeric);
+}
+
+TEST(CliNumeric, RejectsOutOfRange)
+{
+    auto low = parseUnsignedValue("jobs", "0", 1, 4096);
+    ASSERT_FALSE(low.ok());
+    EXPECT_EQ(low.error().category(), mosaic::ErrorCategory::Numeric);
+    auto high = parseUnsignedValue("jobs", "5000", 1, 4096);
+    ASSERT_FALSE(high.ok());
+    EXPECT_NE(high.error().str().find("out of range"),
+              std::string::npos);
+}
+
+TEST(CliNumeric, RejectsBareFlagValue)
+{
+    // "--jobs" with no value parses as the flag sentinel "true",
+    // which must fail numeric parsing instead of becoming 0.
+    auto value = parseUnsignedValue("jobs", "true");
+    ASSERT_FALSE(value.ok());
+}
+
+TEST(CliNumeric, DoubleAcceptsDecimalAndTrimsSpace)
+{
+    auto value = parseDoubleValue("cell-timeout", " 2.5 ");
+    ASSERT_TRUE(value.ok());
+    EXPECT_DOUBLE_EQ(value.value(), 2.5);
+}
+
+TEST(CliNumeric, DoubleRejectsGarbageInfinityAndEmpty)
+{
+    EXPECT_FALSE(parseDoubleValue("cell-timeout", "1.5s").ok());
+    EXPECT_FALSE(parseDoubleValue("cell-timeout", "inf").ok());
+    EXPECT_FALSE(parseDoubleValue("cell-timeout", "nan").ok());
+    EXPECT_FALSE(parseDoubleValue("cell-timeout", "").ok());
+    EXPECT_FALSE(parseDoubleValue("cell-timeout", "1e500").ok());
+}
+
+TEST(CliNumeric, DoubleEnforcesRange)
+{
+    auto value = parseDoubleValue("cell-timeout", "-3", 0.0, 86400.0);
+    ASSERT_FALSE(value.ok());
+    EXPECT_EQ(value.error().category(),
+              mosaic::ErrorCategory::Numeric);
+}
+
+TEST(CliNumeric, OptionHelpersUseFallback)
+{
+    Args args = parse({"--jobs", "12"});
+    auto jobs = unsignedOption(args, "jobs", 1, 1, 4096);
+    ASSERT_TRUE(jobs.ok());
+    EXPECT_EQ(jobs.value(), 12u);
+    auto missing = unsignedOption(args, "fused-group", 4, 1, 64);
+    ASSERT_TRUE(missing.ok());
+    EXPECT_EQ(missing.value(), 4u);
+    auto timeout = doubleOption(args, "cell-timeout", 0.0, 0.0);
+    ASSERT_TRUE(timeout.ok());
+    EXPECT_DOUBLE_EQ(timeout.value(), 0.0);
+}

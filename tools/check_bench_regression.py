@@ -1,5 +1,11 @@
 #!/usr/bin/env python3
-"""Perf-regression gate over replay_bench JSON output.
+"""Perf-regression gate over replay_bench and serve_loadgen JSON.
+
+Dispatches on the input schema: "mosaic-replay-bench/*" files gate
+replay throughput (below), "mosaic-serve-bench/*" files gate the serve
+daemon's predictions/sec per client stage (--tolerance applies, each
+stage matched by client count) and require zero protocol errors in
+the fresh run. Baseline and fresh must carry the same schema family.
 
 Compares a freshly measured BENCH_replay.json against the committed
 baseline and fails (exit 1) when throughput regressed beyond the
@@ -57,16 +63,27 @@ import json
 import sys
 
 
+SCHEMA_FAMILIES = ("mosaic-replay-bench/", "mosaic-serve-bench/")
+
+
 def load(path):
     try:
         with open(path, "r", encoding="utf-8") as handle:
             doc = json.load(handle)
     except (OSError, ValueError) as exc:
         sys.exit(f"error: cannot load {path}: {exc}")
-    schema = doc.get("schema", "")
-    if not str(schema).startswith("mosaic-replay-bench/"):
+    schema = str(doc.get("schema", ""))
+    if not any(schema.startswith(fam) for fam in SCHEMA_FAMILIES):
         sys.exit(f"error: {path}: unexpected schema {schema!r}")
     return doc
+
+
+def schema_family(doc):
+    schema = str(doc.get("schema", ""))
+    for family in SCHEMA_FAMILIES:
+        if schema.startswith(family):
+            return family
+    return None
 
 
 def warn(message):
@@ -121,9 +138,58 @@ class Gate:
             self.failures.append(label)
 
 
+def gate_serve(baseline, fresh, args, gate):
+    """Serve-daemon gate: per-stage predictions/sec floors.
+
+    Stages are matched by client count; a baseline stage missing from
+    the fresh run fails hard (coverage must not silently shrink). Any
+    protocol errors in the fresh run fail the gate outright — a
+    half-broken daemon can post great throughput on the requests that
+    survive.
+    """
+    def stages(doc, path):
+        out = {}
+        for stage in doc.get("stages", []):
+            clients = stage.get("clients")
+            if clients is None:
+                warn(f"{path}: stage without a client count skipped")
+                continue
+            out[clients] = stage
+        return out
+
+    base_stages = stages(baseline, args.baseline)
+    fresh_stages = stages(fresh, args.fresh)
+    if not fresh_stages:
+        sys.exit("error: fresh serve bench carries no stages")
+    missing = sorted(set(base_stages) - set(fresh_stages))
+    if missing:
+        sys.exit(f"error: fresh run is missing client stages: "
+                 f"{missing}")
+
+    for clients in sorted(base_stages):
+        base_rate = base_stages[clients].get("predictions_per_sec")
+        fresh_stage = fresh_stages[clients]
+        fresh_rate = fresh_stage.get("predictions_per_sec")
+        if base_rate is None or fresh_rate is None:
+            warn(f"stage clients={clients}: no predictions_per_sec; "
+                 "skipped")
+            continue
+        gate.check(f"clients={clients} predictions/sec", fresh_rate,
+                   base_rate * (1.0 - args.tolerance),
+                   f"(baseline {base_rate:,.0f}, "
+                   f"-{args.tolerance:.0%}) ")
+        errors = fresh_stage.get("errors", 0)
+        gate.checked += 1
+        verdict = "ok" if not errors else "REGRESSION"
+        print(f"  clients={clients} protocol errors: {errors} "
+              f"-> {verdict}")
+        if errors:
+            gate.failures.append(f"clients={clients} errors")
+
+
 def main():
     parser = argparse.ArgumentParser(
-        description="replay_bench perf-regression gate")
+        description="replay_bench / serve_loadgen perf-regression gate")
     parser.add_argument("--baseline", required=True,
                         help="committed BENCH_replay.json")
     parser.add_argument("--fresh", required=True,
@@ -144,6 +210,22 @@ def main():
     baseline = load(args.baseline)
     fresh = load(args.fresh)
     gate = Gate()
+
+    if schema_family(baseline) != schema_family(fresh):
+        sys.exit("error: baseline and fresh schemas disagree "
+                 f"({baseline.get('schema')!r} vs "
+                 f"{fresh.get('schema')!r})")
+
+    if schema_family(fresh) == "mosaic-serve-bench/":
+        print(f"baseline: {args.baseline} ({baseline.get('schema')})")
+        print(f"fresh:    {args.fresh} ({fresh.get('schema')})")
+        gate_serve(baseline, fresh, args, gate)
+        if gate.failures:
+            print(f"\nFAIL: {len(gate.failures)}/{gate.checked} "
+                  f"checks regressed: {', '.join(gate.failures)}")
+            return 1
+        print(f"\nOK: {gate.checked} checks passed")
+        return 0
 
     def describe(path, doc):
         records = doc.get("records")

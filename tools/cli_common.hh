@@ -6,8 +6,11 @@
 #ifndef MOSAIC_TOOLS_CLI_COMMON_HH
 #define MOSAIC_TOOLS_CLI_COMMON_HH
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <map>
 #include <stdexcept>
 #include <string>
@@ -16,6 +19,7 @@
 #include "support/error.hh"
 #include "support/fault_injector.hh"
 #include "support/metrics.hh"
+#include "support/str.hh"
 
 namespace mosaic::cli
 {
@@ -64,6 +68,86 @@ parseArgs(int argc, char **argv)
         }
     }
     return args;
+}
+
+/**
+ * Strict numeric option parsing. The std::stoul/std::stod idiom the
+ * tools used to rely on silently truncates trailing garbage
+ * ("--jobs 4x" became 4) and wraps negatives into huge unsigned
+ * values ("--shard -1/4" became 2^64-1). These helpers reject both
+ * with a structured Numeric error naming the offending option and
+ * enforce an inclusive [min, max] range at the parse boundary, so a
+ * bad flag dies with a one-line diagnosis instead of a confusing
+ * downstream failure.
+ */
+inline Result<std::uint64_t>
+parseUnsignedValue(const std::string &option, const std::string &text,
+                   std::uint64_t min = 0,
+                   std::uint64_t max =
+                       std::numeric_limits<std::uint64_t>::max())
+{
+    std::uint64_t value = 0;
+    if (!parseUnsignedFull(trimString(text), value)) {
+        return numericError("--" + option +
+                            ": expected an unsigned integer, got \"" +
+                            text + "\"");
+    }
+    if (value < min || value > max) {
+        return numericError("--" + option + ": value " +
+                            std::to_string(value) +
+                            " out of range [" + std::to_string(min) +
+                            ", " + std::to_string(max) + "]");
+    }
+    return value;
+}
+
+/** Strict full-match finite-double parse; same contract as above. */
+inline Result<double>
+parseDoubleValue(const std::string &option, const std::string &text,
+                 double min = std::numeric_limits<double>::lowest(),
+                 double max = std::numeric_limits<double>::max())
+{
+    const std::string trimmed = trimString(text);
+    errno = 0;
+    char *end = nullptr;
+    const double value =
+        trimmed.empty() ? 0.0 : std::strtod(trimmed.c_str(), &end);
+    if (trimmed.empty() || end != trimmed.c_str() + trimmed.size() ||
+        errno == ERANGE || !std::isfinite(value)) {
+        return numericError("--" + option +
+                            ": expected a finite number, got \"" +
+                            text + "\"");
+    }
+    if (value < min || value > max) {
+        return numericError("--" + option + ": value " +
+                            formatDouble(value) + " out of range [" +
+                            formatDouble(min) + ", " +
+                            formatDouble(max) + "]");
+    }
+    return value;
+}
+
+/** Parse option @p key as an unsigned integer, or @p fallback. */
+inline Result<std::uint64_t>
+unsignedOption(const Args &args, const std::string &key,
+               std::uint64_t fallback, std::uint64_t min = 0,
+               std::uint64_t max =
+                   std::numeric_limits<std::uint64_t>::max())
+{
+    if (!args.has(key))
+        return fallback;
+    return parseUnsignedValue(key, args.get(key), min, max);
+}
+
+/** Parse option @p key as a finite double, or @p fallback. */
+inline Result<double>
+doubleOption(const Args &args, const std::string &key, double fallback,
+             double min = std::numeric_limits<double>::lowest(),
+             double max = std::numeric_limits<double>::max())
+{
+    if (!args.has(key))
+        return fallback;
+    return parseDoubleValue(key, args.get(key), min, max);
 }
 
 /** Print usage text and exit. */

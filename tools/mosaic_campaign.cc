@@ -87,26 +87,38 @@ campaignMain(int argc, char **argv)
         }
     }
     if (args.has("jobs"))
-        config.jobs =
-            static_cast<unsigned>(std::stoul(args.get("jobs")));
+        config.jobs = static_cast<unsigned>(cli::unwrapOrDie(
+            "mosaic_campaign",
+            cli::parseUnsignedValue("jobs", args.get("jobs"), 1,
+                                    4096)));
     else if (args.has("threads")) // deprecated alias, kept for scripts
-        config.jobs =
-            static_cast<unsigned>(std::stoul(args.get("threads")));
+        config.jobs = static_cast<unsigned>(cli::unwrapOrDie(
+            "mosaic_campaign",
+            cli::parseUnsignedValue("threads", args.get("threads"), 1,
+                                    4096)));
     if (args.has("no-1gb"))
         config.include1g = false;
     if (args.has("trace-cache"))
         config.traceCacheDir = args.get("trace-cache");
     if (args.has("checkpoint-every"))
-        config.checkpointEvery = std::stoul(args.get("checkpoint-every"));
+        config.checkpointEvery = cli::unwrapOrDie(
+            "mosaic_campaign",
+            cli::unsignedOption(args, "checkpoint-every", 0));
     if (args.has("max-retries"))
         config.retry.maxAttempts =
-            1 + std::stoul(args.get("max-retries"));
+            1 + static_cast<unsigned>(cli::unwrapOrDie(
+                    "mosaic_campaign",
+                    cli::parseUnsignedValue(
+                        "max-retries", args.get("max-retries"), 0,
+                        100)));
     if (args.has("fused"))
         config.fused = true;
     if (args.has("fused-group")) {
         config.fused = true;
-        config.fusedGroupSize = static_cast<unsigned>(
-            std::stoul(args.get("fused-group")));
+        config.fusedGroupSize = static_cast<unsigned>(cli::unwrapOrDie(
+            "mosaic_campaign",
+            cli::parseUnsignedValue("fused-group",
+                                    args.get("fused-group"), 1, 64)));
     }
     if (args.has("shard")) {
         const std::string spec = args.get("shard");
@@ -126,7 +138,11 @@ campaignMain(int argc, char **argv)
         config.shardCount = static_cast<unsigned>(count);
     }
     if (args.has("cell-timeout"))
-        config.cellTimeoutSeconds = std::stod(args.get("cell-timeout"));
+        config.cellTimeoutSeconds = cli::unwrapOrDie(
+            "mosaic_campaign",
+            cli::parseDoubleValue("cell-timeout",
+                                  args.get("cell-timeout"), 0.0,
+                                  86400.0));
 
     std::string out = args.get("out", exp::defaultDatasetPath());
     exp::CampaignRunner runner(config);

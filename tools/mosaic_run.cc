@@ -162,7 +162,10 @@ runMain(int argc, char **argv)
 
     unsigned jobs = 0;
     if (args.has("jobs"))
-        jobs = static_cast<unsigned>(std::stoul(args.get("jobs")));
+        jobs = static_cast<unsigned>(cli::unwrapOrDie(
+            "mosaic_run",
+            cli::parseUnsignedValue("jobs", args.get("jobs"), 1,
+                                    4096)));
     if (jobs == 0) {
         unsigned hw = std::thread::hardware_concurrency();
         jobs = hw > 0 ? hw : 2;
