@@ -81,7 +81,7 @@ BENCHMARK(BM_TlbLookupHit);
 static void
 BM_PageTableTranslate(benchmark::State &state)
 {
-    vm::PhysMem mem;
+    vm::FramePool mem;
     vm::PageTable table(mem);
     for (std::uint64_t i = 0; i < 1024; ++i)
         table.map(0x4000000000ULL + i * 4_KiB, alloc::PageSize::Page4K,
@@ -98,7 +98,7 @@ BENCHMARK(BM_PageTableTranslate);
 static void
 BM_FullPageWalk(benchmark::State &state)
 {
-    vm::PhysMem mem;
+    vm::FramePool mem;
     vm::PageTable table(mem);
     for (std::uint64_t i = 0; i < 4096; ++i)
         table.map(0x4000000000ULL + i * 4_KiB, alloc::PageSize::Page4K,

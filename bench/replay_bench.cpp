@@ -13,7 +13,7 @@
  *
  * Usage:
  *   replay_bench [--records N] [--reps R] [--footprint-mb M]
- *                [--jobs N] [--fused]
+ *                [--jobs N] [--fused] [--paged-frames N]
  *                [--out BENCH_replay.json] [--baseline OLD.json]
  *                [--baseline-source LABEL] [--quick]
  *                [--metrics-out FILE]
@@ -31,6 +31,13 @@
  * The fused counters are verified bit-identical against the
  * sequential runs before anything is written; a divergence fails the
  * benchmark (exit 4).
+ *
+ * --paged-frames sizes the paged stage's bounded FIFO frame pool
+ * (default: half the footprint's 4K pages; 0 disables the stage).
+ * The stage replays each platform's all4k cell through the
+ * demand-paging path and emits a separate "paged" JSON block, so the
+ * OS layer's throughput is tracked without perturbing the unbounded
+ * aggregate the hot-path gate reads.
  *
  * --baseline embeds the aggregate numbers of a previous run (e.g. the
  * pre-optimization build) into the output, plus the speedup ratio.
@@ -181,7 +188,10 @@ sameCounters(const cpu::RunResult &a, const cpu::RunResult &b)
            a.walkL1dLoads == b.walkL1dLoads &&
            a.walkL2Loads == b.walkL2Loads &&
            a.walkL3Loads == b.walkL3Loads &&
-           a.walkDramLoads == b.walkDramLoads;
+           a.walkDramLoads == b.walkDramLoads &&
+           a.swapCycles == b.swapCycles &&
+           a.majorFaults == b.majorFaults &&
+           a.evictions == b.evictions && a.writebacks == b.writebacks;
 }
 
 } // namespace
@@ -436,6 +446,70 @@ main(int argc, char **argv)
                     (fused_records / fused_wall) / aggregate_rps);
     }
 
+    // ---- Paged stage: the demand-paging replay path (bounded FIFO
+    // frame pool) over each platform's all4k cell. A separate stage
+    // and JSON block by design: the unbounded sweep above runs the
+    // untouched hot loop (its aggregate gate is what guards "paging
+    // costs nothing when off"), while this block tracks the paged
+    // path's own throughput trajectory. Frames default to half the
+    // footprint's 4K pages so the pool thrashes enough to exercise
+    // the fault/evict/writeback machinery every rep. ----
+    struct PagedRun
+    {
+        std::string platform;
+        std::uint64_t frames = 0;
+        double wallSeconds = 0.0;
+        double recordsPerSec = 0.0;
+        cpu::RunResult result;
+    };
+    std::vector<PagedRun> paged_runs;
+    double paged_wall = 0.0, paged_records = 0.0;
+    const std::uint64_t paged_frames = std::stoull(getOpt(
+        argc, argv, "--paged-frames",
+        std::to_string(footprint / 4096 / 2).c_str()));
+    if (paged_frames > 0) {
+        vm::OsConfig os;
+        os.memFrames = paged_frames;
+        os.policy = vm::ReplacementPolicyKind::Fifo;
+        for (const auto &cell : cells) {
+            if (std::strcmp(cell.mosaic->name, "all4k") != 0)
+                continue;
+            PagedRun run;
+            run.platform = cell.platform->name;
+            run.frames = paged_frames;
+            run.wallSeconds = 1e300;
+            for (int rep = 0; rep < reps; ++rep) {
+                auto t0 = std::chrono::steady_clock::now();
+                run.result = cpu::simulateRun(
+                    *cell.platform, cell.allocConfig, cell.trace, os);
+                double seconds = std::chrono::duration<double>(
+                                     std::chrono::steady_clock::now() -
+                                     t0)
+                                     .count();
+                run.wallSeconds = std::min(run.wallSeconds, seconds);
+            }
+            run.recordsPerSec =
+                static_cast<double>(records) / run.wallSeconds;
+            std::printf("%-12s paged(%llu frames) %6.3fs  "
+                        "%12.0f records/sec  (S=%llu, faults=%llu)\n",
+                        run.platform.c_str(),
+                        static_cast<unsigned long long>(run.frames),
+                        run.wallSeconds, run.recordsPerSec,
+                        static_cast<unsigned long long>(
+                            run.result.swapCycles),
+                        static_cast<unsigned long long>(
+                            run.result.majorFaults));
+            paged_wall += run.wallSeconds;
+            paged_records += static_cast<double>(records);
+            paged_runs.push_back(std::move(run));
+        }
+        if (!paged_runs.empty()) {
+            std::printf("paged aggregate: %.3fs replay time, "
+                        "%.0f records/sec\n",
+                        paged_wall, paged_records / paged_wall);
+        }
+    }
+
     double base_rps = 0.0, base_wall = 0.0;
     bool have_baseline = false;
     if (!baseline_path.empty()) {
@@ -456,7 +530,7 @@ main(int argc, char **argv)
 
     std::ostringstream json;
     json << "{\n";
-    json << "  \"schema\": \"mosaic-replay-bench/3\",\n";
+    json << "  \"schema\": \"mosaic-replay-bench/4\",\n";
     json << "  \"records\": " << records << ",\n";
     json << "  \"reps\": " << reps << ",\n";
     json << "  \"jobs\": " << workers << ",\n";
@@ -517,6 +591,41 @@ main(int argc, char **argv)
                       fused_records / fused_wall,
                       (fused_records / fused_wall) / aggregate_rps);
         json << fusedagg;
+    }
+    if (!paged_runs.empty()) {
+        json << "  \"paged_runs\": [\n";
+        for (std::size_t i = 0; i < paged_runs.size(); ++i) {
+            const auto &run = paged_runs[i];
+            const auto &r = run.result;
+            char line[256];
+            std::snprintf(line, sizeof line,
+                          "    {\"platform\": \"%s\", "
+                          "\"layout\": \"all4k\", \"frames\": %llu, "
+                          "\"wall_seconds\": %.6f, "
+                          "\"records_per_sec\": %.1f,\n",
+                          run.platform.c_str(),
+                          static_cast<unsigned long long>(run.frames),
+                          run.wallSeconds, run.recordsPerSec);
+            json << line;
+            json << "     \"counters\": {\"r\": " << r.runtimeCycles
+                 << ", \"h\": " << r.tlbHitsL2
+                 << ", \"m\": " << r.tlbMisses
+                 << ", \"c\": " << r.walkCycles
+                 << ", \"s\": " << r.swapCycles
+                 << ", \"major_faults\": " << r.majorFaults
+                 << ", \"evictions\": " << r.evictions
+                 << ", \"writebacks\": " << r.writebacks << "}}"
+                 << (i + 1 < paged_runs.size() ? "," : "") << "\n";
+        }
+        json << "  ],\n";
+        char pagedagg[192];
+        std::snprintf(pagedagg, sizeof pagedagg,
+                      "  \"paged\": {\"frames\": %llu, "
+                      "\"wall_seconds\": %.6f, "
+                      "\"records_per_sec\": %.1f},\n",
+                      static_cast<unsigned long long>(paged_frames),
+                      paged_wall, paged_records / paged_wall);
+        json << pagedagg;
     }
     // host_cycles_per_record is in nominal TSC cycles (see
     // calibrateHostHz); 0 means "rate unknown" and regression gates

@@ -96,6 +96,10 @@ readoutCounters(const trace::MemoryTrace &trace, double retire_clock,
     result.tlbHitsL2 = mmu_counters.h;
     result.tlbMisses = mmu_counters.m;
     result.walkCycles = mmu_counters.c;
+    result.swapCycles = mmu_counters.s;
+    result.majorFaults = mmu_counters.majorFaults;
+    result.evictions = mmu_counters.evictions;
+    result.writebacks = mmu_counters.writebacks;
     result.l1TlbHits = mmu_counters.l1Hits;
     result.walkerQueueCycles = mmu_counters.queueCycles;
 
@@ -155,6 +159,11 @@ struct SoaRecords
     {
         return chunk.meta[i] & trace::ReplayBatcher::kDependsBit;
     }
+    bool
+    writeAt(std::size_t i) const
+    {
+        return chunk.meta[i] & trace::ReplayBatcher::kWriteBit;
+    }
 };
 
 struct AosRecords
@@ -170,6 +179,7 @@ struct AosRecords
         return static_cast<std::uint64_t>(recs[i].gap) + 1;
     }
     bool dependsAt(std::size_t i) const { return recs[i].dependsOnPrev; }
+    bool writeAt(std::size_t i) const { return recs[i].isWrite; }
 };
 
 /**
@@ -257,8 +267,17 @@ struct LaneEngine
      * sequence is the paper's single-core model: work advances the
      * clock, the MSHR ring and ROB history bound issue, translation
      * and the data access bound completion, retirement is in-order.
+     *
+     * @tparam Paged demand-paging mode: translations come from the
+     *         MMU's paged path (authoritative against the live page
+     *         table, possibly faulting) instead of the staged arrays;
+     *         no chunk is staged, no prefetch hints run. The
+     *         `Paged == false` instantiation is exactly the
+     *         pre-OS-layer kernel, so the unbounded hot loop carries
+     *         no paging branches — the safety rail the golden
+     *         counters and the bench ratchet enforce.
      */
-    template <class Records>
+    template <bool Paged, class Records>
     inline void
     retireChunk(const Records &src)
     {
@@ -270,7 +289,7 @@ struct LaneEngine
         const alloc::PageSize *staged_size = stagedSize.data();
 
         for (std::size_t i = 0; i < n; ++i) {
-            if (i + kPrefetchAhead < n) {
+            if (!Paged && i + kPrefetchAhead < n) {
                 // Hint the sets the record will scan: its data line,
                 // and the leaf page-table entry a TLB miss would read
                 // through the same hierarchy. The entry hint is only
@@ -308,10 +327,27 @@ struct LaneEngine
                 issue = std::max(issue, prevCompletion);
 
             // Address translation (TLB lookup, possibly a hardware
-            // walk), from the staged software translation.
-            auto xlat = mmu.translateStaged(vaddr, staged_data[i],
-                                            staged_size[i],
-                                            static_cast<Cycles>(issue));
+            // walk), from the staged software translation — or, in
+            // paged mode, through the demand-fault path against the
+            // live page table.
+            vm::TranslationEvent xlat;
+            if constexpr (Paged) {
+                xlat = mmu.translatePaged(vaddr, src.writeAt(i),
+                                          static_cast<Cycles>(issue));
+                if (xlat.swapStall > 0) {
+                    // A major fault traps to the OS and services the
+                    // page synchronously: nothing younger issues until
+                    // it completes, so the whole stall lands in R
+                    // serially (this is what makes S an additive
+                    // runtime component, see models::makeMosmodelSwap).
+                    workClock =
+                        issue + static_cast<double>(xlat.swapStall);
+                }
+            } else {
+                xlat = mmu.translateStaged(vaddr, staged_data[i],
+                                           staged_size[i],
+                                           static_cast<Cycles>(issue));
+            }
             double xlat_done =
                 issue +
                 static_cast<double>(xlat.queueCycles + xlat.latency);
@@ -355,14 +391,19 @@ CoreModel::run(const trace::MemoryTrace &trace, vm::Mmu &mmu,
     // buffers and watchdog cadence match the fused path.
     const trace::TraceRecord *records = trace.records().data();
     const std::size_t total = trace.size();
+    const bool paged = mmu.paged();
     for (std::size_t base = 0; base < total;
          base += trace::ReplayBatcher::kChunkRecords) {
         checkDeadline(deadline);
         AosRecords src{records + base,
                        std::min(trace::ReplayBatcher::kChunkRecords,
                                 total - base)};
-        lane.stageChunk(src);
-        lane.retireChunk(src);
+        if (paged) {
+            lane.retireChunk<true>(src);
+        } else {
+            lane.stageChunk(src);
+            lane.retireChunk<false>(src);
+        }
     }
 
     return readoutCounters(trace, lane.retireClock, mmu, hierarchy);
@@ -405,8 +446,15 @@ CoreModel::runFused(const trace::MemoryTrace &trace,
                 // could overshoot by the whole block's cold walks.
                 checkDeadline(deadline);
                 SoaRecords src{block.chunk[c]};
-                state.stageChunk(src);
-                state.retireChunk(src);
+                // Paged lanes (each with its own attached pool state)
+                // skip staging: their translations must see the live
+                // page table, not a memoized snapshot.
+                if (state.mmu.paged()) {
+                    state.retireChunk<true>(src);
+                } else {
+                    state.stageChunk(src);
+                    state.retireChunk<false>(src);
+                }
             }
         }
     }
@@ -417,6 +465,59 @@ CoreModel::runFused(const trace::MemoryTrace &trace,
         results.push_back(readoutCounters(trace, state.retireClock,
                                           state.mmu,
                                           state.hierarchy));
+    }
+    return results;
+}
+
+std::vector<RunResult>
+CoreModel::runInterleaved(std::span<const TenantLane> lanes,
+                          std::chrono::steady_clock::time_point deadline)
+{
+    const std::size_t num_lanes = lanes.size();
+
+    std::vector<LaneEngine> states;
+    states.reserve(num_lanes);
+    for (const TenantLane &lane : lanes) {
+        mosaic_assert(lane.trace && lane.mmu && lane.hierarchy,
+                      "tenant lane without a trace or machine");
+        mosaic_assert(lane.mmu->paged(),
+                      "interleaved replay requires paged-mode MMUs "
+                      "sharing one frame pool");
+        states.emplace_back(*lane.mmu, *lane.hierarchy, params_);
+    }
+
+    // Round-robin at chunk granularity: tenant 0's chunk k, tenant
+    // 1's chunk k, ..., then chunk k+1. The interleaving order — and
+    // therefore every fault, eviction, and shootdown on the shared
+    // pool — is a pure function of the traces and the lane order, so
+    // the result is deterministic regardless of campaign jobs count.
+    std::vector<std::size_t> cursor(num_lanes, 0);
+    bool any_left = true;
+    while (any_left) {
+        any_left = false;
+        for (std::size_t t = 0; t < num_lanes; ++t) {
+            const trace::MemoryTrace &trace = *lanes[t].trace;
+            const std::size_t total = trace.size();
+            if (cursor[t] >= total)
+                continue;
+            checkDeadline(deadline);
+            AosRecords src{
+                trace.records().data() + cursor[t],
+                std::min(trace::ReplayBatcher::kChunkRecords,
+                         total - cursor[t])};
+            states[t].retireChunk<true>(src);
+            cursor[t] += src.size();
+            any_left = any_left || cursor[t] < total;
+        }
+    }
+
+    std::vector<RunResult> results;
+    results.reserve(num_lanes);
+    for (std::size_t t = 0; t < num_lanes; ++t) {
+        results.push_back(readoutCounters(*lanes[t].trace,
+                                          states[t].retireClock,
+                                          states[t].mmu,
+                                          states[t].hierarchy));
     }
     return results;
 }

@@ -62,6 +62,12 @@ struct RunResult
     std::uint64_t tlbMisses = 0; ///< M
     Cycles walkCycles = 0; ///< C
 
+    /** The OS layer's swap accounting (S; zero in unbounded mode). */
+    Cycles swapCycles = 0;
+    std::uint64_t majorFaults = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t writebacks = 0;
+
     Insts instructions = 0;
     std::uint64_t memoryRefs = 0;
     std::uint64_t l1TlbHits = 0;
@@ -141,6 +147,30 @@ class CoreModel
     std::vector<RunResult> runFused(
         const trace::MemoryTrace &trace,
         std::span<const FusedLane> lanes,
+        std::chrono::steady_clock::time_point deadline =
+            std::chrono::steady_clock::time_point::max());
+
+    /** One tenant of an interleaved multi-tenant replay: its own
+     *  trace and its own machine (whose MMU must be in paged mode,
+     *  attached to the *shared* frame pool the tenants contend on). */
+    struct TenantLane
+    {
+        const trace::MemoryTrace *trace = nullptr;
+        vm::Mmu *mmu = nullptr;
+        mem::MemoryHierarchy *hierarchy = nullptr;
+    };
+
+    /**
+     * Multi-tenant interference replay: drive every tenant's trace
+     * through its own machine, round-robin interleaved at replay-chunk
+     * granularity (~1k records per turn), so their demand faults
+     * contend for the shared frame pool in a fixed, deterministic
+     * order. Tenants whose traces are longer keep running alone after
+     * shorter ones finish. Returns one RunResult per tenant, in lane
+     * order.
+     */
+    std::vector<RunResult> runInterleaved(
+        std::span<const TenantLane> lanes,
         std::chrono::steady_clock::time_point deadline =
             std::chrono::steady_clock::time_point::max());
 

@@ -39,14 +39,48 @@ publishReplayCounters(MetricsRegistry &registry,
 System::System(const PlatformSpec &platform,
                const alloc::Mosalloc &allocator,
                const SimContext &context)
+    : System(platform, allocator, vm::OsConfig{}, context)
+{
+}
+
+System::System(const PlatformSpec &platform,
+               const alloc::Mosalloc &allocator,
+               const vm::OsConfig &os, const SimContext &context)
     : platform_(platform), context_(context), core_(platform.core)
 {
-    physMem_ = std::make_unique<vm::PhysMem>();
-    pageTable_ = std::make_unique<vm::PageTable>(*physMem_);
-    pageTable_->populate(allocator);
-    hierarchy_ = std::make_unique<mem::MemoryHierarchy>(platform.hierarchy);
+    framePool_ = std::make_unique<vm::FramePool>(os);
+    pageTable_ = std::make_unique<vm::PageTable>(*framePool_);
+    finishMachine(allocator, *framePool_);
+}
+
+System::System(const PlatformSpec &platform,
+               const alloc::Mosalloc &allocator, vm::FramePool &pool,
+               const SimContext &context)
+    : platform_(platform), context_(context), core_(platform.core)
+{
+    mosaic_assert(pool.paged(),
+                  "shared-pool System requires a bounded frame pool");
+    pageTable_ = std::make_unique<vm::PageTable>(pool);
+    finishMachine(allocator, pool);
+}
+
+void
+System::finishMachine(const alloc::Mosalloc &allocator,
+                      vm::FramePool &pool)
+{
+    hierarchy_ = std::make_unique<mem::MemoryHierarchy>(platform_.hierarchy);
     mmu_ = std::make_unique<vm::Mmu>(*pageTable_, *hierarchy_,
-                                     platform.mmu);
+                                     platform_.mmu);
+    if (pool.paged()) {
+        // Demand paging: declare the layout's pages (all non-resident)
+        // instead of populating the table — first touch faults.
+        vm::FramePool::TenantId tenant = pool.registerTenant(*pageTable_,
+                                                             *mmu_);
+        mmu_->attachPager(pool, tenant);
+        pool.addTenantPages(tenant, allocator);
+    } else {
+        pageTable_->populate(allocator);
+    }
 }
 
 RunResult
@@ -78,10 +112,20 @@ simulateRun(const PlatformSpec &platform,
             const alloc::MosallocConfig &alloc_config,
             const trace::MemoryTrace &trace, const SimContext &context)
 {
+    return simulateRun(platform, alloc_config, trace, vm::OsConfig{},
+                       context);
+}
+
+RunResult
+simulateRun(const PlatformSpec &platform,
+            const alloc::MosallocConfig &alloc_config,
+            const trace::MemoryTrace &trace, const vm::OsConfig &os,
+            const SimContext &context)
+{
     if (context.faults().shouldFail(FaultSite::SimLane))
         throw std::runtime_error("injected sim-lane fault");
     alloc::Mosalloc allocator(alloc_config);
-    System system(platform, allocator, context);
+    System system(platform, allocator, os, context);
     return system.run(trace);
 }
 
@@ -90,6 +134,16 @@ simulateRunFused(const PlatformSpec &platform,
                  std::span<const alloc::MosallocConfig> alloc_configs,
                  const trace::MemoryTrace &trace,
                  const SimContext &context)
+{
+    return simulateRunFused(platform, alloc_configs, trace,
+                            vm::OsConfig{}, context);
+}
+
+std::vector<Result<RunResult>>
+simulateRunFused(const PlatformSpec &platform,
+                 std::span<const alloc::MosallocConfig> alloc_configs,
+                 const trace::MemoryTrace &trace,
+                 const vm::OsConfig &os, const SimContext &context)
 {
     MetricsRegistry &registry = context.metrics();
 
@@ -109,10 +163,16 @@ simulateRunFused(const PlatformSpec &platform,
                 throw std::runtime_error("injected sim-lane fault");
             alloc::Mosalloc allocator(alloc_configs[i]);
             systems[i] = std::make_unique<System>(platform, allocator,
-                                                  context);
+                                                  os, context);
             lanes.push_back({systems[i]->mmu_.get(),
                              systems[i]->hierarchy_.get()});
             outcomes.push_back(RunResult{}); // placeholder; filled below
+        } catch (const ResourceError &e) {
+            registry.add("replay/fused_lane_failures");
+            outcomes.push_back(
+                Error(ErrorCategory::Resource,
+                      std::string("fused lane setup failed: ") +
+                          e.what()));
         } catch (const std::exception &e) {
             registry.add("replay/fused_lane_failures");
             outcomes.push_back(
@@ -148,6 +208,48 @@ simulateRunFused(const PlatformSpec &platform,
     registry.set("replay/fused_layouts",
                  static_cast<double>(lanes.size()));
     return outcomes;
+}
+
+std::vector<RunResult>
+simulateRunTenants(const PlatformSpec &platform,
+                   std::span<const alloc::MosallocConfig> alloc_configs,
+                   std::span<const trace::MemoryTrace *const> traces,
+                   const vm::OsConfig &os, const SimContext &context)
+{
+    mosaic_assert(alloc_configs.size() == traces.size(),
+                  "tenant configs and traces must be parallel");
+    mosaic_assert(os.paged(),
+                  "multi-tenant replay requires a bounded frame pool");
+    MetricsRegistry &registry = context.metrics();
+    if (context.faults().shouldFail(FaultSite::SimLane))
+        throw std::runtime_error("injected sim-lane fault");
+
+    // One shared pool; tenants register in config order, which fixes
+    // their ids and hence the deterministic interleaving order.
+    vm::FramePool pool(os);
+    std::vector<std::unique_ptr<alloc::Mosalloc>> allocators;
+    std::vector<std::unique_ptr<System>> systems;
+    std::vector<CoreModel::TenantLane> lanes;
+    for (std::size_t i = 0; i < alloc_configs.size(); ++i) {
+        allocators.push_back(
+            std::make_unique<alloc::Mosalloc>(alloc_configs[i]));
+        systems.push_back(std::make_unique<System>(
+            platform, *allocators.back(), pool, context));
+        lanes.push_back({traces[i], systems.back()->mmu_.get(),
+                         systems.back()->hierarchy_.get()});
+    }
+
+    CoreModel core(platform.core);
+    ScopedTimer pass_timer(registry, "replay/tenant_pass");
+    std::vector<RunResult> results =
+        core.runInterleaved(lanes, context.deadline());
+    pass_timer.stop();
+
+    for (std::size_t i = 0; i < results.size(); ++i)
+        publishReplayCounters(registry, *traces[i], results[i]);
+    registry.add("replay/tenant_passes");
+    registry.add("replay/tenant_lane_runs", lanes.size());
+    return results;
 }
 
 } // namespace mosaic::cpu

@@ -23,9 +23,9 @@
 #include "mosalloc/mosalloc.hh"
 #include "support/sim_context.hh"
 #include "trace/trace.hh"
+#include "vm/frame_pool.hh"
 #include "vm/mmu.hh"
 #include "vm/page_table.hh"
-#include "vm/phys_mem.hh"
 
 namespace mosaic::cpu
 {
@@ -51,6 +51,24 @@ class System
     System(const PlatformSpec &platform, const alloc::Mosalloc &allocator,
            const SimContext &context = globalSimContext());
 
+    /**
+     * As above with OS-level memory management: unbounded @p os
+     * behaves identically to the two-argument form; a bounded one
+     * builds a private FramePool and defers every frame to demand
+     * faults (no page is resident at start).
+     */
+    System(const PlatformSpec &platform, const alloc::Mosalloc &allocator,
+           const vm::OsConfig &os,
+           const SimContext &context = globalSimContext());
+
+    /**
+     * Multi-tenant form: the machine pages on demand as one tenant of
+     * the *shared* bounded @p pool, which must outlive the System.
+     */
+    System(const PlatformSpec &platform, const alloc::Mosalloc &allocator,
+           vm::FramePool &pool,
+           const SimContext &context = globalSimContext());
+
     /** Replay @p trace from a cold start and return the PMU readout. */
     RunResult run(const trace::MemoryTrace &trace);
 
@@ -65,11 +83,25 @@ class System
     friend std::vector<Result<RunResult>> simulateRunFused(
         const PlatformSpec &platform,
         std::span<const alloc::MosallocConfig> alloc_configs,
-        const trace::MemoryTrace &trace, const SimContext &context);
+        const trace::MemoryTrace &trace, const vm::OsConfig &os,
+        const SimContext &context);
+
+    /** So does the multi-tenant interference engine. */
+    friend std::vector<RunResult> simulateRunTenants(
+        const PlatformSpec &platform,
+        std::span<const alloc::MosallocConfig> alloc_configs,
+        std::span<const trace::MemoryTrace *const> traces,
+        const vm::OsConfig &os, const SimContext &context);
+
+    /** Shared tail of every constructor: hierarchy + MMU assembly
+     *  over the already-built page table, wiring the pager when
+     *  @p pool is bounded. */
+    void finishMachine(const alloc::Mosalloc &allocator,
+                       vm::FramePool &pool);
 
     PlatformSpec platform_;
     SimContext context_;
-    std::unique_ptr<vm::PhysMem> physMem_;
+    std::unique_ptr<vm::FramePool> framePool_;
     std::unique_ptr<vm::PageTable> pageTable_;
     std::unique_ptr<mem::MemoryHierarchy> hierarchy_;
     std::unique_ptr<vm::Mmu> mmu_;
@@ -92,6 +124,14 @@ RunResult simulateRun(const PlatformSpec &platform,
                       const alloc::MosallocConfig &alloc_config,
                       const trace::MemoryTrace &trace,
                       const SimContext &context);
+
+/** As above with OS-level memory management (@p os); an unbounded
+ *  config reproduces the plain run bit for bit. */
+RunResult simulateRun(const PlatformSpec &platform,
+                      const alloc::MosallocConfig &alloc_config,
+                      const trace::MemoryTrace &trace,
+                      const vm::OsConfig &os,
+                      const SimContext &context = globalSimContext());
 
 /**
  * Fused multi-layout replay: build one System per entry of
@@ -120,6 +160,40 @@ simulateRunFused(const PlatformSpec &platform,
                  std::span<const alloc::MosallocConfig> alloc_configs,
                  const trace::MemoryTrace &trace,
                  const SimContext &context = globalSimContext());
+
+/**
+ * As above with OS-level memory management. Each bounded lane pages
+ * over its *own* private frame pool (per-lane pool state): fused
+ * lanes model independent machines, and sharing a pool across layout
+ * lanes would let one layout's evictions perturb another's counters.
+ * For deliberate cross-address-space contention use
+ * simulateRunTenants(). A lane that exhausts its pool (ResourceError)
+ * yields an error slot with ErrorCategory::Resource; siblings replay
+ * unaffected.
+ */
+std::vector<Result<RunResult>>
+simulateRunFused(const PlatformSpec &platform,
+                 std::span<const alloc::MosallocConfig> alloc_configs,
+                 const trace::MemoryTrace &trace,
+                 const vm::OsConfig &os,
+                 const SimContext &context = globalSimContext());
+
+/**
+ * Multi-tenant interference run: build one machine per tenant, all
+ * registered on one shared bounded frame pool, and replay the
+ * tenants' traces round-robin interleaved at chunk granularity
+ * (CoreModel::runInterleaved). @p alloc_configs and @p traces are
+ * parallel; @p os must be bounded. Returns one RunResult per tenant
+ * in tenant order; throws (ResourceError and friends) if the shared
+ * pool cannot hold the tenants' largest page — multi-tenant cells
+ * fail as a unit, since tenant results are coupled through the pool.
+ */
+std::vector<RunResult>
+simulateRunTenants(const PlatformSpec &platform,
+                   std::span<const alloc::MosallocConfig> alloc_configs,
+                   std::span<const trace::MemoryTrace *const> traces,
+                   const vm::OsConfig &os,
+                   const SimContext &context = globalSimContext());
 
 } // namespace mosaic::cpu
 

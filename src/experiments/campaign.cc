@@ -182,6 +182,79 @@ makeConfiguredWorkload(const CampaignConfig &config,
     return workloads::makeWorkload(label);
 }
 
+/** The interference partner of a multi-tenant campaign, prepared once:
+ *  its trace and its fixed all-4KB baseline layout are shared by every
+ *  cell (the exploration variable is the primary tenant's layout). */
+struct CoTenant
+{
+    std::unique_ptr<workloads::Workload> workload;
+    std::shared_ptr<const trace::MemoryTrace> trace;
+    alloc::MosallocConfig config;
+};
+
+Result<CoTenant>
+prepareCoTenant(const CampaignConfig &config, std::size_t &retries,
+                const SimContext &context)
+{
+    CoTenant co;
+    try {
+        co.workload = makeConfiguredWorkload(config, config.coWorkload);
+    } catch (const std::exception &e) {
+        return Error(ErrorCategory::Config,
+                     std::string("co-workload construction failed: ") +
+                         e.what())
+            .withContext("co-workload " + config.coWorkload);
+    }
+    auto trace_result =
+        obtainTrace(*co.workload, config, retries, context);
+    if (!trace_result.ok()) {
+        return trace_result.error().withContext("co-workload " +
+                                                config.coWorkload);
+    }
+    co.trace = std::make_shared<const trace::MemoryTrace>(
+        std::move(trace_result).okOrThrow());
+    try {
+        auto baseline = layouts::uniformLayout(
+            co.workload->primaryPoolSize(), alloc::PageSize::Page4K);
+        co.config = co.workload->makeAllocConfig(baseline.layout);
+    } catch (const std::exception &e) {
+        return Error(ErrorCategory::Config,
+                     std::string("co-workload baseline layout "
+                                 "failed: ") +
+                         e.what())
+            .withContext("co-workload " + config.coWorkload);
+    }
+    return co;
+}
+
+/**
+ * Simulate one cell's replay: single-tenant on the sequential engine
+ * (with OS-level paging when configured), or — when a co-tenant is
+ * present — the primary layout interleaved against the co-workload's
+ * baseline over one shared bounded pool. The recorded result is always
+ * the primary tenant's readout.
+ */
+cpu::RunResult
+simulateCellResult(const cpu::PlatformSpec &platform,
+                   const workloads::Workload &workload,
+                   const layouts::NamedLayout &named,
+                   const trace::MemoryTrace &trace,
+                   const CampaignConfig &config, const CoTenant *co,
+                   const SimContext &context)
+{
+    if (!co) {
+        return cpu::simulateRun(platform,
+                                workload.makeAllocConfig(named.layout),
+                                trace, config.os, context);
+    }
+    const std::array<alloc::MosallocConfig, 2> configs = {
+        workload.makeAllocConfig(named.layout), co->config};
+    const std::array<const trace::MemoryTrace *, 2> traces = {
+        &trace, co->trace.get()};
+    return cpu::simulateRunTenants(platform, configs, traces, config.os,
+                                   context)[0];
+}
+
 } // namespace
 
 std::string
@@ -233,6 +306,8 @@ CampaignRunner::runPair(const workloads::Workload &workload,
 {
     const std::string label = workload.info().label();
     std::vector<CellFailure> failures;
+    if (config.os.paged())
+        dataset.setSwapColumn(true);
 
     // The trace and the miss profile are layout-independent.
     std::size_t trace_retries = 0;
@@ -246,6 +321,20 @@ CampaignRunner::runPair(const workloads::Workload &workload,
         return failures;
     }
     const trace::MemoryTrace &trace = trace_result.value();
+
+    std::optional<CoTenant> co_tenant;
+    if (!config.coWorkload.empty()) {
+        std::size_t co_retries = 0;
+        auto prepared = prepareCoTenant(config, co_retries, context);
+        if (retries)
+            *retries += co_retries;
+        if (!prepared.ok()) {
+            failures.push_back(
+                {platform.name, label, "*", prepared.error()});
+            return failures;
+        }
+        co_tenant = std::move(prepared).okOrThrow();
+    }
 
     auto layouts_result = buildCampaignLayouts(workload, trace, config);
     if (!layouts_result.ok()) {
@@ -264,10 +353,17 @@ CampaignRunner::runPair(const workloads::Workload &workload,
             record.platform = platform.name;
             record.workload = label;
             record.layout = named.name;
-            record.result = cpu::simulateRun(
-                platform, workload.makeAllocConfig(named.layout), trace,
-                context);
+            record.result = simulateCellResult(
+                platform, workload, named, trace, config,
+                co_tenant ? &*co_tenant : nullptr, context);
             dataset.add(std::move(record));
+        } catch (const ResourceError &e) {
+            // A layout whose pages cannot even fit the frame budget is
+            // an isolated, structured Resource failure.
+            context.metrics().add("campaign/cells_failed");
+            failures.push_back(
+                {platform.name, label, named.name,
+                 Error(ErrorCategory::Resource, e.what())});
         } catch (const std::exception &e) {
             // One bad cell must not take down the pair: record it and
             // keep simulating the remaining layouts.
@@ -284,6 +380,31 @@ CampaignReport
 CampaignRunner::runImpl(const std::string *cache_path)
 {
     CampaignReport report;
+    const bool swap_column = config_.os.paged();
+    if (swap_column)
+        report.dataset.setSwapColumn(true);
+
+    // Multi-tenant invariants are config errors, not crashes: the
+    // interleave needs a bounded shared pool, and the shard partition
+    // hash does not cover co-tenancy (two shards with different
+    // co-workloads would merge into a nonsense dataset).
+    if (!config_.coWorkload.empty()) {
+        if (!config_.os.paged()) {
+            report.failures.push_back(
+                {"*", config_.coWorkload, "*",
+                 configError("co-workload interference requires a "
+                             "bounded frame pool (--mem-frames > 0)")});
+            return report;
+        }
+        if (config_.shardCount > 1) {
+            report.failures.push_back(
+                {"*", config_.coWorkload, "*",
+                 configError("co-workload campaigns cannot be "
+                             "sharded")});
+            return report;
+        }
+    }
+
     using Key = std::pair<std::string, std::string>;
     std::map<Key, std::set<std::string>> covered;
 
@@ -294,6 +415,7 @@ CampaignRunner::runImpl(const std::string *cache_path)
     std::optional<Dataset> resume_data;
     std::map<std::array<std::string, 3>, RunRecord> resumed_records;
     Dataset resumed_base;
+    resumed_base.setSwapColumn(swap_column);
 
     // Resume: fold the (possibly partial, possibly damaged) cache and
     // remember which cells it already covers. The cache may hold
@@ -311,7 +433,18 @@ CampaignRunner::runImpl(const std::string *cache_path)
                 [&] { return Dataset::loadResult(*cache_path); },
                 &load_retries);
             report.retriesPerformed += load_retries;
-            if (cached.ok()) {
+            if (cached.ok() &&
+                cached.value().swapColumn() != swap_column) {
+                // A legacy cache under a paging campaign (or the
+                // reverse) holds rows measured under different OS
+                // semantics; splicing them in would mix
+                // incommensurable counters.
+                mosaic_warn("campaign cache ", *cache_path,
+                            " has a different CSV format (swap column ",
+                            cached.value().swapColumn() ? "present"
+                                                        : "absent",
+                            "); starting fresh");
+            } else if (cached.ok()) {
                 resume_data = std::move(cached.value());
                 for (const auto &platform : config_.platforms) {
                     for (const auto &label : config_.workloads) {
@@ -344,6 +477,24 @@ CampaignRunner::runImpl(const std::string *cache_path)
                             "); starting fresh");
             }
         }
+    }
+
+    // The interference partner is prepared once, up front: its trace
+    // and baseline layout are inputs to *every* cell, so a co-workload
+    // that cannot be built fails the campaign as a whole (one
+    // structured Config/Io failure), not cell by cell.
+    std::optional<CoTenant> co_tenant;
+    if (!config_.coWorkload.empty()) {
+        std::size_t co_retries = 0;
+        auto prepared =
+            prepareCoTenant(config_, co_retries, globalSimContext());
+        report.retriesPerformed += co_retries;
+        if (!prepared.ok()) {
+            report.failures.push_back(
+                {"*", config_.coWorkload, "*", prepared.error()});
+            return report;
+        }
+        co_tenant = std::move(prepared).okOrThrow();
     }
 
     // ---- Schedule: one shared state per distinct workload, pairs in
@@ -518,9 +669,13 @@ CampaignRunner::runImpl(const std::string *cache_path)
         std::size_t count;
     };
 
+    // Fused grouping is a single-tenant optimization: tenant cells
+    // already replay two traces per cell through the interleaved
+    // engine, so they keep per-cell units (the fused flag is ignored).
     const std::size_t group_size =
-        config_.fused ? std::max<std::size_t>(config_.fusedGroupSize, 1)
-                      : 1;
+        config_.fused && !co_tenant
+            ? std::max<std::size_t>(config_.fusedGroupSize, 1)
+            : 1;
     std::vector<Unit> units;
     for (std::size_t i = 0; i < cells.size();) {
         std::size_t count = 1;
@@ -563,9 +718,25 @@ CampaignRunner::runImpl(const std::string *cache_path)
     std::vector<std::string> platform_names;
     for (const auto &platform : config_.platforms)
         platform_names.push_back(platform.name);
+    // The OS configuration changes every cell's counters, so it must
+    // be part of the partition identity: shards of a paging campaign
+    // never merge with shards of a classic one (or of a paging
+    // campaign with different frame budget, policy, or costs). Folding
+    // it into the seed reuses the existing hash without changing the
+    // manifest format.
+    std::uint64_t partition_seed = config_.seed;
+    if (config_.os.paged()) {
+        const std::string os_tag = detail::concat(
+            "os/", config_.os.memFrames, "/",
+            vm::replacementPolicyName(config_.os.policy), "/",
+            config_.os.majorFaultCycles, "/",
+            config_.os.writebackCycles);
+        partition_seed ^= (0x6f73ULL << 32) |
+                          crc32(os_tag.data(), os_tag.size());
+    }
     const std::uint32_t config_hash = shardConfigHash(
         config_.workloads, platform_names, config_.include1g,
-        config_.seed, cells_per_pair, config_.shardCount);
+        partition_seed, cells_per_pair, config_.shardCount);
     std::size_t expected_cells = 0;
     for (const auto &pair : pairs) {
         expected_cells +=
@@ -604,7 +775,7 @@ CampaignRunner::runImpl(const std::string *cache_path)
         manifest.configHash = config_hash;
         const std::string csv = snapshot.toCsv();
         const std::size_t header_bytes =
-            std::string(datasetCsvHeader()).size() + 1; // + '\n'
+            std::string(snapshot.csvHeader()).size() + 1; // + '\n'
         manifest.rowCrc = crc32(csv.data() + header_bytes,
                                 csv.size() - header_bytes);
         return formatShardTrailer(manifest, order);
@@ -676,11 +847,21 @@ CampaignRunner::runImpl(const std::string *cache_path)
                 record.platform = pair.platform->name;
                 record.workload = state.label;
                 record.layout = named.name;
-                record.result = cpu::simulateRun(
-                    *pair.platform,
-                    state.workload->makeAllocConfig(named.layout),
-                    *state.trace, cell_context);
+                record.result = simulateCellResult(
+                    *pair.platform, *state.workload, named,
+                    *state.trace, config_,
+                    co_tenant ? &*co_tenant : nullptr, cell_context);
                 outcome.record = std::move(record);
+            } catch (const ResourceError &e) {
+                // The frame budget cannot hold the cell's pages: an
+                // isolated, structured Resource failure — the pool
+                // exhaustion analog of a timeout.
+                shard.add("campaign/cells_failed");
+                outcome.failure =
+                    CellFailure{pair.platform->name, state.label,
+                                named.name,
+                                Error(ErrorCategory::Resource,
+                                      e.what())};
             } catch (const TimeoutError &e) {
                 // The watchdog fired: a hung cell is an isolated
                 // Timeout failure, not a wedged worker.
@@ -747,7 +928,7 @@ CampaignRunner::runImpl(const std::string *cache_path)
                                             "campaign/fused_group");
                     auto lanes = cpu::simulateRunFused(
                         *pair.platform, configs, *state.trace,
-                        unit_context);
+                        config_.os, unit_context);
                     group_timer.stop();
                     shard.add("campaign/fused_groups");
                     for (std::size_t k = 0; k < unit.count; ++k) {
@@ -1000,7 +1181,14 @@ CampaignRunner::loadOrRun(const std::string &cache_path)
     if (probe.good()) {
         probe.close();
         auto cached = Dataset::loadResult(cache_path);
-        if (cached.ok()) {
+        if (cached.ok() &&
+            cached.value().swapColumn() != config_.os.paged()) {
+            mosaic_warn("campaign cache ", cache_path,
+                        " has a different CSV format (swap column ",
+                        cached.value().swapColumn() ? "present"
+                                                    : "absent",
+                        "); re-running");
+        } else if (cached.ok()) {
             bool complete = true;
             // Mirror runImpl's grid walk (deduplicated, label-major)
             // so pair ordinals — and with them the per-pair cell

@@ -40,6 +40,7 @@
 #include "support/error.hh"
 #include "support/retry.hh"
 #include "support/sim_context.hh"
+#include "vm/frame_pool.hh"
 #include "workloads/registry.hh"
 
 namespace mosaic::exp
@@ -121,6 +122,29 @@ struct CampaignConfig
      */
     unsigned shardIndex = 0;
     unsigned shardCount = 1;
+
+    /**
+     * OS-level memory management for every cell. The default
+     * (unbounded) config reproduces the classic campaign bit for bit:
+     * the dataset CSV keeps the legacy 19-field header and stays
+     * byte-identical to a pre-OS-layer run. A bounded config
+     * (memFrames > 0) simulates demand paging per cell and extends
+     * every CSV row with the S (swap cycles) column.
+     */
+    vm::OsConfig os;
+
+    /**
+     * Multi-tenant interference: when set, every cell replays the
+     * primary workload's layout round-robin interleaved against this
+     * co-workload (backed with its all-4KB baseline layout) over one
+     * *shared* bounded frame pool (cpu::simulateRunTenants), and the
+     * recorded (R, H, M, C, S) row is the primary tenant's readout
+     * under contention. Requires a bounded `os`; incompatible with
+     * sharding (the partition hash does not cover co-tenancy).
+     * Deterministic for any jobs count: each cell owns a private
+     * shared pool, and the interleave order is fixed by tenant order.
+     */
+    std::string coWorkload;
 
     /**
      * Watchdog budget per cell, in seconds; 0 disables it. A

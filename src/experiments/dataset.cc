@@ -21,6 +21,7 @@ toSample(const RunRecord &record)
     sample.h = static_cast<double>(record.result.tlbHitsL2);
     sample.m = static_cast<double>(record.result.tlbMisses);
     sample.c = static_cast<double>(record.result.walkCycles);
+    sample.s = static_cast<double>(record.result.swapCycles);
     return sample;
 }
 
@@ -124,23 +125,42 @@ Dataset::findRun(const std::string &platform, const std::string &workload,
 namespace
 {
 
-constexpr const char *csvHeader =
+constexpr const char *kCsvHeader =
     "platform,workload,layout,runtime,h,m,c,instructions,refs,l1tlbhits,"
     "queue,progL1,progL2,progL3,progDram,walkL1,walkL2,walkL3,walkDram";
+
+/** The OS layer's swap column rides at the end so legacy tooling that
+ *  indexes columns by position keeps working on the shared prefix. */
+constexpr const char *kCsvHeaderSwap =
+    "platform,workload,layout,runtime,h,m,c,instructions,refs,l1tlbhits,"
+    "queue,progL1,progL2,progL3,progDram,walkL1,walkL2,walkL3,walkDram,"
+    "s";
 
 } // namespace
 
 const char *
 datasetCsvHeader()
 {
-    return csvHeader;
+    return kCsvHeader;
+}
+
+const char *
+datasetCsvHeaderSwap()
+{
+    return kCsvHeaderSwap;
+}
+
+const char *
+Dataset::csvHeader() const
+{
+    return swapColumn_ ? kCsvHeaderSwap : kCsvHeader;
 }
 
 std::string
 Dataset::toCsv() const
 {
     std::ostringstream out;
-    out << csvHeader << "\n";
+    out << csvHeader() << "\n";
     for (const auto &[key, records] : runs_) {
         for (const auto &record : records) {
             const auto &r = record.result;
@@ -155,6 +175,8 @@ Dataset::toCsv() const
                 << r.progDramLoads << ',' << r.walkL1dLoads << ','
                 << r.walkL2Loads << ',' << r.walkL3Loads << ','
                 << r.walkDramLoads;
+            if (swapColumn_)
+                row << ',' << r.swapCycles;
             std::string text = row.str();
             if (faults().shouldFail(FaultSite::CsvTruncate))
                 text = text.substr(0, text.size() / 2);
@@ -179,12 +201,16 @@ Dataset::loadResult(const std::string &path, DatasetLoadStats *stats)
         return ioError("cannot open " + path);
     std::string line;
     std::getline(file, line);
-    if (trimString(line) != csvHeader) {
+    std::string header = trimString(line);
+    bool swap_column = header == kCsvHeaderSwap;
+    if (header != kCsvHeader && !swap_column) {
         return corruptError("unexpected dataset header in " + path +
                             " (not a mosaic dataset CSV?)");
     }
 
     Dataset dataset;
+    dataset.setSwapColumn(swap_column);
+    const std::size_t expected_fields = swap_column ? 20 : 19;
     DatasetLoadStats local;
     while (std::getline(file, line)) {
         std::string trimmed = trimString(line);
@@ -197,7 +223,7 @@ Dataset::loadResult(const std::string &path, DatasetLoadStats *stats)
             continue;
         auto fields = splitString(line, ',');
         RunRecord record;
-        bool good = fields.size() == 19;
+        bool good = fields.size() == expected_fields;
         if (good) {
             record.platform = fields[0];
             record.workload = fields[1];
@@ -224,6 +250,9 @@ Dataset::loadResult(const std::string &path, DatasetLoadStats *stats)
                     break;
                 }
             }
+            if (good && swap_column &&
+                !parseUnsignedFull(fields[i], r.swapCycles))
+                good = false;
         }
         if (!good) {
             // A malformed row is recoverable damage: drop it and let

@@ -108,9 +108,24 @@ class Dataset
     /** Throwing wrapper around loadResult(). */
     static Dataset load(const std::string &path);
 
+    /**
+     * Whether rows carry the OS layer's S (swap cycles) column.
+     * Paging-mode campaigns set this before emitting; loadResult()
+     * derives it from the header. Off by default, so unbounded-mode
+     * output stays byte-identical to the pre-OS-layer format (the
+     * committed mosaic_dataset.csv and the campaign byte-identity
+     * gates depend on that).
+     */
+    void setSwapColumn(bool enabled) { swapColumn_ = enabled; }
+    bool swapColumn() const { return swapColumn_; }
+
+    /** The CSV header this dataset emits (legacy or swap-extended). */
+    const char *csvHeader() const;
+
   private:
     using Key = std::pair<std::string, std::string>;
     std::map<Key, std::vector<RunRecord>> runs_;
+    bool swapColumn_ = false;
 };
 
 /** Convert one run into a model-facing sample. */
@@ -118,6 +133,10 @@ models::Sample toSample(const RunRecord &record);
 
 /** The canonical dataset CSV header row (no trailing newline). */
 const char *datasetCsvHeader();
+
+/** The swap-extended header (legacy + ",s"), emitted by paging-mode
+ *  campaigns. */
+const char *datasetCsvHeaderSwap();
 
 } // namespace mosaic::exp
 

@@ -39,6 +39,8 @@ makeModelByName(const std::string &name)
         return models::makePoly3();
     if (name == "mosmodel")
         return models::makeMosmodel();
+    if (name == "mosmodel-s")
+        return models::makeMosmodelSwap();
     mosaic_fatal("unknown model name: ", name);
 }
 

@@ -251,14 +251,20 @@ readShardFile(const std::string &path, const SimContext &context)
     std::istringstream stream(content);
 
     std::string line;
-    if (!std::getline(stream, line) ||
-        trimString(line) != datasetCsvHeader()) {
+    if (!std::getline(stream, line)) {
+        return corruptError("unexpected header in shard CSV " + path +
+                            " (not a mosaic dataset?)");
+    }
+    const std::string header = trimString(line);
+    const bool swap_column = header == datasetCsvHeaderSwap();
+    if (header != datasetCsvHeader() && !swap_column) {
         return corruptError("unexpected header in shard CSV " + path +
                             " (not a mosaic dataset?)");
     }
 
     ShardFile shard;
     shard.path = path;
+    shard.swapColumn = swap_column;
     bool have_manifest = false;
     std::uint32_t crc = 0;
     while (std::getline(stream, line)) {
@@ -290,7 +296,7 @@ readShardFile(const std::string &path, const SimContext &context)
                                 path);
         }
         auto fields = splitString(line, ',');
-        if (fields.size() != 19) {
+        if (fields.size() != (swap_column ? 20u : 19u)) {
             return corruptError("malformed data row in shard CSV " +
                                 path);
         }
@@ -368,6 +374,16 @@ mergeShards(const std::vector<ShardFile> &shards, bool allow_missing)
                 shards.front().path +
                 " (config hash / shard count mismatch)");
         }
+        if (shard.swapColumn != shards.front().swapColumn) {
+            // The config hash should already reject this pairing (the
+            // OS config is folded into the partition seed), but the
+            // header is the ground truth for row width: never splice
+            // 19- and 20-field rows into one file.
+            return corruptError(
+                "shard " + shard.path +
+                " uses a different CSV format (swap column) than " +
+                shards.front().path);
+        }
         if (!indices.insert(manifest.shardIndex).second) {
             return corruptError("two shard CSVs claim shard index " +
                                 std::to_string(manifest.shardIndex));
@@ -418,7 +434,9 @@ mergeShards(const std::vector<ShardFile> &shards, bool allow_missing)
 
     MergeOutcome outcome;
     std::ostringstream out;
-    out << datasetCsvHeader() << "\n";
+    out << (shards.front().swapColumn ? datasetCsvHeaderSwap()
+                                      : datasetCsvHeader())
+        << "\n";
     for (const auto &[pair, layouts] : order) {
         for (const auto &layout : layouts) {
             auto it = rows.find({pair.first, pair.second, layout});

@@ -120,6 +120,10 @@ struct ShardFile
     ShardManifest manifest;
     std::vector<ShardPairOrder> order;
 
+    /** Rows carry the paging campaign's S column (20-field rows).
+     *  All merged shards must agree. */
+    bool swapColumn = false;
+
     /** Raw row bytes (no '\n') keyed by (platform, workload, layout). */
     std::map<std::array<std::string, 3>, std::string> rows;
 };

@@ -25,7 +25,7 @@ Cache::Cache(const CacheConfig &config)
     numWays_ = config.ways;
     // Tags are stored 32-bit. For the unrolled fast arms (8/16 ways —
     // every cache a modelled platform instantiates), prove here, once,
-    // that any address PhysMem can mint (< kMaxSimPhysAddr, asserted
+    // that any address the FramePool can mint (< kMaxSimPhysAddr, asserted
     // per allocation) tags below the empty-way sentinel, so the replay
     // access path needs no per-access range check. Other
     // associativities take the generic arm, which checks the tag per

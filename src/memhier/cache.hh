@@ -174,7 +174,7 @@ Cache::accessImpl(PhysAddr addr, Requester requester)
     std::uint64_t set = line & setMask_;
     // Lossless narrowing: for the unrolled arms the constructor proves
     // every address below kMaxSimPhysAddr tags under the sentinel (and
-    // PhysMem asserts that bound on each allocation); the generic arm
+    // the FramePool enforces that bound on each allocation); the generic arm
     // serves arbitrary test geometries, so it checks each access —
     // off the replay hot path, the branch costs nothing.
     if constexpr (kWays == 0) {

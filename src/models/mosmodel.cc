@@ -1,5 +1,6 @@
 #include "models/mosmodel.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "models/fixed_models.hh"
@@ -261,6 +262,60 @@ ModelPtr
 makeMosmodel()
 {
     return std::make_unique<Mosmodel>();
+}
+
+namespace
+{
+
+/** See makeMosmodelSwap(): Mosmodel over (R - S), plus S at predict
+ *  time. S is charged serially in the simulator, so the additive
+ *  decomposition is exact, not an approximation. */
+class MosmodelSwap : public RuntimeModel
+{
+  public:
+    MosmodelSwap() : inner_(std::make_unique<Mosmodel>()) {}
+
+    std::string name() const override { return "mosmodel-s"; }
+
+    void
+    fit(const SampleSet &data) override
+    {
+        SampleSet residual = data;
+        auto strip = [](Sample &sample) {
+            sample.r = std::max(0.0, sample.r - sample.s);
+        };
+        for (auto &sample : residual.samples)
+            strip(sample);
+        strip(residual.all4k);
+        strip(residual.all2m);
+        strip(residual.all1g);
+        inner_->fit(residual);
+    }
+
+    double
+    predict(const Sample &point) const override
+    {
+        return inner_->predict(point) + point.s;
+    }
+
+    std::string
+    describe() const override
+    {
+        return inner_->describe() + " + S";
+    }
+
+    bool fitted() const override { return inner_->fitted(); }
+
+  private:
+    std::unique_ptr<Mosmodel> inner_;
+};
+
+} // namespace
+
+ModelPtr
+makeMosmodelSwap()
+{
+    return std::make_unique<MosmodelSwap>();
 }
 
 std::vector<ModelPtr>

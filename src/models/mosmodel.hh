@@ -117,6 +117,16 @@ class Mosmodel : public RuntimeModel
 ModelPtr makeMosmodel();
 
 /**
+ * Mosmodel extended for OS-level paging ("mosmodel-s"): the swap
+ * cycles S a bounded frame pool charges are a direct serial stall in
+ * the simulated runtime, so the model fits Mosmodel against the
+ * swap-free residual (R - S) and predicts R = mosmodel(H, M, C) + S.
+ * On an unbounded (S == 0) dataset it degenerates to plain Mosmodel —
+ * identical fit, identical predictions.
+ */
+ModelPtr makeMosmodelSwap();
+
+/**
  * The paper's full reporting lineup: pham, alam, gandhi, basu, yaniv,
  * poly1, poly2, poly3, mosmodel (the Figure 5/6 legend order).
  */

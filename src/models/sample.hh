@@ -26,6 +26,7 @@ struct Sample
     double h = 0.0; ///< L2-TLB hits
     double m = 0.0; ///< TLB misses (both levels)
     double c = 0.0; ///< aggregate page-walk cycles
+    double s = 0.0; ///< swap cycles (OS layer; 0 in unbounded mode)
 };
 
 /** A workload's measured dataset on one platform. */

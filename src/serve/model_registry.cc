@@ -93,8 +93,14 @@ ModelRegistry::ModelRegistry(Options options)
 const std::vector<std::string> &
 ModelRegistry::modelNames()
 {
-    static const std::vector<std::string> names =
-        exp::paperModelOrder();
+    // The paper lineup plus the OS layer's swap-aware model: "model="
+    // selection is the daemon's handle on paging-mode surfaces
+    // (datasets whose rows carry the S column).
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out = exp::paperModelOrder();
+        out.push_back("mosmodel-s");
+        return out;
+    }();
     return names;
 }
 
@@ -204,6 +210,7 @@ ModelRegistry::predictWarm(PairEntry &pair, const PredictQuery &query,
         point.h = query.h;
         point.m = query.m;
         point.c = query.c;
+        point.s = query.s;
     }
 
     double predicted = 0.0;

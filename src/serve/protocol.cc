@@ -53,7 +53,7 @@ parsePredict(const std::vector<std::string> &words)
     query.platform = words[1];
     query.workload = words[2];
 
-    bool got_h = false, got_m = false, got_c = false;
+    bool got_h = false, got_m = false, got_c = false, got_s = false;
     for (std::size_t i = 3; i < words.size(); ++i) {
         const std::string &word = words[i];
         auto eq = word.find('=');
@@ -64,18 +64,21 @@ parsePredict(const std::vector<std::string> &words)
         }
         const std::string key = lower(word.substr(0, eq));
         const std::string value = word.substr(eq + 1);
-        if (key == "h" || key == "m" || key == "c") {
+        if (key == "h" || key == "m" || key == "c" || key == "s") {
             double parsed = 0.0;
             if (!parseMetric(value, parsed)) {
                 return parseError("bad " + key + " metric '" + value +
                                   "' (want a finite non-negative "
                                   "number)");
             }
-            (key == "h" ? query.h : key == "m" ? query.m : query.c) =
-                parsed;
+            (key == "h"   ? query.h
+             : key == "m" ? query.m
+             : key == "c" ? query.c
+                          : query.s) = parsed;
             (key == "h"   ? got_h
              : key == "m" ? got_m
-                          : got_c) = true;
+             : key == "c" ? got_c
+                          : got_s) = true;
         } else if (key == "layout") {
             query.byLayout = true;
             query.layout = value;
@@ -86,12 +89,14 @@ parsePredict(const std::vector<std::string> &words)
         }
     }
 
-    const bool any_metric = got_h || got_m || got_c;
+    const bool any_metric = got_h || got_m || got_c || got_s;
     if (query.byLayout && any_metric) {
         return parseError(
             "PREDICT takes either layout= or h=/m=/c=, not both");
     }
     if (!query.byLayout && !(got_h && got_m && got_c)) {
+        // s= is optional (it defaults to 0: no paging), but the three
+        // classic metrics stay mandatory.
         return parseError(
             "PREDICT by metrics needs all three of h=, m=, c=");
     }

@@ -6,7 +6,8 @@
  *
  * Grammar (one request per '\n'-terminated line, '\r' tolerated):
  *
- *   PREDICT <platform> <workload> h=<F> m=<F> c=<F> [model=<NAME>]
+ *   PREDICT <platform> <workload> h=<F> m=<F> c=<F> [s=<F>]
+ *           [model=<NAME>]
  *   PREDICT <platform> <workload> layout=<LAYOUT> [model=<NAME>]
  *   STATS            (also accepted spelled "/stats")
  *   MODELS
@@ -57,6 +58,11 @@ struct PredictQuery
     double h = 0.0; ///< L2-TLB hits
     double m = 0.0; ///< TLB misses
     double c = 0.0; ///< page-walk cycles
+
+    /** Swap cycles (the OS layer's S counter). Optional — defaults
+     *  to 0, under which every model predicts as before; the
+     *  swap-aware "mosmodel-s" adds it to the prediction. */
+    double s = 0.0;
 };
 
 /** One parsed request line. */

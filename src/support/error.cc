@@ -23,6 +23,8 @@ errorCategoryName(ErrorCategory category)
         return "net";
       case ErrorCategory::Shutdown:
         return "shutdown";
+      case ErrorCategory::Resource:
+        return "resource";
       case ErrorCategory::Internal:
         return "internal";
     }

@@ -33,6 +33,7 @@ enum class ErrorCategory
     Timeout, ///< a watchdog deadline expired; the work was abandoned
     Net,     ///< socket setup/read/write failed or a peer disconnected
     Shutdown,///< refused because the daemon is draining for shutdown
+    Resource,///< a bounded resource (physical frames) was exhausted
     Internal ///< invariant violation surfaced as an error (from a throw)
 };
 
@@ -224,6 +225,12 @@ shutdownError(std::string message)
     return Error(ErrorCategory::Shutdown, std::move(message));
 }
 
+inline Error
+resourceError(std::string message)
+{
+    return Error(ErrorCategory::Resource, std::move(message));
+}
+
 /**
  * Thrown from deep inside the replay loop when a cooperative watchdog
  * deadline expires (see SimContext::deadline()). The campaign catches
@@ -235,6 +242,22 @@ class TimeoutError : public std::runtime_error
 {
   public:
     explicit TimeoutError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/**
+ * Thrown when a bounded simulated resource is exhausted and cannot be
+ * reclaimed — e.g. a FramePool whose frame budget cannot hold even a
+ * single page of the requested size. Like TimeoutError, it is caught
+ * at the campaign cell boundary and converted into a Resource Error so
+ * one impossible cell does not take down the run.
+ */
+class ResourceError : public std::runtime_error
+{
+  public:
+    explicit ResourceError(const std::string &what)
         : std::runtime_error(what)
     {
     }

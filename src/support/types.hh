@@ -24,7 +24,7 @@ using PhysAddr = std::uint64_t;
 
 /**
  * Ceiling on simulated physical addresses, shared between the
- * allocator that mints them (PhysMem asserts it per allocation) and
+ * allocator that mints them (the FramePool enforces it per allocation) and
  * the cache model whose 32-bit tags require it (Cache's constructor
  * derives its tag-width headroom from this bound, keeping the
  * per-access path free of range checks).

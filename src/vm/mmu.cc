@@ -51,6 +51,53 @@ Mmu::translateCold(VirtAddr vaddr, PhysAddr staged_phys,
     return event;
 }
 
+TranslationEvent
+Mmu::translatePaged(VirtAddr vaddr, bool is_write, Cycles now)
+{
+    mosaic_assert(pager_, "translatePaged without an attached pager");
+    FramePool::FaultOutcome fault =
+        pager_->touch(pagerTenant_, vaddr, is_write);
+    counters_.s += fault.swapCycles;
+    counters_.majorFaults += fault.majorFault ? 1 : 0;
+    counters_.evictions += fault.evictions;
+    counters_.writebacks += fault.writebacks;
+
+    // The page table is mutable here, so the translation memo and the
+    // staged fast path are bypassed: re-derive the translation from
+    // the live table on every access. The descent cursor stays safe —
+    // it caches node ids, and intermediate nodes are never freed.
+    Translation xlate = pageTable_.translateWith(descentCursor_, vaddr);
+    mosaic_assert(xlate.valid, "access to unmapped address ", vaddr);
+
+    TranslationEvent event;
+    event.physAddr = xlate.physAddr;
+    event.pageSize = xlate.pageSize;
+    // The swap stall serializes the access: TLB/walk latency accrues
+    // after the fault is serviced.
+    event.latency = fault.swapCycles;
+    event.swapStall = fault.swapCycles;
+    TlbOutcome outcome = tlb_.lookup(vaddr, xlate.pageSize);
+    event.outcome = outcome;
+    if (outcome == TlbOutcome::L1Hit) {
+        ++counters_.l1Hits;
+        return event;
+    }
+    if (outcome == TlbOutcome::L2Hit) {
+        ++counters_.h;
+        event.latency += config_.l2TlbHitLatency;
+        return event;
+    }
+    WalkResult walk =
+        walker_.walk(xlate, vaddr, now + fault.swapCycles);
+    tlb_.fill(vaddr, xlate.pageSize);
+    ++counters_.m;
+    counters_.c += walk.walkCycles;
+    counters_.queueCycles += walk.queueCycles;
+    event.latency += walk.walkCycles;
+    event.queueCycles = walk.queueCycles;
+    return event;
+}
+
 void
 Mmu::refillXlate(std::uint64_t granule, XlateEntry &slot)
 {

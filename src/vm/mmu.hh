@@ -22,6 +22,7 @@
 #include "memhier/hierarchy.hh"
 #include "support/logging.hh"
 #include "support/types.hh"
+#include "vm/frame_pool.hh"
 #include "vm/page_table.hh"
 #include "vm/tlb.hh"
 #include "vm/walker.hh"
@@ -55,27 +56,43 @@ struct TranslationEvent
 
     /** Extra delay spent waiting for a free hardware walker. */
     Cycles queueCycles = 0;
+
+    /** Swap cycles of a demand fault on this access (paged mode
+     *  only). Also included in `latency`; reported separately so the
+     *  core can serialize the stall — a major fault traps to the OS
+     *  and blocks the thread, it is never overlapped like a cache
+     *  miss. */
+    Cycles swapStall = 0;
 };
 
-/** The paper's PMU counter triple (plus walk count). */
+/** The paper's PMU counter triple (plus walk count), extended with
+ *  the OS layer's swap accounting (all zero in unbounded mode). */
 struct MmuCounters
 {
     std::uint64_t h = 0; ///< L2-TLB hits
     std::uint64_t m = 0; ///< misses in both TLB levels
     Cycles c = 0;        ///< aggregate walk cycles
+    Cycles s = 0;        ///< aggregate swap cycles (faults + writebacks)
 
     std::uint64_t l1Hits = 0;
     Cycles queueCycles = 0;
+
+    std::uint64_t majorFaults = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t writebacks = 0;
 };
 
 /**
  * Per-access translation engine with PMU-style accounting.
  *
- * The page table must be fully populated before the first translate()
- * call; later map() calls would not be visible through the
- * translation memo.
+ * In unbounded mode the page table must be fully populated before the
+ * first translate() call; later map() calls would not be visible
+ * through the translation memo. In paged mode (attachPager()) the
+ * table is mutable and every access goes through translatePaged(),
+ * which bypasses the memo and the staged fast path entirely — the
+ * unbounded hot loop is untouched.
  */
-class Mmu
+class Mmu : public ShootdownSink
 {
   public:
     Mmu(const PageTable &page_table, mem::MemoryHierarchy &hierarchy,
@@ -139,6 +156,40 @@ class Mmu
             &xlateCache_[granule & (kXlateCacheSize - 1)], 0, 3);
     }
 
+    /**
+     * Enter paged mode: route every access through @p pool's
+     * demand-fault machinery as @p tenant. The pool evicts through
+     * this MMU's ShootdownSink hook.
+     */
+    void
+    attachPager(FramePool &pool, FramePool::TenantId tenant)
+    {
+        pager_ = &pool;
+        pagerTenant_ = tenant;
+    }
+
+    bool paged() const { return pager_ != nullptr; }
+
+    /**
+     * Paged-mode translation: ensure the page is resident first
+     * (possibly faulting, evicting, and charging swap cycles into S),
+     * then run the usual TLB/walker accounting against the live page
+     * table. A faulting access always misses the TLB afterwards — its
+     * translation was shot down when the page was last evicted — so
+     * every major fault also counts in M and walks, like the retried
+     * instruction on a real machine.
+     */
+    TranslationEvent translatePaged(VirtAddr vaddr, bool is_write,
+                                    Cycles now);
+
+    /** ShootdownSink: the frame pool evicted one of this address
+     *  space's pages. */
+    void
+    shootdown(VirtAddr vbase, alloc::PageSize size) override
+    {
+        tlb_.invalidate(vbase, size);
+    }
+
     /** Reset TLBs and PWCs (e.g., between benchmark repetitions). */
     void flush();
 
@@ -194,6 +245,11 @@ class Mmu
      *  of nearby addresses skip the radix levels they share. Host
      *  state only; never affects what a translation returns. */
     PageTable::DescentCursor descentCursor_;
+
+    /** Paged mode only: the shared frame pool and this address
+     *  space's tenant id within it. */
+    FramePool *pager_ = nullptr;
+    FramePool::TenantId pagerTenant_ = 0;
 };
 
 TranslationEvent

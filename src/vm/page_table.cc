@@ -5,8 +5,8 @@
 namespace mosaic::vm
 {
 
-PageTable::PageTable(PhysMem &phys_mem)
-    : physMem_(phys_mem)
+PageTable::PageTable(FramePool &frame_pool)
+    : framePool_(frame_pool)
 {
     newNode(); // Node 0: the PML4 root.
 }
@@ -15,7 +15,7 @@ std::uint32_t
 PageTable::newNode()
 {
     Node node;
-    node.frame = physMem_.allocPageTableNode();
+    node.frame = framePool_.allocPageTableNode();
     nodes_.push_back(node);
     return static_cast<std::uint32_t>(nodes_.size() - 1);
 }
@@ -61,10 +61,35 @@ PageTable::map(VirtAddr vbase, alloc::PageSize size, PhysAddr pbase)
 }
 
 void
+PageTable::unmap(VirtAddr vbase, alloc::PageSize size)
+{
+    PtLevel leaf = leafLevel(size);
+    std::uint32_t node_id = 0;
+    for (unsigned l = 0; l < numPtLevels; ++l) {
+        auto level = static_cast<PtLevel>(l);
+        std::uint64_t index = levelIndex(vbase, level);
+        Entry &entry = nodes_[node_id].entries[index];
+        mosaic_assert(entry.present, "unmap of unmapped address ",
+                      vbase);
+        if (level == leaf) {
+            mosaic_assert(entry.leaf, "unmap size mismatch at ", vbase);
+            entry.present = false;
+            entry.leaf = false;
+            entry.phys = 0;
+            --mappedPages_[static_cast<std::size_t>(size)];
+            return;
+        }
+        mosaic_assert(!entry.leaf, "unmap under a hugepage at ", vbase);
+        node_id = entry.next;
+    }
+    mosaic_panic("unreachable: unmap ran past the PT level");
+}
+
+void
 PageTable::populate(const alloc::Mosalloc &allocator)
 {
     for (const auto &mapping : allocator.pageMappings()) {
-        PhysAddr frame = physMem_.allocDataFrame(mapping.pageSize);
+        PhysAddr frame = framePool_.allocDataFrame(mapping.pageSize);
         map(mapping.virtBase, mapping.pageSize, frame);
     }
 }

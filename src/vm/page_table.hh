@@ -19,7 +19,7 @@
 #include "mosalloc/mosalloc.hh"
 #include "mosalloc/page_size.hh"
 #include "support/types.hh"
-#include "vm/phys_mem.hh"
+#include "vm/frame_pool.hh"
 
 namespace mosaic::vm
 {
@@ -94,13 +94,22 @@ struct Translation
 class PageTable
 {
   public:
-    explicit PageTable(PhysMem &phys_mem);
+    explicit PageTable(FramePool &frame_pool);
 
     /**
      * Map one page: @p vbase (aligned to @p size) -> @p pbase.
      * Intermediate nodes are created on demand; double mapping panics.
      */
     void map(VirtAddr vbase, alloc::PageSize size, PhysAddr pbase);
+
+    /**
+     * Unmap one page previously map()ed at @p vbase with @p size:
+     * clears the leaf entry. Intermediate nodes are never freed, so
+     * page-walk caches (which hold only non-leaf entries) stay valid;
+     * the caller owns the TLB shootdown. Used by the frame pool's
+     * eviction path.
+     */
+    void unmap(VirtAddr vbase, alloc::PageSize size);
 
     /**
      * Populate the table from a Mosalloc instance: allocates a data
@@ -181,7 +190,7 @@ class PageTable
         return nodes_[node_id].frame + index * 8;
     }
 
-    PhysMem &physMem_;
+    FramePool &framePool_;
     std::vector<Node> nodes_; ///< node 0 is the PML4 root
     std::array<std::uint64_t, alloc::numPageSizes> mappedPages_{};
 };

@@ -1,0 +1,241 @@
+#include "vm/replacement.hh"
+
+#include "support/logging.hh"
+
+namespace mosaic::vm
+{
+
+const char *
+replacementPolicyName(ReplacementPolicyKind kind)
+{
+    switch (kind) {
+      case ReplacementPolicyKind::Fifo:
+        return "fifo";
+      case ReplacementPolicyKind::Lru:
+        return "lru";
+      case ReplacementPolicyKind::Clock:
+        return "clock";
+    }
+    return "unknown";
+}
+
+Result<ReplacementPolicyKind>
+parseReplacementPolicy(const std::string &text)
+{
+    if (text == "fifo")
+        return ReplacementPolicyKind::Fifo;
+    if (text == "lru")
+        return ReplacementPolicyKind::Lru;
+    if (text == "clock")
+        return ReplacementPolicyKind::Clock;
+    return configError("unknown replacement policy '" + text +
+                       "' (expected fifo, lru or clock)");
+}
+
+namespace
+{
+
+/**
+ * Shared intrusive-list machinery: a doubly-linked list threaded
+ * through a dense id-indexed vector, so link/unlink are O(1) and no
+ * per-operation allocation happens after warmup.
+ */
+class ListPolicy : public ReplacementPolicy
+{
+  public:
+    std::size_t size() const override { return count_; }
+
+  protected:
+    static constexpr std::uint32_t kNil = ~0u;
+
+    struct Link
+    {
+        std::uint32_t prev = kNil;
+        std::uint32_t next = kNil;
+        bool present = false;
+    };
+
+    void
+    grow(std::uint32_t id)
+    {
+        if (id >= links_.size())
+            links_.resize(id + 1);
+    }
+
+    void
+    pushBack(std::uint32_t id)
+    {
+        grow(id);
+        Link &link = links_[id];
+        mosaic_assert(!link.present, "policy double-insert of page ", id);
+        link.present = true;
+        link.prev = tail_;
+        link.next = kNil;
+        if (tail_ != kNil)
+            links_[tail_].next = id;
+        else
+            head_ = id;
+        tail_ = id;
+        ++count_;
+    }
+
+    void
+    unlink(std::uint32_t id)
+    {
+        Link &link = links_[id];
+        mosaic_assert(link.present, "policy unlink of untracked page ",
+                      id);
+        if (link.prev != kNil)
+            links_[link.prev].next = link.next;
+        else
+            head_ = link.next;
+        if (link.next != kNil)
+            links_[link.next].prev = link.prev;
+        else
+            tail_ = link.prev;
+        link.present = false;
+        link.prev = link.next = kNil;
+        --count_;
+    }
+
+    bool
+    tracked(std::uint32_t id) const
+    {
+        return id < links_.size() && links_[id].present;
+    }
+
+    std::vector<Link> links_;
+    std::uint32_t head_ = kNil;
+    std::uint32_t tail_ = kNil;
+    std::size_t count_ = 0;
+};
+
+class FifoPolicy final : public ListPolicy
+{
+  public:
+    void insert(std::uint32_t id) override { pushBack(id); }
+
+    void
+    touch(std::uint32_t id) override
+    {
+        mosaic_assert(tracked(id), "FIFO touch of untracked page ", id);
+    }
+
+    std::uint32_t
+    victim() override
+    {
+        mosaic_assert(count_ > 0, "FIFO victim() on empty policy");
+        std::uint32_t id = head_;
+        unlink(id);
+        return id;
+    }
+
+    ReplacementPolicyKind
+    kind() const override
+    {
+        return ReplacementPolicyKind::Fifo;
+    }
+};
+
+class LruPolicy final : public ListPolicy
+{
+  public:
+    void insert(std::uint32_t id) override { pushBack(id); }
+
+    void
+    touch(std::uint32_t id) override
+    {
+        mosaic_assert(tracked(id), "LRU touch of untracked page ", id);
+        unlink(id);
+        pushBack(id);
+    }
+
+    std::uint32_t
+    victim() override
+    {
+        mosaic_assert(count_ > 0, "LRU victim() on empty policy");
+        std::uint32_t id = head_;
+        unlink(id);
+        return id;
+    }
+
+    ReplacementPolicyKind
+    kind() const override
+    {
+        return ReplacementPolicyKind::Lru;
+    }
+};
+
+class ClockPolicy final : public ListPolicy
+{
+  public:
+    void
+    insert(std::uint32_t id) override
+    {
+        pushBack(id);
+        if (id >= ref_.size())
+            ref_.resize(id + 1, false);
+        ref_[id] = true;
+    }
+
+    void
+    touch(std::uint32_t id) override
+    {
+        mosaic_assert(tracked(id), "Clock touch of untracked page ", id);
+        ref_[id] = true;
+    }
+
+    std::uint32_t
+    victim() override
+    {
+        mosaic_assert(count_ > 0, "Clock victim() on empty policy");
+        if (hand_ == kNil || !tracked(hand_))
+            hand_ = head_;
+        // Terminates within two laps: the first lap clears every
+        // reference bit it passes.
+        while (ref_[hand_]) {
+            ref_[hand_] = false;
+            hand_ = nextWrap(hand_);
+        }
+        std::uint32_t id = hand_;
+        std::uint32_t next = nextWrap(id);
+        hand_ = next == id ? kNil : next;
+        unlink(id);
+        return id;
+    }
+
+    ReplacementPolicyKind
+    kind() const override
+    {
+        return ReplacementPolicyKind::Clock;
+    }
+
+  private:
+    std::uint32_t
+    nextWrap(std::uint32_t id) const
+    {
+        std::uint32_t next = links_[id].next;
+        return next != kNil ? next : head_;
+    }
+
+    std::vector<bool> ref_;
+    std::uint32_t hand_ = kNil;
+};
+
+} // namespace
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(ReplacementPolicyKind kind)
+{
+    switch (kind) {
+      case ReplacementPolicyKind::Fifo:
+        return std::make_unique<FifoPolicy>();
+      case ReplacementPolicyKind::Lru:
+        return std::make_unique<LruPolicy>();
+      case ReplacementPolicyKind::Clock:
+        return std::make_unique<ClockPolicy>();
+    }
+    mosaic_panic("unreachable replacement policy kind");
+}
+
+} // namespace mosaic::vm

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Pluggable page-replacement policies for the frame pool.
+ *
+ * A policy tracks the set of resident pages (by dense page id) and
+ * answers "which page do we evict next". Three classic policies are
+ * modelled — FIFO, LRU, and Clock (second chance) — behind one
+ * interface so campaigns can sweep them with `--replacement`. All
+ * three are O(1) per operation (amortized for Clock) over an
+ * intrusive doubly-linked list keyed by page id, and fully
+ * deterministic: given the same insert/touch sequence they pick the
+ * same victims, which the reference-oracle property tests in
+ * tests/vm/test_replacement.cc pin per access.
+ *
+ * Tie-breaking rules (part of the deterministic contract):
+ *  - FIFO evicts in insertion order; touch() is a no-op.
+ *  - LRU evicts the least recently inserted-or-touched page.
+ *  - Clock keeps pages in insertion order on a circular list with a
+ *    reference bit (set on insert and on touch). The hand starts at
+ *    the oldest page; a set bit buys one more lap, a clear bit is
+ *    evicted. After an eviction the hand rests on the victim's
+ *    successor.
+ */
+
+#ifndef MOSAIC_VM_REPLACEMENT_HH
+#define MOSAIC_VM_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/error.hh"
+
+namespace mosaic::vm
+{
+
+enum class ReplacementPolicyKind : std::uint8_t
+{
+    Fifo = 0,
+    Lru = 1,
+    Clock = 2,
+};
+
+/** Lower-case policy tag, e.g. "fifo" (the `--replacement` values). */
+const char *replacementPolicyName(ReplacementPolicyKind kind);
+
+/** Parse a `--replacement` value; Config error on anything unknown. */
+Result<ReplacementPolicyKind>
+parseReplacementPolicy(const std::string &text);
+
+/**
+ * Residency tracker with a victim-selection rule. Ids are dense and
+ * small (one per declared page); state auto-grows to the largest id
+ * seen. A page id may be re-inserted after it was evicted.
+ */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** @p id became resident (must not already be tracked). */
+    virtual void insert(std::uint32_t id) = 0;
+
+    /** @p id (resident) was accessed. */
+    virtual void touch(std::uint32_t id) = 0;
+
+    /** Select the next victim and remove it from the tracked set. */
+    virtual std::uint32_t victim() = 0;
+
+    /** Number of pages currently tracked. */
+    virtual std::size_t size() const = 0;
+
+    virtual ReplacementPolicyKind kind() const = 0;
+};
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(ReplacementPolicyKind kind);
+
+} // namespace mosaic::vm
+
+#endif // MOSAIC_VM_REPLACEMENT_HH

@@ -27,6 +27,26 @@ TlbArray::TlbArray(std::uint32_t entries, std::uint32_t ways)
 }
 
 void
+TlbArray::invalidate(std::uint64_t key)
+{
+    if (entries_ == 0)
+        return;
+    std::uint64_t set = (key >> 2) & setMask_;
+    std::uint64_t base = set * ways_;
+    int w = simd::findKey(&keys_[base], ways_, key);
+    if (w < 0)
+        return;
+    std::uint64_t slot = base + static_cast<unsigned>(w);
+    keys_[slot] = kEmptyKey;
+    lastUse_[slot] = 0;
+    // The repeat-hit memo may name the invalidated way; it is checked
+    // by key on use, but clear it anyway so the scan path stays the
+    // single source of truth after a shootdown.
+    if (lastHit_ == slot)
+        lastHit_ = kNoWay;
+}
+
+void
 TlbArray::flush()
 {
     keys_.assign(keys_.size(), kEmptyKey);
@@ -49,6 +69,18 @@ const TlbArray &
 TlbSystem::l1Array(alloc::PageSize size) const
 {
     return l1_[static_cast<std::size_t>(size)];
+}
+
+void
+TlbSystem::invalidate(VirtAddr vaddr, alloc::PageSize size)
+{
+    std::uint64_t key = makeKey(vaddr, size);
+    l1ArrayMut(size).invalidate(key);
+    if (l2Holds(size)) {
+        TlbArray &l2 = size == alloc::PageSize::Page1G ? l2Huge1g_
+                                                       : l2Shared_;
+        l2.invalidate(key);
+    }
 }
 
 void

@@ -54,6 +54,10 @@ class TlbArray
     /** Install @p key (evicting the set's LRU victim on conflict). */
     inline void insert(std::uint64_t key);
 
+    /** Drop @p key if present (single-entry shootdown). Off the hot
+     *  path: runs only on frame-pool evictions. */
+    void invalidate(std::uint64_t key);
+
     /** Drop all entries. */
     void flush();
 
@@ -216,6 +220,10 @@ class TlbSystem
 
     /** Install a translation after a walk (fills L1 and L2). */
     inline void fill(VirtAddr vaddr, alloc::PageSize size);
+
+    /** Shoot down one page's translation from both levels (the
+     *  frame-pool eviction path; counts nothing). */
+    void invalidate(VirtAddr vaddr, alloc::PageSize size);
 
     /** Drop all entries in both levels. */
     void flush();

@@ -253,7 +253,7 @@ namespace
 /** One fused lane's machine, built outside the deadline window. */
 struct LaneMachine
 {
-    vm::PhysMem phys;
+    vm::FramePool phys;
     vm::PageTable table;
     mem::MemoryHierarchy hierarchy;
     vm::Mmu mmu;

@@ -26,6 +26,7 @@
 #include "mosalloc/mosalloc.hh"
 #include "support/simd.hh"
 #include "trace/synth.hh"
+#include "vm/frame_pool.hh"
 
 using namespace mosaic;
 
@@ -62,16 +63,22 @@ struct TraceMix
 /** The default mix makeSynthTrace uses when not overridden. */
 constexpr TraceMix kDefaultMix{60, 22, 12, 6};
 
-cpu::RunResult
-runCell(const std::string &platform_name,
-        const std::string &layout_name,
-        const TraceMix &mix = kDefaultMix,
-        std::uint64_t records = kRecords)
+/** The (alloc config, trace) pair one golden cell replays. */
+struct CellInput
 {
     alloc::MosallocConfig config;
-    config.heapLayout = layoutByName(layout_name);
-    config.anonLayout = alloc::MosaicLayout(16_MiB);
-    alloc::Mosalloc allocator(config);
+    trace::MemoryTrace trace;
+};
+
+CellInput
+makeCellInput(const std::string &layout_name,
+              const TraceMix &mix = kDefaultMix,
+              std::uint64_t records = kRecords)
+{
+    CellInput input;
+    input.config.heapLayout = layoutByName(layout_name);
+    input.config.anonLayout = alloc::MosaicLayout(16_MiB);
+    alloc::Mosalloc allocator(input.config);
     VirtAddr base = allocator.malloc(kFootprint);
 
     trace::SynthTraceParams synth;
@@ -82,10 +89,34 @@ runCell(const std::string &platform_name,
     synth.hotPct = mix.hot;
     synth.randPct = mix.rand;
     synth.chasePct = mix.chase;
-    trace::MemoryTrace trace = trace::makeSynthTrace(synth);
+    input.trace = trace::makeSynthTrace(synth);
+    return input;
+}
 
+cpu::RunResult
+runCell(const std::string &platform_name,
+        const std::string &layout_name,
+        const TraceMix &mix = kDefaultMix,
+        std::uint64_t records = kRecords)
+{
+    CellInput input = makeCellInput(layout_name, mix, records);
+    alloc::Mosalloc allocator(input.config);
+    allocator.malloc(kFootprint);
     cpu::System system(cpu::platformByName(platform_name), allocator);
-    return system.run(trace);
+    return system.run(input.trace);
+}
+
+cpu::RunResult
+runPagedCell(const std::string &platform_name,
+             const std::string &layout_name, std::uint64_t frames,
+             vm::ReplacementPolicyKind policy)
+{
+    CellInput input = makeCellInput(layout_name);
+    vm::OsConfig os;
+    os.memFrames = frames;
+    os.policy = policy;
+    return cpu::simulateRun(cpu::platformByName(platform_name),
+                            input.config, input.trace, os);
 }
 
 /** Full PMU + cache-load readout equality (not just R/H/M/C). */
@@ -106,6 +137,10 @@ expectSameCounters(const cpu::RunResult &a, const cpu::RunResult &b)
     EXPECT_EQ(a.walkL2Loads, b.walkL2Loads);
     EXPECT_EQ(a.walkL3Loads, b.walkL3Loads);
     EXPECT_EQ(a.walkDramLoads, b.walkDramLoads);
+    EXPECT_EQ(a.swapCycles, b.swapCycles);
+    EXPECT_EQ(a.majorFaults, b.majorFaults);
+    EXPECT_EQ(a.evictions, b.evictions);
+    EXPECT_EQ(a.writebacks, b.writebacks);
 }
 
 /** Restore the ambient SIMD tier even when an assertion bails out. */
@@ -233,6 +268,103 @@ TEST(GoldenCounters, SimdAndScalarKernelsBitIdenticalOnSkewedTraces)
                 expectSameCounters(vectorized, scalar);
             }
         }
+    }
+}
+
+/**
+ * The OS-layer safety rail at integration level: running through the
+ * OsConfig overload with the default (unbounded) config must be
+ * bit-identical — over the *full* readout — to the classic System::run
+ * path, with zero swap accounting.
+ */
+TEST(GoldenCounters, UnboundedOsConfigMatchesLegacyRun)
+{
+    for (const char *platform : {"SandyBridge", "Skylake"}) {
+        for (const char *layout : {"all4k", "win2m"}) {
+            SCOPED_TRACE(std::string(platform) + "/" + layout);
+            auto legacy = runCell(platform, layout);
+            CellInput input = makeCellInput(layout);
+            auto unbounded = cpu::simulateRun(
+                cpu::platformByName(platform), input.config, input.trace,
+                vm::OsConfig{});
+            expectSameCounters(legacy, unbounded);
+            EXPECT_EQ(unbounded.swapCycles, 0u);
+            EXPECT_EQ(unbounded.majorFaults, 0u);
+            EXPECT_EQ(unbounded.evictions, 0u);
+        }
+    }
+}
+
+struct PagedGolden
+{
+    const char *platform;
+    const char *layout;
+    std::uint64_t frames;
+    vm::ReplacementPolicyKind policy;
+    std::uint64_t r;
+    std::uint64_t h;
+    std::uint64_t m;
+    std::uint64_t c;
+    std::uint64_t s;
+};
+
+// A 16MiB frame budget against the 48MiB footprint: steady demand
+// paging on every cell. Captured like the resident goldens, with
+// MOSAIC_GOLDEN_PRINT=1 (the paged rows print after the resident
+// table).
+constexpr PagedGolden kPagedGolden[] = {
+    // clang-format off
+    {"SandyBridge", "all4k", 4096, vm::ReplacementPolicyKind::Fifo, 48927333ULL, 14968ULL, 43897ULL, 1784468ULL, 46053200ULL},
+    {"SandyBridge", "win2m", 4096, vm::ReplacementPolicyKind::Fifo, 45308914ULL, 1ULL, 20678ULL, 852024ULL, 42518400ULL},
+    {"SandyBridge", "all4k", 4096, vm::ReplacementPolicyKind::Lru, 43261331ULL, 15243ULL, 43615ULL, 1782136ULL, 40252800ULL},
+    {"SandyBridge", "all4k", 4096, vm::ReplacementPolicyKind::Clock, 43713021ULL, 15233ULL, 43625ULL, 1790500ULL, 40702800ULL},
+    {"Skylake", "all4k", 4096, vm::ReplacementPolicyKind::Fifo, 47878372ULL, 30199ULL, 28666ULL, 1118100ULL, 46053200ULL},
+    {"Skylake", "win2m", 4096, vm::ReplacementPolicyKind::Fifo, 44356461ULL, 1ULL, 20678ULL, 580248ULL, 42518400ULL},
+    // clang-format on
+};
+
+/**
+ * Paging-mode goldens: for a fixed bounded pool the full (R, H, M, C,
+ * S) readout is part of the pinned simulation semantics, exactly like
+ * the resident-mode table above.
+ */
+TEST(GoldenCounters, PagedCountersBitIdentical)
+{
+    if (std::getenv("MOSAIC_GOLDEN_PRINT")) {
+        for (const auto &golden : kPagedGolden) {
+            auto res = runPagedCell(golden.platform, golden.layout,
+                                    golden.frames, golden.policy);
+            std::printf(
+                "    {\"%s\", \"%s\", %llu, "
+                "vm::ReplacementPolicyKind::%s, %lluULL, %lluULL, "
+                "%lluULL, %lluULL, %lluULL},\n",
+                golden.platform, golden.layout,
+                static_cast<unsigned long long>(golden.frames),
+                golden.policy == vm::ReplacementPolicyKind::Fifo ? "Fifo"
+                : golden.policy == vm::ReplacementPolicyKind::Lru
+                    ? "Lru"
+                    : "Clock",
+                static_cast<unsigned long long>(res.runtimeCycles),
+                static_cast<unsigned long long>(res.tlbHitsL2),
+                static_cast<unsigned long long>(res.tlbMisses),
+                static_cast<unsigned long long>(res.walkCycles),
+                static_cast<unsigned long long>(res.swapCycles));
+        }
+        GTEST_SKIP() << "golden print mode: no assertions";
+    }
+
+    for (const auto &golden : kPagedGolden) {
+        SCOPED_TRACE(std::string(golden.platform) + "/" + golden.layout +
+                     "/" + vm::replacementPolicyName(golden.policy));
+        auto res = runPagedCell(golden.platform, golden.layout,
+                                golden.frames, golden.policy);
+        EXPECT_EQ(res.runtimeCycles, golden.r);
+        EXPECT_EQ(res.tlbHitsL2, golden.h);
+        EXPECT_EQ(res.tlbMisses, golden.m);
+        EXPECT_EQ(res.walkCycles, golden.c);
+        EXPECT_EQ(res.swapCycles, golden.s);
+        EXPECT_GT(res.majorFaults, 0u);
+        EXPECT_GT(res.evictions, 0u);
     }
 }
 

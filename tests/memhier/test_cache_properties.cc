@@ -272,7 +272,7 @@ TEST_P(PwcReachTest, LargerPdeCacheShortensMoreWalks)
     // cache of E entries, the second pass gets 1-read walks for at
     // most min(E, R) regions.
     const std::uint32_t entries = GetParam();
-    vm::PhysMem mem;
+    vm::FramePool mem;
     vm::PageTable table(mem);
     const std::uint32_t regions = 16;
     for (std::uint32_t r = 0; r < regions; ++r)

@@ -175,6 +175,55 @@ TEST(Mosmodel, RequiresCampaignSizedData)
     EXPECT_THROW(model.fit(tiny), std::logic_error);
 }
 
+TEST(MosmodelSwap, MatchesPlainMosmodelWithoutPaging)
+{
+    // With S = 0 everywhere (unbounded mode), the swap-aware model
+    // fits the identical residual and must predict bit-for-bit what
+    // plain Mosmodel predicts — "mosmodel-s" is a strict superset.
+    auto data = syntheticData(
+        [](double h, double m, double c) {
+            return 5e7 + 0.7 * c + 7.0 * h + 20.0 * m;
+        });
+    Mosmodel plain;
+    plain.fit(data);
+    auto swap_aware = makeMosmodelSwap();
+    EXPECT_EQ(swap_aware->name(), "mosmodel-s");
+    swap_aware->fit(data);
+    for (const auto &sample : data.samples) {
+        EXPECT_DOUBLE_EQ(swap_aware->predict(sample),
+                         plain.predict(sample));
+    }
+}
+
+TEST(MosmodelSwap, RecoversSwapHeavyRuntimeExactly)
+{
+    // Runtime = TLB behaviour + a swap term uncorrelated with
+    // (h, m, c). The simulator charges S serially into R, so the
+    // decomposition R = inner + S is exact: mosmodel-s strips S
+    // before fitting and recovers the ground truth, while plain
+    // Mosmodel is left with the irreducible swap noise.
+    auto data = syntheticData(
+        [](double h, double m, double c) {
+            return 5e7 + 0.7 * c + 7.0 * h + 20.0 * m;
+        });
+    Rng rng(77);
+    for (auto &sample : data.samples) {
+        sample.s = 4e7 * rng.nextDouble();
+        sample.r += sample.s;
+    }
+    data.all4k = data.samples.front();
+    data.all2m = data.samples.back();
+    data.all1g = data.samples.back();
+
+    auto swap_aware = makeMosmodelSwap();
+    auto swap_errors = evaluateModel(*swap_aware, data);
+    EXPECT_LT(swap_errors.maxError, 0.01);
+
+    Mosmodel plain;
+    auto plain_errors = evaluateModel(plain, data);
+    EXPECT_GT(plain_errors.maxError, 5.0 * swap_errors.maxError);
+}
+
 TEST(ModelFactories, AllModelsLineUp)
 {
     auto all = makeAllModels();

@@ -28,6 +28,37 @@ TEST(ServeProtocol, ParsesMetricPredict)
     EXPECT_EQ(request.predict.model, "mosmodel");
 }
 
+TEST(ServeProtocol, SwapMetricIsOptionalAndDefaultsToZero)
+{
+    // Legacy clients (no OS layer) omit s=; the query must parse
+    // with s == 0, under which every model predicts as before.
+    auto legacy = parseRequest("PREDICT p w h=1 m=2 c=3");
+    ASSERT_TRUE(legacy.ok());
+    EXPECT_DOUBLE_EQ(legacy.value().predict.s, 0.0);
+
+    auto paged = parseRequest("PREDICT p w h=1 m=2 c=3 s=4.5e6");
+    ASSERT_TRUE(paged.ok());
+    EXPECT_DOUBLE_EQ(paged.value().predict.s, 4.5e6);
+
+    // Case-insensitive like the other metric keys.
+    auto upper = parseRequest("PREDICT p w H=1 M=2 C=3 S=7");
+    ASSERT_TRUE(upper.ok());
+    EXPECT_DOUBLE_EQ(upper.value().predict.s, 7.0);
+}
+
+TEST(ServeProtocol, SwapMetricRejectsBadValuesAndLayoutMix)
+{
+    // The same hostile-input rules as h/m/c: finite, non-negative.
+    EXPECT_FALSE(parseRequest("PREDICT p w h=1 m=2 c=3 s=4x").ok());
+    EXPECT_FALSE(parseRequest("PREDICT p w h=1 m=2 c=3 s=-1").ok());
+    EXPECT_FALSE(parseRequest("PREDICT p w h=1 m=2 c=3 s=inf").ok());
+    EXPECT_FALSE(parseRequest("PREDICT p w h=1 m=2 c=3 s=").ok());
+    // s= alone does not satisfy the mandatory h/m/c triple...
+    EXPECT_FALSE(parseRequest("PREDICT p w s=5").ok());
+    // ...and, like any metric, cannot be mixed with layout= queries.
+    EXPECT_FALSE(parseRequest("PREDICT p w layout=all-4KB s=5").ok());
+}
+
 TEST(ServeProtocol, ParsesLayoutPredictWithModel)
 {
     auto parsed = parseRequest(

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "tools/cli_common.hh"
+#include "vm/replacement.hh"
 
 using namespace mosaic::cli;
 
@@ -135,6 +136,70 @@ TEST(CliNumeric, DoubleEnforcesRange)
     ASSERT_FALSE(value.ok());
     EXPECT_EQ(value.error().category(),
               mosaic::ErrorCategory::Numeric);
+}
+
+// The OS-layer flags (--mem-frames, --replacement, --swap-cost) go
+// through the same structured parsers as every other option; these
+// tests pin the exact rejection behaviour mosaic_campaign relies on
+// (unwrapOrDie turns any of these errors into exit 2).
+
+TEST(CliOsFlags, MemFramesAcceptsZeroAndBounds)
+{
+    // 0 is the unbounded-mode sentinel and must parse, not error.
+    auto off = parseUnsignedValue("mem-frames", "0", 0, 1ull << 28);
+    ASSERT_TRUE(off.ok());
+    EXPECT_EQ(off.value(), 0u);
+    auto bounded =
+        parseUnsignedValue("mem-frames", "4096", 0, 1ull << 28);
+    ASSERT_TRUE(bounded.ok());
+    EXPECT_EQ(bounded.value(), 4096u);
+}
+
+TEST(CliOsFlags, MemFramesRejectsGarbageNegativeAndHuge)
+{
+    for (const char *bad : {"4k", "-1", "true", "", " ", "0x10"}) {
+        auto value =
+            parseUnsignedValue("mem-frames", bad, 0, 1ull << 28);
+        ASSERT_FALSE(value.ok()) << "accepted: " << bad;
+        EXPECT_EQ(value.error().category(),
+                  mosaic::ErrorCategory::Numeric);
+        EXPECT_NE(value.error().str().find("--mem-frames"),
+                  std::string::npos);
+    }
+    // More frames than the 1TiB simulated physical address space can
+    // back must be refused at the CLI, not deep in the frame pool.
+    auto huge = parseUnsignedValue("mem-frames", "536870912", 0,
+                                   1ull << 28);
+    ASSERT_FALSE(huge.ok());
+    EXPECT_NE(huge.error().str().find("out of range"),
+              std::string::npos);
+}
+
+TEST(CliOsFlags, SwapCostRejectsGarbage)
+{
+    auto ok = parseUnsignedValue("swap-cost", "12345", 0, 1ull << 32);
+    ASSERT_TRUE(ok.ok());
+    EXPECT_EQ(ok.value(), 12345u);
+    for (const char *bad : {"2000 cycles", "-5", "1e6"}) {
+        auto value =
+            parseUnsignedValue("swap-cost", bad, 0, 1ull << 32);
+        ASSERT_FALSE(value.ok()) << "accepted: " << bad;
+        EXPECT_EQ(value.error().category(),
+                  mosaic::ErrorCategory::Numeric);
+    }
+}
+
+TEST(CliOsFlags, ReplacementParsesExactLowercaseNamesOnly)
+{
+    auto lru = mosaic::vm::parseReplacementPolicy("lru");
+    ASSERT_TRUE(lru.ok());
+    EXPECT_EQ(lru.value(), mosaic::vm::ReplacementPolicyKind::Lru);
+    for (const char *bad : {"LRU", "Fifo", "random", "lru ", ""}) {
+        auto value = mosaic::vm::parseReplacementPolicy(bad);
+        ASSERT_FALSE(value.ok()) << "accepted: " << bad;
+        EXPECT_EQ(value.error().category(),
+                  mosaic::ErrorCategory::Config);
+    }
 }
 
 TEST(CliNumeric, OptionHelpersUseFallback)

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * FramePool tests: the unbounded bump allocator contract (address
+ * identity with the pre-refactor PhysMem), exhaustion as structured
+ * ResourceErrors, and the bounded demand-paging mode — fault/eviction
+ * accounting, shootdown ordering, dirty writeback, LIFO frame reuse,
+ * and cross-tenant contention.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mosalloc/mosalloc.hh"
+#include "support/error.hh"
+#include "vm/frame_pool.hh"
+#include "vm/page_table.hh"
+
+using namespace mosaic;
+using namespace mosaic::vm;
+using alloc::MosaicLayout;
+using alloc::MosaicRegion;
+using alloc::Mosalloc;
+using alloc::MosallocConfig;
+using alloc::PageSize;
+using alloc::PoolAddresses;
+
+namespace
+{
+
+/** A tiny pool mix: 256 heap pages, 256 anon pages, 16 file pages. */
+MosallocConfig
+tinyConfig()
+{
+    MosallocConfig config;
+    config.heapLayout = MosaicLayout(1_MiB);
+    config.anonLayout = MosaicLayout(1_MiB);
+    config.filePoolSize = 64_KiB;
+    return config;
+}
+
+struct RecordingSink : ShootdownSink
+{
+    std::vector<std::pair<VirtAddr, PageSize>> events;
+
+    void
+    shootdown(VirtAddr vbase, PageSize size) override
+    {
+        events.emplace_back(vbase, size);
+    }
+};
+
+OsConfig
+boundedConfig(std::uint64_t frames,
+              ReplacementPolicyKind policy = ReplacementPolicyKind::Fifo)
+{
+    OsConfig os;
+    os.memFrames = frames;
+    os.policy = policy;
+    os.majorFaultCycles = 2000;
+    os.writebackCycles = 800;
+    return os;
+}
+
+/** One registered address space over @p pool for the tiny config. */
+struct TestTenant
+{
+    explicit TestTenant(FramePool &pool)
+        : allocator(tinyConfig()), table(pool),
+          id(pool.registerTenant(table, sink))
+    {
+        pool.addTenantPages(id, allocator);
+    }
+
+    Mosalloc allocator;
+    PageTable table;
+    RecordingSink sink;
+    FramePool::TenantId id;
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Unbounded mode (the safety rail: exactly the old bump allocator)
+// ---------------------------------------------------------------------
+
+TEST(FramePoolUnbounded, ConfiguredUnboundedMatchesDefaultPool)
+{
+    FramePool legacy;                  // pre-refactor default ctor
+    FramePool configured(OsConfig{});  // memFrames == 0
+    EXPECT_FALSE(configured.paged());
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(legacy.allocPageTableNode(),
+                  configured.allocPageTableNode());
+    }
+    for (auto size : {PageSize::Page4K, PageSize::Page2M,
+                      PageSize::Page4K, PageSize::Page1G,
+                      PageSize::Page2M}) {
+        EXPECT_EQ(legacy.allocDataFrame(size),
+                  configured.allocDataFrame(size));
+    }
+    EXPECT_EQ(legacy.dataBytesAllocated(),
+              configured.dataBytesAllocated());
+}
+
+TEST(FramePoolUnbounded, PageTableRegionExhaustionIsResourceError)
+{
+    FramePool pool;
+    const std::uint64_t capacity = FramePool::pageTableRegion / 4_KiB;
+    for (std::uint64_t i = 0; i < capacity; ++i)
+        pool.allocPageTableNode();
+    EXPECT_THROW(pool.allocPageTableNode(), ResourceError);
+    EXPECT_EQ(pool.numPageTableNodes(), capacity);
+}
+
+TEST(FramePoolUnbounded, PhysicalExhaustionIsResourceError)
+{
+    FramePool pool;
+    // 1GiB frames against the 1TiB ceiling: the first GiB is the
+    // page-table region, leaving 1023 data frames.
+    for (int i = 0; i < 1023; ++i)
+        pool.allocDataFrame(PageSize::Page1G);
+    EXPECT_THROW(pool.allocDataFrame(PageSize::Page1G), ResourceError);
+    EXPECT_THROW(pool.allocDataFrame(PageSize::Page4K), ResourceError);
+}
+
+// ---------------------------------------------------------------------
+// Bounded mode: fault accounting and eviction mechanics
+// ---------------------------------------------------------------------
+
+TEST(FramePoolBounded, FirstTouchIsMajorFaultSecondIsFree)
+{
+    FramePool pool(boundedConfig(16));
+    TestTenant tenant(pool);
+    const VirtAddr heap = PoolAddresses::heapBase;
+
+    auto first = pool.touch(tenant.id, heap + 100, false);
+    EXPECT_TRUE(first.majorFault);
+    EXPECT_EQ(first.swapCycles, 2000u);
+    EXPECT_EQ(first.evictions, 0u);
+    EXPECT_EQ(pool.majorFaults(), 1u);
+    EXPECT_TRUE(tenant.table.translate(heap + 100).valid);
+
+    // Same page, different offset: resident, zero cost.
+    auto second = pool.touch(tenant.id, heap + 200, false);
+    EXPECT_FALSE(second.majorFault);
+    EXPECT_EQ(second.swapCycles, 0u);
+    EXPECT_EQ(pool.majorFaults(), 1u);
+    EXPECT_EQ(pool.residentBytes(), 4_KiB);
+}
+
+TEST(FramePoolBounded, EvictionUnmapsShootsDownAndRecyclesLifo)
+{
+    FramePool pool(boundedConfig(2)); // room for two 4KB pages
+    TestTenant tenant(pool);
+    const VirtAddr heap = PoolAddresses::heapBase;
+
+    pool.touch(tenant.id, heap, false);
+    pool.touch(tenant.id, heap + 4_KiB, false);
+    const PhysAddr frame_a = tenant.table.translate(heap).physAddr;
+    EXPECT_EQ(pool.residentBytes(), 8_KiB);
+
+    // Third page: FIFO evicts the first. Clean page, no writeback.
+    auto outcome = pool.touch(tenant.id, heap + 8_KiB, false);
+    EXPECT_TRUE(outcome.majorFault);
+    EXPECT_EQ(outcome.evictions, 1u);
+    EXPECT_EQ(outcome.writebacks, 0u);
+    EXPECT_EQ(outcome.swapCycles, 2000u);
+    EXPECT_FALSE(tenant.table.translate(heap).valid);
+    ASSERT_EQ(tenant.sink.events.size(), 1u);
+    EXPECT_EQ(tenant.sink.events[0].first, heap);
+    EXPECT_EQ(tenant.sink.events[0].second, PageSize::Page4K);
+
+    // The victim's frame is reused for the newcomer (LIFO free list).
+    EXPECT_EQ(tenant.table.translate(heap + 8_KiB).physAddr, frame_a);
+    EXPECT_EQ(pool.evictions(), 1u);
+    EXPECT_EQ(pool.residentBytes(), 8_KiB);
+}
+
+TEST(FramePoolBounded, DirtyEvictionChargesWriteback)
+{
+    FramePool pool(boundedConfig(1));
+    TestTenant tenant(pool);
+    const VirtAddr heap = PoolAddresses::heapBase;
+
+    pool.touch(tenant.id, heap, true); // write: marks dirty
+    auto outcome = pool.touch(tenant.id, heap + 4_KiB, false);
+    EXPECT_EQ(outcome.writebacks, 1u);
+    EXPECT_EQ(outcome.swapCycles, 2000u + 800u);
+    EXPECT_EQ(pool.writebacks(), 1u);
+
+    // The clean newcomer's eviction charges no writeback.
+    outcome = pool.touch(tenant.id, heap, false);
+    EXPECT_EQ(outcome.writebacks, 0u);
+    EXPECT_EQ(outcome.swapCycles, 2000u);
+
+    // A read-write sequence on a resident page re-dirties it.
+    pool.touch(tenant.id, heap + 100, true);
+    outcome = pool.touch(tenant.id, heap + 4_KiB, false);
+    EXPECT_EQ(outcome.writebacks, 1u);
+}
+
+TEST(FramePoolBounded, BudgetTooSmallForOnePageIsResourceError)
+{
+    // One 4KB frame of budget cannot hold a 2MB page.
+    FramePool pool(boundedConfig(1));
+    MosallocConfig config = tinyConfig();
+    config.heapLayout = MosaicLayout(
+        2_MiB, {MosaicRegion{0, 2_MiB, PageSize::Page2M}});
+    Mosalloc allocator(config);
+    PageTable table(pool);
+    RecordingSink sink;
+    auto id = pool.registerTenant(table, sink);
+    EXPECT_THROW(pool.addTenantPages(id, allocator), ResourceError);
+}
+
+TEST(FramePoolBounded, MixedPageSizesEvictUntilRoom)
+{
+    // Budget of one 2MB page (512 frames). Touch 4KB pages, then a
+    // 2MB page: every small page must be evicted to make room.
+    FramePool pool(boundedConfig(512));
+    MosallocConfig config = tinyConfig();
+    config.heapLayout = MosaicLayout(
+        4_MiB, {MosaicRegion{2_MiB, 2_MiB, PageSize::Page2M}});
+    Mosalloc allocator(config);
+    PageTable table(pool);
+    RecordingSink sink;
+    auto id = pool.registerTenant(table, sink);
+    pool.addTenantPages(id, allocator);
+
+    const VirtAddr heap = PoolAddresses::heapBase;
+    for (int i = 0; i < 3; ++i)
+        pool.touch(id, heap + i * 4_KiB, false);
+    EXPECT_EQ(pool.residentBytes(), 12_KiB);
+
+    auto outcome = pool.touch(id, heap + 2_MiB, false);
+    EXPECT_EQ(outcome.evictions, 3u);
+    EXPECT_EQ(pool.residentBytes(), 2_MiB);
+    EXPECT_TRUE(table.translate(heap + 2_MiB).valid);
+    EXPECT_FALSE(table.translate(heap).valid);
+}
+
+TEST(FramePoolBounded, LruKeepsTouchedPageResident)
+{
+    FramePool pool(boundedConfig(2, ReplacementPolicyKind::Lru));
+    TestTenant tenant(pool);
+    const VirtAddr heap = PoolAddresses::heapBase;
+
+    pool.touch(tenant.id, heap, false);
+    pool.touch(tenant.id, heap + 4_KiB, false);
+    pool.touch(tenant.id, heap, false); // refresh the older page
+    pool.touch(tenant.id, heap + 8_KiB, false);
+    // LRU evicted page 1, not page 0.
+    EXPECT_TRUE(tenant.table.translate(heap).valid);
+    EXPECT_FALSE(tenant.table.translate(heap + 4_KiB).valid);
+}
+
+// ---------------------------------------------------------------------
+// Multi-tenant contention
+// ---------------------------------------------------------------------
+
+TEST(FramePoolBounded, EvictionMayVictimizeAnotherTenant)
+{
+    FramePool pool(boundedConfig(2));
+    TestTenant first(pool);
+    TestTenant second(pool);
+    const VirtAddr heap = PoolAddresses::heapBase;
+
+    pool.touch(first.id, heap, false);
+    pool.touch(first.id, heap + 4_KiB, false);
+
+    // The second tenant's fault steals the first tenant's oldest
+    // frame; the shootdown must land on the *owner's* sink.
+    auto outcome = pool.touch(second.id, heap, false);
+    EXPECT_TRUE(outcome.majorFault);
+    EXPECT_EQ(outcome.evictions, 1u);
+    ASSERT_EQ(first.sink.events.size(), 1u);
+    EXPECT_EQ(first.sink.events[0].first, heap);
+    EXPECT_TRUE(second.sink.events.empty());
+    EXPECT_FALSE(first.table.translate(heap).valid);
+    EXPECT_TRUE(second.table.translate(heap).valid);
+    EXPECT_TRUE(first.table.translate(heap + 4_KiB).valid);
+}
+
+TEST(FramePoolBounded, TenantsHaveIndependentPageTables)
+{
+    FramePool pool(boundedConfig(8));
+    TestTenant first(pool);
+    TestTenant second(pool);
+    const VirtAddr heap = PoolAddresses::heapBase;
+
+    pool.touch(first.id, heap, false);
+    pool.touch(second.id, heap, false);
+    // Same virtual page in both spaces, but distinct physical frames.
+    const auto t1 = first.table.translate(heap);
+    const auto t2 = second.table.translate(heap);
+    ASSERT_TRUE(t1.valid);
+    ASSERT_TRUE(t2.valid);
+    EXPECT_NE(t1.physAddr, t2.physAddr);
+    EXPECT_EQ(pool.majorFaults(), 2u);
+    EXPECT_EQ(pool.residentBytes(), 8_KiB);
+}

@@ -35,7 +35,7 @@ struct MmuFixture
         return config;
     }
 
-    PhysMem mem;
+    FramePool mem;
     PageTable table;
     mem::MemoryHierarchy hierarchy;
     std::unique_ptr<Mmu> mmu;

@@ -7,31 +7,31 @@
 
 #include "mosalloc/mosalloc.hh"
 #include "vm/page_table.hh"
-#include "vm/phys_mem.hh"
+#include "vm/frame_pool.hh"
 
 using namespace mosaic;
 using namespace mosaic::vm;
 using alloc::PageSize;
 
-TEST(PhysMem, PageTableNodesAreSequential4k)
+TEST(FramePool, PageTableNodesAreSequential4k)
 {
-    PhysMem mem;
+    FramePool mem;
     PhysAddr a = mem.allocPageTableNode();
     PhysAddr b = mem.allocPageTableNode();
     EXPECT_EQ(b - a, 4_KiB);
     EXPECT_EQ(mem.numPageTableNodes(), 2u);
 }
 
-TEST(PhysMem, DataFramesNaturallyAligned)
+TEST(FramePool, DataFramesNaturallyAligned)
 {
-    PhysMem mem;
+    FramePool mem;
     PhysAddr small = mem.allocDataFrame(PageSize::Page4K);
     PhysAddr huge = mem.allocDataFrame(PageSize::Page2M);
     PhysAddr giant = mem.allocDataFrame(PageSize::Page1G);
     EXPECT_EQ(small % 4_KiB, 0u);
     EXPECT_EQ(huge % 2_MiB, 0u);
     EXPECT_EQ(giant % 1_GiB, 0u);
-    EXPECT_GE(huge, PhysMem::dataBase);
+    EXPECT_GE(huge, FramePool::dataBase);
 }
 
 TEST(LevelHelpers, ShiftsAndIndices)
@@ -54,7 +54,7 @@ TEST(LevelHelpers, LeafLevels)
 
 TEST(PageTable, MapAndTranslate4k)
 {
-    PhysMem mem;
+    FramePool mem;
     PageTable table(mem);
     VirtAddr va = 0x4000000000ULL;
     table.map(va, PageSize::Page4K, 0x80000000ULL);
@@ -68,7 +68,7 @@ TEST(PageTable, MapAndTranslate4k)
 
 TEST(PageTable, MapAndTranslate2m)
 {
-    PhysMem mem;
+    FramePool mem;
     PageTable table(mem);
     VirtAddr va = 0x4000000000ULL;
     table.map(va, PageSize::Page2M, 0x80000000ULL);
@@ -81,7 +81,7 @@ TEST(PageTable, MapAndTranslate2m)
 
 TEST(PageTable, MapAndTranslate1g)
 {
-    PhysMem mem;
+    FramePool mem;
     PageTable table(mem);
     VirtAddr va = 0x4000000000ULL;
     table.map(va, PageSize::Page1G, 0x40000000ULL);
@@ -93,7 +93,7 @@ TEST(PageTable, MapAndTranslate1g)
 
 TEST(PageTable, UnmappedIsInvalid)
 {
-    PhysMem mem;
+    FramePool mem;
     PageTable table(mem);
     Translation xlate = table.translate(0x1234000);
     EXPECT_FALSE(xlate.valid);
@@ -101,7 +101,7 @@ TEST(PageTable, UnmappedIsInvalid)
 
 TEST(PageTable, EntryChainAddressesAreDistinctAndInPtRegion)
 {
-    PhysMem mem;
+    FramePool mem;
     PageTable table(mem);
     VirtAddr va = 0x4000000000ULL;
     table.map(va, PageSize::Page4K, 0x80000000ULL);
@@ -109,7 +109,7 @@ TEST(PageTable, EntryChainAddressesAreDistinctAndInPtRegion)
     ASSERT_EQ(xlate.depth, 4u);
     for (unsigned i = 0; i < 4; ++i) {
         EXPECT_LT(xlate.entryAddrs[i],
-                  PhysMem::pageTableBase + PhysMem::pageTableRegion);
+                  FramePool::pageTableBase + FramePool::pageTableRegion);
         for (unsigned j = i + 1; j < 4; ++j)
             EXPECT_NE(xlate.entryAddrs[i], xlate.entryAddrs[j]);
     }
@@ -117,7 +117,7 @@ TEST(PageTable, EntryChainAddressesAreDistinctAndInPtRegion)
 
 TEST(PageTable, SiblingPagesShareUpperNodes)
 {
-    PhysMem mem;
+    FramePool mem;
     PageTable table(mem);
     VirtAddr va = 0x4000000000ULL;
     table.map(va, PageSize::Page4K, 0x80000000ULL);
@@ -135,7 +135,7 @@ TEST(PageTable, SiblingPagesShareUpperNodes)
 
 TEST(PageTable, RejectsDoubleAndMisalignedMaps)
 {
-    PhysMem mem;
+    FramePool mem;
     PageTable table(mem);
     VirtAddr va = 0x4000000000ULL;
     table.map(va, PageSize::Page4K, 0x80000000ULL);
@@ -156,7 +156,7 @@ TEST(PageTable, PopulateFromMosalloc)
     config.filePoolSize = 1_MiB;
     alloc::Mosalloc allocator(config);
 
-    PhysMem mem;
+    FramePool mem;
     PageTable table(mem);
     table.populate(allocator);
 
@@ -189,7 +189,7 @@ TEST(PageTable, PopulateFromMosalloc)
  */
 TEST(PageTable, CursorDescentMatchesFullTranslateEverywhere)
 {
-    PhysMem mem;
+    FramePool mem;
     PageTable table(mem);
     const VirtAddr base = 0x4000000000ULL;
     // A mixed mapping: 512 x 4K pages, 8 x 2M pages, 1 x 1G page,

@@ -8,7 +8,7 @@
 
 #include "memhier/hierarchy.hh"
 #include "vm/page_table.hh"
-#include "vm/phys_mem.hh"
+#include "vm/frame_pool.hh"
 #include "vm/walker.hh"
 
 using namespace mosaic;
@@ -35,7 +35,7 @@ struct WalkerFixture
         return config;
     }
 
-    PhysMem mem;
+    FramePool mem;
     PageTable table;
     mem::MemoryHierarchy hierarchy;
 };

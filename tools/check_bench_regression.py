@@ -19,6 +19,15 @@ tolerance. Checked, all one-sided (only slowdowns fail, speedups pass):
   * fused.speedup_vs_sequential     -- absolute sanity floor: the fused
                                        engine must never be materially
                                        slower than sequential replay
+  * paged.records_per_sec           -- the demand-paging replay stage
+                                       (bounded frame pool); skipped
+                                       with a note when the committed
+                                       baseline predates the paged
+                                       schema (/4). The unbounded hot
+                                       path stays guarded by the
+                                       aggregate check regardless —
+                                       the paged stage is timed
+                                       outside the sequential sweep.
   * aggregate.host_cycles_per_record -- nominal host cycles the kernel
                                        spends per trace record
                                        (schema /3; TSC-calibrated).
@@ -301,6 +310,21 @@ def main():
               f"(floor {args.fused_floor:.2f}) -> {verdict}")
         if fresh_speedup < args.fused_floor:
             gate.failures.append("fused speedup floor")
+
+    base_paged = baseline.get("paged", {}).get("records_per_sec")
+    fresh_paged = fresh.get("paged", {}).get("records_per_sec")
+    if base_paged and fresh_paged:
+        gate.check("paged records/sec", fresh_paged,
+                   base_paged * (1.0 - args.tolerance),
+                   f"(baseline {base_paged:,.0f}, "
+                   f"-{args.tolerance:.0%}) ")
+    elif fresh_paged and not base_paged:
+        # The demand-paging stage landed after this baseline was
+        # committed; the gate engages once the baseline is refreshed.
+        # The unbounded hot path is still guarded above — the paged
+        # stage runs outside the sequential sweep by design.
+        print("  paged records/sec: no baseline (pre-paged schema); "
+              "skipped")
 
     base_cells = cells(baseline, args.baseline)
     fresh_cells = cells(fresh, args.fresh)

@@ -38,6 +38,10 @@ constexpr const char *usageText =
     "                       [--checkpoint-every N] [--max-retries N]\n"
     "                       [--fused] [--fused-group N]\n"
     "                       [--shard I/N] [--cell-timeout SECONDS]\n"
+    "                       [--mem-frames N] [--replacement POLICY]\n"
+    "                       [--swap-cost CYCLES]\n"
+    "                       [--writeback-cost CYCLES]\n"
+    "                       [--co-workload LABEL]\n"
     "                       [--metrics-out FILE]\n"
     "defaults: all 19 workloads, the paper's 3 platforms, jobs =\n"
     "          hardware concurrency, out = mosaic_dataset.csv,\n"
@@ -58,6 +62,16 @@ constexpr const char *usageText =
     "--cell-timeout gives each cell a watchdog budget in seconds; a\n"
     "cell that exceeds it fails with a timeout error instead of\n"
     "hanging its worker (0 = off, the default).\n"
+    "--mem-frames bounds physical memory to N 4KB frames per cell and\n"
+    "simulates demand paging (0 = unbounded, the default — the CSV is\n"
+    "then byte-identical to a classic run); bounded runs extend every\n"
+    "row with the S (swap cycles) column. --replacement picks the\n"
+    "eviction policy (fifo, lru, clock; default fifo); --swap-cost\n"
+    "and --writeback-cost set the major-fault and dirty-writeback\n"
+    "charge in cycles. --co-workload replays every cell against the\n"
+    "named workload (all-4KB baseline) over one shared frame pool and\n"
+    "records the primary tenant's counters under interference;\n"
+    "requires --mem-frames > 0 and cannot be combined with --shard.\n"
     "--metrics-out writes a JSON run manifest (config, per-phase\n"
     "timings, trace-cache/retry counters, failures) after the run.\n";
 
@@ -143,6 +157,41 @@ campaignMain(int argc, char **argv)
             cli::parseDoubleValue("cell-timeout",
                                   args.get("cell-timeout"), 0.0,
                                   86400.0));
+    if (args.has("mem-frames"))
+        config.os.memFrames = cli::unwrapOrDie(
+            "mosaic_campaign",
+            cli::parseUnsignedValue("mem-frames",
+                                    args.get("mem-frames"), 0,
+                                    1ull << 28));
+    if (args.has("replacement"))
+        config.os.policy = cli::unwrapOrDie(
+            "mosaic_campaign",
+            vm::parseReplacementPolicy(args.get("replacement")));
+    if (args.has("swap-cost"))
+        config.os.majorFaultCycles = cli::unwrapOrDie(
+            "mosaic_campaign",
+            cli::parseUnsignedValue("swap-cost", args.get("swap-cost"),
+                                    0, 1ull << 32));
+    if (args.has("writeback-cost"))
+        config.os.writebackCycles = cli::unwrapOrDie(
+            "mosaic_campaign",
+            cli::parseUnsignedValue("writeback-cost",
+                                    args.get("writeback-cost"), 0,
+                                    1ull << 32));
+    if (args.has("co-workload"))
+        config.coWorkload = args.get("co-workload");
+    if (!config.coWorkload.empty() && !config.os.paged()) {
+        std::fprintf(stderr,
+                     "mosaic_campaign: --co-workload requires "
+                     "--mem-frames > 0\n");
+        return 2;
+    }
+    if (!config.coWorkload.empty() && config.shardCount > 1) {
+        std::fprintf(stderr,
+                     "mosaic_campaign: --co-workload cannot be "
+                     "combined with --shard\n");
+        return 2;
+    }
 
     std::string out = args.get("out", exp::defaultDatasetPath());
     exp::CampaignRunner runner(config);
@@ -185,6 +234,19 @@ campaignMain(int argc, char **argv)
                            effective.shardCount));
     manifest.setConfig("cell_timeout_seconds",
                        std::to_string(effective.cellTimeoutSeconds));
+    manifest.setConfig("mem_frames",
+                       static_cast<std::uint64_t>(
+                           effective.os.memFrames));
+    manifest.setConfig("replacement",
+                       std::string(vm::replacementPolicyName(
+                           effective.os.policy)));
+    manifest.setConfig("swap_cost",
+                       static_cast<std::uint64_t>(
+                           effective.os.majorFaultCycles));
+    manifest.setConfig("writeback_cost",
+                       static_cast<std::uint64_t>(
+                           effective.os.writebackCycles));
+    manifest.setConfig("co_workload", effective.coWorkload);
     for (const auto &failure : report.failures) {
         manifest.addFailure(failure.platform + "/" + failure.workload +
                                 "/" + failure.layout,
