@@ -14,6 +14,8 @@
  * Usage:
  *   replay_bench [--records N] [--reps R] [--footprint-mb M]
  *                [--jobs N] [--fused] [--paged-frames N]
+ *                [--sample-clusters K] [--sample-interval N]
+ *                [--sample-warmup N]
  *                [--out BENCH_replay.json] [--baseline OLD.json]
  *                [--baseline-source LABEL] [--quick]
  *                [--metrics-out FILE]
@@ -38,6 +40,17 @@
  * demand-paging path and emits a separate "paged" JSON block, so the
  * OS layer's throughput is tracked without perturbing the unbounded
  * aggregate the hot-path gate reads.
+ *
+ * --sample-clusters sizes the sampled stage (0 disables it): each
+ * platform's all4k cell is replayed through the interval-sampling
+ * pipeline (plan -> representative segments -> extrapolation) and the
+ * stage emits a separate "sampled" JSON block with the effective
+ * throughput (full-trace records per sampled-replay second), the
+ * replay fraction, the reported error bound, and the speedup over the
+ * sequential full replay of the same cell. --sample-interval and
+ * --sample-warmup set the plan's interval length and warmup prefix in
+ * records. Like the paged stage, this rides outside the unbounded
+ * sweep, so the hot-path aggregate gate is unperturbed.
  *
  * --baseline embeds the aggregate numbers of a previous run (e.g. the
  * pre-optimization build) into the output, plus the speedup ratio.
@@ -66,6 +79,7 @@
 #include "cpu/platform.hh"
 #include "cpu/system.hh"
 #include "mosalloc/mosalloc.hh"
+#include "sampling/sampled_run.hh"
 #include "support/fault_injector.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
@@ -510,6 +524,94 @@ main(int argc, char **argv)
         }
     }
 
+    // ---- Sampled stage: the interval-sampling pipeline over each
+    // platform's all4k cell. Like the paged stage, a separate block
+    // outside the unbounded sweep: what it tracks is the *effective*
+    // throughput of partial replay — full-trace records covered per
+    // second of sampled replay — plus the plan's reported error bound
+    // and the measured speedup over the full sequential replay of the
+    // same cell. ----
+    struct SampledBenchRun
+    {
+        std::string platform;
+        double wallSeconds = 0.0;
+        double effectiveRecordsPerSec = 0.0;
+        double estErr = 0.0;
+        double speedupVsFull = 0.0;
+        std::uint64_t recordsReplayed = 0;
+    };
+    std::vector<SampledBenchRun> sampled_runs;
+    double sampled_wall = 0.0, sampled_trace_records = 0.0;
+    double sampled_replay_fraction = 0.0;
+    sampling::SamplingConfig sample_config;
+    sample_config.mode = sampling::SampleMode::Interval;
+    sample_config.clusters = static_cast<std::uint32_t>(std::stoul(
+        getOpt(argc, argv, "--sample-clusters", "8")));
+    sample_config.intervalRecords = std::stoull(
+        getOpt(argc, argv, "--sample-interval", "16384"));
+    sample_config.warmupRecords = std::stoull(
+        getOpt(argc, argv, "--sample-warmup", "4096"));
+    if (sample_config.clusters > 0) {
+        // The plan reads only the trace (layout- and platform-
+        // independent), and every cell traces the same synthetic
+        // stream: one plan serves the whole stage.
+        const sampling::SamplePlan plan =
+            sampling::buildSamplePlan(cells[0].trace, sample_config);
+        for (const auto &cell : cells) {
+            if (std::strcmp(cell.mosaic->name, "all4k") != 0)
+                continue;
+            SampledBenchRun run;
+            run.platform = cell.platform->name;
+            run.wallSeconds = 1e300;
+            sampling::SampledEstimate estimate;
+            for (int rep = 0; rep < reps; ++rep) {
+                auto t0 = std::chrono::steady_clock::now();
+                estimate = sampling::simulateSampled(
+                    *cell.platform, cell.allocConfig, cell.trace,
+                    plan);
+                double seconds = std::chrono::duration<double>(
+                                     std::chrono::steady_clock::now() -
+                                     t0)
+                                     .count();
+                run.wallSeconds = std::min(run.wallSeconds, seconds);
+            }
+            run.effectiveRecordsPerSec =
+                static_cast<double>(records) / run.wallSeconds;
+            run.estErr = estimate.estErr;
+            run.recordsReplayed = estimate.recordsReplayed;
+            // The sequential sweep above timed this exact cell's full
+            // replay; the ratio is the sampled stage's headline.
+            for (const auto &full : runs) {
+                if (full.platform == run.platform &&
+                    full.layout == "all4k") {
+                    run.speedupVsFull =
+                        full.wallSeconds / run.wallSeconds;
+                    break;
+                }
+            }
+            std::printf("%-12s sampled(%llu/%llu records) %6.3fs  "
+                        "%12.0f eff records/sec  (%.2fx vs full, "
+                        "est_err=%.4f)\n",
+                        run.platform.c_str(),
+                        static_cast<unsigned long long>(
+                            run.recordsReplayed),
+                        static_cast<unsigned long long>(records),
+                        run.wallSeconds, run.effectiveRecordsPerSec,
+                        run.speedupVsFull, run.estErr);
+            sampled_wall += run.wallSeconds;
+            sampled_trace_records += static_cast<double>(records);
+            sampled_runs.push_back(std::move(run));
+        }
+        sampled_replay_fraction = plan.replayFraction();
+        if (!sampled_runs.empty()) {
+            std::printf("sampled aggregate: %.3fs replay time, %.0f "
+                        "eff records/sec (replay fraction %.3f)\n",
+                        sampled_wall,
+                        sampled_trace_records / sampled_wall,
+                        sampled_replay_fraction);
+        }
+    }
+
     double base_rps = 0.0, base_wall = 0.0;
     bool have_baseline = false;
     if (!baseline_path.empty()) {
@@ -530,7 +632,7 @@ main(int argc, char **argv)
 
     std::ostringstream json;
     json << "{\n";
-    json << "  \"schema\": \"mosaic-replay-bench/4\",\n";
+    json << "  \"schema\": \"mosaic-replay-bench/5\",\n";
     json << "  \"records\": " << records << ",\n";
     json << "  \"reps\": " << reps << ",\n";
     json << "  \"jobs\": " << workers << ",\n";
@@ -626,6 +728,45 @@ main(int argc, char **argv)
                       static_cast<unsigned long long>(paged_frames),
                       paged_wall, paged_records / paged_wall);
         json << pagedagg;
+    }
+    if (!sampled_runs.empty()) {
+        json << "  \"sampled_runs\": [\n";
+        for (std::size_t i = 0; i < sampled_runs.size(); ++i) {
+            const auto &run = sampled_runs[i];
+            char line[320];
+            std::snprintf(line, sizeof line,
+                          "    {\"platform\": \"%s\", "
+                          "\"layout\": \"all4k\", "
+                          "\"wall_seconds\": %.6f, "
+                          "\"effective_records_per_sec\": %.1f, "
+                          "\"records_replayed\": %llu, "
+                          "\"est_err\": %.6f, "
+                          "\"speedup_vs_full\": %.3f}%s\n",
+                          run.platform.c_str(), run.wallSeconds,
+                          run.effectiveRecordsPerSec,
+                          static_cast<unsigned long long>(
+                              run.recordsReplayed),
+                          run.estErr, run.speedupVsFull,
+                          i + 1 < sampled_runs.size() ? "," : "");
+            json << line;
+        }
+        json << "  ],\n";
+        char sampledagg[320];
+        std::snprintf(
+            sampledagg, sizeof sampledagg,
+            "  \"sampled\": {\"interval_records\": %llu, "
+            "\"clusters\": %u, \"warmup_records\": %llu, "
+            "\"replay_fraction\": %.4f, "
+            "\"wall_seconds\": %.6f, "
+            "\"effective_records_per_sec\": %.1f},\n",
+            static_cast<unsigned long long>(
+                sample_config.intervalRecords),
+            sample_config.clusters,
+            static_cast<unsigned long long>(
+                sample_config.warmupRecords),
+            sampled_replay_fraction, sampled_wall,
+            sampled_trace_records / sampled_wall);
+        json << sampledagg;
     }
     // host_cycles_per_record is in nominal TSC cycles (see
     // calibrateHostHz); 0 means "rate unknown" and regression gates

@@ -409,6 +409,134 @@ CoreModel::run(const trace::MemoryTrace &trace, vm::Mmu &mmu,
     return readoutCounters(trace, lane.retireClock, mmu, hierarchy);
 }
 
+namespace
+{
+
+/**
+ * Integral counter snapshot at a measured-segment boundary. Every
+ * field is an integer — runtimeCycles is llround(retireClock) — so
+ * per-segment deltas telescope exactly: summing the deltas of
+ * contiguous segments reproduces run()'s readout bit for bit (the
+ * degenerate-coverage property the sampling tests pin).
+ */
+struct BoundarySnapshot
+{
+    Cycles runtimeCycles = 0;
+    vm::MmuCounters mmu;
+    mem::CacheStats l1, l2, l3;
+};
+
+BoundarySnapshot
+takeSnapshot(const LaneEngine &lane)
+{
+    BoundarySnapshot snap;
+    snap.runtimeCycles =
+        static_cast<Cycles>(std::llround(lane.retireClock));
+    snap.mmu = lane.mmu.counters();
+    snap.l1 = lane.hierarchy.l1().stats();
+    snap.l2 = lane.hierarchy.l2().stats();
+    snap.l3 = lane.hierarchy.l3().stats();
+    return snap;
+}
+
+/** The measured region's delta readout between two snapshots. */
+RunResult
+deltaReadout(const BoundarySnapshot &before, const BoundarySnapshot &after,
+             Insts instructions, std::uint64_t memory_refs)
+{
+    RunResult result;
+    result.runtimeCycles = after.runtimeCycles - before.runtimeCycles;
+    result.instructions = instructions;
+    result.memoryRefs = memory_refs;
+
+    result.tlbHitsL2 = after.mmu.h - before.mmu.h;
+    result.tlbMisses = after.mmu.m - before.mmu.m;
+    result.walkCycles = after.mmu.c - before.mmu.c;
+    result.swapCycles = after.mmu.s - before.mmu.s;
+    result.majorFaults = after.mmu.majorFaults - before.mmu.majorFaults;
+    result.evictions = after.mmu.evictions - before.mmu.evictions;
+    result.writebacks = after.mmu.writebacks - before.mmu.writebacks;
+    result.l1TlbHits = after.mmu.l1Hits - before.mmu.l1Hits;
+    result.walkerQueueCycles =
+        after.mmu.queueCycles - before.mmu.queueCycles;
+
+    auto prog = mem::Requester::Program;
+    auto walk = mem::Requester::Walker;
+    auto prog_i = static_cast<std::size_t>(prog);
+    auto walk_i = static_cast<std::size_t>(walk);
+    result.progL1dLoads = after.l1.accesses(prog) - before.l1.accesses(prog);
+    result.progL2Loads = after.l2.accesses(prog) - before.l2.accesses(prog);
+    result.progL3Loads = after.l3.accesses(prog) - before.l3.accesses(prog);
+    result.progDramLoads = after.l3.misses[prog_i] - before.l3.misses[prog_i];
+    result.walkL1dLoads = after.l1.accesses(walk) - before.l1.accesses(walk);
+    result.walkL2Loads = after.l2.accesses(walk) - before.l2.accesses(walk);
+    result.walkL3Loads = after.l3.accesses(walk) - before.l3.accesses(walk);
+    result.walkDramLoads = after.l3.misses[walk_i] - before.l3.misses[walk_i];
+    return result;
+}
+
+} // namespace
+
+std::vector<RunResult>
+CoreModel::runSampled(const trace::MemoryTrace &trace,
+                      std::span<const SampledSegment> segments,
+                      vm::Mmu &mmu, mem::MemoryHierarchy &hierarchy,
+                      std::chrono::steady_clock::time_point deadline)
+{
+    LaneEngine lane(mmu, hierarchy, params_);
+
+    const trace::TraceRecord *records = trace.records().data();
+    const std::size_t total = trace.size();
+    const bool paged = mmu.paged();
+
+    // Replay [from, to) through the shared LaneEngine kernels, chunked
+    // like run(). Chunk partitioning cannot change a counter (staging
+    // is pure, prefetch hints never touch simulated state — the
+    // invariant the fused engine already rests on), so boundaries at
+    // segment edges instead of multiples of kChunkRecords are safe.
+    auto replay_range = [&](std::uint64_t from, std::uint64_t to) {
+        for (std::uint64_t base = from; base < to;
+             base += trace::ReplayBatcher::kChunkRecords) {
+            checkDeadline(deadline);
+            AosRecords src{records + base,
+                           static_cast<std::size_t>(
+                               std::min<std::uint64_t>(
+                                   trace::ReplayBatcher::kChunkRecords,
+                                   to - base))};
+            if (paged) {
+                lane.retireChunk<true>(src);
+            } else {
+                lane.stageChunk(src);
+                lane.retireChunk<false>(src);
+            }
+        }
+    };
+
+    std::vector<RunResult> results;
+    results.reserve(segments.size());
+    std::uint64_t prev_end = 0;
+    for (const SampledSegment &seg : segments) {
+        mosaic_assert(seg.warmupBegin >= prev_end,
+                      "sampled segments must be sorted and disjoint");
+        mosaic_assert(seg.warmupBegin <= seg.measureBegin &&
+                          seg.measureBegin < seg.end && seg.end <= total,
+                      "sampled segment out of range");
+        prev_end = seg.end;
+
+        replay_range(seg.warmupBegin, seg.measureBegin);
+        const BoundarySnapshot before = takeSnapshot(lane);
+        replay_range(seg.measureBegin, seg.end);
+        const BoundarySnapshot after = takeSnapshot(lane);
+
+        Insts insts = 0;
+        for (std::uint64_t i = seg.measureBegin; i < seg.end; ++i)
+            insts += static_cast<Insts>(records[i].gap) + 1;
+        results.push_back(deltaReadout(before, after, insts,
+                                       seg.end - seg.measureBegin));
+    }
+    return results;
+}
+
 std::vector<RunResult>
 CoreModel::runFused(const trace::MemoryTrace &trace,
                     std::span<const FusedLane> lanes,

@@ -97,6 +97,28 @@ struct FusedLane
 };
 
 /**
+ * One measured slice of a sampled replay (record indexes into the
+ * trace, [warmupBegin, end) replayed in order):
+ *
+ *   [warmupBegin, measureBegin)  warmup — replayed to heat the TLBs,
+ *                                caches, and (in paged mode) the frame
+ *                                pool, excluded from the readout;
+ *   [measureBegin, end)          measured — its counter *deltas* are
+ *                                the segment's result.
+ *
+ * Records between one segment's end and the next segment's
+ * warmupBegin are skipped entirely — that skip is where sampling's
+ * speedup comes from. Segments must be sorted, non-overlapping, and
+ * satisfy warmupBegin <= measureBegin < end <= trace size.
+ */
+struct SampledSegment
+{
+    std::uint64_t warmupBegin = 0;
+    std::uint64_t measureBegin = 0;
+    std::uint64_t end = 0;
+};
+
+/**
  * The retire-stream timing engine.
  */
 class CoreModel
@@ -147,6 +169,32 @@ class CoreModel
     std::vector<RunResult> runFused(
         const trace::MemoryTrace &trace,
         std::span<const FusedLane> lanes,
+        std::chrono::steady_clock::time_point deadline =
+            std::chrono::steady_clock::time_point::max());
+
+    /**
+     * Sampled (partial) replay: drive only the given segments of
+     * @p trace through one machine, in segment order, skipping every
+     * record outside them. Returns one *delta* RunResult per segment
+     * — the counters the measured region [measureBegin, end) added on
+     * top of the machine state its warmup left behind. Warmup records
+     * are replayed through the full timing model but excluded from
+     * the deltas; skipped records cost nothing.
+     *
+     * Exactness property (the sampling property tests pin this): when
+     * the segments tile the whole trace contiguously with no warmup
+     * (segment i is [b_i, b_i, b_{i+1})), the per-segment deltas sum
+     * — counter by counter, including R — to exactly the RunResult
+     * run() produces, because every boundary snapshot is integral
+     * (runtimeCycles snapshots llround(retireClock), all other
+     * counters are integer totals) and integer deltas telescope.
+     *
+     * @p deadline is the same cooperative watchdog as run()'s.
+     */
+    std::vector<RunResult> runSampled(
+        const trace::MemoryTrace &trace,
+        std::span<const SampledSegment> segments, vm::Mmu &mmu,
+        mem::MemoryHierarchy &hierarchy,
         std::chrono::steady_clock::time_point deadline =
             std::chrono::steady_clock::time_point::max());
 

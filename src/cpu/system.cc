@@ -99,6 +99,27 @@ System::run(const trace::MemoryTrace &trace)
     return result;
 }
 
+std::vector<RunResult>
+System::runSampled(const trace::MemoryTrace &trace,
+                   std::span<const SampledSegment> segments)
+{
+    MetricsRegistry &registry = context_.metrics();
+    ScopedTimer timer(registry, "replay/sampled_pass");
+    std::vector<RunResult> deltas = core_.runSampled(
+        trace, segments, *mmu_, *hierarchy_, context_.deadline());
+    timer.stop();
+
+    std::uint64_t replayed = 0;
+    for (const SampledSegment &seg : segments)
+        replayed += seg.end - seg.warmupBegin;
+    registry.add("replay/sampled_passes");
+    registry.add("replay/sampled_segments", segments.size());
+    registry.add("replay/sampled_records_replayed", replayed);
+    registry.add("replay/sampled_records_skipped",
+                 trace.size() - replayed);
+    return deltas;
+}
+
 RunResult
 simulateRun(const PlatformSpec &platform,
             const alloc::MosallocConfig &alloc_config,

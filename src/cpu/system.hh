@@ -72,6 +72,18 @@ class System
     /** Replay @p trace from a cold start and return the PMU readout. */
     RunResult run(const trace::MemoryTrace &trace);
 
+    /**
+     * Sampled partial replay from a cold start: replay only
+     * @p segments of @p trace (CoreModel::runSampled) and return one
+     * delta readout per segment. The sampling subsystem extrapolates
+     * full-run counters from these deltas; callers wanting the
+     * full-run estimate should use sampling::simulateSampled instead
+     * of calling this directly.
+     */
+    std::vector<RunResult> runSampled(
+        const trace::MemoryTrace &trace,
+        std::span<const SampledSegment> segments);
+
     const PlatformSpec &platform() const { return platform_; }
     const vm::PageTable &pageTable() const { return *pageTable_; }
     const vm::Mmu &mmu() const { return *mmu_; }

@@ -14,6 +14,7 @@
 
 #include "cpu/system.hh"
 #include "experiments/shard.hh"
+#include "sampling/sampled_run.hh"
 #include "support/io_util.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
@@ -240,8 +241,21 @@ simulateCellResult(const cpu::PlatformSpec &platform,
                    const layouts::NamedLayout &named,
                    const trace::MemoryTrace &trace,
                    const CampaignConfig &config, const CoTenant *co,
+                   const sampling::SamplePlan *plan, double *est_err,
                    const SimContext &context)
 {
+    if (plan) {
+        // Sampled cell: partial replay of the plan's segments,
+        // extrapolated back to full-run counters. The plan is shared
+        // across all cells of the workload; sampling is pre-validated
+        // to be single-tenant, so `co` is never set here.
+        auto estimate = sampling::simulateSampled(
+            platform, workload.makeAllocConfig(named.layout), trace,
+            *plan, config.os, context);
+        if (est_err)
+            *est_err = estimate.estErr;
+        return estimate.estimate;
+    }
     if (!co) {
         return cpu::simulateRun(platform,
                                 workload.makeAllocConfig(named.layout),
@@ -253,6 +267,30 @@ simulateCellResult(const cpu::PlatformSpec &platform,
         &trace, co->trace.get()};
     return cpu::simulateRunTenants(platform, configs, traces, config.os,
                                    context)[0];
+}
+
+/** Build the workload's sampling plan (layout/platform-independent;
+ *  one per workload). Construction failures are structured Internal
+ *  errors that fail the pair, matching the layout builder. */
+Result<sampling::SamplePlan>
+buildWorkloadSamplePlan(const trace::MemoryTrace &trace,
+                        const CampaignConfig &config,
+                        const SimContext &context)
+{
+    try {
+        ScopedTimer timer(context.metrics(), "campaign/sample_plan");
+        auto plan = sampling::buildSamplePlan(trace, config.sampling);
+        context.metrics().add("campaign/sample_plans");
+        context.metrics().add("campaign/sample_plan_records_replayed",
+                              plan.recordsReplayed);
+        context.metrics().add("campaign/sample_plan_records_total",
+                              plan.traceRecords);
+        return plan;
+    } catch (const std::exception &e) {
+        return Error(ErrorCategory::Internal,
+                     std::string("sample plan construction failed: ") +
+                         e.what());
+    }
 }
 
 } // namespace
@@ -308,6 +346,16 @@ CampaignRunner::runPair(const workloads::Workload &workload,
     std::vector<CellFailure> failures;
     if (config.os.paged())
         dataset.setSwapColumn(true);
+    if (config.sampling.enabled()) {
+        dataset.setEstErrColumn(true);
+        if (!config.coWorkload.empty()) {
+            failures.push_back(
+                {platform.name, label, "*",
+                 configError("sampled replay is incompatible with "
+                             "co-workload interference")});
+            return failures;
+        }
+    }
 
     // The trace and the miss profile are layout-independent.
     std::size_t trace_retries = 0;
@@ -344,6 +392,18 @@ CampaignRunner::runPair(const workloads::Workload &workload,
     }
     const auto &layouts = layouts_result.value();
 
+    std::optional<sampling::SamplePlan> plan;
+    if (config.sampling.enabled()) {
+        auto plan_result =
+            buildWorkloadSamplePlan(trace, config, context);
+        if (!plan_result.ok()) {
+            failures.push_back(
+                {platform.name, label, "*", plan_result.error()});
+            return failures;
+        }
+        plan = std::move(plan_result).okOrThrow();
+    }
+
     for (const auto &named : layouts) {
         if (done_layouts && done_layouts->count(named.name))
             continue;
@@ -355,7 +415,8 @@ CampaignRunner::runPair(const workloads::Workload &workload,
             record.layout = named.name;
             record.result = simulateCellResult(
                 platform, workload, named, trace, config,
-                co_tenant ? &*co_tenant : nullptr, context);
+                co_tenant ? &*co_tenant : nullptr,
+                plan ? &*plan : nullptr, &record.estErr, context);
             dataset.add(std::move(record));
         } catch (const ResourceError &e) {
             // A layout whose pages cannot even fit the frame budget is
@@ -383,6 +444,20 @@ CampaignRunner::runImpl(const std::string *cache_path)
     const bool swap_column = config_.os.paged();
     if (swap_column)
         report.dataset.setSwapColumn(true);
+    const bool sampled = config_.sampling.enabled();
+    if (sampled)
+        report.dataset.setEstErrColumn(true);
+
+    // Sampled replay is single-tenant: the interleaved tenant engine
+    // replays whole traces, and a partial interleave would change the
+    // contention the primary tenant sees.
+    if (sampled && !config_.coWorkload.empty()) {
+        report.failures.push_back(
+            {"*", config_.coWorkload, "*",
+             configError("sampled replay is incompatible with "
+                         "co-workload interference")});
+        return report;
+    }
 
     // Multi-tenant invariants are config errors, not crashes: the
     // interleave needs a bounded shared pool, and the shard partition
@@ -416,6 +491,7 @@ CampaignRunner::runImpl(const std::string *cache_path)
     std::map<std::array<std::string, 3>, RunRecord> resumed_records;
     Dataset resumed_base;
     resumed_base.setSwapColumn(swap_column);
+    resumed_base.setEstErrColumn(sampled);
 
     // Resume: fold the (possibly partial, possibly damaged) cache and
     // remember which cells it already covers. The cache may hold
@@ -434,15 +510,19 @@ CampaignRunner::runImpl(const std::string *cache_path)
                 &load_retries);
             report.retriesPerformed += load_retries;
             if (cached.ok() &&
-                cached.value().swapColumn() != swap_column) {
-                // A legacy cache under a paging campaign (or the
-                // reverse) holds rows measured under different OS
-                // semantics; splicing them in would mix
+                (cached.value().swapColumn() != swap_column ||
+                 cached.value().estErrColumn() != sampled)) {
+                // A cache in a different CSV format holds rows
+                // measured under different semantics (OS layer, or
+                // full vs sampled replay); splicing them in would mix
                 // incommensurable counters.
                 mosaic_warn("campaign cache ", *cache_path,
                             " has a different CSV format (swap column ",
                             cached.value().swapColumn() ? "present"
                                                         : "absent",
+                            ", est_err column ",
+                            cached.value().estErrColumn() ? "present"
+                                                          : "absent",
                             "); starting fresh");
             } else if (cached.ok()) {
                 resume_data = std::move(cached.value());
@@ -509,6 +589,11 @@ CampaignRunner::runImpl(const std::string *cache_path)
         std::unique_ptr<workloads::Workload> workload;
         std::shared_ptr<const trace::MemoryTrace> trace;
         std::vector<layouts::NamedLayout> layouts;
+
+        /** Sampled campaigns: the workload's replay plan, shared by
+         *  every cell (layout- and platform-independent). */
+        std::shared_ptr<const sampling::SamplePlan> plan;
+
         std::size_t retries = 0;
         std::optional<Error> error;
     };
@@ -567,7 +652,8 @@ CampaignRunner::runImpl(const std::string *cache_path)
             auto [state_it, inserted] =
                 state_index.try_emplace(label, states.size());
             if (inserted)
-                states.push_back({label, nullptr, nullptr, {}, 0, {}});
+                states.push_back(
+                    {label, nullptr, nullptr, {}, nullptr, 0, {}});
             pairs.push_back(
                 {state_it->second, &platform, done, 0, ordinal});
         }
@@ -619,6 +705,17 @@ CampaignRunner::runImpl(const std::string *cache_path)
             state.layouts = std::move(layouts_result).okOrThrow();
             state.trace = std::make_shared<trace::MemoryTrace>(
                 std::move(trace_result).okOrThrow());
+            if (sampled) {
+                auto plan_result = buildWorkloadSamplePlan(
+                    *state.trace, config_, context);
+                if (!plan_result.ok()) {
+                    state.error = plan_result.error();
+                    continue;
+                }
+                state.plan =
+                    std::make_shared<const sampling::SamplePlan>(
+                        std::move(plan_result).okOrThrow());
+            }
         }
     });
 
@@ -669,11 +766,14 @@ CampaignRunner::runImpl(const std::string *cache_path)
         std::size_t count;
     };
 
-    // Fused grouping is a single-tenant optimization: tenant cells
-    // already replay two traces per cell through the interleaved
-    // engine, so they keep per-cell units (the fused flag is ignored).
+    // Fused grouping is a single-tenant full-replay optimization:
+    // tenant cells already replay two traces per cell through the
+    // interleaved engine, and sampled cells replay a partial pass per
+    // layout (there is no fused sampled engine) — both keep per-cell
+    // units, the fused flag accepted but inert, so --fused on a
+    // sampled campaign still yields the byte-identical CSV.
     const std::size_t group_size =
-        config_.fused && !co_tenant
+        config_.fused && !co_tenant && !sampled
             ? std::max<std::size_t>(config_.fusedGroupSize, 1)
             : 1;
     std::vector<Unit> units;
@@ -733,6 +833,14 @@ CampaignRunner::runImpl(const std::string *cache_path)
             config_.os.writebackCycles);
         partition_seed ^= (0x6f73ULL << 32) |
                           crc32(os_tag.data(), os_tag.size());
+    }
+    // Sampled counters are incommensurable with full-replay ones for
+    // the same reason, and so are two different sampling configs:
+    // fold the sampling tag in exactly like the OS tag.
+    if (sampled) {
+        const std::string sample_tag = config_.sampling.tag();
+        partition_seed ^= (0x73616dULL << 32) |
+                          crc32(sample_tag.data(), sample_tag.size());
     }
     const std::uint32_t config_hash = shardConfigHash(
         config_.workloads, platform_names, config_.include1g,
@@ -850,7 +958,8 @@ CampaignRunner::runImpl(const std::string *cache_path)
                 record.result = simulateCellResult(
                     *pair.platform, *state.workload, named,
                     *state.trace, config_,
-                    co_tenant ? &*co_tenant : nullptr, cell_context);
+                    co_tenant ? &*co_tenant : nullptr,
+                    state.plan.get(), &record.estErr, cell_context);
                 outcome.record = std::move(record);
             } catch (const ResourceError &e) {
                 // The frame budget cannot hold the cell's pages: an
@@ -1041,6 +1150,7 @@ CampaignRunner::runImpl(const std::string *cache_path)
     }
     metrics().set("campaign/jobs", static_cast<double>(cell_jobs));
     metrics().set("campaign/fused", config_.fused ? 1.0 : 0.0);
+    metrics().set("campaign/sampled", sampled ? 1.0 : 0.0);
     if (sharded) {
         metrics().set("campaign/shard_index",
                       static_cast<double>(config_.shardIndex));
@@ -1182,11 +1292,16 @@ CampaignRunner::loadOrRun(const std::string &cache_path)
         probe.close();
         auto cached = Dataset::loadResult(cache_path);
         if (cached.ok() &&
-            cached.value().swapColumn() != config_.os.paged()) {
+            (cached.value().swapColumn() != config_.os.paged() ||
+             cached.value().estErrColumn() !=
+                 config_.sampling.enabled())) {
             mosaic_warn("campaign cache ", cache_path,
                         " has a different CSV format (swap column ",
                         cached.value().swapColumn() ? "present"
                                                     : "absent",
+                        ", est_err column ",
+                        cached.value().estErrColumn() ? "present"
+                                                      : "absent",
                         "); re-running");
         } else if (cached.ok()) {
             bool complete = true;

@@ -37,6 +37,7 @@
 #include "cpu/platform.hh"
 #include "experiments/dataset.hh"
 #include "layouts/heuristics.hh"
+#include "sampling/sample_plan.hh"
 #include "support/error.hh"
 #include "support/retry.hh"
 #include "support/sim_context.hh"
@@ -145,6 +146,20 @@ struct CampaignConfig
      * shared pool, and the interleave order is fixed by tenant order.
      */
     std::string coWorkload;
+
+    /**
+     * Interval-sampled replay ("--sample-mode interval"): every cell
+     * replays only one representative interval per behavior cluster
+     * (plus warmup) and records the cluster-weighted extrapolated
+     * counters, extending every CSV row with the est_err column (the
+     * reported error bound). The plan is a pure function of (trace,
+     * sampling config) — layout- and platform-independent — so it is
+     * built once per workload and the dataset stays byte-identical
+     * for any jobs/shard count. The default (mode off) reproduces the
+     * full-replay campaign bit for bit. Incompatible with coWorkload
+     * (the interleaved tenant engine replays whole traces).
+     */
+    sampling::SamplingConfig sampling;
 
     /**
      * Watchdog budget per cell, in seconds; 0 disables it. A

@@ -136,6 +136,30 @@ constexpr const char *kCsvHeaderSwap =
     "queue,progL1,progL2,progL3,progDram,walkL1,walkL2,walkL3,walkDram,"
     "s";
 
+/** Sampled campaigns append est_err after every other column (after s
+ *  when both extensions are on), preserving the positional prefix for
+ *  the same reason. */
+constexpr const char *kCsvHeaderEstErr =
+    "platform,workload,layout,runtime,h,m,c,instructions,refs,l1tlbhits,"
+    "queue,progL1,progL2,progL3,progDram,walkL1,walkL2,walkL3,walkDram,"
+    "est_err";
+
+constexpr const char *kCsvHeaderSwapEstErr =
+    "platform,workload,layout,runtime,h,m,c,instructions,refs,l1tlbhits,"
+    "queue,progL1,progL2,progL3,progDram,walkL1,walkL2,walkL3,walkDram,"
+    "s,est_err";
+
+/** Fixed-precision est_err cell: %.6f is deterministic for a given
+ *  double (correctly-rounded per the C standard), which the
+ *  byte-identical-for-any-jobs-count CSV property requires. */
+std::string
+formatEstErr(double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6f", value);
+    return buf;
+}
+
 } // namespace
 
 const char *
@@ -151,9 +175,23 @@ datasetCsvHeaderSwap()
 }
 
 const char *
+datasetCsvHeaderEstErr()
+{
+    return kCsvHeaderEstErr;
+}
+
+const char *
+datasetCsvHeaderFor(bool swap_column, bool est_err_column)
+{
+    if (swap_column)
+        return est_err_column ? kCsvHeaderSwapEstErr : kCsvHeaderSwap;
+    return est_err_column ? kCsvHeaderEstErr : kCsvHeader;
+}
+
+const char *
 Dataset::csvHeader() const
 {
-    return swapColumn_ ? kCsvHeaderSwap : kCsvHeader;
+    return datasetCsvHeaderFor(swapColumn_, estErrColumn_);
 }
 
 std::string
@@ -177,6 +215,8 @@ Dataset::toCsv() const
                 << r.walkDramLoads;
             if (swapColumn_)
                 row << ',' << r.swapCycles;
+            if (estErrColumn_)
+                row << ',' << formatEstErr(record.estErr);
             std::string text = row.str();
             if (faults().shouldFail(FaultSite::CsvTruncate))
                 text = text.substr(0, text.size() / 2);
@@ -202,15 +242,20 @@ Dataset::loadResult(const std::string &path, DatasetLoadStats *stats)
     std::string line;
     std::getline(file, line);
     std::string header = trimString(line);
-    bool swap_column = header == kCsvHeaderSwap;
-    if (header != kCsvHeader && !swap_column) {
+    bool swap_column =
+        header == kCsvHeaderSwap || header == kCsvHeaderSwapEstErr;
+    bool est_err_column =
+        header == kCsvHeaderEstErr || header == kCsvHeaderSwapEstErr;
+    if (header != kCsvHeader && !swap_column && !est_err_column) {
         return corruptError("unexpected dataset header in " + path +
                             " (not a mosaic dataset CSV?)");
     }
 
     Dataset dataset;
     dataset.setSwapColumn(swap_column);
-    const std::size_t expected_fields = swap_column ? 20 : 19;
+    dataset.setEstErrColumn(est_err_column);
+    const std::size_t expected_fields =
+        19 + (swap_column ? 1 : 0) + (est_err_column ? 1 : 0);
     DatasetLoadStats local;
     while (std::getline(file, line)) {
         std::string trimmed = trimString(line);
@@ -251,7 +296,10 @@ Dataset::loadResult(const std::string &path, DatasetLoadStats *stats)
                 }
             }
             if (good && swap_column &&
-                !parseUnsignedFull(fields[i], r.swapCycles))
+                !parseUnsignedFull(fields[i++], r.swapCycles))
+                good = false;
+            if (good && est_err_column &&
+                !parseNonNegativeDoubleFull(fields[i], record.estErr))
                 good = false;
         }
         if (!good) {

@@ -26,6 +26,14 @@ struct RunRecord
     std::string workload; ///< paper label, e.g. "spec06/mcf"
     std::string layout;   ///< e.g. "grow-3", "slide-40%-2", "all-1GB"
     cpu::RunResult result;
+
+    /**
+     * Reported error bound of a sampled (partial-replay) run — the
+     * est_err CSV column. Exactly 0 for full replays; sampled
+     * campaigns record the extrapolation model's max per-counter
+     * relative bound here.
+     */
+    double estErr = 0.0;
 };
 
 /** Uniform reference layout names. */
@@ -119,13 +127,26 @@ class Dataset
     void setSwapColumn(bool enabled) { swapColumn_ = enabled; }
     bool swapColumn() const { return swapColumn_; }
 
-    /** The CSV header this dataset emits (legacy or swap-extended). */
+    /**
+     * Whether rows carry the sampled-replay est_err column (reported
+     * extrapolation error bound). Sampled campaigns set this before
+     * emitting; loadResult() derives it from the header. Off by
+     * default for the same byte-identity reason as the swap column.
+     * Orthogonal to setSwapColumn(): all four header combinations are
+     * valid formats.
+     */
+    void setEstErrColumn(bool enabled) { estErrColumn_ = enabled; }
+    bool estErrColumn() const { return estErrColumn_; }
+
+    /** The CSV header this dataset emits (legacy, swap- and/or
+     *  est_err-extended). */
     const char *csvHeader() const;
 
   private:
     using Key = std::pair<std::string, std::string>;
     std::map<Key, std::vector<RunRecord>> runs_;
     bool swapColumn_ = false;
+    bool estErrColumn_ = false;
 };
 
 /** Convert one run into a model-facing sample. */
@@ -137,6 +158,14 @@ const char *datasetCsvHeader();
 /** The swap-extended header (legacy + ",s"), emitted by paging-mode
  *  campaigns. */
 const char *datasetCsvHeaderSwap();
+
+/** The sampling-extended header (legacy + ",est_err"), emitted by
+ *  interval-sampled campaigns. */
+const char *datasetCsvHeaderEstErr();
+
+/** The header for any (swap, est_err) column combination — the four
+ *  valid dataset CSV formats. */
+const char *datasetCsvHeaderFor(bool swap_column, bool est_err_column);
 
 } // namespace mosaic::exp
 

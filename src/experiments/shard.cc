@@ -256,8 +256,19 @@ readShardFile(const std::string &path, const SimContext &context)
                             " (not a mosaic dataset?)");
     }
     const std::string header = trimString(line);
-    const bool swap_column = header == datasetCsvHeaderSwap();
-    if (header != datasetCsvHeader() && !swap_column) {
+    bool swap_column = false;
+    bool est_err_column = false;
+    bool known_header = false;
+    for (bool swap : {false, true}) {
+        for (bool est : {false, true}) {
+            if (header == datasetCsvHeaderFor(swap, est)) {
+                swap_column = swap;
+                est_err_column = est;
+                known_header = true;
+            }
+        }
+    }
+    if (!known_header) {
         return corruptError("unexpected header in shard CSV " + path +
                             " (not a mosaic dataset?)");
     }
@@ -265,6 +276,7 @@ readShardFile(const std::string &path, const SimContext &context)
     ShardFile shard;
     shard.path = path;
     shard.swapColumn = swap_column;
+    shard.estErrColumn = est_err_column;
     bool have_manifest = false;
     std::uint32_t crc = 0;
     while (std::getline(stream, line)) {
@@ -296,7 +308,9 @@ readShardFile(const std::string &path, const SimContext &context)
                                 path);
         }
         auto fields = splitString(line, ',');
-        if (fields.size() != (swap_column ? 20u : 19u)) {
+        const std::size_t want_fields = 19u + (swap_column ? 1u : 0u) +
+                                        (est_err_column ? 1u : 0u);
+        if (fields.size() != want_fields) {
             return corruptError("malformed data row in shard CSV " +
                                 path);
         }
@@ -374,14 +388,17 @@ mergeShards(const std::vector<ShardFile> &shards, bool allow_missing)
                 shards.front().path +
                 " (config hash / shard count mismatch)");
         }
-        if (shard.swapColumn != shards.front().swapColumn) {
+        if (shard.swapColumn != shards.front().swapColumn ||
+            shard.estErrColumn != shards.front().estErrColumn) {
             // The config hash should already reject this pairing (the
-            // OS config is folded into the partition seed), but the
-            // header is the ground truth for row width: never splice
-            // 19- and 20-field rows into one file.
+            // OS and sampling configs are folded into the partition
+            // seed), but the header is the ground truth for row
+            // width: never splice rows of different widths into one
+            // file.
             return corruptError(
                 "shard " + shard.path +
-                " uses a different CSV format (swap column) than " +
+                " uses a different CSV format (swap/est_err columns) "
+                "than " +
                 shards.front().path);
         }
         if (!indices.insert(manifest.shardIndex).second) {
@@ -434,8 +451,8 @@ mergeShards(const std::vector<ShardFile> &shards, bool allow_missing)
 
     MergeOutcome outcome;
     std::ostringstream out;
-    out << (shards.front().swapColumn ? datasetCsvHeaderSwap()
-                                      : datasetCsvHeader())
+    out << datasetCsvHeaderFor(shards.front().swapColumn,
+                               shards.front().estErrColumn)
         << "\n";
     for (const auto &[pair, layouts] : order) {
         for (const auto &layout : layouts) {

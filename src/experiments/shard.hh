@@ -124,6 +124,10 @@ struct ShardFile
      *  All merged shards must agree. */
     bool swapColumn = false;
 
+    /** Rows carry the sampled campaign's est_err column. All merged
+     *  shards must agree. */
+    bool estErrColumn = false;
+
     /** Raw row bytes (no '\n') keyed by (platform, workload, layout). */
     std::map<std::array<std::string, 3>, std::string> rows;
 };

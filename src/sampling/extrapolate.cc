@@ -1,0 +1,142 @@
+#include "sampling/extrapolate.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace mosaic::sampling
+{
+
+namespace
+{
+
+/**
+ * One counter's weighted accumulator. Exact-weight contributions
+ * (ratio == 1) accumulate in integers so lossless plans telescope bit
+ * for bit; scaled contributions accumulate in doubles and round once
+ * at the end.
+ */
+struct WeightedCounter
+{
+    std::uint64_t exact = 0;
+    double scaled = 0.0;
+
+    void
+    add(std::uint64_t delta, std::uint64_t member_records,
+        std::uint64_t rep_records)
+    {
+        if (member_records == rep_records) {
+            exact += delta;
+        } else {
+            scaled += static_cast<double>(delta) *
+                      (static_cast<double>(member_records) /
+                       static_cast<double>(rep_records));
+        }
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return exact + static_cast<std::uint64_t>(std::llround(scaled));
+    }
+};
+
+} // namespace
+
+SampledEstimate
+extrapolate(const SamplePlan &plan,
+            std::span<const cpu::RunResult> measured,
+            const trace::MemoryTrace &trace)
+{
+    mosaic_assert(measured.size() == plan.segments.size(),
+                  "one measured delta per plan segment required");
+    mosaic_assert(trace.size() == plan.traceRecords,
+                  "extrapolation trace does not match the plan");
+
+    SampledEstimate out;
+    out.recordsReplayed = plan.recordsReplayed;
+    out.recordsTotal = plan.traceRecords;
+
+    WeightedCounter r, h, m, c, s, major_faults, evictions, writebacks;
+    WeightedCounter l1_tlb_hits, queue_cycles;
+    WeightedCounter prog_l1, prog_l2, prog_l3, prog_dram;
+    WeightedCounter walk_l1, walk_l2, walk_l3, walk_dram;
+
+    for (std::size_t i = 0; i < plan.segments.size(); ++i) {
+        const PlannedCluster &cluster =
+            plan.clusters[plan.segmentCluster[i]];
+        const PlannedInterval &rep =
+            plan.intervals[cluster.representative];
+        const std::uint64_t rep_records = rep.end - rep.begin;
+        const std::uint64_t member_records = cluster.memberRecords;
+        const cpu::RunResult &d = measured[i];
+
+        r.add(d.runtimeCycles, member_records, rep_records);
+        h.add(d.tlbHitsL2, member_records, rep_records);
+        m.add(d.tlbMisses, member_records, rep_records);
+        c.add(d.walkCycles, member_records, rep_records);
+        s.add(d.swapCycles, member_records, rep_records);
+        major_faults.add(d.majorFaults, member_records, rep_records);
+        evictions.add(d.evictions, member_records, rep_records);
+        writebacks.add(d.writebacks, member_records, rep_records);
+        l1_tlb_hits.add(d.l1TlbHits, member_records, rep_records);
+        queue_cycles.add(d.walkerQueueCycles, member_records,
+                         rep_records);
+        prog_l1.add(d.progL1dLoads, member_records, rep_records);
+        prog_l2.add(d.progL2Loads, member_records, rep_records);
+        prog_l3.add(d.progL3Loads, member_records, rep_records);
+        prog_dram.add(d.progDramLoads, member_records, rep_records);
+        walk_l1.add(d.walkL1dLoads, member_records, rep_records);
+        walk_l2.add(d.walkL2Loads, member_records, rep_records);
+        walk_l3.add(d.walkL3Loads, member_records, rep_records);
+        walk_dram.add(d.walkDramLoads, member_records, rep_records);
+    }
+
+    out.estimate.runtimeCycles = r.value();
+    out.estimate.tlbHitsL2 = h.value();
+    out.estimate.tlbMisses = m.value();
+    out.estimate.walkCycles = c.value();
+    out.estimate.swapCycles = s.value();
+    out.estimate.majorFaults = major_faults.value();
+    out.estimate.evictions = evictions.value();
+    out.estimate.writebacks = writebacks.value();
+    out.estimate.l1TlbHits = l1_tlb_hits.value();
+    out.estimate.walkerQueueCycles = queue_cycles.value();
+    out.estimate.progL1dLoads = prog_l1.value();
+    out.estimate.progL2Loads = prog_l2.value();
+    out.estimate.progL3Loads = prog_l3.value();
+    out.estimate.progDramLoads = prog_dram.value();
+    out.estimate.walkL1dLoads = walk_l1.value();
+    out.estimate.walkL2Loads = walk_l2.value();
+    out.estimate.walkL3Loads = walk_l3.value();
+    out.estimate.walkDramLoads = walk_dram.value();
+
+    // Exact full-run totals the trace carries regardless of sampling.
+    out.estimate.instructions = trace.totalInstructions();
+    out.estimate.memoryRefs = trace.size();
+
+    // Record-weighted mean within-cluster dispersion: how much
+    // behavior the replayed representatives fail to represent.
+    double weighted_dispersion = 0.0;
+    std::uint64_t weight = 0;
+    for (const PlannedCluster &cluster : plan.clusters) {
+        weighted_dispersion +=
+            cluster.dispersion *
+            static_cast<double>(cluster.memberRecords);
+        weight += cluster.memberRecords;
+    }
+    if (weight > 0)
+        weighted_dispersion /= static_cast<double>(weight);
+
+    out.errR = kErrSensitivityR * weighted_dispersion;
+    out.errH = kErrSensitivityRate * weighted_dispersion;
+    out.errM = kErrSensitivityRate * weighted_dispersion;
+    out.errC = kErrSensitivityRate * weighted_dispersion;
+    out.errS = kErrSensitivityRate * weighted_dispersion;
+    out.estErr = std::max(
+        {out.errR, out.errH, out.errM, out.errC, out.errS});
+    return out;
+}
+
+} // namespace mosaic::sampling

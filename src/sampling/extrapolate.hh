@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Cluster-weighted extrapolation of sampled replay deltas to a
+ * full-run counter estimate, with a reported per-counter error bound.
+ *
+ * Each cluster's measured representative delta is scaled by the ratio
+ * of the cluster's total member records to the representative's
+ * records and summed. Clusters whose weight ratio is exactly 1 (in
+ * particular every singleton) contribute their *integer* delta
+ * unscaled, so when every interval is its own cluster the sum
+ * telescopes to the full-replay readout bit for bit — the exactness
+ * property the sampling tests pin.
+ *
+ * The error bound is a heuristic signal, not a guarantee: it grows
+ * with the record-weighted within-cluster signature dispersion (how
+ * unlike its cluster-mates the replayed representative is), scaled
+ * per counter — rate-like counters (H, M, C, S) respond more sharply
+ * to behavior shifts than R, which the overlap machinery smooths. It
+ * is exactly zero when clustering is lossless (all dispersions zero).
+ * The CI accuracy gate checks *actual* error against full replay; the
+ * bound is what campaigns report per cell in the est_err column.
+ */
+
+#ifndef MOSAIC_SAMPLING_EXTRAPOLATE_HH
+#define MOSAIC_SAMPLING_EXTRAPOLATE_HH
+
+#include <span>
+
+#include "cpu/core.hh"
+#include "sampling/sample_plan.hh"
+
+namespace mosaic::sampling
+{
+
+/** A full-run counter estimate extrapolated from sampled deltas. */
+struct SampledEstimate
+{
+    /** The extrapolated full-run readout. instructions/memoryRefs are
+     *  exact (read from the trace, not extrapolated). */
+    cpu::RunResult estimate;
+
+    /** Per-counter relative error bounds (unitless fractions). */
+    double errR = 0.0;
+    double errH = 0.0;
+    double errM = 0.0;
+    double errC = 0.0;
+    double errS = 0.0;
+
+    /** max of the per-counter bounds — the CSV est_err column. */
+    double estErr = 0.0;
+
+    /** Replay cost accounting (speedup = total / replayed). */
+    std::uint64_t recordsReplayed = 0;
+    std::uint64_t recordsTotal = 0;
+};
+
+/** Per-counter sensitivity multipliers of the dispersion bound. */
+constexpr double kErrSensitivityR = 1.0;
+constexpr double kErrSensitivityRate = 2.0;
+
+/**
+ * Extrapolate @p measured (one delta per plan segment, as
+ * System::runSampled returns) to the full-run estimate under
+ * @p plan. @p trace must be the trace the plan was built from (its
+ * exact instruction/reference totals feed the estimate).
+ */
+SampledEstimate extrapolate(const SamplePlan &plan,
+                            std::span<const cpu::RunResult> measured,
+                            const trace::MemoryTrace &trace);
+
+} // namespace mosaic::sampling
+
+#endif // MOSAIC_SAMPLING_EXTRAPOLATE_HH

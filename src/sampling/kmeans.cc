@@ -1,0 +1,157 @@
+#include "sampling/kmeans.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "support/logging.hh"
+
+namespace mosaic::sampling
+{
+
+namespace
+{
+
+double
+squaredDistance(std::span<const double> a, std::span<const double> b)
+{
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        sum += d * d;
+    }
+    return sum;
+}
+
+/** Index of the point farthest from its nearest entry of
+ *  @p nearest_sq (per-point squared distance to the closest chosen
+ *  center), lowest index on ties. */
+std::size_t
+farthestPoint(std::span<const double> nearest_sq)
+{
+    std::size_t best = 0;
+    double best_d = -1.0;
+    for (std::size_t i = 0; i < nearest_sq.size(); ++i) {
+        if (nearest_sq[i] > best_d) {
+            best_d = nearest_sq[i];
+            best = i;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+KmeansResult
+kmeansCluster(std::span<const std::vector<double>> points,
+              std::uint32_t k, std::uint64_t seed)
+{
+    const std::size_t n = points.size();
+    mosaic_assert(n >= 1, "k-means needs at least one point");
+    const std::size_t dim = points[0].size();
+    for (const auto &p : points)
+        mosaic_assert(p.size() == dim, "k-means points must share a dim");
+    if (k > n)
+        k = static_cast<std::uint32_t>(n);
+    mosaic_assert(k >= 1, "k-means needs at least one cluster");
+
+    KmeansResult result;
+    result.centroids.reserve(k);
+
+    // Seeded farthest-point init.
+    result.centroids.push_back(points[seed % n]);
+    std::vector<double> nearest_sq(n);
+    for (std::size_t i = 0; i < n; ++i)
+        nearest_sq[i] = squaredDistance(points[i], result.centroids[0]);
+    while (result.centroids.size() < k) {
+        const std::size_t pick = farthestPoint(nearest_sq);
+        result.centroids.push_back(points[pick]);
+        for (std::size_t i = 0; i < n; ++i) {
+            nearest_sq[i] = std::min(
+                nearest_sq[i],
+                squaredDistance(points[i], result.centroids.back()));
+        }
+    }
+
+    result.assignment.assign(n, 0);
+    std::vector<std::uint32_t> counts(k, 0);
+    for (unsigned iter = 0; iter < kKmeansMaxIterations; ++iter) {
+        result.iterations = iter + 1;
+
+        // Assignment: nearest centroid, lowest index on ties.
+        bool changed = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            std::uint32_t best = 0;
+            double best_d = std::numeric_limits<double>::infinity();
+            for (std::uint32_t c = 0; c < k; ++c) {
+                const double d =
+                    squaredDistance(points[i], result.centroids[c]);
+                if (d < best_d) {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if (result.assignment[i] != best) {
+                result.assignment[i] = best;
+                changed = true;
+            }
+        }
+        if (!changed && iter > 0)
+            break;
+
+        // Centroid update, points visited in index order.
+        for (auto &centroid : result.centroids)
+            centroid.assign(dim, 0.0);
+        counts.assign(k, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            auto &centroid = result.centroids[result.assignment[i]];
+            for (std::size_t d = 0; d < dim; ++d)
+                centroid[d] += points[i][d];
+            ++counts[result.assignment[i]];
+        }
+        for (std::uint32_t c = 0; c < k; ++c) {
+            if (counts[c] == 0)
+                continue;
+            for (std::size_t d = 0; d < dim; ++d)
+                result.centroids[c][d] /= static_cast<double>(counts[c]);
+        }
+        // Re-seed emptied clusters with the point farthest from its
+        // own (already normalized) centroid, only stealing from
+        // clusters that keep >= 2 members; deterministic, lowest
+        // index on ties. K never silently shrinks.
+        for (std::uint32_t c = 0; c < k; ++c) {
+            if (counts[c] != 0)
+                continue;
+            for (std::size_t i = 0; i < n; ++i) {
+                nearest_sq[i] =
+                    counts[result.assignment[i]] >= 2
+                        ? squaredDistance(
+                              points[i],
+                              result.centroids[result.assignment[i]])
+                        : -1.0;
+            }
+            const std::size_t pick = farthestPoint(nearest_sq);
+            --counts[result.assignment[pick]];
+            result.centroids[c] = points[pick];
+            result.assignment[pick] = c;
+            counts[c] = 1;
+        }
+    }
+
+    result.dispersion.assign(k, 0.0);
+    counts.assign(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        result.dispersion[result.assignment[i]] += std::sqrt(
+            squaredDistance(points[i],
+                            result.centroids[result.assignment[i]]));
+        ++counts[result.assignment[i]];
+    }
+    for (std::uint32_t c = 0; c < k; ++c) {
+        if (counts[c] > 1)
+            result.dispersion[c] /= static_cast<double>(counts[c]);
+        else
+            result.dispersion[c] = 0.0;
+    }
+    return result;
+}
+
+} // namespace mosaic::sampling

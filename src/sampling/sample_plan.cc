@@ -1,0 +1,165 @@
+#include "sampling/sample_plan.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "sampling/kmeans.hh"
+#include "support/logging.hh"
+
+namespace mosaic::sampling
+{
+
+const char *
+sampleModeName(SampleMode mode)
+{
+    switch (mode) {
+    case SampleMode::Off:
+        return "off";
+    case SampleMode::Interval:
+        return "interval";
+    }
+    return "off";
+}
+
+std::optional<SampleMode>
+sampleModeFromName(std::string_view name)
+{
+    if (name == "off")
+        return SampleMode::Off;
+    if (name == "interval")
+        return SampleMode::Interval;
+    return std::nullopt;
+}
+
+std::string
+SamplingConfig::tag() const
+{
+    std::string tag = sampleModeName(mode);
+    if (mode == SampleMode::Off)
+        return tag;
+    tag += ":i" + std::to_string(intervalRecords);
+    tag += ":k" + std::to_string(clusters);
+    tag += ":w" + std::to_string(warmupRecords);
+    tag += ":s" + std::to_string(seed);
+    return tag;
+}
+
+SamplePlan
+buildSamplePlan(const trace::MemoryTrace &trace,
+                const SamplingConfig &config)
+{
+    return buildSamplePlanFromSignatures(
+        trace::extractIntervalSignatures(trace, config.intervalRecords),
+        trace.size(), config);
+}
+
+SamplePlan
+buildSamplePlanFromSignatures(
+    const std::vector<trace::IntervalSignature> &signatures,
+    std::uint64_t trace_records, const SamplingConfig &config)
+{
+    mosaic_assert(config.enabled(),
+                  "cannot build a sample plan in mode off");
+    mosaic_assert(!signatures.empty(),
+                  "cannot build a sample plan for an empty trace");
+    mosaic_assert(config.clusters >= 1, "need at least one cluster");
+
+    SamplePlan plan;
+    plan.config = config;
+    plan.traceRecords = trace_records;
+
+    std::vector<std::vector<double>> points;
+    points.reserve(signatures.size());
+    for (const auto &sig : signatures) {
+        points.emplace_back(sig.features.begin(), sig.features.end());
+    }
+
+    // K >= interval count degenerates to the identity clustering —
+    // every interval its own (zero-dispersion) cluster — without
+    // consulting k-means, so the "K = num intervals means full replay,
+    // bit-identical" property holds by construction even when two
+    // intervals share identical features.
+    KmeansResult clustering;
+    if (config.clusters >= signatures.size()) {
+        clustering.assignment.resize(signatures.size());
+        clustering.centroids.resize(signatures.size());
+        clustering.dispersion.assign(signatures.size(), 0.0);
+        for (std::size_t i = 0; i < signatures.size(); ++i) {
+            clustering.assignment[i] = static_cast<std::uint32_t>(i);
+            clustering.centroids[i] = points[i];
+        }
+    } else {
+        clustering = kmeansCluster(points, config.clusters, config.seed);
+    }
+    const auto k =
+        static_cast<std::uint32_t>(clustering.centroids.size());
+
+    plan.intervals.reserve(signatures.size());
+    for (std::size_t i = 0; i < signatures.size(); ++i) {
+        plan.intervals.push_back({signatures[i].begin,
+                                  signatures[i].end,
+                                  clustering.assignment[i]});
+    }
+
+    // Representative per cluster: the member nearest its centroid,
+    // lowest interval index on ties (strict < keeps the first best).
+    plan.clusters.assign(k, PlannedCluster{});
+    std::vector<double> best_d(
+        k, std::numeric_limits<double>::infinity());
+    for (std::uint32_t c = 0; c < k; ++c)
+        plan.clusters[c].dispersion = clustering.dispersion[c];
+    for (std::size_t i = 0; i < signatures.size(); ++i) {
+        const std::uint32_t c = clustering.assignment[i];
+        PlannedCluster &cluster = plan.clusters[c];
+        ++cluster.members;
+        cluster.memberRecords += signatures[i].records();
+        double d = 0.0;
+        const auto &centroid = clustering.centroids[c];
+        for (std::size_t f = 0; f < centroid.size(); ++f) {
+            const double delta = points[i][f] - centroid[f];
+            d += delta * delta;
+        }
+        if (d < best_d[c]) {
+            best_d[c] = d;
+            cluster.representative = static_cast<std::uint32_t>(i);
+        }
+    }
+
+    // Segments in trace order: representatives sorted by position,
+    // each with a warmup prefix clamped against the previous
+    // segment's end (adjacent representatives chain with no warmup
+    // and exact machine state — the degenerate K = num-intervals case
+    // replays the whole trace contiguously).
+    std::vector<std::uint32_t> reps;
+    reps.reserve(k);
+    for (std::uint32_t c = 0; c < k; ++c)
+        reps.push_back(c);
+    std::sort(reps.begin(), reps.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  return plan.intervals[plan.clusters[a].representative]
+                             .begin <
+                         plan.intervals[plan.clusters[b].representative]
+                             .begin;
+              });
+
+    std::uint64_t prev_end = 0;
+    for (std::uint32_t c : reps) {
+        const PlannedInterval &rep =
+            plan.intervals[plan.clusters[c].representative];
+        cpu::SampledSegment seg;
+        seg.measureBegin = rep.begin;
+        seg.end = rep.end;
+        const std::uint64_t wanted =
+            rep.begin >= config.warmupRecords
+                ? rep.begin - config.warmupRecords
+                : 0;
+        seg.warmupBegin = std::max(wanted, prev_end);
+        prev_end = seg.end;
+        plan.segments.push_back(seg);
+        plan.segmentCluster.push_back(c);
+        plan.recordsReplayed += seg.end - seg.warmupBegin;
+    }
+    return plan;
+}
+
+} // namespace mosaic::sampling

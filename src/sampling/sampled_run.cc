@@ -1,0 +1,27 @@
+#include "sampling/sampled_run.hh"
+
+#include <stdexcept>
+
+#include "support/fault_injector.hh"
+
+namespace mosaic::sampling
+{
+
+SampledEstimate
+simulateSampled(const cpu::PlatformSpec &platform,
+                const alloc::MosallocConfig &alloc_config,
+                const trace::MemoryTrace &trace, const SamplePlan &plan,
+                const vm::OsConfig &os, const SimContext &context)
+{
+    mosaic_assert(plan.config.enabled(),
+                  "simulateSampled requires an interval-mode plan");
+    if (context.faults().shouldFail(FaultSite::SimLane))
+        throw std::runtime_error("injected sim-lane fault");
+    alloc::Mosalloc allocator(alloc_config);
+    cpu::System system(platform, allocator, os, context);
+    std::vector<cpu::RunResult> deltas =
+        system.runSampled(trace, plan.segments);
+    return extrapolate(plan, deltas, trace);
+}
+
+} // namespace mosaic::sampling

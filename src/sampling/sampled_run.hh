@@ -1,0 +1,39 @@
+/**
+ * @file
+ * One-call sampled simulation: plan -> partial replay -> extrapolated
+ * full-run estimate.
+ *
+ * This is the sampled counterpart of cpu::simulateRun: build the
+ * machine for (platform, layout, os), replay only the plan's segments
+ * (System::runSampled), and extrapolate the cluster-weighted full-run
+ * counters. The plan is layout-independent, so campaign callers build
+ * it once per workload and pass it to every cell.
+ */
+
+#ifndef MOSAIC_SAMPLING_SAMPLED_RUN_HH
+#define MOSAIC_SAMPLING_SAMPLED_RUN_HH
+
+#include "cpu/system.hh"
+#include "sampling/extrapolate.hh"
+#include "sampling/sample_plan.hh"
+
+namespace mosaic::sampling
+{
+
+/**
+ * Simulate (platform, layout) over @p trace replaying only
+ * @p plan's segments, and return the extrapolated full-run estimate.
+ * Same machine-assembly semantics as cpu::simulateRun (including
+ * paged mode under a bounded @p os, where warmups also heat the
+ * frame pool); same fault-injection and observability hooks.
+ */
+SampledEstimate
+simulateSampled(const cpu::PlatformSpec &platform,
+                const alloc::MosallocConfig &alloc_config,
+                const trace::MemoryTrace &trace, const SamplePlan &plan,
+                const vm::OsConfig &os = {},
+                const SimContext &context = globalSimContext());
+
+} // namespace mosaic::sampling
+
+#endif // MOSAIC_SAMPLING_SAMPLED_RUN_HH

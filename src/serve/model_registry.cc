@@ -11,6 +11,7 @@
 #include "experiments/dataset.hh"
 #include "experiments/report.hh"
 #include "layouts/heuristics.hh"
+#include "sampling/sampled_run.hh"
 #include "support/io_util.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
@@ -364,44 +365,85 @@ ModelRegistry::simulateCold(const Key &key, const SimContext &context)
                          e.what());
     }
 
-    // Fused replay over the campaign grid, group by group. The
+    // Fused replay over the campaign grid, group by group — or, with
+    // --cold-sampled, interval-sampled replay of one shared plan. The
     // query's cooperative deadline rides in on the context and is
     // checked inside the replay chunk loop, so a timed-out query
     // abandons the pass within one chunk.
     std::vector<exp::RunRecord> records;
     records.reserve(layouts.size());
     try {
-        for (std::size_t base = 0; base < layouts.size();
-             base += options_.fusedGroupSize) {
-            const std::size_t count =
-                std::min<std::size_t>(options_.fusedGroupSize,
-                                      layouts.size() - base);
-            std::vector<alloc::MosallocConfig> configs;
-            configs.reserve(count);
-            for (std::size_t k = 0; k < count; ++k) {
-                configs.push_back(workload->makeAllocConfig(
-                    layouts[base + k].layout));
+        if (options_.coldSampling.enabled()) {
+            registry.add("serve/cold_sampled");
+            sampling::SamplePlan plan;
+            {
+                ScopedTimer plan_timer(registry,
+                                       "serve/cold_sample_plan");
+                plan = sampling::buildSamplePlan(trace,
+                                                 options_.coldSampling);
             }
-            auto lanes = cpu::simulateRunFused(platform.value(),
-                                               configs, trace,
-                                               context);
-            for (std::size_t k = 0; k < count; ++k) {
-                const auto &named = layouts[base + k];
-                if (!lanes[k].ok()) {
+            for (const auto &named : layouts) {
+                sampling::SampledEstimate estimate;
+                try {
+                    estimate = sampling::simulateSampled(
+                        platform.value(),
+                        workload->makeAllocConfig(named.layout), trace,
+                        plan, /*os=*/{}, context);
+                } catch (const TimeoutError &) {
+                    throw; // outer handler owns timeout accounting
+                } catch (const std::exception &e) {
                     const bool required =
                         named.name == exp::layoutAll4k ||
                         named.name == exp::layoutAll2m;
                     if (required) {
-                        return lanes[k].error().withContext(
-                            "cold-simulating required reference " +
-                            named.name);
+                        return Error(
+                            ErrorCategory::Internal,
+                            std::string("sampled cold lane failed: ") +
+                                e.what())
+                            .withContext(
+                                "cold-simulating required reference " +
+                                named.name);
                     }
                     registry.add("serve/cold_lane_failures");
                     continue;
                 }
                 records.push_back(exp::RunRecord{
                     key.first, key.second, named.name,
-                    std::move(lanes[k]).okOrThrow()});
+                    estimate.estimate, estimate.estErr});
+            }
+        } else {
+            for (std::size_t base = 0; base < layouts.size();
+                 base += options_.fusedGroupSize) {
+                const std::size_t count =
+                    std::min<std::size_t>(options_.fusedGroupSize,
+                                          layouts.size() - base);
+                std::vector<alloc::MosallocConfig> configs;
+                configs.reserve(count);
+                for (std::size_t k = 0; k < count; ++k) {
+                    configs.push_back(workload->makeAllocConfig(
+                        layouts[base + k].layout));
+                }
+                auto lanes = cpu::simulateRunFused(platform.value(),
+                                                   configs, trace,
+                                                   context);
+                for (std::size_t k = 0; k < count; ++k) {
+                    const auto &named = layouts[base + k];
+                    if (!lanes[k].ok()) {
+                        const bool required =
+                            named.name == exp::layoutAll4k ||
+                            named.name == exp::layoutAll2m;
+                        if (required) {
+                            return lanes[k].error().withContext(
+                                "cold-simulating required reference " +
+                                named.name);
+                        }
+                        registry.add("serve/cold_lane_failures");
+                        continue;
+                    }
+                    records.push_back(exp::RunRecord{
+                        key.first, key.second, named.name,
+                        std::move(lanes[k]).okOrThrow()});
+                }
             }
         }
     } catch (const TimeoutError &e) {

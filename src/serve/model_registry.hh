@@ -13,6 +13,13 @@
  * queries for the same pair deduplicate into one simulation
  * (single-flight), with followers waiting — also deadline-bounded — for
  * the leader's result.
+ *
+ * With Options::coldSampling enabled (--cold-sampled), the cold path
+ * trades the fused full replay for interval-sampled replay: one sample
+ * plan is built per trace and every layout replays only the plan's
+ * representative segments, extrapolating the full-run counters. Cold
+ * pairs then become resident in seconds instead of minutes, at the
+ * plan's documented error bound.
  */
 
 #ifndef MOSAIC_SERVE_MODEL_REGISTRY_HH
@@ -27,6 +34,7 @@
 #include <vector>
 
 #include "models/runtime_model.hh"
+#include "sampling/sample_plan.hh"
 #include "serve/protocol.hh"
 #include "support/error.hh"
 #include "support/sim_context.hh"
@@ -74,6 +82,15 @@ class ModelRegistry
 
         /** Refuse cold simulations (serve only what was loaded). */
         bool allowCold = true;
+
+        /**
+         * Interval-sampled cold simulations: when enabled, cold pairs
+         * replay one plan-selected representative segment set per
+         * layout instead of the full fused grid. The surfaces they
+         * produce are estimates (within the plan's error bound), not
+         * bit-identical to a full campaign.
+         */
+        sampling::SamplingConfig coldSampling;
 
         /** Workload construction seam (tests); default: registry. */
         std::function<std::unique_ptr<workloads::Workload>(

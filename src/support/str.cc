@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 namespace mosaic
@@ -53,6 +56,33 @@ parseUnsignedFull(const std::string &text, std::uint64_t &out)
             return false; // would overflow rather than wrap
         value = value * 10 + digit;
     }
+    out = value;
+    return true;
+}
+
+bool
+parseNonNegativeDoubleFull(const std::string &text, double &out)
+{
+    if (text.empty())
+        return false;
+    // Reject signs and alphabetic forms ("nan", "inf", "0x1p3") up
+    // front; strtod would happily accept them.
+    const char first = text.front();
+    if (first != '.' && (first < '0' || first > '9'))
+        return false;
+    for (char c : text) {
+        const bool ok = (c >= '0' && c <= '9') || c == '.' || c == 'e' ||
+                        c == 'E' || c == '+' || c == '-';
+        if (!ok)
+            return false;
+    }
+    errno = 0;
+    char *end = nullptr;
+    double value = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size())
+        return false; // trailing junk
+    if (errno == ERANGE || !std::isfinite(value) || value < 0.0)
+        return false;
     out = value;
     return true;
 }

@@ -27,6 +27,15 @@ std::string trimString(const std::string &text);
  */
 bool parseUnsignedFull(const std::string &text, std::uint64_t &out);
 
+/**
+ * Strict full-match non-negative decimal double parse: the entire
+ * field must be a finite non-negative number ("0.0125", "3", "1e-3").
+ * "nan", "inf", signs, and trailing junk are rejected — the est_err
+ * dataset column must never admit a poisoned value. @return false on
+ * any violation.
+ */
+bool parseNonNegativeDoubleFull(const std::string &text, double &out);
+
 /** Format a double with @p precision significant decimal digits. */
 std::string formatDouble(double value, int precision = 3);
 

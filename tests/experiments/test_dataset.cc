@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 
 #include "common/scratch_dir.hh"
 #include "experiments/dataset.hh"
@@ -246,4 +247,90 @@ TEST(Dataset, ToSampleMapsCounters)
     EXPECT_DOUBLE_EQ(sample.m, 20.0);
     EXPECT_DOUBLE_EQ(sample.h, 10.0);
     EXPECT_EQ(sample.layoutName, "rand-0");
+}
+
+TEST(Dataset, EstErrColumnRoundTripsWithFixedPrecision)
+{
+    Dataset dataset;
+    dataset.setEstErrColumn(true);
+    RunRecord a = makeRecord("P", "w/x", "rand-0", 5000, 800);
+    a.estErr = 0.0375;
+    RunRecord b = makeRecord("P", "w/x", "rand-1", 4800, 700);
+    b.estErr = 0.0; // full-coverage plan: exactly zero
+    dataset.add(a);
+    dataset.add(b);
+
+    EXPECT_STREQ(dataset.csvHeader(), datasetCsvHeaderEstErr());
+    test::ScratchDir scratch;
+    std::string path = scratch.file("est_err.csv");
+    dataset.save(path);
+
+    Dataset loaded = Dataset::load(path);
+    EXPECT_TRUE(loaded.estErrColumn());
+    EXPECT_FALSE(loaded.swapColumn());
+    EXPECT_NEAR(loaded.findRun("P", "w/x", "rand-0").estErr, 0.0375,
+                1e-9);
+    EXPECT_EQ(loaded.findRun("P", "w/x", "rand-1").estErr, 0.0);
+
+    // A second save of the loaded dataset is byte-identical: the
+    // fixed-precision emitter is a fixed point over its own output.
+    std::string again = scratch.file("est_err2.csv");
+    loaded.save(again);
+    std::ifstream f1(path), f2(again);
+    std::string s1((std::istreambuf_iterator<char>(f1)),
+                   std::istreambuf_iterator<char>());
+    std::string s2((std::istreambuf_iterator<char>(f2)),
+                   std::istreambuf_iterator<char>());
+    EXPECT_EQ(s1, s2);
+}
+
+TEST(Dataset, EstErrColumnComposesWithSwapColumn)
+{
+    Dataset dataset;
+    dataset.setSwapColumn(true);
+    dataset.setEstErrColumn(true);
+    RunRecord record = makeRecord("P", "w/x", "rand-0", 5000, 800);
+    record.result.swapCycles = 123;
+    record.estErr = 0.5;
+    dataset.add(record);
+
+    test::ScratchDir scratch;
+    std::string path = scratch.file("both.csv");
+    dataset.save(path);
+    Dataset loaded = Dataset::load(path);
+    EXPECT_TRUE(loaded.swapColumn());
+    EXPECT_TRUE(loaded.estErrColumn());
+    const auto &run = loaded.findRun("P", "w/x", "rand-0");
+    EXPECT_EQ(run.result.swapCycles, 123u);
+    EXPECT_NEAR(run.estErr, 0.5, 1e-9);
+}
+
+TEST(Dataset, MalformedEstErrRowsAreSkipped)
+{
+    Dataset dataset;
+    dataset.setEstErrColumn(true);
+    dataset.add(makeRecord("P", "w/x", "rand-0", 5000, 800));
+    test::ScratchDir scratch;
+    std::string path = scratch.file("bad_est_err.csv");
+    dataset.save(path);
+
+    // est_err must be a finite non-negative number: negative values,
+    // nan/inf, trailing junk, and a missing field are all damage.
+    FILE *file = std::fopen(path.c_str(), "a");
+    std::fputs("P,w/x,neg,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,-0.5\n",
+               file);
+    std::fputs("P,w/x,nan,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,nan\n",
+               file);
+    std::fputs(
+        "P,w/x,junk,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,0.5x\n",
+        file);
+    std::fputs("P,w/x,short,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16\n",
+               file);
+    std::fclose(file);
+
+    DatasetLoadStats stats;
+    auto result = Dataset::loadResult(path, &stats);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().totalRuns(), 1u);
+    EXPECT_EQ(stats.rowsSkipped, 4u);
 }

@@ -2,8 +2,9 @@
  * @file
  * Tests for the serve ModelRegistry: warm predictions from a loaded
  * campaign dataset, structured rejection of unknown names, and the
- * cold path — on-demand fused simulation, single-flight dedup,
- * deadline timeouts, and trace-store reuse.
+ * cold path — on-demand fused simulation, the interval-sampled cold
+ * variant, single-flight dedup, deadline timeouts, and trace-store
+ * reuse.
  */
 
 #include <gtest/gtest.h>
@@ -224,6 +225,54 @@ TEST(ServeRegistry, ColdPathSimulatesCachesAndMatchesTheCampaign)
     ASSERT_TRUE(warm.ok());
     EXPECT_FALSE(warm.value().cold);
     EXPECT_EQ(shard.counter("serve/cold_simulations"), 1u);
+}
+
+TEST(ServeRegistry, ColdSampledPathEstimatesAndReplaysFewerRecords)
+{
+    ModelRegistry::Options options = coldOptions();
+    options.coldSampling.mode = sampling::SampleMode::Interval;
+    options.coldSampling.intervalRecords = 1024; // 12 intervals
+    options.coldSampling.clusters = 3;
+    options.coldSampling.warmupRecords = 256;
+    ModelRegistry registry(std::move(options));
+    MetricsRegistry shard;
+    SimContext context(shard, faults());
+
+    auto prediction = registry.predict(tinyQuery(), context);
+    ASSERT_TRUE(prediction.ok()) << prediction.error().str();
+    EXPECT_TRUE(prediction.value().cold);
+    EXPECT_EQ(shard.counter("serve/cold_sampled"), 1u);
+    EXPECT_TRUE(registry.isResident("SandyBridge", "test/tiny"));
+
+    // Sampled cold lanes replay only the plan's segments: strictly
+    // fewer records measured than skipped, across the whole grid.
+    const std::uint64_t replayed =
+        shard.counter("replay/sampled_records_replayed");
+    const std::uint64_t skipped =
+        shard.counter("replay/sampled_records_skipped");
+    EXPECT_GT(replayed, 0u);
+    EXPECT_GT(skipped, replayed);
+
+    // The extrapolated grow-3 runtime approximates the full campaign
+    // measurement (loose bound — the plan reports its own estimate).
+    const auto &row =
+        sharedDataset().findRun("SandyBridge", "test/tiny", "grow-3");
+    const double full = static_cast<double>(row.result.runtimeCycles);
+    EXPECT_GT(prediction.value().measuredCycles, 0.0);
+    EXPECT_NEAR(prediction.value().measuredCycles, full, 0.25 * full);
+
+    // Sampled cold surfaces are deterministic: a second registry with
+    // the same knobs lands on the identical estimate.
+    ModelRegistry::Options again = coldOptions();
+    again.coldSampling.mode = sampling::SampleMode::Interval;
+    again.coldSampling.intervalRecords = 1024;
+    again.coldSampling.clusters = 3;
+    again.coldSampling.warmupRecords = 256;
+    ModelRegistry rerun(std::move(again));
+    auto repeat = rerun.predict(tinyQuery(), context);
+    ASSERT_TRUE(repeat.ok()) << repeat.error().str();
+    EXPECT_DOUBLE_EQ(repeat.value().measuredCycles,
+                     prediction.value().measuredCycles);
 }
 
 TEST(ServeRegistry, ConcurrentColdQueriesDedupToOneSimulation)

@@ -93,3 +93,30 @@ TEST(TextTable, RendersWithoutHeader)
     EXPECT_NE(out.find("a"), std::string::npos);
     EXPECT_EQ(out.find("---"), std::string::npos);
 }
+
+TEST(ParseNonNegativeDoubleFull, AcceptsPlainDecimalsAndExponents)
+{
+    double out = -1.0;
+    EXPECT_TRUE(mosaic::parseNonNegativeDoubleFull("0.0125", out));
+    EXPECT_DOUBLE_EQ(out, 0.0125);
+    EXPECT_TRUE(mosaic::parseNonNegativeDoubleFull("3", out));
+    EXPECT_DOUBLE_EQ(out, 3.0);
+    EXPECT_TRUE(mosaic::parseNonNegativeDoubleFull("1e-3", out));
+    EXPECT_DOUBLE_EQ(out, 0.001);
+    EXPECT_TRUE(mosaic::parseNonNegativeDoubleFull("0.000000", out));
+    EXPECT_DOUBLE_EQ(out, 0.0);
+}
+
+TEST(ParseNonNegativeDoubleFull, RejectsDamage)
+{
+    double out = 7.0;
+    EXPECT_FALSE(mosaic::parseNonNegativeDoubleFull("", out));
+    EXPECT_FALSE(mosaic::parseNonNegativeDoubleFull("-0.5", out));
+    EXPECT_FALSE(mosaic::parseNonNegativeDoubleFull("+1", out));
+    EXPECT_FALSE(mosaic::parseNonNegativeDoubleFull("nan", out));
+    EXPECT_FALSE(mosaic::parseNonNegativeDoubleFull("inf", out));
+    EXPECT_FALSE(mosaic::parseNonNegativeDoubleFull("0.5x", out));
+    EXPECT_FALSE(mosaic::parseNonNegativeDoubleFull("0x1p3", out));
+    EXPECT_FALSE(mosaic::parseNonNegativeDoubleFull("1e999", out));
+    EXPECT_EQ(out, 7.0); // untouched on failure
+}

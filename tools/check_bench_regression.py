@@ -28,6 +28,13 @@ tolerance. Checked, all one-sided (only slowdowns fail, speedups pass):
                                        aggregate check regardless —
                                        the paged stage is timed
                                        outside the sequential sweep.
+  * sampled.effective_records_per_sec -- the interval-sampled replay
+                                       stage (full-trace records
+                                       covered per second of partial
+                                       replay); skipped with a note
+                                       when the committed baseline
+                                       predates the sampled schema
+                                       (/5), like the paged stage.
   * aggregate.host_cycles_per_record -- nominal host cycles the kernel
                                        spends per trace record
                                        (schema /3; TSC-calibrated).
@@ -63,6 +70,13 @@ Usage:
   check_bench_regression.py --baseline BENCH_replay.json \
       --fresh fresh.json [--tolerance 0.20] [--cell-tolerance 0.30] \
       [--fused-floor 0.90]
+  check_bench_regression.py --self-test
+
+--self-test runs the gate against seeded synthetic bench documents
+(no files needed) and verifies that (a) an unregressed pair passes,
+(b) a deliberate sampled-throughput regression is red-flagged, and
+(c) a pre-/5 baseline skips the sampled check instead of crashing.
+It exits 0 only when all three behave.
 
 Exit codes: 0 no regression, 1 regression detected, 2 bad input.
 """
@@ -196,45 +210,8 @@ def gate_serve(baseline, fresh, args, gate):
             gate.failures.append(f"clients={clients} errors")
 
 
-def main():
-    parser = argparse.ArgumentParser(
-        description="replay_bench / serve_loadgen perf-regression gate")
-    parser.add_argument("--baseline", required=True,
-                        help="committed BENCH_replay.json")
-    parser.add_argument("--fresh", required=True,
-                        help="freshly measured replay_bench JSON")
-    parser.add_argument("--tolerance", type=float, default=0.20,
-                        help="allowed aggregate slowdown (default 0.20)")
-    parser.add_argument("--cell-tolerance", type=float, default=0.30,
-                        help="allowed per-cell slowdown (default 0.30)")
-    parser.add_argument("--fused-floor", type=float, default=0.90,
-                        help="minimum fused speedup_vs_sequential "
-                             "(default 0.90)")
-    parser.add_argument("--cycles-ceiling", type=float, default=100.0,
-                        help="absolute host_cycles_per_record ceiling, "
-                             "enforced once the baseline is under it "
-                             "(default 100)")
-    args = parser.parse_args()
-
-    baseline = load(args.baseline)
-    fresh = load(args.fresh)
-    gate = Gate()
-
-    if schema_family(baseline) != schema_family(fresh):
-        sys.exit("error: baseline and fresh schemas disagree "
-                 f"({baseline.get('schema')!r} vs "
-                 f"{fresh.get('schema')!r})")
-
-    if schema_family(fresh) == "mosaic-serve-bench/":
-        print(f"baseline: {args.baseline} ({baseline.get('schema')})")
-        print(f"fresh:    {args.fresh} ({fresh.get('schema')})")
-        gate_serve(baseline, fresh, args, gate)
-        if gate.failures:
-            print(f"\nFAIL: {len(gate.failures)}/{gate.checked} "
-                  f"checks regressed: {', '.join(gate.failures)}")
-            return 1
-        print(f"\nOK: {gate.checked} checks passed")
-        return 0
+def gate_replay(baseline, fresh, args, gate):
+    """Replay-bench gate: aggregate/fused/paged/sampled/cell floors."""
 
     def describe(path, doc):
         records = doc.get("records")
@@ -326,6 +303,22 @@ def main():
         print("  paged records/sec: no baseline (pre-paged schema); "
               "skipped")
 
+    base_sampled = baseline.get("sampled", {}).get(
+        "effective_records_per_sec")
+    fresh_sampled = fresh.get("sampled", {}).get(
+        "effective_records_per_sec")
+    if base_sampled and fresh_sampled:
+        gate.check("sampled effective records/sec", fresh_sampled,
+                   base_sampled * (1.0 - args.tolerance),
+                   f"(baseline {base_sampled:,.0f}, "
+                   f"-{args.tolerance:.0%}) ")
+    elif fresh_sampled and not base_sampled:
+        # The interval-sampling stage landed in schema /5; a baseline
+        # committed before it skips the check (engaging once the
+        # baseline is refreshed) exactly like the paged stage above.
+        print("  sampled effective records/sec: no baseline "
+              "(pre-sampled schema); skipped")
+
     base_cells = cells(baseline, args.baseline)
     fresh_cells = cells(fresh, args.fresh)
     missing = sorted(set(base_cells) - set(fresh_cells))
@@ -336,6 +329,136 @@ def main():
         gate.check(f"cell {platform}/{layout}", fresh_cells[key],
                    base_cells[key] * (1.0 - args.cell_tolerance))
 
+
+def run_gate(baseline, fresh, args):
+    """Dispatch on schema family; returns the populated Gate."""
+    gate = Gate()
+    if schema_family(baseline) != schema_family(fresh):
+        sys.exit("error: baseline and fresh schemas disagree "
+                 f"({baseline.get('schema')!r} vs "
+                 f"{fresh.get('schema')!r})")
+    if schema_family(fresh) == "mosaic-serve-bench/":
+        print(f"baseline: {args.baseline} ({baseline.get('schema')})")
+        print(f"fresh:    {args.fresh} ({fresh.get('schema')})")
+        gate_serve(baseline, fresh, args, gate)
+    else:
+        gate_replay(baseline, fresh, args, gate)
+    return gate
+
+
+def self_test(args):
+    """Gate-the-gate: seeded synthetic documents prove the sampled
+    check fires on a real regression and stays quiet otherwise."""
+    import random
+
+    rng = random.Random(0x5A3D11E5)
+    # gate_replay labels its warnings with the input paths.
+    args.baseline = "<self-test baseline>"
+    args.fresh = "<self-test fresh>"
+
+    def synth_doc(schema, sampled_rate):
+        base_rate = 18e6 + rng.uniform(-1e5, 1e5)
+        doc = {
+            "schema": schema,
+            "records": 2000000,
+            "aggregate": {
+                "wall_seconds": 1.3,
+                "records_per_sec": base_rate,
+                # 0 = "no calibrated clock": cycle checks skip, which
+                # keeps the self-test host-independent.
+                "host_cycles_per_record": 0,
+            },
+            "runs": [
+                {"platform": "SandyBridge", "layout": "all4k",
+                 "records_per_sec": base_rate * 0.7},
+                {"platform": "SandyBridge", "layout": "all2m",
+                 "records_per_sec": base_rate * 1.3},
+            ],
+        }
+        if sampled_rate is not None:
+            doc["sampled"] = {
+                "interval_records": 16384,
+                "clusters": 8,
+                "warmup_records": 4096,
+                "replay_fraction": 0.068,
+                "wall_seconds": 0.08,
+                "effective_records_per_sec": sampled_rate,
+            }
+        return doc
+
+    failures = []
+
+    def expect(name, gate, want_fail, want_label=None):
+        flagged = [f for f in gate.failures
+                   if want_label is None or want_label in f]
+        ok = bool(flagged) == want_fail
+        print(f"self-test [{name}]: "
+              f"{'ok' if ok else 'WRONG VERDICT'} "
+              f"(failures: {gate.failures or 'none'})")
+        if not ok:
+            failures.append(name)
+
+    sampled_base = 70e6 + rng.uniform(-1e5, 1e5)
+
+    # (a) An unregressed fresh run passes.
+    print("-- self-test: healthy run --")
+    base = synth_doc("mosaic-replay-bench/5", sampled_base)
+    good = synth_doc("mosaic-replay-bench/5",
+                     sampled_base * (1.0 - args.tolerance / 2))
+    expect("healthy", run_gate(base, good, args), want_fail=False)
+
+    # (b) A seeded sampled-throughput regression (half the baseline
+    # rate, far past any sane tolerance) is red-flagged by name.
+    print("-- self-test: sampled regression --")
+    slow = synth_doc("mosaic-replay-bench/5", sampled_base * 0.5)
+    expect("sampled regression", run_gate(base, slow, args),
+           want_fail=True, want_label="sampled")
+
+    # (c) A pre-bump baseline (schema /4, no sampled block) skips the
+    # sampled check instead of crashing or failing.
+    print("-- self-test: pre-/5 baseline --")
+    old = synth_doc("mosaic-replay-bench/4", None)
+    expect("pre-bump baseline", run_gate(old, good, args),
+           want_fail=False)
+
+    if failures:
+        print(f"\nSELF-TEST FAIL: {', '.join(failures)}")
+        return 1
+    print("\nSELF-TEST OK: the sampled gate fires when and only "
+          "when it should")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="replay_bench / serve_loadgen perf-regression gate")
+    parser.add_argument("--baseline",
+                        help="committed BENCH_replay.json")
+    parser.add_argument("--fresh",
+                        help="freshly measured replay_bench JSON")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed aggregate slowdown (default 0.20)")
+    parser.add_argument("--cell-tolerance", type=float, default=0.30,
+                        help="allowed per-cell slowdown (default 0.30)")
+    parser.add_argument("--fused-floor", type=float, default=0.90,
+                        help="minimum fused speedup_vs_sequential "
+                             "(default 0.90)")
+    parser.add_argument("--cycles-ceiling", type=float, default=100.0,
+                        help="absolute host_cycles_per_record ceiling, "
+                             "enforced once the baseline is under it "
+                             "(default 100)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate itself against seeded "
+                             "synthetic documents, then exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test(args)
+    if not args.baseline or not args.fresh:
+        parser.error("--baseline and --fresh are required unless "
+                     "--self-test is given")
+
+    gate = run_gate(load(args.baseline), load(args.fresh), args)
     if gate.failures:
         print(f"\nFAIL: {len(gate.failures)}/{gate.checked} checks "
               f"regressed: {', '.join(gate.failures)}")

@@ -42,6 +42,9 @@ constexpr const char *usageText =
     "                       [--swap-cost CYCLES]\n"
     "                       [--writeback-cost CYCLES]\n"
     "                       [--co-workload LABEL]\n"
+    "                       [--sample-mode off|interval]\n"
+    "                       [--sample-interval N] [--sample-clusters K]\n"
+    "                       [--sample-warmup N]\n"
     "                       [--metrics-out FILE]\n"
     "defaults: all 19 workloads, the paper's 3 platforms, jobs =\n"
     "          hardware concurrency, out = mosaic_dataset.csv,\n"
@@ -72,6 +75,17 @@ constexpr const char *usageText =
     "named workload (all-4KB baseline) over one shared frame pool and\n"
     "records the primary tenant's counters under interference;\n"
     "requires --mem-frames > 0 and cannot be combined with --shard.\n"
+    "--sample-mode interval replays only one representative interval\n"
+    "per behavior cluster of each trace (plus a warmup prefix) and\n"
+    "records cluster-weighted extrapolated counters, extending every\n"
+    "row with the est_err column (the reported error bound).\n"
+    "--sample-interval sets the interval length in trace records\n"
+    "(default 16384), --sample-clusters the cluster count K (default\n"
+    "8), --sample-warmup the per-segment warmup prefix in records\n"
+    "(default 4096). The sampled CSV is byte-identical for any\n"
+    "--jobs/--shard/--fused combination; --sample-mode off (the\n"
+    "default) is byte-identical to a classic full-replay run.\n"
+    "Incompatible with --co-workload.\n"
     "--metrics-out writes a JSON run manifest (config, per-phase\n"
     "timings, trace-cache/retry counters, failures) after the run.\n";
 
@@ -180,6 +194,46 @@ campaignMain(int argc, char **argv)
                                     1ull << 32));
     if (args.has("co-workload"))
         config.coWorkload = args.get("co-workload");
+    if (args.has("sample-mode")) {
+        auto mode = sampling::sampleModeFromName(
+            trimString(args.get("sample-mode")));
+        if (!mode) {
+            std::fprintf(stderr,
+                         "mosaic_campaign: bad --sample-mode '%s' "
+                         "(want off or interval)\n",
+                         args.get("sample-mode").c_str());
+            return 2;
+        }
+        config.sampling.mode = *mode;
+    }
+    if (args.has("sample-interval")) {
+        config.sampling.intervalRecords = cli::unwrapOrDie(
+            "mosaic_campaign",
+            cli::parseUnsignedValue("sample-interval",
+                                    args.get("sample-interval"), 1,
+                                    1ull << 32));
+    }
+    if (args.has("sample-clusters")) {
+        config.sampling.clusters = static_cast<std::uint32_t>(
+            cli::unwrapOrDie(
+                "mosaic_campaign",
+                cli::parseUnsignedValue("sample-clusters",
+                                        args.get("sample-clusters"), 1,
+                                        1ull << 20)));
+    }
+    if (args.has("sample-warmup")) {
+        config.sampling.warmupRecords = cli::unwrapOrDie(
+            "mosaic_campaign",
+            cli::parseUnsignedValue("sample-warmup",
+                                    args.get("sample-warmup"), 0,
+                                    1ull << 32));
+    }
+    if (config.sampling.enabled() && !config.coWorkload.empty()) {
+        std::fprintf(stderr,
+                     "mosaic_campaign: --sample-mode interval cannot "
+                     "be combined with --co-workload\n");
+        return 2;
+    }
     if (!config.coWorkload.empty() && !config.os.paged()) {
         std::fprintf(stderr,
                      "mosaic_campaign: --co-workload requires "
@@ -247,6 +301,19 @@ campaignMain(int argc, char **argv)
                        static_cast<std::uint64_t>(
                            effective.os.writebackCycles));
     manifest.setConfig("co_workload", effective.coWorkload);
+    manifest.setConfig("sample_mode",
+                       std::string(sampling::sampleModeName(
+                           effective.sampling.mode)));
+    manifest.setConfig("sample_interval",
+                       static_cast<std::uint64_t>(
+                           effective.sampling.intervalRecords));
+    manifest.setConfig("sample_clusters",
+                       static_cast<std::uint64_t>(
+                           effective.sampling.clusters));
+    manifest.setConfig("sample_warmup",
+                       static_cast<std::uint64_t>(
+                           effective.sampling.warmupRecords));
+    manifest.setConfig("sample_tag", effective.sampling.tag());
     for (const auto &failure : report.failures) {
         manifest.addFailure(failure.platform + "/" + failure.workload +
                                 "/" + failure.layout,

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <ctime>
 
+#include "sampling/sample_plan.hh"
 #include "serve/model_registry.hh"
 #include "serve/server.hh"
 #include "support/logging.hh"
@@ -38,7 +39,9 @@ const char *kUsage =
     "usage: mosaic_serve [--dataset FILE] [--socket PATH | --port N]\n"
     "                    [--jobs N] [--query-timeout SECONDS]\n"
     "                    [--trace-cache DIR] [--seed N] [--no-1gb]\n"
-    "                    [--no-cold] [--metrics-out FILE]\n"
+    "                    [--no-cold] [--cold-sampled]\n"
+    "                    [--sample-interval N] [--sample-clusters K]\n"
+    "                    [--sample-warmup N] [--metrics-out FILE]\n"
     "\n"
     "Serve runtime predictions from fitted Mosmodel surfaces.\n"
     "  --dataset FILE     campaign CSV to preload (repeatable via\n"
@@ -54,6 +57,16 @@ const char *kUsage =
     "  --no-1gb           skip the all-1GB lane on cold simulations\n"
     "  --no-cold          refuse cold simulations (serve only what\n"
     "                     was loaded)\n"
+    "  --cold-sampled     answer cold pairs with interval-sampled\n"
+    "                     replay (one representative segment set per\n"
+    "                     trace) instead of the full fused grid —\n"
+    "                     seconds instead of minutes per pair, at the\n"
+    "                     sample plan's documented error bound\n"
+    "  --sample-interval N  sampled-cold interval length in records\n"
+    "                     (default 16384)\n"
+    "  --sample-clusters K  sampled-cold cluster count (default 8)\n"
+    "  --sample-warmup N  sampled-cold warmup prefix per segment in\n"
+    "                     records (default 4096)\n"
     "  --metrics-out FILE write the JSON run manifest on shutdown\n";
 
 } // namespace
@@ -73,6 +86,23 @@ main(int argc, char **argv)
         regOptions.seed = cli::unwrapOrDie(
             "mosaic_serve",
             cli::unsignedOption(args, "seed", 0x9a4d));
+        if (args.has("cold-sampled")) {
+            regOptions.coldSampling.mode =
+                sampling::SampleMode::Interval;
+            regOptions.coldSampling.intervalRecords = cli::unwrapOrDie(
+                "mosaic_serve",
+                cli::unsignedOption(args, "sample-interval", 16384, 1,
+                                    1ull << 32));
+            regOptions.coldSampling.clusters =
+                static_cast<std::uint32_t>(cli::unwrapOrDie(
+                    "mosaic_serve",
+                    cli::unsignedOption(args, "sample-clusters", 8, 1,
+                                        1ull << 20)));
+            regOptions.coldSampling.warmupRecords = cli::unwrapOrDie(
+                "mosaic_serve",
+                cli::unsignedOption(args, "sample-warmup", 4096, 0,
+                                    1ull << 32));
+        }
 
         serve::ModelRegistry registry(std::move(regOptions));
         std::size_t loadedPairs = 0;
@@ -141,6 +171,14 @@ main(int argc, char **argv)
                                std::uint64_t{loadedPairs});
             manifest.setConfig("allow_cold",
                                registry.options().allowCold);
+            manifest.setConfig(
+                "cold_sampled",
+                registry.options().coldSampling.enabled());
+            if (registry.options().coldSampling.enabled()) {
+                manifest.setConfig(
+                    "sample_tag",
+                    registry.options().coldSampling.tag());
+            }
             auto written = manifest.write(args.get("metrics-out"),
                                           server.centralMetrics());
             if (!written.ok()) {
